@@ -1,0 +1,57 @@
+//! Compile-time cost of the analysis itself: Phase-1/Phase-2 throughput
+//! over the twelve benchmark sources at each algorithm level. The paper's
+//! selling point over inspector/executor and speculation is *zero runtime
+//! overhead*; this bench quantifies the (small) compile-time price.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subsub_core::{analyze_program, AlgorithmLevel};
+use subsub_kernels::all_kernels;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    for kernel in all_kernels() {
+        for level in [AlgorithmLevel::Classic, AlgorithmLevel::Base, AlgorithmLevel::New] {
+            g.bench_with_input(
+                BenchmarkId::new(kernel.name(), level),
+                &level,
+                |b, &level| {
+                    b.iter(|| {
+                        let r = analyze_program(kernel.source(), level).unwrap();
+                        std::hint::black_box(r);
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let src = subsub_kernels::kernel_by_name("AMGmk").unwrap().source();
+    let prog = subsub_cfront::parse_program(src).unwrap();
+    let mut g = c.benchmark_group("stages");
+    g.bench_function("parse", |b| {
+        b.iter(|| std::hint::black_box(subsub_cfront::parse_program(src).unwrap()))
+    });
+    g.bench_function("lower", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                subsub_ir::lower_function(&prog.funcs[0], &prog.globals).unwrap(),
+            )
+        })
+    });
+    let lowered = subsub_ir::lower_function(&prog.funcs[0], &prog.globals).unwrap();
+    g.bench_function("analyze_function", |b| {
+        b.iter(|| {
+            std::hint::black_box(subsub_core::analyze_function(
+                &lowered,
+                AlgorithmLevel::New,
+                &subsub_symbolic::RangeEnv::new(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis, bench_pipeline_stages);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation: fork-join overhead sweep.
+//!
+//! Figure 13's anomaly — classical inner-loop parallelization running far
+//! slower than serial — is driven by the fork-join cost per parallel
+//! region. This ablation sweeps the overhead and locates the crossover
+//! where the inner strategy stops losing to serial execution, for the
+//! three subscripted-subscript applications.
+
+use subsub_bench::harness::{calibrate, simulate_variant, Calibration};
+use subsub_bench::Table;
+use subsub_kernels::{kernel_by_name, Variant};
+use subsub_omprt::Schedule;
+
+fn main() {
+    println!("Ablation: fork-join overhead sweep (simulated, 16 cores)\n");
+    let overheads_us = [0.0f64, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0];
+
+    for name in ["AMGmk", "SDDMM", "UA(transf)"] {
+        let k = kernel_by_name(name).unwrap();
+        let ds = k.datasets()[0];
+        let mut inst = k.prepare(ds);
+        inst.run_serial();
+        let mut t = Table::new(&["fork-join", "inner/serial", "outer/serial", "outer wins by"]);
+        for us in overheads_us {
+            let cal: Calibration = calibrate(inst.as_mut(), us * 1e-6);
+            let serial =
+                simulate_variant(inst.as_ref(), Variant::Serial, 16, Schedule::static_default(), &cal);
+            let inner = simulate_variant(
+                inst.as_ref(),
+                Variant::InnerParallel,
+                16,
+                Schedule::static_default(),
+                &cal,
+            );
+            let outer = simulate_variant(
+                inst.as_ref(),
+                Variant::OuterParallel,
+                16,
+                Schedule::static_default(),
+                &cal,
+            );
+            t.row(vec![
+                format!("{us:.1} µs"),
+                format!("{:.2}x", inner / serial),
+                format!("{:.2}x", outer / serial),
+                format!("{:.1}x", inner / outer),
+            ]);
+        }
+        println!("({name} on {ds}; inner/serial > 1 means the classical");
+        println!("strategy is a slowdown — the Figure 13 anomaly):");
+        println!("{t}");
+    }
+}

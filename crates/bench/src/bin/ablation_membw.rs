@@ -1,0 +1,33 @@
+//! Ablation: memory-bandwidth roofline sensitivity.
+//!
+//! The simulator's `mem_scale` parameter (aggregate bandwidth speedup of
+//! the machine over one core) caps bandwidth-bound kernels. This sweep
+//! shows how the Figure 14 speedups respond — AMGmk (bandwidth-bound)
+//! tracks the roofline, syrk (compute-bound) barely notices.
+
+use subsub_bench::harness::{calibrate, measured_fork_join, simulate_variant};
+use subsub_bench::Table;
+use subsub_kernels::{kernel_by_name, Variant};
+use subsub_omprt::{Schedule, ThreadPool};
+
+fn main() {
+    let pool = ThreadPool::new(2);
+    let fj = measured_fork_join(&pool);
+    println!("Ablation: roofline mem_scale sweep (16 simulated cores)\n");
+    let mut t = Table::new(&["Benchmark", "ms=2", "ms=3.5", "ms=6", "ms=12"]);
+    for name in ["AMGmk", "SDDMM", "UA(transf)", "syrk"] {
+        let k = kernel_by_name(name).unwrap();
+        let mut inst = k.prepare(k.datasets()[0]);
+        inst.run_serial();
+        let mut cal = calibrate(inst.as_mut(), fj);
+        let mut row = vec![name.to_string()];
+        for ms in [2.0f64, 3.5, 6.0, 12.0] {
+            cal.params.mem_scale = ms;
+            let v = Variant::OuterParallel;
+            let s = simulate_variant(inst.as_ref(), v, 16, Schedule::static_default(), &cal);
+            row.push(format!("{:.2}x", cal.serial_time / s));
+        }
+        t.row(row);
+    }
+    println!("{t}");
+}

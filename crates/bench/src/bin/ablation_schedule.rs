@@ -1,0 +1,40 @@
+//! Ablation: dynamic chunk-size sweep for SDDMM.
+//!
+//! Figure 16 compares static against dynamic with the OpenMP default
+//! chunk of 1. This ablation shows the dispatch-overhead/balance tradeoff
+//! as the dynamic chunk grows — large chunks converge back to static
+//! behaviour on skewed inputs.
+
+use subsub_bench::harness::{calibrate, measured_fork_join, simulate_variant};
+use subsub_bench::Table;
+use subsub_kernels::{kernel_by_name, Variant};
+use subsub_omprt::{Schedule, ThreadPool};
+
+fn main() {
+    let pool = ThreadPool::new(2);
+    let fj = measured_fork_join(&pool);
+    println!("Ablation: dynamic chunk size, SDDMM, 16 simulated cores\n");
+    let k = kernel_by_name("SDDMM").unwrap();
+    let mut t = Table::new(&["Dataset", "static", "dyn,1", "dyn,4", "dyn,16", "dyn,64", "guided"]);
+    for ds in ["gsm_106857", "dielFilterV2clx", "af_shell1", "inline_1"] {
+        let mut inst = k.prepare(ds);
+        inst.run_serial();
+        let cal = calibrate(inst.as_mut(), fj);
+        let time = |sched| {
+            let s = simulate_variant(inst.as_ref(), Variant::OuterParallel, 16, sched, &cal);
+            format!("{:.2}x", cal.serial_time / s)
+        };
+        t.row(vec![
+            ds.to_string(),
+            time(Schedule::static_default()),
+            time(Schedule::Dynamic { chunk: 1 }),
+            time(Schedule::Dynamic { chunk: 4 }),
+            time(Schedule::Dynamic { chunk: 16 }),
+            time(Schedule::Dynamic { chunk: 64 }),
+            time(Schedule::Guided { min_chunk: 4 }),
+        ]);
+    }
+    println!("{t}");
+    println!("(speedup over serial; larger dynamic chunks trade balance for");
+    println!("lower dispatch overhead and converge toward static behaviour)");
+}

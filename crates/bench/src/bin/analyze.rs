@@ -1,0 +1,24 @@
+//! Prints the full per-loop analysis report of every benchmark at every
+//! algorithm level — the compiler-side view behind Figure 17.
+//!
+//! Usage: `cargo run -p subsub-bench --bin analyze [kernel-name]`
+
+use subsub_bench::decision_report;
+use subsub_core::AlgorithmLevel;
+use subsub_kernels::all_kernels;
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    for k in all_kernels() {
+        if let Some(f) = &filter {
+            if k.name() != f {
+                continue;
+            }
+        }
+        println!("################ {} ################", k.name());
+        for level in [AlgorithmLevel::Classic, AlgorithmLevel::Base, AlgorithmLevel::New] {
+            print!("{}", decision_report(k.as_ref(), level));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Figure 13**: overall improvement of the parallel codes
+//! *with* versus *without* subscripted-subscript analysis on 4, 8 and 16
+//! cores, for AMGmk (5 matrices), SDDMM (4 matrices) and UA(transf)
+//! (4 classes).
+//!
+//! "Without" is the classical decision (inner-loop parallelization, paying
+//! one fork-join per outer iteration); "with" is the new algorithm's
+//! outer-loop parallelization. Multi-core times come from the calibrated
+//! scheduling simulator (see DESIGN.md).
+
+use subsub_bench::harness::{measured_fork_join, Series};
+use subsub_bench::{variant_for, Table};
+use subsub_core::AlgorithmLevel;
+use subsub_kernels::kernel_by_name;
+use subsub_omprt::{Schedule, ThreadPool};
+
+fn main() {
+    let pool = ThreadPool::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let fj = measured_fork_join(&pool);
+    println!("Figure 13: performance improvement with vs without subscripted-");
+    println!("subscript analysis (simulated cores; measured fork-join = {:.2} µs)\n", fj * 1e6);
+
+    for name in ["AMGmk", "SDDMM", "UA(transf)"] {
+        let k = kernel_by_name(name).unwrap();
+        let without = variant_for(k.as_ref(), AlgorithmLevel::Classic);
+        let with = variant_for(k.as_ref(), AlgorithmLevel::New);
+        let mut t = Table::new(&["Dataset", "4 cores", "8 cores", "16 cores"]);
+        for ds in k.datasets() {
+            let series = Series::new(k.as_ref(), ds, &[without, with], &pool, fj);
+            let mut row = vec![ds.to_string()];
+            for cores in [4usize, 8, 16] {
+                let t_without = series.sim(without, cores, Schedule::static_default());
+                let t_with = series.sim(with, cores, Schedule::static_default());
+                row.push(format!("{:.2}x", t_without / t_with));
+            }
+            t.row(row);
+        }
+        println!("({name}) improvement of {with} over {without}:");
+        println!("{t}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Figure 14**: improvement of the parallel applications
+//! (with subscripted-subscript analysis applied) versus the serial
+//! versions on 4, 8 and 16 cores.
+
+use subsub_bench::harness::{measured_fork_join, Series};
+use subsub_bench::{variant_for, Table};
+use subsub_core::AlgorithmLevel;
+use subsub_kernels::kernel_by_name;
+use subsub_omprt::{Schedule, ThreadPool};
+
+fn main() {
+    let pool = ThreadPool::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let fj = measured_fork_join(&pool);
+    println!("Figure 14: improvement over serial with the new analysis applied");
+    println!("(simulated cores; measured fork-join = {:.2} µs)\n", fj * 1e6);
+
+    for name in ["AMGmk", "SDDMM", "UA(transf)"] {
+        let k = kernel_by_name(name).unwrap();
+        let with = variant_for(k.as_ref(), AlgorithmLevel::New);
+        let mut t = Table::new(&["Dataset", "4 cores", "8 cores", "16 cores"]);
+        for ds in k.datasets() {
+            let series = Series::new(k.as_ref(), ds, &[with], &pool, fj);
+            let mut row = vec![ds.to_string()];
+            for cores in [4usize, 8, 16] {
+                row.push(format!("{:.2}x", series.speedup(with, cores, Schedule::static_default())));
+            }
+            t.row(row);
+        }
+        println!("({name}) speedup over serial:");
+        println!("{t}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Figure 15**: parallel efficiency (speedup / cores) of the
+//! three applications with increasing core count.
+
+use subsub_bench::harness::{measured_fork_join, Series};
+use subsub_bench::{variant_for, Table};
+use subsub_core::AlgorithmLevel;
+use subsub_kernels::kernel_by_name;
+use subsub_omprt::{Schedule, ThreadPool};
+
+fn main() {
+    let pool = ThreadPool::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let fj = measured_fork_join(&pool);
+    println!("Figure 15: parallel efficiency (speedup / cores), simulated cores\n");
+
+    for name in ["AMGmk", "SDDMM", "UA(transf)"] {
+        let k = kernel_by_name(name).unwrap();
+        let with = variant_for(k.as_ref(), AlgorithmLevel::New);
+        let mut t = Table::new(&["Dataset", "4 cores", "8 cores", "16 cores"]);
+        for ds in k.datasets() {
+            let series = Series::new(k.as_ref(), ds, &[with], &pool, fj);
+            let mut row = vec![ds.to_string()];
+            for cores in [4usize, 8, 16] {
+                let sp = series.speedup(with, cores, Schedule::static_default());
+                row.push(format!("{:.1}%", 100.0 * sp / cores as f64));
+            }
+            t.row(row);
+        }
+        println!("({name}) efficiency:");
+        println!("{t}");
+    }
+}

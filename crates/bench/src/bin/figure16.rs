@@ -1,0 +1,38 @@
+//! Regenerates **Figure 16**: dynamic versus (default) static scheduling
+//! for SDDMM on 4, 8 and 16 cores, as improvement over serial execution.
+//!
+//! The paper finds dynamic ahead on three of the four matrices (skewed
+//! column degrees) and static ahead on af_shell1 (balanced columns).
+
+use subsub_bench::harness::{measured_fork_join, Series};
+use subsub_bench::{variant_for, Table};
+use subsub_core::AlgorithmLevel;
+use subsub_kernels::kernel_by_name;
+use subsub_omprt::{Schedule, ThreadPool};
+
+fn main() {
+    let pool = ThreadPool::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let fj = measured_fork_join(&pool);
+    println!("Figure 16: dynamic vs static scheduling for SDDMM");
+    println!("(improvement over serial; simulated cores)\n");
+
+    let k = kernel_by_name("SDDMM").unwrap();
+    let with = variant_for(k.as_ref(), AlgorithmLevel::New);
+    let mut t = Table::new(&[
+        "Dataset", "sched", "4 cores", "8 cores", "16 cores",
+    ]);
+    for ds in ["gsm_106857", "dielFilterV2clx", "af_shell1", "inline_1"] {
+        let series = Series::new(k.as_ref(), ds, &[with], &pool, fj);
+        for (label, sched) in [
+            ("dynamic", Schedule::dynamic_default()),
+            ("static", Schedule::static_default()),
+        ] {
+            let mut row = vec![ds.to_string(), label.to_string()];
+            for cores in [4usize, 8, 16] {
+                row.push(format!("{:.2}x", series.speedup(with, cores, sched)));
+            }
+            t.row(row);
+        }
+    }
+    println!("{t}");
+}

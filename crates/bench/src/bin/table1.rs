@@ -1,0 +1,29 @@
+//! Regenerates **Table 1** of the paper: the benchmark suite with input
+//! datasets and measured serial execution times.
+//!
+//! Usage: `cargo run --release -p subsub-bench --bin table1`
+
+use subsub_bench::Table;
+use subsub_kernels::all_kernels;
+use subsub_omprt::time_repeat;
+
+fn main() {
+    let mut t = Table::new(&["Benchmark", "Input Dataset", "Serial Execution time"]);
+    for k in all_kernels() {
+        for ds in k.datasets() {
+            let mut inst = k.prepare(ds);
+            let m = time_repeat(3, || {
+                inst.reset();
+                inst.run_serial();
+            });
+            t.row(vec![
+                k.name().to_string(),
+                ds.to_string(),
+                format!("{:.4} s", m.mean()),
+            ]);
+        }
+    }
+    println!("Table 1: Benchmarks and input data used (synthetic substitutes;");
+    println!("see DESIGN.md for the per-matrix mapping). Mean of 3 runs.\n");
+    println!("{t}");
+}

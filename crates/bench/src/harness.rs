@@ -1,0 +1,271 @@
+//! The measurement/simulation harness shared by all figure binaries.
+
+use subsub_core::AlgorithmLevel;
+use subsub_kernels::{common::serial_cost, Kernel, KernelInstance, Variant};
+use subsub_omprt::{
+    sim, time_once, time_repeat, Schedule, SimParams, ThreadPool,
+};
+
+/// One experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Algorithm level whose decision selects the variant.
+    pub level: AlgorithmLevel,
+    /// Simulated core count.
+    pub cores: usize,
+    /// Loop schedule.
+    pub sched: Schedule,
+}
+
+/// Result of one configuration.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The variant the analysis selected.
+    pub variant: Variant,
+    /// Simulated execution time (seconds) at `cores` cores.
+    pub sim_time: f64,
+    /// Measured serial time (seconds) used for calibration.
+    pub serial_time: f64,
+    /// Simulated speedup over serial.
+    pub speedup: f64,
+}
+
+/// Calibration data for one kernel instance: measured serial seconds, the
+/// abstract-unit scale, and pool overheads expressed in abstract units.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// Measured serial wall time (seconds).
+    pub serial_time: f64,
+    /// Seconds per abstract work unit.
+    pub unit: f64,
+    /// Cost-model parameters in abstract units.
+    pub params: SimParams,
+}
+
+/// Measured fork-join overhead of the runtime (seconds per region), the
+/// quantity behind the paper's inner-parallelization anomaly. Measured
+/// once per process against a real pool.
+pub fn measured_fork_join(pool: &ThreadPool) -> f64 {
+    let regions = 200;
+    let t = time_once(|| {
+        for _ in 0..regions {
+            pool.run(|_| {});
+        }
+    });
+    (t / regions as f64).max(1e-6)
+}
+
+/// Times the instance's serial run and derives the unit scale.
+pub fn calibrate(inst: &mut dyn KernelInstance, fork_join_secs: f64) -> Calibration {
+    let groups = inst.inner_groups();
+    let total_units = serial_cost(&groups).max(1.0);
+    inst.reset();
+    let m = time_repeat(3, || {
+        inst.reset();
+        inst.run_serial();
+    });
+    let serial_time = m.min().max(1e-9);
+    let unit = serial_time / total_units;
+    let params = SimParams {
+        fork_join: fork_join_secs / unit,
+        dispatch: (fork_join_secs / unit) / 64.0,
+        mem_frac: inst.mem_bound_fraction(),
+        ..SimParams::default()
+    };
+    Calibration { serial_time, unit, params }
+}
+
+/// Simulated execution time (seconds) of a variant at `cores` cores.
+pub fn simulate_variant(
+    inst: &dyn KernelInstance,
+    variant: Variant,
+    cores: usize,
+    sched: Schedule,
+    cal: &Calibration,
+) -> f64 {
+    let units = match variant {
+        Variant::Serial => serial_cost(&inst.inner_groups()),
+        Variant::OuterParallel => {
+            sim::simulate_parallel_for(&inst.outer_costs(), cores, sched, &cal.params).time
+        }
+        Variant::InnerParallel => {
+            let groups = inst.inner_groups();
+            groups
+                .iter()
+                .map(|g| {
+                    if g.inner.is_empty() {
+                        g.serial
+                    } else {
+                        g.serial
+                            + sim::simulate_parallel_for(&g.inner, cores, sched, &cal.params)
+                                .time
+                    }
+                })
+                .sum()
+        }
+    };
+    units * cal.unit
+}
+
+/// Runs one configuration end-to-end: decide, execute (for validation),
+/// calibrate and simulate.
+pub fn run_config(
+    kernel: &dyn Kernel,
+    dataset: &str,
+    cfg: Config,
+    pool: &ThreadPool,
+    fork_join_secs: f64,
+) -> Outcome {
+    let variant = crate::decide::variant_for(kernel, cfg.level);
+    let mut inst = kernel.prepare(dataset);
+
+    // Validate the selected variant against the serial reference.
+    inst.reset();
+    inst.run_serial();
+    let reference = inst.checksum();
+    inst.reset();
+    inst.run(variant, pool, cfg.sched);
+    let got = inst.checksum();
+    assert!(
+        subsub_kernels::common::close(reference, got),
+        "{} [{dataset}] variant {variant}: checksum mismatch {got} vs {reference}",
+        kernel.name()
+    );
+
+    let cal = calibrate(inst.as_mut(), fork_join_secs);
+    let sim_time = simulate_variant(inst.as_ref(), variant, cfg.cores, cfg.sched, &cal);
+    Outcome {
+        variant,
+        sim_time,
+        serial_time: cal.serial_time,
+        speedup: cal.serial_time / sim_time.max(1e-12),
+    }
+}
+
+/// Validates one variant's output against the serial reference.
+pub fn validate_variant(
+    kernel: &dyn Kernel,
+    inst: &mut dyn KernelInstance,
+    variant: Variant,
+    pool: &ThreadPool,
+    sched: Schedule,
+) {
+    inst.reset();
+    inst.run_serial();
+    let reference = inst.checksum();
+    inst.reset();
+    inst.run(variant, pool, sched);
+    let got = inst.checksum();
+    assert!(
+        subsub_kernels::common::close(reference, got),
+        "{} variant {variant}: checksum mismatch {got} vs {reference}",
+        kernel.name()
+    );
+    inst.reset();
+}
+
+/// A prepared experiment over one (kernel, dataset): validates each needed
+/// variant once, calibrates once, then answers simulation queries for any
+/// (variant, cores, schedule) combination.
+pub struct Series {
+    inst: Box<dyn KernelInstance>,
+    /// Calibration derived from the serial run.
+    pub cal: Calibration,
+}
+
+impl Series {
+    /// Prepares and calibrates; validates the given variants.
+    pub fn new(
+        kernel: &dyn Kernel,
+        dataset: &str,
+        variants: &[Variant],
+        pool: &ThreadPool,
+        fork_join_secs: f64,
+    ) -> Series {
+        let mut inst = kernel.prepare(dataset);
+        let mut seen = Vec::new();
+        for &v in variants {
+            if !seen.contains(&v) {
+                validate_variant(kernel, inst.as_mut(), v, pool, Schedule::static_default());
+                seen.push(v);
+            }
+        }
+        let cal = calibrate(inst.as_mut(), fork_join_secs);
+        Series { inst, cal }
+    }
+
+    /// Simulated seconds for a (variant, cores, schedule) combination.
+    pub fn sim(&self, variant: Variant, cores: usize, sched: Schedule) -> f64 {
+        simulate_variant(self.inst.as_ref(), variant, cores, sched, &self.cal)
+    }
+
+    /// Simulated speedup over the measured serial time.
+    pub fn speedup(&self, variant: Variant, cores: usize, sched: Schedule) -> f64 {
+        self.cal.serial_time / self.sim(variant, cores, sched).max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsub_kernels::kernel_by_name;
+
+    #[test]
+    fn amgmk_outer_beats_inner_in_simulation() {
+        let k = kernel_by_name("AMGmk").unwrap();
+        let mut inst = k.prepare("test");
+        inst.run_serial();
+        let cal = Calibration {
+            serial_time: 1.0,
+            unit: 1.0 / subsub_kernels::common::serial_cost(&inst.inner_groups()),
+            params: SimParams {
+                fork_join: 5_000.0,
+                dispatch: 80.0,
+                mem_frac: inst.mem_bound_fraction(),
+                ..SimParams::default()
+            },
+        };
+        let outer = simulate_variant(
+            inst.as_ref(),
+            Variant::OuterParallel,
+            8,
+            Schedule::static_default(),
+            &cal,
+        );
+        let inner = simulate_variant(
+            inst.as_ref(),
+            Variant::InnerParallel,
+            8,
+            Schedule::static_default(),
+            &cal,
+        );
+        let serial = simulate_variant(
+            inst.as_ref(),
+            Variant::Serial,
+            8,
+            Schedule::static_default(),
+            &cal,
+        );
+        assert!(outer < serial, "outer {outer} vs serial {serial}");
+        assert!(inner > serial, "fork-join should swamp the inner strategy");
+    }
+
+    #[test]
+    fn run_config_validates_and_reports() {
+        let pool = ThreadPool::new(2);
+        let k = kernel_by_name("AMGmk").unwrap();
+        let out = run_config(
+            k.as_ref(),
+            "test",
+            Config {
+                level: subsub_core::AlgorithmLevel::New,
+                cores: 4,
+                sched: Schedule::static_default(),
+            },
+            &pool,
+            5e-6,
+        );
+        assert_eq!(out.variant, Variant::OuterParallel);
+        assert!(out.speedup > 0.0);
+    }
+}

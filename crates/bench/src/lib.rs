@@ -1,0 +1,23 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (Section 4).
+//!
+//! Methodology. For each benchmark and algorithm level the pipeline is:
+//!
+//! 1. run the real compile-time analysis on the kernel's C source and map
+//!    the decision to an execution [`Variant`] (serial / inner-parallel /
+//!    outer-parallel);
+//! 2. execute the selected variant through the `omprt` runtime on the
+//!    available cores and validate checksums against the serial run;
+//! 3. time the serial run to *calibrate* the abstract work model, measure
+//!    the real fork-join overhead of the thread pool, and replay the
+//!    schedule in the deterministic `omprt::sim` cost model for the
+//!    paper's 4-, 8- and 16-core series (the CI container has one core, so
+//!    multi-core numbers are simulated; see DESIGN.md).
+
+pub mod decide;
+pub mod harness;
+pub mod table;
+
+pub use decide::{decision_report, variant_for};
+pub use harness::{calibrate, run_config, Config, Outcome};
+pub use table::Table;

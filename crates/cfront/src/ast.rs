@@ -1,0 +1,456 @@
+//! Abstract syntax tree for the C subset.
+
+use std::fmt;
+
+/// Base types of the C subset (pointer/array shape lives in the declarator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// `int`
+    Int,
+    /// `long`
+    Long,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// `void`
+    Void,
+    /// A typedef-style named type we do not interpret.
+    Named(String),
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Long => write!(f, "long"),
+            Type::Float => write!(f, "float"),
+            Type::Double => write!(f, "double"),
+            Type::Void => write!(f, "void"),
+            Type::Named(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl Type {
+    /// True for the integer types the analysis tracks as loop-variant
+    /// integer scalars/arrays.
+    pub fn is_integer(&self) -> bool {
+        matches!(self, Type::Int | Type::Long)
+    }
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// File-scope variable declarations.
+    pub globals: Vec<Decl>,
+    /// Function definitions, in source order.
+    pub funcs: Vec<Function>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&Function> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Return type.
+    pub ret: Type,
+    /// Function name.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Function body.
+    pub body: Block,
+}
+
+/// A formal parameter, e.g. `int *a` or `double x[5][5]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Base type.
+    pub ty: Type,
+    /// Pointer depth (`int **p` has depth 2).
+    pub pointer: usize,
+    /// Parameter name.
+    pub name: String,
+    /// Array dimension expressions (empty for scalars/pointers). The first
+    /// dimension may be omitted in C (`a[]`), represented as `None`.
+    pub dims: Vec<Option<CExpr>>,
+}
+
+/// A variable declaration (one declarator; comma lists are split by the
+/// parser).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// Base type.
+    pub ty: Type,
+    /// Pointer depth.
+    pub pointer: usize,
+    /// Variable name.
+    pub name: String,
+    /// Array dimensions (empty for scalars).
+    pub dims: Vec<CExpr>,
+    /// Optional initializer.
+    pub init: Option<CExpr>,
+}
+
+/// A brace-enclosed statement list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The statements, in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// The init clause of a `for` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForInit {
+    /// Empty init (`for (;…;…)`).
+    Empty,
+    /// A declaration with initializer (`for (int i = 0; …)`).
+    Decl(Decl),
+    /// An expression, typically an assignment (`for (i = 0; …)`).
+    Expr(CExpr),
+}
+
+/// Statements of the C subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A local declaration.
+    Decl(Decl),
+    /// An expression statement (assignments, calls, `m++`).
+    Expr(CExpr),
+    /// A nested block.
+    Block(Block),
+    /// `if (cond) then [else …]`.
+    If {
+        /// Controlling condition.
+        cond: CExpr,
+        /// Then branch.
+        then_branch: Box<Stmt>,
+        /// Optional else branch.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Init clause.
+        init: ForInit,
+        /// Loop condition (`None` = infinite).
+        cond: Option<CExpr>,
+        /// Step expression.
+        step: Option<CExpr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop condition.
+        cond: CExpr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `return [expr];`
+    Return(Option<CExpr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// A `#pragma` line, kept verbatim.
+    Pragma(String),
+    /// The empty statement `;`.
+    Empty,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// C-style operator spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+
+    /// True for `< <= > >= == !=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+}
+
+/// Prefix unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `!x`
+    Not,
+    /// `++x`
+    PreInc,
+    /// `--x`
+    PreDec,
+}
+
+/// Postfix operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PostOp {
+    /// `x++`
+    PostInc,
+    /// `x--`
+    PostDec,
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`
+    AddAssign,
+    /// `-=`
+    SubAssign,
+    /// `*=`
+    MulAssign,
+    /// `/=`
+    DivAssign,
+}
+
+impl AssignOp {
+    /// C spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AssignOp::Assign => "=",
+            AssignOp::AddAssign => "+=",
+            AssignOp::SubAssign => "-=",
+            AssignOp::MulAssign => "*=",
+            AssignOp::DivAssign => "/=",
+        }
+    }
+
+    /// The underlying binary operator of a compound assignment.
+    pub fn binop(self) -> Option<BinOp> {
+        match self {
+            AssignOp::Assign => None,
+            AssignOp::AddAssign => Some(BinOp::Add),
+            AssignOp::SubAssign => Some(BinOp::Sub),
+            AssignOp::MulAssign => Some(BinOp::Mul),
+            AssignOp::DivAssign => Some(BinOp::Div),
+        }
+    }
+}
+
+/// Expressions of the C subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExpr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating-point literal.
+    FloatLit(f64),
+    /// Identifier reference.
+    Ident(String),
+    /// Array subscript `base[index]` (chained for multi-dimensional).
+    Index {
+        /// The array expression being indexed.
+        base: Box<CExpr>,
+        /// Subscript expression.
+        index: Box<CExpr>,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<CExpr>,
+    },
+    /// Prefix unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<CExpr>,
+    },
+    /// Postfix `++`/`--`.
+    Postfix {
+        /// Operator.
+        op: PostOp,
+        /// Operand.
+        operand: Box<CExpr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<CExpr>,
+        /// Right operand.
+        rhs: Box<CExpr>,
+    },
+    /// Assignment (an expression in C).
+    Assign {
+        /// Assignment operator.
+        op: AssignOp,
+        /// Assigned lvalue.
+        lhs: Box<CExpr>,
+        /// Right-hand side.
+        rhs: Box<CExpr>,
+    },
+    /// Conditional expression `cond ? a : b`.
+    Ternary {
+        /// Condition.
+        cond: Box<CExpr>,
+        /// Value when true.
+        then_e: Box<CExpr>,
+        /// Value when false.
+        else_e: Box<CExpr>,
+    },
+    /// C cast `(type) expr`.
+    Cast {
+        /// Target type.
+        ty: Type,
+        /// Operand.
+        expr: Box<CExpr>,
+    },
+}
+
+impl CExpr {
+    /// Convenience constructor for `Ident`.
+    pub fn ident(name: &str) -> CExpr {
+        CExpr::Ident(name.to_string())
+    }
+
+    /// Convenience constructor for a binary node.
+    pub fn bin(op: BinOp, lhs: CExpr, rhs: CExpr) -> CExpr {
+        CExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Peels a (possibly multi-dimensional) index chain, returning the base
+    /// identifier and the subscripts outermost-first:
+    /// `idel[iel][0][j][i]` → `("idel", [iel, 0, j, i])`.
+    pub fn as_index_chain(&self) -> Option<(&str, Vec<&CExpr>)> {
+        let mut subs_rev = Vec::new();
+        let mut cur = self;
+        while let CExpr::Index { base, index } = cur {
+            subs_rev.push(index.as_ref());
+            cur = base.as_ref();
+        }
+        match cur {
+            CExpr::Ident(name) if !subs_rev.is_empty() => {
+                subs_rev.reverse();
+                Some((name, subs_rev))
+            }
+            _ => None,
+        }
+    }
+
+    /// True if the expression contains an assignment or `++`/`--`
+    /// (i.e. has side effects the normalizer must lift out).
+    pub fn has_side_effects(&self) -> bool {
+        match self {
+            CExpr::IntLit(_) | CExpr::FloatLit(_) | CExpr::Ident(_) => false,
+            CExpr::Index { base, index } => base.has_side_effects() || index.has_side_effects(),
+            CExpr::Call { args, .. } => args.iter().any(CExpr::has_side_effects),
+            CExpr::Unary { op, operand } => {
+                matches!(op, UnOp::PreInc | UnOp::PreDec) || operand.has_side_effects()
+            }
+            CExpr::Postfix { .. } => true,
+            CExpr::Binary { lhs, rhs, .. } => lhs.has_side_effects() || rhs.has_side_effects(),
+            CExpr::Assign { .. } => true,
+            CExpr::Ternary { cond, then_e, else_e } => {
+                cond.has_side_effects() || then_e.has_side_effects() || else_e.has_side_effects()
+            }
+            CExpr::Cast { expr, .. } => expr.has_side_effects(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_chain_multidim() {
+        // idel[iel][0][j]
+        let e = CExpr::Index {
+            base: Box::new(CExpr::Index {
+                base: Box::new(CExpr::Index {
+                    base: Box::new(CExpr::ident("idel")),
+                    index: Box::new(CExpr::ident("iel")),
+                }),
+                index: Box::new(CExpr::IntLit(0)),
+            }),
+            index: Box::new(CExpr::ident("j")),
+        };
+        let (name, subs) = e.as_index_chain().unwrap();
+        assert_eq!(name, "idel");
+        assert_eq!(subs.len(), 3);
+        assert_eq!(subs[0], &CExpr::ident("iel"));
+        assert_eq!(subs[1], &CExpr::IntLit(0));
+        assert_eq!(subs[2], &CExpr::ident("j"));
+    }
+
+    #[test]
+    fn side_effects_detection() {
+        let clean = CExpr::bin(BinOp::Add, CExpr::ident("a"), CExpr::IntLit(1));
+        assert!(!clean.has_side_effects());
+        let post = CExpr::Postfix {
+            op: PostOp::PostInc,
+            operand: Box::new(CExpr::ident("m")),
+        };
+        assert!(post.has_side_effects());
+        let idx = CExpr::Index { base: Box::new(CExpr::ident("a")), index: Box::new(post) };
+        assert!(idx.has_side_effects());
+    }
+
+    #[test]
+    fn assign_op_binop() {
+        assert_eq!(AssignOp::AddAssign.binop(), Some(BinOp::Add));
+        assert_eq!(AssignOp::Assign.binop(), None);
+    }
+}

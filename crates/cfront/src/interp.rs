@@ -1,0 +1,564 @@
+//! A concrete interpreter for the C subset.
+//!
+//! Used by the property-based soundness harness: generated programs run
+//! both through the compile-time analysis and through this interpreter,
+//! and every property the analysis claims (monotonicity of a subscript
+//! array) is checked against the concrete execution. The interpreter is
+//! deliberately simple — recursive AST evaluation over integer and
+//! floating-point scalars and flat arrays.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer scalar.
+    Int(i64),
+    /// Floating-point scalar.
+    Double(f64),
+}
+
+impl Value {
+    /// Integer view (floats truncate, as in C).
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            Value::Double(v) => *v as i64,
+        }
+    }
+
+    /// Floating view.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::Int(v) => *v as f64,
+            Value::Double(v) => *v,
+        }
+    }
+
+    /// C truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Double(v) => *v != 0.0,
+        }
+    }
+}
+
+/// A runtime array: flat storage plus the dimension sizes for
+/// multi-dimensional indexing.
+#[derive(Debug, Clone)]
+pub struct ArrayVal {
+    /// Dimension sizes, outermost first (a 1-D array has one entry).
+    pub dims: Vec<usize>,
+    /// Flat element storage.
+    pub data: Vec<Value>,
+}
+
+impl ArrayVal {
+    /// A zero-initialized integer array.
+    pub fn int_zeros(dims: Vec<usize>) -> ArrayVal {
+        let len = dims.iter().product();
+        ArrayVal { dims, data: vec![Value::Int(0); len] }
+    }
+
+    /// A 1-D integer array from a slice.
+    pub fn from_ints(v: &[i64]) -> ArrayVal {
+        ArrayVal { dims: vec![v.len()], data: v.iter().map(|&x| Value::Int(x)).collect() }
+    }
+
+    /// A 1-D double array from a slice.
+    pub fn from_f64s(v: &[f64]) -> ArrayVal {
+        ArrayVal { dims: vec![v.len()], data: v.iter().map(|&x| Value::Double(x)).collect() }
+    }
+
+    /// The integer contents of a 1-D array.
+    pub fn to_ints(&self) -> Vec<i64> {
+        self.data.iter().map(Value::as_int).collect()
+    }
+
+    fn flat_index(&self, subs: &[i64]) -> Result<usize, InterpError> {
+        if subs.len() != self.dims.len() {
+            return Err(InterpError::new(format!(
+                "rank mismatch: {} subscripts for {} dims",
+                subs.len(),
+                self.dims.len()
+            )));
+        }
+        let mut flat = 0usize;
+        for (s, &d) in subs.iter().zip(&self.dims) {
+            if *s < 0 || *s as usize >= d {
+                return Err(InterpError::new(format!("index {s} out of bounds (dim {d})")));
+            }
+            flat = flat * d + *s as usize;
+        }
+        Ok(flat)
+    }
+}
+
+/// Interpreter failure (out-of-bounds access, unknown name, …).
+#[derive(Debug, Clone)]
+pub struct InterpError {
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl InterpError {
+    fn new(msg: impl Into<String>) -> InterpError {
+        InterpError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// The mutable machine state: scalar and array environments.
+#[derive(Debug, Clone, Default)]
+pub struct Machine {
+    /// Scalar variables.
+    pub scalars: HashMap<String, Value>,
+    /// Array variables.
+    pub arrays: HashMap<String, ArrayVal>,
+}
+
+/// Iteration budget guarding against runaway generated programs.
+const MAX_STEPS: u64 = 5_000_000;
+
+impl Machine {
+    /// An empty machine.
+    pub fn new() -> Machine {
+        Machine::default()
+    }
+
+    /// Binds an integer scalar argument.
+    pub fn set_int(&mut self, name: &str, v: i64) {
+        self.scalars.insert(name.into(), Value::Int(v));
+    }
+
+    /// Binds a double scalar argument.
+    pub fn set_double(&mut self, name: &str, v: f64) {
+        self.scalars.insert(name.into(), Value::Double(v));
+    }
+
+    /// Binds an array argument.
+    pub fn set_array(&mut self, name: &str, a: ArrayVal) {
+        self.arrays.insert(name.into(), a);
+    }
+
+    /// The current contents of an array.
+    pub fn array(&self, name: &str) -> Option<&ArrayVal> {
+        self.arrays.get(name)
+    }
+
+    /// The current value of a scalar.
+    pub fn scalar(&self, name: &str) -> Option<&Value> {
+        self.scalars.get(name)
+    }
+
+    /// Executes a function body against the pre-bound arguments. Local
+    /// declarations allocate scalars (and fixed-size arrays).
+    pub fn run(&mut self, f: &Function) -> Result<(), InterpError> {
+        let mut steps = 0u64;
+        self.exec_block(&f.body, &mut steps)
+    }
+
+    fn exec_block(&mut self, b: &Block, steps: &mut u64) -> Result<(), InterpError> {
+        for s in &b.stmts {
+            self.exec_stmt(s, steps)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, steps: &mut u64) -> Result<(), InterpError> {
+        *steps += 1;
+        if *steps > MAX_STEPS {
+            return Err(InterpError::new("step budget exceeded"));
+        }
+        match s {
+            Stmt::Decl(d) => {
+                if d.dims.is_empty() {
+                    let init = match &d.init {
+                        Some(e) => self.eval(e, steps)?,
+                        None => match d.ty {
+                            Type::Float | Type::Double => Value::Double(0.0),
+                            _ => Value::Int(0),
+                        },
+                    };
+                    self.scalars.insert(d.name.clone(), init);
+                } else {
+                    let dims: Result<Vec<usize>, _> = d
+                        .dims
+                        .iter()
+                        .map(|e| self.eval(e, steps).map(|v| v.as_int() as usize))
+                        .collect();
+                    self.arrays.insert(d.name.clone(), ArrayVal::int_zeros(dims?));
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.eval(e, steps)?;
+                Ok(())
+            }
+            Stmt::Block(b) => self.exec_block(b, steps),
+            Stmt::If { cond, then_branch, else_branch } => {
+                if self.eval(cond, steps)?.truthy() {
+                    self.exec_stmt(then_branch, steps)
+                } else if let Some(e) = else_branch {
+                    self.exec_stmt(e, steps)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::For { init, cond, step, body } => {
+                match init {
+                    ForInit::Empty => {}
+                    ForInit::Decl(d) => self.exec_stmt(&Stmt::Decl(d.clone()), steps)?,
+                    ForInit::Expr(e) => {
+                        self.eval(e, steps)?;
+                    }
+                }
+                loop {
+                    *steps += 1;
+                    if *steps > MAX_STEPS {
+                        return Err(InterpError::new("step budget exceeded"));
+                    }
+                    if let Some(c) = cond {
+                        if !self.eval(c, steps)?.truthy() {
+                            break;
+                        }
+                    }
+                    self.exec_stmt(body, steps)?;
+                    if let Some(st) = step {
+                        self.eval(st, steps)?;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                while self.eval(cond, steps)?.truthy() {
+                    *steps += 1;
+                    if *steps > MAX_STEPS {
+                        return Err(InterpError::new("step budget exceeded"));
+                    }
+                    self.exec_stmt(body, steps)?;
+                }
+                Ok(())
+            }
+            Stmt::Return(_) | Stmt::Break | Stmt::Continue => {
+                // The analysis subset rejects these inside analyzed loops;
+                // the interpreter treats them as unsupported.
+                Err(InterpError::new("return/break/continue not supported"))
+            }
+            Stmt::Pragma(_) | Stmt::Empty => Ok(()),
+        }
+    }
+
+    fn eval(&mut self, e: &CExpr, steps: &mut u64) -> Result<Value, InterpError> {
+        *steps += 1;
+        if *steps > MAX_STEPS {
+            return Err(InterpError::new("step budget exceeded"));
+        }
+        match e {
+            CExpr::IntLit(v) => Ok(Value::Int(*v)),
+            CExpr::FloatLit(v) => Ok(Value::Double(*v)),
+            CExpr::Ident(n) => self
+                .scalars
+                .get(n)
+                .cloned()
+                .ok_or_else(|| InterpError::new(format!("unknown scalar {n}"))),
+            CExpr::Index { .. } => {
+                let (name, subs) = self.resolve_access(e, steps)?;
+                let arr = self
+                    .arrays
+                    .get(&name)
+                    .ok_or_else(|| InterpError::new(format!("unknown array {name}")))?;
+                let flat = arr.flat_index(&subs)?;
+                Ok(arr.data[flat].clone())
+            }
+            CExpr::Call { name, args } => {
+                let vals: Result<Vec<Value>, _> =
+                    args.iter().map(|a| self.eval(a, steps)).collect();
+                let vals = vals?;
+                let x = vals.first().map(Value::as_f64).unwrap_or(0.0);
+                let y = vals.get(1).map(Value::as_f64).unwrap_or(0.0);
+                let out = match name.as_str() {
+                    "exp" => x.exp(),
+                    "log" => x.ln(),
+                    "sqrt" => x.sqrt(),
+                    "fabs" => x.abs(),
+                    "sin" => x.sin(),
+                    "cos" => x.cos(),
+                    "pow" => x.powf(y),
+                    "fmax" => x.max(y),
+                    "fmin" => x.min(y),
+                    "floor" => x.floor(),
+                    "ceil" => x.ceil(),
+                    "abs" | "labs" => {
+                        return Ok(Value::Int(vals[0].as_int().abs()));
+                    }
+                    other => {
+                        return Err(InterpError::new(format!("unsupported call {other}")))
+                    }
+                };
+                Ok(Value::Double(out))
+            }
+            CExpr::Unary { op, operand } => match op {
+                UnOp::Neg => {
+                    let v = self.eval(operand, steps)?;
+                    Ok(match v {
+                        Value::Int(x) => Value::Int(-x),
+                        Value::Double(x) => Value::Double(-x),
+                    })
+                }
+                UnOp::Not => Ok(Value::Int(i64::from(!self.eval(operand, steps)?.truthy()))),
+                UnOp::PreInc | UnOp::PreDec => {
+                    let delta = if *op == UnOp::PreInc { 1 } else { -1 };
+                    let new = Value::Int(self.eval(operand, steps)?.as_int() + delta);
+                    self.assign_to(operand, new.clone(), steps)?;
+                    Ok(new)
+                }
+            },
+            CExpr::Postfix { op, operand } => {
+                let old = self.eval(operand, steps)?;
+                let delta = if *op == PostOp::PostInc { 1 } else { -1 };
+                self.assign_to(operand, Value::Int(old.as_int() + delta), steps)?;
+                Ok(old)
+            }
+            CExpr::Binary { op, lhs, rhs } => {
+                // Short-circuit logical operators.
+                if *op == BinOp::And {
+                    let l = self.eval(lhs, steps)?;
+                    if !l.truthy() {
+                        return Ok(Value::Int(0));
+                    }
+                    return Ok(Value::Int(i64::from(self.eval(rhs, steps)?.truthy())));
+                }
+                if *op == BinOp::Or {
+                    let l = self.eval(lhs, steps)?;
+                    if l.truthy() {
+                        return Ok(Value::Int(1));
+                    }
+                    return Ok(Value::Int(i64::from(self.eval(rhs, steps)?.truthy())));
+                }
+                let l = self.eval(lhs, steps)?;
+                let r = self.eval(rhs, steps)?;
+                let both_int = matches!((&l, &r), (Value::Int(_), Value::Int(_)));
+                let out = if both_int {
+                    let (a, b) = (l.as_int(), r.as_int());
+                    match op {
+                        BinOp::Add => Value::Int(a.wrapping_add(b)),
+                        BinOp::Sub => Value::Int(a.wrapping_sub(b)),
+                        BinOp::Mul => Value::Int(a.wrapping_mul(b)),
+                        BinOp::Div => {
+                            if b == 0 {
+                                return Err(InterpError::new("division by zero"));
+                            }
+                            Value::Int(a / b)
+                        }
+                        BinOp::Mod => {
+                            if b == 0 {
+                                return Err(InterpError::new("mod by zero"));
+                            }
+                            Value::Int(a % b)
+                        }
+                        BinOp::Lt => Value::Int(i64::from(a < b)),
+                        BinOp::Le => Value::Int(i64::from(a <= b)),
+                        BinOp::Gt => Value::Int(i64::from(a > b)),
+                        BinOp::Ge => Value::Int(i64::from(a >= b)),
+                        BinOp::Eq => Value::Int(i64::from(a == b)),
+                        BinOp::Ne => Value::Int(i64::from(a != b)),
+                        BinOp::And | BinOp::Or => unreachable!(),
+                    }
+                } else {
+                    let (a, b) = (l.as_f64(), r.as_f64());
+                    match op {
+                        BinOp::Add => Value::Double(a + b),
+                        BinOp::Sub => Value::Double(a - b),
+                        BinOp::Mul => Value::Double(a * b),
+                        BinOp::Div => Value::Double(a / b),
+                        BinOp::Mod => Value::Double(a % b),
+                        BinOp::Lt => Value::Int(i64::from(a < b)),
+                        BinOp::Le => Value::Int(i64::from(a <= b)),
+                        BinOp::Gt => Value::Int(i64::from(a > b)),
+                        BinOp::Ge => Value::Int(i64::from(a >= b)),
+                        BinOp::Eq => Value::Int(i64::from(a == b)),
+                        BinOp::Ne => Value::Int(i64::from(a != b)),
+                        BinOp::And | BinOp::Or => unreachable!(),
+                    }
+                };
+                Ok(out)
+            }
+            CExpr::Assign { op, lhs, rhs } => {
+                let value = match op.binop() {
+                    None => self.eval(rhs, steps)?,
+                    Some(b) => {
+                        let combined = CExpr::bin(b, (**lhs).clone(), (**rhs).clone());
+                        self.eval(&combined, steps)?
+                    }
+                };
+                self.assign_to(lhs, value.clone(), steps)?;
+                Ok(value)
+            }
+            CExpr::Ternary { cond, then_e, else_e } => {
+                if self.eval(cond, steps)?.truthy() {
+                    self.eval(then_e, steps)
+                } else {
+                    self.eval(else_e, steps)
+                }
+            }
+            CExpr::Cast { ty, expr } => {
+                let v = self.eval(expr, steps)?;
+                Ok(match ty {
+                    Type::Float | Type::Double => Value::Double(v.as_f64()),
+                    _ => Value::Int(v.as_int()),
+                })
+            }
+        }
+    }
+
+    fn resolve_access(
+        &mut self,
+        e: &CExpr,
+        steps: &mut u64,
+    ) -> Result<(String, Vec<i64>), InterpError> {
+        let (name, subs) = e
+            .as_index_chain()
+            .ok_or_else(|| InterpError::new("unsupported lvalue"))?;
+        let name = name.to_string();
+        let idx: Result<Vec<i64>, _> = subs
+            .iter()
+            .map(|s| self.eval(s, steps).map(|v| v.as_int()))
+            .collect();
+        Ok((name, idx?))
+    }
+
+    fn assign_to(
+        &mut self,
+        lhs: &CExpr,
+        value: Value,
+        steps: &mut u64,
+    ) -> Result<(), InterpError> {
+        match lhs {
+            CExpr::Ident(n) => {
+                self.scalars.insert(n.clone(), value);
+                Ok(())
+            }
+            CExpr::Index { .. } => {
+                let (name, subs) = self.resolve_access(lhs, steps)?;
+                let arr = self
+                    .arrays
+                    .get_mut(&name)
+                    .ok_or_else(|| InterpError::new(format!("unknown array {name}")))?;
+                let flat = arr.flat_index(&subs)?;
+                arr.data[flat] = value;
+                Ok(())
+            }
+            _ => Err(InterpError::new("unsupported assignment target")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn run_with(src: &str, setup: impl FnOnce(&mut Machine)) -> Machine {
+        let p = parse_program(src).unwrap();
+        let mut m = Machine::new();
+        setup(&mut m);
+        m.run(&p.funcs[0]).unwrap();
+        m
+    }
+
+    #[test]
+    fn amgmk_fill_executes() {
+        let m = run_with(
+            r#"
+            void f(int num_rows, int *A_i, int *A_rownnz) {
+                int i; int adiag; int irownnz;
+                irownnz = 0;
+                for (i = 0; i < num_rows; i++) {
+                    adiag = A_i[i+1] - A_i[i];
+                    if (adiag > 0)
+                        A_rownnz[irownnz++] = i;
+                }
+            }
+            "#,
+            |m| {
+                m.set_int("num_rows", 5);
+                m.set_array("A_i", ArrayVal::from_ints(&[0, 2, 2, 5, 5, 9]));
+                m.set_array("A_rownnz", ArrayVal::int_zeros(vec![5]));
+            },
+        );
+        // Rows 0, 2, 4 have nonzeros.
+        assert_eq!(m.array("A_rownnz").unwrap().to_ints()[..3], [0, 2, 4]);
+        assert_eq!(m.scalar("irownnz").unwrap().as_int(), 3);
+    }
+
+    #[test]
+    fn multidim_indexing() {
+        let m = run_with(
+            r#"
+            void f(int a[3][4]) {
+                int i; int j;
+                for (i = 0; i < 3; i++)
+                    for (j = 0; j < 4; j++)
+                        a[i][j] = i * 10 + j;
+            }
+            "#,
+            |m| m.set_array("a", ArrayVal::int_zeros(vec![3, 4])),
+        );
+        let a = m.array("a").unwrap();
+        assert_eq!(a.data[a.flat_index(&[2, 3]).unwrap()].as_int(), 23);
+    }
+
+    #[test]
+    fn float_arithmetic_and_calls() {
+        let m = run_with(
+            "void f(double *y) { y[0] = exp(0.0) + sqrt(4.0); }",
+            |m| m.set_array("y", ArrayVal::from_f64s(&[0.0])),
+        );
+        assert!((m.array("y").unwrap().data[0].as_f64() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_bounds_is_error() {
+        let p = parse_program("void f(int *a) { a[10] = 1; }").unwrap();
+        let mut m = Machine::new();
+        m.set_array("a", ArrayVal::int_zeros(vec![3]));
+        assert!(m.run(&p.funcs[0]).is_err());
+    }
+
+    #[test]
+    fn compound_assign_and_postfix() {
+        let m = run_with(
+            "void f() { int x; int y; x = 3; x += 4; y = x++; }",
+            |_| {},
+        );
+        assert_eq!(m.scalar("x").unwrap().as_int(), 8);
+        assert_eq!(m.scalar("y").unwrap().as_int(), 7);
+    }
+
+    #[test]
+    fn while_and_logical_ops() {
+        let m = run_with(
+            "void f(int n) { int k; int hits; k = 0; hits = 0; while (k < n && k >= 0) { if (k > 2 || k == 0) hits = hits + 1; k = k + 1; } }",
+            |m| m.set_int("n", 6),
+        );
+        assert_eq!(m.scalar("hits").unwrap().as_int(), 4); // k = 0,3,4,5
+    }
+
+    #[test]
+    fn step_budget_stops_infinite_loop() {
+        let p = parse_program("void f() { int x; x = 0; while (1 < 2) { x = x + 1; } }").unwrap();
+        let mut m = Machine::new();
+        assert!(m.run(&p.funcs[0]).is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! Hand-written lexer for the C subset.
+
+use std::fmt;
+
+/// Kinds of tokens produced by [`lex`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// A full `#pragma …` line (text after `#pragma`).
+    Pragma(String),
+    /// Punctuation or operator, e.g. `"+="`, `"("`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Pragma(s) => write!(f, "#pragma {s}"),
+            TokenKind::Punct(s) => write!(f, "{s}"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A lexical error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character punctuation, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "++", "--", "+=", "-=", "*=", "/=", "%=", "==", "!=", "<=", ">=", "&&", "||",
+    "<<", ">>", "->", "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~", "?", ":",
+    ";", ",", ".", "(", ")", "[", "]", "{", "}",
+];
+
+/// Tokenizes `src`, skipping whitespace and `//`/`/* */` comments and
+/// capturing `#pragma` lines as single tokens (other `#` directives are
+/// skipped).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            match bytes[i + 1] as char {
+                '/' => {
+                    while i < bytes.len() && bytes[i] as char != '\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                '*' => {
+                    i += 2;
+                    loop {
+                        if i + 1 >= bytes.len() {
+                            return Err(LexError { msg: "unterminated comment".into(), line });
+                        }
+                        if bytes[i] as char == '\n' {
+                            line += 1;
+                        }
+                        if bytes[i] as char == '*' && bytes[i + 1] as char == '/' {
+                            i += 2;
+                            break;
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Preprocessor lines.
+        if c == '#' {
+            let start = i;
+            while i < bytes.len() && bytes[i] as char != '\n' {
+                i += 1;
+            }
+            let text = &src[start..i];
+            if let Some(rest) = text.strip_prefix("#pragma") {
+                out.push(Token { kind: TokenKind::Pragma(rest.trim().to_string()), line });
+            }
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len() {
+                let d = bytes[i] as char;
+                if d.is_ascii_digit() {
+                    i += 1;
+                } else if d == '.' && !is_float {
+                    is_float = true;
+                    i += 1;
+                } else if (d == 'e' || d == 'E')
+                    && i + 1 < bytes.len()
+                    && ((bytes[i + 1] as char).is_ascii_digit()
+                        || bytes[i + 1] as char == '-'
+                        || bytes[i + 1] as char == '+')
+                {
+                    is_float = true;
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            // Suffixes (f, L, u…) are consumed and ignored.
+            while i < bytes.len() && matches!(bytes[i] as char, 'f' | 'F' | 'l' | 'L' | 'u' | 'U') {
+                if matches!(bytes[i] as char, 'f' | 'F') {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text: String = src[start..i]
+                .trim_end_matches(|ch: char| ch.is_ascii_alphabetic())
+                .to_string();
+            let kind = if is_float {
+                TokenKind::Float(text.parse::<f64>().map_err(|e| LexError {
+                    msg: format!("bad float literal {text:?}: {e}"),
+                    line,
+                })?)
+            } else {
+                TokenKind::Int(text.parse::<i64>().map_err(|e| LexError {
+                    msg: format!("bad int literal {text:?}: {e}"),
+                    line,
+                })?)
+            };
+            out.push(Token { kind, line });
+            continue;
+        }
+        // Identifiers.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] as char == '_')
+            {
+                i += 1;
+            }
+            out.push(Token { kind: TokenKind::Ident(src[start..i].to_string()), line });
+            continue;
+        }
+        // Punctuation (maximal munch).
+        let rest = &src[i..];
+        if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) {
+            out.push(Token { kind: TokenKind::Punct(p), line });
+            i += p.len();
+            continue;
+        }
+        return Err(LexError { msg: format!("unexpected character {c:?}"), line });
+    }
+    out.push(Token { kind: TokenKind::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let ks = kinds("a = b + 42;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("="),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct("+"),
+                TokenKind::Int(42),
+                TokenKind::Punct(";"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch() {
+        let ks = kinds("m++; x<=y; p+=1;");
+        assert!(ks.contains(&TokenKind::Punct("++")));
+        assert!(ks.contains(&TokenKind::Punct("<=")));
+        assert!(ks.contains(&TokenKind::Punct("+=")));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("a /* comment \n more */ = 1; // trailing\nb = 2;");
+        assert_eq!(ks.iter().filter(|k| matches!(k, TokenKind::Int(_))).count(), 2);
+    }
+
+    #[test]
+    fn float_literals() {
+        let ks = kinds("x = 1.5; y = 2e3; z = 3.0f;");
+        let floats: Vec<f64> = ks
+            .iter()
+            .filter_map(|k| if let TokenKind::Float(v) = k { Some(*v) } else { None })
+            .collect();
+        assert_eq!(floats, vec![1.5, 2000.0, 3.0]);
+    }
+
+    #[test]
+    fn pragma_line_captured() {
+        let ks = kinds("#pragma omp parallel for\nfor(;;) ;");
+        assert_eq!(ks[0], TokenKind::Pragma("omp parallel for".into()));
+    }
+
+    #[test]
+    fn include_skipped() {
+        let ks = kinds("#include <stdio.h>\nint x;");
+        assert_eq!(ks[0], TokenKind::Ident("int".into()));
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let ts = lex("a;\nb;\nc;").unwrap();
+        let lines: Vec<u32> = ts
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Ident(_)))
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(lex("a = $;").is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! A C-subset frontend: lexer, recursive-descent parser, AST and printer.
+//!
+//! This crate substitutes for the Cetus compiler frontend used by the paper
+//! *Recurrence Analysis for Automatic Parallelization of Subscripted
+//! Subscripts* (PPoPP'24). It covers the C fragment the paper's benchmark
+//! kernels are written in: functions, scalar and (multi-dimensional) array
+//! declarations, `for`/`while`/`if`, assignment operators (`=`, `+=`, …),
+//! increment/decrement (`m++`, `++ind`), subscripted subscripts
+//! (`y[ind[j]]`), calls, and `#pragma` lines.
+//!
+//! # Example
+//!
+//! ```
+//! use subsub_cfront::parse_program;
+//!
+//! let src = r#"
+//! void fill(int n, int *a) {
+//!     int p;
+//!     int i;
+//!     p = 0;
+//!     for (i = 0; i < n; i++) {
+//!         a[i] = p;
+//!         p = p + 1;
+//!     }
+//! }
+//! "#;
+//! let prog = parse_program(src).unwrap();
+//! assert_eq!(prog.funcs.len(), 1);
+//! assert_eq!(prog.funcs[0].name, "fill");
+//! ```
+
+pub mod ast;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{
+    AssignOp, BinOp, Block, CExpr, Decl, ForInit, Function, Param, PostOp, Program, Stmt, Type,
+    UnOp,
+};
+pub use interp::{ArrayVal, InterpError, Machine, Value};
+pub use lexer::{lex, LexError, Token, TokenKind};
+pub use parser::{parse_expr, parse_program, parse_stmt, ParseError};
+
+/// Parses a program and panics with the parser diagnostic on failure.
+/// Convenient for embedding kernel sources in tests and benchmarks.
+pub fn parse_program_unwrap(src: &str) -> Program {
+    match parse_program(src) {
+        Ok(p) => p,
+        Err(e) => panic!("parse error: {e}"),
+    }
+}

@@ -1,0 +1,818 @@
+//! Recursive-descent parser for the C subset.
+
+use crate::ast::*;
+use crate::lexer::{lex, Token, TokenKind};
+use std::fmt;
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+/// Parses a full translation unit.
+pub fn parse_program(src: &str) -> PResult<Program> {
+    let toks = lex(src).map_err(|e| ParseError { msg: e.msg, line: e.line })?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+/// Parses a single statement (for tests and embedded snippets).
+pub fn parse_stmt(src: &str) -> PResult<Stmt> {
+    let toks = lex(src).map_err(|e| ParseError { msg: e.msg, line: e.line })?;
+    let mut p = Parser { toks, pos: 0 };
+    let s = p.statement()?;
+    p.expect_eof()?;
+    Ok(s)
+}
+
+/// Parses a single expression (for tests and embedded snippets).
+pub fn parse_expr(src: &str) -> PResult<CExpr> {
+    let toks = lex(src).map_err(|e| ParseError { msg: e.msg, line: e.line })?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(ParseError { msg: msg.into(), line: self.line() })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> PResult<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) if !is_keyword(&s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    fn expect_eof(&mut self) -> PResult<()> {
+        // Trailing semicolons are tolerated in snippet parsing.
+        while self.eat_punct(";") {}
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            self.err(format!("trailing input starting at `{}`", self.peek()))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Types & declarations
+    // ------------------------------------------------------------------
+
+    fn peek_type(&self) -> Option<Type> {
+        match self.peek() {
+            TokenKind::Ident(s) => match s.as_str() {
+                "int" => Some(Type::Int),
+                "long" => Some(Type::Long),
+                "float" => Some(Type::Float),
+                "double" => Some(Type::Double),
+                "void" => Some(Type::Void),
+                "unsigned" | "const" | "static" | "register" => Some(Type::Int), // qualifiers folded
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn parse_type(&mut self) -> PResult<Type> {
+        // Consume qualifiers then one base type keyword (possibly "long long").
+        let mut ty = None;
+        loop {
+            match self.peek() {
+                TokenKind::Ident(s) => match s.as_str() {
+                    "const" | "static" | "unsigned" | "signed" | "register" => {
+                        self.bump();
+                    }
+                    "int" => {
+                        self.bump();
+                        ty = Some(ty.unwrap_or(Type::Int));
+                    }
+                    "long" => {
+                        self.bump();
+                        ty = Some(Type::Long);
+                    }
+                    "float" => {
+                        self.bump();
+                        ty = Some(Type::Float);
+                    }
+                    "double" => {
+                        self.bump();
+                        ty = Some(Type::Double);
+                    }
+                    "void" => {
+                        self.bump();
+                        ty = Some(Type::Void);
+                    }
+                    _ => break,
+                },
+                _ => break,
+            }
+            if ty.is_some() && !matches!(self.peek(), TokenKind::Ident(s) if s == "int" || s == "long")
+            {
+                break;
+            }
+        }
+        match ty {
+            Some(t) => Ok(t),
+            None => self.err("expected type"),
+        }
+    }
+
+    fn pointer_depth(&mut self) -> usize {
+        let mut d = 0;
+        while self.eat_punct("*") {
+            d += 1;
+        }
+        d
+    }
+
+    /// Parses the declarators after a type, producing one `Decl` each.
+    fn declarators(&mut self, ty: Type) -> PResult<Vec<Decl>> {
+        let mut out = Vec::new();
+        loop {
+            let pointer = self.pointer_depth();
+            let name = self.expect_ident()?;
+            let mut dims = Vec::new();
+            while self.eat_punct("[") {
+                let d = self.expr()?;
+                self.expect_punct("]")?;
+                dims.push(d);
+            }
+            let init = if self.eat_punct("=") { Some(self.assign_expr()?) } else { None };
+            out.push(Decl { ty: ty.clone(), pointer, name, dims, init });
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(";")?;
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Program structure
+    // ------------------------------------------------------------------
+
+    fn program(&mut self) -> PResult<Program> {
+        let mut prog = Program { globals: Vec::new(), funcs: Vec::new() };
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Pragma(_) => {
+                    self.bump(); // file-scope pragmas ignored
+                }
+                _ => {
+                    let ty = self.parse_type()?;
+                    let pointer = self.pointer_depth();
+                    let name = self.expect_ident()?;
+                    if matches!(self.peek(), TokenKind::Punct("(")) {
+                        prog.funcs.push(self.function(ty, name)?);
+                    } else {
+                        // Global declaration; re-parse remaining declarators.
+                        let mut dims = Vec::new();
+                        while self.eat_punct("[") {
+                            let d = self.expr()?;
+                            self.expect_punct("]")?;
+                            dims.push(d);
+                        }
+                        let init =
+                            if self.eat_punct("=") { Some(self.assign_expr()?) } else { None };
+                        prog.globals.push(Decl { ty: ty.clone(), pointer, name, dims, init });
+                        while self.eat_punct(",") {
+                            let pointer = self.pointer_depth();
+                            let name = self.expect_ident()?;
+                            let mut dims = Vec::new();
+                            while self.eat_punct("[") {
+                                let d = self.expr()?;
+                                self.expect_punct("]")?;
+                                dims.push(d);
+                            }
+                            let init =
+                                if self.eat_punct("=") { Some(self.assign_expr()?) } else { None };
+                            prog.globals.push(Decl { ty: ty.clone(), pointer, name, dims, init });
+                        }
+                        self.expect_punct(";")?;
+                    }
+                }
+            }
+        }
+        Ok(prog)
+    }
+
+    fn function(&mut self, ret: Type, name: String) -> PResult<Function> {
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                if self.eat_ident("void") && matches!(self.peek(), TokenKind::Punct(")")) {
+                    // `(void)` parameter list
+                } else {
+                    let ty = self.parse_type()?;
+                    let pointer = self.pointer_depth();
+                    let pname = self.expect_ident()?;
+                    let mut dims = Vec::new();
+                    while self.eat_punct("[") {
+                        if self.eat_punct("]") {
+                            dims.push(None);
+                        } else {
+                            let d = self.expr()?;
+                            self.expect_punct("]")?;
+                            dims.push(Some(d));
+                        }
+                    }
+                    params.push(Param { ty, pointer, name: pname, dims });
+                }
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        let body = self.block()?;
+        Ok(Function { ret, name, params, body })
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn block(&mut self) -> PResult<Block> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek(), TokenKind::Eof) {
+                return self.err("unexpected end of input in block");
+            }
+            stmts.push(self.statement()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn statement(&mut self) -> PResult<Stmt> {
+        if let TokenKind::Pragma(text) = self.peek().clone() {
+            self.bump();
+            return Ok(Stmt::Pragma(text));
+        }
+        match self.peek() {
+            TokenKind::Punct("{") => Ok(Stmt::Block(self.block()?)),
+            TokenKind::Punct(";") => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            TokenKind::Ident(s) => match s.as_str() {
+                "if" => self.if_stmt(),
+                "for" => self.for_stmt(),
+                "while" => self.while_stmt(),
+                "return" => {
+                    self.bump();
+                    if self.eat_punct(";") {
+                        Ok(Stmt::Return(None))
+                    } else {
+                        let e = self.expr()?;
+                        self.expect_punct(";")?;
+                        Ok(Stmt::Return(Some(e)))
+                    }
+                }
+                "break" => {
+                    self.bump();
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Break)
+                }
+                "continue" => {
+                    self.bump();
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Continue)
+                }
+                _ => {
+                    if self.peek_type().is_some() {
+                        let ty = self.parse_type()?;
+                        let mut decls = self.declarators(ty)?;
+                        if decls.len() == 1 {
+                            Ok(Stmt::Decl(decls.pop().unwrap()))
+                        } else {
+                            Ok(Stmt::Block(Block {
+                                stmts: decls.into_iter().map(Stmt::Decl).collect(),
+                            }))
+                        }
+                    } else {
+                        let e = self.expr()?;
+                        self.expect_punct(";")?;
+                        Ok(Stmt::Expr(e))
+                    }
+                }
+            },
+            _ => {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> PResult<Stmt> {
+        self.bump(); // `if`
+        self.expect_punct("(")?;
+        let cond = self.expr()?;
+        self.expect_punct(")")?;
+        let then_branch = Box::new(self.statement()?);
+        let else_branch = if self.eat_ident("else") {
+            Some(Box::new(self.statement()?))
+        } else {
+            None
+        };
+        Ok(Stmt::If { cond, then_branch, else_branch })
+    }
+
+    fn for_stmt(&mut self) -> PResult<Stmt> {
+        self.bump(); // `for`
+        self.expect_punct("(")?;
+        let init = if self.eat_punct(";") {
+            ForInit::Empty
+        } else if self.peek_type().is_some() {
+            let ty = self.parse_type()?;
+            let pointer = self.pointer_depth();
+            let name = self.expect_ident()?;
+            let init = if self.eat_punct("=") { Some(self.assign_expr()?) } else { None };
+            self.expect_punct(";")?;
+            ForInit::Decl(Decl { ty, pointer, name, dims: Vec::new(), init })
+        } else {
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            ForInit::Expr(e)
+        };
+        let cond = if self.eat_punct(";") {
+            None
+        } else {
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            Some(e)
+        };
+        let step = if matches!(self.peek(), TokenKind::Punct(")")) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect_punct(")")?;
+        let body = Box::new(self.statement()?);
+        Ok(Stmt::For { init, cond, step, body })
+    }
+
+    fn while_stmt(&mut self) -> PResult<Stmt> {
+        self.bump(); // `while`
+        self.expect_punct("(")?;
+        let cond = self.expr()?;
+        self.expect_punct(")")?;
+        let body = Box::new(self.statement()?);
+        Ok(Stmt::While { cond, body })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> PResult<CExpr> {
+        // Comma operator is not supported except in call argument lists,
+        // where it is handled explicitly; `expr` == assignment expression.
+        self.assign_expr()
+    }
+
+    fn assign_expr(&mut self) -> PResult<CExpr> {
+        let lhs = self.ternary()?;
+        let op = match self.peek() {
+            TokenKind::Punct("=") => Some(AssignOp::Assign),
+            TokenKind::Punct("+=") => Some(AssignOp::AddAssign),
+            TokenKind::Punct("-=") => Some(AssignOp::SubAssign),
+            TokenKind::Punct("*=") => Some(AssignOp::MulAssign),
+            TokenKind::Punct("/=") => Some(AssignOp::DivAssign),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.assign_expr()?; // right-associative
+            Ok(CExpr::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn ternary(&mut self) -> PResult<CExpr> {
+        let cond = self.binary(0)?;
+        if self.eat_punct("?") {
+            let then_e = self.expr()?;
+            self.expect_punct(":")?;
+            let else_e = self.ternary()?;
+            Ok(CExpr::Ternary {
+                cond: Box::new(cond),
+                then_e: Box::new(then_e),
+                else_e: Box::new(else_e),
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binop_at(&self, level: usize) -> Option<BinOp> {
+        let p = match self.peek() {
+            TokenKind::Punct(p) => *p,
+            _ => return None,
+        };
+        let (op, op_level) = match p {
+            "||" => (BinOp::Or, 0),
+            "&&" => (BinOp::And, 1),
+            "==" => (BinOp::Eq, 2),
+            "!=" => (BinOp::Ne, 2),
+            "<" => (BinOp::Lt, 3),
+            "<=" => (BinOp::Le, 3),
+            ">" => (BinOp::Gt, 3),
+            ">=" => (BinOp::Ge, 3),
+            "+" => (BinOp::Add, 4),
+            "-" => (BinOp::Sub, 4),
+            "*" => (BinOp::Mul, 5),
+            "/" => (BinOp::Div, 5),
+            "%" => (BinOp::Mod, 5),
+            _ => return None,
+        };
+        (op_level == level).then_some(op)
+    }
+
+    fn binary(&mut self, level: usize) -> PResult<CExpr> {
+        if level > 5 {
+            return self.unary();
+        }
+        let mut lhs = self.binary(level + 1)?;
+        while let Some(op) = self.binop_at(level) {
+            self.bump();
+            let rhs = self.binary(level + 1)?;
+            lhs = CExpr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> PResult<CExpr> {
+        match self.peek() {
+            TokenKind::Punct("-") => {
+                self.bump();
+                Ok(CExpr::Unary { op: UnOp::Neg, operand: Box::new(self.unary()?) })
+            }
+            TokenKind::Punct("!") => {
+                self.bump();
+                Ok(CExpr::Unary { op: UnOp::Not, operand: Box::new(self.unary()?) })
+            }
+            TokenKind::Punct("+") => {
+                self.bump();
+                self.unary()
+            }
+            TokenKind::Punct("++") => {
+                self.bump();
+                Ok(CExpr::Unary { op: UnOp::PreInc, operand: Box::new(self.unary()?) })
+            }
+            TokenKind::Punct("--") => {
+                self.bump();
+                Ok(CExpr::Unary { op: UnOp::PreDec, operand: Box::new(self.unary()?) })
+            }
+            TokenKind::Punct("(") => {
+                // Either a cast or a parenthesized expression.
+                let save = self.pos;
+                self.bump();
+                if let Some(ty) = self.peek_type() {
+                    self.parse_type()?;
+                    let _ptr = self.pointer_depth();
+                    if self.eat_punct(")") {
+                        let inner = self.unary()?;
+                        return Ok(CExpr::Cast { ty, expr: Box::new(inner) });
+                    }
+                }
+                self.pos = save;
+                self.postfix_chain()
+            }
+            _ => self.postfix_chain(),
+        }
+    }
+
+    fn postfix_chain(&mut self) -> PResult<CExpr> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::Punct("[") => {
+                    self.bump();
+                    let ix = self.expr()?;
+                    self.expect_punct("]")?;
+                    e = CExpr::Index { base: Box::new(e), index: Box::new(ix) };
+                }
+                TokenKind::Punct("++") => {
+                    self.bump();
+                    e = CExpr::Postfix { op: PostOp::PostInc, operand: Box::new(e) };
+                }
+                TokenKind::Punct("--") => {
+                    self.bump();
+                    e = CExpr::Postfix { op: PostOp::PostDec, operand: Box::new(e) };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> PResult<CExpr> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(CExpr::IntLit(v))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(CExpr::FloatLit(v))
+            }
+            TokenKind::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if is_keyword(&name) {
+                    return self.err(format!("unexpected keyword `{name}` in expression"));
+                }
+                self.bump();
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.assign_expr()?);
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                        self.expect_punct(")")?;
+                    }
+                    Ok(CExpr::Call { name, args })
+                } else {
+                    Ok(CExpr::Ident(name))
+                }
+            }
+            other => self.err(format!("unexpected token `{other}` in expression")),
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "for"
+            | "while"
+            | "return"
+            | "break"
+            | "continue"
+            | "int"
+            | "long"
+            | "float"
+            | "double"
+            | "void"
+            | "const"
+            | "static"
+            | "unsigned"
+            | "signed"
+            | "register"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_assignment() {
+        let e = parse_expr("a = b + 2 * c").unwrap();
+        match e {
+            CExpr::Assign { op: AssignOp::Assign, rhs, .. } => match *rhs {
+                CExpr::Binary { op: BinOp::Add, .. } => {}
+                other => panic!("bad precedence: {other:?}"),
+            },
+            other => panic!("not an assignment: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            CExpr::bin(
+                BinOp::Add,
+                CExpr::IntLit(1),
+                CExpr::bin(BinOp::Mul, CExpr::IntLit(2), CExpr::IntLit(3))
+            )
+        );
+    }
+
+    #[test]
+    fn subscripted_subscript() {
+        let e = parse_expr("y[ind[j]]").unwrap();
+        let (base, subs) = e.as_index_chain().unwrap();
+        assert_eq!(base, "y");
+        assert_eq!(subs.len(), 1);
+        let (inner, isubs) = subs[0].as_index_chain().unwrap();
+        assert_eq!(inner, "ind");
+        assert_eq!(isubs.len(), 1);
+    }
+
+    #[test]
+    fn postincrement_subscript() {
+        let s = parse_stmt("ind[m++] = j;").unwrap();
+        match s {
+            Stmt::Expr(CExpr::Assign { lhs, .. }) => match *lhs {
+                CExpr::Index { index, .. } => {
+                    assert!(matches!(*index, CExpr::Postfix { op: PostOp::PostInc, .. }))
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_loop_with_decl_init() {
+        let s = parse_stmt("for (int i = 0; i < n; i++) { a[i] = i; }").unwrap();
+        match s {
+            Stmt::For { init: ForInit::Decl(d), cond: Some(_), step: Some(_), .. } => {
+                assert_eq!(d.name, "i");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_chain() {
+        let s = parse_stmt("if (a < b) x = 1; else if (a > b) x = 2; else x = 3;").unwrap();
+        match s {
+            Stmt::If { else_branch: Some(e), .. } => {
+                assert!(matches!(*e, Stmt::If { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn amgmk_fill_loop_parses() {
+        let src = r#"
+        void fill(int num_rows, int *A_i, int *A_rownnz) {
+            int i;
+            int adiag;
+            int irownnz;
+            irownnz = 0;
+            for (i = 0; i < num_rows; i++) {
+                adiag = A_i[i+1] - A_i[i];
+                if (adiag > 0)
+                    A_rownnz[irownnz++] = i;
+            }
+        }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.funcs[0].params.len(), 3);
+        assert_eq!(p.funcs[0].params[1].pointer, 1);
+    }
+
+    #[test]
+    fn ua_multidim_parses() {
+        let src = r#"
+        void init(int idel[10][6][5][5]) {
+            int iel; int j; int i; int ntemp;
+            for (iel = 0; iel < 10; iel++) {
+                ntemp = 125 * iel;
+                for (j = 0; j < 5; j++) {
+                    for (i = 0; i < 5; i++) {
+                        idel[iel][0][j][i] = ntemp + i*5 + j*25 + 4;
+                        idel[iel][1][j][i] = ntemp + i*5 + j*25;
+                    }
+                }
+            }
+        }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.funcs[0].params[0].dims.len(), 4);
+    }
+
+    #[test]
+    fn pragma_inside_block() {
+        let src = r#"
+        void f(int n, double *x) {
+            int i;
+            #pragma omp parallel for
+            for (i = 0; i < n; i++) x[i] = 0.0;
+        }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert!(matches!(&p.funcs[0].body.stmts[1], Stmt::Pragma(t) if t == "omp parallel for"));
+    }
+
+    #[test]
+    fn cast_expression() {
+        let e = parse_expr("(double) n * 0.5").unwrap();
+        assert!(matches!(e, CExpr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn call_with_args() {
+        let e = parse_expr("exp(-((x - t) * (x - t)) / sigma2)").unwrap();
+        assert!(matches!(e, CExpr::Call { ref name, ref args } if name == "exp" && args.len() == 1));
+    }
+
+    #[test]
+    fn global_declarations() {
+        let p = parse_program("int n = 100;\ndouble buf[256];\nvoid f() { }").unwrap();
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[1].dims.len(), 1);
+    }
+
+    #[test]
+    fn multi_declarator_statement_splits() {
+        let s = parse_stmt("int a, b, c;").unwrap();
+        match s {
+            Stmt::Block(b) => assert_eq!(b.stmts.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_program("void f() {\n  a = ;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn ternary_expression() {
+        let e = parse_expr("a < b ? a : b").unwrap();
+        assert!(matches!(e, CExpr::Ternary { .. }));
+    }
+
+    #[test]
+    fn while_loop() {
+        let s = parse_stmt("while (k < n) { k = k + 1; }").unwrap();
+        assert!(matches!(s, Stmt::While { .. }));
+    }
+}

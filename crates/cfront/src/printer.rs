@@ -1,0 +1,307 @@
+//! Pretty-printer for the C-subset AST.
+//!
+//! Prints canonical C that re-parses to the same AST (used by round-trip
+//! tests and to display Cetus-style normalized code in reports).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for g in &p.globals {
+        print_decl(&mut out, g, 0);
+    }
+    for f in &p.funcs {
+        print_function(&mut out, f);
+    }
+    out
+}
+
+/// Renders one function definition.
+pub fn print_function(out: &mut String, f: &Function) {
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| {
+            let mut s = format!("{} {}{}", p.ty, "*".repeat(p.pointer), p.name);
+            for d in &p.dims {
+                match d {
+                    Some(e) => {
+                        let _ = write!(s, "[{}]", print_expr(e));
+                    }
+                    None => s.push_str("[]"),
+                }
+            }
+            s
+        })
+        .collect();
+    let _ = writeln!(out, "{} {}({}) {{", f.ret, f.name, params.join(", "));
+    for s in &f.body.stmts {
+        print_stmt(out, s, 1);
+    }
+    let _ = writeln!(out, "}}");
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_decl(out: &mut String, d: &Decl, level: usize) {
+    indent(out, level);
+    let _ = write!(out, "{} {}{}", d.ty, "*".repeat(d.pointer), d.name);
+    for dim in &d.dims {
+        let _ = write!(out, "[{}]", print_expr(dim));
+    }
+    if let Some(init) = &d.init {
+        let _ = write!(out, " = {}", print_expr(init));
+    }
+    out.push_str(";\n");
+}
+
+/// Renders one statement at the given indentation level.
+pub fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::Decl(d) => print_decl(out, d, level),
+        Stmt::Expr(e) => {
+            indent(out, level);
+            let _ = writeln!(out, "{};", print_expr(e));
+        }
+        Stmt::Block(b) => {
+            indent(out, level);
+            out.push_str("{\n");
+            for st in &b.stmts {
+                print_stmt(out, st, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::If { cond, then_branch, else_branch } => {
+            indent(out, level);
+            let _ = writeln!(out, "if ({}) {{", print_expr(cond));
+            print_stmt_body(out, then_branch, level);
+            match else_branch {
+                Some(e) => {
+                    indent(out, level);
+                    out.push_str("} else {\n");
+                    print_stmt_body(out, e, level);
+                    indent(out, level);
+                    out.push_str("}\n");
+                }
+                None => {
+                    indent(out, level);
+                    out.push_str("}\n");
+                }
+            }
+        }
+        Stmt::For { init, cond, step, body } => {
+            indent(out, level);
+            let init_s = match init {
+                ForInit::Empty => String::new(),
+                ForInit::Decl(d) => {
+                    let mut s = format!("{} {}", d.ty, d.name);
+                    if let Some(i) = &d.init {
+                        let _ = write!(s, " = {}", print_expr(i));
+                    }
+                    s
+                }
+                ForInit::Expr(e) => print_expr(e),
+            };
+            let cond_s = cond.as_ref().map(print_expr).unwrap_or_default();
+            let step_s = step.as_ref().map(print_expr).unwrap_or_default();
+            let _ = writeln!(out, "for ({init_s}; {cond_s}; {step_s}) {{");
+            print_stmt_body(out, body, level);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::While { cond, body } => {
+            indent(out, level);
+            let _ = writeln!(out, "while ({}) {{", print_expr(cond));
+            print_stmt_body(out, body, level);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::Return(e) => {
+            indent(out, level);
+            match e {
+                Some(e) => {
+                    let _ = writeln!(out, "return {};", print_expr(e));
+                }
+                None => out.push_str("return;\n"),
+            }
+        }
+        Stmt::Break => {
+            indent(out, level);
+            out.push_str("break;\n");
+        }
+        Stmt::Continue => {
+            indent(out, level);
+            out.push_str("continue;\n");
+        }
+        Stmt::Pragma(t) => {
+            indent(out, level);
+            let _ = writeln!(out, "#pragma {t}");
+        }
+        Stmt::Empty => {
+            indent(out, level);
+            out.push_str(";\n");
+        }
+    }
+}
+
+fn print_stmt_body(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::Block(b) => {
+            for st in &b.stmts {
+                print_stmt(out, st, level + 1);
+            }
+        }
+        other => print_stmt(out, other, level + 1),
+    }
+}
+
+/// Renders one expression (fully parenthesized where precedence demands).
+pub fn print_expr(e: &CExpr) -> String {
+    print_prec(e, 0)
+}
+
+/// Precedence levels mirroring the parser: 0 assign, 1 ternary, 2 `||`,
+/// 3 `&&`, 4 equality, 5 relational, 6 additive, 7 multiplicative, 8 unary,
+/// 9 postfix/primary.
+fn prec_of(e: &CExpr) -> u8 {
+    match e {
+        CExpr::Assign { .. } => 0,
+        CExpr::Ternary { .. } => 1,
+        CExpr::Binary { op, .. } => match op {
+            BinOp::Or => 2,
+            BinOp::And => 3,
+            BinOp::Eq | BinOp::Ne => 4,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 5,
+            BinOp::Add | BinOp::Sub => 6,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 7,
+        },
+        CExpr::Unary { .. } | CExpr::Cast { .. } => 8,
+        _ => 9,
+    }
+}
+
+fn print_prec(e: &CExpr, min_prec: u8) -> String {
+    let p = prec_of(e);
+    let inner = match e {
+        CExpr::IntLit(v) => v.to_string(),
+        CExpr::FloatLit(v) => {
+            if v.fract() == 0.0 && v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                v.to_string()
+            }
+        }
+        CExpr::Ident(n) => n.clone(),
+        CExpr::Index { base, index } => {
+            format!("{}[{}]", print_prec(base, 9), print_expr(index))
+        }
+        CExpr::Call { name, args } => {
+            let a: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{name}({})", a.join(", "))
+        }
+        CExpr::Unary { op, operand } => {
+            let o = print_prec(operand, 8);
+            match op {
+                UnOp::Neg => format!("-{o}"),
+                UnOp::Not => format!("!{o}"),
+                UnOp::PreInc => format!("++{o}"),
+                UnOp::PreDec => format!("--{o}"),
+            }
+        }
+        CExpr::Postfix { op, operand } => {
+            let o = print_prec(operand, 9);
+            match op {
+                PostOp::PostInc => format!("{o}++"),
+                PostOp::PostDec => format!("{o}--"),
+            }
+        }
+        CExpr::Binary { op, lhs, rhs } => {
+            format!("{} {} {}", print_prec(lhs, p), op.symbol(), print_prec(rhs, p + 1))
+        }
+        CExpr::Assign { op, lhs, rhs } => {
+            format!("{} {} {}", print_prec(lhs, 1), op.symbol(), print_prec(rhs, 0))
+        }
+        CExpr::Ternary { cond, then_e, else_e } => {
+            format!(
+                "{} ? {} : {}",
+                print_prec(cond, 2),
+                print_expr(then_e),
+                print_prec(else_e, 1)
+            )
+        }
+        CExpr::Cast { ty, expr } => format!("({ty}) {}", print_prec(expr, 8)),
+    };
+    if p < min_prec {
+        format!("({inner})")
+    } else {
+        inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    fn roundtrip_expr(src: &str) {
+        let e1 = parse_expr(src).unwrap();
+        let printed = print_expr(&e1);
+        let e2 = parse_expr(&printed).unwrap_or_else(|err| panic!("reparse {printed:?}: {err}"));
+        assert_eq!(e1, e2, "round-trip changed AST for {src:?} -> {printed:?}");
+    }
+
+    #[test]
+    fn expr_roundtrips() {
+        for src in [
+            "a + b * c",
+            "(a + b) * c",
+            "y[ind[j]]",
+            "a[i + 1] - a[i]",
+            "m++",
+            "-x + 3",
+            "a < b && c != d",
+            "exp(-((x - t) * (x - t)) / s)",
+            "a = b = c + 1",
+            "p[ind] = sm * nnz_val[ind]",
+            "a < b ? a : b",
+            "W[r * k + t] * H[row_ind[ind] * k + t]",
+        ] {
+            roundtrip_expr(src);
+        }
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let src = r#"
+        void fill(int num_rows, int *A_i, int *A_rownnz) {
+            int i;
+            int adiag;
+            int irownnz;
+            irownnz = 0;
+            for (i = 0; i < num_rows; i++) {
+                adiag = A_i[i + 1] - A_i[i];
+                if (adiag > 0) {
+                    A_rownnz[irownnz++] = i;
+                }
+            }
+        }
+        "#;
+        let p1 = parse_program(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed).unwrap_or_else(|e| panic!("{printed}\n{e}"));
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn precedence_parens_preserved() {
+        let e = parse_expr("(a + b) * c").unwrap();
+        assert_eq!(print_expr(&e), "(a + b) * c");
+    }
+}

@@ -1,0 +1,625 @@
+//! Classical automatic-parallelization analysis (the "Cetus" baseline of
+//! the paper's Figure 17): data-dependence testing on affine subscripts,
+//! scalar privatization, and reduction recognition — with *no* knowledge of
+//! subscript-array properties. Loops whose only cross-iteration conflicts
+//! go through a subscripted subscript are conservatively serialized here;
+//! the extended test in [`crate::deptest`] revisits exactly those.
+
+use std::collections::{BTreeMap, BTreeSet};
+use subsub_ir::{CondKind, CondTable, IrStmt, LValue, LoopIr, TypeEnv};
+use subsub_symbolic::{Atom, Expr, RangeEnv, Symbol};
+
+/// One array access (read or write) observed in a loop body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Access {
+    /// Array name.
+    pub array: String,
+    /// Subscript expressions (outermost first); empty when inexact.
+    pub subs: Vec<Expr>,
+    /// True for writes.
+    pub is_write: bool,
+    /// False when a subscript could not be derived; the access then
+    /// conflicts with everything.
+    pub exact: bool,
+}
+
+/// An array whose cross-iteration independence could not be proven
+/// classically, with every access that participates in the conflict.
+#[derive(Debug, Clone)]
+pub struct ArrayDep {
+    /// Array name.
+    pub array: String,
+    /// All accesses to the array in the loop body.
+    pub accesses: Vec<Access>,
+}
+
+/// First access kind per scalar, for privatization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FirstAccess {
+    Read,
+    Write,
+}
+
+/// Result of the classical per-loop analysis.
+#[derive(Debug, Clone)]
+pub struct ClassicAnalysis {
+    /// True when no scalar loop-carried dependence blocks parallelization.
+    pub scalar_ok: bool,
+    /// Scalars with loop-carried dependences (read-before-write, not
+    /// reductions).
+    pub scalar_blockers: Vec<String>,
+    /// Privatizable scalars (written before read every iteration).
+    pub private: Vec<String>,
+    /// Recognized scalar reductions, as `op:var` (e.g. `+:tempx`).
+    pub reductions: Vec<String>,
+    /// Arrays with unresolved cross-iteration conflicts.
+    pub array_blockers: Vec<ArrayDep>,
+}
+
+impl ClassicAnalysis {
+    /// True when the loop is parallelizable by classical analysis alone.
+    pub fn parallel(&self) -> bool {
+        self.scalar_ok && self.array_blockers.is_empty()
+    }
+}
+
+/// Runs the classical dependence analysis on one loop.
+pub fn classic_analyze_loop(
+    l: &LoopIr,
+    types: &TypeEnv,
+    conds: &CondTable,
+    env: &RangeEnv,
+) -> ClassicAnalysis {
+    let mut col = Collector {
+        types,
+        conds,
+        first: BTreeMap::new(),
+        written: BTreeSet::new(),
+        reduction_ops: BTreeMap::new(),
+        non_reduction_write: BTreeSet::new(),
+        read_outside_own_stmt: BTreeSet::new(),
+        inner_indices: BTreeSet::new(),
+        accesses: Vec::new(),
+        copies: BTreeMap::new(),
+        copy_candidates: BTreeMap::new(),
+        depth: 0,
+    };
+    col.prescan_copies(&l.body);
+    col.walk(&l.body);
+
+    // ---- Scalars ----------------------------------------------------------
+    let mut private = Vec::new();
+    let mut reductions = Vec::new();
+    let mut blockers = Vec::new();
+    for name in &col.written {
+        if name == l.index.name.as_ref() || col.inner_indices.contains(name) {
+            continue; // loop indices are private by construction
+        }
+        if types.is_array(name) {
+            continue; // arrays are handled by the dependence tests below
+        }
+        let is_reduction = col.reduction_ops.contains_key(name)
+            && !col.non_reduction_write.contains(name)
+            && !col.read_outside_own_stmt.contains(name);
+        if is_reduction {
+            reductions.push(format!("{}:{}", col.reduction_ops[name], name));
+            continue;
+        }
+        match col.first.get(name) {
+            Some(FirstAccess::Write) | None => private.push(name.clone()),
+            Some(FirstAccess::Read) => blockers.push(name.clone()),
+        }
+    }
+    // Inner loop indices are private.
+    for ix in &col.inner_indices {
+        private.push(ix.clone());
+    }
+    private.sort();
+    private.dedup();
+
+    // ---- Arrays -----------------------------------------------------------
+    let mut array_blockers = Vec::new();
+    let mut by_array: BTreeMap<String, Vec<Access>> = BTreeMap::new();
+    for a in &col.accesses {
+        by_array.entry(a.array.clone()).or_default().push(a.clone());
+    }
+    for (array, accesses) in by_array {
+        if !accesses.iter().any(|a| a.is_write) {
+            continue; // read-only arrays never conflict
+        }
+        let mut blocked = false;
+        'pairs: for (i, a) in accesses.iter().enumerate() {
+            for b in accesses.iter().skip(i) {
+                if !a.is_write && !b.is_write {
+                    continue;
+                }
+                if !pair_independent(a, b, &l.index, &col.inner_indices, env) {
+                    blocked = true;
+                    break 'pairs;
+                }
+            }
+        }
+        if blocked {
+            array_blockers.push(ArrayDep { array, accesses });
+        }
+    }
+
+    ClassicAnalysis {
+        scalar_ok: blockers.is_empty(),
+        scalar_blockers: blockers,
+        private,
+        reductions,
+        array_blockers,
+    }
+}
+
+/// Decides whether the pair of accesses is free of *loop-carried*
+/// dependences w.r.t. `idx`:
+///
+/// 1. A shared subscript dimension that is affine in `idx` with non-zero
+///    coefficient and *identical* on both sides pins the accesses of
+///    different iterations to different elements.
+/// 2. A dimension where both subscripts are affine in `idx` with the same
+///    constant coefficient `c` and constant difference `k` is independent
+///    when `c ∤ k` (GCD test).
+pub fn pair_independent(
+    a: &Access,
+    b: &Access,
+    idx: &Symbol,
+    inner_indices: &BTreeSet<String>,
+    env: &RangeEnv,
+) -> bool {
+    if !a.exact || !b.exact || a.subs.len() != b.subs.len() {
+        return false;
+    }
+    for (sa, sb) in a.subs.iter().zip(&b.subs) {
+        // Rule 1: identical and strictly varying with the iteration. The
+        // non-index part must be invariant within an iteration: no inner
+        // loop indices anywhere (including inside array-read subscripts
+        // — a read like `col_ptr[r]` that is invariant w.r.t. this loop
+        // is fine; `split_linear` already rejects subscripts where the
+        // loop index hides inside a read).
+        if sa == sb {
+            if let Some((coef, rest)) = sa.split_linear(idx) {
+                let sign = env.sign_of(&coef);
+                let nonzero = sign.is_pos() || matches!(sign, subsub_symbolic::Sign::Neg);
+                let rest_invariant = !rest
+                    .free_syms()
+                    .iter()
+                    .any(|s| inner_indices.contains(s.name.as_ref()));
+                if nonzero && rest_invariant {
+                    return true;
+                }
+            }
+        }
+        // Rule 2: same coefficient, non-divisible constant difference.
+        if let (Some((ca, ra)), Some((cb, rb))) = (sa.split_linear(idx), sb.split_linear(idx)) {
+            if let (Some(ca), Some(cb)) = (ca.as_int(), cb.as_int()) {
+                if ca == cb && ca != 0 {
+                    let diff = ra - rb;
+                    if let Some(k) = diff.as_int() {
+                        if k != 0 && k % ca != 0 {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+struct Collector<'a> {
+    types: &'a TypeEnv,
+    conds: &'a CondTable,
+    first: BTreeMap<String, FirstAccess>,
+    written: BTreeSet<String>,
+    reduction_ops: BTreeMap<String, char>,
+    non_reduction_write: BTreeSet<String>,
+    read_outside_own_stmt: BTreeSet<String>,
+    inner_indices: BTreeSet<String>,
+    accesses: Vec<Access>,
+    /// Forward-substitutable scalar copies: name → defining expression.
+    copies: BTreeMap<String, Expr>,
+    copy_candidates: BTreeMap<String, u32>,
+    depth: u32,
+}
+
+impl<'a> Collector<'a> {
+    /// Counts scalar assignments so that a scalar assigned exactly once,
+    /// not under an `if`, qualifies as a forward-substitutable copy
+    /// (`m = A_rownnz[i]; … y_data[m] …`, `il = idel[…]; tx[il] …`).
+    /// Assignments inside `if` branches count double, disqualifying the
+    /// variable. The copies themselves are registered during the walk, in
+    /// program order, so only uses *after* the definition are substituted.
+    fn prescan_copies(&mut self, body: &[IrStmt]) {
+        fn count(body: &[IrStmt], counts: &mut BTreeMap<String, u32>, in_branch: bool) {
+            for s in body {
+                match s {
+                    IrStmt::Assign(a) => {
+                        if let LValue::Scalar(n) = &a.lhs {
+                            *counts.entry(n.clone()).or_insert(0) +=
+                                if in_branch { 2 } else { 1 };
+                        }
+                    }
+                    IrStmt::If { then_s, else_s, .. } => {
+                        count(then_s, counts, true);
+                        count(else_s, counts, true);
+                    }
+                    IrStmt::Loop(l) => count(&l.body, counts, in_branch),
+                    IrStmt::Opaque(_) => {}
+                }
+            }
+        }
+        let mut counts = BTreeMap::new();
+        count(body, &mut counts, false);
+        self.copy_candidates = counts;
+    }
+
+    fn subst_copies(&self, e: &Expr) -> Expr {
+        let mut cur = e.clone();
+        for _ in 0..8 {
+            let Some(sym) = cur
+                .free_syms()
+                .into_iter()
+                .find(|s| self.copies.contains_key(s.name.as_ref()))
+            else {
+                return cur;
+            };
+            let def = self.copies[sym.name.as_ref()].clone();
+            cur = cur.subst_sym(&sym, &def);
+        }
+        cur
+    }
+
+    fn mark_read(&mut self, name: &str) {
+        self.first.entry(name.to_string()).or_insert(FirstAccess::Read);
+    }
+
+    fn mark_write(&mut self, name: &str) {
+        self.first.entry(name.to_string()).or_insert(FirstAccess::Write);
+        self.written.insert(name.to_string());
+    }
+
+    fn walk(&mut self, body: &[IrStmt]) {
+        for s in body {
+            match s {
+                IrStmt::Assign(a) => self.visit_assign(a),
+                IrStmt::If { cond, then_s, else_s } => {
+                    let c = self.conds.get(*cond);
+                    for v in c.referenced_vars() {
+                        if !self.types.is_array(&v) {
+                            self.mark_read(&v);
+                            self.read_outside_own_stmt.insert(v.clone());
+                        }
+                    }
+                    if let CondKind::Cmp { lhs, rhs, .. } = &c.kind {
+                        for e in [lhs, rhs] {
+                            let e = self.subst_copies(e);
+                            self.collect_expr_reads(&e);
+                        }
+                    } else {
+                        for v in c.referenced_vars() {
+                            if self.types.is_array(&v) {
+                                self.accesses.push(Access {
+                                    array: v.clone(),
+                                    subs: vec![],
+                                    is_write: false,
+                                    exact: false,
+                                });
+                            }
+                        }
+                    }
+                    self.walk(then_s);
+                    self.walk(else_s);
+                }
+                IrStmt::Loop(l) => {
+                    self.inner_indices.insert(l.index.name.to_string());
+                    for s in l.n_iters.free_syms() {
+                        if !self.types.is_array(s.name.as_ref()) {
+                            self.mark_read(s.name.as_ref());
+                            self.read_outside_own_stmt.insert(s.name.to_string());
+                        }
+                    }
+                    let bounds = self.subst_copies(&l.n_iters);
+                    self.collect_expr_reads(&bounds);
+                    self.depth += 1;
+                    self.walk(&l.body);
+                    self.depth -= 1;
+                }
+                IrStmt::Opaque(_) => {
+                    // Unknown statement: conservatively, everything breaks —
+                    // approximate by an inexact write to a pseudo-array.
+                    self.accesses.push(Access {
+                        array: "<opaque>".into(),
+                        subs: vec![],
+                        is_write: true,
+                        exact: false,
+                    });
+                }
+            }
+        }
+    }
+
+    fn visit_assign(&mut self, a: &subsub_ir::Assign) {
+        // Reads first (RHS executes before the write commits).
+        let target = a.lhs.name().to_string();
+        for r in &a.rhs_idents {
+            if self.types.is_array(r) {
+                continue; // array reads recorded via a.reads
+            }
+            self.mark_read(r);
+            let is_self = *r == target && a.compound_op.is_some() && !a.lhs.is_array();
+            if !is_self {
+                self.read_outside_own_stmt.insert(r.clone());
+            }
+        }
+        for rd in &a.reads {
+            let subs: Vec<Expr> = rd.subs.iter().map(|e| self.subst_copies(e)).collect();
+            self.accesses.push(Access {
+                array: rd.array.clone(),
+                subs,
+                is_write: false,
+                exact: rd.exact,
+            });
+        }
+        // Then the write.
+        match &a.lhs {
+            LValue::Scalar(name) => {
+                self.mark_write(name);
+                // Register forward-substitutable copies in program order.
+                if self.copy_candidates.get(name) == Some(&1) {
+                    if let Some(e) = a.rhs.as_expr() {
+                        if !e.contains_sym(&Symbol::var(name)) {
+                            let resolved = self.subst_copies(e);
+                            self.copies.insert(name.clone(), resolved);
+                        }
+                    }
+                }
+                match a.compound_op {
+                    Some(op) => {
+                        let c = match op {
+                            subsub_cfront::BinOp::Add => '+',
+                            subsub_cfront::BinOp::Sub => '-',
+                            subsub_cfront::BinOp::Mul => '*',
+                            _ => '?',
+                        };
+                        self.reduction_ops.entry(name.clone()).or_insert(c);
+                    }
+                    None => {
+                        self.non_reduction_write.insert(name.clone());
+                    }
+                }
+            }
+            LValue::Array { name, subs } => {
+                self.mark_write(name);
+                let subs: Vec<Expr> = subs.iter().map(|e| self.subst_copies(e)).collect();
+                self.accesses.push(Access {
+                    array: name.clone(),
+                    subs,
+                    is_write: true,
+                    exact: true,
+                });
+            }
+        }
+    }
+
+    fn collect_expr_reads(&mut self, e: &Expr) {
+        for t in e.terms() {
+            for atom in &t.atoms {
+                if let Atom::Read { array, indices } = atom {
+                    let subs: Vec<Expr> = indices.iter().map(|x| self.subst_copies(x)).collect();
+                    for ix in indices {
+                        self.collect_expr_reads(ix);
+                        for s in ix.free_syms() {
+                            if !self.types.is_array(s.name.as_ref()) {
+                                self.mark_read(s.name.as_ref());
+                            }
+                        }
+                    }
+                    self.accesses.push(Access {
+                        array: array.to_string(),
+                        subs,
+                        is_write: false,
+                        exact: true,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsub_cfront::parse_program;
+    use subsub_ir::lower_function;
+
+    fn analyze_loop(src: &str, nth: usize) -> ClassicAnalysis {
+        let p = parse_program(src).unwrap();
+        let f = lower_function(&p.funcs[0], &p.globals).unwrap();
+        let loops = f.loops();
+        classic_analyze_loop(loops[nth], &f.types, &f.conds, &RangeEnv::new())
+    }
+
+    #[test]
+    fn simple_affine_loop_parallel() {
+        let a = analyze_loop(
+            "void f(int n, double *x, double *y) { int i; for (i=0;i<n;i++) y[i] = x[i] + x[i]; }",
+            0,
+        );
+        assert!(a.parallel(), "{a:?}");
+    }
+
+    #[test]
+    fn stencil_carried_dependence_serial() {
+        // a[i+1] read, a[i] written: distance-1 carried dependence.
+        let a = analyze_loop(
+            "void f(int n, double *a) { int i; for (i=0;i<n;i++) a[i] = a[i+1]; }",
+            0,
+        );
+        assert!(!a.parallel());
+    }
+
+    #[test]
+    fn scalar_reduction_recognized() {
+        let a = analyze_loop(
+            "void f(int n, double *x) { int i; double s; s = 0.0; for (i=0;i<n;i++) s += x[i]; }",
+            0,
+        );
+        assert!(a.parallel(), "{a:?}");
+        assert_eq!(a.reductions, vec!["+:s".to_string()]);
+    }
+
+    #[test]
+    fn written_before_read_scalar_is_private() {
+        let a = analyze_loop(
+            r#"
+            void f(int n, double *x, double *y) {
+                int i; double t;
+                for (i=0;i<n;i++) { t = x[i] * 2.0; y[i] = t + 1.0; }
+            }
+            "#,
+            0,
+        );
+        assert!(a.parallel(), "{a:?}");
+        assert!(a.private.contains(&"t".to_string()));
+    }
+
+    #[test]
+    fn read_before_write_scalar_blocks() {
+        // m is read (subscript) before being incremented: carried.
+        let a = analyze_loop(
+            r#"
+            void f(int n, int *ind) {
+                int i; int m;
+                m = 0;
+                for (i=0;i<n;i++) { ind[m] = i; m = m + 1; }
+            }
+            "#,
+            0,
+        );
+        assert!(!a.scalar_ok);
+        assert!(a.scalar_blockers.contains(&"m".to_string()));
+    }
+
+    #[test]
+    fn subscripted_subscript_write_blocks() {
+        let a = analyze_loop(
+            r#"
+            void f(int n, double *y, int *ind, double *g) {
+                int j;
+                for (j=0;j<n;j++) y[ind[j]] = y[ind[j]] + g[j];
+            }
+            "#,
+            0,
+        );
+        assert!(a.scalar_ok);
+        assert_eq!(a.array_blockers.len(), 1);
+        assert_eq!(a.array_blockers[0].array, "y");
+    }
+
+    #[test]
+    fn subscripted_subscript_read_only_is_fine() {
+        // CG-style: gather reads through colidx, affine write to y.
+        let a = analyze_loop(
+            r#"
+            void f(int n, double *y, double *x, int *colidx, double *a) {
+                int i;
+                for (i=0;i<n;i++) y[i] = a[i] * x[colidx[i]];
+            }
+            "#,
+            0,
+        );
+        assert!(a.parallel(), "{a:?}");
+    }
+
+    #[test]
+    fn two_dim_outer_parallel() {
+        let a = analyze_loop(
+            r#"
+            void f(int n, int m, double A[100][100], double B[100][100]) {
+                int i; int j;
+                for (i=0;i<n;i++)
+                    for (j=0;j<m;j++)
+                        A[i][j] = B[i][j] * 2.0;
+            }
+            "#,
+            0,
+        );
+        assert!(a.parallel(), "{a:?}");
+    }
+
+    #[test]
+    fn copy_propagation_through_scalar() {
+        // m = ind[i]; y[m] = … — the write subscript sees ind[i].
+        let a = analyze_loop(
+            r#"
+            void f(int n, double *y, int *ind) {
+                int i; int m;
+                for (i=0;i<n;i++) { m = ind[i]; y[m] = 0.0; }
+            }
+            "#,
+            0,
+        );
+        // Still blocked (subscripted subscript), but the access records the
+        // substituted subscript so the extended test can resolve it.
+        assert_eq!(a.array_blockers.len(), 1);
+        let acc = &a.array_blockers[0].accesses;
+        assert!(acc.iter().any(|x| x.is_write
+            && x.subs == vec![Expr::read("ind", vec![Expr::var("i")])]));
+    }
+
+    #[test]
+    fn inner_loop_reduction_parallel() {
+        // The AMGmk inner jj-loop: tempx += A_data[jj] * x_data[A_j[jj]].
+        let a = analyze_loop(
+            r#"
+            void f(int lo, int hi, double *A_data, double *x_data, int *A_j, double *y) {
+                int jj; double tempx;
+                tempx = 0.0;
+                for (jj = lo; jj < hi; jj++)
+                    tempx += A_data[jj] * x_data[A_j[jj]];
+                y[0] = tempx;
+            }
+            "#,
+            0,
+        );
+        assert!(a.parallel(), "{a:?}");
+        assert!(a.reductions.contains(&"+:tempx".to_string()));
+    }
+
+    #[test]
+    fn time_loop_with_sweep_is_serial() {
+        // fdtd/heat-style: the outer time loop carries dependences.
+        let a = analyze_loop(
+            r#"
+            void f(int t, int n, double *a, double *b) {
+                int s; int i;
+                for (s=0;s<t;s++) {
+                    for (i=1;i<n;i++) a[i] = b[i] + b[i-1];
+                    for (i=1;i<n;i++) b[i] = a[i] + a[i-1];
+                }
+            }
+            "#,
+            0,
+        );
+        assert!(!a.parallel());
+    }
+
+    #[test]
+    fn inner_spatial_loop_of_time_sweep_is_parallel() {
+        let a = analyze_loop(
+            r#"
+            void f(int t, int n, double *a, double *b) {
+                int s; int i;
+                for (s=0;s<t;s++) {
+                    for (i=1;i<n;i++) a[i] = b[i] + b[i-1];
+                }
+            }
+            "#,
+            1,
+        );
+        assert!(a.parallel(), "{a:?}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Collapsed loops: the aggregated effect of an analyzed loop.
+//!
+//! After Phase-2 the loop "is collapsed and replaced by a single node …
+//! containing a sequence of assignment statements, representing the effect
+//! of the loop on each LVV" (paper, Section 2.5). The effects are phrased
+//! over `Λ_v` (loop-entry) symbols; when an *outer* Phase-1 run reaches the
+//! collapsed node it substitutes each `Λ_v` with the current value of `v`.
+
+use crate::value::Val;
+use std::collections::HashMap;
+use subsub_ir::LoopId;
+use subsub_symbolic::Range;
+
+/// Aggregated effect of a loop on one scalar LVV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollapsedScalar {
+    /// Variable name.
+    pub name: String,
+    /// Value after the loop, over `Λ_name` (and loop-invariant) symbols.
+    pub val: Val,
+}
+
+/// Aggregated effect of a loop on one array region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollapsedArrayWrite {
+    /// Array name.
+    pub array: String,
+    /// Aggregated subscript ranges, outermost dimension first (e.g.
+    /// `idel[iel][0:5][j][0:4]` after collapsing the innermost UA loop).
+    pub subs: Vec<Range>,
+    /// Aggregated value stored in the region, over `Λ_*` symbols.
+    pub val: Val,
+}
+
+/// The collapsed form of one analyzed loop.
+#[derive(Debug, Clone, Default)]
+pub struct CollapsedLoop {
+    /// Scalar effects.
+    pub scalars: Vec<CollapsedScalar>,
+    /// Array-region effects.
+    pub arrays: Vec<CollapsedArrayWrite>,
+}
+
+/// Map from loop id to its collapsed form — filled inside-out by the nest
+/// driver and consulted by outer Phase-1 runs at `InnerLoop` CFG nodes.
+pub type CollapsedMap = HashMap<LoopId, CollapsedLoop>;

@@ -1,0 +1,485 @@
+//! Phase-1: symbolic execution of one arbitrary loop iteration.
+//!
+//! Implements Section 2.3 of the paper: a forward dataflow traversal of the
+//! loop-body CFG in topological order. At the entry node every LVV is
+//! initialized to its `λ` value; each assignment node updates the SVD by
+//! symbolically executing the statement; control-flow diverge points tag
+//! values with the relevant if-condition; merge points take the
+//! conservative union of the predecessors (may semantics). The SVD at the
+//! exit node is the Phase-1 result.
+
+use crate::collapse::CollapsedMap;
+use crate::value::{ArrayWrite, Guard, Svd, TaggedVal, Val, ValueSet};
+use subsub_ir::{CfgPayload, LoopCfg, LoopIr, LValue, Rhs, TypeEnv};
+use subsub_symbolic::{Atom, Expr, Range, RangeEnv, Symbol, SymbolKind};
+
+/// Result of Phase-1 for one loop.
+#[derive(Debug, Clone)]
+pub struct Phase1Result {
+    /// The SVD at the exit node (`SVD_stn` in the paper).
+    pub svd: Svd,
+    /// Per-node OUT states, for diagnostics (indexed by CFG node id).
+    pub per_node: Vec<Svd>,
+}
+
+/// Runs Phase-1 on `l` using its CFG. `collapsed` supplies the aggregated
+/// effects of already-analyzed inner loops; `types` identifies integer
+/// LVVs; `env` carries range assumptions for symbolic reasoning.
+pub fn phase1(
+    l: &LoopIr,
+    cfg: &LoopCfg,
+    collapsed: &CollapsedMap,
+    types: &TypeEnv,
+    env: &RangeEnv,
+) -> Phase1Result {
+    // Initial SVD: integer scalar LVVs start at λ_v; non-integer LVVs are ⊥.
+    let mut init = Svd::new();
+    for v in l.assigned_vars() {
+        if types.is_array(&v) {
+            continue; // arrays tracked through writes
+        }
+        if types.is_integer(&v) {
+            init.scalars.insert(v.clone(), ValueSet::lambda(&v));
+        } else {
+            init.scalars.insert(v.clone(), ValueSet::bottom());
+        }
+    }
+
+    let n = cfg.nodes.len();
+    let mut out: Vec<Option<Svd>> = vec![None; n];
+    for id in cfg.topo_order() {
+        let node = cfg.node(id);
+        // IN = merge of predecessor OUT states (entry gets the init SVD).
+        let mut input = if node.preds.is_empty() {
+            init.clone()
+        } else {
+            let mut it = node.preds.iter();
+            let first = out[it.next().unwrap().0].clone().expect("topo order");
+            it.fold(first, |acc, p| acc.merge(out[p.0].as_ref().expect("topo order")))
+        };
+        match &node.payload {
+            CfgPayload::Entry
+            | CfgPayload::Branch(_)
+            | CfgPayload::Join
+            | CfgPayload::Exit => {}
+            CfgPayload::Assign(a) => transfer_assign(a, &node.guards, &mut input, env),
+            CfgPayload::InnerLoop(id) => {
+                transfer_inner_loop(collapsed, *id, &node.guards, &mut input, env)
+            }
+            CfgPayload::Opaque(_) => {
+                // Should not occur in eligible loops; degrade soundly.
+                for (_, v) in input.scalars.iter_mut() {
+                    *v = ValueSet::bottom();
+                }
+            }
+        }
+        out[id.0] = Some(input);
+    }
+
+    let svd = out[cfg.exit.0].clone().expect("exit visited");
+    Phase1Result { svd, per_node: out.into_iter().map(Option::unwrap).collect() }
+}
+
+fn transfer_assign(
+    a: &subsub_ir::Assign,
+    guards: &Guard,
+    svd: &mut Svd,
+    env: &RangeEnv,
+) {
+    let value = match &a.rhs {
+        Rhs::Expr(e) if a.integer => eval_expr(e, svd, env),
+        _ => ValueSet::bottom(),
+    };
+    let value = apply_guard(value, guards);
+    match &a.lhs {
+        LValue::Scalar(name) => {
+            svd.scalars.insert(name.clone(), value);
+        }
+        LValue::Array { name, subs } => {
+            let mut resolved = Vec::with_capacity(subs.len());
+            for s in subs {
+                match resolve_subscript(s, svd, env) {
+                    Some(r) => resolved.push(r),
+                    None => {
+                        // Unknown write location: the whole array becomes ⊥.
+                        svd.arrays.insert(
+                            name.clone(),
+                            vec![ArrayWrite { subs: Vec::new(), vals: ValueSet::bottom() }],
+                        );
+                        return;
+                    }
+                }
+            }
+            svd.record_write(name, resolved, value);
+        }
+    }
+}
+
+/// Applies the collapsed effect of an inner loop: substitute each `Λ_v`
+/// with the current value of `v`, then update the SVD.
+fn transfer_inner_loop(
+    collapsed: &CollapsedMap,
+    id: subsub_ir::LoopId,
+    guards: &Guard,
+    svd: &mut Svd,
+    env: &RangeEnv,
+) {
+    let Some(c) = collapsed.get(&id) else {
+        // Unanalyzed inner loop: all information is lost.
+        for (_, v) in svd.scalars.iter_mut() {
+            *v = ValueSet::bottom();
+        }
+        svd.arrays.clear();
+        return;
+    };
+    // Resolve all scalar effects against the *pre-loop* state first.
+    let resolved: Vec<(String, ValueSet)> = c
+        .scalars
+        .iter()
+        .map(|cs| {
+            let vs = match &cs.val {
+                Val::Bottom => ValueSet::bottom(),
+                Val::Range(r) => subst_entry_syms_range(r, svd, env)
+                    .map(|r| ValueSet::single(Val::Range(r)))
+                    .unwrap_or_else(ValueSet::bottom),
+            };
+            (cs.name.clone(), apply_guard(vs, guards))
+        })
+        .collect();
+    let array_effects: Vec<(String, Option<Vec<Range>>, ValueSet)> = c
+        .arrays
+        .iter()
+        .map(|cw| {
+            let subs: Option<Vec<Range>> =
+                cw.subs.iter().map(|r| subst_entry_syms_range(r, svd, env)).collect();
+            let val = match &cw.val {
+                Val::Bottom => ValueSet::bottom(),
+                Val::Range(r) => subst_entry_syms_range(r, svd, env)
+                    .map(|r| ValueSet::single(Val::Range(r)))
+                    .unwrap_or_else(ValueSet::bottom),
+            };
+            (cw.array.clone(), subs, apply_guard(val, guards))
+        })
+        .collect();
+    for (name, vs) in resolved {
+        svd.scalars.insert(name, vs);
+    }
+    for (name, subs, val) in array_effects {
+        match subs {
+            Some(subs) => svd.record_write(&name, subs, val),
+            None => {
+                svd.arrays.insert(
+                    name,
+                    vec![ArrayWrite { subs: Vec::new(), vals: ValueSet::bottom() }],
+                );
+            }
+        }
+    }
+}
+
+fn apply_guard(vs: ValueSet, guards: &Guard) -> ValueSet {
+    if guards.is_empty() {
+        return vs;
+    }
+    ValueSet::from_entries(
+        vs.entries()
+            .iter()
+            .map(|tv| {
+                let mut g = guards.clone();
+                for e in &tv.guard {
+                    if !g.contains(e) {
+                        g.push(*e);
+                    }
+                }
+                TaggedVal { guard: g, val: tv.val.clone() }
+            })
+            .collect(),
+    )
+}
+
+/// Substitutes collapsed-loop symbols with current values: `Λ_x` becomes
+/// the current value of `x` (or plain `x` when `x` has no SVD entry, i.e.
+/// is loop-invariant here), and plain symbols that are LVVs *of this outer
+/// loop* — invariants from the inner loop's perspective — are also rebound
+/// to their current values. Returns `None` when a substitution is not
+/// single-valued.
+fn subst_entry_syms_range(r: &Range, svd: &Svd, env: &RangeEnv) -> Option<Range> {
+    let mut cur = r.clone();
+    for _ in 0..32 {
+        let sym = cur
+            .lo
+            .free_syms()
+            .into_iter()
+            .chain(cur.hi.free_syms())
+            .find(|s| match s.kind {
+                SymbolKind::Entry => true,
+                SymbolKind::Var => svd.scalars.contains_key(s.name.as_ref()),
+                _ => false,
+            });
+        let Some(sym) = sym else { return Some(cur) };
+        let var_name = sym.name.to_string();
+        match svd.scalars.get(&var_name) {
+            None => {
+                // Loop-invariant here: Λ_x ≡ x.
+                debug_assert_eq!(sym.kind, SymbolKind::Entry);
+                let plain = Expr::var(&var_name);
+                cur = cur.subst_sym(&sym, &plain);
+            }
+            Some(vs) => match vs.single_untagged() {
+                Some(Val::Range(rv)) if rv.is_point() => {
+                    cur = cur.subst_sym(&sym, &rv.lo);
+                }
+                Some(Val::Range(rv)) => {
+                    cur = cur.subst_sym_range(&sym, rv, env)?;
+                }
+                _ => return None,
+            },
+        }
+    }
+    None
+}
+
+/// Resolves one subscript expression to a snapshot range: the subscript's
+/// current value must be a single entry (tags are irrelevant for the
+/// snapshot — the write's own guard carries the condition).
+fn resolve_subscript(s: &Expr, svd: &Svd, env: &RangeEnv) -> Option<Range> {
+    let vs = eval_expr(s, svd, env);
+    match vs.entries() {
+        [tv] => tv.val.as_range().cloned(),
+        _ => None,
+    }
+}
+
+/// Symbolically evaluates an expression under the current SVD, producing
+/// the set of possible values (with merged tags).
+pub fn eval_expr(e: &Expr, svd: &Svd, env: &RangeEnv) -> ValueSet {
+    if reads_modified_array(e, svd) {
+        return ValueSet::bottom();
+    }
+    let mut cur: Vec<TaggedVal> = vec![TaggedVal::plain(Val::Range(Range::point(e.clone())))];
+    for _ in 0..64 {
+        let Some((idx, sym)) = find_substitutable(&cur, svd) else {
+            return ValueSet::from_entries(cur);
+        };
+        let entry = cur.remove(idx);
+        let Val::Range(r) = &entry.val else { unreachable!("only ranges have syms") };
+        let state = svd.scalars.get(sym.name.as_ref()).expect("checked by finder");
+        for sv in state.entries() {
+            let guard = merge_guards(&entry.guard, &sv.guard);
+            let val = match &sv.val {
+                Val::Bottom => Val::Bottom,
+                Val::Range(rv) => {
+                    if rv.is_point() {
+                        Val::Range(r.subst_sym(&sym, &rv.lo))
+                    } else {
+                        match r.subst_sym_range(&sym, rv, env) {
+                            Some(nr) => Val::Range(nr),
+                            None => Val::Bottom,
+                        }
+                    }
+                }
+            };
+            cur.push(TaggedVal { guard, val });
+            if cur.len() > 32 {
+                return ValueSet::bottom();
+            }
+        }
+    }
+    ValueSet::bottom()
+}
+
+fn merge_guards(a: &Guard, b: &Guard) -> Guard {
+    let mut g = a.clone();
+    for e in b {
+        if !g.contains(e) {
+            g.push(*e);
+        }
+    }
+    g
+}
+
+fn find_substitutable(cur: &[TaggedVal], svd: &Svd) -> Option<(usize, Symbol)> {
+    for (i, tv) in cur.iter().enumerate() {
+        let Val::Range(r) = &tv.val else { continue };
+        for sym in r.lo.free_syms().into_iter().chain(r.hi.free_syms()) {
+            if sym.kind == SymbolKind::Var && svd.scalars.contains_key(sym.name.as_ref()) {
+                return Some((i, sym));
+            }
+        }
+    }
+    None
+}
+
+/// True if the expression reads an array that the loop has already written
+/// this iteration (its element values are no longer the pre-iteration
+/// ones, so the read must be treated as unknown).
+fn reads_modified_array(e: &Expr, svd: &Svd) -> bool {
+    fn walk(e: &Expr, svd: &Svd) -> bool {
+        for t in e.terms() {
+            for a in &t.atoms {
+                if let Atom::Read { array, indices } = a {
+                    if svd.arrays.contains_key(array.as_ref()) {
+                        return true;
+                    }
+                    if indices.iter().any(|ix| walk(ix, svd)) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+    walk(e, svd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use subsub_cfront::parse_program;
+    use subsub_ir::{lower_function, LoopCfg};
+
+    fn run_phase1(src: &str) -> (Phase1Result, subsub_ir::LoweredFunction) {
+        let p = parse_program(src).unwrap();
+        let f = lower_function(&p.funcs[0], &p.globals).unwrap();
+        let loops = f.loops();
+        let l = loops[0];
+        let cfg = LoopCfg::build(l);
+        let env = RangeEnv::new();
+        let r = phase1(l, &cfg, &HashMap::new(), &f.types, &env);
+        (r, f)
+    }
+
+    /// The paper's running example (Figures 4 and 5): after Phase-1,
+    /// `SVD_stn = { ind[λ_m] = [λ_ind, ⟨j⟩], m = [λ_m, ⟨1+λ_m⟩] }`.
+    #[test]
+    fn figure5_final_svd() {
+        let (r, _) = run_phase1(
+            r#"
+            void f(int npts, double *xdos, int *ind, double t, double width) {
+                int m; int j;
+                m = 0;
+                for (j = 0; j < npts; j++) {
+                    if ((xdos[j] - t) < width)
+                        ind[m++] = j;
+                }
+            }
+            "#,
+        );
+        let m = &r.svd.scalars["m"];
+        assert_eq!(m.entries().len(), 2);
+        let untagged: Vec<&TaggedVal> = m.untagged().collect();
+        assert_eq!(untagged.len(), 1);
+        assert_eq!(untagged[0].val, Val::point(Expr::lambda("m")));
+        let tagged: Vec<&TaggedVal> = m.tagged().collect();
+        assert_eq!(tagged.len(), 1);
+        assert_eq!(tagged[0].val, Val::point(Expr::lambda("m") + Expr::int(1)));
+
+        let writes = &r.svd.arrays["ind"];
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].subs, vec![Range::point(Expr::lambda("m"))]);
+        let vals = &writes[0].vals;
+        assert!(vals.untagged().any(|v| v.val == Val::point(Expr::lambda("ind"))));
+        assert!(vals.tagged().any(|v| v.val == Val::point(Expr::var("j"))));
+    }
+
+    /// AMGmk fill loop (paper Figure 9): Phase-1 yields
+    /// `A_rownnz[λ_irownnz]=[λ_A_rownnz,⟨i⟩], irownnz=[λ,⟨1+λ⟩],
+    ///  adiag=A_i[i+1]-A_i[i]`.
+    #[test]
+    fn amgmk_phase1() {
+        let (r, _) = run_phase1(
+            r#"
+            void f(int num_rows, int *A_i, int *A_rownnz) {
+                int i; int adiag; int irownnz;
+                irownnz = 0;
+                for (i = 0; i < num_rows; i++) {
+                    adiag = A_i[i+1] - A_i[i];
+                    if (adiag > 0)
+                        A_rownnz[irownnz++] = i;
+                }
+            }
+            "#,
+        );
+        let adiag = &r.svd.scalars["adiag"];
+        let expected =
+            Expr::read("A_i", vec![Expr::int(1) + Expr::var("i")]) - Expr::read("A_i", vec![Expr::var("i")]);
+        assert_eq!(adiag.single_untagged(), Some(&Val::point(expected)));
+        let w = &r.svd.arrays["A_rownnz"][0];
+        assert_eq!(w.subs, vec![Range::point(Expr::lambda("irownnz"))]);
+        assert!(w.vals.tagged().any(|v| v.val == Val::point(Expr::var("i"))));
+    }
+
+    /// Unconditional SSR: p = p + 1 each iteration.
+    #[test]
+    fn unconditional_recurrence() {
+        let (r, _) = run_phase1(
+            "void f(int n, int *a) { int i; int p; p = 0; for (i=0;i<n;i++) { a[i] = p; p = p + 1; } }",
+        );
+        let p = &r.svd.scalars["p"];
+        assert_eq!(p.single_untagged(), Some(&Val::point(Expr::lambda("p") + Expr::int(1))));
+        // a written at subscript i with value λ_p (p before increment).
+        let w = &r.svd.arrays["a"][0];
+        assert_eq!(w.subs, vec![Range::point(Expr::var("i"))]);
+        assert!(w.vals.untagged().any(|v| v.val == Val::point(Expr::lambda("p"))));
+    }
+
+    /// Reading an array already written this iteration yields ⊥.
+    #[test]
+    fn read_after_write_is_bottom() {
+        let (r, _) = run_phase1(
+            "void f(int n, int *a, int *b) { int i; int x; x = 0; for (i=0;i<n;i++) { a[i] = i; x = a[i]; } }",
+        );
+        assert!(r.svd.scalars["x"].any_bottom());
+    }
+
+    /// Values read from an unmodified array stay as uninterpreted reads.
+    #[test]
+    fn invariant_array_read_kept() {
+        let (r, _) = run_phase1(
+            "void f(int n, int *col_val) { int i; int rr; rr = 0; for (i=0;i<n;i++) { rr = col_val[i]; } }",
+        );
+        assert_eq!(
+            r.svd.scalars["rr"].single_untagged(),
+            Some(&Val::point(Expr::read("col_val", vec![Expr::var("i")])))
+        );
+    }
+
+    /// Multi-dimensional writes record one entry per distinct subscript
+    /// snapshot (six for the UA idel loop).
+    #[test]
+    fn ua_innermost_writes() {
+        let (r, _) = run_phase1(
+            r#"
+            void f(int ntemp, int idel[10][6][5][5], int iel, int j) {
+                int i;
+                for (i = 0; i < 5; i++) {
+                    idel[iel][0][j][i] = ntemp + i*5 + j*25 + 4;
+                    idel[iel][1][j][i] = ntemp + i*5 + j*25;
+                    idel[iel][2][j][i] = ntemp + i + j*25 + 20;
+                    idel[iel][3][j][i] = ntemp + i + j*25;
+                    idel[iel][4][j][i] = ntemp + i + j*5 + 100;
+                    idel[iel][5][j][i] = ntemp + i + j*5;
+                }
+            }
+            "#,
+        );
+        let writes = &r.svd.arrays["idel"];
+        assert_eq!(writes.len(), 6);
+        // First write value: ntemp + 5i + 25j + 4 (all invariant but i).
+        let expected = Expr::var("ntemp")
+            + Expr::int(5) * Expr::var("i")
+            + Expr::int(25) * Expr::var("j")
+            + Expr::int(4);
+        assert!(writes[0].vals.untagged().any(|v| v.val == Val::point(expected.clone())));
+    }
+
+    /// Float accumulators are LVVs with ⊥ values.
+    #[test]
+    fn float_lvv_is_bottom() {
+        let (r, _) = run_phase1(
+            "void f(int n, double *x) { int i; double s; s = 0.0; for (i=0;i<n;i++) { s = s + x[i]; } }",
+        );
+        assert!(r.svd.scalars["s"].any_bottom());
+    }
+}

@@ -1,0 +1,984 @@
+//! Phase-2: aggregation over the loop iteration space and property tests.
+//!
+//! Implements Algorithm 1 (the driver) and Algorithm 2 (`is_Mono_Array`)
+//! of the paper, covering:
+//!
+//! * **SSR** — simple scalar recurrences `sc = sc + k` with loop-invariant
+//!   PNN `k` (state of the art, [Bhosale & Eigenmann ICS'21]); conditional
+//!   increments widen the per-iteration step to `[0 : k]`.
+//! * **SRA** — scalar-recurrence array assignments `ar[i] = ssr_expr`,
+//!   including the array self-recurrence `a[f(i)] = a[f(i)-1] + k` of the
+//!   paper's Figure 2(b).
+//! * **LEMMA 1** — intermittent monotonicity: `inseq[ic] = j; ic = ic + 1`
+//!   under one loop-variant if-condition, `j` an SSR variable.
+//! * **LEMMA 2** — multi-dimensional range monotonicity:
+//!   `ax[i][*]…[*] = α·i + [rl:ru]` with `[rl:ru]` PNN and `α + rl ≥ ru`.
+//!
+//! The loop is then *collapsed* into aggregated assignments over `Λ_*`
+//! symbols, including the multi-write simplification of Section 3.3 (the
+//! six UA `idel` ranges merging into one).
+
+use crate::collapse::{CollapsedArrayWrite, CollapsedLoop, CollapsedScalar};
+use crate::properties::{AlgorithmLevel, ArrayProperty, Monotonicity, PropertyKind};
+use crate::value::{ArrayWrite, Guard, Svd, TaggedVal, Val, ValueSet};
+use subsub_ir::{CondTable, LoopIr};
+use subsub_symbolic::{Expr, Interval, Range, RangeEnv, Symbol, SymbolKind};
+
+/// A recognized simple scalar recurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsrInfo {
+    /// Variable name (the loop index is always an SSR variable).
+    pub name: String,
+    /// Effective per-iteration increment range (includes 0 when the
+    /// increment is conditional).
+    pub k_range: Range,
+    /// True when every iteration adds a positive amount (unconditional
+    /// positive `k`) — the variable is strictly monotonic.
+    pub strict: bool,
+    /// The tag of the conditional increment, if any.
+    pub guard: Option<Guard>,
+}
+
+/// Result of Phase-2 for one loop.
+#[derive(Debug, Clone)]
+pub struct Phase2Result {
+    /// All SSR variables found (loop index first).
+    pub ssr_vars: Vec<SsrInfo>,
+    /// Array properties proven for this loop, phrased over `Λ_*` /
+    /// `*_max` symbols (the function driver substitutes loop-entry values).
+    pub properties: Vec<ArrayProperty>,
+    /// The collapsed loop (aggregated effects over `Λ_*` symbols).
+    pub collapsed: CollapsedLoop,
+}
+
+/// Runs Phase-2 on the Phase-1 result of loop `l`.
+pub fn phase2(
+    l: &LoopIr,
+    svd: &Svd,
+    conds: &CondTable,
+    level: AlgorithmLevel,
+    env: &RangeEnv,
+) -> Phase2Result {
+    let idx = l.index.clone();
+    let n = l.n_iters.clone();
+    let mut env2 = env.clone();
+    // The loop index ranges over [0 : N-1]; iteration counts are
+    // non-negative by construction of the (normalized) loop.
+    env2.assume(idx.clone(), Interval::finite(Expr::int(0), n.clone() - Expr::int(1)));
+    for s in n.free_syms() {
+        if env2.interval_of(&s).is_none() {
+            env2.assume(s, Interval::at_least(Expr::int(0)));
+        }
+    }
+
+    // ---- Algorithm 1, scalar part: find SSR variables --------------------
+    let mut ssr_vars = vec![SsrInfo {
+        name: idx.name.to_string(),
+        k_range: Range::ints(1, 1),
+        strict: true,
+        guard: None,
+    }];
+    for (name, vs) in &svd.scalars {
+        if let Some(info) = detect_ssr(name, vs, &idx, &env2) {
+            ssr_vars.push(info);
+        }
+    }
+
+    // ---- Algorithm 1, array part: is_Mono_Array --------------------------
+    let mut properties = Vec::new();
+    if level.analyzes_arrays() {
+        for (array, writes) in &svd.arrays {
+            if let Some(p) = is_mono_array(l, array, writes, svd, conds, &ssr_vars, level, &env2) {
+                properties.push(p);
+            }
+        }
+    }
+
+    // ---- Aggregation & collapse ------------------------------------------
+    let collapsed = collapse_loop(l, svd, &ssr_vars, &properties, &env2);
+
+    Phase2Result { ssr_vars, properties, collapsed }
+}
+
+// ---------------------------------------------------------------------------
+// SSR detection
+// ---------------------------------------------------------------------------
+
+/// Recognizes `v = λ_v + k` (unconditional, possibly with a range `k` from
+/// a collapsed inner loop) or `v = [λ_v, ⟨λ_v + k⟩]` (conditional).
+fn detect_ssr(name: &str, vs: &ValueSet, idx: &Symbol, env: &RangeEnv) -> Option<SsrInfo> {
+    let lambda = Expr::lambda(name);
+    let diff_of = |e: &Expr| -> Option<Expr> {
+        let d = e.clone() - lambda.clone();
+        let ok = !d.contains_read()
+            && !d.contains_lambda()
+            && !d.contains_sym(idx)
+            && !d.free_syms().iter().any(|s| s.kind != SymbolKind::Var);
+        ok.then_some(d)
+    };
+
+    if vs.has_tagged() {
+        // Conditional SSR: untagged entries must be the identity λ_v.
+        for u in vs.untagged() {
+            if u.val != Val::point(lambda.clone()) {
+                return None;
+            }
+        }
+        let tagged: Vec<&TaggedVal> = vs.tagged().collect();
+        let mut hi: Option<Expr> = None;
+        for t in &tagged {
+            let r = t.val.as_range()?;
+            let dlo = diff_of(&r.lo)?;
+            let dhi = diff_of(&r.hi)?;
+            if !env.sign_of(&dlo).is_nonneg() {
+                return None;
+            }
+            hi = Some(match hi {
+                None => dhi,
+                Some(h) if env.proves_ge(&dhi, &h) => dhi,
+                Some(h) if env.proves_ge(&h, &dhi) => h,
+                _ => return None,
+            });
+        }
+        let guard = if tagged.len() == 1 { Some(tagged[0].guard.clone()) } else { None };
+        Some(SsrInfo {
+            name: name.to_string(),
+            k_range: Range::new(Expr::int(0), hi?),
+            strict: false,
+            guard,
+        })
+    } else {
+        let single = vs.single_untagged()?;
+        let r = single.as_range()?;
+        let dlo = diff_of(&r.lo)?;
+        let dhi = diff_of(&r.hi)?;
+        if dlo.is_zero() && dhi.is_zero() {
+            return None; // unchanged — invariant, not a recurrence
+        }
+        if !env.sign_of(&dlo).is_nonneg() {
+            return None;
+        }
+        let strict = env.sign_of(&dlo).is_pos();
+        Some(SsrInfo {
+            name: name.to_string(),
+            k_range: Range::new(dlo, dhi),
+            strict,
+            guard: None,
+        })
+    }
+}
+
+fn find_ssr<'a>(ssr_vars: &'a [SsrInfo], name: &str) -> Option<&'a SsrInfo> {
+    ssr_vars.iter().find(|s| s.name == name)
+}
+
+// ---------------------------------------------------------------------------
+// is_Mono_Array (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn is_mono_array(
+    l: &LoopIr,
+    array: &str,
+    writes: &[ArrayWrite],
+    svd: &Svd,
+    conds: &CondTable,
+    ssr_vars: &[SsrInfo],
+    level: AlgorithmLevel,
+    env: &RangeEnv,
+) -> Option<ArrayProperty> {
+    let [write] = writes else { return None };
+    if write.subs.is_empty() {
+        return None; // unknown write location
+    }
+    if write.subs.len() == 1 {
+        if level.novel_concepts() {
+            if let Some(p) = check_intermittent(l, array, write, svd, conds, ssr_vars, env) {
+                return Some(p);
+            }
+        }
+        return check_sra(l, array, write, ssr_vars, env);
+    }
+    if level.novel_concepts() {
+        return check_multidim(l, array, write, env);
+    }
+    None
+}
+
+/// LEMMA 1: `inseq[ic] = j` and `ic = λ_ic + 1` under equal, loop-variant
+/// if-conditions, with `j` an SSR variable.
+fn check_intermittent(
+    l: &LoopIr,
+    array: &str,
+    write: &ArrayWrite,
+    svd: &Svd,
+    conds: &CondTable,
+    ssr_vars: &[SsrInfo],
+    env: &RangeEnv,
+) -> Option<ArrayProperty> {
+    // Subscript snapshot must be a bare λ_s.
+    let sub = write.subs[0].as_point()?;
+    let s_sym = sub.as_sym()?;
+    if s_sym.kind != SymbolKind::Lambda {
+        return None;
+    }
+    let s = s_sym.name.to_string();
+
+    // R_s: the counter must be incremented by exactly 1, conditionally.
+    let r_s = svd.scalars.get(&s)?;
+    let s_tagged: Vec<&TaggedVal> = r_s.tagged().collect();
+    let [s_inc] = s_tagged.as_slice() else { return None };
+    let inc = s_inc.val.as_range()?.as_point()?;
+    if inc.clone() - Expr::lambda(&s) != Expr::int(1) {
+        return None;
+    }
+    let tag_s = &s_inc.guard;
+
+    // R_v: the written value, tagged with the same condition.
+    let v_tagged: Vec<&TaggedVal> = write.vals.tagged().collect();
+    let [v_entry] = v_tagged.as_slice() else { return None };
+    let tag_v = &v_entry.guard;
+    if !guards_equal(conds, tag_s, tag_v) {
+        return None;
+    }
+    if !guard_is_loop_variant(conds, tag_v, l, svd) {
+        return None;
+    }
+
+    // The value must be an SSR variable (the loop index qualifies) plus an
+    // optional invariant constant.
+    let v_expr = v_entry.val.as_range()?.as_point()?;
+    let (ssr, _const) = match_ssr_expr(&v_expr, ssr_vars, &l.index)?;
+
+    let value_range = aggregate_value_expr(&v_expr, l, ssr_vars, env);
+    let strict = ssr.strict;
+    Some(ArrayProperty {
+        array: array.to_string(),
+        monotonicity: if strict {
+            Monotonicity::StrictlyMonotonic
+        } else {
+            Monotonicity::Monotonic
+        },
+        dim: 0,
+        kind: PropertyKind::Intermittent { counter: s.clone() },
+        index_range: Range::new(Expr::entry(&s), Expr::post_max(&s)),
+        value_range,
+        defined_in: l.id,
+    })
+}
+
+/// SRA (base algorithm): `ar[i + c] = ssr_expr` assigned every iteration,
+/// or the array self-recurrence `ar[i + c] = ar[i + c - 1] + k`.
+fn check_sra(
+    l: &LoopIr,
+    array: &str,
+    write: &ArrayWrite,
+    ssr_vars: &[SsrInfo],
+    env: &RangeEnv,
+) -> Option<ArrayProperty> {
+    let sub = write.subs[0].as_point()?;
+    let c = simple_subscript_offset(sub, &l.index)?;
+
+    // Unconditional single value.
+    let v = write.vals.single_untagged()?;
+    let r = v.as_range()?;
+
+    // Case 1: self-recurrence a[s] = a[s-1] + k (Figure 2(b)). The
+    // monotone range includes the read anchor `s-1` of the first
+    // iteration: a[c-1] <= a[c] holds by the recurrence itself.
+    if let Some(strict) = self_recurrence(array, sub, r, env) {
+        let written = subscript_range(sub, l, env)?;
+        let idx_range = Range::new(written.lo - Expr::int(1), written.hi);
+        return Some(ArrayProperty {
+            array: array.to_string(),
+            monotonicity: if strict {
+                Monotonicity::StrictlyMonotonic
+            } else {
+                Monotonicity::Monotonic
+            },
+            dim: 0,
+            kind: PropertyKind::Sra,
+            index_range: idx_range,
+            value_range: None,
+            defined_in: l.id,
+        });
+    }
+
+    // Case 2: ar[i+c] = λ_sc + const with sc an SSR variable, or the loop
+    // index itself plus a constant.
+    let v_expr = r.as_point()?;
+    let (ssr, _k) = match_ssr_expr(v_expr, ssr_vars, &l.index)?;
+    let strict = ssr.strict;
+    let value_range = aggregate_value_expr(v_expr, l, ssr_vars, env);
+    let idx_range = Range::new(
+        Expr::int(c),
+        l.n_iters.clone() - Expr::int(1) + Expr::int(c),
+    );
+    Some(ArrayProperty {
+        array: array.to_string(),
+        monotonicity: if strict {
+            Monotonicity::StrictlyMonotonic
+        } else {
+            Monotonicity::Monotonic
+        },
+        dim: 0,
+        kind: PropertyKind::Sra,
+        index_range: idx_range,
+        value_range,
+        defined_in: l.id,
+    })
+}
+
+/// LEMMA 2: exactly one dimension is a simple subscript of the loop index;
+/// the stored value is `α·i + [rl:ru]` with `[rl:ru]` PNN and `α+rl ≥ ru`.
+fn check_multidim(
+    l: &LoopIr,
+    array: &str,
+    write: &ArrayWrite,
+    env: &RangeEnv,
+) -> Option<ArrayProperty> {
+    let idx = &l.index;
+    let mut dim = None;
+    for (pos, s) in write.subs.iter().enumerate() {
+        let touches = s.lo.contains_sym(idx) || s.hi.contains_sym(idx);
+        if !touches {
+            continue;
+        }
+        let point = s.as_point()?;
+        simple_subscript_offset(point, idx)?;
+        if dim.is_some() {
+            return None; // more than one index-dependent dimension
+        }
+        dim = Some(pos);
+    }
+    let dim = dim?;
+
+    let v = write.vals.single_untagged()?;
+    let r = v.as_range()?;
+    // R_v = α·i + [rl:ru]: split both bounds, α must match.
+    let (a_lo, rl) = r.lo.split_linear(idx)?;
+    let (a_hi, ru) = r.hi.split_linear(idx)?;
+    if a_lo != a_hi {
+        return None;
+    }
+    let alpha = a_lo;
+    // remainder must be PNN (Algorithm 2 lines 24-25).
+    let rem = Range::new(rl.clone(), ru.clone());
+    rem.pnn(env)?;
+    // α + rl ≥ ru  (strict when >).
+    let lhs = alpha.clone() + rl.clone();
+    if !env.proves_ge(&lhs, &ru) {
+        return None;
+    }
+    let strict = env.proves_gt(&lhs, &ru);
+
+    let n1 = l.n_iters.clone() - Expr::int(1);
+    let point = write.subs[dim].as_point().expect("checked above");
+    let c = simple_subscript_offset(point, idx).expect("checked above");
+    let value_range = Range::new(rl.clone(), alpha.clone() * n1.clone() + ru.clone());
+    Some(ArrayProperty {
+        array: array.to_string(),
+        monotonicity: if strict {
+            Monotonicity::StrictlyMonotonic
+        } else {
+            Monotonicity::Monotonic
+        },
+        dim,
+        kind: PropertyKind::MultiDim,
+        index_range: Range::new(Expr::int(c), n1 + Expr::int(c)),
+        value_range: Some(value_range),
+        defined_in: l.id,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Matches `e = sym(ssr) + const` where `ssr` is the loop index (plain
+/// symbol) or an SSR variable (appearing as `λ_name`); the constant must be
+/// loop-invariant.
+fn match_ssr_expr<'a>(
+    e: &Expr,
+    ssr_vars: &'a [SsrInfo],
+    idx: &Symbol,
+) -> Option<(&'a SsrInfo, Expr)> {
+    for info in ssr_vars {
+        let sym = if info.name == idx.name.as_ref() {
+            idx.clone()
+        } else {
+            Symbol::lambda(&info.name)
+        };
+        if let Some((coef, rest)) = e.split_linear(&sym) {
+            if coef.as_int() == Some(1)
+                && !rest.contains_lambda()
+                && !rest.contains_read()
+                && !rest.contains_sym(idx)
+            {
+                return Some((info, rest));
+            }
+        }
+    }
+    None
+}
+
+/// `sub = i + c` with invariant constant `c` → `Some(c)` (c must be an
+/// integer literal for the subscript to be "simple").
+fn simple_subscript_offset(sub: &Expr, idx: &Symbol) -> Option<i64> {
+    let (coef, rest) = sub.split_linear(idx)?;
+    if coef.as_int() != Some(1) {
+        return None;
+    }
+    rest.as_int()
+}
+
+/// Detects `value = read(array, [sub - 1]) + k` with invariant PNN `k`;
+/// returns `Some(strict)` on success.
+fn self_recurrence(array: &str, sub: &Expr, val: &Range, env: &RangeEnv) -> Option<bool> {
+    let prev = Expr::read(array, vec![sub.clone() - Expr::int(1)]);
+    let dlo = val.lo.clone() - prev.clone();
+    let dhi = val.hi.clone() - prev;
+    if dlo.contains_read() || dhi.contains_read() || dlo.contains_lambda() {
+        return None;
+    }
+    if !env.sign_of(&dlo).is_nonneg() {
+        return None;
+    }
+    Some(env.sign_of(&dlo).is_pos())
+}
+
+/// Subscript range covered by `i + c` over the whole iteration space.
+fn subscript_range(sub: &Expr, l: &LoopIr, env: &RangeEnv) -> Option<Range> {
+    Range::point(sub.clone()).subst_sym_range(
+        &l.index,
+        &Range::new(Expr::int(0), l.n_iters.clone() - Expr::int(1)),
+        env,
+    )
+}
+
+/// True when every condition in the guard references the loop index or a
+/// loop-variant variable (Algorithm 2 line 15's "loop variant" test).
+fn guard_is_loop_variant(conds: &CondTable, guard: &Guard, l: &LoopIr, svd: &Svd) -> bool {
+    !guard.is_empty()
+        && guard.iter().all(|(cid, _)| {
+            conds.get(*cid).referenced_vars().iter().any(|v| {
+                v == l.index.name.as_ref() || svd.scalars.contains_key(v)
+            })
+        })
+}
+
+/// Structural equality of two guards under the condition table.
+fn guards_equal(conds: &CondTable, a: &Guard, b: &Guard) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|((ca, pa), (cb, pb))| pa == pb && conds.tags_equal(*ca, *cb))
+}
+
+/// Aggregates a per-iteration value expression over the whole loop:
+/// substitutes each `λ_sc` of an SSR variable with its during-loop range
+/// and the loop index with `[0 : N-1]`, returning the hull.
+fn aggregate_value_expr(
+    e: &Expr,
+    l: &LoopIr,
+    ssr_vars: &[SsrInfo],
+    env: &RangeEnv,
+) -> Option<Range> {
+    aggregate_value_range(&Range::point(e.clone()), l, ssr_vars, env)
+}
+
+fn aggregate_value_range(
+    r: &Range,
+    l: &LoopIr,
+    ssr_vars: &[SsrInfo],
+    env: &RangeEnv,
+) -> Option<Range> {
+    if r.lo.contains_read() || r.hi.contains_read() {
+        return None;
+    }
+    let mut cur = r.clone();
+    let n1 = l.n_iters.clone() - Expr::int(1);
+    // λ_sc of SSR variables → [Λ_sc : Λ_sc + (N-1)*ubk].
+    for _ in 0..16 {
+        let lam: Option<Symbol> = cur
+            .lo
+            .free_syms()
+            .into_iter()
+            .chain(cur.hi.free_syms())
+            .find(|s| s.kind == SymbolKind::Lambda);
+        let Some(sym) = lam else { break };
+        let info = find_ssr(ssr_vars, sym.name.as_ref())?;
+        let span = Range::new(
+            Expr::entry(&info.name),
+            Expr::entry(&info.name) + n1.clone() * info.k_range.hi.clone(),
+        );
+        cur = cur.subst_sym_range(&sym, &span, env)?;
+    }
+    if cur.lo.contains_lambda() || cur.hi.contains_lambda() {
+        return None;
+    }
+    // Loop index → [0 : N-1].
+    if cur.lo.contains_sym(&l.index) || cur.hi.contains_sym(&l.index) {
+        cur = cur.subst_sym_range(&l.index, &Range::new(Expr::int(0), n1), env)?;
+    }
+    Some(cur)
+}
+
+// ---------------------------------------------------------------------------
+// Collapse
+// ---------------------------------------------------------------------------
+
+fn collapse_loop(
+    l: &LoopIr,
+    svd: &Svd,
+    ssr_vars: &[SsrInfo],
+    properties: &[ArrayProperty],
+    env: &RangeEnv,
+) -> CollapsedLoop {
+    let mut out = CollapsedLoop::default();
+    let n = l.n_iters.clone();
+
+    // Scalars.
+    for (name, vs) in &svd.scalars {
+        if name == l.index.name.as_ref() {
+            continue;
+        }
+        let val = if let Some(info) = find_ssr(ssr_vars, name) {
+            Val::Range(Range::new(
+                Expr::entry(name) + n.clone() * info.k_range.lo.clone(),
+                Expr::entry(name) + n.clone() * info.k_range.hi.clone(),
+            ))
+        } else {
+            collapse_plain_scalar(vs, l, ssr_vars, env)
+        };
+        out.scalars.push(CollapsedScalar { name: name.clone(), val });
+    }
+
+    // Arrays.
+    for (array, writes) in &svd.arrays {
+        // Property-backed intermittent arrays collapse to the counted
+        // region with the aggregated value range.
+        if let Some(p) = properties.iter().find(|p| {
+            p.array == *array && matches!(p.kind, PropertyKind::Intermittent { .. })
+        }) {
+            out.arrays.push(CollapsedArrayWrite {
+                array: array.clone(),
+                subs: vec![p.index_range.clone()],
+                val: p
+                    .value_range
+                    .clone()
+                    .map(Val::Range)
+                    .unwrap_or(Val::Bottom),
+            });
+            continue;
+        }
+        let mut aggregated = Vec::new();
+        let mut unknown = false;
+        for w in writes {
+            match aggregate_write(w, l, ssr_vars, env) {
+                Some(cw) => aggregated.push(cw),
+                None => {
+                    unknown = true;
+                    break;
+                }
+            }
+        }
+        if unknown {
+            out.arrays.push(CollapsedArrayWrite {
+                array: array.clone(),
+                subs: Vec::new(),
+                val: Val::Bottom,
+            });
+            continue;
+        }
+        let merged = try_merge_writes(aggregated, env);
+        for (subs, val) in merged {
+            out.arrays.push(CollapsedArrayWrite { array: array.clone(), subs, val });
+        }
+    }
+    out
+}
+
+fn collapse_plain_scalar(
+    vs: &ValueSet,
+    l: &LoopIr,
+    ssr_vars: &[SsrInfo],
+    env: &RangeEnv,
+) -> Val {
+    let mut parts = Vec::new();
+    for tv in vs.entries() {
+        let Val::Range(r) = &tv.val else { return Val::Bottom };
+        match aggregate_value_range(r, l, ssr_vars, env) {
+            Some(r) => parts.push(r),
+            None => return Val::Bottom,
+        }
+    }
+    match subsub_symbolic::simplify::hull(&parts, env) {
+        Some(r) => Val::Range(r),
+        None => Val::Bottom,
+    }
+}
+
+/// Aggregates one write over the iteration space: subscript positions and
+/// values get the loop index substituted by `[0 : N-1]`, SSR λ's by their
+/// during-loop spans. Unresolvable writes return `None` (caller widens to
+/// whole-array-unknown).
+fn aggregate_write(
+    w: &ArrayWrite,
+    l: &LoopIr,
+    ssr_vars: &[SsrInfo],
+    env: &RangeEnv,
+) -> Option<(Vec<Range>, Val)> {
+    let mut subs = Vec::with_capacity(w.subs.len());
+    for s in w.subs.iter() {
+        if s.lo.contains_read() || s.hi.contains_read() {
+            return None;
+        }
+        subs.push(aggregate_value_range(s, l, ssr_vars, env)?);
+    }
+    // Values: aggregate every non-λ_array entry; the λ_array alternative
+    // (unchanged element) does not contribute a new value.
+    let mut parts = Vec::new();
+    for tv in w.vals.entries() {
+        let Val::Range(r) = &tv.val else { return Some((subs, Val::Bottom)) };
+        if let Some(sym) = r.as_point().and_then(Expr::as_sym) {
+            if sym.kind == SymbolKind::Lambda {
+                // λ of the array itself or an unresolved scalar: if it is
+                // the array's own λ, skip; otherwise aggregate normally.
+                let is_array_lambda = find_ssr(ssr_vars, sym.name.as_ref()).is_none();
+                if is_array_lambda {
+                    continue;
+                }
+            }
+        }
+        match aggregate_value_range(r, l, ssr_vars, env) {
+            Some(r) => parts.push(r),
+            None => return Some((subs, Val::Bottom)),
+        }
+    }
+    if parts.is_empty() {
+        return Some((subs, Val::Bottom));
+    }
+    let val = match subsub_symbolic::simplify::hull(&parts, env) {
+        Some(r) => Val::Range(r),
+        None => Val::Bottom,
+    };
+    Some((subs, val))
+}
+
+/// The Section 3.3 simplification: writes identical in all dimensions but
+/// one — whose subscripts are contiguous constants — merge into one write
+/// with that dimension spanning the constants and the value hull, when the
+/// hull is provable.
+fn try_merge_writes(
+    writes: Vec<(Vec<Range>, Val)>,
+    env: &RangeEnv,
+) -> Vec<(Vec<Range>, Val)> {
+    if writes.len() < 2 {
+        return writes;
+    }
+    let ndims = writes[0].0.len();
+    if writes.iter().any(|(s, _)| s.len() != ndims) {
+        return writes;
+    }
+    'dims: for d in 0..ndims {
+        // All other dimensions equal across writes?
+        for (s, _) in &writes[1..] {
+            for (k, sub) in s.iter().enumerate() {
+                if k != d && *sub != writes[0].0[k] {
+                    continue 'dims;
+                }
+            }
+        }
+        // Dimension d: contiguous constant points.
+        let mut consts = Vec::new();
+        for (s, _) in &writes {
+            match s[d].as_point().and_then(Expr::as_int) {
+                Some(c) => consts.push(c),
+                None => continue 'dims,
+            }
+        }
+        let mut sorted = consts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != consts.len()
+            || (sorted[sorted.len() - 1] - sorted[0] + 1) as usize != sorted.len()
+        {
+            continue 'dims;
+        }
+        // Value hull must be provable.
+        let ranges: Option<Vec<Range>> = writes
+            .iter()
+            .map(|(_, v)| v.as_range().cloned())
+            .collect();
+        let Some(ranges) = ranges else { continue 'dims };
+        let Some(hull) = subsub_symbolic::simplify::hull(&ranges, env) else {
+            continue 'dims;
+        };
+        let mut subs = writes[0].0.clone();
+        subs[d] = Range::ints(sorted[0], sorted[sorted.len() - 1]);
+        return vec![(subs, Val::Range(hull))];
+    }
+    writes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1::phase1;
+    use std::collections::HashMap;
+    use subsub_cfront::parse_program;
+    use subsub_ir::{lower_function, LoopCfg};
+
+    fn analyze_first_loop(src: &str, level: AlgorithmLevel) -> Phase2Result {
+        let p = parse_program(src).unwrap();
+        let f = lower_function(&p.funcs[0], &p.globals).unwrap();
+        let loops = f.loops();
+        let l = loops[0];
+        let cfg = LoopCfg::build(l);
+        let env = RangeEnv::new();
+        let r1 = phase1(l, &cfg, &HashMap::new(), &f.types, &env);
+        phase2(l, &r1.svd, &f.conds, level, &env)
+    }
+
+    const AMGMK_FILL: &str = r#"
+        void f(int num_rows, int *A_i, int *A_rownnz) {
+            int i; int adiag; int irownnz;
+            irownnz = 0;
+            for (i = 0; i < num_rows; i++) {
+                adiag = A_i[i+1] - A_i[i];
+                if (adiag > 0)
+                    A_rownnz[irownnz++] = i;
+            }
+        }
+    "#;
+
+    /// Paper Section 3.1: A_rownnz is intermittently *strictly* monotonic;
+    /// irownnz aggregates to [Λ : Λ + num_rows].
+    #[test]
+    fn amgmk_intermittent_sma() {
+        let r = analyze_first_loop(AMGMK_FILL, AlgorithmLevel::New);
+        let p = r.properties.iter().find(|p| p.array == "A_rownnz").expect("property");
+        assert!(p.monotonicity.is_strict());
+        assert!(matches!(&p.kind, PropertyKind::Intermittent { counter } if counter == "irownnz"));
+        assert_eq!(
+            p.index_range,
+            Range::new(Expr::entry("irownnz"), Expr::post_max("irownnz"))
+        );
+        // Value range: [0 : num_rows - 1].
+        assert_eq!(
+            p.value_range,
+            Some(Range::new(Expr::int(0), Expr::var("num_rows") - Expr::int(1)))
+        );
+        // irownnz is a conditional SSR with k ∈ [0:1].
+        let ssr = r.ssr_vars.iter().find(|s| s.name == "irownnz").expect("ssr");
+        assert_eq!(ssr.k_range, Range::ints(0, 1));
+        assert!(!ssr.strict);
+        // Collapsed scalar: irownnz = [Λ : Λ + num_rows].
+        let cs = r.collapsed.scalars.iter().find(|c| c.name == "irownnz").unwrap();
+        assert_eq!(
+            cs.val,
+            Val::Range(Range::new(
+                Expr::entry("irownnz"),
+                Expr::entry("irownnz") + Expr::var("num_rows")
+            ))
+        );
+        // adiag collapses to ⊥ (paper: adiag = ⊥).
+        let ad = r.collapsed.scalars.iter().find(|c| c.name == "adiag").unwrap();
+        assert_eq!(ad.val, Val::Bottom);
+    }
+
+    /// The base algorithm must NOT find the intermittent property.
+    #[test]
+    fn amgmk_base_level_fails() {
+        let r = analyze_first_loop(AMGMK_FILL, AlgorithmLevel::Base);
+        assert!(r.properties.is_empty());
+    }
+
+    /// Paper Section 3.2 (SDDMM): col_ptr strictly monotonic, holder
+    /// aggregates to [Λ : Λ + nonzeros].
+    #[test]
+    fn sddmm_intermittent_sma() {
+        let r = analyze_first_loop(
+            r#"
+            void fill(int nonzeros, int *col_val, int *col_ptr) {
+                int i; int holder; int r;
+                holder = 1; col_ptr[0] = 0; r = col_val[0];
+                for (i = 0; i < nonzeros; i++) {
+                    if (col_val[i] != r) {
+                        col_ptr[holder++] = i;
+                        r = col_val[i];
+                    }
+                }
+            }
+            "#,
+            AlgorithmLevel::New,
+        );
+        let p = r.properties.iter().find(|p| p.array == "col_ptr").expect("property");
+        assert!(p.monotonicity.is_strict());
+        assert_eq!(
+            p.value_range,
+            Some(Range::new(Expr::int(0), Expr::var("nonzeros") - Expr::int(1)))
+        );
+    }
+
+    /// SRA (Figure 2(a) outer pattern): a[i] = p with p an unconditional
+    /// positive recurrence → strictly monotonic, continuous.
+    #[test]
+    fn sra_unconditional() {
+        let r = analyze_first_loop(
+            "void f(int n, int *a) { int i; int p; p = 0; for (i=0;i<n;i++) { a[i] = p; p = p + 2; } }",
+            AlgorithmLevel::Base,
+        );
+        let p = r.properties.iter().find(|p| p.array == "a").expect("property");
+        assert!(p.monotonicity.is_strict());
+        assert!(matches!(p.kind, PropertyKind::Sra));
+        assert_eq!(p.index_range, Range::new(Expr::int(0), Expr::var("n") - Expr::int(1)));
+    }
+
+    /// Figure 2(b): the array self-recurrence a[i+1] = a[i] + k.
+    #[test]
+    fn sra_self_recurrence() {
+        let r = analyze_first_loop(
+            "void f(int n, int *a) { int i; a[0] = 0; for (i=0;i<n;i++) { a[i+1] = a[i] + 3; } }",
+            AlgorithmLevel::Base,
+        );
+        let p = r.properties.iter().find(|p| p.array == "a").expect("property");
+        assert!(p.monotonicity.is_strict());
+        // Monotone over [0:n]: the read anchor a[0] is included because
+        // a[1] = a[0] + k implies a[0] <= a[1].
+        assert_eq!(p.index_range, Range::new(Expr::int(0), Expr::var("n")));
+    }
+
+    /// Self-recurrence with a symbolic non-negative increment is monotone
+    /// but not strict.
+    #[test]
+    fn sra_self_recurrence_nonneg() {
+        let src = r#"
+            void f(int n, int *a, int *cnt) {
+                int i;
+                for (i = 0; i < n; i++) { a[i+1] = a[i] + 0; }
+            }
+        "#;
+        let r = analyze_first_loop(src, AlgorithmLevel::Base);
+        let p = r.properties.iter().find(|p| p.array == "a").expect("property");
+        assert!(!p.monotonicity.is_strict());
+    }
+
+    /// A decreasing recurrence must NOT be monotonic.
+    #[test]
+    fn decreasing_is_rejected() {
+        let r = analyze_first_loop(
+            "void f(int n, int *a) { int i; int p; p = 0; for (i=0;i<n;i++) { a[i] = p; p = p - 1; } }",
+            AlgorithmLevel::New,
+        );
+        assert!(r.properties.is_empty());
+        assert!(!r.ssr_vars.iter().any(|s| s.name == "p"));
+    }
+
+    /// A counter incremented by 2 under the condition does not match
+    /// LEMMA 1 (requires increment by exactly 1).
+    #[test]
+    fn intermittent_requires_unit_increment() {
+        let r = analyze_first_loop(
+            r#"
+            void f(int n, int *a, int *flag) {
+                int i; int m;
+                m = 0;
+                for (i = 0; i < n; i++) {
+                    if (flag[i] > 0) {
+                        a[m] = i;
+                        m = m + 2;
+                    }
+                }
+            }
+            "#,
+            AlgorithmLevel::New,
+        );
+        assert!(r.properties.is_empty());
+    }
+
+    /// Different conditions on the write and the counter increment
+    /// invalidate LEMMA 1.
+    #[test]
+    fn intermittent_requires_equal_tags() {
+        let r = analyze_first_loop(
+            r#"
+            void f(int n, int *a, int *flag, int *other) {
+                int i; int m;
+                m = 0;
+                for (i = 0; i < n; i++) {
+                    if (flag[i] > 0) a[m] = i;
+                    if (other[i] > 0) m = m + 1;
+                }
+            }
+            "#,
+            AlgorithmLevel::New,
+        );
+        assert!(r.properties.is_empty());
+    }
+
+    /// A loop-INVARIANT condition does not generate an intermittent
+    /// sequence (Algorithm 2 line 15 requires loop variance).
+    #[test]
+    fn intermittent_requires_variant_condition() {
+        let r = analyze_first_loop(
+            r#"
+            void f(int n, int t, int *a) {
+                int i; int m;
+                m = 0;
+                for (i = 0; i < n; i++) {
+                    if (t > 0) {
+                        a[m] = i;
+                        m = m + 1;
+                    }
+                }
+            }
+            "#,
+            AlgorithmLevel::New,
+        );
+        assert!(r.properties.is_empty());
+    }
+
+    /// Collapsed writes merge per Section 3.3 when the dimension constants
+    /// are contiguous and the value hull is provable.
+    #[test]
+    fn merge_writes_contiguous() {
+        let env = RangeEnv::new();
+        let mk = |c: i64, lo: i64, hi: i64| {
+            (
+                vec![Range::point(Expr::var("iel")), Range::ints(c, c), Range::ints(0, 4)],
+                Val::Range(Range::new(
+                    Expr::entry("ntemp") + Expr::int(lo),
+                    Expr::entry("ntemp") + Expr::int(hi),
+                )),
+            )
+        };
+        let writes = vec![mk(0, 4, 124), mk(1, 0, 120), mk(2, 20, 124), mk(3, 0, 104), mk(4, 100, 124), mk(5, 0, 24)];
+        let merged = try_merge_writes(writes, &env);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].0[1], Range::ints(0, 5));
+        assert_eq!(
+            merged[0].1,
+            Val::Range(Range::new(
+                Expr::entry("ntemp"),
+                Expr::entry("ntemp") + Expr::int(124)
+            ))
+        );
+    }
+
+    /// Non-contiguous constants do not merge.
+    #[test]
+    fn merge_writes_noncontiguous_kept() {
+        let env = RangeEnv::new();
+        let mk = |c: i64| {
+            (
+                vec![Range::ints(c, c)],
+                Val::Range(Range::ints(0, 1)),
+            )
+        };
+        let writes = vec![mk(0), mk(2)];
+        let merged = try_merge_writes(writes, &env);
+        assert_eq!(merged.len(), 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! Subscript-array properties and the property database.
+//!
+//! Section 2.1 of the paper: loops with subscripted subscripts can often be
+//! parallelized if the subscript array is known to be *monotonic* — in some
+//! cases non-strict monotonicity suffices, in others the array must be
+//! *strictly* monotonic (hence injective). Multi-dimensional arrays use
+//! *range monotonicity* (Definition 1): the value range of slice `i` lies
+//! entirely at-or-below the value range of slice `i+1` along one dimension.
+
+use std::collections::HashMap;
+use std::fmt;
+use subsub_ir::LoopId;
+use subsub_symbolic::Range;
+
+/// Which analysis capabilities are enabled — the three configurations the
+/// paper's Figure 17 compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmLevel {
+    /// Classical Cetus automatic parallelization only: no subscript-array
+    /// property analysis at all.
+    Classic,
+    /// The method of Bhosale & Eigenmann ICS'21 ("BaseAlgo"): SSR + SRA —
+    /// continuous monotonicity of one-dimensional arrays.
+    Base,
+    /// The paper's new algorithm ("NewAlgo"): Base plus intermittent
+    /// monotonicity (LEMMA 1) and multi-dimensional range monotonicity
+    /// (LEMMA 2).
+    New,
+}
+
+impl AlgorithmLevel {
+    /// True if subscript-array analysis runs at all.
+    pub fn analyzes_arrays(self) -> bool {
+        !matches!(self, AlgorithmLevel::Classic)
+    }
+
+    /// True if the novel concepts (LEMMA 1 / LEMMA 2) are enabled.
+    pub fn novel_concepts(self) -> bool {
+        matches!(self, AlgorithmLevel::New)
+    }
+}
+
+impl fmt::Display for AlgorithmLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgorithmLevel::Classic => write!(f, "Cetus"),
+            AlgorithmLevel::Base => write!(f, "Cetus+BaseAlgo"),
+            AlgorithmLevel::New => write!(f, "Cetus+NewAlgo"),
+        }
+    }
+}
+
+/// Degree of monotonicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Monotonicity {
+    /// `a[i] <= a[i+1]` (the paper's MA).
+    Monotonic,
+    /// `a[i] < a[i+1]` (the paper's SMA) — implies injectivity.
+    StrictlyMonotonic,
+}
+
+impl Monotonicity {
+    /// True for SMA.
+    pub fn is_strict(self) -> bool {
+        matches!(self, Monotonicity::StrictlyMonotonic)
+    }
+
+    /// The paper's `#MA` / `#SMA` suffix.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Monotonicity::Monotonic => "#MA",
+            Monotonicity::StrictlyMonotonic => "#SMA",
+        }
+    }
+}
+
+/// How the property was established.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropertyKind {
+    /// Scalar Recurrence Array Assignment (continuous; base algorithm).
+    Sra,
+    /// Intermittent monotonic sequence (LEMMA 1). Carries the counter
+    /// scalar whose post-loop value bounds the written index range.
+    Intermittent {
+        /// The element counter (`ic` in LEMMA 1, `irownnz` in AMGmk).
+        counter: String,
+    },
+    /// Multi-dimensional range monotonicity (LEMMA 2).
+    MultiDim,
+}
+
+/// A proven property of one subscript array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayProperty {
+    /// Array name.
+    pub array: String,
+    /// MA or SMA.
+    pub monotonicity: Monotonicity,
+    /// Dimension position w.r.t. which monotonicity holds (0 for 1-D
+    /// arrays; the paper's `DIM` for multi-dimensional ones).
+    pub dim: usize,
+    /// How the property was proven.
+    pub kind: PropertyKind,
+    /// Subscript range over which the property holds (e.g.
+    /// `[0 : irownnz_max]`). Bounds may contain `*_max` post-loop symbols,
+    /// in which case a runtime check is required at the use site.
+    pub index_range: Range,
+    /// Aggregated value range of the monotone elements, when known
+    /// (e.g. `[0 : num_rows-1]`).
+    pub value_range: Option<Range>,
+    /// The loop that established the property.
+    pub defined_in: LoopId,
+}
+
+impl ArrayProperty {
+    /// Strict monotonicity implies injectivity on the covered range.
+    pub fn is_injective(&self) -> bool {
+        self.monotonicity.is_strict()
+    }
+}
+
+impl fmt::Display for ArrayProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}:{}]{}",
+            self.array, self.index_range.lo, self.index_range.hi,
+            self.monotonicity.suffix()
+        )?;
+        if self.dim > 0 {
+            write!(f, "(dim {})", self.dim)?;
+        }
+        if let Some(v) = &self.value_range {
+            write!(f, " = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Database of proven array properties, keyed by array name. Later
+/// definitions overwrite earlier ones (program order).
+#[derive(Debug, Clone, Default)]
+pub struct PropertyDb {
+    props: HashMap<String, ArrayProperty>,
+}
+
+impl PropertyDb {
+    /// An empty database.
+    pub fn new() -> PropertyDb {
+        PropertyDb::default()
+    }
+
+    /// Records (or replaces) the property of an array.
+    pub fn insert(&mut self, p: ArrayProperty) {
+        self.props.insert(p.array.clone(), p);
+    }
+
+    /// Looks up the property of an array.
+    pub fn get(&self, array: &str) -> Option<&ArrayProperty> {
+        self.props.get(array)
+    }
+
+    /// Invalidates a property (the array was overwritten by an
+    /// unanalyzable construct).
+    pub fn invalidate(&mut self, array: &str) {
+        self.props.remove(array);
+    }
+
+    /// Number of known properties.
+    pub fn len(&self) -> usize {
+        self.props.len()
+    }
+
+    /// True if no properties are known.
+    pub fn is_empty(&self) -> bool {
+        self.props.is_empty()
+    }
+
+    /// Iterates over all properties.
+    pub fn iter(&self) -> impl Iterator<Item = &ArrayProperty> {
+        self.props.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsub_symbolic::Expr;
+
+    #[test]
+    fn strict_implies_injective() {
+        let p = ArrayProperty {
+            array: "A_rownnz".into(),
+            monotonicity: Monotonicity::StrictlyMonotonic,
+            dim: 0,
+            kind: PropertyKind::Intermittent { counter: "irownnz".into() },
+            index_range: Range::new(Expr::int(0), Expr::post_max("irownnz")),
+            value_range: Some(Range::new(Expr::int(0), Expr::var("num_rows") - Expr::int(1))),
+            defined_in: LoopId(0),
+        };
+        assert!(p.is_injective());
+        assert_eq!(p.monotonicity.suffix(), "#SMA");
+        assert_eq!(p.to_string(), "A_rownnz[0:irownnz_max]#SMA = [0:num_rows - 1]");
+    }
+
+    #[test]
+    fn db_overwrite_and_invalidate() {
+        let mut db = PropertyDb::new();
+        let mk = |strict| ArrayProperty {
+            array: "a".into(),
+            monotonicity: if strict {
+                Monotonicity::StrictlyMonotonic
+            } else {
+                Monotonicity::Monotonic
+            },
+            dim: 0,
+            kind: PropertyKind::Sra,
+            index_range: Range::ints(0, 9),
+            value_range: None,
+            defined_in: LoopId(0),
+        };
+        db.insert(mk(false));
+        db.insert(mk(true));
+        assert!(db.get("a").unwrap().is_injective());
+        db.invalidate("a");
+        assert!(db.get("a").is_none());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn algorithm_level_gates() {
+        assert!(!AlgorithmLevel::Classic.analyzes_arrays());
+        assert!(AlgorithmLevel::Base.analyzes_arrays());
+        assert!(!AlgorithmLevel::Base.novel_concepts());
+        assert!(AlgorithmLevel::New.novel_concepts());
+        assert_eq!(AlgorithmLevel::New.to_string(), "Cetus+NewAlgo");
+    }
+}

@@ -1,0 +1,443 @@
+//! The symbolic value domain and Symbolic Value Dictionary (SVD).
+//!
+//! Phase-1 (paper, Section 2.3) represents the value of each Loop-Variant
+//! Variable (LVV) as a symbolic range expression `[lb:ub]`, possibly
+//! *tagged* with the if-condition under which it was assigned (`⟨expr⟩`),
+//! and stores a **set** of such values when more than one expression can
+//! assign the variable (may semantics at merge points). The SVD maps each
+//! LVV to its value set; array LVVs additionally carry the *subscript
+//! snapshot* at which the write happened (e.g. `ind[m] = [λ_ind, ⟨j⟩]`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use subsub_ir::CondId;
+use subsub_symbolic::{Expr, Range, RangeEnv, Symbol, SymbolKind};
+
+/// The conditions (with polarity) under which a value was assigned — the
+/// paper's tag. Empty means unconditional.
+pub type Guard = Vec<(CondId, bool)>;
+
+/// A symbolic value: a range (a point range for single expressions) or the
+/// unknown value ⊥.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Val {
+    /// A symbolic range `[lb:ub]` (point ranges represent single values).
+    Range(Range),
+    /// Unknown (the paper's ⊥).
+    Bottom,
+}
+
+impl Val {
+    /// A single symbolic expression as a point range.
+    pub fn point(e: Expr) -> Val {
+        Val::Range(Range::point(e))
+    }
+
+    /// The range payload, if any.
+    pub fn as_range(&self) -> Option<&Range> {
+        match self {
+            Val::Range(r) => Some(r),
+            Val::Bottom => None,
+        }
+    }
+
+    /// True for ⊥.
+    pub fn is_bottom(&self) -> bool {
+        matches!(self, Val::Bottom)
+    }
+
+    /// Substitutes a symbol in both range bounds; ⊥ stays ⊥.
+    pub fn subst_sym(&self, sym: &Symbol, e: &Expr) -> Val {
+        match self {
+            Val::Range(r) => Val::Range(r.subst_sym(sym, e)),
+            Val::Bottom => Val::Bottom,
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Range(r) => write!(f, "{r}"),
+            Val::Bottom => write!(f, "⊥"),
+        }
+    }
+}
+
+/// A value together with the guard it was assigned under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedVal {
+    /// Conditions under which this value holds (empty = unconditional).
+    pub guard: Guard,
+    /// The value.
+    pub val: Val,
+}
+
+impl TaggedVal {
+    /// An unconditional value.
+    pub fn plain(val: Val) -> TaggedVal {
+        TaggedVal { guard: Vec::new(), val }
+    }
+
+    /// A guarded value.
+    pub fn tagged(guard: Guard, val: Val) -> TaggedVal {
+        TaggedVal { guard, val }
+    }
+
+    /// True if the value carries a non-empty tag.
+    pub fn is_tagged(&self) -> bool {
+        !self.guard.is_empty()
+    }
+}
+
+impl fmt::Display for TaggedVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_tagged() {
+            write!(f, "⟨{}⟩", self.val)
+        } else {
+            write!(f, "{}", self.val)
+        }
+    }
+}
+
+/// Maximum number of alternative values tracked per LVV before the analysis
+/// gives up and widens to ⊥.
+const MAX_VALUES: usize = 16;
+
+/// The set of possible values of one LVV (may semantics).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ValueSet {
+    vals: Vec<TaggedVal>,
+}
+
+impl ValueSet {
+    /// The empty set (no information yet).
+    pub fn new() -> ValueSet {
+        ValueSet::default()
+    }
+
+    /// A set holding one unconditional value.
+    pub fn single(val: Val) -> ValueSet {
+        ValueSet { vals: vec![TaggedVal::plain(val)] }
+    }
+
+    /// A set holding one unconditional point expression.
+    pub fn point(e: Expr) -> ValueSet {
+        ValueSet::single(Val::point(e))
+    }
+
+    /// The `λ_name` initial value of a scalar LVV.
+    pub fn lambda(name: &str) -> ValueSet {
+        ValueSet::point(Expr::lambda(name))
+    }
+
+    /// A set holding just ⊥.
+    pub fn bottom() -> ValueSet {
+        ValueSet::single(Val::Bottom)
+    }
+
+    /// The entries.
+    pub fn entries(&self) -> &[TaggedVal] {
+        &self.vals
+    }
+
+    /// Builds from raw entries, deduplicating and widening past the cap.
+    pub fn from_entries(vals: Vec<TaggedVal>) -> ValueSet {
+        let mut out: Vec<TaggedVal> = Vec::with_capacity(vals.len());
+        for v in vals {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        if out.len() > MAX_VALUES {
+            return ValueSet::bottom();
+        }
+        ValueSet { vals: out }
+    }
+
+    /// Pushes one entry (dedup + widening).
+    pub fn push(&mut self, v: TaggedVal) {
+        if !self.vals.contains(&v) {
+            self.vals.push(v);
+        }
+        if self.vals.len() > MAX_VALUES {
+            *self = ValueSet::bottom();
+        }
+    }
+
+    /// May-union with another set (merge-point semantics).
+    pub fn union(&self, other: &ValueSet) -> ValueSet {
+        let mut vals = self.vals.clone();
+        for v in &other.vals {
+            if !vals.contains(v) {
+                vals.push(v.clone());
+            }
+        }
+        ValueSet::from_entries(vals)
+    }
+
+    /// True if any entry is ⊥.
+    pub fn any_bottom(&self) -> bool {
+        self.vals.iter().any(|v| v.val.is_bottom())
+    }
+
+    /// True if the set is exactly one unconditional value.
+    pub fn single_untagged(&self) -> Option<&Val> {
+        match self.vals.as_slice() {
+            [v] if !v.is_tagged() => Some(&v.val),
+            _ => None,
+        }
+    }
+
+    /// The tagged entries (the paper's "tagged sub-expressions").
+    pub fn tagged(&self) -> impl Iterator<Item = &TaggedVal> {
+        self.vals.iter().filter(|v| v.is_tagged())
+    }
+
+    /// The untagged entries.
+    pub fn untagged(&self) -> impl Iterator<Item = &TaggedVal> {
+        self.vals.iter().filter(|v| !v.is_tagged())
+    }
+
+    /// True if at least one entry is tagged.
+    pub fn has_tagged(&self) -> bool {
+        self.vals.iter().any(TaggedVal::is_tagged)
+    }
+
+    /// Substitutes a symbol in all entries.
+    pub fn subst_sym(&self, sym: &Symbol, e: &Expr) -> ValueSet {
+        ValueSet::from_entries(
+            self.vals
+                .iter()
+                .map(|v| TaggedVal { guard: v.guard.clone(), val: v.val.subst_sym(sym, e) })
+                .collect(),
+        )
+    }
+
+    /// The hull of all entry ranges when every comparison is provable;
+    /// `None` if any entry is ⊥ or the hull is undecidable.
+    pub fn hull(&self, env: &RangeEnv) -> Option<Range> {
+        let ranges: Option<Vec<Range>> =
+            self.vals.iter().map(|v| v.val.as_range().cloned()).collect();
+        subsub_symbolic::simplify::hull(&ranges?, env)
+    }
+}
+
+impl fmt::Display for ValueSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.vals.len() == 1 {
+            return write!(f, "{}", self.vals[0]);
+        }
+        write!(f, "[")?;
+        for (i, v) in self.vals.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// One recorded write to an array: the subscript snapshot (ranges — points
+/// for ordinary subscripts, proper ranges after inner-loop aggregation) and
+/// the set of values stored there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayWrite {
+    /// Subscript snapshot, outermost dimension first.
+    pub subs: Vec<Range>,
+    /// Values written (with `λ_array` as the "unchanged" alternative once
+    /// the write merges with a path that did not write).
+    pub vals: ValueSet,
+}
+
+impl fmt::Display for ArrayWrite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.subs {
+            write!(f, "[{s}]")?;
+        }
+        write!(f, " = {}", self.vals)
+    }
+}
+
+/// The Symbolic Value Dictionary: LVV → value set, plus per-array write
+/// records.
+#[derive(Debug, Clone, Default)]
+pub struct Svd {
+    /// Scalar LVV values.
+    pub scalars: BTreeMap<String, ValueSet>,
+    /// Array LVV writes, keyed by array name.
+    pub arrays: BTreeMap<String, Vec<ArrayWrite>>,
+}
+
+impl Svd {
+    /// An empty SVD.
+    pub fn new() -> Svd {
+        Svd::default()
+    }
+
+    /// Merge-point union of two SVDs. Scalars union per variable; an array
+    /// write present on only one side gains the untagged `λ_array`
+    /// alternative (the "not written on the other path" case).
+    pub fn merge(&self, other: &Svd) -> Svd {
+        let mut out = Svd::new();
+        for (k, v) in &self.scalars {
+            match other.scalars.get(k) {
+                Some(o) => {
+                    out.scalars.insert(k.clone(), v.union(o));
+                }
+                None => {
+                    out.scalars.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        for (k, o) in &other.scalars {
+            out.scalars.entry(k.clone()).or_insert_with(|| o.clone());
+        }
+        for name in self.arrays.keys().chain(other.arrays.keys()) {
+            if out.arrays.contains_key(name) {
+                continue;
+            }
+            let a = self.arrays.get(name).cloned().unwrap_or_default();
+            let b = other.arrays.get(name).cloned().unwrap_or_default();
+            out.arrays.insert(name.clone(), merge_writes(name, a, b));
+        }
+        out
+    }
+
+    /// Record a write, updating an existing entry with an identical
+    /// subscript snapshot or appending a new one.
+    pub fn record_write(&mut self, array: &str, subs: Vec<Range>, vals: ValueSet) {
+        let writes = self.arrays.entry(array.to_string()).or_default();
+        if let Some(w) = writes.iter_mut().find(|w| w.subs == subs) {
+            w.vals = vals;
+        } else {
+            writes.push(ArrayWrite { subs, vals });
+        }
+    }
+
+    /// Pretty rendering in the paper's `{v = …, …}` style.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{");
+        let mut first = true;
+        for (name, writes) in &self.arrays {
+            for w in writes {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let _ = write!(out, "{name}{w}");
+            }
+        }
+        for (name, v) in &self.scalars {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(out, "{name} = {v}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn merge_writes(name: &str, a: Vec<ArrayWrite>, b: Vec<ArrayWrite>) -> Vec<ArrayWrite> {
+    let mut out: Vec<ArrayWrite> = Vec::new();
+    let lambda = TaggedVal::plain(Val::point(Expr::sym(Symbol {
+        kind: SymbolKind::Lambda,
+        name: name.into(),
+    })));
+    for w in a.iter() {
+        match b.iter().find(|o| o.subs == w.subs) {
+            Some(o) => out.push(ArrayWrite { subs: w.subs.clone(), vals: w.vals.union(&o.vals) }),
+            None => {
+                let mut vals = ValueSet::new();
+                vals.push(lambda.clone());
+                let merged = vals.union(&w.vals);
+                out.push(ArrayWrite { subs: w.subs.clone(), vals: merged });
+            }
+        }
+    }
+    for o in b.iter() {
+        if a.iter().any(|w| w.subs == o.subs) {
+            continue;
+        }
+        let mut vals = ValueSet::new();
+        vals.push(lambda.clone());
+        let merged = vals.union(&o.vals);
+        out.push(ArrayWrite { subs: o.subs.clone(), vals: merged });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_dedups() {
+        let a = ValueSet::point(Expr::var("x"));
+        let b = ValueSet::point(Expr::var("x"));
+        assert_eq!(a.union(&b).entries().len(), 1);
+    }
+
+    #[test]
+    fn widening_past_cap() {
+        let mut s = ValueSet::new();
+        for i in 0..20 {
+            s.push(TaggedVal::plain(Val::point(Expr::int(i))));
+        }
+        assert!(s.any_bottom());
+    }
+
+    #[test]
+    fn tagged_display() {
+        let tv = TaggedVal::tagged(vec![(CondId(0), true)], Val::point(Expr::var("j")));
+        assert_eq!(tv.to_string(), "⟨j⟩");
+    }
+
+    #[test]
+    fn svd_merge_adds_lambda_for_one_sided_array_write() {
+        // then-branch writes ind[λ_m] = ⟨j⟩; else branch writes nothing.
+        let mut then_svd = Svd::new();
+        let mut vals = ValueSet::new();
+        vals.push(TaggedVal::tagged(vec![(CondId(0), true)], Val::point(Expr::var("j"))));
+        then_svd.record_write("ind", vec![Range::point(Expr::lambda("m"))], vals);
+        let else_svd = Svd::new();
+        let merged = then_svd.merge(&else_svd);
+        let writes = &merged.arrays["ind"];
+        assert_eq!(writes.len(), 1);
+        // Value set now contains untagged λ_ind plus the tagged ⟨j⟩.
+        let vs = &writes[0].vals;
+        assert_eq!(vs.entries().len(), 2);
+        assert!(vs.untagged().any(|v| v.val == Val::point(Expr::lambda("ind"))));
+        assert!(vs.has_tagged());
+    }
+
+    #[test]
+    fn svd_merge_scalar_union() {
+        let mut a = Svd::new();
+        a.scalars.insert("m".into(), ValueSet::point(Expr::lambda("m")));
+        let mut b = Svd::new();
+        let mut vs = ValueSet::new();
+        vs.push(TaggedVal::tagged(
+            vec![(CondId(0), true)],
+            Val::point(Expr::lambda("m") + Expr::int(1)),
+        ));
+        b.scalars.insert("m".into(), vs);
+        let m = a.merge(&b);
+        assert_eq!(m.scalars["m"].entries().len(), 2);
+    }
+
+    #[test]
+    fn hull_of_value_set() {
+        let env = RangeEnv::new();
+        let mut vs = ValueSet::new();
+        vs.push(TaggedVal::plain(Val::Range(Range::ints(0, 5))));
+        vs.push(TaggedVal::plain(Val::Range(Range::ints(3, 9))));
+        assert_eq!(vs.hull(&env), Some(Range::ints(0, 9)));
+        vs.push(TaggedVal::plain(Val::Bottom));
+        assert_eq!(vs.hull(&env), None);
+    }
+}

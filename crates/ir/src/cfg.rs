@@ -1,0 +1,314 @@
+//! Control-flow graph of a loop body.
+//!
+//! The Phase-1 algorithm (paper, Section 2.3) operates on the CFG of the
+//! loop body, "which is a Directed Acyclic Graph": each node represents a
+//! statement, inner loops are represented by a single collapsed node, and
+//! the analysis performs a forward dataflow traversal in topological order.
+//! Control-flow diverge points tag values with the relevant if-condition;
+//! merge points take the conservative union of predecessors.
+//!
+//! Nodes are created in topological order by construction, so
+//! [`LoopCfg::topo_order`] is simply the identity order; edges always point
+//! from lower to higher ids (asserted in tests).
+
+use crate::cond::CondId;
+use crate::stmt::{Assign, IrStmt, LoopId, LoopIr};
+use std::fmt;
+
+/// Identifier of a CFG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CfgNodeId(pub usize);
+
+impl fmt::Display for CfgNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a CFG node represents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CfgPayload {
+    /// Loop entry (the loop-condition node, e.g. `j < npts` in Figure 5).
+    Entry,
+    /// One normalized assignment.
+    Assign(Assign),
+    /// A collapsed inner loop; Phase-2 substitutes its aggregated effect.
+    InnerLoop(LoopId),
+    /// A control-flow diverge point carrying the branch condition.
+    Branch(CondId),
+    /// A control-flow merge point.
+    Join,
+    /// A statement the analysis cannot interpret.
+    Opaque(String),
+    /// Loop exit (the increment node, e.g. `j = j + 1` in Figure 5).
+    Exit,
+}
+
+/// A CFG node with its edges and guard set.
+#[derive(Debug, Clone)]
+pub struct CfgNode {
+    /// This node's id.
+    pub id: CfgNodeId,
+    /// Payload.
+    pub payload: CfgPayload,
+    /// Predecessors.
+    pub preds: Vec<CfgNodeId>,
+    /// Successors.
+    pub succs: Vec<CfgNodeId>,
+    /// The `(condition, polarity)` pairs under which this node executes —
+    /// the paper's "tag with the relevant if-condition" information.
+    pub guards: Vec<(CondId, bool)>,
+}
+
+/// The CFG of one loop body.
+#[derive(Debug, Clone)]
+pub struct LoopCfg {
+    /// Which loop this CFG belongs to.
+    pub loop_id: LoopId,
+    /// Nodes in topological order.
+    pub nodes: Vec<CfgNode>,
+    /// Entry node id.
+    pub entry: CfgNodeId,
+    /// Exit node id.
+    pub exit: CfgNodeId,
+}
+
+impl LoopCfg {
+    /// Builds the CFG of `l`'s body. Inner loops become single
+    /// [`CfgPayload::InnerLoop`] nodes.
+    pub fn build(l: &LoopIr) -> LoopCfg {
+        let mut b = Builder { nodes: Vec::new() };
+        let entry = b.add(CfgPayload::Entry, &[], &[]);
+        let last = b.chain(&l.body, entry, &[]);
+        let exit = b.add(CfgPayload::Exit, &[last], &[]);
+        LoopCfg { loop_id: l.id, nodes: b.nodes, entry, exit }
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: CfgNodeId) -> &CfgNode {
+        &self.nodes[id.0]
+    }
+
+    /// Topological order of node ids (identity by construction).
+    pub fn topo_order(&self) -> impl Iterator<Item = CfgNodeId> + '_ {
+        (0..self.nodes.len()).map(CfgNodeId)
+    }
+
+    /// True if every edge goes from a lower to a higher id (DAG check).
+    pub fn is_dag(&self) -> bool {
+        self.nodes
+            .iter()
+            .all(|n| n.succs.iter().all(|s| s.0 > n.id.0) && n.preds.iter().all(|p| p.0 < n.id.0))
+    }
+
+    /// Renders the CFG for diagnostics (one line per node).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for n in &self.nodes {
+            let payload = match &n.payload {
+                CfgPayload::Entry => "entry".to_string(),
+                CfgPayload::Assign(a) => a.to_string(),
+                CfgPayload::InnerLoop(id) => format!("inner {id}"),
+                CfgPayload::Branch(c) => format!("branch {c}"),
+                CfgPayload::Join => "join".to_string(),
+                CfgPayload::Opaque(t) => format!("opaque({t})"),
+                CfgPayload::Exit => "exit".to_string(),
+            };
+            let succs: Vec<String> = n.succs.iter().map(|s| s.to_string()).collect();
+            let _ = writeln!(out, "{}: {payload} -> [{}]", n.id, succs.join(", "));
+        }
+        out
+    }
+}
+
+struct Builder {
+    nodes: Vec<CfgNode>,
+}
+
+impl Builder {
+    fn add(
+        &mut self,
+        payload: CfgPayload,
+        preds: &[CfgNodeId],
+        guards: &[(CondId, bool)],
+    ) -> CfgNodeId {
+        let id = CfgNodeId(self.nodes.len());
+        for p in preds {
+            self.nodes[p.0].succs.push(id);
+        }
+        self.nodes.push(CfgNode {
+            id,
+            payload,
+            preds: preds.to_vec(),
+            succs: Vec::new(),
+            guards: guards.to_vec(),
+        });
+        id
+    }
+
+    /// Lowers a statement list into a chain starting after `pred`,
+    /// returning the last node of the chain.
+    fn chain(&mut self, stmts: &[IrStmt], pred: CfgNodeId, guards: &[(CondId, bool)]) -> CfgNodeId {
+        let mut cur = pred;
+        for s in stmts {
+            cur = match s {
+                IrStmt::Assign(a) => self.add(CfgPayload::Assign(a.clone()), &[cur], guards),
+                IrStmt::Loop(l) => self.add(CfgPayload::InnerLoop(l.id), &[cur], guards),
+                IrStmt::Opaque(t) => self.add(CfgPayload::Opaque(t.clone()), &[cur], guards),
+                IrStmt::If { cond, then_s, else_s } => {
+                    let branch = self.add(CfgPayload::Branch(*cond), &[cur], guards);
+                    let mut tg = guards.to_vec();
+                    tg.push((*cond, true));
+                    let then_last = self.chain(then_s, branch, &tg);
+                    let mut eg = guards.to_vec();
+                    eg.push((*cond, false));
+                    let else_last = if else_s.is_empty() {
+                        branch
+                    } else {
+                        self.chain(else_s, branch, &eg)
+                    };
+                    let preds = if then_last == else_last {
+                        vec![then_last]
+                    } else {
+                        vec![then_last, else_last]
+                    };
+                    self.add(CfgPayload::Join, &preds, guards)
+                }
+            };
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_function;
+    use subsub_cfront::parse_program;
+
+    fn cfg_of(src: &str) -> (LoopCfg, crate::lower::LoweredFunction) {
+        let p = parse_program(src).unwrap();
+        let f = lower_function(&p.funcs[0], &p.globals).unwrap();
+        let loops = f.loops();
+        let cfg = LoopCfg::build(loops[0]);
+        (cfg, f)
+    }
+
+    /// Figure 5 of the paper: the CFG of the normalized Figure 4 loop.
+    #[test]
+    fn figure5_shape() {
+        let (cfg, _) = cfg_of(
+            r#"
+            void f(int npts, double *xdos, int *ind, double t, double width) {
+                int m; int j;
+                m = 0;
+                for (j = 0; j < npts; j++) {
+                    if ((xdos[j] - t) < width)
+                        ind[m++] = j;
+                }
+            }
+            "#,
+        );
+        assert!(cfg.is_dag());
+        // entry, branch, 3 assigns, join, exit = 7 nodes
+        assert_eq!(cfg.nodes.len(), 7);
+        let kinds: Vec<&CfgPayload> = cfg.nodes.iter().map(|n| &n.payload).collect();
+        assert!(matches!(kinds[0], CfgPayload::Entry));
+        assert!(matches!(kinds[1], CfgPayload::Branch(_)));
+        assert!(matches!(kinds[2], CfgPayload::Assign(_)));
+        assert!(matches!(kinds[5], CfgPayload::Join));
+        assert!(matches!(kinds[6], CfgPayload::Exit));
+        // Join has two predecessors: the last then-stmt and the branch.
+        let join = &cfg.nodes[5];
+        assert_eq!(join.preds.len(), 2);
+        // Guarded nodes carry the tag.
+        let a0 = &cfg.nodes[2];
+        assert_eq!(a0.guards.len(), 1);
+        assert!(a0.guards[0].1);
+    }
+
+    #[test]
+    fn if_else_both_guarded() {
+        let (cfg, _) = cfg_of(
+            r#"
+            void f(int n, int *a) {
+                int i;
+                for (i = 0; i < n; i++) {
+                    if (a[i] > 0) a[i] = 1; else a[i] = 2;
+                }
+            }
+            "#,
+        );
+        assert!(cfg.is_dag());
+        let guards: Vec<Vec<(crate::cond::CondId, bool)>> = cfg
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.payload, CfgPayload::Assign(_)))
+            .map(|n| n.guards.clone())
+            .collect();
+        assert_eq!(guards.len(), 2);
+        assert!(guards[0][0].1);
+        assert!(!guards[1][0].1);
+    }
+
+    #[test]
+    fn inner_loop_collapsed() {
+        let (cfg, _) = cfg_of(
+            r#"
+            void f(int n, int m, int *a) {
+                int i; int j; int p;
+                p = 0;
+                for (i = 0; i < n; i++) {
+                    a[i] = p;
+                    for (j = 0; j < m; j++) {
+                        p = p + 1;
+                    }
+                }
+            }
+            "#,
+        );
+        assert!(cfg.is_dag());
+        assert!(cfg
+            .nodes
+            .iter()
+            .any(|n| matches!(n.payload, CfgPayload::InnerLoop(_))));
+    }
+
+    #[test]
+    fn straightline_chain() {
+        let (cfg, _) = cfg_of(
+            "void f(int n, int *a, int *b) { int i; for (i=0;i<n;i++) { a[i] = i; b[i] = i; } }",
+        );
+        assert!(cfg.is_dag());
+        assert_eq!(cfg.nodes.len(), 4); // entry, 2 assigns, exit
+        for w in cfg.nodes.windows(2) {
+            assert!(w[0].succs.contains(&w[1].id));
+        }
+    }
+
+    #[test]
+    fn nested_ifs_guard_stack() {
+        let (cfg, _) = cfg_of(
+            r#"
+            void f(int n, int *a, int *b) {
+                int i;
+                for (i = 0; i < n; i++) {
+                    if (a[i] > 0) {
+                        if (b[i] > 0) {
+                            a[i] = 0;
+                        }
+                    }
+                }
+            }
+            "#,
+        );
+        let deep = cfg
+            .nodes
+            .iter()
+            .find(|n| matches!(n.payload, CfgPayload::Assign(_)))
+            .unwrap();
+        assert_eq!(deep.guards.len(), 2);
+        assert!(deep.guards.iter().all(|(_, pol)| *pol));
+    }
+}

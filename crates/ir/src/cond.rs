@@ -1,0 +1,223 @@
+//! Lowered branch conditions and the per-loop condition table.
+//!
+//! Phase-1 tags values assigned under an `if` with *the relevant
+//! if-condition* (paper, Section 2.3); Phase-2 then asks whether two tags
+//! are **equal** and **loop variant** (Algorithm 2, lines 13–15). Each
+//! syntactic `if` in a loop body receives a unique [`CondId`]; equality of
+//! tags is identity of ids or structural equality of the lowered
+//! conditions.
+
+use std::fmt;
+use subsub_symbolic::Expr;
+
+/// Comparison operators appearing in lowered conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The semantic payload of a condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CondKind {
+    /// An integer comparison `lhs op rhs` over lowered expressions.
+    Cmp {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Expr,
+        /// Right operand.
+        rhs: Expr,
+    },
+    /// Anything else (floating-point comparisons, `&&` chains, calls).
+    /// Still usable as a *tag* — the analysis only needs identity and
+    /// loop-variance, not the predicate's meaning.
+    Opaque {
+        /// Pretty-printed source form, for diagnostics and tag display.
+        text: String,
+        /// Variables referenced by the condition (for variance analysis).
+        refs: Vec<String>,
+    },
+}
+
+/// A lowered `if` condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cond {
+    /// Payload.
+    pub kind: CondKind,
+    /// Source form for diagnostics.
+    pub text: String,
+}
+
+impl Cond {
+    /// Variables referenced anywhere in the condition (including inside
+    /// array-read subscripts) — the inputs to loop-variance analysis.
+    pub fn referenced_vars(&self) -> Vec<String> {
+        match &self.kind {
+            CondKind::Cmp { lhs, rhs, .. } => {
+                let mut out: Vec<String> = Vec::new();
+                for e in [lhs, rhs] {
+                    for s in e.free_syms() {
+                        out.push(s.name.to_string());
+                    }
+                    collect_read_arrays(e, &mut out);
+                }
+                out.sort();
+                out.dedup();
+                out
+            }
+            CondKind::Opaque { refs, .. } => refs.clone(),
+        }
+    }
+}
+
+fn collect_read_arrays(e: &Expr, out: &mut Vec<String>) {
+    for t in e.terms() {
+        for a in &t.atoms {
+            if let subsub_symbolic::Atom::Read { array, indices } = a {
+                out.push(array.to_string());
+                for ix in indices {
+                    collect_read_arrays(ix, out);
+                    for s in ix.free_syms() {
+                        out.push(s.name.to_string());
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+/// Identifier of a condition within one lowered function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CondId(pub u32);
+
+impl fmt::Display for CondId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Table of all conditions of a lowered function, indexed by [`CondId`].
+#[derive(Debug, Clone, Default)]
+pub struct CondTable {
+    conds: Vec<Cond>,
+}
+
+impl CondTable {
+    /// An empty table.
+    pub fn new() -> CondTable {
+        CondTable::default()
+    }
+
+    /// Inserts a condition, returning its id.
+    pub fn push(&mut self, c: Cond) -> CondId {
+        let id = CondId(self.conds.len() as u32);
+        self.conds.push(c);
+        id
+    }
+
+    /// Looks up a condition.
+    pub fn get(&self, id: CondId) -> &Cond {
+        &self.conds[id.0 as usize]
+    }
+
+    /// Number of conditions.
+    pub fn len(&self) -> usize {
+        self.conds.len()
+    }
+
+    /// True if no conditions were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.conds.is_empty()
+    }
+
+    /// True if two tags denote the same predicate: identical ids, or
+    /// structurally equal condition payloads.
+    pub fn tags_equal(&self, a: CondId, b: CondId) -> bool {
+        a == b || self.get(a).kind == self.get(b).kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_vars_of_cmp() {
+        let c = Cond {
+            kind: CondKind::Cmp {
+                op: CmpOp::Gt,
+                lhs: Expr::var("adiag"),
+                rhs: Expr::int(0),
+            },
+            text: "adiag > 0".into(),
+        };
+        assert_eq!(c.referenced_vars(), vec!["adiag".to_string()]);
+    }
+
+    #[test]
+    fn referenced_vars_include_read_arrays() {
+        // xdos[j] - t < width
+        let c = Cond {
+            kind: CondKind::Cmp {
+                op: CmpOp::Lt,
+                lhs: Expr::read("xdos", vec![Expr::var("j")]) - Expr::var("t"),
+                rhs: Expr::var("width"),
+            },
+            text: "(xdos[j] - t) < width".into(),
+        };
+        let vars = c.referenced_vars();
+        assert!(vars.contains(&"xdos".to_string()));
+        assert!(vars.contains(&"j".to_string()));
+        assert!(vars.contains(&"t".to_string()));
+        assert!(vars.contains(&"width".to_string()));
+    }
+
+    #[test]
+    fn tags_equal_by_id_and_structure() {
+        let mut t = CondTable::new();
+        let mk = || Cond {
+            kind: CondKind::Cmp { op: CmpOp::Gt, lhs: Expr::var("x"), rhs: Expr::int(0) },
+            text: "x > 0".into(),
+        };
+        let a = t.push(mk());
+        let b = t.push(mk());
+        let c = t.push(Cond {
+            kind: CondKind::Cmp { op: CmpOp::Lt, lhs: Expr::var("x"), rhs: Expr::int(0) },
+            text: "x < 0".into(),
+        });
+        assert!(t.tags_equal(a, a));
+        assert!(t.tags_equal(a, b)); // structurally equal
+        assert!(!t.tags_equal(a, c));
+    }
+}

@@ -1,0 +1,114 @@
+//! Loop eligibility for the subscript-array analysis.
+//!
+//! Per the paper (Section 2.2): "Loops containing function calls with side
+//! effects … and break statements are considered ineligible for analysis."
+//! In this IR all such constructs have already been lowered to
+//! [`IrStmt::Opaque`] nodes, so eligibility is a transitive scan for opaque
+//! statements.
+
+use crate::stmt::{IrStmt, LoopIr};
+use std::fmt;
+
+/// Why a loop is ineligible for Phase-1/Phase-2 analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ineligibility {
+    /// The loop (or a nested loop) contains an unanalyzable construct.
+    OpaqueConstruct(String),
+}
+
+impl fmt::Display for Ineligibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ineligibility::OpaqueConstruct(t) => write!(f, "contains {t}"),
+        }
+    }
+}
+
+/// Checks whether `l` is eligible for analysis.
+///
+/// A loop is eligible when neither it nor any nested loop contains an
+/// opaque construct (`break`, `while`, calls with side effects, …).
+/// Opaque *values* (`Rhs::Opaque`) do not affect eligibility — they just
+/// yield ⊥ for the assigned variable.
+pub fn check_loop_eligibility(l: &LoopIr) -> Result<(), Ineligibility> {
+    scan(&l.body)
+}
+
+fn scan(body: &[IrStmt]) -> Result<(), Ineligibility> {
+    for s in body {
+        match s {
+            IrStmt::Opaque(t) => return Err(Ineligibility::OpaqueConstruct(t.clone())),
+            IrStmt::If { then_s, else_s, .. } => {
+                scan(then_s)?;
+                scan(else_s)?;
+            }
+            IrStmt::Loop(l) => scan(&l.body)?,
+            IrStmt::Assign(_) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_function;
+    use subsub_cfront::parse_program;
+
+    fn first_loop_eligibility(src: &str) -> Result<(), Ineligibility> {
+        let p = parse_program(src).unwrap();
+        let f = lower_function(&p.funcs[0], &p.globals).unwrap();
+        let loops = f.loops();
+        check_loop_eligibility(loops[0])
+    }
+
+    #[test]
+    fn clean_loop_is_eligible() {
+        assert!(first_loop_eligibility(
+            "void f(int n, int *a) { int i; for (i=0;i<n;i++) a[i] = i; }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn break_makes_ineligible() {
+        let r = first_loop_eligibility(
+            "void f(int n, int *a) { int i; for (i=0;i<n;i++) { if (a[i] > 9) break; a[i] = i; } }",
+        );
+        assert!(matches!(r, Err(Ineligibility::OpaqueConstruct(t)) if t.contains("break")));
+    }
+
+    #[test]
+    fn side_effect_call_makes_ineligible() {
+        let r = first_loop_eligibility(
+            "void f(int n, int *a) { int i; for (i=0;i<n;i++) { update(a, i); } }",
+        );
+        assert!(matches!(r, Err(Ineligibility::OpaqueConstruct(t)) if t.contains("update")));
+    }
+
+    #[test]
+    fn pure_math_call_is_fine() {
+        // exp() is whitelisted — an opaque VALUE, not an opaque statement.
+        assert!(first_loop_eligibility(
+            "void f(int n, double *y) { int i; for (i=0;i<n;i++) y[i] = exp(1.0); }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn nested_break_propagates() {
+        let r = first_loop_eligibility(
+            r#"
+            void f(int n, int m, int *a) {
+                int i; int j;
+                for (i=0;i<n;i++) {
+                    for (j=0;j<m;j++) {
+                        if (a[j] < 0) break;
+                    }
+                }
+            }
+            "#,
+        );
+        assert!(r.is_err());
+    }
+}

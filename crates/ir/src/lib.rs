@@ -1,0 +1,31 @@
+//! Normalized loop IR — the analysis-facing program representation.
+//!
+//! This crate implements the program normalizations the paper attributes to
+//! Cetus (Section 2.2):
+//!
+//! * each statement makes **at most one assignment** — compound assignments
+//!   (`+=`) are expanded and embedded side effects (`a[m++] = j`) are split
+//!   out through compiler temporaries `_temp_N`, exactly as in Figure 4(b)
+//!   of the paper;
+//! * loop iteration spaces are normalized to **start at 0 with stride 1**,
+//!   the loop variable representing the iteration number;
+//! * loops containing `break` or calls to functions with side effects
+//!   (a whitelist of C standard math functions is considered side-effect
+//!   free) are marked **ineligible** for analysis;
+//! * the loop body is exposed as a **control-flow graph** (a DAG — inner
+//!   loops appear as single collapsed nodes) in topological order, each
+//!   node carrying the guard conditions under which it executes.
+
+pub mod cfg;
+pub mod cond;
+pub mod eligibility;
+pub mod lower;
+pub mod stmt;
+pub mod types;
+
+pub use cfg::{CfgNode, CfgNodeId, CfgPayload, LoopCfg};
+pub use cond::{CmpOp, Cond, CondId, CondKind, CondTable};
+pub use eligibility::{check_loop_eligibility, Ineligibility};
+pub use lower::{lower_function, LowerError, LoweredFunction};
+pub use stmt::{ArrayRead, Assign, IrStmt, LValue, LoopId, LoopIr, Rhs};
+pub use types::{TypeEnv, VarInfo};

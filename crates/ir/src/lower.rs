@@ -1,0 +1,1058 @@
+//! Lowering and normalization: C AST → normalized IR.
+//!
+//! Implements the Cetus normalizations the paper relies on (Section 2.2 and
+//! Figure 4): side effects embedded in expressions are split into `_temp_N`
+//! sequences, compound assignments are expanded, loops are normalized to
+//! 0-based stride-1 iteration spaces, and unsupported constructs degrade to
+//! [`IrStmt::Opaque`] (rendering enclosing loops ineligible rather than
+//! failing the whole function).
+
+use crate::cond::{CmpOp, Cond, CondKind, CondTable};
+use crate::stmt::{ArrayRead, Assign, IrStmt, LValue, LoopId, LoopIr, Rhs};
+use crate::types::{TypeEnv, VarInfo};
+use std::fmt;
+use subsub_cfront::{
+    AssignOp, BinOp, Block, CExpr, Decl, ForInit, Function, PostOp, Stmt, Type, UnOp,
+};
+use subsub_symbolic::{Expr, Symbol};
+
+/// C standard library functions Cetus considers side-effect free
+/// (paper, Section 2.2; Plauger's standard C library).
+pub const PURE_FUNCTIONS: &[&str] = &[
+    "exp", "log", "log2", "log10", "sqrt", "fabs", "abs", "labs", "pow", "sin", "cos", "tan",
+    "asin", "acos", "atan", "atan2", "sinh", "cosh", "tanh", "floor", "ceil", "fmod", "fmax",
+    "fmin", "hypot",
+];
+
+/// A lowering failure (only produced for malformed functions; most
+/// unsupported constructs lower to [`IrStmt::Opaque`] instead).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerError {
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Result of lowering one function.
+#[derive(Debug, Clone)]
+pub struct LoweredFunction {
+    /// Function name.
+    pub name: String,
+    /// Normalized body.
+    pub body: Vec<IrStmt>,
+    /// All lowered `if` conditions, indexed by `CondId`.
+    pub conds: CondTable,
+    /// Variable shapes and types.
+    pub types: TypeEnv,
+    /// Number of loops in the function (ids are `0..n_loops`).
+    pub n_loops: u32,
+}
+
+impl LoweredFunction {
+    /// All loops in the function in pre-order.
+    pub fn loops(&self) -> Vec<&LoopIr> {
+        let mut out = Vec::new();
+        collect_loops(&self.body, &mut out);
+        out
+    }
+
+    /// Finds a loop by id.
+    pub fn loop_by_id(&self, id: LoopId) -> Option<&LoopIr> {
+        self.loops().into_iter().find(|l| l.id == id)
+    }
+}
+
+fn collect_loops<'a>(body: &'a [IrStmt], out: &mut Vec<&'a LoopIr>) {
+    for s in body {
+        match s {
+            IrStmt::Loop(l) => {
+                out.push(l);
+                collect_loops(&l.body, out);
+            }
+            IrStmt::If { then_s, else_s, .. } => {
+                collect_loops(then_s, out);
+                collect_loops(else_s, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Lowers one function (with visible globals) into normalized IR.
+pub fn lower_function(func: &Function, globals: &[Decl]) -> Result<LoweredFunction, LowerError> {
+    let mut lw = Lowerer::new();
+    for g in globals {
+        lw.types.insert(
+            &g.name,
+            VarInfo {
+                ty: g.ty.clone(),
+                pointer: g.pointer,
+                array_dims: g.dims.len(),
+                local: false,
+            },
+        );
+    }
+    for p in &func.params {
+        lw.types.insert(
+            &p.name,
+            VarInfo {
+                ty: p.ty.clone(),
+                pointer: p.pointer,
+                array_dims: p.dims.len(),
+                local: false,
+            },
+        );
+    }
+    lw.scan_decls(&func.body);
+    let body = lw.lower_block(&func.body);
+    Ok(LoweredFunction {
+        name: func.name.clone(),
+        body,
+        conds: lw.conds,
+        types: lw.types,
+        n_loops: lw.loop_counter,
+    })
+}
+
+struct Lowerer {
+    conds: CondTable,
+    types: TypeEnv,
+    temp_counter: u32,
+    loop_counter: u32,
+}
+
+impl Lowerer {
+    fn new() -> Lowerer {
+        Lowerer {
+            conds: CondTable::new(),
+            types: TypeEnv::new(),
+            temp_counter: 0,
+            loop_counter: 0,
+        }
+    }
+
+    /// Pre-scans all declarations (any nesting) so types are known during
+    /// lowering regardless of declaration position.
+    fn scan_decls(&mut self, block: &Block) {
+        for s in &block.stmts {
+            self.scan_decl_stmt(s);
+        }
+    }
+
+    fn scan_decl_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl(d) => self.types.insert(
+                &d.name,
+                VarInfo {
+                    ty: d.ty.clone(),
+                    pointer: d.pointer,
+                    array_dims: d.dims.len(),
+                    local: true,
+                },
+            ),
+            Stmt::Block(b) => self.scan_decls(b),
+            Stmt::If { then_branch, else_branch, .. } => {
+                self.scan_decl_stmt(then_branch);
+                if let Some(e) = else_branch {
+                    self.scan_decl_stmt(e);
+                }
+            }
+            Stmt::For { init, body, .. } => {
+                if let ForInit::Decl(d) = init {
+                    self.types.insert(
+                        &d.name,
+                        VarInfo { ty: d.ty.clone(), pointer: 0, array_dims: 0, local: true },
+                    );
+                }
+                self.scan_decl_stmt(body);
+            }
+            Stmt::While { body, .. } => self.scan_decl_stmt(body),
+            _ => {}
+        }
+    }
+
+    fn fresh_temp(&mut self) -> String {
+        let n = self.temp_counter;
+        self.temp_counter += 1;
+        let name = format!("_temp_{n}");
+        self.types.insert(
+            &name,
+            VarInfo { ty: Type::Int, pointer: 0, array_dims: 0, local: true },
+        );
+        name
+    }
+
+    fn lower_block(&mut self, b: &Block) -> Vec<IrStmt> {
+        self.lower_stmts(&b.stmts)
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Vec<IrStmt> {
+        let mut out = Vec::new();
+        let mut pragmas: Vec<String> = Vec::new();
+        for s in stmts {
+            if let Stmt::Pragma(t) = s {
+                pragmas.push(t.clone());
+                continue;
+            }
+            let pending = std::mem::take(&mut pragmas);
+            self.lower_stmt(s, pending, &mut out);
+        }
+        out
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, pragmas: Vec<String>, out: &mut Vec<IrStmt>) {
+        match s {
+            Stmt::Decl(d) => {
+                if let Some(init) = &d.init {
+                    let assign = CExpr::Assign {
+                        op: AssignOp::Assign,
+                        lhs: Box::new(CExpr::Ident(d.name.clone())),
+                        rhs: Box::new(init.clone()),
+                    };
+                    self.lower_expr_stmt(&assign, out);
+                }
+            }
+            Stmt::Expr(e) => self.lower_expr_stmt(e, out),
+            Stmt::Block(b) => out.extend(self.lower_block(b)),
+            Stmt::If { cond, then_branch, else_branch } => {
+                if cond.has_side_effects() {
+                    out.push(IrStmt::Opaque("if-condition with side effects".into()));
+                    return;
+                }
+                let cid = self.lower_cond(cond);
+                let then_s = self.lower_stmts(std::slice::from_ref(then_branch.as_ref()));
+                let else_s = match else_branch {
+                    Some(e) => self.lower_stmts(std::slice::from_ref(e.as_ref())),
+                    None => Vec::new(),
+                };
+                out.push(IrStmt::If { cond: cid, then_s, else_s });
+            }
+            Stmt::For { .. } => self.lower_for(s, pragmas, out),
+            Stmt::While { .. } => {
+                out.push(IrStmt::Opaque("while loop (not normalizable)".into()))
+            }
+            Stmt::Return(_) => out.push(IrStmt::Opaque("return".into())),
+            Stmt::Break => out.push(IrStmt::Opaque("break".into())),
+            Stmt::Continue => out.push(IrStmt::Opaque("continue".into())),
+            Stmt::Pragma(_) | Stmt::Empty => {}
+        }
+    }
+
+    /// Lowers an expression statement: assignments, `m++`, bare calls.
+    fn lower_expr_stmt(&mut self, e: &CExpr, out: &mut Vec<IrStmt>) {
+        match e {
+            CExpr::Assign { op, lhs, rhs } => {
+                // Expand compound assignment: `l op= r`  =>  `l = l op r`.
+                let rhs_full = match op.binop() {
+                    Some(b) => CExpr::bin(b, (**lhs).clone(), (**rhs).clone()),
+                    None => (**rhs).clone(),
+                };
+                // Reduction shape: `l op= e` or `l = l op e`.
+                let compound_op = op.binop().or_else(|| detect_compound(lhs, &rhs_full));
+                // Subscript side effects first (Figure 4(b) ordering).
+                let lv = self.lower_lvalue(lhs, out);
+                let Some(lv) = lv else {
+                    out.push(IrStmt::Opaque(format!(
+                        "unsupported assignment target: {}",
+                        subsub_cfront::printer::print_expr(lhs)
+                    )));
+                    return;
+                };
+                // Then RHS side effects.
+                let value = self.lower_value(&rhs_full, out);
+                let mut reads = Vec::new();
+                collect_reads(&rhs_full, &mut reads);
+                // Subscript reads of the target also count as reads of the
+                // subscript arrays (e.g. `ind` in `y[ind[j]] = …`).
+                if let LValue::Array { .. } = &lv {
+                    collect_subscript_reads(lhs, &mut reads);
+                }
+                let mut rhs_idents = idents_of(&rhs_full);
+                if let Some((_, subs)) = lhs.as_index_chain() {
+                    for sx in subs {
+                        rhs_idents.extend(idents_of(sx));
+                    }
+                    rhs_idents.sort();
+                    rhs_idents.dedup();
+                }
+                let integer = self.types.is_integer(lv.name());
+                out.push(IrStmt::Assign(Assign {
+                    lhs: lv,
+                    rhs: value,
+                    integer,
+                    reads,
+                    compound_op,
+                    rhs_idents,
+                }));
+            }
+            CExpr::Postfix { op, operand } => {
+                // `m++;` as a statement: pure increment.
+                let delta = if *op == PostOp::PostInc { 1 } else { -1 };
+                self.lower_increment(operand, delta, out);
+            }
+            CExpr::Unary { op: UnOp::PreInc, operand } => {
+                self.lower_increment(operand, 1, out);
+            }
+            CExpr::Unary { op: UnOp::PreDec, operand } => {
+                self.lower_increment(operand, -1, out);
+            }
+            CExpr::Call { name, .. } => {
+                if PURE_FUNCTIONS.contains(&name.as_str()) {
+                    // A pure call whose result is discarded: no effect.
+                } else {
+                    out.push(IrStmt::Opaque(format!("call to {name}")));
+                }
+            }
+            other => {
+                // An expression statement without effects is a no-op; keep
+                // lowering conservative about embedded effects.
+                if other.has_side_effects() {
+                    let mut tmp = Vec::new();
+                    let _ = self.lower_value(other, &mut tmp);
+                    out.extend(tmp);
+                }
+            }
+        }
+    }
+
+    /// Lowers a standalone `x++`/`--x` statement into `x = x ± 1`.
+    fn lower_increment(&mut self, operand: &CExpr, delta: i64, out: &mut Vec<IrStmt>) {
+        let target = operand.clone();
+        let rhs = CExpr::bin(BinOp::Add, target.clone(), CExpr::IntLit(delta));
+        let assign = CExpr::Assign {
+            op: AssignOp::Assign,
+            lhs: Box::new(target),
+            rhs: Box::new(rhs),
+        };
+        self.lower_expr_stmt(&assign, out);
+    }
+
+    /// Lowers an assignment target, emitting temp statements for embedded
+    /// side effects in subscripts (`a[m++] = …`).
+    fn lower_lvalue(&mut self, e: &CExpr, out: &mut Vec<IrStmt>) -> Option<LValue> {
+        match e {
+            CExpr::Ident(n) => Some(LValue::Scalar(n.clone())),
+            CExpr::Index { .. } => {
+                let (name, subs) = e.as_index_chain()?;
+                let mut lowered = Vec::with_capacity(subs.len());
+                for s in subs {
+                    let v = self.lower_value(s, out);
+                    match v {
+                        Rhs::Expr(x) => lowered.push(x),
+                        Rhs::Opaque(_) => return None,
+                    }
+                }
+                Some(LValue::Array { name: name.to_string(), subs: lowered })
+            }
+            _ => None,
+        }
+    }
+
+    /// Lowers an expression to a value, splitting out side effects as
+    /// preceding statements. Returns `Rhs::Opaque` for values the analysis
+    /// cannot interpret (floats, division, calls, logical operators).
+    fn lower_value(&mut self, e: &CExpr, out: &mut Vec<IrStmt>) -> Rhs {
+        match e {
+            CExpr::IntLit(v) => Rhs::Expr(Expr::int(*v)),
+            CExpr::FloatLit(_) => Rhs::Opaque("float literal".into()),
+            CExpr::Ident(n) => Rhs::Expr(Expr::var(n)),
+            CExpr::Index { .. } => match self.lower_read(e, out) {
+                Some(x) => Rhs::Expr(x),
+                None => Rhs::Opaque("unlowerable subscript".into()),
+            },
+            CExpr::Postfix { op, operand } => {
+                // `a[m++]`-style: temp holds the pre-value, then increment.
+                let CExpr::Ident(name) = operand.as_ref() else {
+                    return Rhs::Opaque("postfix on non-scalar".into());
+                };
+                let tmp = self.fresh_temp();
+                out.push(IrStmt::Assign(Assign {
+                    lhs: LValue::Scalar(tmp.clone()),
+                    rhs: Rhs::Expr(Expr::var(name)),
+                    integer: true,
+                    reads: vec![],
+                    compound_op: None,
+                    rhs_idents: vec![name.clone()],
+                }));
+                let delta = if *op == PostOp::PostInc { 1 } else { -1 };
+                out.push(IrStmt::Assign(Assign {
+                    lhs: LValue::Scalar(name.clone()),
+                    rhs: Rhs::Expr(Expr::var(name) + Expr::int(delta)),
+                    integer: true,
+                    reads: vec![],
+                    compound_op: Some(BinOp::Add),
+                    rhs_idents: vec![name.clone()],
+                }));
+                Rhs::Expr(Expr::var(&tmp))
+            }
+            CExpr::Unary { op: UnOp::PreInc | UnOp::PreDec, operand } => {
+                let CExpr::Ident(name) = operand.as_ref() else {
+                    return Rhs::Opaque("prefix inc on non-scalar".into());
+                };
+                let delta = if matches!(e, CExpr::Unary { op: UnOp::PreInc, .. }) { 1 } else { -1 };
+                out.push(IrStmt::Assign(Assign {
+                    lhs: LValue::Scalar(name.clone()),
+                    rhs: Rhs::Expr(Expr::var(name) + Expr::int(delta)),
+                    integer: true,
+                    reads: vec![],
+                    compound_op: Some(BinOp::Add),
+                    rhs_idents: vec![name.clone()],
+                }));
+                Rhs::Expr(Expr::var(name))
+            }
+            CExpr::Unary { op: UnOp::Neg, operand } => match self.lower_value(operand, out) {
+                Rhs::Expr(x) => Rhs::Expr(-x),
+                o => o,
+            },
+            CExpr::Unary { op: UnOp::Not, .. } => Rhs::Opaque("logical not".into()),
+            CExpr::Binary { op, lhs, rhs } => {
+                let l = self.lower_value(lhs, out);
+                let r = self.lower_value(rhs, out);
+                match (op, l, r) {
+                    (BinOp::Add, Rhs::Expr(a), Rhs::Expr(b)) => Rhs::Expr(a + b),
+                    (BinOp::Sub, Rhs::Expr(a), Rhs::Expr(b)) => Rhs::Expr(a - b),
+                    (BinOp::Mul, Rhs::Expr(a), Rhs::Expr(b)) => Rhs::Expr(a * b),
+                    (op, _, _) => Rhs::Opaque(format!("operator {}", op.symbol())),
+                }
+            }
+            CExpr::Assign { .. } => {
+                // Chained assignment as a value: lower as a statement, the
+                // value is the target.
+                let mut stmts = Vec::new();
+                self.lower_expr_stmt(e, &mut stmts);
+                let value = match stmts.last() {
+                    Some(IrStmt::Assign(a)) => match &a.lhs {
+                        LValue::Scalar(n) => Some(Expr::var(n)),
+                        LValue::Array { .. } => None,
+                    },
+                    _ => None,
+                };
+                out.extend(stmts);
+                match value {
+                    Some(v) => Rhs::Expr(v),
+                    None => Rhs::Opaque("assignment value".into()),
+                }
+            }
+            CExpr::Ternary { .. } => Rhs::Opaque("ternary".into()),
+            CExpr::Call { name, .. } => Rhs::Opaque(format!("call {name}")),
+            CExpr::Cast { ty, expr } => {
+                if ty.is_integer() {
+                    self.lower_value(expr, out)
+                } else {
+                    Rhs::Opaque(format!("cast to {ty}"))
+                }
+            }
+        }
+    }
+
+    /// Lowers a pure array read chain into an uninterpreted `Read` atom.
+    fn lower_read(&mut self, e: &CExpr, out: &mut Vec<IrStmt>) -> Option<Expr> {
+        let (name, subs) = e.as_index_chain()?;
+        let mut lowered = Vec::with_capacity(subs.len());
+        for s in subs {
+            match self.lower_value(s, out) {
+                Rhs::Expr(x) => lowered.push(x),
+                Rhs::Opaque(_) => return None,
+            }
+        }
+        Some(Expr::read(name, lowered))
+    }
+
+    /// Lowers an `if` condition to a [`Cond`], registering it in the table.
+    fn lower_cond(&mut self, e: &CExpr) -> crate::cond::CondId {
+        let text = subsub_cfront::printer::print_expr(e);
+        let kind = self.try_lower_cmp(e).unwrap_or_else(|| CondKind::Opaque {
+            text: text.clone(),
+            refs: idents_of(e),
+        });
+        self.conds.push(Cond { kind, text })
+    }
+
+    fn try_lower_cmp(&mut self, e: &CExpr) -> Option<CondKind> {
+        let CExpr::Binary { op, lhs, rhs } = e else { return None };
+        let cmp = match op {
+            BinOp::Lt => CmpOp::Lt,
+            BinOp::Le => CmpOp::Le,
+            BinOp::Gt => CmpOp::Gt,
+            BinOp::Ge => CmpOp::Ge,
+            BinOp::Eq => CmpOp::Eq,
+            BinOp::Ne => CmpOp::Ne,
+            _ => return None,
+        };
+        let mut scratch = Vec::new();
+        let l = self.lower_value(lhs, &mut scratch);
+        let r = self.lower_value(rhs, &mut scratch);
+        if !scratch.is_empty() {
+            return None; // side effects in conditions are not supported
+        }
+        match (l, r) {
+            (Rhs::Expr(a), Rhs::Expr(b)) => Some(CondKind::Cmp { op: cmp, lhs: a, rhs: b }),
+            _ => None,
+        }
+    }
+
+    /// Lowers a `for` statement into a normalized [`LoopIr`], or an
+    /// [`IrStmt::Opaque`] when the loop shape is not normalizable.
+    fn lower_for(&mut self, s: &Stmt, pragmas: Vec<String>, out: &mut Vec<IrStmt>) {
+        let Stmt::For { init, cond, step, body } = s else { unreachable!() };
+        let id = LoopId(self.loop_counter);
+        self.loop_counter += 1;
+
+        let Some((var, lo)) = parse_for_init(init) else {
+            out.push(IrStmt::Opaque("non-normalizable for-init".into()));
+            return;
+        };
+        let Some((upper, inclusive)) = parse_for_cond(cond.as_ref(), &var) else {
+            out.push(IrStmt::Opaque("non-normalizable for-cond".into()));
+            return;
+        };
+        let Some(stride) = parse_for_step(step.as_ref(), &var) else {
+            out.push(IrStmt::Opaque("non-normalizable for-step".into()));
+            return;
+        };
+
+        let mut scratch = Vec::new();
+        let lo_v = self.lower_value(&lo, &mut scratch);
+        let up_v = self.lower_value(&upper, &mut scratch);
+        if !scratch.is_empty() {
+            out.push(IrStmt::Opaque("side effects in loop bounds".into()));
+            return;
+        }
+        let (Rhs::Expr(lo_e), Rhs::Expr(up_e)) = (lo_v, up_v) else {
+            out.push(IrStmt::Opaque("unlowerable loop bounds".into()));
+            return;
+        };
+
+        // Iteration count.
+        let span = up_e.clone() - lo_e.clone() + Expr::int(if inclusive { 1 } else { 0 });
+        let n_iters = if stride == 1 {
+            span
+        } else if let Some(c) = span.as_int() {
+            Expr::int((c + stride - 1) / stride)
+        } else {
+            out.push(IrStmt::Opaque("symbolic bounds with stride > 1".into()));
+            return;
+        };
+
+        // Normalize the body: substitute `var := lo + stride*var` when the
+        // source loop was not already 0-based stride-1.
+        let body_ast: Block = match body.as_ref() {
+            Stmt::Block(b) => b.clone(),
+            other => Block { stmts: vec![other.clone()] },
+        };
+        let needs_subst = !(lo_e.is_zero() && stride == 1);
+        let body_ast = if needs_subst {
+            let replacement = CExpr::bin(
+                BinOp::Add,
+                lo.clone(),
+                CExpr::bin(BinOp::Mul, CExpr::IntLit(stride), CExpr::ident(&var)),
+            );
+            subst_ident_block(&body_ast, &var, &replacement)
+        } else {
+            body_ast
+        };
+
+        let line = 0; // source line tracking for loops is a future extension
+        let lowered = self.lower_block(&body_ast);
+
+        // A loop that assigns its own index is not a normalized loop.
+        if assigns_var(&lowered, &var) {
+            out.push(IrStmt::Opaque(format!("loop index {var} assigned in body")));
+            return;
+        }
+
+        self.types.insert(
+            &var,
+            VarInfo { ty: Type::Int, pointer: 0, array_dims: 0, local: true },
+        );
+        out.push(IrStmt::Loop(Box::new(LoopIr {
+            id,
+            index: Symbol::var(&var),
+            n_iters,
+            original_index: var,
+            body: lowered,
+            pragmas,
+            line,
+        })));
+    }
+}
+
+/// Detects `l = l op e` (commutative ops also match `l = e op l`).
+fn detect_compound(lhs: &CExpr, rhs_full: &CExpr) -> Option<BinOp> {
+    let CExpr::Binary { op, lhs: a, rhs: b } = rhs_full else { return None };
+    match op {
+        BinOp::Add | BinOp::Mul => {
+            if a.as_ref() == lhs || b.as_ref() == lhs {
+                Some(*op)
+            } else {
+                None
+            }
+        }
+        BinOp::Sub | BinOp::Div => (a.as_ref() == lhs).then_some(*op),
+        _ => None,
+    }
+}
+
+fn assigns_var(body: &[IrStmt], var: &str) -> bool {
+    body.iter().any(|s| match s {
+        IrStmt::Assign(a) => a.lhs.name() == var,
+        IrStmt::If { then_s, else_s, .. } => assigns_var(then_s, var) || assigns_var(else_s, var),
+        IrStmt::Loop(l) => assigns_var(&l.body, var),
+        IrStmt::Opaque(_) => false,
+    })
+}
+
+/// `i = lo` or `int i = lo` → `(i, lo)`.
+fn parse_for_init(init: &ForInit) -> Option<(String, CExpr)> {
+    match init {
+        ForInit::Decl(d) => Some((d.name.clone(), d.init.clone()?)),
+        ForInit::Expr(CExpr::Assign { op: AssignOp::Assign, lhs, rhs }) => match lhs.as_ref() {
+            CExpr::Ident(n) => Some((n.clone(), (**rhs).clone())),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// `i < U` / `i <= U` → `(U, inclusive)`.
+fn parse_for_cond(cond: Option<&CExpr>, var: &str) -> Option<(CExpr, bool)> {
+    match cond? {
+        CExpr::Binary { op, lhs, rhs } => match (op, lhs.as_ref()) {
+            (BinOp::Lt, CExpr::Ident(n)) if n == var => Some(((**rhs).clone(), false)),
+            (BinOp::Le, CExpr::Ident(n)) if n == var => Some(((**rhs).clone(), true)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// `i++`, `++i`, `i += c`, `i = i + c` → positive stride `c`.
+fn parse_for_step(step: Option<&CExpr>, var: &str) -> Option<i64> {
+    let is_var = |e: &CExpr| matches!(e, CExpr::Ident(n) if n == var);
+    match step? {
+        CExpr::Postfix { op: PostOp::PostInc, operand } if is_var(operand) => Some(1),
+        CExpr::Unary { op: UnOp::PreInc, operand } if is_var(operand) => Some(1),
+        CExpr::Assign { op: AssignOp::AddAssign, lhs, rhs } if is_var(lhs) => match rhs.as_ref() {
+            CExpr::IntLit(c) if *c > 0 => Some(*c),
+            _ => None,
+        },
+        CExpr::Assign { op: AssignOp::Assign, lhs, rhs } if is_var(lhs) => match rhs.as_ref() {
+            CExpr::Binary { op: BinOp::Add, lhs: a, rhs: b } => match (a.as_ref(), b.as_ref()) {
+                (x, CExpr::IntLit(c)) if is_var(x) && *c > 0 => Some(*c),
+                (CExpr::IntLit(c), x) if is_var(x) && *c > 0 => Some(*c),
+                _ => None,
+            },
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Substitutes `Ident(var)` with `replacement` in a whole block (AST level;
+/// used by loop normalization).
+fn subst_ident_block(b: &Block, var: &str, replacement: &CExpr) -> Block {
+    Block { stmts: b.stmts.iter().map(|s| subst_ident_stmt(s, var, replacement)).collect() }
+}
+
+fn subst_ident_stmt(s: &Stmt, var: &str, r: &CExpr) -> Stmt {
+    match s {
+        Stmt::Decl(d) => Stmt::Decl(Decl {
+            init: d.init.as_ref().map(|e| subst_ident_expr(e, var, r)),
+            ..d.clone()
+        }),
+        Stmt::Expr(e) => Stmt::Expr(subst_ident_expr(e, var, r)),
+        Stmt::Block(b) => Stmt::Block(subst_ident_block(b, var, r)),
+        Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+            cond: subst_ident_expr(cond, var, r),
+            then_branch: Box::new(subst_ident_stmt(then_branch, var, r)),
+            else_branch: else_branch.as_ref().map(|e| Box::new(subst_ident_stmt(e, var, r))),
+        },
+        Stmt::For { init, cond, step, body } => {
+            // Inner loops shadowing `var` are not substituted further.
+            let shadows = match init {
+                ForInit::Decl(d) => d.name == var,
+                ForInit::Expr(CExpr::Assign { lhs, .. }) => {
+                    matches!(lhs.as_ref(), CExpr::Ident(n) if n == var)
+                }
+                _ => false,
+            };
+            if shadows {
+                s.clone()
+            } else {
+                Stmt::For {
+                    init: match init {
+                        ForInit::Empty => ForInit::Empty,
+                        ForInit::Decl(d) => ForInit::Decl(Decl {
+                            init: d.init.as_ref().map(|e| subst_ident_expr(e, var, r)),
+                            ..d.clone()
+                        }),
+                        ForInit::Expr(e) => ForInit::Expr(subst_ident_expr(e, var, r)),
+                    },
+                    cond: cond.as_ref().map(|e| subst_ident_expr(e, var, r)),
+                    step: step.as_ref().map(|e| subst_ident_expr(e, var, r)),
+                    body: Box::new(subst_ident_stmt(body, var, r)),
+                }
+            }
+        }
+        Stmt::While { cond, body } => Stmt::While {
+            cond: subst_ident_expr(cond, var, r),
+            body: Box::new(subst_ident_stmt(body, var, r)),
+        },
+        Stmt::Return(e) => Stmt::Return(e.as_ref().map(|e| subst_ident_expr(e, var, r))),
+        other => other.clone(),
+    }
+}
+
+fn subst_ident_expr(e: &CExpr, var: &str, r: &CExpr) -> CExpr {
+    match e {
+        CExpr::Ident(n) if n == var => r.clone(),
+        CExpr::IntLit(_) | CExpr::FloatLit(_) | CExpr::Ident(_) => e.clone(),
+        CExpr::Index { base, index } => CExpr::Index {
+            base: Box::new(subst_ident_expr(base, var, r)),
+            index: Box::new(subst_ident_expr(index, var, r)),
+        },
+        CExpr::Call { name, args } => CExpr::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| subst_ident_expr(a, var, r)).collect(),
+        },
+        CExpr::Unary { op, operand } => CExpr::Unary {
+            op: *op,
+            operand: Box::new(subst_ident_expr(operand, var, r)),
+        },
+        CExpr::Postfix { op, operand } => CExpr::Postfix {
+            op: *op,
+            operand: Box::new(subst_ident_expr(operand, var, r)),
+        },
+        CExpr::Binary { op, lhs, rhs } => CExpr::bin(
+            *op,
+            subst_ident_expr(lhs, var, r),
+            subst_ident_expr(rhs, var, r),
+        ),
+        CExpr::Assign { op, lhs, rhs } => CExpr::Assign {
+            op: *op,
+            lhs: Box::new(subst_ident_expr(lhs, var, r)),
+            rhs: Box::new(subst_ident_expr(rhs, var, r)),
+        },
+        CExpr::Ternary { cond, then_e, else_e } => CExpr::Ternary {
+            cond: Box::new(subst_ident_expr(cond, var, r)),
+            then_e: Box::new(subst_ident_expr(then_e, var, r)),
+            else_e: Box::new(subst_ident_expr(else_e, var, r)),
+        },
+        CExpr::Cast { ty, expr } => CExpr::Cast {
+            ty: ty.clone(),
+            expr: Box::new(subst_ident_expr(expr, var, r)),
+        },
+    }
+}
+
+/// Collects array reads from a source expression (for dependence testing).
+fn collect_reads(e: &CExpr, out: &mut Vec<ArrayRead>) {
+    if let Some((name, subs)) = e.as_index_chain() {
+        let mut lowered = Vec::new();
+        let mut exact = true;
+        for s in &subs {
+            match pure_int_lower(s) {
+                Some(x) => lowered.push(x),
+                None => {
+                    exact = false;
+                    break;
+                }
+            }
+        }
+        out.push(ArrayRead {
+            array: name.to_string(),
+            subs: if exact { lowered } else { Vec::new() },
+            exact,
+        });
+        for s in subs {
+            collect_reads(s, out);
+        }
+        return;
+    }
+    match e {
+        CExpr::IntLit(_) | CExpr::FloatLit(_) | CExpr::Ident(_) => {}
+        CExpr::Index { base, index } => {
+            collect_reads(base, out);
+            collect_reads(index, out);
+        }
+        CExpr::Call { args, .. } => args.iter().for_each(|a| collect_reads(a, out)),
+        CExpr::Unary { operand, .. } | CExpr::Postfix { operand, .. } => {
+            collect_reads(operand, out)
+        }
+        CExpr::Binary { lhs, rhs, .. } => {
+            collect_reads(lhs, out);
+            collect_reads(rhs, out);
+        }
+        CExpr::Assign { lhs, rhs, .. } => {
+            collect_reads(lhs, out);
+            collect_reads(rhs, out);
+        }
+        CExpr::Ternary { cond, then_e, else_e } => {
+            collect_reads(cond, out);
+            collect_reads(then_e, out);
+            collect_reads(else_e, out);
+        }
+        CExpr::Cast { expr, .. } => collect_reads(expr, out),
+    }
+}
+
+/// Reads performed by the *subscripts* of an assignment target.
+fn collect_subscript_reads(lhs: &CExpr, out: &mut Vec<ArrayRead>) {
+    if let Some((_, subs)) = lhs.as_index_chain() {
+        for s in subs {
+            collect_reads(s, out);
+        }
+    }
+}
+
+/// Side-effect-free integer lowering (no temp generation); `None` when the
+/// expression is not a pure integer expression.
+fn pure_int_lower(e: &CExpr) -> Option<Expr> {
+    match e {
+        CExpr::IntLit(v) => Some(Expr::int(*v)),
+        CExpr::Ident(n) => Some(Expr::var(n)),
+        CExpr::Unary { op: UnOp::Neg, operand } => Some(-pure_int_lower(operand)?),
+        CExpr::Binary { op, lhs, rhs } => {
+            let a = pure_int_lower(lhs)?;
+            let b = pure_int_lower(rhs)?;
+            match op {
+                BinOp::Add => Some(a + b),
+                BinOp::Sub => Some(a - b),
+                BinOp::Mul => Some(a * b),
+                _ => None,
+            }
+        }
+        CExpr::Index { .. } => {
+            let (name, subs) = e.as_index_chain()?;
+            let lowered: Option<Vec<Expr>> = subs.iter().map(|s| pure_int_lower(s)).collect();
+            Some(Expr::read(name, lowered?))
+        }
+        _ => None,
+    }
+}
+
+fn idents_of(e: &CExpr) -> Vec<String> {
+    let mut out = Vec::new();
+    fn walk(e: &CExpr, out: &mut Vec<String>) {
+        match e {
+            CExpr::Ident(n) => out.push(n.clone()),
+            CExpr::IntLit(_) | CExpr::FloatLit(_) => {}
+            CExpr::Index { base, index } => {
+                walk(base, out);
+                walk(index, out);
+            }
+            CExpr::Call { args, .. } => args.iter().for_each(|a| walk(a, out)),
+            CExpr::Unary { operand, .. } | CExpr::Postfix { operand, .. } => walk(operand, out),
+            CExpr::Binary { lhs, rhs, .. } => {
+                walk(lhs, out);
+                walk(rhs, out);
+            }
+            CExpr::Assign { lhs, rhs, .. } => {
+                walk(lhs, out);
+                walk(rhs, out);
+            }
+            CExpr::Ternary { cond, then_e, else_e } => {
+                walk(cond, out);
+                walk(then_e, out);
+                walk(else_e, out);
+            }
+            CExpr::Cast { expr, .. } => walk(expr, out),
+        }
+    }
+    walk(e, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsub_cfront::parse_program;
+
+    fn lower_src(src: &str) -> LoweredFunction {
+        let p = parse_program(src).unwrap();
+        lower_function(&p.funcs[0], &p.globals).unwrap()
+    }
+
+    /// The paper's Figure 4: `ind[m++] = j` must normalize into
+    /// `_temp_0 = m; m = m + 1; ind[_temp_0] = j;`.
+    #[test]
+    fn figure4_normalization() {
+        let f = lower_src(
+            r#"
+            void f(int npts, double *xdos, int *ind, double t, double width) {
+                int m; int j;
+                m = 0;
+                for (j = 0; j < npts; j++) {
+                    if ((xdos[j] - t) < width)
+                        ind[m++] = j;
+                }
+            }
+            "#,
+        );
+        let loops = f.loops();
+        assert_eq!(loops.len(), 1);
+        let l = loops[0];
+        // Body: one If containing the three split statements.
+        let IrStmt::If { then_s, .. } = &l.body[0] else { panic!("expected if") };
+        assert_eq!(then_s.len(), 3);
+        let IrStmt::Assign(a0) = &then_s[0] else { panic!() };
+        assert_eq!(a0.lhs.name(), "_temp_0");
+        assert_eq!(a0.rhs.as_expr().unwrap(), &Expr::var("m"));
+        let IrStmt::Assign(a1) = &then_s[1] else { panic!() };
+        assert_eq!(a1.lhs.name(), "m");
+        assert_eq!(a1.rhs.as_expr().unwrap(), &(Expr::var("m") + Expr::int(1)));
+        let IrStmt::Assign(a2) = &then_s[2] else { panic!() };
+        assert_eq!(a2.lhs.to_string(), "ind[_temp_0]");
+        assert_eq!(a2.rhs.as_expr().unwrap(), &Expr::var("j"));
+    }
+
+    #[test]
+    fn compound_assignment_expands() {
+        let f = lower_src(
+            "void f(int n, int *a) { int i; for (i=0;i<n;i++) a[i] += 2; }",
+        );
+        let l = &f.loops()[0];
+        let IrStmt::Assign(a) = &l.body[0] else { panic!() };
+        assert_eq!(
+            a.rhs.as_expr().unwrap(),
+            &(Expr::read("a", vec![Expr::var("i")]) + Expr::int(2))
+        );
+    }
+
+    #[test]
+    fn loop_normalization_nonzero_base() {
+        // for (i = 2; i <= n; i += 1)  =>  N = n - 1, body uses 2 + i
+        let f = lower_src("void f(int n, int *a) { int i; for (i=2;i<=n;i++) a[i] = i; }");
+        let l = &f.loops()[0];
+        assert_eq!(l.n_iters, Expr::var("n") - Expr::int(1));
+        let IrStmt::Assign(a) = &l.body[0] else { panic!() };
+        let LValue::Array { subs, .. } = &a.lhs else { panic!() };
+        assert_eq!(subs[0], Expr::int(2) + Expr::var("i"));
+    }
+
+    #[test]
+    fn loop_with_constant_stride() {
+        let f = lower_src("void f(int *a) { int i; for (i=0;i<10;i+=2) a[i] = i; }");
+        let l = &f.loops()[0];
+        assert_eq!(l.n_iters.as_int(), Some(5));
+        let IrStmt::Assign(a) = &l.body[0] else { panic!() };
+        let LValue::Array { subs, .. } = &a.lhs else { panic!() };
+        assert_eq!(subs[0], Expr::int(2) * Expr::var("i"));
+    }
+
+    #[test]
+    fn while_is_opaque() {
+        let f = lower_src("void f(int n) { int k; k = 0; while (k < n) k = k + 1; }");
+        assert!(f.body.iter().any(|s| matches!(s, IrStmt::Opaque(_))));
+    }
+
+    #[test]
+    fn break_becomes_opaque_in_loop() {
+        let f = lower_src(
+            "void f(int n, int *a) { int i; for (i=0;i<n;i++) { if (a[i] > 0) break; } }",
+        );
+        let l = &f.loops()[0];
+        let IrStmt::If { then_s, .. } = &l.body[0] else { panic!() };
+        assert!(matches!(then_s[0], IrStmt::Opaque(_)));
+    }
+
+    #[test]
+    fn pure_call_value_is_opaque_but_not_statement() {
+        let f = lower_src(
+            "void f(int n, double *y) { int i; for (i=0;i<n;i++) y[i] = exp(0.5); }",
+        );
+        let l = &f.loops()[0];
+        let IrStmt::Assign(a) = &l.body[0] else { panic!() };
+        assert!(matches!(a.rhs, Rhs::Opaque(_)));
+        assert!(!a.integer);
+    }
+
+    #[test]
+    fn reads_collected_for_subscripted_subscript() {
+        let f = lower_src(
+            r#"
+            void f(int n, double *y, int *ind, double *g) {
+                int j;
+                for (j = 0; j < n; j++)
+                    y[ind[j]] = y[ind[j]] + g[j];
+            }
+            "#,
+        );
+        let l = &f.loops()[0];
+        let IrStmt::Assign(a) = &l.body[0] else { panic!() };
+        let arrays: Vec<&str> = a.reads.iter().map(|r| r.array.as_str()).collect();
+        assert!(arrays.contains(&"y"));
+        assert!(arrays.contains(&"ind"));
+        assert!(arrays.contains(&"g"));
+        // The y read subscript is exact: read(ind,[j]).
+        let yread = a.reads.iter().find(|r| r.array == "y").unwrap();
+        assert!(yread.exact);
+        assert_eq!(yread.subs[0], Expr::read("ind", vec![Expr::var("j")]));
+    }
+
+    #[test]
+    fn pragmas_attach_to_loop() {
+        let f = lower_src(
+            "void f(int n, double *x) { int i;\n#pragma omp parallel for\nfor (i=0;i<n;i++) x[i] = 0.0; }",
+        );
+        let l = &f.loops()[0];
+        assert_eq!(l.pragmas, vec!["omp parallel for".to_string()]);
+    }
+
+    #[test]
+    fn nested_loop_ids_preorder() {
+        let f = lower_src(
+            r#"
+            void f(int n, int m, int *a) {
+                int i; int j;
+                for (i=0;i<n;i++) {
+                    for (j=0;j<m;j++) { a[j] = j; }
+                }
+                for (i=0;i<n;i++) { a[i] = i; }
+            }
+            "#,
+        );
+        let ids: Vec<u32> = f.loops().iter().map(|l| l.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn decl_with_init_becomes_assignment() {
+        let f = lower_src("void f() { int p = 5; }");
+        let IrStmt::Assign(a) = &f.body[0] else { panic!() };
+        assert_eq!(a.lhs.name(), "p");
+        assert_eq!(a.rhs.as_expr().unwrap().as_int(), Some(5));
+    }
+
+    #[test]
+    fn sddmm_fill_loop_lowered() {
+        let f = lower_src(
+            r#"
+            void fill(int nonzeros, int *col_val, int *col_ptr) {
+                int i; int holder; int r;
+                holder = 1; col_ptr[0] = 0; r = col_val[0];
+                for (i = 0; i < nonzeros; i++) {
+                    if (col_val[i] != r) {
+                        col_ptr[holder++] = i;
+                        r = col_val[i];
+                    }
+                }
+            }
+            "#,
+        );
+        let l = &f.loops()[0];
+        let IrStmt::If { cond, then_s, .. } = &l.body[0] else { panic!() };
+        assert_eq!(then_s.len(), 4); // temp, holder++, col_ptr[..]=i, r=col_val[i]
+        let c = f.conds.get(*cond);
+        assert!(matches!(&c.kind, CondKind::Cmp { op: CmpOp::Ne, .. }));
+    }
+}

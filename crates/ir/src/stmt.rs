@@ -1,0 +1,292 @@
+//! IR statements: normalized assignments, structured control flow, loops.
+
+use crate::cond::CondId;
+use std::fmt;
+use subsub_symbolic::{Expr, Symbol};
+
+/// Identifier of a loop within one lowered function (pre-order numbering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopId(pub u32);
+
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar variable.
+    Scalar(String),
+    /// An array element; `subs` are the lowered subscript expressions,
+    /// outermost dimension first. Subscripted subscripts appear as
+    /// uninterpreted reads inside the subscript expression.
+    Array {
+        /// Array name.
+        name: String,
+        /// Subscript expressions.
+        subs: Vec<Expr>,
+    },
+}
+
+impl LValue {
+    /// The assigned variable's name.
+    pub fn name(&self) -> &str {
+        match self {
+            LValue::Scalar(n) => n,
+            LValue::Array { name, .. } => name,
+        }
+    }
+
+    /// True for array targets.
+    pub fn is_array(&self) -> bool {
+        matches!(self, LValue::Array { .. })
+    }
+}
+
+impl fmt::Display for LValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LValue::Scalar(n) => write!(f, "{n}"),
+            LValue::Array { name, subs } => {
+                write!(f, "{name}")?;
+                for s in subs {
+                    write!(f, "[{s}]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A lowered right-hand side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rhs {
+    /// An integer expression the analysis can interpret.
+    Expr(Expr),
+    /// A value the analysis treats as unknown (floating point, division,
+    /// calls, …). The variable still counts as *assigned* (loop-variant);
+    /// its value is ⊥.
+    Opaque(String),
+}
+
+impl Rhs {
+    /// The interpretable expression, if any.
+    pub fn as_expr(&self) -> Option<&Expr> {
+        match self {
+            Rhs::Expr(e) => Some(e),
+            Rhs::Opaque(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Rhs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rhs::Expr(e) => write!(f, "{e}"),
+            Rhs::Opaque(t) => write!(f, "⊥({t})"),
+        }
+    }
+}
+
+/// An array read occurrence, collected during lowering for dependence
+/// testing (reads survive even when the value lowering is opaque, e.g. the
+/// read of `y[ind[j]]` inside a floating-point update).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayRead {
+    /// Array name.
+    pub array: String,
+    /// Subscript expressions, outermost first. Empty when `exact` is false.
+    pub subs: Vec<Expr>,
+    /// False when a subscript could not be lowered; the access must then be
+    /// treated as touching the whole array.
+    pub exact: bool,
+}
+
+/// A single (normalized) assignment statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assign {
+    /// Target.
+    pub lhs: LValue,
+    /// Lowered right-hand side.
+    pub rhs: Rhs,
+    /// True if the target has an integer type (the class of variables the
+    /// analysis tracks; floating-point assignments are recorded only for
+    /// dependence testing).
+    pub integer: bool,
+    /// Array reads performed by the right-hand side (and by the original
+    /// source expression when the value lowering is opaque).
+    pub reads: Vec<ArrayRead>,
+    /// Set when the source statement was a compound update of the target
+    /// (`s += e`, `s -= e`, `s = s + e`, `s = s * e`, …): the underlying
+    /// operator. Drives reduction recognition even when the value lowering
+    /// is opaque (floating-point accumulators).
+    pub compound_op: Option<subsub_cfront::BinOp>,
+    /// All identifiers read by the original right-hand side (and target
+    /// subscripts), for scalar dependence analysis.
+    pub rhs_idents: Vec<String>,
+}
+
+impl fmt::Display for Assign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.lhs, self.rhs)
+    }
+}
+
+/// A statement of the normalized IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrStmt {
+    /// A single assignment.
+    Assign(Assign),
+    /// Structured branch. `else_s` is empty for plain `if`.
+    If {
+        /// Condition id into the function's [`crate::CondTable`].
+        cond: CondId,
+        /// Then branch.
+        then_s: Vec<IrStmt>,
+        /// Else branch.
+        else_s: Vec<IrStmt>,
+    },
+    /// A nested normalized loop.
+    Loop(Box<LoopIr>),
+    /// A statement the analysis cannot interpret (e.g. a call with
+    /// side effects). Renders the enclosing loop ineligible.
+    Opaque(String),
+}
+
+/// A normalized loop: `for (idx = 0; idx < n_iters; idx++) body`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopIr {
+    /// Pre-order loop id within the function.
+    pub id: LoopId,
+    /// The normalized iteration variable (0-based, stride 1).
+    pub index: Symbol,
+    /// Symbolic iteration count `N`.
+    pub n_iters: Expr,
+    /// Name of the original loop variable (may equal `index`'s name when
+    /// the source loop was already normalized).
+    pub original_index: String,
+    /// Loop body.
+    pub body: Vec<IrStmt>,
+    /// `#pragma` lines immediately preceding the loop in the source.
+    pub pragmas: Vec<String>,
+    /// 1-based source line of the `for`, for diagnostics.
+    pub line: u32,
+}
+
+impl LoopIr {
+    /// All variable names assigned anywhere in the loop body (scalars and
+    /// arrays), including by inner loops — the *loop-variant* set.
+    pub fn assigned_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        collect_assigned(&self.body, &mut out);
+        // Inner loop indices are assigned too.
+        collect_indices(&self.body, &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Direct inner loops of this loop (not transitive).
+    pub fn inner_loops(&self) -> Vec<&LoopIr> {
+        let mut out = Vec::new();
+        collect_direct_loops(&self.body, &mut out);
+        out
+    }
+}
+
+fn collect_assigned(body: &[IrStmt], out: &mut Vec<String>) {
+    for s in body {
+        match s {
+            IrStmt::Assign(a) => out.push(a.lhs.name().to_string()),
+            IrStmt::If { then_s, else_s, .. } => {
+                collect_assigned(then_s, out);
+                collect_assigned(else_s, out);
+            }
+            IrStmt::Loop(l) => collect_assigned(&l.body, out),
+            IrStmt::Opaque(_) => {}
+        }
+    }
+}
+
+fn collect_indices(body: &[IrStmt], out: &mut Vec<String>) {
+    for s in body {
+        match s {
+            IrStmt::If { then_s, else_s, .. } => {
+                collect_indices(then_s, out);
+                collect_indices(else_s, out);
+            }
+            IrStmt::Loop(l) => {
+                out.push(l.index.name.to_string());
+                collect_indices(&l.body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_direct_loops<'a>(body: &'a [IrStmt], out: &mut Vec<&'a LoopIr>) {
+    for s in body {
+        match s {
+            IrStmt::Loop(l) => out.push(l),
+            IrStmt::If { then_s, else_s, .. } => {
+                collect_direct_loops(then_s, out);
+                collect_direct_loops(else_s, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_assign(name: &str) -> IrStmt {
+        IrStmt::Assign(Assign {
+            lhs: LValue::Scalar(name.into()),
+            rhs: Rhs::Expr(Expr::int(0)),
+            integer: true,
+            reads: vec![],
+            compound_op: None,
+            rhs_idents: vec![],
+        })
+    }
+
+    #[test]
+    fn assigned_vars_transitive() {
+        let inner = LoopIr {
+            id: LoopId(1),
+            index: Symbol::var("j"),
+            n_iters: Expr::var("m"),
+            original_index: "j".into(),
+            body: vec![scalar_assign("p")],
+            pragmas: vec![],
+            line: 2,
+        };
+        let outer = LoopIr {
+            id: LoopId(0),
+            index: Symbol::var("i"),
+            n_iters: Expr::var("n"),
+            original_index: "i".into(),
+            body: vec![scalar_assign("a"), IrStmt::Loop(Box::new(inner))],
+            pragmas: vec![],
+            line: 1,
+        };
+        let vars = outer.assigned_vars();
+        assert!(vars.contains(&"a".to_string()));
+        assert!(vars.contains(&"p".to_string()));
+        assert!(vars.contains(&"j".to_string()), "inner index is loop-variant");
+        assert_eq!(outer.inner_loops().len(), 1);
+    }
+
+    #[test]
+    fn lvalue_display() {
+        let lv = LValue::Array {
+            name: "ind".into(),
+            subs: vec![Expr::var("_temp_0")],
+        };
+        assert_eq!(lv.to_string(), "ind[_temp_0]");
+    }
+}

@@ -1,0 +1,112 @@
+//! Type environment: what the analysis knows about each variable.
+
+use std::collections::HashMap;
+use subsub_cfront::Type;
+
+/// Shape and type of one program variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarInfo {
+    /// Base C type.
+    pub ty: Type,
+    /// Pointer depth from the declarator.
+    pub pointer: usize,
+    /// Number of declared array dimensions.
+    pub array_dims: usize,
+    /// True if declared inside the currently analyzed function (an
+    /// automatic variable — candidate for privatization).
+    pub local: bool,
+}
+
+impl VarInfo {
+    /// True if subscripting this variable is an array access (declared
+    /// array or pointer parameter).
+    pub fn is_array_like(&self) -> bool {
+        self.array_dims > 0 || self.pointer > 0
+    }
+
+    /// True if the variable holds integer values — the class of
+    /// loop-variant variables the analysis tracks.
+    pub fn is_integer(&self) -> bool {
+        self.ty.is_integer()
+    }
+}
+
+/// Map from variable name to [`VarInfo`], built from parameters, globals
+/// and local declarations during lowering.
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    vars: HashMap<String, VarInfo>,
+}
+
+impl TypeEnv {
+    /// An empty environment.
+    pub fn new() -> TypeEnv {
+        TypeEnv::default()
+    }
+
+    /// Records a variable. Later declarations shadow earlier ones (the C
+    /// subset has no block scoping subtleties the analysis cares about).
+    pub fn insert(&mut self, name: &str, info: VarInfo) {
+        self.vars.insert(name.to_string(), info);
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, name: &str) -> Option<&VarInfo> {
+        self.vars.get(name)
+    }
+
+    /// True if `name` is known to be an array or pointer.
+    pub fn is_array(&self, name: &str) -> bool {
+        self.get(name).map(VarInfo::is_array_like).unwrap_or(false)
+    }
+
+    /// True if `name` is a known *integer* variable (scalar or array).
+    /// Unknown names are conservatively treated as non-integer.
+    pub fn is_integer(&self, name: &str) -> bool {
+        self.get(name).map(VarInfo::is_integer).unwrap_or(false)
+    }
+
+    /// Number of declared dimensions for `name` (pointers count one level).
+    pub fn dims_of(&self, name: &str) -> usize {
+        self.get(name).map(|v| v.array_dims.max(v.pointer)).unwrap_or(0)
+    }
+
+    /// Iterates over all known variables.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &VarInfo)> {
+        self.vars.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_like_detection() {
+        let mut env = TypeEnv::new();
+        env.insert(
+            "A_i",
+            VarInfo { ty: Type::Int, pointer: 1, array_dims: 0, local: false },
+        );
+        env.insert(
+            "idel",
+            VarInfo { ty: Type::Int, pointer: 0, array_dims: 4, local: false },
+        );
+        env.insert("m", VarInfo { ty: Type::Int, pointer: 0, array_dims: 0, local: true });
+        assert!(env.is_array("A_i"));
+        assert!(env.is_array("idel"));
+        assert!(!env.is_array("m"));
+        assert_eq!(env.dims_of("idel"), 4);
+        assert_eq!(env.dims_of("A_i"), 1);
+    }
+
+    #[test]
+    fn integer_tracking() {
+        let mut env = TypeEnv::new();
+        env.insert("x", VarInfo { ty: Type::Double, pointer: 0, array_dims: 0, local: true });
+        env.insert("n", VarInfo { ty: Type::Int, pointer: 0, array_dims: 0, local: false });
+        assert!(!env.is_integer("x"));
+        assert!(env.is_integer("n"));
+        assert!(!env.is_integer("unknown"));
+    }
+}

@@ -1,0 +1,171 @@
+//! IS (NAS Parallel Benchmarks): integer bucket sort. The key-ranking
+//! histogram writes `count[key[i]]++` through a subscript array whose
+//! values come from the input keys — "too complex to be analyzed at
+//! compile time" (paper, Section 4.3). No configuration parallelizes it;
+//! Figure 17 shows no improvement.
+
+use crate::common::{InnerGroup, Kernel, KernelInstance};
+use subsub_omprt::{Schedule, ThreadPool};
+
+/// IS ranking source: histogram + prefix + rank scatter, all through
+/// data-dependent subscripts.
+pub const SOURCE: &str = r#"
+void is_rank(int n, int nbuckets, int *key, int *count, int *rank_out) {
+    int i;
+    for (i = 0; i < nbuckets; i++) {
+        count[i] = 0;
+    }
+    for (i = 0; i < n; i++) {
+        count[key[i]] = count[key[i]] + 1;
+    }
+    for (i = 1; i < nbuckets; i++) {
+        count[i] = count[i] + count[i-1];
+    }
+    for (i = 0; i < n; i++) {
+        count[key[i]] = count[key[i]] - 1;
+        rank_out[count[key[i]]] = i;
+    }
+}
+"#;
+
+/// The IS benchmark.
+pub struct Is;
+
+fn size_for(dataset: &str) -> (usize, usize) {
+    // (keys, buckets)
+    match dataset {
+        "CLASS B" => (4_000_000, 1 << 12),
+        "CLASS C" => (16_000_000, 1 << 12),
+        "test" => (500, 16),
+        other => panic!("unknown IS dataset {other}"),
+    }
+}
+
+impl Kernel for Is {
+    fn name(&self) -> &'static str {
+        "IS"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn func_name(&self) -> &'static str {
+        "is_rank"
+    }
+
+    fn datasets(&self) -> Vec<&'static str> {
+        vec!["CLASS C", "CLASS B"]
+    }
+
+    fn prepare(&self, dataset: &str) -> Box<dyn KernelInstance> {
+        let (n, buckets) = size_for(dataset);
+        // Deterministic pseudo-random keys (Gaussian-ish like NPB).
+        let keys: Vec<usize> = (0..n)
+            .map(|i| {
+                let a = (i.wrapping_mul(2654435761)) % buckets;
+                let b = (i.wrapping_mul(40503).wrapping_add(17)) % buckets;
+                (a + b) / 2
+            })
+            .collect();
+        Box::new(IsInstance {
+            keys,
+            buckets,
+            count: vec![0; buckets],
+            rank_out: vec![0; n],
+        })
+    }
+}
+
+struct IsInstance {
+    keys: Vec<usize>,
+    buckets: usize,
+    count: Vec<i64>,
+    rank_out: Vec<usize>,
+}
+
+impl KernelInstance for IsInstance {
+    fn run_serial(&mut self) {
+        self.count.fill(0);
+        for &k in &self.keys {
+            self.count[k] += 1;
+        }
+        for i in 1..self.buckets {
+            self.count[i] += self.count[i - 1];
+        }
+        for (i, &k) in self.keys.iter().enumerate() {
+            self.count[k] -= 1;
+            self.rank_out[self.count[k] as usize] = i;
+        }
+    }
+
+    fn run_outer(&mut self, _pool: &ThreadPool, _sched: Schedule) {
+        // No parallel decision exists at any level: serial fallback.
+        self.run_serial();
+    }
+
+    fn run_inner(&mut self, _pool: &ThreadPool, _sched: Schedule) {
+        self.run_serial();
+    }
+
+    fn outer_costs(&self) -> Vec<f64> {
+        vec![self.keys.len() as f64 * 8.0]
+    }
+
+    fn inner_groups(&self) -> Vec<InnerGroup> {
+        vec![InnerGroup { serial: self.keys.len() as f64 * 8.0, inner: vec![] }]
+    }
+
+    fn checksum(&self) -> f64 {
+        self.rank_out.iter().map(|&x| x as f64).sum::<f64>()
+            + self.count.iter().map(|&x| x as f64).sum::<f64>()
+    }
+
+    fn reset(&mut self) {
+        self.count.fill(0);
+        self.rank_out.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_is_a_permutation() {
+        let mut inst = Is.prepare("test");
+        inst.run_serial();
+        // Access internals through checksum: a permutation of 0..n sums to
+        // n(n-1)/2, but count holds residual offsets; verify via re-run.
+        let mut seen = vec![false; 500];
+        // Re-derive by running the same algorithm independently.
+        let (n, buckets) = (500usize, 16usize);
+        let keys: Vec<usize> = (0..n)
+            .map(|i| {
+                let a = (i.wrapping_mul(2654435761)) % buckets;
+                let b = (i.wrapping_mul(40503).wrapping_add(17)) % buckets;
+                (a + b) / 2
+            })
+            .collect();
+        let mut count = vec![0i64; buckets];
+        let mut rank_out = vec![0usize; n];
+        for &k in &keys {
+            count[k] += 1;
+        }
+        for i in 1..buckets {
+            count[i] += count[i - 1];
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            count[k] -= 1;
+            rank_out[count[k] as usize] = i;
+        }
+        for &r in &rank_out {
+            assert!(!seen[r]);
+            seen[r] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Sorted keys come out non-decreasing.
+        let sorted: Vec<usize> = rank_out.iter().map(|&i| keys[i]).collect();
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,65 @@
+//! Registry of the twelve evaluation benchmarks (paper Table 1).
+
+use crate::common::Kernel;
+
+/// All benchmarks in the order of the paper's Figure 17.
+pub fn all_kernels() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(crate::amgmk::Amgmk),
+        Box::new(crate::cholmod::Cholmod),
+        Box::new(crate::sddmm::Sddmm),
+        Box::new(crate::ua::UaTransf),
+        Box::new(crate::cg::Cg),
+        Box::new(crate::heat3d::Heat3d),
+        Box::new(crate::fdtd2d::Fdtd2d),
+        Box::new(crate::gramschmidt::Gramschmidt),
+        Box::new(crate::syrk::Syrk),
+        Box::new(crate::mg::Mg),
+        Box::new(crate::is::Is),
+        Box::new(crate::icholesky::ICholesky),
+    ]
+}
+
+/// Finds a benchmark by its Table-1 name.
+pub fn kernel_by_name(name: &str) -> Option<Box<dyn Kernel>> {
+    all_kernels().into_iter().find(|k| k.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_kernels_registered() {
+        assert_eq!(all_kernels().len(), 12);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(kernel_by_name("AMGmk").is_some());
+        assert!(kernel_by_name("UA(transf)").is_some());
+        assert!(kernel_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_kernel_has_source_and_datasets() {
+        for k in all_kernels() {
+            assert!(!k.source().is_empty(), "{}", k.name());
+            assert!(!k.datasets().is_empty(), "{}", k.name());
+            assert!(k.source().contains(k.func_name()), "{}", k.name());
+        }
+    }
+
+    /// Every kernel's test instance runs serially and produces a finite
+    /// checksum.
+    #[test]
+    fn every_kernel_smoke_runs() {
+        for k in all_kernels() {
+            let mut inst = k.prepare("test");
+            inst.run_serial();
+            assert!(inst.checksum().is_finite(), "{}", k.name());
+            assert!(!inst.outer_costs().is_empty(), "{}", k.name());
+            assert!(!inst.inner_groups().is_empty(), "{}", k.name());
+        }
+    }
+}

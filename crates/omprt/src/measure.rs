@@ -1,0 +1,66 @@
+//! Wall-clock measurement helpers for the benchmark harnesses.
+
+use std::time::Instant;
+
+/// A set of repeated timings, in seconds.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Individual run times (seconds).
+    pub runs: Vec<f64>,
+}
+
+impl Measurement {
+    /// Fastest run.
+    pub fn min(&self) -> f64 {
+        self.runs.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.runs.iter().sum::<f64>() / self.runs.len().max(1) as f64
+    }
+
+    /// Run-to-run variation: (max - min) / mean.
+    pub fn variation(&self) -> f64 {
+        let max = self.runs.iter().cloned().fold(0.0, f64::max);
+        let mean = self.mean();
+        if mean == 0.0 {
+            0.0
+        } else {
+            (max - self.min()) / mean
+        }
+    }
+}
+
+/// Times a single execution of `f`, returning seconds.
+pub fn time_once<F: FnMut()>(mut f: F) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+/// Times `f` `reps` times (the paper reports the mean of 5 runs).
+pub fn time_repeat<F: FnMut()>(reps: usize, mut f: F) -> Measurement {
+    let runs = (0..reps.max(1)).map(|_| time_once(&mut f)).collect();
+    Measurement { runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_positive_and_stats_work() {
+        let m = time_repeat(3, || {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+        });
+        assert_eq!(m.runs.len(), 3);
+        assert!(m.min() >= 0.0);
+        assert!(m.mean() >= m.min());
+        assert!(m.variation() >= 0.0);
+    }
+}

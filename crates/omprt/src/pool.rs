@@ -1,0 +1,314 @@
+//! A persistent worker thread pool with OpenMP-style `parallel for`.
+//!
+//! Workers are spawned once and parked between parallel regions; each
+//! region broadcasts one job to all workers and waits on a completion
+//! latch — the fork-join pattern of an OpenMP runtime, with the fork-join
+//! cost being a real, measurable quantity (see [`crate::sim`] for the
+//! calibrated model used by the figure harnesses).
+
+use crate::schedule::{static_chunks, Schedule};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Arc<dyn Fn(usize) + Send + Sync>;
+
+struct Shared {
+    /// Monotonic epoch; bumping it wakes the workers with a new job.
+    epoch: Mutex<u64>,
+    job: Mutex<Option<Job>>,
+    wake: Condvar,
+    done: Mutex<usize>,
+    done_cv: Condvar,
+    shutdown: Mutex<bool>,
+}
+
+/// A fixed-size team of worker threads executing fork-join parallel
+/// regions.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers (the calling thread is not
+    /// part of the team; it coordinates).
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            epoch: Mutex::new(0),
+            job: Mutex::new(None),
+            wake: Condvar::new(),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+            shutdown: Mutex::new(false),
+        });
+        let workers = (0..threads)
+            .map(|tid| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("omprt-{tid}"))
+                    .spawn(move || worker_loop(tid, sh))
+                    .expect("spawn worker")
+            })
+            .collect();
+        ThreadPool { shared, workers, threads }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job(tid)` on every worker and waits for all to finish —
+    /// one fork-join region.
+    pub fn run<F>(&self, job: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        // SAFETY-free broadcast: we erase the lifetime by boxing a clone of
+        // the closure behind Arc; the region cannot outlive this call
+        // because we block until every worker reports completion.
+        let job: Arc<dyn Fn(usize) + Send + Sync> = unsafe {
+            std::mem::transmute::<
+                Arc<dyn Fn(usize) + Send + Sync + '_>,
+                Arc<dyn Fn(usize) + Send + Sync + 'static>,
+            >(Arc::new(job))
+        };
+        {
+            let mut j = self.shared.job.lock();
+            *j = Some(job);
+            let mut d = self.shared.done.lock();
+            *d = 0;
+            let mut e = self.shared.epoch.lock();
+            *e += 1;
+        }
+        self.shared.wake.notify_all();
+        let mut d = self.shared.done.lock();
+        while *d < self.threads {
+            self.shared.done_cv.wait(&mut d);
+        }
+        drop(d);
+        // Workers have dropped their clones (they drop the job before
+        // reporting done); clearing the broadcast slot drops the closure
+        // while its borrows are still alive.
+        *self.shared.job.lock() = None;
+    }
+
+    /// OpenMP-style `parallel for` over `0..n` with the given schedule.
+    pub fn parallel_for<F>(&self, n: usize, sched: Schedule, body: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        let next = AtomicUsize::new(0);
+        let threads = self.threads;
+        self.run(|tid| match sched {
+            Schedule::Static { chunk } => {
+                for (s, e) in static_chunks(n, threads, chunk, tid) {
+                    for i in s..e {
+                        body(i);
+                    }
+                }
+            }
+            Schedule::Dynamic { chunk } => {
+                let c = chunk.max(1);
+                loop {
+                    let s = next.fetch_add(c, Ordering::Relaxed);
+                    if s >= n {
+                        break;
+                    }
+                    for i in s..(s + c).min(n) {
+                        body(i);
+                    }
+                }
+            }
+            Schedule::Guided { min_chunk } => {
+                let min = min_chunk.max(1);
+                loop {
+                    let s = next.load(Ordering::Relaxed);
+                    if s >= n {
+                        break;
+                    }
+                    let remaining = n - s;
+                    let c = (remaining / (2 * threads)).max(min).min(remaining);
+                    if next
+                        .compare_exchange(s, s + c, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    for i in s..s + c {
+                        body(i);
+                    }
+                }
+            }
+        });
+    }
+
+    /// `parallel for` with a `+`-style reduction: each thread folds its
+    /// iterations locally with `fold`, partials are combined with
+    /// `combine`.
+    pub fn parallel_for_reduce<T, F, C>(
+        &self,
+        n: usize,
+        sched: Schedule,
+        identity: T,
+        fold: F,
+        combine: C,
+    ) -> T
+    where
+        T: Clone + Send + Sync,
+        F: Fn(T, usize) -> T + Send + Sync,
+        C: Fn(T, T) -> T,
+    {
+        let partials: Vec<Mutex<T>> =
+            (0..self.threads).map(|_| Mutex::new(identity.clone())).collect();
+        let next = AtomicUsize::new(0);
+        let threads = self.threads;
+        self.run(|tid| {
+            let mut acc = identity.clone();
+            match sched {
+                Schedule::Static { chunk } => {
+                    for (s, e) in static_chunks(n, threads, chunk, tid) {
+                        for i in s..e {
+                            acc = fold(acc, i);
+                        }
+                    }
+                }
+                Schedule::Dynamic { chunk } | Schedule::Guided { min_chunk: chunk } => {
+                    let c = chunk.max(1);
+                    loop {
+                        let s = next.fetch_add(c, Ordering::Relaxed);
+                        if s >= n {
+                            break;
+                        }
+                        for i in s..(s + c).min(n) {
+                            acc = fold(acc, i);
+                        }
+                    }
+                }
+            }
+            *partials[tid].lock() = acc;
+        });
+        partials
+            .into_iter()
+            .fold(identity, |a, m| combine(a, m.into_inner()))
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut s = self.shared.shutdown.lock();
+            *s = true;
+            let mut e = self.shared.epoch.lock();
+            *e += 1;
+        }
+        self.shared.wake.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(tid: usize, sh: Arc<Shared>) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut e = sh.epoch.lock();
+            while *e == seen {
+                sh.wake.wait(&mut e);
+            }
+            seen = *e;
+            if *sh.shutdown.lock() {
+                return;
+            }
+            sh.job.lock().clone()
+        };
+        if let Some(job) = job {
+            job(tid);
+        }
+        let mut d = sh.done.lock();
+        *d += 1;
+        sh.done_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    fn all_schedules() -> Vec<Schedule> {
+        vec![
+            Schedule::static_default(),
+            Schedule::Static { chunk: Some(3) },
+            Schedule::dynamic_default(),
+            Schedule::Dynamic { chunk: 8 },
+            Schedule::Guided { min_chunk: 2 },
+        ]
+    }
+
+    #[test]
+    fn every_iteration_exactly_once() {
+        let pool = ThreadPool::new(4);
+        for sched in all_schedules() {
+            for n in [0usize, 1, 17, 256] {
+                let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                pool.parallel_for(n, sched, |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "{sched} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_matches_serial() {
+        let pool = ThreadPool::new(3);
+        let n = 1000usize;
+        for sched in all_schedules() {
+            let sum =
+                pool.parallel_for_reduce(n, sched, 0u64, |a, i| a + i as u64, |a, b| a + b);
+            assert_eq!(sum, (n as u64 - 1) * n as u64 / 2, "{sched}");
+        }
+    }
+
+    #[test]
+    fn pool_reusable_across_regions() {
+        let pool = ThreadPool::new(2);
+        let total = AtomicU64::new(0);
+        for _ in 0..50 {
+            pool.parallel_for(10, Schedule::dynamic_default(), |i| {
+                total.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 50 * 45);
+    }
+
+    #[test]
+    fn run_gives_each_thread_its_id() {
+        let pool = ThreadPool::new(4);
+        let seen: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(|tid| {
+            seen[tid].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(seen.iter().all(|s| s.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = ThreadPool::new(1);
+        let mut out = vec![0u32; 8];
+        let ptr = crate::sendptr::SendPtr::new(out.as_mut_ptr());
+        pool.parallel_for(8, Schedule::static_default(), |i| unsafe {
+            *ptr.get().add(i) = i as u32;
+        });
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+}

@@ -1,0 +1,135 @@
+//! OpenMP-style loop schedules.
+
+use std::fmt;
+
+/// How a `parallel for`'s iterations are distributed over threads,
+/// mirroring OpenMP's `schedule` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// `schedule(static)` / `schedule(static, chunk)`. With `chunk: None`
+    /// the iteration space is split into one contiguous block per thread
+    /// (OpenMP's default); with a chunk size, chunks are dealt round-robin.
+    Static {
+        /// Optional chunk size.
+        chunk: Option<usize>,
+    },
+    /// `schedule(dynamic, chunk)`: threads self-schedule chunks from a
+    /// shared counter.
+    Dynamic {
+        /// Chunk size (OpenMP default is 1).
+        chunk: usize,
+    },
+    /// `schedule(guided, min_chunk)`: chunk sizes start at
+    /// `remaining / threads` and shrink geometrically down to `min_chunk`.
+    Guided {
+        /// Minimum chunk size.
+        min_chunk: usize,
+    },
+}
+
+impl Schedule {
+    /// OpenMP default static schedule.
+    pub fn static_default() -> Schedule {
+        Schedule::Static { chunk: None }
+    }
+
+    /// `schedule(dynamic)` with the OpenMP default chunk of 1.
+    pub fn dynamic_default() -> Schedule {
+        Schedule::Dynamic { chunk: 1 }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Schedule::Static { chunk: None } => write!(f, "static"),
+            Schedule::Static { chunk: Some(c) } => write!(f, "static,{c}"),
+            Schedule::Dynamic { chunk } => write!(f, "dynamic,{chunk}"),
+            Schedule::Guided { min_chunk } => write!(f, "guided,{min_chunk}"),
+        }
+    }
+}
+
+/// The contiguous chunks thread `tid` of `threads` executes under a static
+/// schedule of `n` iterations. Returns `(start, end)` half-open ranges.
+pub fn static_chunks(n: usize, threads: usize, chunk: Option<usize>, tid: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    match chunk {
+        None => {
+            // Blocked: ceil-partition, first `rem` threads get one extra.
+            let base = n / threads;
+            let rem = n % threads;
+            let mine = base + usize::from(tid < rem);
+            let start = tid * base + tid.min(rem);
+            if mine > 0 {
+                out.push((start, start + mine));
+            }
+        }
+        Some(c) => {
+            let c = c.max(1);
+            let mut start = tid * c;
+            while start < n {
+                out.push((start, (start + c).min(n)));
+                start += threads * c;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covered(n: usize, threads: usize, chunk: Option<usize>) -> Vec<usize> {
+        let mut hits = vec![0usize; n];
+        for tid in 0..threads {
+            for (s, e) in static_chunks(n, threads, chunk, tid) {
+                for i in s..e {
+                    hits[i] += 1;
+                }
+            }
+        }
+        hits
+    }
+
+    #[test]
+    fn blocked_partition_exact_cover() {
+        for n in [0, 1, 7, 16, 100, 101] {
+            for t in [1, 2, 3, 8] {
+                assert!(covered(n, t, None).iter().all(|&h| h == 1), "n={n} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_partition_exact_cover() {
+        for n in [0, 1, 7, 100, 101] {
+            for t in [1, 2, 3, 8] {
+                for c in [1, 2, 5] {
+                    assert!(
+                        covered(n, t, Some(c)).iter().all(|&h| h == 1),
+                        "n={n} t={t} c={c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_is_contiguous_and_ordered() {
+        let a = static_chunks(10, 3, None, 0);
+        let b = static_chunks(10, 3, None, 1);
+        let c = static_chunks(10, 3, None, 2);
+        assert_eq!(a, vec![(0, 4)]);
+        assert_eq!(b, vec![(4, 7)]);
+        assert_eq!(c, vec![(7, 10)]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Schedule::static_default().to_string(), "static");
+        assert_eq!(Schedule::dynamic_default().to_string(), "dynamic,1");
+        assert_eq!(Schedule::Guided { min_chunk: 4 }.to_string(), "guided,4");
+    }
+}

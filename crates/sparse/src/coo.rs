@@ -1,0 +1,57 @@
+//! Coordinate (triplet) storage — the assembly format.
+
+use crate::csr::Csr;
+
+/// A COO matrix: unsorted `(row, col, value)` triplets.
+#[derive(Debug, Clone, Default)]
+pub struct Coo {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Triplets.
+    pub entries: Vec<(usize, usize, f64)>,
+}
+
+impl Coo {
+    /// An empty matrix of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Coo {
+        Coo { rows, cols, entries: Vec::new() }
+    }
+
+    /// Appends a triplet.
+    pub fn push(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols);
+        self.entries.push((r, c, v));
+    }
+
+    /// Converts to CSR, summing duplicate coordinates.
+    pub fn to_csr(&self) -> Csr {
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.rows];
+        let mut sorted = self.entries.clone();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        for (r, c, v) in sorted {
+            match rows[r].last_mut() {
+                Some((lc, lv)) if *lc == c => *lv += v,
+                _ => rows[r].push((c, v)),
+            }
+        }
+        Csr::from_rows(self.rows, self.cols, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_sum() {
+        let mut m = Coo::new(2, 2);
+        m.push(0, 0, 1.0);
+        m.push(0, 0, 2.5);
+        m.push(1, 1, 4.0);
+        let a = m.to_csr();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.to_dense(), vec![vec![3.5, 0.0], vec![0.0, 4.0]]);
+    }
+}

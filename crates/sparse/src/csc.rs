@@ -1,0 +1,108 @@
+//! Compressed Sparse Column storage.
+
+use crate::csr::Csr;
+
+/// A CSC matrix with `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Column pointer array (`cols + 1` entries, monotone — the paper's
+    /// `col_ptr` subscript array in SDDMM).
+    pub col_ptr: Vec<usize>,
+    /// Row indices, column-major (`row_ind` in SDDMM).
+    pub row_ind: Vec<usize>,
+    /// Nonzero values.
+    pub values: Vec<f64>,
+}
+
+impl Csc {
+    /// Converts from CSR.
+    pub fn from_csr(a: &Csr) -> Csc {
+        let mut counts = vec![0usize; a.cols];
+        for &c in &a.col_idx {
+            counts[c] += 1;
+        }
+        let mut col_ptr = vec![0usize; a.cols + 1];
+        for c in 0..a.cols {
+            col_ptr[c + 1] = col_ptr[c] + counts[c];
+        }
+        let mut row_ind = vec![0usize; a.nnz()];
+        let mut values = vec![0.0f64; a.nnz()];
+        let mut cursor = col_ptr.clone();
+        for r in 0..a.rows {
+            for k in a.row_ptr[r]..a.row_ptr[r + 1] {
+                let c = a.col_idx[k];
+                let dst = cursor[c];
+                row_ind[dst] = r;
+                values[dst] = a.values[k];
+                cursor[c] += 1;
+            }
+        }
+        Csc { rows: a.rows, cols: a.cols, col_ptr, row_ind, values }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_ind.len()
+    }
+
+    /// Nonzeros in column `c`.
+    pub fn col_nnz(&self, c: usize) -> usize {
+        self.col_ptr[c + 1] - self.col_ptr[c]
+    }
+
+    /// Structural validity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.col_ptr.len() != self.cols + 1 {
+            return Err("col_ptr length".into());
+        }
+        if self.col_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err("col_ptr not monotone".into());
+        }
+        if self.row_ind.iter().any(|&r| r >= self.rows) {
+            return Err("row index out of bounds".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_to_csc_roundtrip_dense() {
+        let a = Csr::from_rows(
+            3,
+            4,
+            vec![
+                vec![(0, 1.0), (3, 2.0)],
+                vec![(1, 3.0)],
+                vec![(0, 4.0), (1, 5.0), (2, 6.0)],
+            ],
+        );
+        let b = Csc::from_csr(&a);
+        b.validate().unwrap();
+        assert_eq!(b.nnz(), a.nnz());
+        // Column 0 holds rows 0 and 2.
+        assert_eq!(b.col_nnz(0), 2);
+        assert_eq!(&b.row_ind[b.col_ptr[0]..b.col_ptr[1]], &[0, 2]);
+        // Dense agreement.
+        let dense = a.to_dense();
+        for c in 0..b.cols {
+            for k in b.col_ptr[c]..b.col_ptr[c + 1] {
+                assert_eq!(dense[b.row_ind[k]][c], b.values[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn col_ptr_is_monotone() {
+        let a = Csr::from_rows(2, 2, vec![vec![(0, 1.0)], vec![(0, 1.0), (1, 1.0)]]);
+        let b = Csc::from_csr(&a);
+        assert!(b.col_ptr.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

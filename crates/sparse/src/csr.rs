@@ -1,0 +1,144 @@
+//! Compressed Sparse Row storage.
+
+/// A CSR matrix with `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row pointer array (`rows + 1` entries, monotone).
+    pub row_ptr: Vec<usize>,
+    /// Column indices, row-major.
+    pub col_idx: Vec<usize>,
+    /// Nonzero values, aligned with `col_idx`.
+    pub values: Vec<f64>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from per-row `(col, value)` lists (columns need
+    /// not be sorted; they will be).
+    pub fn from_rows(rows: usize, cols: usize, mut data: Vec<Vec<(usize, f64)>>) -> Csr {
+        assert_eq!(data.len(), rows);
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in data.iter_mut() {
+            r.sort_by_key(|(c, _)| *c);
+            r.dedup_by_key(|(c, _)| *c);
+            for (c, v) in r.iter() {
+                assert!(*c < cols, "column {c} out of bounds ({cols})");
+                col_idx.push(*c);
+                values.push(*v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Nonzeros in row `r`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// `y = A * x` (serial reference).
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Indices of rows with at least one nonzero — the AMGmk `A_rownnz`
+    /// array (strictly monotonic by construction, as the paper's analysis
+    /// proves from the fill loop).
+    pub fn rownnz(&self) -> Vec<usize> {
+        (0..self.rows).filter(|&r| self.row_nnz(r) > 0).collect()
+    }
+
+    /// Structural validity: monotone row_ptr, in-bounds columns.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.row_ptr.len() != self.rows + 1 {
+            return Err("row_ptr length".into());
+        }
+        if self.row_ptr[0] != 0 || *self.row_ptr.last().unwrap() != self.nnz() {
+            return Err("row_ptr ends".into());
+        }
+        if self.row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err("row_ptr not monotone".into());
+        }
+        if self.col_idx.iter().any(|&c| c >= self.cols) {
+            return Err("column out of bounds".into());
+        }
+        Ok(())
+    }
+
+    /// Dense form, for small-matrix tests.
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut out = vec![vec![0.0; self.cols]; self.rows];
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                out[r][self.col_idx[k]] = self.values[k];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        Csr::from_rows(
+            3,
+            3,
+            vec![vec![(0, 1.0), (2, 2.0)], vec![], vec![(1, 4.0), (0, 3.0)]],
+        )
+    }
+
+    #[test]
+    fn construction_sorts_columns() {
+        let m = small();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.col_idx, vec![0, 2, 0, 1]);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn spmv_reference() {
+        let m = small();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        m.spmv(&x, &mut y);
+        assert_eq!(y, [7.0, 0.0, 11.0]);
+    }
+
+    #[test]
+    fn rownnz_skips_empty_rows() {
+        let m = small();
+        assert_eq!(m.rownnz(), vec![0, 2]);
+    }
+
+    #[test]
+    fn row_nnz_counts() {
+        let m = small();
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row_nnz(2), 2);
+    }
+}

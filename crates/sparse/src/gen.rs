@@ -1,0 +1,235 @@
+//! Synthetic matrix generators — substitutes for the paper's input data.
+//!
+//! | Paper input | Generator | Preserved characteristic |
+//! |---|---|---|
+//! | AMGmk MATRIX1–5 (CORAL) | [`laplacian_3d`] at growing grid sizes | 27-point stencil structure, size scaling |
+//! | af_shell1 (FEM shell) | [`banded`] | near-uniform column degrees (static scheduling wins) |
+//! | gsm_106857, dielFilterV2clx, inline_1, spal_004, crankseg_1 | [`power_law_cols`] | skewed column-degree distribution (dynamic scheduling wins) |
+//! | generic fill-ins | [`random_uniform`] | controlled density |
+
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named matrix recipe used by the benchmark harnesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MatrixSpec {
+    /// 3-D 27-point Laplacian on an `n³` grid (AMGmk MATRIXk).
+    Laplacian3d {
+        /// Grid edge length.
+        n: usize,
+    },
+    /// Banded matrix with near-uniform bandwidth (af_shell1-like).
+    Banded {
+        /// Dimension.
+        n: usize,
+        /// Half bandwidth.
+        half_bw: usize,
+    },
+    /// Power-law column degrees (gsm/dielFilter/inline-like).
+    PowerLaw {
+        /// Dimension.
+        n: usize,
+        /// Average nonzeros per column.
+        avg_deg: usize,
+        /// Skew exponent (larger = more skewed).
+        alpha: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Uniformly random pattern.
+    Uniform {
+        /// Dimension.
+        n: usize,
+        /// Average nonzeros per row.
+        avg_deg: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl MatrixSpec {
+    /// Materializes the matrix.
+    pub fn build(&self) -> Csr {
+        match *self {
+            MatrixSpec::Laplacian3d { n } => laplacian_3d(n),
+            MatrixSpec::Banded { n, half_bw } => banded(n, half_bw),
+            MatrixSpec::PowerLaw { n, avg_deg, alpha, seed } => {
+                power_law_cols(n, avg_deg, alpha, seed)
+            }
+            MatrixSpec::Uniform { n, avg_deg, seed } => random_uniform(n, avg_deg, seed),
+        }
+    }
+}
+
+/// 27-point Laplacian on an `n × n × n` grid (the AMGmk operator family).
+pub fn laplacian_3d(n: usize) -> Csr {
+    let dim = n * n * n;
+    let idx = |x: usize, y: usize, z: usize| (z * n + y) * n + x;
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(dim);
+    for z in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                let mut row = Vec::with_capacity(27);
+                for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let (nx, ny, nz) =
+                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            if nx < 0 || ny < 0 || nz < 0 {
+                                continue;
+                            }
+                            let (nx, ny, nz) = (nx as usize, ny as usize, nz as usize);
+                            if nx >= n || ny >= n || nz >= n {
+                                continue;
+                            }
+                            let v = if dx == 0 && dy == 0 && dz == 0 { 26.0 } else { -1.0 };
+                            row.push((idx(nx, ny, nz), v));
+                        }
+                    }
+                }
+                rows.push(row);
+            }
+        }
+    }
+    Csr::from_rows(dim, dim, rows)
+}
+
+/// Banded matrix: row `i` holds nonzeros in `[i-half_bw, i+half_bw]`.
+/// Column degrees are near-uniform — the af_shell1 regime where static
+/// scheduling is already balanced.
+pub fn banded(n: usize, half_bw: usize) -> Csr {
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half_bw);
+        let hi = (i + half_bw).min(n - 1);
+        let row: Vec<(usize, f64)> = (lo..=hi)
+            .map(|j| (j, if i == j { 2.0 * half_bw as f64 } else { -1.0 }))
+            .collect();
+        rows.push(row);
+    }
+    Csr::from_rows(n, n, rows)
+}
+
+/// Power-law column degrees: column `c`'s degree is proportional to
+/// `(c+1)^(-alpha)` (then shuffled), producing the skewed per-column work
+/// of the gsm/dielFilter/inline matrices where dynamic scheduling wins.
+pub fn power_law_cols(n: usize, avg_deg: usize, alpha: f64, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Degree model.
+    let weights: Vec<f64> = (0..n).map(|c| ((c + 1) as f64).powf(-alpha)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let total = n * avg_deg;
+    let degrees: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / wsum) * total as f64).round() as usize)
+        .collect();
+
+    // Degrees stay *partially* clustered: a windowed shuffle keeps the
+    // heavy columns loosely grouped (as in the natural ordering of the
+    // SuiteSparse inputs) without the pathological fully-sorted layout.
+    // A static blocked schedule then suffers moderate imbalance — the
+    // 1.2–1.8× dynamic-over-static gap of the paper's Figure 16.
+    let mut degrees = degrees;
+    let window = (n / 3).max(1);
+    for i in 0..n {
+        let hi = (i + window).min(n - 1);
+        if hi > i {
+            let j = rng.gen_range(i..=hi);
+            degrees.swap(i, j);
+        }
+    }
+    let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (c, &deg) in degrees.iter().enumerate() {
+        let deg = deg.clamp(1, n);
+        for _ in 0..deg {
+            let r = rng.gen_range(0..n);
+            rows[r].push((c, rng.gen_range(-1.0..1.0)));
+        }
+    }
+    Csr::from_rows(n, n, rows)
+}
+
+/// Uniformly random pattern with `avg_deg` nonzeros per row plus the
+/// diagonal.
+pub fn random_uniform(n: usize, avg_deg: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row = vec![(i, avg_deg as f64 + 1.0)];
+        for _ in 0..avg_deg {
+            row.push((rng.gen_range(0..n), rng.gen_range(-1.0..1.0)));
+        }
+        rows.push(row);
+    }
+    Csr::from_rows(n, n, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csc::Csc;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn laplacian_interior_rows_have_27_entries() {
+        let a = laplacian_3d(5);
+        a.validate().unwrap();
+        assert_eq!(a.rows, 125);
+        // The center point has a full 27-point stencil.
+        let center = (2 * 5 + 2) * 5 + 2;
+        assert_eq!(a.row_nnz(center), 27);
+        // Corner points have 8.
+        assert_eq!(a.row_nnz(0), 8);
+    }
+
+    #[test]
+    fn laplacian_is_symmetric_pattern() {
+        let a = laplacian_3d(4);
+        let d = a.to_dense();
+        for i in 0..a.rows {
+            for j in 0..a.cols {
+                assert_eq!(d[i][j], d[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn banded_degrees_are_uniform() {
+        let a = banded(200, 5);
+        a.validate().unwrap();
+        let b = Csc::from_csr(&a);
+        let st = DegreeStats::of_cols(&b);
+        assert!(st.imbalance() < 1.1, "banded imbalance {}", st.imbalance());
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let a = power_law_cols(500, 8, 1.0, 42);
+        a.validate().unwrap();
+        let b = Csc::from_csr(&a);
+        let st = DegreeStats::of_cols(&b);
+        assert!(st.imbalance() > 2.0, "power-law imbalance {}", st.imbalance());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = power_law_cols(100, 4, 0.8, 7);
+        let b = power_law_cols(100, 4, 0.8, 7);
+        assert_eq!(a, b);
+        let c = power_law_cols(100, 4, 0.8, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spec_builds() {
+        for spec in [
+            MatrixSpec::Laplacian3d { n: 3 },
+            MatrixSpec::Banded { n: 10, half_bw: 2 },
+            MatrixSpec::PowerLaw { n: 10, avg_deg: 2, alpha: 0.5, seed: 1 },
+            MatrixSpec::Uniform { n: 10, avg_deg: 2, seed: 1 },
+        ] {
+            spec.build().validate().unwrap();
+        }
+    }
+}

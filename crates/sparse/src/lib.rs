@@ -1,0 +1,22 @@
+//! Sparse-matrix substrate and synthetic workload generators.
+//!
+//! The paper evaluates on SuiteSparse matrices (spal_004, gsm_106857,
+//! dielFilterV2clx, af_shell1, inline_1, crankseg_1), the CORAL AMGmk
+//! grids (MATRIX1–5) and NPB class sizes. Those inputs are not
+//! redistributable here, so this crate generates synthetic substitutes
+//! that control the two characteristics the experiments actually depend
+//! on: the **row/column degree distribution** (load balance — Figure 16)
+//! and the **problem size scaling** (Figures 13–15). See `DESIGN.md` for
+//! the per-matrix mapping.
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod gen;
+pub mod stats;
+
+pub use coo::Coo;
+pub use csc::Csc;
+pub use csr::Csr;
+pub use gen::{banded, laplacian_3d, power_law_cols, random_uniform, MatrixSpec};
+pub use stats::DegreeStats;

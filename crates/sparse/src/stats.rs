@@ -1,0 +1,83 @@
+//! Degree-distribution statistics (load-balance predictors).
+
+use crate::csc::Csc;
+use crate::csr::Csr;
+
+/// Row- or column-degree statistics of a sparse matrix.
+#[derive(Debug, Clone)]
+pub struct DegreeStats {
+    /// Per-unit (row or column) nonzero counts.
+    pub degrees: Vec<usize>,
+}
+
+impl DegreeStats {
+    /// Row degrees of a CSR matrix.
+    pub fn of_rows(a: &Csr) -> DegreeStats {
+        DegreeStats { degrees: (0..a.rows).map(|r| a.row_nnz(r)).collect() }
+    }
+
+    /// Column degrees of a CSC matrix.
+    pub fn of_cols(a: &Csc) -> DegreeStats {
+        DegreeStats { degrees: (0..a.cols).map(|c| a.col_nnz(c)).collect() }
+    }
+
+    /// Maximum degree.
+    pub fn max(&self) -> usize {
+        self.degrees.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean degree.
+    pub fn mean(&self) -> f64 {
+        if self.degrees.is_empty() {
+            0.0
+        } else {
+            self.degrees.iter().sum::<usize>() as f64 / self.degrees.len() as f64
+        }
+    }
+
+    /// Imbalance factor: max / mean (1.0 = perfectly uniform).
+    pub fn imbalance(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            1.0
+        } else {
+            self.max() as f64 / m
+        }
+    }
+
+    /// The degrees as `f64` costs (input to the scheduling simulator).
+    pub fn as_costs(&self, per_nnz_cost: f64, base_cost: f64) -> Vec<f64> {
+        self.degrees
+            .iter()
+            .map(|&d| base_cost + per_nnz_cost * d as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basics() {
+        let a = Csr::from_rows(
+            3,
+            3,
+            vec![vec![(0, 1.0)], vec![(0, 1.0), (1, 1.0), (2, 1.0)], vec![]],
+        );
+        let st = DegreeStats::of_rows(&a);
+        assert_eq!(st.max(), 3);
+        assert!((st.mean() - 4.0 / 3.0).abs() < 1e-12);
+        assert!(st.imbalance() > 2.0);
+        let costs = st.as_costs(2.0, 1.0);
+        assert_eq!(costs, vec![3.0, 7.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Csr::from_rows(0, 0, vec![]);
+        let st = DegreeStats::of_rows(&a);
+        assert_eq!(st.max(), 0);
+        assert_eq!(st.imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Symbolic comparison of expressions.
+//!
+//! A thin layer over sign analysis: comparing `a` and `b` reduces to the
+//! sign of `b - a`. The result is a [`SymOrdering`] — a partial verdict
+//! that may be `Unknown` when the assumptions cannot order the operands.
+
+use crate::env::{RangeEnv, Sign};
+use crate::expr::Expr;
+
+/// Outcome of a symbolic comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymOrdering {
+    /// `a < b` proven.
+    Lt,
+    /// `a <= b` proven (equality possible).
+    Le,
+    /// `a == b` proven.
+    Eq,
+    /// `a >= b` proven (equality possible).
+    Ge,
+    /// `a > b` proven.
+    Gt,
+    /// The assumptions cannot order `a` and `b`.
+    Unknown,
+}
+
+impl SymOrdering {
+    /// True if the verdict proves `a <= b`.
+    pub fn implies_le(self) -> bool {
+        matches!(self, SymOrdering::Lt | SymOrdering::Le | SymOrdering::Eq)
+    }
+
+    /// True if the verdict proves `a < b`.
+    pub fn implies_lt(self) -> bool {
+        matches!(self, SymOrdering::Lt)
+    }
+
+    /// True if the verdict proves `a >= b`.
+    pub fn implies_ge(self) -> bool {
+        matches!(self, SymOrdering::Gt | SymOrdering::Ge | SymOrdering::Eq)
+    }
+
+    /// True if the verdict proves `a > b`.
+    pub fn implies_gt(self) -> bool {
+        matches!(self, SymOrdering::Gt)
+    }
+}
+
+/// Compares two expressions under the environment's assumptions.
+pub fn cmp_exprs(a: &Expr, b: &Expr, env: &RangeEnv) -> SymOrdering {
+    let diff = b.clone() - a.clone(); // sign(diff) tells how a relates to b
+    match env.sign_of(&diff) {
+        Sign::Zero => SymOrdering::Eq,
+        Sign::Pos => SymOrdering::Lt,
+        Sign::NonNeg => SymOrdering::Le,
+        Sign::Neg => SymOrdering::Gt,
+        Sign::NonPos => SymOrdering::Ge,
+        Sign::Unknown => SymOrdering::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::Symbol;
+
+    #[test]
+    fn equal_expressions() {
+        let env = RangeEnv::new();
+        let a = Expr::var("x") + Expr::int(1);
+        assert_eq!(cmp_exprs(&a, &a, &env), SymOrdering::Eq);
+    }
+
+    #[test]
+    fn constant_ordering() {
+        let env = RangeEnv::new();
+        assert_eq!(cmp_exprs(&Expr::int(3), &Expr::int(5), &env), SymOrdering::Lt);
+        assert_eq!(cmp_exprs(&Expr::int(5), &Expr::int(3), &env), SymOrdering::Gt);
+    }
+
+    #[test]
+    fn shifted_symbol() {
+        let env = RangeEnv::new();
+        let x = Expr::var("x");
+        assert_eq!(cmp_exprs(&x, &(x.clone() + Expr::int(1)), &env), SymOrdering::Lt);
+        assert_eq!(cmp_exprs(&x, &(x.clone() - Expr::int(2)), &env), SymOrdering::Gt);
+    }
+
+    #[test]
+    fn assumption_driven_le() {
+        let mut env = RangeEnv::new();
+        env.assume_nonneg(Symbol::var("k"));
+        let x = Expr::var("x");
+        let verdict = cmp_exprs(&x, &(x.clone() + Expr::var("k")), &env);
+        assert_eq!(verdict, SymOrdering::Le);
+        assert!(verdict.implies_le());
+        assert!(!verdict.implies_lt());
+    }
+
+    #[test]
+    fn incomparable() {
+        let env = RangeEnv::new();
+        assert_eq!(
+            cmp_exprs(&Expr::var("x"), &Expr::var("y"), &env),
+            SymOrdering::Unknown
+        );
+    }
+}

@@ -1,0 +1,346 @@
+//! Range environment and sign analysis.
+//!
+//! The analysis answers questions like *"is `k` a Positive or Non-Negative
+//! (PNN) value?"* or *"does `α + rl ≥ ru` hold?"* under a set of assumptions
+//! about program symbols (loop bounds are non-negative, sizes are positive,
+//! …). [`RangeEnv`] carries those assumptions as symbolic [`Interval`]s and
+//! implements a conservative sign analysis over canonical expressions —
+//! the fragment of symbolic range propagation [Blume & Eigenmann, IPPS'95]
+//! that Phase-2 relies on.
+
+use crate::expr::{Atom, Expr, Term};
+use crate::range::{Bound, Interval};
+use crate::sym::Symbol;
+use std::collections::HashMap;
+
+/// Conservative sign of a symbolic expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Known `< 0`.
+    Neg,
+    /// Known `<= 0`.
+    NonPos,
+    /// Known `== 0`.
+    Zero,
+    /// Known `>= 0`.
+    NonNeg,
+    /// Known `> 0`.
+    Pos,
+    /// Nothing is known.
+    Unknown,
+}
+
+impl Sign {
+    /// Sign of an integer constant.
+    pub fn of_int(c: i64) -> Sign {
+        match c {
+            0 => Sign::Zero,
+            c if c > 0 => Sign::Pos,
+            _ => Sign::Neg,
+        }
+    }
+
+    /// Sign of a sum `x + y` given the signs of `x` and `y`.
+    pub fn add(self, other: Sign) -> Sign {
+        use Sign::*;
+        match (self, other) {
+            (Zero, s) | (s, Zero) => s,
+            (Pos, Pos) | (Pos, NonNeg) | (NonNeg, Pos) => Pos,
+            (NonNeg, NonNeg) => NonNeg,
+            (Neg, Neg) | (Neg, NonPos) | (NonPos, Neg) => Neg,
+            (NonPos, NonPos) => NonPos,
+            _ => Unknown,
+        }
+    }
+
+    /// Sign of a product `x * y` given the signs of `x` and `y`.
+    pub fn mul(self, other: Sign) -> Sign {
+        use Sign::*;
+        match (self, other) {
+            (Zero, _) | (_, Zero) => Zero,
+            (Unknown, _) | (_, Unknown) => Unknown,
+            (Pos, s) | (s, Pos) => s,
+            (NonNeg, NonNeg) => NonNeg,
+            (NonNeg, Neg) | (Neg, NonNeg) | (NonNeg, NonPos) | (NonPos, NonNeg) => NonPos,
+            (Neg, Neg) | (NonPos, NonPos) => Pos_or_nonneg(self, other),
+            (Neg, NonPos) | (NonPos, Neg) => NonNeg,
+        }
+    }
+
+    /// True if the sign proves `>= 0`.
+    pub fn is_nonneg(self) -> bool {
+        matches!(self, Sign::Zero | Sign::NonNeg | Sign::Pos)
+    }
+
+    /// True if the sign proves `> 0`.
+    pub fn is_pos(self) -> bool {
+        matches!(self, Sign::Pos)
+    }
+
+    /// True if the sign proves `<= 0`.
+    pub fn is_nonpos(self) -> bool {
+        matches!(self, Sign::Zero | Sign::NonPos | Sign::Neg)
+    }
+}
+
+/// Helper resolving the (Neg,Neg)/(NonPos,NonPos) product cases.
+#[allow(non_snake_case)]
+fn Pos_or_nonneg(a: Sign, b: Sign) -> Sign {
+    if a == Sign::Neg && b == Sign::Neg {
+        Sign::Pos
+    } else {
+        Sign::NonNeg
+    }
+}
+
+/// A set of assumptions mapping symbols to symbolic intervals, with a
+/// conservative sign oracle on top.
+#[derive(Debug, Clone, Default)]
+pub struct RangeEnv {
+    intervals: HashMap<Symbol, Interval>,
+}
+
+/// Recursion fuel for sign analysis: interval bounds may themselves mention
+/// symbols with interval assumptions.
+const SIGN_DEPTH: u32 = 8;
+
+impl RangeEnv {
+    /// An empty environment (everything `Unknown` except constants).
+    pub fn new() -> RangeEnv {
+        RangeEnv::default()
+    }
+
+    /// Records `sym ∈ interval`, replacing any previous assumption.
+    pub fn assume(&mut self, sym: Symbol, interval: Interval) {
+        self.intervals.insert(sym, interval);
+    }
+
+    /// Records `sym >= 0`.
+    pub fn assume_nonneg(&mut self, sym: Symbol) {
+        self.assume(sym, Interval::at_least(Expr::int(0)));
+    }
+
+    /// Records `sym >= 1`.
+    pub fn assume_pos(&mut self, sym: Symbol) {
+        self.assume(sym, Interval::at_least(Expr::int(1)));
+    }
+
+    /// Records `lo <= sym <= hi`.
+    pub fn assume_range(&mut self, sym: Symbol, lo: Expr, hi: Expr) {
+        self.assume(sym, Interval::finite(lo, hi));
+    }
+
+    /// The assumed interval for `sym`, if any.
+    pub fn interval_of(&self, sym: &Symbol) -> Option<&Interval> {
+        self.intervals.get(sym)
+    }
+
+    /// All assumed symbols, for diagnostics.
+    pub fn symbols(&self) -> impl Iterator<Item = &Symbol> {
+        self.intervals.keys()
+    }
+
+    /// Conservative sign of `e` under the environment's assumptions.
+    pub fn sign_of(&self, e: &Expr) -> Sign {
+        self.sign_of_depth(e, SIGN_DEPTH)
+    }
+
+    fn sign_of_depth(&self, e: &Expr, depth: u32) -> Sign {
+        if let Some(c) = e.as_int() {
+            return Sign::of_int(c);
+        }
+        if depth == 0 {
+            return Sign::Unknown;
+        }
+        let mut acc = Sign::Zero;
+        for t in e.terms() {
+            acc = acc.add(self.sign_of_term(t, depth));
+            if acc == Sign::Unknown {
+                return Sign::Unknown;
+            }
+        }
+        acc
+    }
+
+    fn sign_of_term(&self, t: &Term, depth: u32) -> Sign {
+        let mut s = Sign::of_int(t.coeff);
+        for a in &t.atoms {
+            s = s.mul(self.sign_of_atom(a, depth));
+            if s == Sign::Unknown {
+                return Sign::Unknown;
+            }
+        }
+        s
+    }
+
+    fn sign_of_atom(&self, a: &Atom, depth: u32) -> Sign {
+        match a {
+            Atom::Sym(sym) => self.sign_of_sym(sym, depth),
+            Atom::Read { .. } => Sign::Unknown,
+        }
+    }
+
+    fn sign_of_sym(&self, sym: &Symbol, depth: u32) -> Sign {
+        let Some(iv) = self.intervals.get(sym) else {
+            return Sign::Unknown;
+        };
+        // Lower-bound-driven positivity.
+        let lower = match &iv.lo {
+            Bound::NegInf => Sign::Unknown,
+            Bound::PosInf => Sign::Pos, // degenerate but sound: empty range
+            Bound::Fin(lo) => self.sign_of_depth(lo, depth - 1),
+        };
+        if lower.is_pos() {
+            return Sign::Pos;
+        }
+        if lower.is_nonneg() {
+            // Could still be zero or positive.
+            return Sign::NonNeg;
+        }
+        // Upper-bound-driven negativity.
+        let upper = match &iv.hi {
+            Bound::PosInf => Sign::Unknown,
+            Bound::NegInf => Sign::Neg,
+            Bound::Fin(hi) => self.sign_of_depth(hi, depth - 1),
+        };
+        match upper {
+            Sign::Neg => Sign::Neg,
+            Sign::Zero | Sign::NonPos => Sign::NonPos,
+            _ => Sign::Unknown,
+        }
+    }
+
+    /// Proves `a <= b` under the assumptions (i.e. `b - a >= 0`).
+    pub fn proves_le(&self, a: &Expr, b: &Expr) -> bool {
+        self.sign_of(&(b.clone() - a.clone())).is_nonneg()
+    }
+
+    /// Proves `a < b` under the assumptions (i.e. `b - a > 0`).
+    pub fn proves_lt(&self, a: &Expr, b: &Expr) -> bool {
+        self.sign_of(&(b.clone() - a.clone())).is_pos()
+    }
+
+    /// Proves `a >= b`.
+    pub fn proves_ge(&self, a: &Expr, b: &Expr) -> bool {
+        self.proves_le(b, a)
+    }
+
+    /// Proves `a > b`.
+    pub fn proves_gt(&self, a: &Expr, b: &Expr) -> bool {
+        self.proves_lt(b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signs() {
+        let env = RangeEnv::new();
+        assert_eq!(env.sign_of(&Expr::int(3)), Sign::Pos);
+        assert_eq!(env.sign_of(&Expr::int(0)), Sign::Zero);
+        assert_eq!(env.sign_of(&Expr::int(-2)), Sign::Neg);
+    }
+
+    #[test]
+    fn unknown_symbol_is_unknown() {
+        let env = RangeEnv::new();
+        assert_eq!(env.sign_of(&Expr::var("x")), Sign::Unknown);
+    }
+
+    #[test]
+    fn nonneg_assumption_propagates() {
+        let mut env = RangeEnv::new();
+        env.assume_nonneg(Symbol::var("j"));
+        let e = Expr::int(25) * Expr::var("j") + Expr::int(4);
+        assert_eq!(env.sign_of(&e), Sign::Pos);
+        let e2 = Expr::int(25) * Expr::var("j");
+        assert_eq!(env.sign_of(&e2), Sign::NonNeg);
+    }
+
+    #[test]
+    fn negative_coefficient() {
+        let mut env = RangeEnv::new();
+        env.assume_pos(Symbol::var("n"));
+        let e = Expr::int(-3) * Expr::var("n");
+        assert_eq!(env.sign_of(&e), Sign::Neg);
+    }
+
+    #[test]
+    fn mixed_sum_is_unknown() {
+        let mut env = RangeEnv::new();
+        env.assume_pos(Symbol::var("n"));
+        let e = Expr::var("n") - Expr::var("m");
+        assert_eq!(env.sign_of(&e), Sign::Unknown);
+    }
+
+    #[test]
+    fn product_of_nonnegs() {
+        let mut env = RangeEnv::new();
+        env.assume_nonneg(Symbol::var("a"));
+        env.assume_nonneg(Symbol::var("b"));
+        let e = Expr::var("a") * Expr::var("b");
+        assert_eq!(env.sign_of(&e), Sign::NonNeg);
+    }
+
+    #[test]
+    fn symbolic_lower_bound_chain() {
+        // m >= n and n >= 1  =>  m > 0
+        let mut env = RangeEnv::new();
+        env.assume(Symbol::var("m"), Interval::at_least(Expr::var("n")));
+        env.assume_pos(Symbol::var("n"));
+        assert_eq!(env.sign_of(&Expr::var("m")), Sign::Pos);
+    }
+
+    #[test]
+    fn upper_bound_negativity() {
+        let mut env = RangeEnv::new();
+        env.assume(
+            Symbol::var("d"),
+            Interval::at_most(Expr::int(-1)),
+        );
+        assert_eq!(env.sign_of(&Expr::var("d")), Sign::Neg);
+        assert_eq!(env.sign_of(&(Expr::int(-2) * Expr::var("d"))), Sign::Pos);
+    }
+
+    #[test]
+    fn proves_comparisons() {
+        let mut env = RangeEnv::new();
+        env.assume_nonneg(Symbol::var("rl"));
+        // alpha = 125, rl in [0:?], check 125 + 0 >= 124
+        let lhs = Expr::int(125) + Expr::int(0);
+        let rhs = Expr::int(124);
+        assert!(env.proves_ge(&lhs, &rhs));
+        assert!(env.proves_gt(&lhs, &rhs));
+        assert!(!env.proves_lt(&lhs, &rhs));
+    }
+
+    #[test]
+    fn le_on_equal_expressions() {
+        let env = RangeEnv::new();
+        let a = Expr::var("x") + Expr::int(1);
+        assert!(env.proves_le(&a, &a));
+        assert!(!env.proves_lt(&a, &a));
+    }
+
+    #[test]
+    fn sign_add_table_sound() {
+        use Sign::*;
+        assert_eq!(Pos.add(NonNeg), Pos);
+        assert_eq!(NonNeg.add(NonNeg), NonNeg);
+        assert_eq!(Neg.add(NonPos), Neg);
+        assert_eq!(Pos.add(Neg), Unknown);
+        assert_eq!(Zero.add(Unknown), Unknown);
+    }
+
+    #[test]
+    fn sign_mul_table_sound() {
+        use Sign::*;
+        assert_eq!(Neg.mul(Neg), Pos);
+        assert_eq!(NonPos.mul(NonPos), NonNeg);
+        assert_eq!(Neg.mul(NonNeg), NonPos);
+        assert_eq!(Zero.mul(Unknown), Zero);
+        assert_eq!(Pos.mul(Unknown), Unknown);
+    }
+}

@@ -1,0 +1,624 @@
+//! Canonical symbolic expressions.
+//!
+//! [`Expr`] is a *sum of products*: a sorted list of [`Term`]s, each an
+//! integer coefficient times a sorted multiset of [`Atom`]s (symbols or
+//! opaque array reads). The constant part is the term with no atoms.
+//! All constructors and operators maintain canonical form, which makes
+//! structural equality coincide with semantic equality for the polynomial
+//! fragment the paper's analysis manipulates (`25*j + λ_ntemp + 4`,
+//! `125*iel`, `α*i + rl`, …).
+
+use crate::sym::Symbol;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+use std::sync::Arc;
+
+/// A multiplicative atom: a symbol or an opaque array read such as
+/// `A_i[i+1]` whose value the analysis does not interpret.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Atom {
+    /// A named symbolic value.
+    Sym(Symbol),
+    /// An uninterpreted array read, e.g. `A_i[1 + i]`.
+    Read {
+        /// Name of the array being read.
+        array: Arc<str>,
+        /// Subscript expressions, outermost dimension first.
+        indices: Vec<Expr>,
+    },
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Sym(s) => write!(f, "{s}"),
+            Atom::Read { array, indices } => {
+                write!(f, "{array}")?;
+                for ix in indices {
+                    write!(f, "[{ix}]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One term of a sum-of-products expression: `coeff * atoms[0] * atoms[1] …`.
+///
+/// The atom list is kept sorted; an empty list denotes the constant term.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Term {
+    /// Integer coefficient (never 0 in a canonical expression).
+    pub coeff: i64,
+    /// Sorted multiset of multiplicative atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl Term {
+    fn constant(c: i64) -> Term {
+        Term { coeff: c, atoms: Vec::new() }
+    }
+
+    /// Total degree of the term (number of atoms, counting multiplicity).
+    pub fn degree(&self) -> usize {
+        self.atoms.len()
+    }
+
+    fn mul(&self, other: &Term) -> Term {
+        let mut atoms = Vec::with_capacity(self.atoms.len() + other.atoms.len());
+        atoms.extend(self.atoms.iter().cloned());
+        atoms.extend(other.atoms.iter().cloned());
+        atoms.sort();
+        Term { coeff: self.coeff * other.coeff, atoms }
+    }
+}
+
+/// A canonical symbolic expression: sum of [`Term`]s, sorted by atom lists,
+/// with like terms merged and zero-coefficient terms removed.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Expr {
+    terms: Vec<Term>,
+}
+
+impl Expr {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// The integer constant `c`.
+    pub fn int(c: i64) -> Expr {
+        if c == 0 {
+            Expr::default()
+        } else {
+            Expr { terms: vec![Term::constant(c)] }
+        }
+    }
+
+    /// The constant zero.
+    pub fn zero() -> Expr {
+        Expr::default()
+    }
+
+    /// A single symbol.
+    pub fn sym(s: Symbol) -> Expr {
+        Expr { terms: vec![Term { coeff: 1, atoms: vec![Atom::Sym(s)] }] }
+    }
+
+    /// A plain program variable.
+    pub fn var(name: &str) -> Expr {
+        Expr::sym(Symbol::var(name))
+    }
+
+    /// The `λ_name` iteration-entry value.
+    pub fn lambda(name: &str) -> Expr {
+        Expr::sym(Symbol::lambda(name))
+    }
+
+    /// The `Λ_name` loop-entry value.
+    pub fn entry(name: &str) -> Expr {
+        Expr::sym(Symbol::entry(name))
+    }
+
+    /// The `name_max` post-loop value.
+    pub fn post_max(name: &str) -> Expr {
+        Expr::sym(Symbol::post_max(name))
+    }
+
+    /// An uninterpreted array read `array[indices…]`.
+    pub fn read(array: &str, indices: Vec<Expr>) -> Expr {
+        Expr {
+            terms: vec![Term {
+                coeff: 1,
+                atoms: vec![Atom::Read { array: Arc::from(array), indices }],
+            }],
+        }
+    }
+
+    /// Builds an expression from raw terms, canonicalizing.
+    pub fn from_terms(terms: Vec<Term>) -> Expr {
+        let mut e = Expr { terms };
+        e.canonicalize();
+        e
+    }
+
+    fn canonicalize(&mut self) {
+        for t in &mut self.terms {
+            t.atoms.sort();
+        }
+        self.terms.sort_by(|a, b| a.atoms.cmp(&b.atoms));
+        let mut out: Vec<Term> = Vec::with_capacity(self.terms.len());
+        for t in self.terms.drain(..) {
+            match out.last_mut() {
+                Some(last) if last.atoms == t.atoms => last.coeff += t.coeff,
+                _ => out.push(t),
+            }
+        }
+        out.retain(|t| t.coeff != 0);
+        self.terms = out;
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// The terms of the canonical sum.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// True if the expression is the constant zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The constant value, if the expression is a literal integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self.terms.len() {
+            0 => Some(0),
+            1 if self.terms[0].atoms.is_empty() => Some(self.terms[0].coeff),
+            _ => None,
+        }
+    }
+
+    /// The single symbol, if the expression is exactly `1 * sym`.
+    pub fn as_sym(&self) -> Option<&Symbol> {
+        match self.terms.as_slice() {
+            [Term { coeff: 1, atoms }] => match atoms.as_slice() {
+                [Atom::Sym(s)] => Some(s),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Like [`Expr::as_sym`] but panics with a clear message; convenient in
+    /// tests and examples.
+    pub fn expect_sym(&self) -> Symbol {
+        self.as_sym().cloned().unwrap_or_else(|| panic!("expected a bare symbol, got {self}"))
+    }
+
+    /// The constant part of the sum.
+    pub fn constant_part(&self) -> i64 {
+        self.terms
+            .iter()
+            .find(|t| t.atoms.is_empty())
+            .map(|t| t.coeff)
+            .unwrap_or(0)
+    }
+
+    /// The expression minus its constant part.
+    pub fn drop_constant(&self) -> Expr {
+        Expr {
+            terms: self.terms.iter().filter(|t| !t.atoms.is_empty()).cloned().collect(),
+        }
+    }
+
+    /// All symbols appearing anywhere in the expression (including inside
+    /// array-read subscripts).
+    pub fn free_syms(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.collect_syms(&mut out);
+        out
+    }
+
+    fn collect_syms(&self, out: &mut BTreeSet<Symbol>) {
+        for t in &self.terms {
+            for a in &t.atoms {
+                match a {
+                    Atom::Sym(s) => {
+                        out.insert(s.clone());
+                    }
+                    Atom::Read { indices, .. } => {
+                        for ix in indices {
+                            ix.collect_syms(out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// True if `sym` occurs anywhere in the expression.
+    pub fn contains_sym(&self, sym: &Symbol) -> bool {
+        self.terms.iter().any(|t| {
+            t.atoms.iter().any(|a| match a {
+                Atom::Sym(s) => s == sym,
+                Atom::Read { indices, .. } => indices.iter().any(|ix| ix.contains_sym(sym)),
+            })
+        })
+    }
+
+    /// True if any `λ_*` symbol occurs in the expression.
+    pub fn contains_lambda(&self) -> bool {
+        self.free_syms().iter().any(Symbol::is_lambda)
+    }
+
+    /// True if the expression contains an uninterpreted array read.
+    pub fn contains_read(&self) -> bool {
+        self.terms.iter().any(|t| {
+            t.atoms.iter().any(|a| match a {
+                Atom::Read { .. } => true,
+                Atom::Sym(_) => false,
+            })
+        })
+    }
+
+    /// Maximum term degree (0 for constants).
+    pub fn degree(&self) -> usize {
+        self.terms.iter().map(Term::degree).max().unwrap_or(0)
+    }
+
+    /// Splits the expression as `coef * sym + rest` where neither `coef`
+    /// nor `rest` contains `sym`. Returns `None` if `sym` occurs
+    /// non-linearly (degree ≥ 2 in some term, or inside an array read).
+    pub fn split_linear(&self, sym: &Symbol) -> Option<(Expr, Expr)> {
+        let mut coef_terms = Vec::new();
+        let mut rest_terms = Vec::new();
+        for t in &self.terms {
+            let occurrences = t
+                .atoms
+                .iter()
+                .filter(|a| matches!(a, Atom::Sym(s) if s == sym))
+                .count();
+            let inside_read = t.atoms.iter().any(|a| match a {
+                Atom::Read { indices, .. } => indices.iter().any(|ix| ix.contains_sym(sym)),
+                Atom::Sym(_) => false,
+            });
+            if inside_read {
+                return None;
+            }
+            match occurrences {
+                0 => rest_terms.push(t.clone()),
+                1 => {
+                    let atoms: Vec<Atom> = t
+                        .atoms
+                        .iter()
+                        .filter(|a| !matches!(a, Atom::Sym(s) if s == sym))
+                        .cloned()
+                        .collect();
+                    coef_terms.push(Term { coeff: t.coeff, atoms });
+                }
+                _ => return None,
+            }
+        }
+        Some((Expr::from_terms(coef_terms), Expr::from_terms(rest_terms)))
+    }
+
+    /// The integer coefficient of `sym` if the expression is affine in
+    /// `sym` with a constant coefficient; `None` otherwise.
+    pub fn int_coeff_of(&self, sym: &Symbol) -> Option<i64> {
+        let (coef, _) = self.split_linear(sym)?;
+        coef.as_int()
+    }
+
+    // ------------------------------------------------------------------
+    // Substitution
+    // ------------------------------------------------------------------
+
+    /// Replaces every occurrence of `sym` (including inside array-read
+    /// subscripts) with `replacement`.
+    pub fn subst_sym(&self, sym: &Symbol, replacement: &Expr) -> Expr {
+        let mut acc = Expr::zero();
+        for t in &self.terms {
+            let mut factor = Expr::int(t.coeff);
+            for a in &t.atoms {
+                let atom_expr = match a {
+                    Atom::Sym(s) if s == sym => replacement.clone(),
+                    Atom::Sym(s) => Expr::sym(s.clone()),
+                    Atom::Read { array, indices } => {
+                        let new_indices: Vec<Expr> =
+                            indices.iter().map(|ix| ix.subst_sym(sym, replacement)).collect();
+                        Expr {
+                            terms: vec![Term {
+                                coeff: 1,
+                                atoms: vec![Atom::Read { array: array.clone(), indices: new_indices }],
+                            }],
+                        }
+                    }
+                };
+                factor = factor * atom_expr;
+            }
+            acc = acc + factor;
+        }
+        acc
+    }
+
+    /// Applies a sequence of symbol substitutions left to right.
+    pub fn subst_all<'a, I>(&self, substs: I) -> Expr
+    where
+        I: IntoIterator<Item = (&'a Symbol, &'a Expr)>,
+    {
+        let mut out = self.clone();
+        for (s, e) in substs {
+            out = out.subst_sym(s, e);
+        }
+        out
+    }
+
+    /// Rewrites every symbol with kind `from` into kind `to`, e.g. turning
+    /// `λ_v` into `Λ_v` when moving from Phase-1 to Phase-2.
+    pub fn rekind(&self, from: crate::sym::SymbolKind, to: crate::sym::SymbolKind) -> Expr {
+        let lambdas: Vec<Symbol> =
+            self.free_syms().into_iter().filter(|s| s.kind == from).collect();
+        let mut out = self.clone();
+        for s in lambdas {
+            let replacement = Expr::sym(s.with_kind(to));
+            out = out.subst_sym(&s, &replacement);
+        }
+        out
+    }
+
+    /// Evaluates the expression under a concrete valuation of symbols and
+    /// array reads. Used by tests to validate algebra against brute force.
+    pub fn eval<F, G>(&self, sym_val: &F, read_val: &G) -> i64
+    where
+        F: Fn(&Symbol) -> i64,
+        G: Fn(&str, &[i64]) -> i64,
+    {
+        self.terms
+            .iter()
+            .map(|t| {
+                let mut v = t.coeff;
+                for a in &t.atoms {
+                    v *= match a {
+                        Atom::Sym(s) => sym_val(s),
+                        Atom::Read { array, indices } => {
+                            let ix: Vec<i64> =
+                                indices.iter().map(|e| e.eval(sym_val, read_val)).collect();
+                            read_val(array, &ix)
+                        }
+                    };
+                }
+                v
+            })
+            .sum()
+    }
+}
+
+impl Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        let mut terms = self.terms;
+        terms.extend(rhs.terms);
+        Expr::from_terms(terms)
+    }
+}
+
+impl Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Expr {
+    type Output = Expr;
+    fn neg(mut self) -> Expr {
+        for t in &mut self.terms {
+            t.coeff = -t.coeff;
+        }
+        self
+    }
+}
+
+impl Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        let mut terms = Vec::with_capacity(self.terms.len() * rhs.terms.len());
+        for a in &self.terms {
+            for b in &rhs.terms {
+                terms.push(a.mul(b));
+            }
+        }
+        Expr::from_terms(terms)
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(c: i64) -> Expr {
+        Expr::int(c)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        // Print non-constant terms in order, constant last, matching the
+        // paper's style "25*j + λ_ntemp + 4".
+        let (consts, vars): (Vec<&Term>, Vec<&Term>) =
+            self.terms.iter().partition(|t| t.atoms.is_empty());
+        let mut first = true;
+        for t in vars.into_iter().chain(consts) {
+            let (sign, mag) = if t.coeff < 0 { ("-", -t.coeff) } else { ("+", t.coeff) };
+            if first {
+                if sign == "-" {
+                    write!(f, "-")?;
+                }
+                first = false;
+            } else {
+                write!(f, " {sign} ")?;
+            }
+            if t.atoms.is_empty() {
+                write!(f, "{mag}")?;
+            } else {
+                if mag != 1 {
+                    write!(f, "{mag}*")?;
+                }
+                let mut first_atom = true;
+                for a in &t.atoms {
+                    if !first_atom {
+                        write!(f, "*")?;
+                    }
+                    first_atom = false;
+                    write!(f, "{a}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j() -> Expr {
+        Expr::var("j")
+    }
+    fn i() -> Expr {
+        Expr::var("i")
+    }
+
+    #[test]
+    fn constants_fold() {
+        let e = Expr::int(3) + Expr::int(4);
+        assert_eq!(e.as_int(), Some(7));
+        assert!((Expr::int(5) - Expr::int(5)).is_zero());
+    }
+
+    #[test]
+    fn like_terms_merge() {
+        let e = j() + j() + Expr::int(2) * j();
+        assert_eq!(e, Expr::int(4) * j());
+    }
+
+    #[test]
+    fn cancellation_yields_zero() {
+        let e = Expr::int(25) * j() + Expr::lambda("ntemp") - Expr::int(25) * j()
+            - Expr::lambda("ntemp");
+        assert!(e.is_zero());
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let e = Expr::int(25) * j() + Expr::lambda("ntemp") + Expr::int(4);
+        assert_eq!(e.to_string(), "25*j + λ_ntemp + 4");
+        let neg = Expr::int(-1) * j() + Expr::int(1);
+        assert_eq!(neg.to_string(), "-j + 1");
+    }
+
+    #[test]
+    fn product_distributes() {
+        // (i + 1) * (i + 2) = i^2 + 3i + 2
+        let e = (i() + Expr::int(1)) * (i() + Expr::int(2));
+        let expected =
+            i() * i() + Expr::int(3) * i() + Expr::int(2);
+        assert_eq!(e, expected);
+        assert_eq!(e.degree(), 2);
+    }
+
+    #[test]
+    fn split_linear_basic() {
+        // 125*iel + 24  ->  (125, 24) w.r.t. iel
+        let iel = Symbol::var("iel");
+        let e = Expr::int(125) * Expr::sym(iel.clone()) + Expr::int(24);
+        let (coef, rest) = e.split_linear(&iel).unwrap();
+        assert_eq!(coef.as_int(), Some(125));
+        assert_eq!(rest.as_int(), Some(24));
+    }
+
+    #[test]
+    fn split_linear_symbolic_coeff() {
+        // alpha*i + rl  ->  (alpha, rl)
+        let isym = Symbol::var("i");
+        let e = Expr::var("alpha") * i() + Expr::var("rl");
+        let (coef, rest) = e.split_linear(&isym).unwrap();
+        assert_eq!(coef, Expr::var("alpha"));
+        assert_eq!(rest, Expr::var("rl"));
+    }
+
+    #[test]
+    fn split_linear_rejects_quadratic() {
+        let isym = Symbol::var("i");
+        let e = i() * i();
+        assert!(e.split_linear(&isym).is_none());
+    }
+
+    #[test]
+    fn split_linear_rejects_sym_inside_read() {
+        let isym = Symbol::var("i");
+        let e = Expr::read("A_i", vec![i() + Expr::int(1)]);
+        assert!(e.split_linear(&isym).is_none());
+    }
+
+    #[test]
+    fn subst_simple() {
+        // (m + 1)[m := λ_m] = λ_m + 1
+        let m = Symbol::var("m");
+        let e = Expr::sym(m.clone()) + Expr::int(1);
+        let out = e.subst_sym(&m, &Expr::lambda("m"));
+        assert_eq!(out, Expr::lambda("m") + Expr::int(1));
+    }
+
+    #[test]
+    fn subst_inside_read() {
+        let isym = Symbol::var("i");
+        let e = Expr::read("A_i", vec![i() + Expr::int(1)]) - Expr::read("A_i", vec![i()]);
+        let out = e.subst_sym(&isym, &Expr::int(3));
+        assert_eq!(
+            out,
+            Expr::read("A_i", vec![Expr::int(4)]) - Expr::read("A_i", vec![Expr::int(3)])
+        );
+    }
+
+    #[test]
+    fn subst_expands_powers() {
+        // i^2 [i := j+1] = j^2 + 2j + 1
+        let isym = Symbol::var("i");
+        let e = i() * i();
+        let out = e.subst_sym(&isym, &(j() + Expr::int(1)));
+        assert_eq!(out, j() * j() + Expr::int(2) * j() + Expr::int(1));
+    }
+
+    #[test]
+    fn rekind_lambda_to_entry() {
+        use crate::sym::SymbolKind;
+        let e = Expr::lambda("ntemp") + Expr::int(124);
+        let out = e.rekind(SymbolKind::Lambda, SymbolKind::Entry);
+        assert_eq!(out, Expr::entry("ntemp") + Expr::int(124));
+    }
+
+    #[test]
+    fn eval_matches_structure() {
+        let e = Expr::int(25) * j() + Expr::var("n") * Expr::var("n") - Expr::int(7);
+        let v = e.eval(
+            &|s: &Symbol| match &*s.name {
+                "j" => 2,
+                "n" => 3,
+                _ => 0,
+            },
+            &|_, _| 0,
+        );
+        assert_eq!(v, 25 * 2 + 9 - 7);
+    }
+
+    #[test]
+    fn free_syms_includes_read_indices() {
+        let e = Expr::read("A_i", vec![i() + Expr::int(1)]);
+        assert!(e.free_syms().contains(&Symbol::var("i")));
+        assert!(e.contains_read());
+    }
+}

@@ -1,0 +1,45 @@
+//! Symbolic expression and range algebra.
+//!
+//! This crate is the substitute for the symbolic-analysis layer of the Cetus
+//! compiler used by the paper *Recurrence Analysis for Automatic
+//! Parallelization of Subscripted Subscripts* (PPoPP'24): canonical symbolic
+//! expressions, inclusive symbolic value ranges `[lb:ub]`, a range
+//! environment implementing symbolic range propagation in the style of
+//! Blume & Eigenmann, sign analysis, symbolic comparison, and the
+//! multi-expression simplification used by the Phase-2 aggregation
+//! (Section 3.3 of the paper).
+//!
+//! The central type is [`Expr`], a canonical sum-of-products over interned
+//! [`Symbol`]s and opaque array reads. All arithmetic keeps expressions in
+//! canonical form, so structural equality is semantic equality for the
+//! polynomial fragment.
+//!
+//! # Example
+//!
+//! ```
+//! use subsub_symbolic::{Expr, Range, RangeEnv, Sign};
+//!
+//! // 25*j + lambda_ntemp + 4
+//! let e = Expr::int(25) * Expr::var("j") + Expr::lambda("ntemp") + Expr::int(4);
+//! assert_eq!(e.to_string(), "25*j + \u{3bb}_ntemp + 4");
+//!
+//! let mut env = RangeEnv::new();
+//! env.assume_nonneg(Expr::var("j").expect_sym());
+//! // j >= 0  =>  25*j + 4 is positive
+//! let probe = Expr::int(25) * Expr::var("j") + Expr::int(4);
+//! assert_eq!(env.sign_of(&probe), Sign::Pos);
+//! ```
+
+pub mod cmp;
+pub mod env;
+pub mod expr;
+pub mod range;
+pub mod simplify;
+pub mod sym;
+
+pub use cmp::{cmp_exprs, SymOrdering};
+pub use env::{RangeEnv, Sign};
+pub use expr::{Atom, Expr, Term};
+pub use range::{Bound, Interval, Pnn, Range};
+pub use simplify::{hull, simplify_range_set};
+pub use sym::{Symbol, SymbolKind};

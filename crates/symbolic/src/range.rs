@@ -1,0 +1,370 @@
+//! Symbolic value ranges.
+//!
+//! Two range flavours are used by the analysis:
+//!
+//! * [`Range`] — the paper's inclusive `[lb:ub]` with *finite symbolic*
+//!   bounds; the value representation stored in the Symbolic Value
+//!   Dictionary and aggregated by Phase-2.
+//! * [`Interval`] — a possibly half-open assumption interval used by the
+//!   [`crate::RangeEnv`] for sign analysis (`n ∈ [1, +∞)`).
+
+use crate::env::RangeEnv;
+use crate::expr::Expr;
+use crate::sym::Symbol;
+use std::fmt;
+
+/// Positive-or-Non-Negative classification of a value or range
+/// (the paper's PNN placeholder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pnn {
+    /// Known strictly positive.
+    Positive,
+    /// Known non-negative (may be zero).
+    NonNegative,
+}
+
+/// One end of an [`Interval`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bound {
+    /// Unbounded below.
+    NegInf,
+    /// A finite symbolic bound.
+    Fin(Expr),
+    /// Unbounded above.
+    PosInf,
+}
+
+/// An assumption interval with possibly infinite ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower end (inclusive when finite).
+    pub lo: Bound,
+    /// Upper end (inclusive when finite).
+    pub hi: Bound,
+}
+
+impl Interval {
+    /// `[lo, +∞)`.
+    pub fn at_least(lo: Expr) -> Interval {
+        Interval { lo: Bound::Fin(lo), hi: Bound::PosInf }
+    }
+
+    /// `(-∞, hi]`.
+    pub fn at_most(hi: Expr) -> Interval {
+        Interval { lo: Bound::NegInf, hi: Bound::Fin(hi) }
+    }
+
+    /// `[lo, hi]`.
+    pub fn finite(lo: Expr, hi: Expr) -> Interval {
+        Interval { lo: Bound::Fin(lo), hi: Bound::Fin(hi) }
+    }
+
+    /// `(-∞, +∞)`.
+    pub fn top() -> Interval {
+        Interval { lo: Bound::NegInf, hi: Bound::PosInf }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.lo {
+            Bound::NegInf => write!(f, "(-inf")?,
+            Bound::Fin(e) => write!(f, "[{e}")?,
+            Bound::PosInf => write!(f, "(+inf")?,
+        }
+        write!(f, ", ")?;
+        match &self.hi {
+            Bound::NegInf => write!(f, "-inf)"),
+            Bound::Fin(e) => write!(f, "{e}]"),
+            Bound::PosInf => write!(f, "+inf)"),
+        }
+    }
+}
+
+/// The paper's inclusive symbolic value range `[lb:ub]`.
+///
+/// A degenerate range with `lo == hi` represents a single symbolic value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Range {
+    /// Inclusive symbolic lower bound.
+    pub lo: Expr,
+    /// Inclusive symbolic upper bound.
+    pub hi: Expr,
+}
+
+impl Range {
+    /// The degenerate range `[e:e]`.
+    pub fn point(e: Expr) -> Range {
+        Range { lo: e.clone(), hi: e }
+    }
+
+    /// The range `[lo:hi]`.
+    pub fn new(lo: Expr, hi: Expr) -> Range {
+        Range { lo, hi }
+    }
+
+    /// The constant range `[a:b]`.
+    pub fn ints(a: i64, b: i64) -> Range {
+        Range::new(Expr::int(a), Expr::int(b))
+    }
+
+    /// True if the range is a single symbolic value.
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The single value if the range is degenerate.
+    pub fn as_point(&self) -> Option<&Expr> {
+        if self.is_point() {
+            Some(&self.lo)
+        } else {
+            None
+        }
+    }
+
+    /// `hi - lo`; zero for a point range.
+    pub fn width(&self) -> Expr {
+        self.hi.clone() - self.lo.clone()
+    }
+
+    /// Element-wise sum of ranges: `[a:b] + [c:d] = [a+c : b+d]`.
+    pub fn add(&self, other: &Range) -> Range {
+        Range::new(self.lo.clone() + other.lo.clone(), self.hi.clone() + other.hi.clone())
+    }
+
+    /// Shifts both bounds by `e`.
+    pub fn add_expr(&self, e: &Expr) -> Range {
+        Range::new(self.lo.clone() + e.clone(), self.hi.clone() + e.clone())
+    }
+
+    /// Negates the range: `-[a:b] = [-b:-a]`.
+    pub fn neg(&self) -> Range {
+        Range::new(-self.hi.clone(), -self.lo.clone())
+    }
+
+    /// Scales by an integer constant, swapping bounds when negative.
+    pub fn mul_int(&self, c: i64) -> Range {
+        if c >= 0 {
+            Range::new(Expr::int(c) * self.lo.clone(), Expr::int(c) * self.hi.clone())
+        } else {
+            Range::new(Expr::int(c) * self.hi.clone(), Expr::int(c) * self.lo.clone())
+        }
+    }
+
+    /// Scales by an expression whose sign is known from `env`; `None` when
+    /// the sign is unknown (the scaled range would be unordered).
+    pub fn mul_expr(&self, e: &Expr, env: &RangeEnv) -> Option<Range> {
+        if let Some(c) = e.as_int() {
+            return Some(self.mul_int(c));
+        }
+        let s = env.sign_of(e);
+        if s.is_nonneg() {
+            Some(Range::new(e.clone() * self.lo.clone(), e.clone() * self.hi.clone()))
+        } else if s.is_nonpos() {
+            Some(Range::new(e.clone() * self.hi.clone(), e.clone() * self.lo.clone()))
+        } else {
+            None
+        }
+    }
+
+    /// Substitutes a symbol with an expression in both bounds.
+    pub fn subst_sym(&self, sym: &Symbol, e: &Expr) -> Range {
+        Range::new(self.lo.subst_sym(sym, e), self.hi.subst_sym(sym, e))
+    }
+
+    /// Substitutes a symbol that ranges over `r` (e.g. the loop index over
+    /// `[0:N-1]`), producing the hull of the bound expressions over that
+    /// range. Requires both bounds to be *affine* in `sym`; the coefficient
+    /// sign (from `env`) decides which end of `r` minimizes/maximizes each
+    /// bound. Returns `None` if a coefficient sign is unknown.
+    pub fn subst_sym_range(&self, sym: &Symbol, r: &Range, env: &RangeEnv) -> Option<Range> {
+        let lo = extreme_over(&self.lo, sym, r, env, false)?;
+        let hi = extreme_over(&self.hi, sym, r, env, true)?;
+        Some(Range::new(lo, hi))
+    }
+
+    /// The range is PNN if its lower bound is provably positive
+    /// ([`Pnn::Positive`]) or non-negative ([`Pnn::NonNegative`]).
+    pub fn pnn(&self, env: &RangeEnv) -> Option<Pnn> {
+        let s = env.sign_of(&self.lo);
+        if s.is_pos() {
+            Some(Pnn::Positive)
+        } else if s.is_nonneg() {
+            Some(Pnn::NonNegative)
+        } else {
+            None
+        }
+    }
+
+    /// Proves `self` entirely below `other`: `[a:b] < [c:d]` iff `b < c`
+    /// (the paper's range comparison from Definition 1).
+    pub fn lt(&self, other: &Range, env: &RangeEnv) -> bool {
+        env.proves_lt(&self.hi, &other.lo)
+    }
+
+    /// Proves `self` entirely at-or-below `other`: `b <= c`.
+    pub fn le(&self, other: &Range, env: &RangeEnv) -> bool {
+        env.proves_le(&self.hi, &other.lo)
+    }
+
+    /// Hull with another range, when both bound comparisons are provable.
+    pub fn union(&self, other: &Range, env: &RangeEnv) -> Option<Range> {
+        let lo = pick_min(&self.lo, &other.lo, env)?;
+        let hi = pick_max(&self.hi, &other.hi, env)?;
+        Some(Range::new(lo, hi))
+    }
+}
+
+/// Minimum/maximum of an affine expression of `sym` as `sym` ranges over `r`.
+fn extreme_over(e: &Expr, sym: &Symbol, r: &Range, env: &RangeEnv, want_max: bool) -> Option<Expr> {
+    if !e.contains_sym(sym) {
+        return Some(e.clone());
+    }
+    let (coef, rest) = e.split_linear(sym)?;
+    let s = env.sign_of(&coef);
+    let at = |end: &Expr| coef.clone() * end.clone() + rest.clone();
+    if s.is_nonneg() {
+        Some(if want_max { at(&r.hi) } else { at(&r.lo) })
+    } else if s.is_nonpos() {
+        Some(if want_max { at(&r.lo) } else { at(&r.hi) })
+    } else {
+        None
+    }
+}
+
+fn pick_min(a: &Expr, b: &Expr, env: &RangeEnv) -> Option<Expr> {
+    if env.proves_le(a, b) {
+        Some(a.clone())
+    } else if env.proves_le(b, a) {
+        Some(b.clone())
+    } else {
+        None
+    }
+}
+
+fn pick_max(a: &Expr, b: &Expr, env: &RangeEnv) -> Option<Expr> {
+    if env.proves_ge(a, b) {
+        Some(a.clone())
+    } else if env.proves_ge(b, a) {
+        Some(b.clone())
+    } else {
+        None
+    }
+}
+
+impl fmt::Display for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_point() {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "[{}:{}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_and_width() {
+        let p = Range::point(Expr::var("x"));
+        assert!(p.is_point());
+        assert!(p.width().is_zero());
+        let r = Range::ints(0, 124);
+        assert_eq!(r.width().as_int(), Some(124));
+    }
+
+    #[test]
+    fn add_ranges() {
+        let a = Range::ints(0, 4);
+        let b = Range::ints(10, 20);
+        assert_eq!(a.add(&b), Range::ints(10, 24));
+    }
+
+    #[test]
+    fn mul_int_swaps_on_negative() {
+        let r = Range::ints(1, 5);
+        assert_eq!(r.mul_int(-2), Range::ints(-10, -2));
+        assert_eq!(r.mul_int(3), Range::ints(3, 15));
+    }
+
+    #[test]
+    fn pnn_classification() {
+        let mut env = RangeEnv::new();
+        env.assume_nonneg(Symbol::var("j"));
+        assert_eq!(Range::ints(0, 124).pnn(&env), Some(Pnn::NonNegative));
+        assert_eq!(Range::ints(1, 5).pnn(&env), Some(Pnn::Positive));
+        assert_eq!(
+            Range::new(Expr::var("j"), Expr::var("j") + Expr::int(3)).pnn(&env),
+            Some(Pnn::NonNegative)
+        );
+        assert_eq!(Range::ints(-1, 5).pnn(&env), None);
+    }
+
+    #[test]
+    fn range_comparison_definition1() {
+        // [lb:ub] < [lb':ub'] iff ub < lb'
+        let env = RangeEnv::new();
+        let a = Range::ints(0, 9);
+        let b = Range::ints(10, 20);
+        assert!(a.lt(&b, &env));
+        assert!(a.le(&b, &env));
+        let c = Range::ints(9, 20);
+        assert!(!a.lt(&c, &env));
+        assert!(a.le(&c, &env));
+    }
+
+    #[test]
+    fn subst_sym_range_affine_positive_coeff() {
+        // [25*j + L : 25*j + L + 20] over j in [0:4]  ->  [L : L+120]
+        let j = Symbol::var("j");
+        let l = Expr::entry("ntemp");
+        let r = Range::new(
+            Expr::int(25) * Expr::sym(j.clone()) + l.clone(),
+            Expr::int(25) * Expr::sym(j.clone()) + l.clone() + Expr::int(20),
+        );
+        let env = RangeEnv::new();
+        let out = r.subst_sym_range(&j, &Range::ints(0, 4), &env).unwrap();
+        assert_eq!(out, Range::new(l.clone(), l + Expr::int(120)));
+    }
+
+    #[test]
+    fn subst_sym_range_negative_coeff() {
+        // [-2*j : -2*j + 1] over j in [0:3]  ->  [-6 : 1]
+        let j = Symbol::var("j");
+        let r = Range::new(
+            Expr::int(-2) * Expr::sym(j.clone()),
+            Expr::int(-2) * Expr::sym(j.clone()) + Expr::int(1),
+        );
+        let env = RangeEnv::new();
+        let out = r.subst_sym_range(&j, &Range::ints(0, 3), &env).unwrap();
+        assert_eq!(out, Range::ints(-6, 1));
+    }
+
+    #[test]
+    fn subst_sym_range_unknown_coeff_fails() {
+        let j = Symbol::var("j");
+        let a = Expr::var("alpha"); // unknown sign
+        let r = Range::point(a * Expr::sym(j.clone()));
+        let env = RangeEnv::new();
+        assert!(r.subst_sym_range(&j, &Range::ints(0, 3), &env).is_none());
+    }
+
+    #[test]
+    fn union_hull() {
+        let env = RangeEnv::new();
+        let a = Range::ints(0, 9);
+        let b = Range::ints(5, 20);
+        assert_eq!(a.union(&b, &env), Some(Range::ints(0, 20)));
+        // Symbolically incomparable bounds -> None
+        let c = Range::point(Expr::var("x"));
+        assert!(a.union(&c, &env).is_none());
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        let r = Range::new(Expr::int(0), Expr::var("num_rows") - Expr::int(1));
+        assert_eq!(r.to_string(), "[0:num_rows - 1]");
+    }
+}

@@ -1,0 +1,101 @@
+//! Multi-expression simplification (Phase-2, Section 3.3 of the paper).
+//!
+//! When Phase-1 produces *several* value ranges for the same array region —
+//! as for `idel` in the UA example, where six assignments yield six ranges
+//! `(4+25j+λ : 24+25j+λ), (25j+λ : 20+25j+λ), …` — Phase-2 "attempts to
+//! simplify the expressions and deduce a single expression that represents
+//! the range of values assigned". That simplification is the provable hull
+//! of the set: the ranges merge into one exactly when every pairwise bound
+//! comparison is decidable under the environment, e.g. after the `j`-loop
+//! aggregation the six ranges collapse to `[Λ_ntemp : 124+Λ_ntemp]`.
+
+use crate::env::RangeEnv;
+use crate::range::Range;
+
+/// Provable hull of a set of ranges: the smallest `[min lb : max ub]` when
+/// all the necessary bound comparisons are decidable; `None` otherwise
+/// (simplification "not yet successful" in the paper's terms).
+pub fn hull(ranges: &[Range], env: &RangeEnv) -> Option<Range> {
+    let (first, rest) = ranges.split_first()?;
+    let mut acc = first.clone();
+    for r in rest {
+        acc = acc.union(r, env)?;
+    }
+    Some(acc)
+}
+
+/// Simplifies a set of ranges into a single representative range if
+/// possible. Currently identical to [`hull`]; kept as a separate entry
+/// point because Phase-2 calls it in a context where future strategies
+/// (e.g. stride-aware unions) may apply.
+pub fn simplify_range_set(ranges: &[Range], env: &RangeEnv) -> Option<Range> {
+    hull(ranges, env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::sym::Symbol;
+
+    /// The six `idel` ranges of the UA example after aggregating the
+    /// innermost `i`-loop and then the `j`-loop (j ∈ [0:4]); they must
+    /// simplify to `[Λ_ntemp : 124 + Λ_ntemp]`.
+    #[test]
+    fn ua_idel_ranges_simplify() {
+        let l = Expr::entry("ntemp");
+        let j = Symbol::var("j");
+        let mk = |lo_c: i64, lo_j: i64, hi_c: i64, hi_j: i64| {
+            Range::new(
+                Expr::int(lo_j) * Expr::sym(j.clone()) + l.clone() + Expr::int(lo_c),
+                Expr::int(hi_j) * Expr::sym(j.clone()) + l.clone() + Expr::int(hi_c),
+            )
+        };
+        // Phase-1 ranges of the j-loop body (per paper Section 3.3):
+        let per_iter = [
+            mk(4, 25, 24, 25),   // idel[iel][0]
+            mk(0, 25, 20, 25),   // idel[iel][1]
+            mk(20, 25, 24, 25),  // idel[iel][2]
+            mk(0, 25, 4, 25),    // idel[iel][3]
+            mk(100, 5, 104, 5),  // idel[iel][4]
+            mk(0, 5, 4, 5),      // idel[iel][5]
+        ];
+        // Aggregate j over [0:4] first (subst_sym_range), then hull.
+        let env = RangeEnv::new();
+        let jr = Range::ints(0, 4);
+        let aggregated: Vec<Range> = per_iter
+            .iter()
+            .map(|r| r.subst_sym_range(&j, &jr, &env).unwrap())
+            .collect();
+        let out = simplify_range_set(&aggregated, &env).unwrap();
+        assert_eq!(out, Range::new(l.clone(), l + Expr::int(124)));
+    }
+
+    #[test]
+    fn hull_of_single_range_is_identity() {
+        let env = RangeEnv::new();
+        let r = Range::ints(3, 9);
+        assert_eq!(hull(&[r.clone()], &env), Some(r));
+    }
+
+    #[test]
+    fn hull_of_empty_set_is_none() {
+        let env = RangeEnv::new();
+        assert_eq!(hull(&[], &env), None);
+    }
+
+    #[test]
+    fn hull_fails_on_incomparable_bounds() {
+        let env = RangeEnv::new();
+        let a = Range::ints(0, 5);
+        let b = Range::point(Expr::var("x"));
+        assert_eq!(hull(&[a, b], &env), None);
+    }
+
+    #[test]
+    fn hull_of_constant_ranges() {
+        let env = RangeEnv::new();
+        let rs = [Range::ints(10, 20), Range::ints(0, 5), Range::ints(15, 30)];
+        assert_eq!(hull(&rs, &env), Some(Range::ints(0, 30)));
+    }
+}

@@ -1,0 +1,121 @@
+//! Symbols: named atoms appearing in symbolic expressions.
+//!
+//! The paper distinguishes several flavours of named values:
+//!
+//! * plain program variables and loop indices (`i`, `n`, `num_rows`, …),
+//! * `λ_v` — the value of `v` at the *beginning of the loop iteration*
+//!   being symbolically executed (Phase-1),
+//! * `Λ_v` — the value of `v` at the *entry of the loop* (Phase-2
+//!   aggregation),
+//! * `v_max` — the value of `v` *after* the loop (used in aggregated
+//!   subscript ranges such as `A_rownnz[0:irownnz_max]`).
+//!
+//! All four are ordinary [`Symbol`]s with a different [`SymbolKind`], so the
+//! expression algebra treats them uniformly.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The flavour of a [`Symbol`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SymbolKind {
+    /// A plain program variable, loop index or loop-invariant term.
+    Var,
+    /// `λ_v`: value of `v` at the beginning of the analyzed loop iteration.
+    Lambda,
+    /// `Λ_v`: value of `v` at the entry of the analyzed loop.
+    Entry,
+    /// `v_max`: value of `v` after the loop has finished.
+    PostMax,
+}
+
+/// An interned symbolic name.
+///
+/// Cloning is cheap (`Arc<str>`), and ordering is total so symbols can key
+/// canonical term orderings inside [`crate::Expr`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol {
+    /// Flavour of the symbol; participates in ordering so that `λ_v`,
+    /// `Λ_v` and `v` are distinct atoms.
+    pub kind: SymbolKind,
+    /// The base program-variable name.
+    pub name: Arc<str>,
+}
+
+impl Symbol {
+    /// A plain variable symbol.
+    pub fn var(name: &str) -> Self {
+        Symbol { kind: SymbolKind::Var, name: Arc::from(name) }
+    }
+
+    /// The `λ_name` symbol (iteration-entry value).
+    pub fn lambda(name: &str) -> Self {
+        Symbol { kind: SymbolKind::Lambda, name: Arc::from(name) }
+    }
+
+    /// The `Λ_name` symbol (loop-entry value).
+    pub fn entry(name: &str) -> Self {
+        Symbol { kind: SymbolKind::Entry, name: Arc::from(name) }
+    }
+
+    /// The `name_max` symbol (post-loop value).
+    pub fn post_max(name: &str) -> Self {
+        Symbol { kind: SymbolKind::PostMax, name: Arc::from(name) }
+    }
+
+    /// True if this is a `λ_v` symbol.
+    pub fn is_lambda(&self) -> bool {
+        self.kind == SymbolKind::Lambda
+    }
+
+    /// The same base name reinterpreted with a different kind.
+    pub fn with_kind(&self, kind: SymbolKind) -> Symbol {
+        Symbol { kind, name: self.name.clone() }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            SymbolKind::Var => write!(f, "{}", self.name),
+            SymbolKind::Lambda => write!(f, "\u{3bb}_{}", self.name),
+            SymbolKind::Entry => write!(f, "\u{39b}_{}", self.name),
+            SymbolKind::PostMax => write!(f, "{}_max", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_kinds() {
+        assert_eq!(Symbol::var("n").to_string(), "n");
+        assert_eq!(Symbol::lambda("m").to_string(), "λ_m");
+        assert_eq!(Symbol::entry("irownnz").to_string(), "Λ_irownnz");
+        assert_eq!(Symbol::post_max("holder").to_string(), "holder_max");
+    }
+
+    #[test]
+    fn kinds_are_distinct_atoms() {
+        assert_ne!(Symbol::var("m"), Symbol::lambda("m"));
+        assert_ne!(Symbol::lambda("m"), Symbol::entry("m"));
+    }
+
+    #[test]
+    fn with_kind_preserves_name() {
+        let s = Symbol::lambda("m").with_kind(SymbolKind::Entry);
+        assert_eq!(s, Symbol::entry("m"));
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        // Kind-major ordering: all plain vars sort before λ symbols.
+        let mut v = vec![Symbol::lambda("a"), Symbol::var("b"), Symbol::var("a")];
+        v.sort();
+        assert_eq!(v[0], Symbol::var("a"));
+        assert_eq!(v[1], Symbol::var("b"));
+        assert_eq!(v[2], Symbol::lambda("a"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based validation of the expression and range algebra: every
+//! algebraic identity the analysis relies on is checked against brute-
+//! force evaluation under random concrete valuations.
+
+use proptest::prelude::*;
+use subsub_symbolic::{Expr, Range, RangeEnv, Symbol};
+
+/// A small strategy for expressions over three symbols with bounded depth.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Expr::int),
+        Just(Expr::var("x")),
+        Just(Expr::var("y")),
+        Just(Expr::var("z")),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            inner.prop_map(|a| -a),
+        ]
+    })
+}
+
+fn valuation(x: i64, y: i64, z: i64) -> impl Fn(&Symbol) -> i64 {
+    move |s: &Symbol| match &*s.name {
+        "x" => x,
+        "y" => y,
+        "z" => z,
+        _ => 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Canonicalization preserves meaning: (a+b), (a*b), (a-b) evaluate
+    /// like their concrete counterparts.
+    #[test]
+    fn ops_match_concrete(a in arb_expr(), b in arb_expr(),
+                          x in -7i64..7, y in -7i64..7, z in -7i64..7) {
+        let v = valuation(x, y, z);
+        let reads = |_: &str, _: &[i64]| 0i64;
+        let ea = a.eval(&v, &reads);
+        let eb = b.eval(&v, &reads);
+        prop_assert_eq!((a.clone() + b.clone()).eval(&v, &reads), ea.wrapping_add(eb));
+        prop_assert_eq!((a.clone() - b.clone()).eval(&v, &reads), ea.wrapping_sub(eb));
+        prop_assert_eq!((a.clone() * b.clone()).eval(&v, &reads), ea.wrapping_mul(eb));
+        prop_assert_eq!((-a.clone()).eval(&v, &reads), ea.wrapping_neg());
+    }
+
+    /// Structural equality after canonicalization is a congruence:
+    /// a + b == b + a and a - a == 0.
+    #[test]
+    fn commutativity_and_cancellation(a in arb_expr(), b in arb_expr()) {
+        prop_assert_eq!(a.clone() + b.clone(), b.clone() + a.clone());
+        prop_assert_eq!(a.clone() * b.clone(), b.clone() * a.clone());
+        prop_assert!((a.clone() - a.clone()).is_zero());
+    }
+
+    /// Substitution commutes with evaluation:
+    /// e[s := r] evaluated == e evaluated with s ↦ eval(r).
+    #[test]
+    fn substitution_commutes(e in arb_expr(), r in arb_expr(),
+                             x in -5i64..5, y in -5i64..5, z in -5i64..5) {
+        let sym = Symbol::var("x");
+        let reads = |_: &str, _: &[i64]| 0i64;
+        let v = valuation(x, y, z);
+        let rv = r.eval(&v, &reads);
+        let direct = e.subst_sym(&sym, &r).eval(&v, &reads);
+        let via = e.eval(&valuation(rv, y, z), &reads);
+        prop_assert_eq!(direct, via);
+    }
+
+    /// split_linear is a decomposition: coef*sym + rest == e, with the
+    /// symbol absent from both parts.
+    #[test]
+    fn split_linear_reconstructs(e in arb_expr()) {
+        let sym = Symbol::var("x");
+        if let Some((coef, rest)) = e.split_linear(&sym) {
+            prop_assert!(!coef.contains_sym(&sym));
+            prop_assert!(!rest.contains_sym(&sym));
+            let rebuilt = coef * Expr::sym(sym.clone()) + rest;
+            prop_assert_eq!(rebuilt, e);
+        }
+    }
+
+    /// Sign analysis is sound: whatever sign the env proves under the
+    /// assumption x,y,z >= 0 holds for all non-negative valuations.
+    #[test]
+    fn sign_analysis_sound(e in arb_expr(),
+                           x in 0i64..6, y in 0i64..6, z in 0i64..6) {
+        let mut env = RangeEnv::new();
+        env.assume_nonneg(Symbol::var("x"));
+        env.assume_nonneg(Symbol::var("y"));
+        env.assume_nonneg(Symbol::var("z"));
+        let reads = |_: &str, _: &[i64]| 0i64;
+        let val = e.eval(&valuation(x, y, z), &reads);
+        let s = env.sign_of(&e);
+        if s.is_pos() {
+            prop_assert!(val > 0, "claimed Pos but {} (e = {})", val, e);
+        }
+        if s.is_nonneg() {
+            prop_assert!(val >= 0, "claimed NonNeg but {} (e = {})", val, e);
+        }
+        if s.is_nonpos() {
+            prop_assert!(val <= 0, "claimed NonPos but {} (e = {})", val, e);
+        }
+    }
+
+    /// Range arithmetic preserves containment: if v ∈ a and w ∈ b
+    /// (constant ranges), then v+w ∈ a.add(b).
+    #[test]
+    fn range_add_contains(alo in -10i64..10, aw in 0i64..10,
+                          blo in -10i64..10, bw in 0i64..10,
+                          t in 0.0f64..1.0, u in 0.0f64..1.0) {
+        let a = Range::ints(alo, alo + aw);
+        let b = Range::ints(blo, blo + bw);
+        let v = alo + (t * aw as f64) as i64;
+        let w = blo + (u * bw as f64) as i64;
+        let sum = a.add(&b);
+        let (lo, hi) = (sum.lo.as_int().unwrap(), sum.hi.as_int().unwrap());
+        prop_assert!(lo <= v + w && v + w <= hi);
+    }
+
+    /// Range scaling flips bounds correctly for negative factors.
+    #[test]
+    fn range_mul_int_contains(lo in -10i64..10, w in 0i64..10,
+                              c in -5i64..5, t in 0.0f64..1.0) {
+        let r = Range::ints(lo, lo + w);
+        let v = lo + (t * w as f64) as i64;
+        let scaled = r.mul_int(c);
+        let (slo, shi) = (scaled.lo.as_int().unwrap(), scaled.hi.as_int().unwrap());
+        prop_assert!(slo <= c * v && c * v <= shi);
+    }
+
+    /// Hull contains both inputs and is exact for constant ranges.
+    #[test]
+    fn union_is_upper_bound(alo in -10i64..10, aw in 0i64..8,
+                            blo in -10i64..10, bw in 0i64..8) {
+        let env = RangeEnv::new();
+        let a = Range::ints(alo, alo + aw);
+        let b = Range::ints(blo, blo + bw);
+        let u = a.union(&b, &env).expect("constant hull always provable");
+        let (lo, hi) = (u.lo.as_int().unwrap(), u.hi.as_int().unwrap());
+        prop_assert!(lo <= alo && alo + aw <= hi);
+        prop_assert!(lo <= blo && blo + bw <= hi);
+        prop_assert!(lo == alo.min(blo) && hi == (alo + aw).max(blo + bw));
+    }
+}

@@ -1,0 +1,63 @@
+//! The full AMGmk story (paper Section 3.1), end to end:
+//!
+//! 1. the compile-time pipeline analyzes the inline-expanded AMGmk source
+//!    and proves `A_rownnz` strictly monotonic (intermittent, LEMMA 1);
+//! 2. the decision selects the outer-parallel SpMV variant with the
+//!    runtime check `num_rownnz - 1 <= irownnz_max`;
+//! 3. the kernel executes serially, inner-parallel (the classical
+//!    decision) and outer-parallel, validating identical results;
+//! 4. the calibrated scheduling simulator reports the 4/8/16-core
+//!    picture behind Figures 13–15.
+//!
+//! Run with: `cargo run --release --example amgmk_pipeline`
+
+use subsub::core::{analyze_program, AlgorithmLevel};
+use subsub::kernels::{kernel_by_name, Variant};
+use subsub::omprt::{Schedule, ThreadPool};
+
+fn main() {
+    let kernel = kernel_by_name("AMGmk").expect("registered");
+
+    // --- Compile-time side -------------------------------------------------
+    println!("=== analysis (Cetus+NewAlgo) ===");
+    let report = analyze_program(kernel.source(), AlgorithmLevel::New).unwrap();
+    print!("{report}");
+    let f = report.function(kernel.func_name()).unwrap();
+    let best = f.last_nest_parallel().expect("outer loop parallel");
+    println!("\nchosen loop: {} at depth {}", best.id, best.depth);
+    println!("pragma: {}\n", best.decision);
+
+    // --- Runtime side ------------------------------------------------------
+    let pool = ThreadPool::new(
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    );
+    let mut inst = kernel.prepare("MATRIX1");
+
+    inst.run_serial();
+    let reference = inst.checksum();
+    println!("serial checksum        : {reference:.6}");
+
+    inst.reset();
+    inst.run(Variant::InnerParallel, &pool, Schedule::static_default());
+    println!("inner-parallel checksum: {:.6} (classical decision)", inst.checksum());
+
+    inst.reset();
+    inst.run(Variant::OuterParallel, &pool, Schedule::static_default());
+    println!("outer-parallel checksum: {:.6} (new algorithm)\n", inst.checksum());
+
+    // --- Simulated multi-core picture --------------------------------------
+    use subsub_bench::harness::{calibrate, measured_fork_join, simulate_variant};
+    let fj = measured_fork_join(&pool);
+    let cal = calibrate(inst.as_mut(), fj);
+    println!("measured fork-join: {:.2} µs; serial time {:.4} s", fj * 1e6, cal.serial_time);
+    println!("{:<8} {:>14} {:>14} {:>14}", "cores", "serial", "inner-par", "outer-par");
+    for cores in [4usize, 8, 16] {
+        let s = simulate_variant(inst.as_ref(), Variant::Serial, cores, Schedule::static_default(), &cal);
+        let i = simulate_variant(inst.as_ref(), Variant::InnerParallel, cores, Schedule::static_default(), &cal);
+        let o = simulate_variant(inst.as_ref(), Variant::OuterParallel, cores, Schedule::static_default(), &cal);
+        println!("{cores:<8} {s:>13.4}s {i:>13.4}s {o:>13.4}s");
+    }
+    println!("\nThe inner strategy pays one fork-join per matrix row — the");
+    println!("paper's Figure 13 anomaly; the outer strategy approaches the");
+    println!("memory-bandwidth roofline (Figure 14's 3.43x for AMGmk).");
+}

@@ -1,0 +1,40 @@
+//! Analyze an arbitrary C file from the command line at all three levels.
+//!
+//! Run with:
+//! `cargo run --example analyze_source -- path/to/file.c`
+//! (without an argument it analyzes a built-in demo program).
+
+use subsub::core::{analyze_program, AlgorithmLevel};
+
+const DEMO: &str = r#"
+void demo(int n, int *cnt, int *pos, double *x) {
+    int i; int m;
+    m = 0;
+    for (i = 0; i < n; i++) {
+        if (cnt[i] > 0) {
+            pos[m] = i;
+            m = m + 1;
+        }
+    }
+    for (i = 0; i < n; i++) {
+        x[pos[i]] = x[pos[i]] * 2.0;
+    }
+}
+"#;
+
+fn main() {
+    let src = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        None => DEMO.to_string(),
+    };
+    for level in [AlgorithmLevel::Classic, AlgorithmLevel::Base, AlgorithmLevel::New] {
+        match analyze_program(&src, level) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("analysis failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

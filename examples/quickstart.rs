@@ -1,0 +1,39 @@
+//! Quickstart: analyze a C loop nest for subscript-array monotonicity and
+//! see the parallelization decision.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use subsub::core::{analyze_program, AlgorithmLevel};
+
+fn main() {
+    // A program in the paper's shape: a fill loop defines an index array
+    // through an intermittent recurrence, then a compute loop updates a
+    // host array through it (`y[ind[i]] += …`).
+    let src = r#"
+        void kernel(int n, int m_used, int *flag, int *ind, double *y, double *g) {
+            int i; int m;
+            m = 0;
+            for (i = 0; i < n; i++) {
+                if (flag[i] > 0) {
+                    ind[m] = i;
+                    m = m + 1;
+                }
+            }
+            for (i = 0; i < m_used; i++) {
+                y[ind[i]] = y[ind[i]] + g[i];
+            }
+        }
+    "#;
+
+    println!("=== input ===\n{src}");
+
+    for level in [AlgorithmLevel::Classic, AlgorithmLevel::Base, AlgorithmLevel::New] {
+        let report = analyze_program(src, level).expect("analysis");
+        println!("{report}");
+    }
+
+    println!("Classical analysis must assume y[ind[i]] overlaps across iterations.");
+    println!("The new algorithm proves `ind` strictly monotonic (LEMMA 1:");
+    println!("intermittent monotonicity), hence injective, and parallelizes the");
+    println!("second loop with a runtime check on the analysis bound m_max.");
+}

@@ -1,0 +1,64 @@
+//! SDDMM and loop scheduling (paper Sections 3.2 and 4.2, Figure 16).
+//!
+//! The analysis proves `col_ptr` monotonic (non-strict suffices: the
+//! per-column nonzero segments are disjoint), parallelizing the outer
+//! column loop. Column work then follows the nonzero distribution —
+//! skewed for three of the four matrices — so the *schedule* matters:
+//! dynamic self-scheduling rebalances what static chunking cannot.
+//!
+//! Run with: `cargo run --release --example sddmm_scheduling`
+
+use subsub::core::{analyze_program, AlgorithmLevel};
+use subsub::kernels::{kernel_by_name, Variant};
+use subsub::omprt::{Schedule, ThreadPool};
+use subsub::sparse::{Csc, DegreeStats};
+use subsub_bench::harness::{calibrate, measured_fork_join, simulate_variant};
+
+fn main() {
+    let kernel = kernel_by_name("SDDMM").unwrap();
+
+    println!("=== analysis ===");
+    let report = analyze_program(kernel.source(), AlgorithmLevel::New).unwrap();
+    let f = report.function(kernel.func_name()).unwrap();
+    for p in &f.properties {
+        println!("proven: {p}");
+    }
+    let best = f.last_nest_parallel().unwrap();
+    println!("decision: {}\n", best.decision);
+
+    let pool = ThreadPool::new(
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    );
+    let fj = measured_fork_join(&pool);
+
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>9}",
+        "matrix", "imbalance", "static@8", "dynamic@8", "dyn/st"
+    );
+    for ds in ["gsm_106857", "dielFilterV2clx", "af_shell1", "inline_1"] {
+        let spec = subsub::kernels::sddmm::spec_for(ds);
+        let m = Csc::from_csr(&spec.build());
+        let imb = DegreeStats::of_cols(&m).imbalance();
+
+        let mut inst = kernel.prepare(ds);
+        inst.run_serial();
+        let reference = inst.checksum();
+        inst.reset();
+        inst.run(Variant::OuterParallel, &pool, Schedule::dynamic_default());
+        assert!(subsub::kernels::common::close(reference, inst.checksum()));
+
+        let cal = calibrate(inst.as_mut(), fj);
+        let st = simulate_variant(
+            inst.as_ref(), Variant::OuterParallel, 8, Schedule::static_default(), &cal,
+        );
+        let dy = simulate_variant(
+            inst.as_ref(), Variant::OuterParallel, 8, Schedule::dynamic_default(), &cal,
+        );
+        println!(
+            "{ds:<18} {imb:>9.2}x {st:>11.4}s {dy:>11.4}s {:>8.2}x",
+            st / dy
+        );
+    }
+    println!("\nDynamic scheduling wins exactly where column degrees are skewed");
+    println!("(af_shell1's banded structure is already balanced) — Figure 16.");
+}

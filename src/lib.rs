@@ -1,0 +1,23 @@
+//! Umbrella crate for the PPoPP'24 *Recurrence Analysis for Automatic
+//! Parallelization of Subscripted Subscripts* reproduction.
+//!
+//! Re-exports every workspace crate under one root so that examples and
+//! integration tests can `use subsub::…`. See the individual crates for
+//! the actual functionality:
+//!
+//! * [`symbolic`] — expression & range algebra,
+//! * [`cfront`] — C-subset frontend,
+//! * [`ir`] — normalized loop IR and CFGs,
+//! * [`core`] — the paper's Phase-1/Phase-2 analysis and the
+//!   parallelization driver,
+//! * [`omprt`] — OpenMP-like runtime and scheduling cost model,
+//! * [`sparse`] — sparse-matrix substrate and workload generators,
+//! * [`kernels`] — the twelve evaluation benchmarks.
+
+pub use subsub_cfront as cfront;
+pub use subsub_core as core;
+pub use subsub_ir as ir;
+pub use subsub_kernels as kernels;
+pub use subsub_omprt as omprt;
+pub use subsub_sparse as sparse;
+pub use subsub_symbolic as symbolic;

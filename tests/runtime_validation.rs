@@ -1,0 +1,77 @@
+//! End-to-end runtime validation: for every benchmark and every algorithm
+//! level, execute the variant the analysis selected on the real `omprt`
+//! thread pool and require bit-level agreement (up to floating-point
+//! reassociation) with the serial reference. This is the safety property
+//! the whole system rests on — a wrong parallelization decision would
+//! corrupt results, not just performance.
+
+use subsub::core::AlgorithmLevel;
+use subsub::kernels::{all_kernels, common::close};
+use subsub::omprt::{Schedule, ThreadPool};
+use subsub_bench::variant_for;
+
+#[test]
+fn every_selected_variant_matches_serial() {
+    let pool = ThreadPool::new(4);
+    for k in all_kernels() {
+        let mut inst = k.prepare("test");
+        inst.run_serial();
+        let reference = inst.checksum();
+        for level in [AlgorithmLevel::Classic, AlgorithmLevel::Base, AlgorithmLevel::New] {
+            let variant = variant_for(k.as_ref(), level);
+            for sched in [Schedule::static_default(), Schedule::dynamic_default()] {
+                inst.reset();
+                inst.run(variant, &pool, sched);
+                let got = inst.checksum();
+                assert!(
+                    close(reference, got),
+                    "{} @ {level} ({variant}, {sched}): {got} != {reference}",
+                    k.name()
+                );
+            }
+        }
+    }
+}
+
+/// The paper's runtime check is part of the emitted pragma for the two
+/// benchmarks whose analysis bound is a post-loop value — and absent where
+/// the bound is compile-time (UA) or no property is needed (regular
+/// benchmarks).
+#[test]
+fn runtime_checks_present_exactly_where_expected() {
+    use subsub::core::analyze_program;
+    for k in all_kernels() {
+        let report = analyze_program(k.source(), AlgorithmLevel::New).unwrap();
+        let f = report.function(k.func_name()).unwrap();
+        let check = f
+            .last_nest_parallel()
+            .and_then(|l| l.decision.plan())
+            .and_then(|p| p.runtime_check.clone());
+        match k.name() {
+            "AMGmk" | "SDDMM" => {
+                assert!(check.is_some(), "{} should carry a runtime check", k.name())
+            }
+            _ => assert!(
+                check.is_none(),
+                "{} should not need a runtime check (got {check:?})",
+                k.name()
+            ),
+        }
+    }
+}
+
+/// Larger-than-test datasets also validate (one spot check per headline
+/// benchmark, outer variant, both schedules).
+#[test]
+fn headline_benchmarks_validate_on_real_datasets() {
+    let pool = ThreadPool::new(4);
+    for (name, ds) in [("AMGmk", "MATRIX1"), ("SDDMM", "gsm_106857"), ("UA(transf)", "CLASS A")] {
+        let k = subsub::kernels::kernel_by_name(name).unwrap();
+        let mut inst = k.prepare(ds);
+        inst.run_serial();
+        let reference = inst.checksum();
+        inst.reset();
+        inst.run(subsub::kernels::Variant::OuterParallel, &pool, Schedule::dynamic_default());
+        assert!(close(reference, inst.checksum()), "{name} [{ds}]");
+    }
+}

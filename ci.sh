@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full CI gate: formatting, lints, release build, full test suite.
+# Everything runs offline — the workspace has zero external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== release build =="
+cargo build --release --workspace
+
+echo "== test suite =="
+cargo test --workspace -q
+
+echo "CI gate passed."

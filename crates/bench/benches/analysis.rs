@@ -3,55 +3,45 @@
 //! selling point over inspector/executor and speculation is *zero runtime
 //! overhead*; this bench quantifies the (small) compile-time price.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subsub_bench::bench;
 use subsub_core::{analyze_program, AlgorithmLevel};
 use subsub_kernels::all_kernels;
 
-fn bench_analysis(c: &mut Criterion) {
-    let mut g = c.benchmark_group("analysis");
+fn bench_analysis() {
     for kernel in all_kernels() {
-        for level in [AlgorithmLevel::Classic, AlgorithmLevel::Base, AlgorithmLevel::New] {
-            g.bench_with_input(
-                BenchmarkId::new(kernel.name(), level),
-                &level,
-                |b, &level| {
-                    b.iter(|| {
-                        let r = analyze_program(kernel.source(), level).unwrap();
-                        std::hint::black_box(r);
-                    })
-                },
-            );
+        for level in [
+            AlgorithmLevel::Classic,
+            AlgorithmLevel::Base,
+            AlgorithmLevel::New,
+        ] {
+            bench(&format!("analysis/{}/{level}", kernel.name()), || {
+                let r = analyze_program(kernel.source(), level).unwrap();
+                std::hint::black_box(&r);
+            });
         }
     }
-    g.finish();
 }
 
-fn bench_pipeline_stages(c: &mut Criterion) {
+fn bench_pipeline_stages() {
     let src = subsub_kernels::kernel_by_name("AMGmk").unwrap().source();
     let prog = subsub_cfront::parse_program(src).unwrap();
-    let mut g = c.benchmark_group("stages");
-    g.bench_function("parse", |b| {
-        b.iter(|| std::hint::black_box(subsub_cfront::parse_program(src).unwrap()))
+    bench("stages/parse", || {
+        std::hint::black_box(subsub_cfront::parse_program(src).unwrap());
     });
-    g.bench_function("lower", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                subsub_ir::lower_function(&prog.funcs[0], &prog.globals).unwrap(),
-            )
-        })
+    bench("stages/lower", || {
+        std::hint::black_box(subsub_ir::lower_function(&prog.funcs[0], &prog.globals).unwrap());
     });
     let lowered = subsub_ir::lower_function(&prog.funcs[0], &prog.globals).unwrap();
-    g.bench_function("analyze_function", |b| {
-        b.iter(|| {
-            std::hint::black_box(subsub_core::analyze_function(
-                &lowered,
-                AlgorithmLevel::New,
-                &subsub_symbolic::RangeEnv::new(),
-            ))
-        })
+    bench("stages/analyze_function", || {
+        std::hint::black_box(subsub_core::analyze_function(
+            &lowered,
+            AlgorithmLevel::New,
+            &subsub_symbolic::RangeEnv::new(),
+        ));
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_analysis, bench_pipeline_stages);
-criterion_main!(benches);
+fn main() {
+    bench_analysis();
+    bench_pipeline_stages();
+}

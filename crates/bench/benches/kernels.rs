@@ -2,34 +2,27 @@
 //! parallel variant on the real runtime (test-size datasets so the suite
 //! stays fast; the figure binaries run the full datasets).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subsub_bench::bench;
 use subsub_kernels::{kernel_by_name, Variant};
 use subsub_omprt::{Schedule, ThreadPool};
 
-fn bench_kernels(c: &mut Criterion) {
+fn main() {
     let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     );
-    let mut g = c.benchmark_group("kernels");
     for name in ["AMGmk", "SDDMM", "UA(transf)", "CHOLMOD-Supernodal"] {
         let k = kernel_by_name(name).unwrap();
         let mut inst = k.prepare("test");
-        g.bench_with_input(BenchmarkId::new(name, "serial"), &(), |b, _| {
-            b.iter(|| {
-                inst.reset();
-                inst.run_serial();
-            })
+        bench(&format!("kernels/{name}/serial"), || {
+            inst.reset();
+            inst.run_serial();
         });
         let mut inst2 = k.prepare("test");
-        g.bench_with_input(BenchmarkId::new(name, "outer"), &(), |b, _| {
-            b.iter(|| {
-                inst2.reset();
-                inst2.run(Variant::OuterParallel, &pool, Schedule::static_default());
-            })
+        bench(&format!("kernels/{name}/outer"), || {
+            inst2.reset();
+            inst2.run(Variant::OuterParallel, &pool, Schedule::static_default());
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

@@ -2,59 +2,52 @@
 //! and the scheduling simulator — the quantities Figures 13 and 16 hinge
 //! on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subsub_bench::bench;
 use subsub_omprt::{sim, Schedule, SimParams, ThreadPool};
 
-fn bench_fork_join(c: &mut Criterion) {
+fn bench_fork_join() {
     let pool = ThreadPool::new(2);
-    c.bench_function("fork_join_empty_region", |b| {
-        b.iter(|| pool.run(|_| {}));
-    });
+    bench("fork_join_empty_region", || pool.run(|_| {}));
 }
 
-fn bench_schedules(c: &mut Criterion) {
+fn bench_schedules() {
     let pool = ThreadPool::new(2);
     let n = 10_000usize;
     let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
-    let mut g = c.benchmark_group("parallel_for");
     for (name, sched) in [
         ("static", Schedule::static_default()),
         ("dynamic1", Schedule::dynamic_default()),
         ("dynamic64", Schedule::Dynamic { chunk: 64 }),
         ("guided", Schedule::Guided { min_chunk: 8 }),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &sched, |b, &sched| {
-            b.iter(|| {
-                let s = pool.parallel_for_reduce(
-                    n,
-                    sched,
-                    0.0f64,
-                    |acc, i| acc + data[i].sqrt(),
-                    |x, y| x + y,
-                );
-                std::hint::black_box(s);
-            })
+        bench(&format!("parallel_for/{name}"), || {
+            let s = pool.parallel_for_reduce(
+                n,
+                sched,
+                0.0f64,
+                |acc, i| acc + data[i].sqrt(),
+                |x, y| x + y,
+            );
+            std::hint::black_box(s);
         });
     }
-    g.finish();
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator() {
     let costs: Vec<f64> = (0..100_000).map(|i| 10.0 + (i % 97) as f64).collect();
     let params = SimParams::default();
-    let mut g = c.benchmark_group("simulator");
     for (name, sched) in [
         ("static", Schedule::static_default()),
         ("dynamic", Schedule::dynamic_default()),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &sched, |b, &sched| {
-            b.iter(|| {
-                std::hint::black_box(sim::simulate_parallel_for(&costs, 16, sched, &params))
-            })
+        bench(&format!("simulator/{name}"), || {
+            std::hint::black_box(sim::simulate_parallel_for(&costs, 16, sched, &params));
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_fork_join, bench_schedules, bench_simulator);
-criterion_main!(benches);
+fn main() {
+    bench_fork_join();
+    bench_schedules();
+    bench_simulator();
+}

@@ -23,8 +23,13 @@ fn main() {
         let mut t = Table::new(&["fork-join", "inner/serial", "outer/serial", "outer wins by"]);
         for us in overheads_us {
             let cal: Calibration = calibrate(inst.as_mut(), us * 1e-6);
-            let serial =
-                simulate_variant(inst.as_ref(), Variant::Serial, 16, Schedule::static_default(), &cal);
+            let serial = simulate_variant(
+                inst.as_ref(),
+                Variant::Serial,
+                16,
+                Schedule::static_default(),
+                &cal,
+            );
             let inner = simulate_variant(
                 inst.as_ref(),
                 Variant::InnerParallel,

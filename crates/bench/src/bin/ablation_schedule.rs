@@ -15,7 +15,9 @@ fn main() {
     let fj = measured_fork_join(&pool);
     println!("Ablation: dynamic chunk size, SDDMM, 16 simulated cores\n");
     let k = kernel_by_name("SDDMM").unwrap();
-    let mut t = Table::new(&["Dataset", "static", "dyn,1", "dyn,4", "dyn,16", "dyn,64", "guided"]);
+    let mut t = Table::new(&[
+        "Dataset", "static", "dyn,1", "dyn,4", "dyn,16", "dyn,64", "guided",
+    ]);
     for ds in ["gsm_106857", "dielFilterV2clx", "af_shell1", "inline_1"] {
         let mut inst = k.prepare(ds);
         inst.run_serial();

@@ -16,7 +16,11 @@ fn main() {
             }
         }
         println!("################ {} ################", k.name());
-        for level in [AlgorithmLevel::Classic, AlgorithmLevel::Base, AlgorithmLevel::New] {
+        for level in [
+            AlgorithmLevel::Classic,
+            AlgorithmLevel::Base,
+            AlgorithmLevel::New,
+        ] {
             print!("{}", decision_report(k.as_ref(), level));
         }
         println!();

@@ -15,10 +15,17 @@ use subsub_kernels::kernel_by_name;
 use subsub_omprt::{Schedule, ThreadPool};
 
 fn main() {
-    let pool = ThreadPool::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let pool = ThreadPool::new(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
     let fj = measured_fork_join(&pool);
     println!("Figure 13: performance improvement with vs without subscripted-");
-    println!("subscript analysis (simulated cores; measured fork-join = {:.2} µs)\n", fj * 1e6);
+    println!(
+        "subscript analysis (simulated cores; measured fork-join = {:.2} µs)\n",
+        fj * 1e6
+    );
 
     for name in ["AMGmk", "SDDMM", "UA(transf)"] {
         let k = kernel_by_name(name).unwrap();

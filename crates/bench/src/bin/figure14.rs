@@ -9,10 +9,17 @@ use subsub_kernels::kernel_by_name;
 use subsub_omprt::{Schedule, ThreadPool};
 
 fn main() {
-    let pool = ThreadPool::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let pool = ThreadPool::new(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
     let fj = measured_fork_join(&pool);
     println!("Figure 14: improvement over serial with the new analysis applied");
-    println!("(simulated cores; measured fork-join = {:.2} µs)\n", fj * 1e6);
+    println!(
+        "(simulated cores; measured fork-join = {:.2} µs)\n",
+        fj * 1e6
+    );
 
     for name in ["AMGmk", "SDDMM", "UA(transf)"] {
         let k = kernel_by_name(name).unwrap();
@@ -22,7 +29,10 @@ fn main() {
             let series = Series::new(k.as_ref(), ds, &[with], &pool, fj);
             let mut row = vec![ds.to_string()];
             for cores in [4usize, 8, 16] {
-                row.push(format!("{:.2}x", series.speedup(with, cores, Schedule::static_default())));
+                row.push(format!(
+                    "{:.2}x",
+                    series.speedup(with, cores, Schedule::static_default())
+                ));
             }
             t.row(row);
         }

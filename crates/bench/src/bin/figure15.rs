@@ -8,7 +8,11 @@ use subsub_kernels::kernel_by_name;
 use subsub_omprt::{Schedule, ThreadPool};
 
 fn main() {
-    let pool = ThreadPool::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let pool = ThreadPool::new(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
     let fj = measured_fork_join(&pool);
     println!("Figure 15: parallel efficiency (speedup / cores), simulated cores\n");
 

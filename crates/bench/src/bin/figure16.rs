@@ -11,16 +11,18 @@ use subsub_kernels::kernel_by_name;
 use subsub_omprt::{Schedule, ThreadPool};
 
 fn main() {
-    let pool = ThreadPool::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let pool = ThreadPool::new(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
     let fj = measured_fork_join(&pool);
     println!("Figure 16: dynamic vs static scheduling for SDDMM");
     println!("(improvement over serial; simulated cores)\n");
 
     let k = kernel_by_name("SDDMM").unwrap();
     let with = variant_for(k.as_ref(), AlgorithmLevel::New);
-    let mut t = Table::new(&[
-        "Dataset", "sched", "4 cores", "8 cores", "16 cores",
-    ]);
+    let mut t = Table::new(&["Dataset", "sched", "4 cores", "8 cores", "16 cores"]);
     for ds in ["gsm_106857", "dielFilterV2clx", "af_shell1", "inline_1"] {
         let series = Series::new(k.as_ref(), ds, &[with], &pool, fj);
         for (label, sched) in [

@@ -10,17 +10,31 @@ use subsub_kernels::all_kernels;
 use subsub_omprt::{Schedule, ThreadPool};
 
 fn main() {
-    let pool = ThreadPool::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let pool = ThreadPool::new(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
     let fj = measured_fork_join(&pool);
     let cores = 16usize;
     println!("Figure 17: Cetus vs Cetus+BaseAlgo vs Cetus+NewAlgo at {cores} cores");
     println!("(improvement over serial; simulated cores; Experiment-2 datasets)\n");
 
-    let mut t = Table::new(&["Benchmark", "Dataset", "Cetus", "Cetus+BaseAlgo", "Cetus+NewAlgo"]);
+    let mut t = Table::new(&[
+        "Benchmark",
+        "Dataset",
+        "Cetus",
+        "Cetus+BaseAlgo",
+        "Cetus+NewAlgo",
+    ]);
     let mut improved = [0usize; 3];
     for k in all_kernels() {
         let ds = k.datasets()[0];
-        let levels = [AlgorithmLevel::Classic, AlgorithmLevel::Base, AlgorithmLevel::New];
+        let levels = [
+            AlgorithmLevel::Classic,
+            AlgorithmLevel::Base,
+            AlgorithmLevel::New,
+        ];
         let variants: Vec<_> = levels.iter().map(|&l| variant_for(k.as_ref(), l)).collect();
         let series = Series::new(k.as_ref(), ds, &variants, &pool, fj);
         let mut row = vec![k.name().to_string(), ds.to_string()];
@@ -38,7 +52,5 @@ fn main() {
         "benchmarks improved: Cetus {}/12, +BaseAlgo {}/12, +NewAlgo {}/12",
         improved[0], improved[1], improved[2]
     );
-    println!(
-        "(paper: 6/12, 7/12 and 10/12 — 83.33% with the new algorithm)"
-    );
+    println!("(paper: 6/12, 7/12 and 10/12 — 83.33% with the new algorithm)");
 }

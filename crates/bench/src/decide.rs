@@ -23,8 +23,7 @@ pub fn variant_for(kernel: &dyn Kernel, level: AlgorithmLevel) -> Variant {
 
 /// The full analysis report (for the `analyze` binary and examples).
 pub fn decision_report(kernel: &dyn Kernel, level: AlgorithmLevel) -> ProgramReport {
-    analyze_program(kernel.source(), level)
-        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()))
+    analyze_program(kernel.source(), level).unwrap_or_else(|e| panic!("{}: {e}", kernel.name()))
 }
 
 #[cfg(test)]
@@ -35,8 +34,17 @@ mod tests {
     #[test]
     fn amgmk_variants_per_level() {
         let k = kernel_by_name("AMGmk").unwrap();
-        assert_eq!(variant_for(k.as_ref(), AlgorithmLevel::Classic), Variant::InnerParallel);
-        assert_eq!(variant_for(k.as_ref(), AlgorithmLevel::Base), Variant::InnerParallel);
-        assert_eq!(variant_for(k.as_ref(), AlgorithmLevel::New), Variant::OuterParallel);
+        assert_eq!(
+            variant_for(k.as_ref(), AlgorithmLevel::Classic),
+            Variant::InnerParallel
+        );
+        assert_eq!(
+            variant_for(k.as_ref(), AlgorithmLevel::Base),
+            Variant::InnerParallel
+        );
+        assert_eq!(
+            variant_for(k.as_ref(), AlgorithmLevel::New),
+            Variant::OuterParallel
+        );
     }
 }

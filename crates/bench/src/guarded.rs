@@ -1,0 +1,177 @@
+//! Guarded execution of a kernel: bridges the analysis decision (variant
+//! + runtime check) to the `rtcheck` [`GuardedExecutor`].
+//!
+//! Construction runs the real compile-time pipeline once and compiles the
+//! plan's check; each [`GuardedHarness::run`] then evaluates the check
+//! against the instance's scalar bindings, inspects (or cache-revalidates)
+//! its index arrays, and executes the admitted variant. Repeated runs on
+//! an unchanged instance are revalidated from the inspector cache in O(1).
+
+use crate::decide::{decision_report, variant_for};
+use subsub_core::{AlgorithmLevel, CheckExpr};
+use subsub_kernels::{Kernel, KernelInstance, Variant};
+use subsub_omprt::{Schedule, ThreadPool};
+use subsub_rtcheck::{GuardPath, GuardStats, GuardedExecutor};
+
+/// What one guarded invocation did.
+#[derive(Debug, Clone)]
+pub struct GuardedOutcome {
+    /// The variant the compile-time analysis selected.
+    pub variant: Variant,
+    /// The variant that actually ran after the runtime guards.
+    pub executed: Variant,
+    /// Which side of the guard the invocation took. Analysis-serial
+    /// kernels report [`GuardPath::Serial`].
+    pub path: GuardPath,
+    /// Why the serial path was taken, when it was.
+    pub reason: Option<String>,
+    /// Output checksum of the executed variant.
+    pub checksum: f64,
+}
+
+/// A kernel's analysis decision bound to a guarded executor.
+pub struct GuardedHarness {
+    variant: Variant,
+    check: Option<CheckExpr>,
+    executor: GuardedExecutor,
+}
+
+impl GuardedHarness {
+    /// Runs the analysis at `level` and compiles the resulting runtime
+    /// check (if any) for the kernel's compute nest.
+    pub fn new(kernel: &dyn Kernel, level: AlgorithmLevel) -> GuardedHarness {
+        let variant = variant_for(kernel, level);
+        let report = decision_report(kernel, level);
+        let check = report
+            .function(kernel.func_name())
+            .and_then(|f| f.last_nest_parallel())
+            .and_then(|l| l.decision.plan())
+            .and_then(|p| p.runtime_check.clone());
+        let executor = GuardedExecutor::new(check.as_ref())
+            .unwrap_or_else(|e| panic!("{}: check not executable: {e}", kernel.name()));
+        GuardedHarness {
+            variant,
+            check,
+            executor,
+        }
+    }
+
+    /// The compile-time decision.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// The structured check guarding the decision, if any.
+    pub fn check(&self) -> Option<&CheckExpr> {
+        self.check.as_ref()
+    }
+
+    /// Decision counters accumulated across runs.
+    pub fn stats(&self) -> GuardStats {
+        self.executor.stats()
+    }
+
+    /// Runs one invocation of the kernel under the guards.
+    pub fn run(
+        &self,
+        inst: &mut dyn KernelInstance,
+        pool: &ThreadPool,
+        sched: Schedule,
+    ) -> GuardedOutcome {
+        if self.variant == Variant::Serial {
+            // Nothing to guard: the analysis itself kept the loop serial.
+            inst.run_serial();
+            return GuardedOutcome {
+                variant: self.variant,
+                executed: Variant::Serial,
+                path: GuardPath::Serial,
+                reason: Some("analysis decision is serial".into()),
+                checksum: inst.checksum(),
+            };
+        }
+        let bindings = inst.runtime_bindings();
+        let verdict = {
+            let arrays = inst.index_arrays();
+            self.executor.decide(&bindings, &arrays, Some(pool))
+        };
+        let executed = match verdict.path {
+            GuardPath::Parallel => self.variant,
+            GuardPath::Serial => Variant::Serial,
+        };
+        inst.run(executed, pool, sched);
+        GuardedOutcome {
+            variant: self.variant,
+            executed,
+            path: verdict.path,
+            reason: verdict.reason,
+            checksum: inst.checksum(),
+        }
+    }
+}
+
+/// One-shot convenience: analyze, prepare a dataset, run once guarded.
+pub fn guarded_run(
+    kernel: &dyn Kernel,
+    dataset: &str,
+    level: AlgorithmLevel,
+    pool: &ThreadPool,
+    sched: Schedule,
+) -> GuardedOutcome {
+    let harness = GuardedHarness::new(kernel, level);
+    let mut inst = kernel.prepare(dataset);
+    harness.run(inst.as_mut(), pool, sched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsub_kernels::kernel_by_name;
+
+    #[test]
+    fn amgmk_guard_admits_parallel() {
+        let pool = ThreadPool::new(3);
+        let k = kernel_by_name("AMGmk").unwrap();
+        let out = guarded_run(
+            k.as_ref(),
+            "test",
+            AlgorithmLevel::New,
+            &pool,
+            Schedule::static_default(),
+        );
+        assert_eq!(out.path, GuardPath::Parallel);
+        assert_eq!(out.executed, Variant::OuterParallel);
+        assert!(out.reason.is_none());
+    }
+
+    #[test]
+    fn repeated_runs_hit_the_cache() {
+        let pool = ThreadPool::new(2);
+        let k = kernel_by_name("SDDMM").unwrap();
+        let harness = GuardedHarness::new(k.as_ref(), AlgorithmLevel::New);
+        assert!(harness.check().is_some());
+        let mut inst = k.prepare("test");
+        harness.run(inst.as_mut(), &pool, Schedule::dynamic_default());
+        inst.reset();
+        harness.run(inst.as_mut(), &pool, Schedule::dynamic_default());
+        let s = harness.stats();
+        assert_eq!(s.parallel_runs, 2);
+        assert!(
+            s.cache.hits >= 1,
+            "second run must revalidate from cache: {s:?}"
+        );
+    }
+
+    #[test]
+    fn serial_analysis_decision_short_circuits() {
+        let pool = ThreadPool::new(2);
+        // The IS histogram is serial at every level: no guard to consult.
+        let is = kernel_by_name("IS").unwrap();
+        let harness = GuardedHarness::new(is.as_ref(), AlgorithmLevel::New);
+        assert_eq!(harness.variant(), Variant::Serial);
+        assert!(harness.check().is_none());
+        let mut inst = is.prepare(is.datasets()[0]);
+        let out = harness.run(inst.as_mut(), &pool, Schedule::static_default());
+        assert_eq!(out.path, GuardPath::Serial);
+        assert_eq!(out.reason.as_deref(), Some("analysis decision is serial"));
+    }
+}

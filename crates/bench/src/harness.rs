@@ -2,9 +2,7 @@
 
 use subsub_core::AlgorithmLevel;
 use subsub_kernels::{common::serial_cost, Kernel, KernelInstance, Variant};
-use subsub_omprt::{
-    sim, time_once, time_repeat, Schedule, SimParams, ThreadPool,
-};
+use subsub_omprt::{sim, time_once, time_repeat, Schedule, SimParams, ThreadPool};
 
 /// One experiment configuration.
 #[derive(Debug, Clone, Copy)]
@@ -72,7 +70,11 @@ pub fn calibrate(inst: &mut dyn KernelInstance, fork_join_secs: f64) -> Calibrat
         mem_frac: inst.mem_bound_fraction(),
         ..SimParams::default()
     };
-    Calibration { serial_time, unit, params }
+    Calibration {
+        serial_time,
+        unit,
+        params,
+    }
 }
 
 /// Simulated execution time (seconds) of a variant at `cores` cores.
@@ -97,8 +99,7 @@ pub fn simulate_variant(
                         g.serial
                     } else {
                         g.serial
-                            + sim::simulate_parallel_for(&g.inner, cores, sched, &cal.params)
-                                .time
+                            + sim::simulate_parallel_for(&g.inner, cores, sched, &cal.params).time
                     }
                 })
                 .sum()

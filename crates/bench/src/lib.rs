@@ -15,9 +15,13 @@
 //!    multi-core numbers are simulated; see DESIGN.md).
 
 pub mod decide;
+pub mod guarded;
 pub mod harness;
+pub mod microbench;
 pub mod table;
 
 pub use decide::{decision_report, variant_for};
+pub use guarded::{guarded_run, GuardedHarness, GuardedOutcome};
 pub use harness::{calibrate, run_config, Config, Outcome};
+pub use microbench::bench;
 pub use table::Table;

@@ -1,0 +1,80 @@
+//! A minimal self-contained micro-benchmark harness (criterion substitute,
+//! so the workspace builds without registry access). Adaptive iteration
+//! counts, warmup, and median-of-samples reporting — enough fidelity for
+//! the relative comparisons the bench binaries make.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+/// Number of measured samples per benchmark.
+const SAMPLES: usize = 7;
+
+/// Times one closure and reports the median per-iteration latency.
+pub fn bench(name: &str, mut f: impl FnMut()) {
+    // Warmup + calibration: find an iteration count filling the sample
+    // window.
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let el = t.elapsed();
+        if el >= SAMPLE_TARGET / 4 || iters >= 1 << 20 {
+            let per = el.as_nanos().max(1) / iters as u128;
+            let want = (SAMPLE_TARGET.as_nanos() / per).max(1);
+            iters = want.min(1 << 20) as u64;
+            break;
+        }
+        iters *= 4;
+    }
+    let mut samples: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() / iters as u128
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[SAMPLES / 2];
+    println!(
+        "{name:<48} {:>12}/iter  ({iters} iters/sample)",
+        fmt_ns(median)
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        // Smoke test: must terminate quickly for a trivial closure.
+        let mut n = 0u64;
+        bench("noop", || n = n.wrapping_add(1));
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(5), "5 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 µs");
+        assert_eq!(fmt_ns(2_000_000), "2.000 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

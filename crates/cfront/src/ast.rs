@@ -367,7 +367,11 @@ impl CExpr {
 
     /// Convenience constructor for a binary node.
     pub fn bin(op: BinOp, lhs: CExpr, rhs: CExpr) -> CExpr {
-        CExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        CExpr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Peels a (possibly multi-dimensional) index chain, returning the base
@@ -402,9 +406,11 @@ impl CExpr {
             CExpr::Postfix { .. } => true,
             CExpr::Binary { lhs, rhs, .. } => lhs.has_side_effects() || rhs.has_side_effects(),
             CExpr::Assign { .. } => true,
-            CExpr::Ternary { cond, then_e, else_e } => {
-                cond.has_side_effects() || then_e.has_side_effects() || else_e.has_side_effects()
-            }
+            CExpr::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => cond.has_side_effects() || then_e.has_side_effects() || else_e.has_side_effects(),
             CExpr::Cast { expr, .. } => expr.has_side_effects(),
         }
     }
@@ -444,7 +450,10 @@ mod tests {
             operand: Box::new(CExpr::ident("m")),
         };
         assert!(post.has_side_effects());
-        let idx = CExpr::Index { base: Box::new(CExpr::ident("a")), index: Box::new(post) };
+        let idx = CExpr::Index {
+            base: Box::new(CExpr::ident("a")),
+            index: Box::new(post),
+        };
         assert!(idx.has_side_effects());
     }
 

@@ -60,17 +60,26 @@ impl ArrayVal {
     /// A zero-initialized integer array.
     pub fn int_zeros(dims: Vec<usize>) -> ArrayVal {
         let len = dims.iter().product();
-        ArrayVal { dims, data: vec![Value::Int(0); len] }
+        ArrayVal {
+            dims,
+            data: vec![Value::Int(0); len],
+        }
     }
 
     /// A 1-D integer array from a slice.
     pub fn from_ints(v: &[i64]) -> ArrayVal {
-        ArrayVal { dims: vec![v.len()], data: v.iter().map(|&x| Value::Int(x)).collect() }
+        ArrayVal {
+            dims: vec![v.len()],
+            data: v.iter().map(|&x| Value::Int(x)).collect(),
+        }
     }
 
     /// A 1-D double array from a slice.
     pub fn from_f64s(v: &[f64]) -> ArrayVal {
-        ArrayVal { dims: vec![v.len()], data: v.iter().map(|&x| Value::Double(x)).collect() }
+        ArrayVal {
+            dims: vec![v.len()],
+            data: v.iter().map(|&x| Value::Double(x)).collect(),
+        }
     }
 
     /// The integer contents of a 1-D array.
@@ -89,7 +98,9 @@ impl ArrayVal {
         let mut flat = 0usize;
         for (s, &d) in subs.iter().zip(&self.dims) {
             if *s < 0 || *s as usize >= d {
-                return Err(InterpError::new(format!("index {s} out of bounds (dim {d})")));
+                return Err(InterpError::new(format!(
+                    "index {s} out of bounds (dim {d})"
+                )));
             }
             flat = flat * d + *s as usize;
         }
@@ -197,7 +208,8 @@ impl Machine {
                         .iter()
                         .map(|e| self.eval(e, steps).map(|v| v.as_int() as usize))
                         .collect();
-                    self.arrays.insert(d.name.clone(), ArrayVal::int_zeros(dims?));
+                    self.arrays
+                        .insert(d.name.clone(), ArrayVal::int_zeros(dims?));
                 }
                 Ok(())
             }
@@ -206,7 +218,11 @@ impl Machine {
                 Ok(())
             }
             Stmt::Block(b) => self.exec_block(b, steps),
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 if self.eval(cond, steps)?.truthy() {
                     self.exec_stmt(then_branch, steps)
                 } else if let Some(e) = else_branch {
@@ -215,7 +231,12 @@ impl Machine {
                     Ok(())
                 }
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 match init {
                     ForInit::Empty => {}
                     ForInit::Decl(d) => self.exec_stmt(&Stmt::Decl(d.clone()), steps)?,
@@ -302,9 +323,7 @@ impl Machine {
                     "abs" | "labs" => {
                         return Ok(Value::Int(vals[0].as_int().abs()));
                     }
-                    other => {
-                        return Err(InterpError::new(format!("unsupported call {other}")))
-                    }
+                    other => return Err(InterpError::new(format!("unsupported call {other}"))),
                 };
                 Ok(Value::Double(out))
             }
@@ -405,7 +424,11 @@ impl Machine {
                 self.assign_to(lhs, value.clone(), steps)?;
                 Ok(value)
             }
-            CExpr::Ternary { cond, then_e, else_e } => {
+            CExpr::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 if self.eval(cond, steps)?.truthy() {
                     self.eval(then_e, steps)
                 } else {
@@ -438,12 +461,7 @@ impl Machine {
         Ok((name, idx?))
     }
 
-    fn assign_to(
-        &mut self,
-        lhs: &CExpr,
-        value: Value,
-        steps: &mut u64,
-    ) -> Result<(), InterpError> {
+    fn assign_to(&mut self, lhs: &CExpr, value: Value, steps: &mut u64) -> Result<(), InterpError> {
         match lhs {
             CExpr::Ident(n) => {
                 self.scalars.insert(n.clone(), value);
@@ -521,10 +539,9 @@ mod tests {
 
     #[test]
     fn float_arithmetic_and_calls() {
-        let m = run_with(
-            "void f(double *y) { y[0] = exp(0.0) + sqrt(4.0); }",
-            |m| m.set_array("y", ArrayVal::from_f64s(&[0.0])),
-        );
+        let m = run_with("void f(double *y) { y[0] = exp(0.0) + sqrt(4.0); }", |m| {
+            m.set_array("y", ArrayVal::from_f64s(&[0.0]))
+        });
         assert!((m.array("y").unwrap().data[0].as_f64() - 3.0).abs() < 1e-12);
     }
 
@@ -538,10 +555,7 @@ mod tests {
 
     #[test]
     fn compound_assign_and_postfix() {
-        let m = run_with(
-            "void f() { int x; int y; x = 3; x += 4; y = x++; }",
-            |_| {},
-        );
+        let m = run_with("void f() { int x; int y; x = 3; x += 4; y = x++; }", |_| {});
         assert_eq!(m.scalar("x").unwrap().as_int(), 8);
         assert_eq!(m.scalar("y").unwrap().as_int(), 7);
     }

@@ -98,7 +98,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     i += 2;
                     loop {
                         if i + 1 >= bytes.len() {
-                            return Err(LexError { msg: "unterminated comment".into(), line });
+                            return Err(LexError {
+                                msg: "unterminated comment".into(),
+                                line,
+                            });
                         }
                         if bytes[i] as char == '\n' {
                             line += 1;
@@ -122,12 +125,17 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             let text = &src[start..i];
             if let Some(rest) = text.strip_prefix("#pragma") {
-                out.push(Token { kind: TokenKind::Pragma(rest.trim().to_string()), line });
+                out.push(Token {
+                    kind: TokenKind::Pragma(rest.trim().to_string()),
+                    line,
+                });
             }
             continue;
         }
         // Numbers.
-        if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) {
+        if c.is_ascii_digit()
+            || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit())
+        {
             let start = i;
             let mut is_float = false;
             while i < bytes.len() {
@@ -181,19 +189,31 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             {
                 i += 1;
             }
-            out.push(Token { kind: TokenKind::Ident(src[start..i].to_string()), line });
+            out.push(Token {
+                kind: TokenKind::Ident(src[start..i].to_string()),
+                line,
+            });
             continue;
         }
         // Punctuation (maximal munch).
         let rest = &src[i..];
         if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) {
-            out.push(Token { kind: TokenKind::Punct(p), line });
+            out.push(Token {
+                kind: TokenKind::Punct(p),
+                line,
+            });
             i += p.len();
             continue;
         }
-        return Err(LexError { msg: format!("unexpected character {c:?}"), line });
+        return Err(LexError {
+            msg: format!("unexpected character {c:?}"),
+            line,
+        });
     }
-    out.push(Token { kind: TokenKind::Eof, line });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -233,7 +253,10 @@ mod tests {
     #[test]
     fn comments_skipped() {
         let ks = kinds("a /* comment \n more */ = 1; // trailing\nb = 2;");
-        assert_eq!(ks.iter().filter(|k| matches!(k, TokenKind::Int(_))).count(), 2);
+        assert_eq!(
+            ks.iter().filter(|k| matches!(k, TokenKind::Int(_))).count(),
+            2
+        );
     }
 
     #[test]
@@ -241,7 +264,13 @@ mod tests {
         let ks = kinds("x = 1.5; y = 2e3; z = 3.0f;");
         let floats: Vec<f64> = ks
             .iter()
-            .filter_map(|k| if let TokenKind::Float(v) = k { Some(*v) } else { None })
+            .filter_map(|k| {
+                if let TokenKind::Float(v) = k {
+                    Some(*v)
+                } else {
+                    None
+                }
+            })
             .collect();
         assert_eq!(floats, vec![1.5, 2000.0, 3.0]);
     }

@@ -30,14 +30,20 @@ struct Parser {
 
 /// Parses a full translation unit.
 pub fn parse_program(src: &str) -> PResult<Program> {
-    let toks = lex(src).map_err(|e| ParseError { msg: e.msg, line: e.line })?;
+    let toks = lex(src).map_err(|e| ParseError {
+        msg: e.msg,
+        line: e.line,
+    })?;
     let mut p = Parser { toks, pos: 0 };
     p.program()
 }
 
 /// Parses a single statement (for tests and embedded snippets).
 pub fn parse_stmt(src: &str) -> PResult<Stmt> {
-    let toks = lex(src).map_err(|e| ParseError { msg: e.msg, line: e.line })?;
+    let toks = lex(src).map_err(|e| ParseError {
+        msg: e.msg,
+        line: e.line,
+    })?;
     let mut p = Parser { toks, pos: 0 };
     let s = p.statement()?;
     p.expect_eof()?;
@@ -46,7 +52,10 @@ pub fn parse_stmt(src: &str) -> PResult<Stmt> {
 
 /// Parses a single expression (for tests and embedded snippets).
 pub fn parse_expr(src: &str) -> PResult<CExpr> {
-    let toks = lex(src).map_err(|e| ParseError { msg: e.msg, line: e.line })?;
+    let toks = lex(src).map_err(|e| ParseError {
+        msg: e.msg,
+        line: e.line,
+    })?;
     let mut p = Parser { toks, pos: 0 };
     let e = p.expr()?;
     p.expect_eof()?;
@@ -71,7 +80,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
-        Err(ParseError { msg: msg.into(), line: self.line() })
+        Err(ParseError {
+            msg: msg.into(),
+            line: self.line(),
+        })
     }
 
     fn eat_punct(&mut self, p: &str) -> bool {
@@ -139,6 +151,7 @@ impl Parser {
         }
     }
 
+    #[allow(clippy::while_let_loop)]
     fn parse_type(&mut self) -> PResult<Type> {
         // Consume qualifiers then one base type keyword (possibly "long long").
         let mut ty = None;
@@ -172,7 +185,8 @@ impl Parser {
                 },
                 _ => break,
             }
-            if ty.is_some() && !matches!(self.peek(), TokenKind::Ident(s) if s == "int" || s == "long")
+            if ty.is_some()
+                && !matches!(self.peek(), TokenKind::Ident(s) if s == "int" || s == "long")
             {
                 break;
             }
@@ -203,8 +217,18 @@ impl Parser {
                 self.expect_punct("]")?;
                 dims.push(d);
             }
-            let init = if self.eat_punct("=") { Some(self.assign_expr()?) } else { None };
-            out.push(Decl { ty: ty.clone(), pointer, name, dims, init });
+            let init = if self.eat_punct("=") {
+                Some(self.assign_expr()?)
+            } else {
+                None
+            };
+            out.push(Decl {
+                ty: ty.clone(),
+                pointer,
+                name,
+                dims,
+                init,
+            });
             if !self.eat_punct(",") {
                 break;
             }
@@ -218,7 +242,10 @@ impl Parser {
     // ------------------------------------------------------------------
 
     fn program(&mut self) -> PResult<Program> {
-        let mut prog = Program { globals: Vec::new(), funcs: Vec::new() };
+        let mut prog = Program {
+            globals: Vec::new(),
+            funcs: Vec::new(),
+        };
         loop {
             match self.peek() {
                 TokenKind::Eof => break,
@@ -239,9 +266,18 @@ impl Parser {
                             self.expect_punct("]")?;
                             dims.push(d);
                         }
-                        let init =
-                            if self.eat_punct("=") { Some(self.assign_expr()?) } else { None };
-                        prog.globals.push(Decl { ty: ty.clone(), pointer, name, dims, init });
+                        let init = if self.eat_punct("=") {
+                            Some(self.assign_expr()?)
+                        } else {
+                            None
+                        };
+                        prog.globals.push(Decl {
+                            ty: ty.clone(),
+                            pointer,
+                            name,
+                            dims,
+                            init,
+                        });
                         while self.eat_punct(",") {
                             let pointer = self.pointer_depth();
                             let name = self.expect_ident()?;
@@ -251,9 +287,18 @@ impl Parser {
                                 self.expect_punct("]")?;
                                 dims.push(d);
                             }
-                            let init =
-                                if self.eat_punct("=") { Some(self.assign_expr()?) } else { None };
-                            prog.globals.push(Decl { ty: ty.clone(), pointer, name, dims, init });
+                            let init = if self.eat_punct("=") {
+                                Some(self.assign_expr()?)
+                            } else {
+                                None
+                            };
+                            prog.globals.push(Decl {
+                                ty: ty.clone(),
+                                pointer,
+                                name,
+                                dims,
+                                init,
+                            });
                         }
                         self.expect_punct(";")?;
                     }
@@ -284,7 +329,12 @@ impl Parser {
                             dims.push(Some(d));
                         }
                     }
-                    params.push(Param { ty, pointer, name: pname, dims });
+                    params.push(Param {
+                        ty,
+                        pointer,
+                        name: pname,
+                        dims,
+                    });
                 }
                 if !self.eat_punct(",") {
                     break;
@@ -293,7 +343,12 @@ impl Parser {
             self.expect_punct(")")?;
         }
         let body = self.block()?;
-        Ok(Function { ret, name, params, body })
+        Ok(Function {
+            ret,
+            name,
+            params,
+            body,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -384,7 +439,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(Stmt::If { cond, then_branch, else_branch })
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        })
     }
 
     fn for_stmt(&mut self) -> PResult<Stmt> {
@@ -396,9 +455,19 @@ impl Parser {
             let ty = self.parse_type()?;
             let pointer = self.pointer_depth();
             let name = self.expect_ident()?;
-            let init = if self.eat_punct("=") { Some(self.assign_expr()?) } else { None };
+            let init = if self.eat_punct("=") {
+                Some(self.assign_expr()?)
+            } else {
+                None
+            };
             self.expect_punct(";")?;
-            ForInit::Decl(Decl { ty, pointer, name, dims: Vec::new(), init })
+            ForInit::Decl(Decl {
+                ty,
+                pointer,
+                name,
+                dims: Vec::new(),
+                init,
+            })
         } else {
             let e = self.expr()?;
             self.expect_punct(";")?;
@@ -418,7 +487,12 @@ impl Parser {
         };
         self.expect_punct(")")?;
         let body = Box::new(self.statement()?);
-        Ok(Stmt::For { init, cond, step, body })
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        })
     }
 
     fn while_stmt(&mut self) -> PResult<Stmt> {
@@ -453,7 +527,11 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let rhs = self.assign_expr()?; // right-associative
-            Ok(CExpr::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+            Ok(CExpr::Assign {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
         } else {
             Ok(lhs)
         }
@@ -516,11 +594,17 @@ impl Parser {
         match self.peek() {
             TokenKind::Punct("-") => {
                 self.bump();
-                Ok(CExpr::Unary { op: UnOp::Neg, operand: Box::new(self.unary()?) })
+                Ok(CExpr::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(self.unary()?),
+                })
             }
             TokenKind::Punct("!") => {
                 self.bump();
-                Ok(CExpr::Unary { op: UnOp::Not, operand: Box::new(self.unary()?) })
+                Ok(CExpr::Unary {
+                    op: UnOp::Not,
+                    operand: Box::new(self.unary()?),
+                })
             }
             TokenKind::Punct("+") => {
                 self.bump();
@@ -528,11 +612,17 @@ impl Parser {
             }
             TokenKind::Punct("++") => {
                 self.bump();
-                Ok(CExpr::Unary { op: UnOp::PreInc, operand: Box::new(self.unary()?) })
+                Ok(CExpr::Unary {
+                    op: UnOp::PreInc,
+                    operand: Box::new(self.unary()?),
+                })
             }
             TokenKind::Punct("--") => {
                 self.bump();
-                Ok(CExpr::Unary { op: UnOp::PreDec, operand: Box::new(self.unary()?) })
+                Ok(CExpr::Unary {
+                    op: UnOp::PreDec,
+                    operand: Box::new(self.unary()?),
+                })
             }
             TokenKind::Punct("(") => {
                 // Either a cast or a parenthesized expression.
@@ -543,7 +633,10 @@ impl Parser {
                     let _ptr = self.pointer_depth();
                     if self.eat_punct(")") {
                         let inner = self.unary()?;
-                        return Ok(CExpr::Cast { ty, expr: Box::new(inner) });
+                        return Ok(CExpr::Cast {
+                            ty,
+                            expr: Box::new(inner),
+                        });
                     }
                 }
                 self.pos = save;
@@ -561,15 +654,24 @@ impl Parser {
                     self.bump();
                     let ix = self.expr()?;
                     self.expect_punct("]")?;
-                    e = CExpr::Index { base: Box::new(e), index: Box::new(ix) };
+                    e = CExpr::Index {
+                        base: Box::new(e),
+                        index: Box::new(ix),
+                    };
                 }
                 TokenKind::Punct("++") => {
                     self.bump();
-                    e = CExpr::Postfix { op: PostOp::PostInc, operand: Box::new(e) };
+                    e = CExpr::Postfix {
+                        op: PostOp::PostInc,
+                        operand: Box::new(e),
+                    };
                 }
                 TokenKind::Punct("--") => {
                     self.bump();
-                    e = CExpr::Postfix { op: PostOp::PostDec, operand: Box::new(e) };
+                    e = CExpr::Postfix {
+                        op: PostOp::PostDec,
+                        operand: Box::new(e),
+                    };
                 }
                 _ => break,
             }
@@ -649,7 +751,11 @@ mod tests {
     fn parse_simple_assignment() {
         let e = parse_expr("a = b + 2 * c").unwrap();
         match e {
-            CExpr::Assign { op: AssignOp::Assign, rhs, .. } => match *rhs {
+            CExpr::Assign {
+                op: AssignOp::Assign,
+                rhs,
+                ..
+            } => match *rhs {
                 CExpr::Binary { op: BinOp::Add, .. } => {}
                 other => panic!("bad precedence: {other:?}"),
             },
@@ -687,7 +793,13 @@ mod tests {
         match s {
             Stmt::Expr(CExpr::Assign { lhs, .. }) => match *lhs {
                 CExpr::Index { index, .. } => {
-                    assert!(matches!(*index, CExpr::Postfix { op: PostOp::PostInc, .. }))
+                    assert!(matches!(
+                        *index,
+                        CExpr::Postfix {
+                            op: PostOp::PostInc,
+                            ..
+                        }
+                    ))
                 }
                 other => panic!("{other:?}"),
             },
@@ -699,7 +811,12 @@ mod tests {
     fn for_loop_with_decl_init() {
         let s = parse_stmt("for (int i = 0; i < n; i++) { a[i] = i; }").unwrap();
         match s {
-            Stmt::For { init: ForInit::Decl(d), cond: Some(_), step: Some(_), .. } => {
+            Stmt::For {
+                init: ForInit::Decl(d),
+                cond: Some(_),
+                step: Some(_),
+                ..
+            } => {
                 assert_eq!(d.name, "i");
             }
             other => panic!("{other:?}"),
@@ -710,7 +827,10 @@ mod tests {
     fn if_else_chain() {
         let s = parse_stmt("if (a < b) x = 1; else if (a > b) x = 2; else x = 3;").unwrap();
         match s {
-            Stmt::If { else_branch: Some(e), .. } => {
+            Stmt::If {
+                else_branch: Some(e),
+                ..
+            } => {
                 assert!(matches!(*e, Stmt::If { .. }));
             }
             other => panic!("{other:?}"),
@@ -779,7 +899,9 @@ mod tests {
     #[test]
     fn call_with_args() {
         let e = parse_expr("exp(-((x - t) * (x - t)) / sigma2)").unwrap();
-        assert!(matches!(e, CExpr::Call { ref name, ref args } if name == "exp" && args.len() == 1));
+        assert!(
+            matches!(e, CExpr::Call { ref name, ref args } if name == "exp" && args.len() == 1)
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ pub fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
             indent(out, level);
             out.push_str("}\n");
         }
-        Stmt::If { cond, then_branch, else_branch } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             indent(out, level);
             let _ = writeln!(out, "if ({}) {{", print_expr(cond));
             print_stmt_body(out, then_branch, level);
@@ -96,7 +100,12 @@ pub fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
                 }
             }
         }
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             indent(out, level);
             let init_s = match init {
                 ForInit::Empty => String::new(),
@@ -223,12 +232,26 @@ fn print_prec(e: &CExpr, min_prec: u8) -> String {
             }
         }
         CExpr::Binary { op, lhs, rhs } => {
-            format!("{} {} {}", print_prec(lhs, p), op.symbol(), print_prec(rhs, p + 1))
+            format!(
+                "{} {} {}",
+                print_prec(lhs, p),
+                op.symbol(),
+                print_prec(rhs, p + 1)
+            )
         }
         CExpr::Assign { op, lhs, rhs } => {
-            format!("{} {} {}", print_prec(lhs, 1), op.symbol(), print_prec(rhs, 0))
+            format!(
+                "{} {} {}",
+                print_prec(lhs, 1),
+                op.symbol(),
+                print_prec(rhs, 0)
+            )
         }
-        CExpr::Ternary { cond, then_e, else_e } => {
+        CExpr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
             format!(
                 "{} ? {} : {}",
                 print_prec(cond, 2),

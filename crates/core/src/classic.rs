@@ -238,8 +238,7 @@ impl<'a> Collector<'a> {
                 match s {
                     IrStmt::Assign(a) => {
                         if let LValue::Scalar(n) = &a.lhs {
-                            *counts.entry(n.clone()).or_insert(0) +=
-                                if in_branch { 2 } else { 1 };
+                            *counts.entry(n.clone()).or_insert(0) += if in_branch { 2 } else { 1 };
                         }
                     }
                     IrStmt::If { then_s, else_s, .. } => {
@@ -273,11 +272,15 @@ impl<'a> Collector<'a> {
     }
 
     fn mark_read(&mut self, name: &str) {
-        self.first.entry(name.to_string()).or_insert(FirstAccess::Read);
+        self.first
+            .entry(name.to_string())
+            .or_insert(FirstAccess::Read);
     }
 
     fn mark_write(&mut self, name: &str) {
-        self.first.entry(name.to_string()).or_insert(FirstAccess::Write);
+        self.first
+            .entry(name.to_string())
+            .or_insert(FirstAccess::Write);
         self.written.insert(name.to_string());
     }
 
@@ -285,7 +288,11 @@ impl<'a> Collector<'a> {
         for s in body {
             match s {
                 IrStmt::Assign(a) => self.visit_assign(a),
-                IrStmt::If { cond, then_s, else_s } => {
+                IrStmt::If {
+                    cond,
+                    then_s,
+                    else_s,
+                } => {
                     let c = self.conds.get(*cond);
                     for v in c.referenced_vars() {
                         if !self.types.is_array(&v) {
@@ -566,8 +573,9 @@ mod tests {
         // substituted subscript so the extended test can resolve it.
         assert_eq!(a.array_blockers.len(), 1);
         let acc = &a.array_blockers[0].accesses;
-        assert!(acc.iter().any(|x| x.is_write
-            && x.subs == vec![Expr::read("ind", vec![Expr::var("i")])]));
+        assert!(acc
+            .iter()
+            .any(|x| x.is_write && x.subs == vec![Expr::read("ind", vec![Expr::var("i")])]));
     }
 
     #[test]

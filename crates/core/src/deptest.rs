@@ -19,6 +19,7 @@ use crate::classic::{classic_analyze_loop, Access, ArrayDep, ClassicAnalysis};
 use crate::properties::{AlgorithmLevel, ArrayProperty, PropertyDb};
 use std::fmt;
 use subsub_ir::{CondTable, IrStmt, LoopIr, TypeEnv};
+use subsub_rtcheck::CheckExpr;
 use subsub_symbolic::{Atom, Expr, RangeEnv, Symbol, SymbolKind};
 
 /// The plan for a parallelizable loop.
@@ -31,8 +32,11 @@ pub struct ParallelPlan {
     pub private: Vec<String>,
     /// Reduction clauses (`+:tempx`).
     pub reductions: Vec<String>,
-    /// Runtime check guarding the parallel execution, if any.
-    pub runtime_check: Option<String>,
+    /// Runtime check guarding the parallel execution, if any — a
+    /// structured expression (see [`subsub_rtcheck::CheckExpr`]) that both
+    /// pretty-prints into the pragma and compiles to an executable
+    /// predicate.
+    pub runtime_check: Option<CheckExpr>,
     /// Array properties the decision relied on (display form).
     pub properties_used: Vec<String>,
 }
@@ -91,7 +95,7 @@ pub fn decide_loop(
             ),
         };
     }
-    let mut checks: Vec<String> = Vec::new();
+    let mut checks: Vec<CheckExpr> = Vec::new();
     let mut used: Vec<String> = Vec::new();
     for dep in &classic.array_blockers {
         if !level.analyzes_arrays() {
@@ -102,6 +106,9 @@ pub fn decide_loop(
         match resolve_array_dep(dep, l, props, env) {
             Some(res) => {
                 if let Some(c) = res.runtime_check {
+                    // Structural (canonical) equality, so algebraically
+                    // equal checks like `-1 + N <= m` and `N - 1 <= m`
+                    // collapse to one conjunct.
                     if !checks.contains(&c) {
                         checks.push(c);
                     }
@@ -117,7 +124,11 @@ pub fn decide_loop(
             }
         }
     }
-    let runtime_check = if checks.is_empty() { None } else { Some(checks.join(" && ")) };
+    let runtime_check = if checks.is_empty() {
+        None
+    } else {
+        Some(CheckExpr::and(checks))
+    };
     let mut pragma = String::from("omp parallel for");
     if let Some(c) = &runtime_check {
         pragma.push_str(&format!(" if({c})"));
@@ -139,7 +150,7 @@ pub fn decide_loop(
 
 struct Resolution {
     property: String,
-    runtime_check: Option<String>,
+    runtime_check: Option<CheckExpr>,
 }
 
 /// Attempts to discharge all conflicting accesses of one array using a
@@ -153,8 +164,7 @@ fn resolve_array_dep(
     if dep.accesses.iter().any(|a| !a.exact) {
         return None;
     }
-    try_gather_scatter(dep, l, props, env)
-        .or_else(|| try_segments(dep, l, props, env))
+    try_gather_scatter(dep, l, props, env).or_else(|| try_segments(dep, l, props, env))
 }
 
 /// Pattern 1: all accesses are `host[S[ρ…] + c]` through one monotone
@@ -201,7 +211,10 @@ fn try_gather_scatter(
         }
         check = range_containment_check(k, l, prop, env)?;
     }
-    Some(Resolution { property: prop.to_string(), runtime_check: check })
+    Some(Resolution {
+        property: prop.to_string(),
+        runtime_check: check,
+    })
 }
 
 /// Pattern 2: all accesses are `host[B[i + k] + jv]` where `jv` is the
@@ -224,7 +237,9 @@ fn try_segments(
         // subs = Read(B, [i + k]) + jv  (coefficient 1 on both parts).
         let s = &a.subs[0];
         let (b_array, b_indices, rest) = split_single_read(s)?;
-        let [b_index] = b_indices.as_slice() else { return None };
+        let [b_index] = b_indices.as_slice() else {
+            return None;
+        };
         let k = simple_offset(b_index, idx)?;
         // rest must be exactly one inner loop's index variable.
         let jv = rest.as_sym()?.clone();
@@ -247,7 +262,10 @@ fn try_segments(
         check = segment_containment_check(k, l, prop, env)?;
         prop_used = Some(prop.to_string());
     }
-    Some(Resolution { property: prop_used?, runtime_check: check })
+    Some(Resolution {
+        property: prop_used?,
+        runtime_check: check,
+    })
 }
 
 struct Indirect {
@@ -263,7 +281,11 @@ fn decompose_indirect(a: &Access) -> Option<Indirect> {
     }
     let (array, rho, rest) = split_single_read(&a.subs[0])?;
     let offset = rest_to_int(&rest)?;
-    Some(Indirect { sub_array: array, rho, offset })
+    Some(Indirect {
+        sub_array: array,
+        rho,
+        offset,
+    })
 }
 
 fn rest_to_int(e: &Expr) -> Option<i64> {
@@ -287,7 +309,9 @@ fn split_single_read(e: &Expr) -> Option<(String, Vec<Expr>, Expr)> {
                 if found.is_some() {
                     return None; // more than one read
                 }
-                let Atom::Read { array, indices } = reads[0] else { unreachable!() };
+                let Atom::Read { array, indices } = reads[0] else {
+                    unreachable!()
+                };
                 found = Some((array.to_string(), indices.clone()));
             }
             _ => return None,
@@ -315,7 +339,7 @@ fn range_containment_check(
     l: &LoopIr,
     prop: &ArrayProperty,
     env: &RangeEnv,
-) -> Option<Option<String>> {
+) -> Option<Option<CheckExpr>> {
     // Lower end.
     if !env.proves_le(&prop.index_range.lo, &Expr::int(k)) {
         return None;
@@ -330,7 +354,7 @@ fn segment_containment_check(
     l: &LoopIr,
     prop: &ArrayProperty,
     env: &RangeEnv,
-) -> Option<Option<String>> {
+) -> Option<Option<CheckExpr>> {
     if !env.proves_le(&prop.index_range.lo, &Expr::int(k)) {
         return None;
     }
@@ -344,17 +368,17 @@ fn containment_upper(
     hi_access: Expr,
     prop: &ArrayProperty,
     env: &RangeEnv,
-) -> Option<Option<String>> {
+) -> Option<Option<CheckExpr>> {
     let hi = &prop.index_range.hi;
     let has_postmax = hi.free_syms().iter().any(|s| s.kind == SymbolKind::PostMax);
     if has_postmax {
-        Some(Some(format!("{hi_access} <= {hi}")))
+        Some(Some(CheckExpr::le(hi_access, hi.clone())))
     } else if env.proves_le(&hi_access, hi) {
         Some(None)
     } else {
         // Not provable at compile time: still emit a runtime check on the
         // symbolic bound.
-        Some(Some(format!("{hi_access} <= {hi}")))
+        Some(Some(CheckExpr::le(hi_access, hi.clone())))
     }
 }
 
@@ -425,8 +449,8 @@ mod tests {
     fn amgmk_use_loop_parallel_under_new() {
         let d = decide(AMGMK, 1, AlgorithmLevel::New);
         let plan = d.plan().unwrap_or_else(|| panic!("expected parallel: {d}"));
-        let check = plan.runtime_check.as_deref().expect("runtime check");
-        assert_eq!(check, "num_rownnz - 1 <= irownnz_max");
+        let check = plan.runtime_check.as_ref().expect("runtime check");
+        assert_eq!(check.to_string(), "num_rownnz - 1 <= irownnz_max");
         assert!(plan.private.contains(&"jj".to_string()));
         assert!(plan.private.contains(&"m".to_string()));
         assert!(plan.private.contains(&"tempx".to_string()));
@@ -443,7 +467,11 @@ mod tests {
     /// recurrence on irownnz).
     #[test]
     fn amgmk_fill_loop_serial() {
-        for level in [AlgorithmLevel::Classic, AlgorithmLevel::Base, AlgorithmLevel::New] {
+        for level in [
+            AlgorithmLevel::Classic,
+            AlgorithmLevel::Base,
+            AlgorithmLevel::New,
+        ] {
             assert!(!decide(AMGMK, 0, level).is_parallel());
         }
     }
@@ -486,7 +514,13 @@ mod tests {
     fn sddmm_outer_parallel_under_new() {
         let d = decide(SDDMM, 1, AlgorithmLevel::New);
         let plan = d.plan().unwrap_or_else(|| panic!("expected parallel: {d}"));
-        assert_eq!(plan.runtime_check.as_deref(), Some("n_cols - 1 <= holder_max"));
+        assert_eq!(
+            plan.runtime_check
+                .as_ref()
+                .map(|c| c.to_string())
+                .as_deref(),
+            Some("n_cols - 1 <= holder_max")
+        );
     }
 
     #[test]
@@ -543,7 +577,11 @@ mod tests {
 
     #[test]
     fn is_histogram_serial_everywhere() {
-        for level in [AlgorithmLevel::Classic, AlgorithmLevel::Base, AlgorithmLevel::New] {
+        for level in [
+            AlgorithmLevel::Classic,
+            AlgorithmLevel::Base,
+            AlgorithmLevel::New,
+        ] {
             assert!(!decide(IS, 0, level).is_parallel());
         }
     }
@@ -668,6 +706,50 @@ mod tests {
             }
         "#;
         assert!(!decide(src, 1, AlgorithmLevel::Base).is_parallel());
+    }
+
+    /// Two host arrays gathered through the same subscript array generate
+    /// the containment check twice; structural dedup must collapse the
+    /// conjunction to a single conjunct appearing once in the pragma.
+    #[test]
+    fn equal_checks_dedup_to_one_conjunct() {
+        let src = r#"
+            void f(int num_rows, int num_rownnz, int *A_i, double *y_data,
+                   double *z_data, int *A_rownnz) {
+                int i; int adiag; int irownnz; int m;
+                irownnz = 0;
+                for (i = 0; i < num_rows; i++) {
+                    adiag = A_i[i+1] - A_i[i];
+                    if (adiag > 0)
+                        A_rownnz[irownnz++] = i;
+                }
+                for (i = 0; i < num_rownnz; i++) {
+                    m = A_rownnz[i];
+                    y_data[m] = y_data[m] + 1.0;
+                    z_data[m] = z_data[m] * 2.0;
+                }
+            }
+        "#;
+        let d = decide(src, 1, AlgorithmLevel::New);
+        let plan = d.plan().unwrap_or_else(|| panic!("expected parallel: {d}"));
+        let check = plan.runtime_check.as_ref().expect("runtime check");
+        assert_eq!(check.conjuncts().len(), 1, "dedup failed: {check}");
+        assert_eq!(plan.pragma.matches("irownnz_max").count(), 1);
+    }
+
+    /// The dedup is canonical, not textual: operand order and constant
+    /// placement don't defeat it.
+    #[test]
+    fn dedup_is_structural_not_textual() {
+        use subsub_rtcheck::parse_check;
+        let a = parse_check("-1 + num_rownnz <= irownnz_max").unwrap();
+        let b = parse_check("num_rownnz - 1 <= irownnz_max").unwrap();
+        assert_eq!(a, b);
+        let mut checks = vec![a];
+        if !checks.contains(&b) {
+            checks.push(b);
+        }
+        assert_eq!(CheckExpr::and(checks).conjuncts().len(), 1);
     }
 
     /// The property must not be used by a loop that precedes its

@@ -68,11 +68,7 @@ impl FunctionReport {
     /// subscript-array fill loops, so the last nest is the one whose
     /// performance the evaluation measures.
     pub fn last_nest(&self) -> &[LoopReport] {
-        let Some(start) = self
-            .loops
-            .iter()
-            .rposition(|l| l.depth == 0)
-        else {
+        let Some(start) = self.loops.iter().rposition(|l| l.depth == 0) else {
             return &self.loops;
         };
         // Pre-order ids: the last depth-0 loop's subtree is the suffix.
@@ -87,7 +83,8 @@ impl FunctionReport {
             .filter(|l| l.decision.is_parallel())
             .map(|l| l.depth)
             .min()?;
-        nest.iter().find(|l| l.depth == min_depth && l.decision.is_parallel())
+        nest.iter()
+            .find(|l| l.depth == min_depth && l.decision.is_parallel())
     }
 }
 
@@ -125,6 +122,25 @@ impl fmt::Display for ProgramReport {
                     l.decision,
                     indent = l.depth * 2
                 )?;
+                // Surface the executable form of the guard: which runtime
+                // scalars the compiled predicate will read.
+                if let Some(c) = l.decision.plan().and_then(|p| p.runtime_check.as_ref()) {
+                    let binds = match subsub_rtcheck::CompiledCheck::compile(c) {
+                        Ok(p) => p
+                            .required_symbols()
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        Err(e) => format!("not executable: {e}"),
+                    };
+                    writeln!(
+                        f,
+                        "  {:indent$}  runtime check: {c}  [binds: {binds}]",
+                        "",
+                        indent = l.depth * 2
+                    )?;
+                }
             }
         }
         Ok(())
@@ -151,8 +167,14 @@ pub fn analyze_program(src: &str, level: AlgorithmLevel) -> Result<ProgramReport
         };
         let mut loops = Vec::new();
         collect_with_depth(&lowered.body, 0, &mut |l: &LoopIr, depth| {
-            let decision =
-                decide_loop(l, &lowered.types, &lowered.conds, &fa.properties, level, &env);
+            let decision = decide_loop(
+                l,
+                &lowered.types,
+                &lowered.conds,
+                &fa.properties,
+                level,
+                &env,
+            );
             loops.push(LoopReport {
                 id: l.id,
                 index_var: l.original_index.clone(),
@@ -234,6 +256,8 @@ mod tests {
         assert!(text.contains("Cetus+NewAlgo"));
         assert!(text.contains("omp parallel for"));
         assert!(text.contains("irownnz_max"));
+        assert!(text.contains("runtime check: num_rownnz - 1 <= irownnz_max"));
+        assert!(text.contains("binds:"));
     }
 
     #[test]

@@ -37,3 +37,7 @@ pub use phase1::{phase1, Phase1Result};
 pub use phase2::{phase2, Phase2Result, SsrInfo};
 pub use properties::{AlgorithmLevel, ArrayProperty, Monotonicity, PropertyDb, PropertyKind};
 pub use value::{ArrayWrite, Guard, Svd, TaggedVal, Val, ValueSet};
+
+// The runtime-check IR lives in `subsub-rtcheck`; re-export the pieces a
+// consumer of [`ParallelPlan`] needs to inspect or execute the check.
+pub use subsub_rtcheck::{Bindings, CheckExpr, CompiledCheck};

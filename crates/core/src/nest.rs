@@ -16,9 +16,7 @@ use crate::phase2::{phase2, Phase2Result, SsrInfo};
 use crate::properties::{AlgorithmLevel, ArrayProperty, Monotonicity, PropertyDb};
 use crate::value::{Svd, Val};
 use std::collections::HashMap;
-use subsub_ir::{
-    check_loop_eligibility, IrStmt, LoopCfg, LoopId, LoweredFunction, LValue, Rhs,
-};
+use subsub_ir::{check_loop_eligibility, IrStmt, LValue, LoopCfg, LoopId, LoweredFunction, Rhs};
 use subsub_symbolic::{Expr, Range, RangeEnv, SymbolKind};
 
 /// Per-loop analysis outcome.
@@ -174,21 +172,22 @@ fn analyze_nest(
 
 /// Substitutes loop-entry values (`Λ_x` → value of `x` before the loop)
 /// into the loop's proven properties and publishes them in the DB.
-fn publish_loop_results(
-    id: LoopId,
-    state: &TopState,
-    out: &mut FunctionAnalysis,
-    env: &RangeEnv,
-) {
+fn publish_loop_results(id: LoopId, state: &TopState, out: &mut FunctionAnalysis, env: &RangeEnv) {
     let Some(la) = out.loops.get(&id) else { return };
     let props = la.loop_properties.clone();
     for p in props {
         let Some(index_range) = subst_entry_range(&p.index_range, state, env) else {
             continue;
         };
-        let value_range =
-            p.value_range.as_ref().and_then(|r| subst_entry_range(r, state, env));
-        let mut published = ArrayProperty { index_range, value_range, ..p };
+        let value_range = p
+            .value_range
+            .as_ref()
+            .and_then(|r| subst_entry_range(r, state, env));
+        let mut published = ArrayProperty {
+            index_range,
+            value_range,
+            ..p
+        };
 
         // The SDDMM idiom: the counted region starts at 1 because slot 0
         // was assigned directly before the loop (`col_ptr[0] = 0`). Extend
@@ -349,7 +348,11 @@ fn apply_top_assign(a: &subsub_ir::Assign, state: &mut TopState, out: &mut Funct
             let val = a.rhs.as_expr().and_then(Expr::as_int);
             match (idx.as_deref(), val) {
                 (Some([i]), Some(v)) => {
-                    state.const_writes.entry(name.clone()).or_default().push((*i, v));
+                    state
+                        .const_writes
+                        .entry(name.clone())
+                        .or_default()
+                        .push((*i, v));
                 }
                 _ => {
                     out.properties.invalidate(name);
@@ -362,17 +365,15 @@ fn apply_top_assign(a: &subsub_ir::Assign, state: &mut TopState, out: &mut Funct
 fn clobber_assigned(body: &[IrStmt], state: &mut TopState, out: &mut FunctionAnalysis) {
     for s in body {
         match s {
-            IrStmt::Assign(a) => {
-                match &a.lhs {
-                    LValue::Scalar(n) => {
-                        state.scalars.insert(n.clone(), Val::Bottom);
-                    }
-                    LValue::Array { name, .. } => {
-                        state.const_writes.remove(name);
-                        out.properties.invalidate(name);
-                    }
+            IrStmt::Assign(a) => match &a.lhs {
+                LValue::Scalar(n) => {
+                    state.scalars.insert(n.clone(), Val::Bottom);
                 }
-            }
+                LValue::Array { name, .. } => {
+                    state.const_writes.remove(name);
+                    out.properties.invalidate(name);
+                }
+            },
             IrStmt::If { then_s, else_s, .. } => {
                 clobber_assigned(then_s, state, out);
                 clobber_assigned(else_s, state, out);
@@ -422,7 +423,10 @@ mod tests {
         );
         assert_eq!(
             p.value_range,
-            Some(Range::new(Expr::int(0), Expr::var("num_rows") - Expr::int(1)))
+            Some(Range::new(
+                Expr::int(0),
+                Expr::var("num_rows") - Expr::int(1)
+            ))
         );
     }
 

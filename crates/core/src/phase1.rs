@@ -10,7 +10,7 @@
 
 use crate::collapse::CollapsedMap;
 use crate::value::{ArrayWrite, Guard, Svd, TaggedVal, Val, ValueSet};
-use subsub_ir::{CfgPayload, LoopCfg, LoopIr, LValue, Rhs, TypeEnv};
+use subsub_ir::{CfgPayload, LValue, LoopCfg, LoopIr, Rhs, TypeEnv};
 use subsub_symbolic::{Atom, Expr, Range, RangeEnv, Symbol, SymbolKind};
 
 /// Result of Phase-1 for one loop.
@@ -55,13 +55,12 @@ pub fn phase1(
         } else {
             let mut it = node.preds.iter();
             let first = out[it.next().unwrap().0].clone().expect("topo order");
-            it.fold(first, |acc, p| acc.merge(out[p.0].as_ref().expect("topo order")))
+            it.fold(first, |acc, p| {
+                acc.merge(out[p.0].as_ref().expect("topo order"))
+            })
         };
         match &node.payload {
-            CfgPayload::Entry
-            | CfgPayload::Branch(_)
-            | CfgPayload::Join
-            | CfgPayload::Exit => {}
+            CfgPayload::Entry | CfgPayload::Branch(_) | CfgPayload::Join | CfgPayload::Exit => {}
             CfgPayload::Assign(a) => transfer_assign(a, &node.guards, &mut input, env),
             CfgPayload::InnerLoop(id) => {
                 transfer_inner_loop(collapsed, *id, &node.guards, &mut input, env)
@@ -77,15 +76,13 @@ pub fn phase1(
     }
 
     let svd = out[cfg.exit.0].clone().expect("exit visited");
-    Phase1Result { svd, per_node: out.into_iter().map(Option::unwrap).collect() }
+    Phase1Result {
+        svd,
+        per_node: out.into_iter().map(Option::unwrap).collect(),
+    }
 }
 
-fn transfer_assign(
-    a: &subsub_ir::Assign,
-    guards: &Guard,
-    svd: &mut Svd,
-    env: &RangeEnv,
-) {
+fn transfer_assign(a: &subsub_ir::Assign, guards: &Guard, svd: &mut Svd, env: &RangeEnv) {
     let value = match &a.rhs {
         Rhs::Expr(e) if a.integer => eval_expr(e, svd, env),
         _ => ValueSet::bottom(),
@@ -104,7 +101,10 @@ fn transfer_assign(
                         // Unknown write location: the whole array becomes ⊥.
                         svd.arrays.insert(
                             name.clone(),
-                            vec![ArrayWrite { subs: Vec::new(), vals: ValueSet::bottom() }],
+                            vec![ArrayWrite {
+                                subs: Vec::new(),
+                                vals: ValueSet::bottom(),
+                            }],
                         );
                         return;
                     }
@@ -150,8 +150,11 @@ fn transfer_inner_loop(
         .arrays
         .iter()
         .map(|cw| {
-            let subs: Option<Vec<Range>> =
-                cw.subs.iter().map(|r| subst_entry_syms_range(r, svd, env)).collect();
+            let subs: Option<Vec<Range>> = cw
+                .subs
+                .iter()
+                .map(|r| subst_entry_syms_range(r, svd, env))
+                .collect();
             let val = match &cw.val {
                 Val::Bottom => ValueSet::bottom(),
                 Val::Range(r) => subst_entry_syms_range(r, svd, env)
@@ -170,7 +173,10 @@ fn transfer_inner_loop(
             None => {
                 svd.arrays.insert(
                     name,
-                    vec![ArrayWrite { subs: Vec::new(), vals: ValueSet::bottom() }],
+                    vec![ArrayWrite {
+                        subs: Vec::new(),
+                        vals: ValueSet::bottom(),
+                    }],
                 );
             }
         }
@@ -191,7 +197,10 @@ fn apply_guard(vs: ValueSet, guards: &Guard) -> ValueSet {
                         g.push(*e);
                     }
                 }
-                TaggedVal { guard: g, val: tv.val.clone() }
+                TaggedVal {
+                    guard: g,
+                    val: tv.val.clone(),
+                }
             })
             .collect(),
     )
@@ -262,8 +271,13 @@ pub fn eval_expr(e: &Expr, svd: &Svd, env: &RangeEnv) -> ValueSet {
             return ValueSet::from_entries(cur);
         };
         let entry = cur.remove(idx);
-        let Val::Range(r) = &entry.val else { unreachable!("only ranges have syms") };
-        let state = svd.scalars.get(sym.name.as_ref()).expect("checked by finder");
+        let Val::Range(r) = &entry.val else {
+            unreachable!("only ranges have syms")
+        };
+        let state = svd
+            .scalars
+            .get(sym.name.as_ref())
+            .expect("checked by finder");
         for sv in state.entries() {
             let guard = merge_guards(&entry.guard, &sv.guard);
             let val = match &sv.val {
@@ -379,7 +393,9 @@ mod tests {
         assert_eq!(writes.len(), 1);
         assert_eq!(writes[0].subs, vec![Range::point(Expr::lambda("m"))]);
         let vals = &writes[0].vals;
-        assert!(vals.untagged().any(|v| v.val == Val::point(Expr::lambda("ind"))));
+        assert!(vals
+            .untagged()
+            .any(|v| v.val == Val::point(Expr::lambda("ind"))));
         assert!(vals.tagged().any(|v| v.val == Val::point(Expr::var("j"))));
     }
 
@@ -402,8 +418,8 @@ mod tests {
             "#,
         );
         let adiag = &r.svd.scalars["adiag"];
-        let expected =
-            Expr::read("A_i", vec![Expr::int(1) + Expr::var("i")]) - Expr::read("A_i", vec![Expr::var("i")]);
+        let expected = Expr::read("A_i", vec![Expr::int(1) + Expr::var("i")])
+            - Expr::read("A_i", vec![Expr::var("i")]);
         assert_eq!(adiag.single_untagged(), Some(&Val::point(expected)));
         let w = &r.svd.arrays["A_rownnz"][0];
         assert_eq!(w.subs, vec![Range::point(Expr::lambda("irownnz"))]);
@@ -417,11 +433,17 @@ mod tests {
             "void f(int n, int *a) { int i; int p; p = 0; for (i=0;i<n;i++) { a[i] = p; p = p + 1; } }",
         );
         let p = &r.svd.scalars["p"];
-        assert_eq!(p.single_untagged(), Some(&Val::point(Expr::lambda("p") + Expr::int(1))));
+        assert_eq!(
+            p.single_untagged(),
+            Some(&Val::point(Expr::lambda("p") + Expr::int(1)))
+        );
         // a written at subscript i with value λ_p (p before increment).
         let w = &r.svd.arrays["a"][0];
         assert_eq!(w.subs, vec![Range::point(Expr::var("i"))]);
-        assert!(w.vals.untagged().any(|v| v.val == Val::point(Expr::lambda("p"))));
+        assert!(w
+            .vals
+            .untagged()
+            .any(|v| v.val == Val::point(Expr::lambda("p"))));
     }
 
     /// Reading an array already written this iteration yields ⊥.
@@ -471,7 +493,10 @@ mod tests {
             + Expr::int(5) * Expr::var("i")
             + Expr::int(25) * Expr::var("j")
             + Expr::int(4);
-        assert!(writes[0].vals.untagged().any(|v| v.val == Val::point(expected.clone())));
+        assert!(writes[0]
+            .vals
+            .untagged()
+            .any(|v| v.val == Val::point(expected.clone())));
     }
 
     /// Float accumulators are LVVs with ⊥ values.

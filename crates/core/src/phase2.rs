@@ -64,7 +64,10 @@ pub fn phase2(
     let mut env2 = env.clone();
     // The loop index ranges over [0 : N-1]; iteration counts are
     // non-negative by construction of the (normalized) loop.
-    env2.assume(idx.clone(), Interval::finite(Expr::int(0), n.clone() - Expr::int(1)));
+    env2.assume(
+        idx.clone(),
+        Interval::finite(Expr::int(0), n.clone() - Expr::int(1)),
+    );
     for s in n.free_syms() {
         if env2.interval_of(&s).is_none() {
             env2.assume(s, Interval::at_least(Expr::int(0)));
@@ -97,7 +100,11 @@ pub fn phase2(
     // ---- Aggregation & collapse ------------------------------------------
     let collapsed = collapse_loop(l, svd, &ssr_vars, &properties, &env2);
 
-    Phase2Result { ssr_vars, properties, collapsed }
+    Phase2Result {
+        ssr_vars,
+        properties,
+        collapsed,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -140,7 +147,11 @@ fn detect_ssr(name: &str, vs: &ValueSet, idx: &Symbol, env: &RangeEnv) -> Option
                 _ => return None,
             });
         }
-        let guard = if tagged.len() == 1 { Some(tagged[0].guard.clone()) } else { None };
+        let guard = if tagged.len() == 1 {
+            Some(tagged[0].guard.clone())
+        } else {
+            None
+        };
         Some(SsrInfo {
             name: name.to_string(),
             k_range: Range::new(Expr::int(0), hi?),
@@ -227,7 +238,9 @@ fn check_intermittent(
     // R_s: the counter must be incremented by exactly 1, conditionally.
     let r_s = svd.scalars.get(&s)?;
     let s_tagged: Vec<&TaggedVal> = r_s.tagged().collect();
-    let [s_inc] = s_tagged.as_slice() else { return None };
+    let [s_inc] = s_tagged.as_slice() else {
+        return None;
+    };
     let inc = s_inc.val.as_range()?.as_point()?;
     if inc.clone() - Expr::lambda(&s) != Expr::int(1) {
         return None;
@@ -236,7 +249,9 @@ fn check_intermittent(
 
     // R_v: the written value, tagged with the same condition.
     let v_tagged: Vec<&TaggedVal> = write.vals.tagged().collect();
-    let [v_entry] = v_tagged.as_slice() else { return None };
+    let [v_entry] = v_tagged.as_slice() else {
+        return None;
+    };
     let tag_v = &v_entry.guard;
     if !guards_equal(conds, tag_s, tag_v) {
         return None;
@@ -248,9 +263,9 @@ fn check_intermittent(
     // The value must be an SSR variable (the loop index qualifies) plus an
     // optional invariant constant.
     let v_expr = v_entry.val.as_range()?.as_point()?;
-    let (ssr, _const) = match_ssr_expr(&v_expr, ssr_vars, &l.index)?;
+    let (ssr, _const) = match_ssr_expr(v_expr, ssr_vars, &l.index)?;
 
-    let value_range = aggregate_value_expr(&v_expr, l, ssr_vars, env);
+    let value_range = aggregate_value_expr(v_expr, l, ssr_vars, env);
     let strict = ssr.strict;
     Some(ArrayProperty {
         array: array.to_string(),
@@ -461,9 +476,11 @@ fn subscript_range(sub: &Expr, l: &LoopIr, env: &RangeEnv) -> Option<Range> {
 fn guard_is_loop_variant(conds: &CondTable, guard: &Guard, l: &LoopIr, svd: &Svd) -> bool {
     !guard.is_empty()
         && guard.iter().all(|(cid, _)| {
-            conds.get(*cid).referenced_vars().iter().any(|v| {
-                v == l.index.name.as_ref() || svd.scalars.contains_key(v)
-            })
+            conds
+                .get(*cid)
+                .referenced_vars()
+                .iter()
+                .any(|v| v == l.index.name.as_ref() || svd.scalars.contains_key(v))
         })
 }
 
@@ -551,24 +568,24 @@ fn collapse_loop(
         } else {
             collapse_plain_scalar(vs, l, ssr_vars, env)
         };
-        out.scalars.push(CollapsedScalar { name: name.clone(), val });
+        out.scalars.push(CollapsedScalar {
+            name: name.clone(),
+            val,
+        });
     }
 
     // Arrays.
     for (array, writes) in &svd.arrays {
         // Property-backed intermittent arrays collapse to the counted
         // region with the aggregated value range.
-        if let Some(p) = properties.iter().find(|p| {
-            p.array == *array && matches!(p.kind, PropertyKind::Intermittent { .. })
-        }) {
+        if let Some(p) = properties
+            .iter()
+            .find(|p| p.array == *array && matches!(p.kind, PropertyKind::Intermittent { .. }))
+        {
             out.arrays.push(CollapsedArrayWrite {
                 array: array.clone(),
                 subs: vec![p.index_range.clone()],
-                val: p
-                    .value_range
-                    .clone()
-                    .map(Val::Range)
-                    .unwrap_or(Val::Bottom),
+                val: p.value_range.clone().map(Val::Range).unwrap_or(Val::Bottom),
             });
             continue;
         }
@@ -593,21 +610,22 @@ fn collapse_loop(
         }
         let merged = try_merge_writes(aggregated, env);
         for (subs, val) in merged {
-            out.arrays.push(CollapsedArrayWrite { array: array.clone(), subs, val });
+            out.arrays.push(CollapsedArrayWrite {
+                array: array.clone(),
+                subs,
+                val,
+            });
         }
     }
     out
 }
 
-fn collapse_plain_scalar(
-    vs: &ValueSet,
-    l: &LoopIr,
-    ssr_vars: &[SsrInfo],
-    env: &RangeEnv,
-) -> Val {
+fn collapse_plain_scalar(vs: &ValueSet, l: &LoopIr, ssr_vars: &[SsrInfo], env: &RangeEnv) -> Val {
     let mut parts = Vec::new();
     for tv in vs.entries() {
-        let Val::Range(r) = &tv.val else { return Val::Bottom };
+        let Val::Range(r) = &tv.val else {
+            return Val::Bottom;
+        };
         match aggregate_value_range(r, l, ssr_vars, env) {
             Some(r) => parts.push(r),
             None => return Val::Bottom,
@@ -640,7 +658,9 @@ fn aggregate_write(
     // (unchanged element) does not contribute a new value.
     let mut parts = Vec::new();
     for tv in w.vals.entries() {
-        let Val::Range(r) = &tv.val else { return Some((subs, Val::Bottom)) };
+        let Val::Range(r) = &tv.val else {
+            return Some((subs, Val::Bottom));
+        };
         if let Some(sym) = r.as_point().and_then(Expr::as_sym) {
             if sym.kind == SymbolKind::Lambda {
                 // λ of the array itself or an unresolved scalar: if it is
@@ -670,10 +690,7 @@ fn aggregate_write(
 /// one — whose subscripts are contiguous constants — merge into one write
 /// with that dimension spanning the constants and the value hull, when the
 /// hull is provable.
-fn try_merge_writes(
-    writes: Vec<(Vec<Range>, Val)>,
-    env: &RangeEnv,
-) -> Vec<(Vec<Range>, Val)> {
+fn try_merge_writes(writes: Vec<(Vec<Range>, Val)>, env: &RangeEnv) -> Vec<(Vec<Range>, Val)> {
     if writes.len() < 2 {
         return writes;
     }
@@ -707,10 +724,8 @@ fn try_merge_writes(
             continue 'dims;
         }
         // Value hull must be provable.
-        let ranges: Option<Vec<Range>> = writes
-            .iter()
-            .map(|(_, v)| v.as_range().cloned())
-            .collect();
+        let ranges: Option<Vec<Range>> =
+            writes.iter().map(|(_, v)| v.as_range().cloned()).collect();
         let Some(ranges) = ranges else { continue 'dims };
         let Some(hull) = subsub_symbolic::simplify::hull(&ranges, env) else {
             continue 'dims;
@@ -758,7 +773,11 @@ mod tests {
     #[test]
     fn amgmk_intermittent_sma() {
         let r = analyze_first_loop(AMGMK_FILL, AlgorithmLevel::New);
-        let p = r.properties.iter().find(|p| p.array == "A_rownnz").expect("property");
+        let p = r
+            .properties
+            .iter()
+            .find(|p| p.array == "A_rownnz")
+            .expect("property");
         assert!(p.monotonicity.is_strict());
         assert!(matches!(&p.kind, PropertyKind::Intermittent { counter } if counter == "irownnz"));
         assert_eq!(
@@ -768,14 +787,26 @@ mod tests {
         // Value range: [0 : num_rows - 1].
         assert_eq!(
             p.value_range,
-            Some(Range::new(Expr::int(0), Expr::var("num_rows") - Expr::int(1)))
+            Some(Range::new(
+                Expr::int(0),
+                Expr::var("num_rows") - Expr::int(1)
+            ))
         );
         // irownnz is a conditional SSR with k ∈ [0:1].
-        let ssr = r.ssr_vars.iter().find(|s| s.name == "irownnz").expect("ssr");
+        let ssr = r
+            .ssr_vars
+            .iter()
+            .find(|s| s.name == "irownnz")
+            .expect("ssr");
         assert_eq!(ssr.k_range, Range::ints(0, 1));
         assert!(!ssr.strict);
         // Collapsed scalar: irownnz = [Λ : Λ + num_rows].
-        let cs = r.collapsed.scalars.iter().find(|c| c.name == "irownnz").unwrap();
+        let cs = r
+            .collapsed
+            .scalars
+            .iter()
+            .find(|c| c.name == "irownnz")
+            .unwrap();
         assert_eq!(
             cs.val,
             Val::Range(Range::new(
@@ -784,7 +815,12 @@ mod tests {
             ))
         );
         // adiag collapses to ⊥ (paper: adiag = ⊥).
-        let ad = r.collapsed.scalars.iter().find(|c| c.name == "adiag").unwrap();
+        let ad = r
+            .collapsed
+            .scalars
+            .iter()
+            .find(|c| c.name == "adiag")
+            .unwrap();
         assert_eq!(ad.val, Val::Bottom);
     }
 
@@ -814,11 +850,18 @@ mod tests {
             "#,
             AlgorithmLevel::New,
         );
-        let p = r.properties.iter().find(|p| p.array == "col_ptr").expect("property");
+        let p = r
+            .properties
+            .iter()
+            .find(|p| p.array == "col_ptr")
+            .expect("property");
         assert!(p.monotonicity.is_strict());
         assert_eq!(
             p.value_range,
-            Some(Range::new(Expr::int(0), Expr::var("nonzeros") - Expr::int(1)))
+            Some(Range::new(
+                Expr::int(0),
+                Expr::var("nonzeros") - Expr::int(1)
+            ))
         );
     }
 
@@ -830,10 +873,17 @@ mod tests {
             "void f(int n, int *a) { int i; int p; p = 0; for (i=0;i<n;i++) { a[i] = p; p = p + 2; } }",
             AlgorithmLevel::Base,
         );
-        let p = r.properties.iter().find(|p| p.array == "a").expect("property");
+        let p = r
+            .properties
+            .iter()
+            .find(|p| p.array == "a")
+            .expect("property");
         assert!(p.monotonicity.is_strict());
         assert!(matches!(p.kind, PropertyKind::Sra));
-        assert_eq!(p.index_range, Range::new(Expr::int(0), Expr::var("n") - Expr::int(1)));
+        assert_eq!(
+            p.index_range,
+            Range::new(Expr::int(0), Expr::var("n") - Expr::int(1))
+        );
     }
 
     /// Figure 2(b): the array self-recurrence a[i+1] = a[i] + k.
@@ -843,7 +893,11 @@ mod tests {
             "void f(int n, int *a) { int i; a[0] = 0; for (i=0;i<n;i++) { a[i+1] = a[i] + 3; } }",
             AlgorithmLevel::Base,
         );
-        let p = r.properties.iter().find(|p| p.array == "a").expect("property");
+        let p = r
+            .properties
+            .iter()
+            .find(|p| p.array == "a")
+            .expect("property");
         assert!(p.monotonicity.is_strict());
         // Monotone over [0:n]: the read anchor a[0] is included because
         // a[1] = a[0] + k implies a[0] <= a[1].
@@ -861,7 +915,11 @@ mod tests {
             }
         "#;
         let r = analyze_first_loop(src, AlgorithmLevel::Base);
-        let p = r.properties.iter().find(|p| p.array == "a").expect("property");
+        let p = r
+            .properties
+            .iter()
+            .find(|p| p.array == "a")
+            .expect("property");
         assert!(!p.monotonicity.is_strict());
     }
 
@@ -947,14 +1005,25 @@ mod tests {
         let env = RangeEnv::new();
         let mk = |c: i64, lo: i64, hi: i64| {
             (
-                vec![Range::point(Expr::var("iel")), Range::ints(c, c), Range::ints(0, 4)],
+                vec![
+                    Range::point(Expr::var("iel")),
+                    Range::ints(c, c),
+                    Range::ints(0, 4),
+                ],
                 Val::Range(Range::new(
                     Expr::entry("ntemp") + Expr::int(lo),
                     Expr::entry("ntemp") + Expr::int(hi),
                 )),
             )
         };
-        let writes = vec![mk(0, 4, 124), mk(1, 0, 120), mk(2, 20, 124), mk(3, 0, 104), mk(4, 100, 124), mk(5, 0, 24)];
+        let writes = vec![
+            mk(0, 4, 124),
+            mk(1, 0, 120),
+            mk(2, 20, 124),
+            mk(3, 0, 104),
+            mk(4, 100, 124),
+            mk(5, 0, 24),
+        ];
         let merged = try_merge_writes(writes, &env);
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].0[1], Range::ints(0, 5));
@@ -971,12 +1040,7 @@ mod tests {
     #[test]
     fn merge_writes_noncontiguous_kept() {
         let env = RangeEnv::new();
-        let mk = |c: i64| {
-            (
-                vec![Range::ints(c, c)],
-                Val::Range(Range::ints(0, 1)),
-            )
-        };
+        let mk = |c: i64| (vec![Range::ints(c, c)], Val::Range(Range::ints(0, 1)));
         let writes = vec![mk(0), mk(2)];
         let merged = try_merge_writes(writes, &env);
         assert_eq!(merged.len(), 2);

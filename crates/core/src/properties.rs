@@ -124,7 +124,9 @@ impl fmt::Display for ArrayProperty {
         write!(
             f,
             "{}[{}:{}]{}",
-            self.array, self.index_range.lo, self.index_range.hi,
+            self.array,
+            self.index_range.lo,
+            self.index_range.hi,
             self.monotonicity.suffix()
         )?;
         if self.dim > 0 {
@@ -193,14 +195,22 @@ mod tests {
             array: "A_rownnz".into(),
             monotonicity: Monotonicity::StrictlyMonotonic,
             dim: 0,
-            kind: PropertyKind::Intermittent { counter: "irownnz".into() },
+            kind: PropertyKind::Intermittent {
+                counter: "irownnz".into(),
+            },
             index_range: Range::new(Expr::int(0), Expr::post_max("irownnz")),
-            value_range: Some(Range::new(Expr::int(0), Expr::var("num_rows") - Expr::int(1))),
+            value_range: Some(Range::new(
+                Expr::int(0),
+                Expr::var("num_rows") - Expr::int(1),
+            )),
             defined_in: LoopId(0),
         };
         assert!(p.is_injective());
         assert_eq!(p.monotonicity.suffix(), "#SMA");
-        assert_eq!(p.to_string(), "A_rownnz[0:irownnz_max]#SMA = [0:num_rows - 1]");
+        assert_eq!(
+            p.to_string(),
+            "A_rownnz[0:irownnz_max]#SMA = [0:num_rows - 1]"
+        );
     }
 
     #[test]

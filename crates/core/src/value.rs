@@ -76,7 +76,10 @@ pub struct TaggedVal {
 impl TaggedVal {
     /// An unconditional value.
     pub fn plain(val: Val) -> TaggedVal {
-        TaggedVal { guard: Vec::new(), val }
+        TaggedVal {
+            guard: Vec::new(),
+            val,
+        }
     }
 
     /// A guarded value.
@@ -118,7 +121,9 @@ impl ValueSet {
 
     /// A set holding one unconditional value.
     pub fn single(val: Val) -> ValueSet {
-        ValueSet { vals: vec![TaggedVal::plain(val)] }
+        ValueSet {
+            vals: vec![TaggedVal::plain(val)],
+        }
     }
 
     /// A set holding one unconditional point expression.
@@ -209,7 +214,10 @@ impl ValueSet {
         ValueSet::from_entries(
             self.vals
                 .iter()
-                .map(|v| TaggedVal { guard: v.guard.clone(), val: v.val.subst_sym(sym, e) })
+                .map(|v| TaggedVal {
+                    guard: v.guard.clone(),
+                    val: v.val.subst_sym(sym, e),
+                })
                 .collect(),
         )
     }
@@ -217,8 +225,11 @@ impl ValueSet {
     /// The hull of all entry ranges when every comparison is provable;
     /// `None` if any entry is ⊥ or the hull is undecidable.
     pub fn hull(&self, env: &RangeEnv) -> Option<Range> {
-        let ranges: Option<Vec<Range>> =
-            self.vals.iter().map(|v| v.val.as_range().cloned()).collect();
+        let ranges: Option<Vec<Range>> = self
+            .vals
+            .iter()
+            .map(|v| v.val.as_range().cloned())
+            .collect();
         subsub_symbolic::simplify::hull(&ranges?, env)
     }
 }
@@ -350,12 +361,18 @@ fn merge_writes(name: &str, a: Vec<ArrayWrite>, b: Vec<ArrayWrite>) -> Vec<Array
     })));
     for w in a.iter() {
         match b.iter().find(|o| o.subs == w.subs) {
-            Some(o) => out.push(ArrayWrite { subs: w.subs.clone(), vals: w.vals.union(&o.vals) }),
+            Some(o) => out.push(ArrayWrite {
+                subs: w.subs.clone(),
+                vals: w.vals.union(&o.vals),
+            }),
             None => {
                 let mut vals = ValueSet::new();
                 vals.push(lambda.clone());
                 let merged = vals.union(&w.vals);
-                out.push(ArrayWrite { subs: w.subs.clone(), vals: merged });
+                out.push(ArrayWrite {
+                    subs: w.subs.clone(),
+                    vals: merged,
+                });
             }
         }
     }
@@ -366,7 +383,10 @@ fn merge_writes(name: &str, a: Vec<ArrayWrite>, b: Vec<ArrayWrite>) -> Vec<Array
         let mut vals = ValueSet::new();
         vals.push(lambda.clone());
         let merged = vals.union(&o.vals);
-        out.push(ArrayWrite { subs: o.subs.clone(), vals: merged });
+        out.push(ArrayWrite {
+            subs: o.subs.clone(),
+            vals: merged,
+        });
     }
     out
 }
@@ -402,7 +422,10 @@ mod tests {
         // then-branch writes ind[λ_m] = ⟨j⟩; else branch writes nothing.
         let mut then_svd = Svd::new();
         let mut vals = ValueSet::new();
-        vals.push(TaggedVal::tagged(vec![(CondId(0), true)], Val::point(Expr::var("j"))));
+        vals.push(TaggedVal::tagged(
+            vec![(CondId(0), true)],
+            Val::point(Expr::var("j")),
+        ));
         then_svd.record_write("ind", vec![Range::point(Expr::lambda("m"))], vals);
         let else_svd = Svd::new();
         let merged = then_svd.merge(&else_svd);
@@ -411,14 +434,17 @@ mod tests {
         // Value set now contains untagged λ_ind plus the tagged ⟨j⟩.
         let vs = &writes[0].vals;
         assert_eq!(vs.entries().len(), 2);
-        assert!(vs.untagged().any(|v| v.val == Val::point(Expr::lambda("ind"))));
+        assert!(vs
+            .untagged()
+            .any(|v| v.val == Val::point(Expr::lambda("ind"))));
         assert!(vs.has_tagged());
     }
 
     #[test]
     fn svd_merge_scalar_union() {
         let mut a = Svd::new();
-        a.scalars.insert("m".into(), ValueSet::point(Expr::lambda("m")));
+        a.scalars
+            .insert("m".into(), ValueSet::point(Expr::lambda("m")));
         let mut b = Svd::new();
         let mut vs = ValueSet::new();
         vs.push(TaggedVal::tagged(

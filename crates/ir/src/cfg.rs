@@ -81,7 +81,12 @@ impl LoopCfg {
         let entry = b.add(CfgPayload::Entry, &[], &[]);
         let last = b.chain(&l.body, entry, &[]);
         let exit = b.add(CfgPayload::Exit, &[last], &[]);
-        LoopCfg { loop_id: l.id, nodes: b.nodes, entry, exit }
+        LoopCfg {
+            loop_id: l.id,
+            nodes: b.nodes,
+            entry,
+            exit,
+        }
     }
 
     /// Node lookup.
@@ -156,7 +161,11 @@ impl Builder {
                 IrStmt::Assign(a) => self.add(CfgPayload::Assign(a.clone()), &[cur], guards),
                 IrStmt::Loop(l) => self.add(CfgPayload::InnerLoop(l.id), &[cur], guards),
                 IrStmt::Opaque(t) => self.add(CfgPayload::Opaque(t.clone()), &[cur], guards),
-                IrStmt::If { cond, then_s, else_s } => {
+                IrStmt::If {
+                    cond,
+                    then_s,
+                    else_s,
+                } => {
                     let branch = self.add(CfgPayload::Branch(*cond), &[cur], guards);
                     let mut tg = guards.to_vec();
                     tg.push((*cond, true));

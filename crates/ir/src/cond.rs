@@ -207,13 +207,21 @@ mod tests {
     fn tags_equal_by_id_and_structure() {
         let mut t = CondTable::new();
         let mk = || Cond {
-            kind: CondKind::Cmp { op: CmpOp::Gt, lhs: Expr::var("x"), rhs: Expr::int(0) },
+            kind: CondKind::Cmp {
+                op: CmpOp::Gt,
+                lhs: Expr::var("x"),
+                rhs: Expr::int(0),
+            },
             text: "x > 0".into(),
         };
         let a = t.push(mk());
         let b = t.push(mk());
         let c = t.push(Cond {
-            kind: CondKind::Cmp { op: CmpOp::Lt, lhs: Expr::var("x"), rhs: Expr::int(0) },
+            kind: CondKind::Cmp {
+                op: CmpOp::Lt,
+                lhs: Expr::var("x"),
+                rhs: Expr::int(0),
+            },
             text: "x < 0".into(),
         });
         assert!(t.tags_equal(a, a));

@@ -158,7 +158,11 @@ impl Lowerer {
                 },
             ),
             Stmt::Block(b) => self.scan_decls(b),
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.scan_decl_stmt(then_branch);
                 if let Some(e) = else_branch {
                     self.scan_decl_stmt(e);
@@ -168,7 +172,12 @@ impl Lowerer {
                 if let ForInit::Decl(d) = init {
                     self.types.insert(
                         &d.name,
-                        VarInfo { ty: d.ty.clone(), pointer: 0, array_dims: 0, local: true },
+                        VarInfo {
+                            ty: d.ty.clone(),
+                            pointer: 0,
+                            array_dims: 0,
+                            local: true,
+                        },
                     );
                 }
                 self.scan_decl_stmt(body);
@@ -184,7 +193,12 @@ impl Lowerer {
         let name = format!("_temp_{n}");
         self.types.insert(
             &name,
-            VarInfo { ty: Type::Int, pointer: 0, array_dims: 0, local: true },
+            VarInfo {
+                ty: Type::Int,
+                pointer: 0,
+                array_dims: 0,
+                local: true,
+            },
         );
         name
     }
@@ -221,7 +235,11 @@ impl Lowerer {
             }
             Stmt::Expr(e) => self.lower_expr_stmt(e, out),
             Stmt::Block(b) => out.extend(self.lower_block(b)),
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 if cond.has_side_effects() {
                     out.push(IrStmt::Opaque("if-condition with side effects".into()));
                     return;
@@ -232,12 +250,14 @@ impl Lowerer {
                     Some(e) => self.lower_stmts(std::slice::from_ref(e.as_ref())),
                     None => Vec::new(),
                 };
-                out.push(IrStmt::If { cond: cid, then_s, else_s });
+                out.push(IrStmt::If {
+                    cond: cid,
+                    then_s,
+                    else_s,
+                });
             }
             Stmt::For { .. } => self.lower_for(s, pragmas, out),
-            Stmt::While { .. } => {
-                out.push(IrStmt::Opaque("while loop (not normalizable)".into()))
-            }
+            Stmt::While { .. } => out.push(IrStmt::Opaque("while loop (not normalizable)".into())),
             Stmt::Return(_) => out.push(IrStmt::Opaque("return".into())),
             Stmt::Break => out.push(IrStmt::Opaque("break".into())),
             Stmt::Continue => out.push(IrStmt::Opaque("continue".into())),
@@ -297,10 +317,16 @@ impl Lowerer {
                 let delta = if *op == PostOp::PostInc { 1 } else { -1 };
                 self.lower_increment(operand, delta, out);
             }
-            CExpr::Unary { op: UnOp::PreInc, operand } => {
+            CExpr::Unary {
+                op: UnOp::PreInc,
+                operand,
+            } => {
                 self.lower_increment(operand, 1, out);
             }
-            CExpr::Unary { op: UnOp::PreDec, operand } => {
+            CExpr::Unary {
+                op: UnOp::PreDec,
+                operand,
+            } => {
                 self.lower_increment(operand, -1, out);
             }
             CExpr::Call { name, .. } => {
@@ -349,7 +375,10 @@ impl Lowerer {
                         Rhs::Opaque(_) => return None,
                     }
                 }
-                Some(LValue::Array { name: name.to_string(), subs: lowered })
+                Some(LValue::Array {
+                    name: name.to_string(),
+                    subs: lowered,
+                })
             }
             _ => None,
         }
@@ -392,11 +421,24 @@ impl Lowerer {
                 }));
                 Rhs::Expr(Expr::var(&tmp))
             }
-            CExpr::Unary { op: UnOp::PreInc | UnOp::PreDec, operand } => {
+            CExpr::Unary {
+                op: UnOp::PreInc | UnOp::PreDec,
+                operand,
+            } => {
                 let CExpr::Ident(name) = operand.as_ref() else {
                     return Rhs::Opaque("prefix inc on non-scalar".into());
                 };
-                let delta = if matches!(e, CExpr::Unary { op: UnOp::PreInc, .. }) { 1 } else { -1 };
+                let delta = if matches!(
+                    e,
+                    CExpr::Unary {
+                        op: UnOp::PreInc,
+                        ..
+                    }
+                ) {
+                    1
+                } else {
+                    -1
+                };
                 out.push(IrStmt::Assign(Assign {
                     lhs: LValue::Scalar(name.clone()),
                     rhs: Rhs::Expr(Expr::var(name) + Expr::int(delta)),
@@ -407,7 +449,10 @@ impl Lowerer {
                 }));
                 Rhs::Expr(Expr::var(name))
             }
-            CExpr::Unary { op: UnOp::Neg, operand } => match self.lower_value(operand, out) {
+            CExpr::Unary {
+                op: UnOp::Neg,
+                operand,
+            } => match self.lower_value(operand, out) {
                 Rhs::Expr(x) => Rhs::Expr(-x),
                 o => o,
             },
@@ -476,7 +521,9 @@ impl Lowerer {
     }
 
     fn try_lower_cmp(&mut self, e: &CExpr) -> Option<CondKind> {
-        let CExpr::Binary { op, lhs, rhs } = e else { return None };
+        let CExpr::Binary { op, lhs, rhs } = e else {
+            return None;
+        };
         let cmp = match op {
             BinOp::Lt => CmpOp::Lt,
             BinOp::Le => CmpOp::Le,
@@ -493,7 +540,11 @@ impl Lowerer {
             return None; // side effects in conditions are not supported
         }
         match (l, r) {
-            (Rhs::Expr(a), Rhs::Expr(b)) => Some(CondKind::Cmp { op: cmp, lhs: a, rhs: b }),
+            (Rhs::Expr(a), Rhs::Expr(b)) => Some(CondKind::Cmp {
+                op: cmp,
+                lhs: a,
+                rhs: b,
+            }),
             _ => None,
         }
     }
@@ -501,7 +552,15 @@ impl Lowerer {
     /// Lowers a `for` statement into a normalized [`LoopIr`], or an
     /// [`IrStmt::Opaque`] when the loop shape is not normalizable.
     fn lower_for(&mut self, s: &Stmt, pragmas: Vec<String>, out: &mut Vec<IrStmt>) {
-        let Stmt::For { init, cond, step, body } = s else { unreachable!() };
+        let Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } = s
+        else {
+            unreachable!()
+        };
         let id = LoopId(self.loop_counter);
         self.loop_counter += 1;
 
@@ -545,7 +604,9 @@ impl Lowerer {
         // source loop was not already 0-based stride-1.
         let body_ast: Block = match body.as_ref() {
             Stmt::Block(b) => b.clone(),
-            other => Block { stmts: vec![other.clone()] },
+            other => Block {
+                stmts: vec![other.clone()],
+            },
         };
         let needs_subst = !(lo_e.is_zero() && stride == 1);
         let body_ast = if needs_subst {
@@ -570,7 +631,12 @@ impl Lowerer {
 
         self.types.insert(
             &var,
-            VarInfo { ty: Type::Int, pointer: 0, array_dims: 0, local: true },
+            VarInfo {
+                ty: Type::Int,
+                pointer: 0,
+                array_dims: 0,
+                local: true,
+            },
         );
         out.push(IrStmt::Loop(Box::new(LoopIr {
             id,
@@ -586,7 +652,9 @@ impl Lowerer {
 
 /// Detects `l = l op e` (commutative ops also match `l = e op l`).
 fn detect_compound(lhs: &CExpr, rhs_full: &CExpr) -> Option<BinOp> {
-    let CExpr::Binary { op, lhs: a, rhs: b } = rhs_full else { return None };
+    let CExpr::Binary { op, lhs: a, rhs: b } = rhs_full else {
+        return None;
+    };
     match op {
         BinOp::Add | BinOp::Mul => {
             if a.as_ref() == lhs || b.as_ref() == lhs {
@@ -613,7 +681,11 @@ fn assigns_var(body: &[IrStmt], var: &str) -> bool {
 fn parse_for_init(init: &ForInit) -> Option<(String, CExpr)> {
     match init {
         ForInit::Decl(d) => Some((d.name.clone(), d.init.clone()?)),
-        ForInit::Expr(CExpr::Assign { op: AssignOp::Assign, lhs, rhs }) => match lhs.as_ref() {
+        ForInit::Expr(CExpr::Assign {
+            op: AssignOp::Assign,
+            lhs,
+            rhs,
+        }) => match lhs.as_ref() {
             CExpr::Ident(n) => Some((n.clone(), (**rhs).clone())),
             _ => None,
         },
@@ -637,14 +709,32 @@ fn parse_for_cond(cond: Option<&CExpr>, var: &str) -> Option<(CExpr, bool)> {
 fn parse_for_step(step: Option<&CExpr>, var: &str) -> Option<i64> {
     let is_var = |e: &CExpr| matches!(e, CExpr::Ident(n) if n == var);
     match step? {
-        CExpr::Postfix { op: PostOp::PostInc, operand } if is_var(operand) => Some(1),
-        CExpr::Unary { op: UnOp::PreInc, operand } if is_var(operand) => Some(1),
-        CExpr::Assign { op: AssignOp::AddAssign, lhs, rhs } if is_var(lhs) => match rhs.as_ref() {
+        CExpr::Postfix {
+            op: PostOp::PostInc,
+            operand,
+        } if is_var(operand) => Some(1),
+        CExpr::Unary {
+            op: UnOp::PreInc,
+            operand,
+        } if is_var(operand) => Some(1),
+        CExpr::Assign {
+            op: AssignOp::AddAssign,
+            lhs,
+            rhs,
+        } if is_var(lhs) => match rhs.as_ref() {
             CExpr::IntLit(c) if *c > 0 => Some(*c),
             _ => None,
         },
-        CExpr::Assign { op: AssignOp::Assign, lhs, rhs } if is_var(lhs) => match rhs.as_ref() {
-            CExpr::Binary { op: BinOp::Add, lhs: a, rhs: b } => match (a.as_ref(), b.as_ref()) {
+        CExpr::Assign {
+            op: AssignOp::Assign,
+            lhs,
+            rhs,
+        } if is_var(lhs) => match rhs.as_ref() {
+            CExpr::Binary {
+                op: BinOp::Add,
+                lhs: a,
+                rhs: b,
+            } => match (a.as_ref(), b.as_ref()) {
                 (x, CExpr::IntLit(c)) if is_var(x) && *c > 0 => Some(*c),
                 (CExpr::IntLit(c), x) if is_var(x) && *c > 0 => Some(*c),
                 _ => None,
@@ -658,7 +748,13 @@ fn parse_for_step(step: Option<&CExpr>, var: &str) -> Option<i64> {
 /// Substitutes `Ident(var)` with `replacement` in a whole block (AST level;
 /// used by loop normalization).
 fn subst_ident_block(b: &Block, var: &str, replacement: &CExpr) -> Block {
-    Block { stmts: b.stmts.iter().map(|s| subst_ident_stmt(s, var, replacement)).collect() }
+    Block {
+        stmts: b
+            .stmts
+            .iter()
+            .map(|s| subst_ident_stmt(s, var, replacement))
+            .collect(),
+    }
 }
 
 fn subst_ident_stmt(s: &Stmt, var: &str, r: &CExpr) -> Stmt {
@@ -669,12 +765,23 @@ fn subst_ident_stmt(s: &Stmt, var: &str, r: &CExpr) -> Stmt {
         }),
         Stmt::Expr(e) => Stmt::Expr(subst_ident_expr(e, var, r)),
         Stmt::Block(b) => Stmt::Block(subst_ident_block(b, var, r)),
-        Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
             cond: subst_ident_expr(cond, var, r),
             then_branch: Box::new(subst_ident_stmt(then_branch, var, r)),
-            else_branch: else_branch.as_ref().map(|e| Box::new(subst_ident_stmt(e, var, r))),
+            else_branch: else_branch
+                .as_ref()
+                .map(|e| Box::new(subst_ident_stmt(e, var, r))),
         },
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             // Inner loops shadowing `var` are not substituted further.
             let shadows = match init {
                 ForInit::Decl(d) => d.name == var,
@@ -740,7 +847,11 @@ fn subst_ident_expr(e: &CExpr, var: &str, r: &CExpr) -> CExpr {
             lhs: Box::new(subst_ident_expr(lhs, var, r)),
             rhs: Box::new(subst_ident_expr(rhs, var, r)),
         },
-        CExpr::Ternary { cond, then_e, else_e } => CExpr::Ternary {
+        CExpr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => CExpr::Ternary {
             cond: Box::new(subst_ident_expr(cond, var, r)),
             then_e: Box::new(subst_ident_expr(then_e, var, r)),
             else_e: Box::new(subst_ident_expr(else_e, var, r)),
@@ -794,7 +905,11 @@ fn collect_reads(e: &CExpr, out: &mut Vec<ArrayRead>) {
             collect_reads(lhs, out);
             collect_reads(rhs, out);
         }
-        CExpr::Ternary { cond, then_e, else_e } => {
+        CExpr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
             collect_reads(cond, out);
             collect_reads(then_e, out);
             collect_reads(else_e, out);
@@ -818,7 +933,10 @@ fn pure_int_lower(e: &CExpr) -> Option<Expr> {
     match e {
         CExpr::IntLit(v) => Some(Expr::int(*v)),
         CExpr::Ident(n) => Some(Expr::var(n)),
-        CExpr::Unary { op: UnOp::Neg, operand } => Some(-pure_int_lower(operand)?),
+        CExpr::Unary {
+            op: UnOp::Neg,
+            operand,
+        } => Some(-pure_int_lower(operand)?),
         CExpr::Binary { op, lhs, rhs } => {
             let a = pure_int_lower(lhs)?;
             let b = pure_int_lower(rhs)?;
@@ -858,7 +976,11 @@ fn idents_of(e: &CExpr) -> Vec<String> {
                 walk(lhs, out);
                 walk(rhs, out);
             }
-            CExpr::Ternary { cond, then_e, else_e } => {
+            CExpr::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 walk(cond, out);
                 walk(then_e, out);
                 walk(else_e, out);
@@ -902,26 +1024,34 @@ mod tests {
         assert_eq!(loops.len(), 1);
         let l = loops[0];
         // Body: one If containing the three split statements.
-        let IrStmt::If { then_s, .. } = &l.body[0] else { panic!("expected if") };
+        let IrStmt::If { then_s, .. } = &l.body[0] else {
+            panic!("expected if")
+        };
         assert_eq!(then_s.len(), 3);
-        let IrStmt::Assign(a0) = &then_s[0] else { panic!() };
+        let IrStmt::Assign(a0) = &then_s[0] else {
+            panic!()
+        };
         assert_eq!(a0.lhs.name(), "_temp_0");
         assert_eq!(a0.rhs.as_expr().unwrap(), &Expr::var("m"));
-        let IrStmt::Assign(a1) = &then_s[1] else { panic!() };
+        let IrStmt::Assign(a1) = &then_s[1] else {
+            panic!()
+        };
         assert_eq!(a1.lhs.name(), "m");
         assert_eq!(a1.rhs.as_expr().unwrap(), &(Expr::var("m") + Expr::int(1)));
-        let IrStmt::Assign(a2) = &then_s[2] else { panic!() };
+        let IrStmt::Assign(a2) = &then_s[2] else {
+            panic!()
+        };
         assert_eq!(a2.lhs.to_string(), "ind[_temp_0]");
         assert_eq!(a2.rhs.as_expr().unwrap(), &Expr::var("j"));
     }
 
     #[test]
     fn compound_assignment_expands() {
-        let f = lower_src(
-            "void f(int n, int *a) { int i; for (i=0;i<n;i++) a[i] += 2; }",
-        );
+        let f = lower_src("void f(int n, int *a) { int i; for (i=0;i<n;i++) a[i] += 2; }");
         let l = &f.loops()[0];
-        let IrStmt::Assign(a) = &l.body[0] else { panic!() };
+        let IrStmt::Assign(a) = &l.body[0] else {
+            panic!()
+        };
         assert_eq!(
             a.rhs.as_expr().unwrap(),
             &(Expr::read("a", vec![Expr::var("i")]) + Expr::int(2))
@@ -934,8 +1064,12 @@ mod tests {
         let f = lower_src("void f(int n, int *a) { int i; for (i=2;i<=n;i++) a[i] = i; }");
         let l = &f.loops()[0];
         assert_eq!(l.n_iters, Expr::var("n") - Expr::int(1));
-        let IrStmt::Assign(a) = &l.body[0] else { panic!() };
-        let LValue::Array { subs, .. } = &a.lhs else { panic!() };
+        let IrStmt::Assign(a) = &l.body[0] else {
+            panic!()
+        };
+        let LValue::Array { subs, .. } = &a.lhs else {
+            panic!()
+        };
         assert_eq!(subs[0], Expr::int(2) + Expr::var("i"));
     }
 
@@ -944,8 +1078,12 @@ mod tests {
         let f = lower_src("void f(int *a) { int i; for (i=0;i<10;i+=2) a[i] = i; }");
         let l = &f.loops()[0];
         assert_eq!(l.n_iters.as_int(), Some(5));
-        let IrStmt::Assign(a) = &l.body[0] else { panic!() };
-        let LValue::Array { subs, .. } = &a.lhs else { panic!() };
+        let IrStmt::Assign(a) = &l.body[0] else {
+            panic!()
+        };
+        let LValue::Array { subs, .. } = &a.lhs else {
+            panic!()
+        };
         assert_eq!(subs[0], Expr::int(2) * Expr::var("i"));
     }
 
@@ -961,17 +1099,19 @@ mod tests {
             "void f(int n, int *a) { int i; for (i=0;i<n;i++) { if (a[i] > 0) break; } }",
         );
         let l = &f.loops()[0];
-        let IrStmt::If { then_s, .. } = &l.body[0] else { panic!() };
+        let IrStmt::If { then_s, .. } = &l.body[0] else {
+            panic!()
+        };
         assert!(matches!(then_s[0], IrStmt::Opaque(_)));
     }
 
     #[test]
     fn pure_call_value_is_opaque_but_not_statement() {
-        let f = lower_src(
-            "void f(int n, double *y) { int i; for (i=0;i<n;i++) y[i] = exp(0.5); }",
-        );
+        let f = lower_src("void f(int n, double *y) { int i; for (i=0;i<n;i++) y[i] = exp(0.5); }");
         let l = &f.loops()[0];
-        let IrStmt::Assign(a) = &l.body[0] else { panic!() };
+        let IrStmt::Assign(a) = &l.body[0] else {
+            panic!()
+        };
         assert!(matches!(a.rhs, Rhs::Opaque(_)));
         assert!(!a.integer);
     }
@@ -988,7 +1128,9 @@ mod tests {
             "#,
         );
         let l = &f.loops()[0];
-        let IrStmt::Assign(a) = &l.body[0] else { panic!() };
+        let IrStmt::Assign(a) = &l.body[0] else {
+            panic!()
+        };
         let arrays: Vec<&str> = a.reads.iter().map(|r| r.array.as_str()).collect();
         assert!(arrays.contains(&"y"));
         assert!(arrays.contains(&"ind"));
@@ -1028,7 +1170,9 @@ mod tests {
     #[test]
     fn decl_with_init_becomes_assignment() {
         let f = lower_src("void f() { int p = 5; }");
-        let IrStmt::Assign(a) = &f.body[0] else { panic!() };
+        let IrStmt::Assign(a) = &f.body[0] else {
+            panic!()
+        };
         assert_eq!(a.lhs.name(), "p");
         assert_eq!(a.rhs.as_expr().unwrap().as_int(), Some(5));
     }
@@ -1050,7 +1194,9 @@ mod tests {
             "#,
         );
         let l = &f.loops()[0];
-        let IrStmt::If { cond, then_s, .. } = &l.body[0] else { panic!() };
+        let IrStmt::If { cond, then_s, .. } = &l.body[0] else {
+            panic!()
+        };
         assert_eq!(then_s.len(), 4); // temp, holder++, col_ptr[..]=i, r=col_val[i]
         let c = f.conds.get(*cond);
         assert!(matches!(&c.kind, CondKind::Cmp { op: CmpOp::Ne, .. }));

@@ -277,7 +277,10 @@ mod tests {
         let vars = outer.assigned_vars();
         assert!(vars.contains(&"a".to_string()));
         assert!(vars.contains(&"p".to_string()));
-        assert!(vars.contains(&"j".to_string()), "inner index is loop-variant");
+        assert!(
+            vars.contains(&"j".to_string()),
+            "inner index is loop-variant"
+        );
         assert_eq!(outer.inner_loops().len(), 1);
     }
 

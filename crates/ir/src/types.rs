@@ -68,7 +68,9 @@ impl TypeEnv {
 
     /// Number of declared dimensions for `name` (pointers count one level).
     pub fn dims_of(&self, name: &str) -> usize {
-        self.get(name).map(|v| v.array_dims.max(v.pointer)).unwrap_or(0)
+        self.get(name)
+            .map(|v| v.array_dims.max(v.pointer))
+            .unwrap_or(0)
     }
 
     /// Iterates over all known variables.
@@ -86,13 +88,31 @@ mod tests {
         let mut env = TypeEnv::new();
         env.insert(
             "A_i",
-            VarInfo { ty: Type::Int, pointer: 1, array_dims: 0, local: false },
+            VarInfo {
+                ty: Type::Int,
+                pointer: 1,
+                array_dims: 0,
+                local: false,
+            },
         );
         env.insert(
             "idel",
-            VarInfo { ty: Type::Int, pointer: 0, array_dims: 4, local: false },
+            VarInfo {
+                ty: Type::Int,
+                pointer: 0,
+                array_dims: 4,
+                local: false,
+            },
         );
-        env.insert("m", VarInfo { ty: Type::Int, pointer: 0, array_dims: 0, local: true });
+        env.insert(
+            "m",
+            VarInfo {
+                ty: Type::Int,
+                pointer: 0,
+                array_dims: 0,
+                local: true,
+            },
+        );
         assert!(env.is_array("A_i"));
         assert!(env.is_array("idel"));
         assert!(!env.is_array("m"));
@@ -103,8 +123,24 @@ mod tests {
     #[test]
     fn integer_tracking() {
         let mut env = TypeEnv::new();
-        env.insert("x", VarInfo { ty: Type::Double, pointer: 0, array_dims: 0, local: true });
-        env.insert("n", VarInfo { ty: Type::Int, pointer: 0, array_dims: 0, local: false });
+        env.insert(
+            "x",
+            VarInfo {
+                ty: Type::Double,
+                pointer: 0,
+                array_dims: 0,
+                local: true,
+            },
+        );
+        env.insert(
+            "n",
+            VarInfo {
+                ty: Type::Int,
+                pointer: 0,
+                array_dims: 0,
+                local: false,
+            },
+        );
         assert!(!env.is_integer("x"));
         assert!(env.is_integer("n"));
         assert!(!env.is_integer("unknown"));

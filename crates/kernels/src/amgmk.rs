@@ -9,6 +9,7 @@
 
 use crate::common::{InnerGroup, Kernel, KernelInstance};
 use subsub_omprt::{Schedule, SendPtr, ThreadPool};
+use subsub_rtcheck::{Bindings, IndexArrayView, MonotoneReq};
 use subsub_sparse::{gen, Csr};
 
 /// Inline-expanded AMGmk kernel source (fill + use loop), as analyzed by
@@ -76,7 +77,14 @@ impl Kernel for Amgmk {
         let dim = a.rows;
         let x: Vec<f64> = (0..dim).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
         let y0: Vec<f64> = (0..dim).map(|i| (i % 5) as f64 * 0.5).collect();
-        Box::new(AmgmkInstance { y: y0.clone(), a, rownnz, x, y0 })
+        Box::new(AmgmkInstance {
+            y: y0.clone(),
+            a,
+            rownnz,
+            rownnz_version: 0,
+            x,
+            y0,
+        })
     }
 }
 
@@ -99,6 +107,9 @@ fn clear_rows(a: &mut Csr, pred: impl Fn(usize) -> bool) {
 struct AmgmkInstance {
     a: Csr,
     rownnz: Vec<usize>,
+    /// Write-version of `rownnz`, bumped on every mutation so inspector
+    /// caches invalidate.
+    rownnz_version: u64,
     x: Vec<f64>,
     y: Vec<f64>,
     y0: Vec<f64>,
@@ -181,6 +192,37 @@ impl KernelInstance for AmgmkInstance {
 
     fn mem_bound_fraction(&self) -> f64 {
         0.95 // SpMV: streaming A + gathered x, bandwidth-bound
+    }
+
+    fn runtime_bindings(&self) -> Bindings {
+        // The fill loop leaves irownnz == |rownnz|; the use loop runs to
+        // num_rownnz, which the harness sets to the same count.
+        let mut b = Bindings::new();
+        b.set_var("num_rownnz", self.rownnz.len() as i64)
+            .set_post_max("irownnz", self.rownnz.len() as i64);
+        b
+    }
+
+    fn index_arrays(&self) -> Vec<IndexArrayView<'_>> {
+        vec![IndexArrayView {
+            name: "A_rownnz",
+            data: &self.rownnz,
+            version: self.rownnz_version,
+            // Distinct iterations must write distinct rows: injectivity,
+            // i.e. strict monotonicity.
+            required: MonotoneReq::Strict,
+        }]
+    }
+
+    fn tamper_index_arrays(&mut self) -> bool {
+        if self.rownnz.len() < 2 {
+            return false;
+        }
+        // Duplicate an entry: still sorted, no longer injective. The
+        // serial variant just updates that row twice, deterministically.
+        self.rownnz[1] = self.rownnz[0];
+        self.rownnz_version += 1;
+        true
     }
 
     fn checksum(&self) -> f64 {

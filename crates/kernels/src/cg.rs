@@ -63,7 +63,13 @@ impl Kernel for Cg {
         let n = a.rows;
         let p: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + (i % 17) as f64)).collect();
         let z0 = vec![0.0; n];
-        Box::new(CgInstance { q: vec![0.0; n], z: z0.clone(), z0, a, p })
+        Box::new(CgInstance {
+            q: vec![0.0; n],
+            z: z0.clone(),
+            z0,
+            a,
+            p,
+        })
     }
 }
 

@@ -62,9 +62,16 @@ impl Kernel for Cholmod {
     fn prepare(&self, dataset: &str) -> Box<dyn KernelInstance> {
         let n_super = supernodes_for(dataset);
         let colptr: Vec<usize> = (0..=n_super).map(|j| j * PANEL).collect();
-        let l0: Vec<f64> = (0..n_super * PANEL).map(|i| 1.0 + (i % 9) as f64 * 0.1).collect();
+        let l0: Vec<f64> = (0..n_super * PANEL)
+            .map(|i| 1.0 + (i % 9) as f64 * 0.1)
+            .collect();
         let diag: Vec<f64> = (0..n_super).map(|j| 0.5 + (j % 3) as f64 * 0.25).collect();
-        Box::new(CholmodInstance { l: l0.clone(), colptr, l0, diag })
+        Box::new(CholmodInstance {
+            l: l0.clone(),
+            colptr,
+            l0,
+            diag,
+        })
     }
 }
 

@@ -1,6 +1,7 @@
 //! Common kernel abstractions shared by the benchmark harnesses.
 
 use subsub_omprt::{Schedule, ThreadPool};
+use subsub_rtcheck::{Bindings, IndexArrayView};
 
 /// Which implementation strategy a parallelizer's decision selects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,6 +83,28 @@ pub trait KernelInstance: Send {
         0.5
     }
 
+    /// Scalar values for the symbols of the kernel's runtime check
+    /// (loop bounds, post-loop counter values). Kernels whose decision
+    /// carries no check return an empty environment.
+    fn runtime_bindings(&self) -> Bindings {
+        Bindings::new()
+    }
+
+    /// The runtime index arrays whose monotonicity the outer-parallel
+    /// variant relies on, for inspection by a guarded executor. Empty for
+    /// kernels without subscripted subscripts.
+    fn index_arrays(&self) -> Vec<IndexArrayView<'_>> {
+        Vec::new()
+    }
+
+    /// Corrupts one index array in a way that breaks its required
+    /// monotonicity, bumping its version so cached verdicts invalidate.
+    /// Returns `false` when the kernel has nothing to tamper with. The
+    /// serial variant must stay deterministic on the tampered instance.
+    fn tamper_index_arrays(&mut self) -> bool {
+        false
+    }
+
     /// A value derived from the output, for cross-variant validation.
     fn checksum(&self) -> f64;
 
@@ -121,8 +144,14 @@ mod tests {
     #[test]
     fn serial_cost_sums_groups() {
         let gs = vec![
-            InnerGroup { serial: 1.0, inner: vec![2.0, 3.0] },
-            InnerGroup { serial: 0.5, inner: vec![] },
+            InnerGroup {
+                serial: 1.0,
+                inner: vec![2.0, 3.0],
+            },
+            InnerGroup {
+                serial: 0.5,
+                inner: vec![],
+            },
         ];
         assert!((serial_cost(&gs) - 6.5).abs() < 1e-12);
     }

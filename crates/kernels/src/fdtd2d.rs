@@ -65,9 +65,8 @@ impl Kernel for Fdtd2d {
 
     fn prepare(&self, dataset: &str) -> Box<dyn KernelInstance> {
         let (n, tmax) = size_for(dataset);
-        let init = |s: usize| -> Vec<f64> {
-            (0..n * n).map(|i| ((i + s) % 9) as f64 * 0.05).collect()
-        };
+        let init =
+            |s: usize| -> Vec<f64> { (0..n * n).map(|i| ((i + s) % 9) as f64 * 0.05).collect() };
         Box::new(Fdtd2dInstance {
             n,
             tmax,
@@ -137,8 +136,7 @@ impl KernelInstance for Fdtd2dInstance {
                     let i = ii + 1;
                     for j in 0..n {
                         unsafe {
-                            *ey.get().add(i * n + j) -=
-                                0.5 * (hz[i * n + j] - hz[(i - 1) * n + j]);
+                            *ey.get().add(i * n + j) -= 0.5 * (hz[i * n + j] - hz[(i - 1) * n + j]);
                         }
                     }
                 });
@@ -149,8 +147,7 @@ impl KernelInstance for Fdtd2dInstance {
                 pool.parallel_for(n, sched, |i| {
                     for j in 1..n {
                         unsafe {
-                            *ex.get().add(i * n + j) -=
-                                0.5 * (hz[i * n + j] - hz[i * n + j - 1]);
+                            *ex.get().add(i * n + j) -= 0.5 * (hz[i * n + j] - hz[i * n + j - 1]);
                         }
                     }
                 });
@@ -173,13 +170,19 @@ impl KernelInstance for Fdtd2dInstance {
     }
 
     fn outer_costs(&self) -> Vec<f64> {
-        self.inner_groups().into_iter().flat_map(|g| g.inner).collect()
+        self.inner_groups()
+            .into_iter()
+            .flat_map(|g| g.inner)
+            .collect()
     }
 
     fn inner_groups(&self) -> Vec<InnerGroup> {
         let row_cost = self.n as f64 * 5.0;
         (0..self.tmax * 3)
-            .map(|_| InnerGroup { serial: 0.0, inner: vec![row_cost; self.n - 1] })
+            .map(|_| InnerGroup {
+                serial: 0.0,
+                inner: vec![row_cost; self.n - 1],
+            })
             .collect()
     }
 

@@ -152,7 +152,10 @@ impl KernelInstance for GsInstance {
     }
 
     fn outer_costs(&self) -> Vec<f64> {
-        self.inner_groups().into_iter().flat_map(|g| g.inner).collect()
+        self.inner_groups()
+            .into_iter()
+            .flat_map(|g| g.inner)
+            .collect()
     }
 
     fn inner_groups(&self) -> Vec<InnerGroup> {
@@ -200,7 +203,9 @@ mod tests {
     fn q_columns_are_orthonormal_ish() {
         let mut inst = GsInstance {
             n: 8,
-            a: (0..64).map(|i| ((i % 9) as f64 - 4.0) + if i % 9 == 0 { 8.0 } else { 0.0 }).collect(),
+            a: (0..64)
+                .map(|i| ((i % 9) as f64 - 4.0) + if i % 9 == 0 { 8.0 } else { 0.0 })
+                .collect(),
             q: vec![0.0; 64],
             r: vec![0.0; 64],
             a0: vec![0.0; 64],

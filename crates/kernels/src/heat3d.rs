@@ -150,7 +150,10 @@ impl KernelInstance for Heat3dInstance {
 
     fn outer_costs(&self) -> Vec<f64> {
         // No outer strategy: one entry per plane per sweep (same as inner).
-        self.inner_groups().into_iter().flat_map(|g| g.inner).collect()
+        self.inner_groups()
+            .into_iter()
+            .flat_map(|g| g.inner)
+            .collect()
     }
 
     fn inner_groups(&self) -> Vec<InnerGroup> {

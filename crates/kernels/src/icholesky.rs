@@ -53,6 +53,7 @@ impl Kernel for ICholesky {
         vec!["crankseg_1"]
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn prepare(&self, dataset: &str) -> Box<dyn KernelInstance> {
         let n = size_for(dataset);
         // A banded SPD-ish matrix; only the strictly-upper part is kept
@@ -117,7 +118,10 @@ impl KernelInstance for IcInstance {
     }
 
     fn inner_groups(&self) -> Vec<InnerGroup> {
-        vec![InnerGroup { serial: self.upper.nnz() as f64 * 6.0 * 8.0, inner: vec![] }]
+        vec![InnerGroup {
+            serial: self.upper.nnz() as f64 * 6.0 * 8.0,
+            inner: vec![],
+        }]
     }
 
     fn checksum(&self) -> f64 {

@@ -113,7 +113,10 @@ impl KernelInstance for IsInstance {
     }
 
     fn inner_groups(&self) -> Vec<InnerGroup> {
-        vec![InnerGroup { serial: self.keys.len() as f64 * 8.0, inner: vec![] }]
+        vec![InnerGroup {
+            serial: self.keys.len() as f64 * 8.0,
+            inner: vec![],
+        }]
     }
 
     fn checksum(&self) -> f64 {

@@ -144,7 +144,10 @@ impl KernelInstance for MgInstance {
     }
 
     fn outer_costs(&self) -> Vec<f64> {
-        self.inner_groups().into_iter().flat_map(|g| g.inner).collect()
+        self.inner_groups()
+            .into_iter()
+            .flat_map(|g| g.inner)
+            .collect()
     }
 
     fn inner_groups(&self) -> Vec<InnerGroup> {
@@ -152,7 +155,10 @@ impl KernelInstance for MgInstance {
         for _ in 0..self.cycles {
             for g in &self.grids {
                 let plane = ((g.n - 2) * (g.n - 2)) as f64 * 9.0;
-                out.push(InnerGroup { serial: 0.0, inner: vec![plane; g.n - 2] });
+                out.push(InnerGroup {
+                    serial: 0.0,
+                    inner: vec![plane; g.n - 2],
+                });
             }
         }
         out

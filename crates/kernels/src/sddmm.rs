@@ -10,6 +10,7 @@
 
 use crate::common::{InnerGroup, Kernel, KernelInstance};
 use subsub_omprt::{Schedule, SendPtr, ThreadPool};
+use subsub_rtcheck::{Bindings, IndexArrayView, MonotoneReq};
 use subsub_sparse::{Csc, MatrixSpec};
 
 /// Inline-expanded SDDMM source (CSC build loop + compute loop).
@@ -47,11 +48,34 @@ pub struct Sddmm;
 /// is balanced (static scheduling competitive), the others are skewed.
 pub fn spec_for(dataset: &str) -> MatrixSpec {
     match dataset {
-        "gsm_106857" => MatrixSpec::PowerLaw { n: 3200, avg_deg: 24, alpha: 1.2, seed: 11 },
-        "dielFilterV2clx" => MatrixSpec::PowerLaw { n: 3600, avg_deg: 20, alpha: 0.9, seed: 12 },
-        "af_shell1" => MatrixSpec::Banded { n: 4000, half_bw: 11 },
-        "inline_1" => MatrixSpec::PowerLaw { n: 3400, avg_deg: 22, alpha: 1.0, seed: 13 },
-        "test" => MatrixSpec::PowerLaw { n: 60, avg_deg: 4, alpha: 1.0, seed: 1 },
+        "gsm_106857" => MatrixSpec::PowerLaw {
+            n: 3200,
+            avg_deg: 24,
+            alpha: 1.2,
+            seed: 11,
+        },
+        "dielFilterV2clx" => MatrixSpec::PowerLaw {
+            n: 3600,
+            avg_deg: 20,
+            alpha: 0.9,
+            seed: 12,
+        },
+        "af_shell1" => MatrixSpec::Banded {
+            n: 4000,
+            half_bw: 11,
+        },
+        "inline_1" => MatrixSpec::PowerLaw {
+            n: 3400,
+            avg_deg: 22,
+            alpha: 1.0,
+            seed: 13,
+        },
+        "test" => MatrixSpec::PowerLaw {
+            n: 60,
+            avg_deg: 4,
+            alpha: 1.0,
+            seed: 1,
+        },
         other => panic!("unknown SDDMM dataset {other}"),
     }
 }
@@ -77,15 +101,28 @@ impl Kernel for Sddmm {
         let a = spec_for(dataset).build();
         let m = Csc::from_csr(&a);
         let n = m.cols;
-        let w: Vec<f64> = (0..n * RANK).map(|i| ((i % 13) as f64 - 6.0) * 0.1).collect();
-        let h: Vec<f64> = (0..m.rows * RANK).map(|i| ((i % 11) as f64 - 5.0) * 0.1).collect();
+        let w: Vec<f64> = (0..n * RANK)
+            .map(|i| ((i % 13) as f64 - 6.0) * 0.1)
+            .collect();
+        let h: Vec<f64> = (0..m.rows * RANK)
+            .map(|i| ((i % 11) as f64 - 5.0) * 0.1)
+            .collect();
         let p = vec![0.0; m.nnz()];
-        Box::new(SddmmInstance { m, w, h, p })
+        Box::new(SddmmInstance {
+            m,
+            col_ptr_version: 0,
+            w,
+            h,
+            p,
+        })
     }
 }
 
 struct SddmmInstance {
     m: Csc,
+    /// Write-version of `m.col_ptr`, bumped on every mutation so
+    /// inspector caches invalidate.
+    col_ptr_version: u64,
     w: Vec<f64>,
     h: Vec<f64>,
     p: Vec<f64>,
@@ -168,6 +205,41 @@ impl KernelInstance for SddmmInstance {
 
     fn mem_bound_fraction(&self) -> f64 {
         0.25 // rank-16 dot products add compute per nonzero
+    }
+
+    fn runtime_bindings(&self) -> Bindings {
+        // The CSC build loop leaves holder == n_cols (every column
+        // boundary written), which is what admits the outer loop.
+        let mut b = Bindings::new();
+        b.set_var("n_cols", self.m.cols as i64)
+            .set_post_max("holder", self.m.cols as i64);
+        b
+    }
+
+    fn index_arrays(&self) -> Vec<IndexArrayView<'_>> {
+        vec![IndexArrayView {
+            name: "col_ptr",
+            data: &self.m.col_ptr,
+            version: self.col_ptr_version,
+            // Segments [col_ptr[r], col_ptr[r+1]) need only be disjoint:
+            // non-strict monotonicity (empty columns allowed).
+            required: MonotoneReq::NonStrict,
+        }]
+    }
+
+    fn tamper_index_arrays(&mut self) -> bool {
+        // Swap the first unequal adjacent boundary pair: the larger value
+        // now precedes the smaller, breaking (non-strict) monotonicity
+        // while keeping every entry bounded by nnz — all segment accesses
+        // stay in bounds and the serial variant stays deterministic
+        // (the inverted segment is just an empty Rust range).
+        let ptr = &mut self.m.col_ptr;
+        let Some(r) = (1..ptr.len()).find(|&r| ptr[r] > ptr[r - 1]) else {
+            return false;
+        };
+        ptr.swap(r - 1, r);
+        self.col_ptr_version += 1;
+        true
     }
 
     fn checksum(&self) -> f64 {

@@ -56,7 +56,13 @@ impl Kernel for Syrk {
         let (n, m) = size_for(dataset);
         let a: Vec<f64> = (0..n * m).map(|i| ((i % 19) as f64 - 9.0) * 0.05).collect();
         let c0: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64 * 0.1).collect();
-        Box::new(SyrkInstance { n, m, a, c: c0.clone(), c0 })
+        Box::new(SyrkInstance {
+            n,
+            m,
+            a,
+            c: c0.clone(),
+            c0,
+        })
     }
 }
 
@@ -117,7 +123,10 @@ impl KernelInstance for SyrkInstance {
     }
 
     fn inner_groups(&self) -> Vec<InnerGroup> {
-        vec![InnerGroup { serial: 0.0, inner: self.outer_costs() }]
+        vec![InnerGroup {
+            serial: 0.0,
+            inner: self.outer_costs(),
+        }]
     }
 
     fn mem_bound_fraction(&self) -> f64 {

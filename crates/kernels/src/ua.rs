@@ -109,7 +109,9 @@ impl Kernel for UaTransf {
             }
         }
         let tx0: Vec<f64> = (0..lelt * PTS).map(|i| (i % 7) as f64 * 0.1).collect();
-        let tmort: Vec<f64> = (0..lelt * PTS).map(|i| 1.0 + (i % 5) as f64 * 0.2).collect();
+        let tmort: Vec<f64> = (0..lelt * PTS)
+            .map(|i| 1.0 + (i % 5) as f64 * 0.2)
+            .collect();
         let w = [0.2, 0.4, 0.6, 0.4, 0.2];
         Box::new(UaInstance {
             lelt,

@@ -7,10 +7,15 @@
 //! calibrated model used by the figure harnesses).
 
 use crate::schedule::{static_chunks, Schedule};
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Locks a mutex, ignoring poisoning: workers only panic if a user job
+/// panics, and the pool's state (plain counters) stays consistent anyway.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 type Job = Arc<dyn Fn(usize) + Send + Sync>;
 
@@ -54,7 +59,11 @@ impl ThreadPool {
                     .expect("spawn worker")
             })
             .collect();
-        ThreadPool { shared, workers, threads }
+        ThreadPool {
+            shared,
+            workers,
+            threads,
+        }
     }
 
     /// Number of worker threads.
@@ -78,23 +87,27 @@ impl ThreadPool {
             >(Arc::new(job))
         };
         {
-            let mut j = self.shared.job.lock();
+            let mut j = lock(&self.shared.job);
             *j = Some(job);
-            let mut d = self.shared.done.lock();
+            let mut d = lock(&self.shared.done);
             *d = 0;
-            let mut e = self.shared.epoch.lock();
+            let mut e = lock(&self.shared.epoch);
             *e += 1;
         }
         self.shared.wake.notify_all();
-        let mut d = self.shared.done.lock();
+        let mut d = lock(&self.shared.done);
         while *d < self.threads {
-            self.shared.done_cv.wait(&mut d);
+            d = self
+                .shared
+                .done_cv
+                .wait(d)
+                .unwrap_or_else(|e| e.into_inner());
         }
         drop(d);
         // Workers have dropped their clones (they drop the job before
         // reporting done); clearing the broadcast slot drops the closure
         // while its borrows are still alive.
-        *self.shared.job.lock() = None;
+        *lock(&self.shared.job) = None;
     }
 
     /// OpenMP-style `parallel for` over `0..n` with the given schedule.
@@ -163,8 +176,9 @@ impl ThreadPool {
         F: Fn(T, usize) -> T + Send + Sync,
         C: Fn(T, T) -> T,
     {
-        let partials: Vec<Mutex<T>> =
-            (0..self.threads).map(|_| Mutex::new(identity.clone())).collect();
+        let partials: Vec<Mutex<T>> = (0..self.threads)
+            .map(|_| Mutex::new(identity.clone()))
+            .collect();
         let next = AtomicUsize::new(0);
         let threads = self.threads;
         self.run(|tid| {
@@ -190,20 +204,20 @@ impl ThreadPool {
                     }
                 }
             }
-            *partials[tid].lock() = acc;
+            *lock(&partials[tid]) = acc;
         });
-        partials
-            .into_iter()
-            .fold(identity, |a, m| combine(a, m.into_inner()))
+        partials.into_iter().fold(identity, |a, m| {
+            combine(a, m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        })
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let mut s = self.shared.shutdown.lock();
+            let mut s = lock(&self.shared.shutdown);
             *s = true;
-            let mut e = self.shared.epoch.lock();
+            let mut e = lock(&self.shared.epoch);
             *e += 1;
         }
         self.shared.wake.notify_all();
@@ -217,20 +231,20 @@ fn worker_loop(tid: usize, sh: Arc<Shared>) {
     let mut seen = 0u64;
     loop {
         let job = {
-            let mut e = sh.epoch.lock();
+            let mut e = lock(&sh.epoch);
             while *e == seen {
-                sh.wake.wait(&mut e);
+                e = sh.wake.wait(e).unwrap_or_else(|p| p.into_inner());
             }
             seen = *e;
-            if *sh.shutdown.lock() {
+            if *lock(&sh.shutdown) {
                 return;
             }
-            sh.job.lock().clone()
+            lock(&sh.job).clone()
         };
         if let Some(job) = job {
             job(tid);
         }
-        let mut d = sh.done.lock();
+        let mut d = lock(&sh.done);
         *d += 1;
         sh.done_cv.notify_all();
     }
@@ -273,8 +287,7 @@ mod tests {
         let pool = ThreadPool::new(3);
         let n = 1000usize;
         for sched in all_schedules() {
-            let sum =
-                pool.parallel_for_reduce(n, sched, 0u64, |a, i| a + i as u64, |a, b| a + b);
+            let sum = pool.parallel_for_reduce(n, sched, 0u64, |a, i| a + i as u64, |a, b| a + b);
             assert_eq!(sum, (n as u64 - 1) * n as u64 / 2, "{sched}");
         }
     }

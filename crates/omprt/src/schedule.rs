@@ -52,7 +52,12 @@ impl fmt::Display for Schedule {
 
 /// The contiguous chunks thread `tid` of `threads` executes under a static
 /// schedule of `n` iterations. Returns `(start, end)` half-open ranges.
-pub fn static_chunks(n: usize, threads: usize, chunk: Option<usize>, tid: usize) -> Vec<(usize, usize)> {
+pub fn static_chunks(
+    n: usize,
+    threads: usize,
+    chunk: Option<usize>,
+    tid: usize,
+) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     match chunk {
         None => {
@@ -81,6 +86,7 @@ pub fn static_chunks(n: usize, threads: usize, chunk: Option<usize>, tid: usize)
 mod tests {
     use super::*;
 
+    #[allow(clippy::needless_range_loop)]
     fn covered(n: usize, threads: usize, chunk: Option<usize>) -> Vec<usize> {
         let mut hits = vec![0usize; n];
         for tid in 0..threads {

@@ -37,7 +37,12 @@ pub struct SimParams {
 
 impl Default for SimParams {
     fn default() -> SimParams {
-        SimParams { fork_join: 5_000.0, dispatch: 80.0, mem_frac: 0.0, mem_scale: 3.5 }
+        SimParams {
+            fork_join: 5_000.0,
+            dispatch: 80.0,
+            mem_frac: 0.0,
+            mem_scale: 3.5,
+        }
     }
 }
 
@@ -55,8 +60,7 @@ impl SimResult {
     /// Load imbalance: max over mean of thread busy time (1.0 = perfect).
     pub fn imbalance(&self) -> f64 {
         let max = self.per_thread.iter().cloned().fold(0.0, f64::max);
-        let mean =
-            self.per_thread.iter().sum::<f64>() / self.per_thread.len().max(1) as f64;
+        let mean = self.per_thread.iter().sum::<f64>() / self.per_thread.len().max(1) as f64;
         if mean == 0.0 {
             1.0
         } else {
@@ -94,8 +98,7 @@ pub fn simulate_parallel_for(
             while s < n {
                 let Reverse((busy_bits, tid)) = heap.pop().expect("nonempty");
                 let busy = f64::from_bits(busy_bits);
-                let work: f64 =
-                    costs[s..(s + c).min(n)].iter().sum::<f64>() + params.dispatch;
+                let work: f64 = costs[s..(s + c).min(n)].iter().sum::<f64>() + params.dispatch;
                 let new_busy = busy + work;
                 per_thread[tid] = new_busy;
                 heap.push(Reverse((new_busy.to_bits(), tid)));
@@ -126,7 +129,14 @@ pub fn simulate_parallel_for(
     // bw(p) = mem_scale·p / (p + mem_scale − 1) (1 at one core, saturating
     // at mem_scale), while the compute share scales with p. The region
     // cannot run faster than that sum, regardless of load balance.
+    //
+    // Load imbalance still costs wall time when the floor binds: a thread
+    // finishing late extends the region even if aggregate bandwidth is
+    // saturated, so the schedule's excess over a perfectly balanced
+    // partition (max − total/p) rides on top of the floor rather than
+    // being absorbed by it.
     let total: f64 = costs.iter().sum();
+    let busy: f64 = per_thread.iter().sum();
     let floor = if threads > 1 && params.mem_scale > 1.0 && params.mem_frac > 0.0 {
         let p = threads as f64;
         let bw = params.mem_scale * p / (p + params.mem_scale - 1.0);
@@ -134,7 +144,11 @@ pub fn simulate_parallel_for(
     } else {
         0.0
     };
-    SimResult { time: max.max(floor) + params.fork_join, per_thread }
+    let excess = (max - busy / threads as f64).max(0.0);
+    SimResult {
+        time: max.max(floor + excess) + params.fork_join,
+        per_thread,
+    }
 }
 
 /// Simulates the *inner-loop parallelization* strategy the classical
@@ -174,7 +188,11 @@ mod tests {
 
     #[test]
     fn static_uniform_scales() {
-        let p = SimParams { fork_join: 0.0, dispatch: 0.0, ..SimParams::default() };
+        let p = SimParams {
+            fork_join: 0.0,
+            dispatch: 0.0,
+            ..SimParams::default()
+        };
         let costs = uniform(1600, 10.0);
         let t1 = simulate_parallel_for(&costs, 1, Schedule::static_default(), &p).time;
         let t16 = simulate_parallel_for(&costs, 16, Schedule::static_default(), &p).time;
@@ -183,7 +201,11 @@ mod tests {
 
     #[test]
     fn total_work_conserved() {
-        let p = SimParams { fork_join: 0.0, dispatch: 0.0, ..SimParams::default() };
+        let p = SimParams {
+            fork_join: 0.0,
+            dispatch: 0.0,
+            ..SimParams::default()
+        };
         let costs: Vec<f64> = (0..257).map(|i| (i % 7) as f64 + 1.0).collect();
         for sched in [
             Schedule::static_default(),
@@ -204,7 +226,11 @@ mod tests {
     fn dynamic_beats_static_on_skewed_work() {
         // One heavy tail at the end of the iteration space: the static
         // blocked schedule loads the last thread with all heavy items.
-        let p = SimParams { fork_join: 0.0, dispatch: 1.0, ..SimParams::default() };
+        let p = SimParams {
+            fork_join: 0.0,
+            dispatch: 1.0,
+            ..SimParams::default()
+        };
         let mut costs = uniform(1000, 10.0);
         for c in costs.iter_mut().skip(900) {
             *c = 500.0;
@@ -216,16 +242,27 @@ mod tests {
 
     #[test]
     fn static_wins_on_uniform_work_with_dispatch_cost() {
-        let p = SimParams { fork_join: 0.0, dispatch: 50.0, ..SimParams::default() };
+        let p = SimParams {
+            fork_join: 0.0,
+            dispatch: 50.0,
+            ..SimParams::default()
+        };
         let costs = uniform(10_000, 10.0);
         let st = simulate_parallel_for(&costs, 8, Schedule::static_default(), &p).time;
         let dy = simulate_parallel_for(&costs, 8, Schedule::dynamic_default(), &p).time;
-        assert!(st < dy, "static {st} should beat dynamic {dy} on uniform work");
+        assert!(
+            st < dy,
+            "static {st} should beat dynamic {dy} on uniform work"
+        );
     }
 
     #[test]
     fn inner_parallel_pays_fork_join_per_outer_iteration() {
-        let params = SimParams { fork_join: 1_000.0, dispatch: 0.0, ..SimParams::default() };
+        let params = SimParams {
+            fork_join: 1_000.0,
+            dispatch: 0.0,
+            ..SimParams::default()
+        };
         // 100 outer iterations, each with a tiny inner loop.
         let inner: Vec<Vec<f64>> = (0..100).map(|_| uniform(4, 1.0)).collect();
         let inner_time =
@@ -253,7 +290,11 @@ mod tests {
 
     #[test]
     fn imbalance_metric() {
-        let p = SimParams { fork_join: 0.0, dispatch: 0.0, ..SimParams::default() };
+        let p = SimParams {
+            fork_join: 0.0,
+            dispatch: 0.0,
+            ..SimParams::default()
+        };
         let costs = vec![100.0, 1.0];
         let r = simulate_parallel_for(&costs, 2, Schedule::static_default(), &p);
         assert!(r.imbalance() > 1.5);
@@ -261,7 +302,12 @@ mod tests {
 
     #[test]
     fn bandwidth_floor_caps_speedup() {
-        let p = SimParams { fork_join: 0.0, dispatch: 0.0, mem_frac: 1.0, mem_scale: 3.5 };
+        let p = SimParams {
+            fork_join: 0.0,
+            dispatch: 0.0,
+            mem_frac: 1.0,
+            mem_scale: 3.5,
+        };
         let costs = uniform(1600, 10.0);
         let serial: f64 = costs.iter().sum();
         // Fully bandwidth-bound: speedup follows bw(p) and saturates

@@ -1,67 +1,90 @@
-//! Property-based validation of the loop schedules and the simulator.
+//! Property-style validation of the loop schedules and the simulator,
+//! swept deterministically over dense parameter grids (no external
+//! property-testing dependency; failures reproduce exactly).
 
-use proptest::prelude::*;
 use subsub_omprt::schedule::static_chunks;
 use subsub_omprt::{sim, Schedule, SimParams, ThreadPool};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Static chunking is an exact partition for any (n, threads, chunk).
-    #[test]
-    fn static_chunks_partition(n in 0usize..500, threads in 1usize..17,
-                               chunk in prop::option::of(1usize..32)) {
-        let mut hits = vec![0u32; n];
-        for tid in 0..threads {
-            for (s, e) in static_chunks(n, threads, chunk, tid) {
-                prop_assert!(s <= e && e <= n);
-                for h in &mut hits[s..e] {
-                    *h += 1;
+/// Static chunking is an exact partition for any (n, threads, chunk).
+#[test]
+fn static_chunks_partition() {
+    for n in [0usize, 1, 2, 7, 16, 63, 100, 255, 499] {
+        for threads in 1usize..17 {
+            for chunk in [None, Some(1), Some(2), Some(5), Some(17), Some(31)] {
+                let mut hits = vec![0u32; n];
+                for tid in 0..threads {
+                    for (s, e) in static_chunks(n, threads, chunk, tid) {
+                        assert!(s <= e && e <= n);
+                        for h in &mut hits[s..e] {
+                            *h += 1;
+                        }
+                    }
                 }
+                assert!(
+                    hits.iter().all(|&h| h == 1),
+                    "n={n} threads={threads} chunk={chunk:?}"
+                );
             }
         }
-        prop_assert!(hits.iter().all(|&h| h == 1));
     }
+}
 
-    /// The simulator conserves work for every schedule (no fork-join, no
-    /// dispatch): thread busy times sum to the serial total.
-    #[test]
-    fn simulator_conserves_work(
-        costs in prop::collection::vec(0.0f64..100.0, 0..300),
-        threads in 1usize..17,
-        which in 0usize..4,
-    ) {
-        let sched = [
-            Schedule::static_default(),
-            Schedule::Static { chunk: Some(4) },
-            Schedule::dynamic_default(),
-            Schedule::Guided { min_chunk: 2 },
-        ][which];
-        let p = SimParams { fork_join: 0.0, dispatch: 0.0, ..SimParams::default() };
-        let r = sim::simulate_parallel_for(&costs, threads, sched, &p);
-        let total: f64 = costs.iter().sum();
-        let busy: f64 = r.per_thread.iter().sum();
-        prop_assert!((busy - total).abs() < 1e-6 * total.max(1.0));
-        // Wall time is at least total/threads and at most total (+eps).
-        prop_assert!(r.time >= total / threads as f64 - 1e-9);
-        prop_assert!(r.time <= total + 1e-9);
+/// The simulator conserves work for every schedule (no fork-join, no
+/// dispatch): thread busy times sum to the serial total.
+#[test]
+fn simulator_conserves_work() {
+    let scheds = [
+        Schedule::static_default(),
+        Schedule::Static { chunk: Some(4) },
+        Schedule::dynamic_default(),
+        Schedule::Guided { min_chunk: 2 },
+    ];
+    for len in [0usize, 1, 13, 97, 300] {
+        // Deterministic cost pattern with irregular values in [0, 100).
+        let costs: Vec<f64> = (0..len).map(|i| ((i * 37 + 11) % 100) as f64).collect();
+        for threads in 1usize..17 {
+            for sched in scheds {
+                let p = SimParams {
+                    fork_join: 0.0,
+                    dispatch: 0.0,
+                    ..SimParams::default()
+                };
+                let r = sim::simulate_parallel_for(&costs, threads, sched, &p);
+                let total: f64 = costs.iter().sum();
+                let busy: f64 = r.per_thread.iter().sum();
+                assert!(
+                    (busy - total).abs() < 1e-6 * total.max(1.0),
+                    "len={len} threads={threads} {sched}"
+                );
+                // Wall time is at least total/threads and at most total (+eps).
+                assert!(r.time >= total / threads as f64 - 1e-9);
+                assert!(r.time <= total + 1e-9);
+            }
+        }
     }
+}
 
-    /// Real pool execution visits every index exactly once for random
-    /// (n, schedule) combinations.
-    #[test]
-    fn pool_visits_each_index_once(n in 0usize..200, which in 0usize..3) {
-        use std::sync::atomic::{AtomicU32, Ordering};
-        let sched = [
-            Schedule::static_default(),
-            Schedule::dynamic_default(),
-            Schedule::Guided { min_chunk: 1 },
-        ][which];
-        let pool = ThreadPool::new(3);
-        let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
-        pool.parallel_for(n, sched, |i| {
-            hits[i].fetch_add(1, Ordering::Relaxed);
-        });
-        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+/// Real pool execution visits every index exactly once for many
+/// (n, schedule) combinations.
+#[test]
+fn pool_visits_each_index_once() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    let scheds = [
+        Schedule::static_default(),
+        Schedule::dynamic_default(),
+        Schedule::Guided { min_chunk: 1 },
+    ];
+    let pool = ThreadPool::new(3);
+    for n in [0usize, 1, 2, 3, 5, 17, 64, 129, 199] {
+        for sched in scheds {
+            let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            pool.parallel_for(n, sched, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "n={n} {sched}"
+            );
+        }
     }
 }

@@ -1,0 +1,67 @@
+//! Runtime scalar environment supplied by kernel instances.
+
+use std::collections::HashMap;
+use subsub_symbolic::Symbol;
+
+/// Values of the scalar symbols a runtime check refers to: loop bounds
+/// (`num_rownnz`), post-loop counter values (`irownnz_max`), …
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    vals: HashMap<Symbol, i64>,
+}
+
+impl Bindings {
+    /// Empty environment.
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// Binds a plain program variable.
+    pub fn set_var(&mut self, name: &str, v: i64) -> &mut Self {
+        self.vals.insert(Symbol::var(name), v);
+        self
+    }
+
+    /// Binds a post-loop (`name_max`) value.
+    pub fn set_post_max(&mut self, name: &str, v: i64) -> &mut Self {
+        self.vals.insert(Symbol::post_max(name), v);
+        self
+    }
+
+    /// Binds an arbitrary symbol.
+    pub fn set(&mut self, sym: Symbol, v: i64) -> &mut Self {
+        self.vals.insert(sym, v);
+        self
+    }
+
+    /// Looks a symbol up.
+    pub fn get(&self, sym: &Symbol) -> Option<i64> {
+        self.vals.get(sym).copied()
+    }
+
+    /// Number of bound symbols.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_and_post_max_are_distinct() {
+        let mut b = Bindings::new();
+        b.set_var("m", 3).set_post_max("m", 9);
+        assert_eq!(b.get(&Symbol::var("m")), Some(3));
+        assert_eq!(b.get(&Symbol::post_max("m")), Some(9));
+        assert_eq!(b.get(&Symbol::var("q")), None);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+}

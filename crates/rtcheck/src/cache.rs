@@ -1,0 +1,166 @@
+//! Memoization of inspector verdicts.
+//!
+//! Inspecting an index array is O(n); re-inspecting it on every kernel
+//! invocation would erase the paper's point that the check amortizes.
+//! The cache keys a verdict on the array's *identity* (name + data
+//! address + length) and its *write-version*: the owning kernel bumps the
+//! version whenever it mutates the array, so a lookup with a stale
+//! version misses (recorded as an invalidation) and triggers
+//! re-inspection, while an unchanged array revalidates in O(1).
+
+use crate::inspect::{inspect_monotone, IndexArrayView, MonotoneVerdict};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use subsub_omprt::ThreadPool;
+
+/// Cache identity of one index array.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    name: String,
+    addr: usize,
+    len: usize,
+}
+
+impl Key {
+    fn of(view: &IndexArrayView<'_>) -> Key {
+        Key {
+            name: view.name.to_string(),
+            addr: view.data.as_ptr() as usize,
+            len: view.data.len(),
+        }
+    }
+}
+
+/// Counters describing how the cache behaved so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered without re-inspection.
+    pub hits: u64,
+    /// Lookups that had no usable entry and ran the inspector.
+    pub misses: u64,
+    /// Misses caused specifically by a version change on a known array.
+    pub invalidations: u64,
+}
+
+/// Verdict memo keyed by (array identity, version).
+#[derive(Debug, Default)]
+pub struct InspectorCache {
+    entries: Mutex<HashMap<Key, (u64, MonotoneVerdict)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl InspectorCache {
+    /// Empty cache.
+    pub fn new() -> InspectorCache {
+        InspectorCache::default()
+    }
+
+    /// Returns the verdict for `view`, inspecting only when no entry with
+    /// the current version exists. A version mismatch on a known array is
+    /// counted as an invalidation and the entry is replaced.
+    pub fn verdict(&self, view: &IndexArrayView<'_>, pool: Option<&ThreadPool>) -> MonotoneVerdict {
+        let key = Key::of(view);
+        {
+            let entries = lock(&self.entries);
+            match entries.get(&key) {
+                Some((ver, verdict)) if *ver == view.version => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return *verdict;
+                }
+                Some(_) => {
+                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {}
+            }
+        }
+        // Inspect outside the lock: scans can be long and parallel.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let verdict = inspect_monotone(view.data, pool);
+        lock(&self.entries).insert(key, (view.version, verdict));
+        verdict
+    }
+
+    /// Drops every memoized verdict (counters are kept).
+    pub fn clear(&self) {
+        lock(&self.entries).clear();
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inspect::MonotoneReq;
+
+    fn view<'a>(name: &'a str, data: &'a [usize], version: u64) -> IndexArrayView<'a> {
+        IndexArrayView {
+            name,
+            data,
+            version,
+            required: MonotoneReq::NonStrict,
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = InspectorCache::new();
+        let data = vec![0usize, 1, 2, 3];
+        let v1 = cache.verdict(&view("b", &data, 0), None);
+        let v2 = cache.verdict(&view("b", &data, 0), None);
+        assert_eq!(v1, v2);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 1, 0));
+    }
+
+    #[test]
+    fn version_bump_invalidates() {
+        let cache = InspectorCache::new();
+        let mut data = vec![0usize, 1, 2, 3];
+        assert!(cache.verdict(&view("b", &data, 0), None).nonstrict);
+        // Mutate in place (address and length unchanged) and bump version.
+        data[2] = 0;
+        let v = cache.verdict(&view("b", &data, 1), None);
+        assert!(!v.nonstrict);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (0, 2, 1));
+        // The replaced entry now serves the new version.
+        assert!(!cache.verdict(&view("b", &data, 1), None).nonstrict);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn distinct_arrays_do_not_collide() {
+        let cache = InspectorCache::new();
+        let good = vec![0usize, 1, 2];
+        let bad = vec![2usize, 1, 0];
+        assert!(cache.verdict(&view("g", &good, 0), None).nonstrict);
+        assert!(!cache.verdict(&view("b", &bad, 0), None).nonstrict);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn clear_forgets_entries_but_keeps_counters() {
+        let cache = InspectorCache::new();
+        let data = vec![0usize, 1];
+        cache.verdict(&view("b", &data, 0), None);
+        cache.clear();
+        cache.verdict(&view("b", &data, 0), None);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 2));
+    }
+}

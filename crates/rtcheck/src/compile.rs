@@ -1,0 +1,266 @@
+//! Compiling a [`CheckExpr`] into an evaluable predicate.
+//!
+//! The compiler flattens each conjunct into canonical difference form and
+//! resolves every symbol into a slot index once, so per-invocation
+//! evaluation is a slot-table fill (one hash lookup per distinct symbol)
+//! followed by pure integer arithmetic — no string handling and no
+//! allocation proportional to the expression size.
+
+use crate::bindings::Bindings;
+use crate::expr::CheckExpr;
+use std::fmt;
+use subsub_symbolic::{Atom, Symbol};
+
+/// Why a check could not be compiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The check contains an array read; runtime checks are scalar-only
+    /// (array facts go through the inspector instead).
+    ArrayRead {
+        /// Name of the offending array.
+        array: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::ArrayRead { array } => {
+                write!(f, "runtime check reads array {array}; scalar checks only")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Why evaluation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A symbol the check needs has no value in the bindings.
+    Unbound {
+        /// The missing symbol, in display form (e.g. `irownnz_max`).
+        symbol: String,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Unbound { symbol } => write!(f, "unbound check symbol {symbol}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// One term of a flattened difference: `coeff * Π slots`.
+#[derive(Debug, Clone)]
+struct FlatTerm {
+    coeff: i64,
+    slots: Vec<usize>,
+}
+
+/// One conjunct: the flattened difference plus the comparison flavour.
+#[derive(Debug, Clone)]
+struct FlatCmp {
+    terms: Vec<FlatTerm>,
+    /// Constant part of the difference.
+    constant: i64,
+    /// `true` → `diff <= 0`; otherwise equational.
+    is_le: bool,
+    /// For equational conjuncts: `true` = `== 0`, `false` = `!= 0`.
+    eq: bool,
+}
+
+/// A check compiled to a slot-based predicate.
+#[derive(Debug, Clone)]
+pub struct CompiledCheck {
+    syms: Vec<Symbol>,
+    cmps: Vec<FlatCmp>,
+}
+
+impl CompiledCheck {
+    /// Compiles the canonical form of `check`.
+    pub fn compile(check: &CheckExpr) -> Result<CompiledCheck, CompileError> {
+        let mut syms: Vec<Symbol> = Vec::new();
+        let mut cmps = Vec::new();
+        for canon in check.canonical() {
+            let mut terms = Vec::new();
+            let mut constant = 0i64;
+            for t in canon.diff.terms() {
+                if t.atoms.is_empty() {
+                    constant += t.coeff;
+                    continue;
+                }
+                let mut slots = Vec::with_capacity(t.atoms.len());
+                for a in &t.atoms {
+                    match a {
+                        Atom::Sym(s) => {
+                            let slot = match syms.iter().position(|q| q == s) {
+                                Some(i) => i,
+                                None => {
+                                    syms.push(s.clone());
+                                    syms.len() - 1
+                                }
+                            };
+                            slots.push(slot);
+                        }
+                        Atom::Read { array, .. } => {
+                            return Err(CompileError::ArrayRead {
+                                array: array.to_string(),
+                            });
+                        }
+                    }
+                }
+                terms.push(FlatTerm {
+                    coeff: t.coeff,
+                    slots,
+                });
+            }
+            cmps.push(FlatCmp {
+                terms,
+                constant,
+                is_le: canon.is_le,
+                eq: canon.eq,
+            });
+        }
+        Ok(CompiledCheck { syms, cmps })
+    }
+
+    /// The symbols the predicate needs bound, in slot order.
+    pub fn required_symbols(&self) -> &[Symbol] {
+        &self.syms
+    }
+
+    /// Evaluates the predicate against a runtime environment.
+    pub fn eval(&self, b: &Bindings) -> Result<bool, EvalError> {
+        let mut slots = Vec::with_capacity(self.syms.len());
+        for s in &self.syms {
+            match b.get(s) {
+                Some(v) => slots.push(v),
+                None => {
+                    return Err(EvalError::Unbound {
+                        symbol: s.to_string(),
+                    })
+                }
+            }
+        }
+        for c in &self.cmps {
+            let mut diff = c.constant;
+            for t in &c.terms {
+                let mut v = t.coeff;
+                for &slot in &t.slots {
+                    v = v.wrapping_mul(slots[slot]);
+                }
+                diff = diff.wrapping_add(v);
+            }
+            let holds = if c.is_le {
+                diff <= 0
+            } else if c.eq {
+                diff == 0
+            } else {
+                diff != 0
+            };
+            if !holds {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse_check;
+
+    fn eval(src: &str, setup: impl FnOnce(&mut Bindings)) -> Result<bool, EvalError> {
+        let c = parse_check(src).unwrap();
+        let p = CompiledCheck::compile(&c).unwrap();
+        let mut b = Bindings::new();
+        setup(&mut b);
+        p.eval(&b)
+    }
+
+    #[test]
+    fn amgmk_check_evaluates() {
+        // Admitted: one past the loop bound is within the inspected range.
+        let r = eval("num_rownnz - 1 <= irownnz_max", |b| {
+            b.set_var("num_rownnz", 100).set_post_max("irownnz", 100);
+        });
+        assert_eq!(r, Ok(true));
+        // Rejected: the loop would read past the verified prefix.
+        let r = eval("num_rownnz - 1 <= irownnz_max", |b| {
+            b.set_var("num_rownnz", 102).set_post_max("irownnz", 100);
+        });
+        assert_eq!(r, Ok(false));
+    }
+
+    #[test]
+    fn all_operators_evaluate() {
+        for (src, expect) in [
+            ("2*n + 1 < 8", true),  // 7 < 8
+            ("2*n + 1 < 7", false), // 7 < 7
+            ("n >= 3", true),
+            ("n > 3", false),
+            ("n == 3", true),
+            ("n != 3", false),
+            ("n*n == 9", true),
+        ] {
+            let r = eval(src, |b| {
+                b.set_var("n", 3);
+            });
+            assert_eq!(r, Ok(expect), "{src}");
+        }
+    }
+
+    #[test]
+    fn conjunction_is_all_of() {
+        let r = eval("n <= m && m <= k", |b| {
+            b.set_var("n", 1).set_var("m", 2).set_var("k", 3);
+        });
+        assert_eq!(r, Ok(true));
+        let r = eval("n <= m && m <= k", |b| {
+            b.set_var("n", 1).set_var("m", 5).set_var("k", 3);
+        });
+        assert_eq!(r, Ok(false));
+    }
+
+    #[test]
+    fn unbound_symbol_is_an_error() {
+        let r = eval("n - 1 <= irownnz_max", |b| {
+            b.set_var("n", 5);
+        });
+        assert_eq!(
+            r,
+            Err(EvalError::Unbound {
+                symbol: "irownnz_max".into()
+            })
+        );
+    }
+
+    #[test]
+    fn required_symbols_are_exposed() {
+        let c = parse_check("n - 1 <= irownnz_max").unwrap();
+        let p = CompiledCheck::compile(&c).unwrap();
+        let names: Vec<String> = p.required_symbols().iter().map(|s| s.to_string()).collect();
+        assert!(names.contains(&"n".to_string()));
+        assert!(names.contains(&"irownnz_max".to_string()));
+    }
+
+    #[test]
+    fn array_reads_are_rejected_at_compile_time() {
+        use crate::expr::{CheckExpr, CmpOp};
+        use subsub_symbolic::Expr;
+        let c = CheckExpr::Cmp {
+            lhs: Expr::read("A", vec![Expr::int(0)]),
+            op: CmpOp::Le,
+            rhs: Expr::int(5),
+        };
+        match CompiledCheck::compile(&c) {
+            Err(CompileError::ArrayRead { array }) => assert_eq!(array, "A"),
+            other => panic!("expected ArrayRead error, got {other:?}"),
+        }
+    }
+}

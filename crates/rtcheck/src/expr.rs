@@ -1,0 +1,456 @@
+//! The structured runtime-check IR.
+//!
+//! A check is a conjunction of comparisons between symbolic scalar
+//! expressions ([`subsub_symbolic::Expr`]). The IR pretty-prints into the
+//! exact syntax the paper's pragmas use (`num_rownnz - 1 <= irownnz_max`)
+//! and parses back, so checks round-trip through generated source.
+//!
+//! Equality is *canonical*: each comparison is normalized to difference
+//! form (`lhs - rhs ⋈ 0`, with `<`/`>` absorbed into `<=`/`>=` over the
+//! integers), and conjunctions compare as sorted sets. `-1 + N <= m` and
+//! `N - 1 <= m` are therefore one check, which is what the dependence
+//! test's dedup relies on.
+
+use std::fmt;
+use subsub_symbolic::{Expr, Symbol};
+
+/// Comparison operator of a runtime check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Le => "<=",
+            CmpOp::Lt => "<",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A structured runtime check: a comparison or a conjunction.
+#[derive(Debug, Clone)]
+pub enum CheckExpr {
+    /// `lhs op rhs` over symbolic scalar expressions.
+    Cmp {
+        /// Left operand.
+        lhs: Expr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: Expr,
+    },
+    /// Conjunction of checks (`a && b && …`). Empty conjunction is `true`.
+    And(Vec<CheckExpr>),
+}
+
+/// One comparison in canonical difference form: `diff ⋈ 0` where `⋈` is
+/// `<=`, `==` or `!=` (strict inequalities are absorbed over the
+/// integers: `a < b` ⇔ `a - b + 1 <= 0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonicalCmp {
+    /// The difference expression compared against zero.
+    pub diff: Expr,
+    /// `true` for `diff <= 0`; `false` for the equational ops.
+    pub is_le: bool,
+    /// For non-`is_le` comparisons: `true` = `==`, `false` = `!=`.
+    pub eq: bool,
+}
+
+impl CheckExpr {
+    /// Builds `lhs <= rhs`.
+    pub fn le(lhs: Expr, rhs: Expr) -> CheckExpr {
+        CheckExpr::Cmp {
+            lhs,
+            op: CmpOp::Le,
+            rhs,
+        }
+    }
+
+    /// Builds `lhs < rhs`.
+    pub fn lt(lhs: Expr, rhs: Expr) -> CheckExpr {
+        CheckExpr::Cmp {
+            lhs,
+            op: CmpOp::Lt,
+            rhs,
+        }
+    }
+
+    /// Conjunction of several checks; flattens singletons.
+    pub fn and(mut checks: Vec<CheckExpr>) -> CheckExpr {
+        if checks.len() == 1 {
+            checks.pop().expect("len checked")
+        } else {
+            CheckExpr::And(checks)
+        }
+    }
+
+    /// The comparisons of this check, flattening nested conjunctions.
+    pub fn conjuncts(&self) -> Vec<&CheckExpr> {
+        match self {
+            CheckExpr::Cmp { .. } => vec![self],
+            CheckExpr::And(cs) => cs.iter().flat_map(|c| c.conjuncts()).collect(),
+        }
+    }
+
+    /// Every symbol referenced by the check.
+    pub fn free_syms(&self) -> Vec<Symbol> {
+        let mut out: Vec<Symbol> = Vec::new();
+        for c in self.conjuncts() {
+            if let CheckExpr::Cmp { lhs, rhs, .. } = c {
+                for s in lhs.free_syms().into_iter().chain(rhs.free_syms()) {
+                    if !out.contains(&s) {
+                        out.push(s);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Canonical difference forms of every conjunct, sorted and deduped —
+    /// the basis of [`PartialEq`] and of the dependence test's dedup.
+    pub fn canonical(&self) -> Vec<CanonicalCmp> {
+        let mut cs: Vec<CanonicalCmp> = Vec::new();
+        for c in self.conjuncts() {
+            let CheckExpr::Cmp { lhs, op, rhs } = c else {
+                continue;
+            };
+            let canon = match op {
+                CmpOp::Le => CanonicalCmp {
+                    diff: lhs.clone() - rhs.clone(),
+                    is_le: true,
+                    eq: false,
+                },
+                CmpOp::Lt => CanonicalCmp {
+                    diff: lhs.clone() - rhs.clone() + Expr::int(1),
+                    is_le: true,
+                    eq: false,
+                },
+                CmpOp::Ge => CanonicalCmp {
+                    diff: rhs.clone() - lhs.clone(),
+                    is_le: true,
+                    eq: false,
+                },
+                CmpOp::Gt => CanonicalCmp {
+                    diff: rhs.clone() - lhs.clone() + Expr::int(1),
+                    is_le: true,
+                    eq: false,
+                },
+                CmpOp::Eq | CmpOp::Ne => {
+                    // Orient the difference deterministically so a == b
+                    // and b == a canonicalize identically.
+                    let d1 = lhs.clone() - rhs.clone();
+                    let d2 = rhs.clone() - lhs.clone();
+                    let diff = if d1.to_string() <= d2.to_string() {
+                        d1
+                    } else {
+                        d2
+                    };
+                    CanonicalCmp {
+                        diff,
+                        is_le: false,
+                        eq: *op == CmpOp::Eq,
+                    }
+                }
+            };
+            if !cs.contains(&canon) {
+                cs.push(canon);
+            }
+        }
+        cs.sort_by_key(|c| (c.diff.to_string(), c.is_le, c.eq));
+        cs
+    }
+}
+
+impl PartialEq for CheckExpr {
+    fn eq(&self, other: &CheckExpr) -> bool {
+        self.canonical() == other.canonical()
+    }
+}
+
+impl Eq for CheckExpr {}
+
+impl fmt::Display for CheckExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckExpr::Cmp { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            CheckExpr::And(cs) => {
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Error from [`parse_check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte offset of the offending token.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "check parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the pragma syntax back into a [`CheckExpr`]:
+/// `sum (<=|<|>=|>|==|!=) sum (&& …)*` with integer literals,
+/// identifiers (a trailing `_max` denotes a post-loop symbol), `+ - *`,
+/// unary minus and parentheses.
+pub fn parse_check(src: &str) -> Result<CheckExpr, ParseError> {
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    let first = p.cmp()?;
+    let mut cs = vec![first];
+    loop {
+        p.skip_ws();
+        if p.eat(b"&&") {
+            cs.push(p.cmp()?);
+        } else {
+            break;
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(CheckExpr::and(cs))
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            msg: msg.to_string(),
+            at: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &[u8]) -> bool {
+        if self.src[self.pos..].starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn cmp(&mut self) -> Result<CheckExpr, ParseError> {
+        let lhs = self.sum()?;
+        self.skip_ws();
+        let op = if self.eat(b"<=") {
+            CmpOp::Le
+        } else if self.eat(b">=") {
+            CmpOp::Ge
+        } else if self.eat(b"==") {
+            CmpOp::Eq
+        } else if self.eat(b"!=") {
+            CmpOp::Ne
+        } else if self.eat(b"<") {
+            CmpOp::Lt
+        } else if self.eat(b">") {
+            CmpOp::Gt
+        } else {
+            return Err(self.err("expected comparison operator"));
+        };
+        let rhs = self.sum()?;
+        Ok(CheckExpr::Cmp { lhs, op, rhs })
+    }
+
+    fn sum(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.product()?;
+        loop {
+            self.skip_ws();
+            // `&&` must not be consumed as operators here.
+            if self.src[self.pos..].starts_with(b"&&") {
+                break;
+            }
+            if self.eat(b"+") {
+                acc = acc + self.product()?;
+            } else if self.eat(b"-") {
+                acc = acc - self.product()?;
+            } else {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    fn product(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.factor()?;
+        loop {
+            self.skip_ws();
+            if self.eat(b"*") {
+                acc = acc * self.factor()?;
+            } else {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        if self.eat(b"(") {
+            let e = self.sum()?;
+            self.skip_ws();
+            if !self.eat(b")") {
+                return Err(self.err("expected )"));
+            }
+            return Ok(e);
+        }
+        if self.eat(b"-") {
+            return Ok(-self.factor()?);
+        }
+        let start = self.pos;
+        if self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+            let v: i64 = text.parse().map_err(|_| self.err("integer overflow"))?;
+            return Ok(Expr::int(v));
+        }
+        if self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphabetic() || self.src[self.pos] == b'_')
+        {
+            while self.pos < self.src.len()
+                && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            let name = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+            // Trailing `_max` is the paper's spelling of a post-loop value.
+            return Ok(match name.strip_suffix("_max") {
+                Some(base) if !base.is_empty() => Expr::post_max(base),
+                _ => Expr::var(name),
+            });
+        }
+        Err(self.err("expected integer, identifier or ("))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let c = CheckExpr::le(
+            Expr::var("num_rownnz") - Expr::int(1),
+            Expr::post_max("irownnz"),
+        );
+        assert_eq!(c.to_string(), "num_rownnz - 1 <= irownnz_max");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for s in [
+            "num_rownnz - 1 <= irownnz_max",
+            "n_cols - 1 <= holder_max",
+            "2*n + 3 < m_max && k >= 0",
+            "a == b",
+            "a != b - 1",
+        ] {
+            let c = parse_check(s).unwrap();
+            let printed = c.to_string();
+            let again = parse_check(&printed).unwrap();
+            assert_eq!(c, again, "{s} vs {printed}");
+        }
+    }
+
+    #[test]
+    fn parse_classifies_post_max_symbols() {
+        let c = parse_check("n - 1 <= irownnz_max").unwrap();
+        let syms = c.free_syms();
+        assert!(syms.contains(&Symbol::var("n")));
+        assert!(syms.contains(&Symbol::post_max("irownnz")));
+    }
+
+    #[test]
+    fn algebraically_equal_checks_are_equal() {
+        let a = parse_check("-1 + n <= m").unwrap();
+        let b = parse_check("n - 1 <= m").unwrap();
+        assert_eq!(a, b);
+        // `a < b` over the integers is `a <= b - 1`.
+        let c = parse_check("n < m + 1").unwrap();
+        let d = parse_check("n <= m").unwrap();
+        assert_eq!(c, d);
+        // Flipped comparison.
+        let e = parse_check("m >= n").unwrap();
+        let f = parse_check("n <= m").unwrap();
+        assert_eq!(e, f);
+        // Symmetric equality.
+        let g = parse_check("a == b").unwrap();
+        let h = parse_check("b == a").unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn different_checks_are_not_equal() {
+        let a = parse_check("n <= m").unwrap();
+        let b = parse_check("n <= m + 1").unwrap();
+        assert_ne!(a, b);
+        let c = parse_check("n == m").unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn conjunction_dedups_and_sorts() {
+        let a = parse_check("n - 1 <= m && -1 + n <= m").unwrap();
+        assert_eq!(a.canonical().len(), 1);
+        let b = parse_check("x <= y && n <= m").unwrap();
+        let c = parse_check("n <= m && x <= y").unwrap();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_check("").is_err());
+        assert!(parse_check("n <=").is_err());
+        assert!(parse_check("n < m extra").is_err());
+        assert!(parse_check("n # m").is_err());
+        assert!(parse_check("(n < m").is_err());
+    }
+}

@@ -1,0 +1,304 @@
+//! Guarded execution: run parallel when the evidence admits it, degrade
+//! to serial otherwise.
+//!
+//! A [`GuardedExecutor`] bundles the compiled scalar check emitted by the
+//! dependence test with the inspector cache. Per invocation it evaluates
+//! the check against the kernel's scalar [`Bindings`] and each declared
+//! index array against its required monotonicity (served from the cache
+//! when the array is unchanged), then dispatches to the parallel or
+//! serial closure. Every decision is counted, so a harness can assert
+//! that both paths were actually taken and that memoization worked.
+
+use crate::bindings::Bindings;
+use crate::cache::{CacheStats, InspectorCache};
+use crate::compile::{CompileError, CompiledCheck};
+use crate::expr::CheckExpr;
+use crate::inspect::IndexArrayView;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use subsub_omprt::ThreadPool;
+
+/// Which variant a guarded invocation ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardPath {
+    /// All guards passed; the parallel variant ran.
+    Parallel,
+    /// At least one guard failed; the serial variant ran.
+    Serial,
+}
+
+/// The decision for one invocation, with the reason it fell back (if it
+/// did).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardVerdict {
+    /// The variant to run.
+    pub path: GuardPath,
+    /// Why the serial path was chosen, when it was. `None` on the
+    /// parallel path.
+    pub reason: Option<String>,
+}
+
+impl GuardVerdict {
+    fn parallel() -> GuardVerdict {
+        GuardVerdict {
+            path: GuardPath::Parallel,
+            reason: None,
+        }
+    }
+
+    fn serial(reason: String) -> GuardVerdict {
+        GuardVerdict {
+            path: GuardPath::Serial,
+            reason: Some(reason),
+        }
+    }
+}
+
+/// Cumulative decision counters for one executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuardStats {
+    /// Invocations dispatched to the parallel variant.
+    pub parallel_runs: u64,
+    /// Invocations that fell back to serial.
+    pub serial_fallbacks: u64,
+    /// Scalar check failures among the fallbacks.
+    pub check_failures: u64,
+    /// Inspection failures (array not monotone enough) among the
+    /// fallbacks.
+    pub inspection_failures: u64,
+    /// Inspector-cache behaviour (shared across arrays).
+    pub cache: CacheStats,
+}
+
+/// Runs a kernel under its runtime guards.
+#[derive(Debug)]
+pub struct GuardedExecutor {
+    check: Option<CompiledCheck>,
+    cache: Arc<InspectorCache>,
+    parallel_runs: AtomicU64,
+    serial_fallbacks: AtomicU64,
+    check_failures: AtomicU64,
+    inspection_failures: AtomicU64,
+}
+
+impl GuardedExecutor {
+    /// Builds an executor for a plan's (optional) scalar check. A plan
+    /// without a check admits the parallel path unconditionally — exactly
+    /// like a pragma without an `if (...)` clause.
+    pub fn new(check: Option<&CheckExpr>) -> Result<GuardedExecutor, CompileError> {
+        let compiled = check.map(CompiledCheck::compile).transpose()?;
+        Ok(GuardedExecutor {
+            check: compiled,
+            cache: Arc::new(InspectorCache::new()),
+            parallel_runs: AtomicU64::new(0),
+            serial_fallbacks: AtomicU64::new(0),
+            check_failures: AtomicU64::new(0),
+            inspection_failures: AtomicU64::new(0),
+        })
+    }
+
+    /// Builds an executor sharing an existing inspector cache (several
+    /// kernels inspecting the same structure can pool their verdicts).
+    pub fn with_cache(
+        check: Option<&CheckExpr>,
+        cache: Arc<InspectorCache>,
+    ) -> Result<GuardedExecutor, CompileError> {
+        let mut e = GuardedExecutor::new(check)?;
+        e.cache = cache;
+        Ok(e)
+    }
+
+    /// The shared inspector cache.
+    pub fn cache(&self) -> &Arc<InspectorCache> {
+        &self.cache
+    }
+
+    /// Evaluates every guard and records the decision, without running
+    /// anything.
+    pub fn decide(
+        &self,
+        bindings: &Bindings,
+        arrays: &[IndexArrayView<'_>],
+        pool: Option<&ThreadPool>,
+    ) -> GuardVerdict {
+        let verdict = self.evaluate(bindings, arrays, pool);
+        match verdict.path {
+            GuardPath::Parallel => {
+                self.parallel_runs.fetch_add(1, Ordering::Relaxed);
+            }
+            GuardPath::Serial => {
+                self.serial_fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        verdict
+    }
+
+    fn evaluate(
+        &self,
+        bindings: &Bindings,
+        arrays: &[IndexArrayView<'_>],
+        pool: Option<&ThreadPool>,
+    ) -> GuardVerdict {
+        if let Some(check) = &self.check {
+            match check.eval(bindings) {
+                Ok(true) => {}
+                Ok(false) => {
+                    self.check_failures.fetch_add(1, Ordering::Relaxed);
+                    return GuardVerdict::serial("runtime check evaluated to false".into());
+                }
+                Err(e) => {
+                    self.check_failures.fetch_add(1, Ordering::Relaxed);
+                    return GuardVerdict::serial(format!("runtime check not evaluable: {e}"));
+                }
+            }
+        }
+        for view in arrays {
+            let verdict = self.cache.verdict(view, pool);
+            if !verdict.satisfies(view.required) {
+                self.inspection_failures.fetch_add(1, Ordering::Relaxed);
+                let at = verdict
+                    .first_violation
+                    .map(|i| format!(" (first violation at index {i})"))
+                    .unwrap_or_default();
+                return GuardVerdict::serial(format!(
+                    "index array {} is not {}{}",
+                    view.name, view.required, at
+                ));
+            }
+        }
+        GuardVerdict::parallel()
+    }
+
+    /// Decides, then runs the admitted variant. Both closures receive
+    /// nothing and return the kernel's output value; the caller keeps
+    /// ownership of all state.
+    pub fn run<T>(
+        &self,
+        bindings: &Bindings,
+        arrays: &[IndexArrayView<'_>],
+        pool: Option<&ThreadPool>,
+        parallel: impl FnOnce() -> T,
+        serial: impl FnOnce() -> T,
+    ) -> (T, GuardVerdict) {
+        let verdict = self.decide(bindings, arrays, pool);
+        let out = match verdict.path {
+            GuardPath::Parallel => parallel(),
+            GuardPath::Serial => serial(),
+        };
+        (out, verdict)
+    }
+
+    /// Snapshot of the decision counters.
+    pub fn stats(&self) -> GuardStats {
+        GuardStats {
+            parallel_runs: self.parallel_runs.load(Ordering::Relaxed),
+            serial_fallbacks: self.serial_fallbacks.load(Ordering::Relaxed),
+            check_failures: self.check_failures.load(Ordering::Relaxed),
+            inspection_failures: self.inspection_failures.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse_check;
+    use crate::inspect::MonotoneReq;
+
+    fn amgmk_bindings(num_rownnz: i64, irownnz_max: i64) -> Bindings {
+        let mut b = Bindings::new();
+        b.set_var("num_rownnz", num_rownnz)
+            .set_post_max("irownnz", irownnz_max);
+        b
+    }
+
+    #[test]
+    fn no_check_admits_parallel() {
+        let e = GuardedExecutor::new(None).unwrap();
+        let v = e.decide(&Bindings::new(), &[], None);
+        assert_eq!(v.path, GuardPath::Parallel);
+        assert_eq!(e.stats().parallel_runs, 1);
+    }
+
+    #[test]
+    fn failing_check_falls_back() {
+        let c = parse_check("num_rownnz - 1 <= irownnz_max").unwrap();
+        let e = GuardedExecutor::new(Some(&c)).unwrap();
+        let v = e.decide(&amgmk_bindings(200, 100), &[], None);
+        assert_eq!(v.path, GuardPath::Serial);
+        assert!(v.reason.unwrap().contains("false"));
+        let s = e.stats();
+        assert_eq!((s.serial_fallbacks, s.check_failures), (1, 1));
+    }
+
+    #[test]
+    fn unbound_symbol_falls_back_instead_of_panicking() {
+        let c = parse_check("num_rownnz - 1 <= irownnz_max").unwrap();
+        let e = GuardedExecutor::new(Some(&c)).unwrap();
+        let v = e.decide(&Bindings::new(), &[], None);
+        assert_eq!(v.path, GuardPath::Serial);
+        assert!(v.reason.unwrap().contains("not evaluable"));
+    }
+
+    #[test]
+    fn failing_inspection_falls_back_with_location() {
+        let e = GuardedExecutor::new(None).unwrap();
+        let data = vec![0usize, 5, 3];
+        let view = IndexArrayView {
+            name: "b",
+            data: &data,
+            version: 0,
+            required: MonotoneReq::NonStrict,
+        };
+        let v = e.decide(&Bindings::new(), &[view], None);
+        assert_eq!(v.path, GuardPath::Serial);
+        assert!(v.reason.unwrap().contains("index 2"));
+        assert_eq!(e.stats().inspection_failures, 1);
+    }
+
+    #[test]
+    fn run_dispatches_and_cache_hits_accumulate() {
+        let c = parse_check("num_rownnz - 1 <= irownnz_max").unwrap();
+        let e = GuardedExecutor::new(Some(&c)).unwrap();
+        let data = vec![0usize, 1, 2, 3];
+        let view = IndexArrayView {
+            name: "b",
+            data: &data,
+            version: 0,
+            required: MonotoneReq::Strict,
+        };
+        let b = amgmk_bindings(4, 4);
+        let (out, v) = e.run(&b, &[view], None, || "par", || "ser");
+        assert_eq!((out, v.path), ("par", GuardPath::Parallel));
+        let (out, _) = e.run(&b, &[view], None, || "par", || "ser");
+        assert_eq!(out, "par");
+        let s = e.stats();
+        assert_eq!(s.parallel_runs, 2);
+        assert!(s.cache.hits >= 1, "second run must be served from cache");
+    }
+
+    #[test]
+    fn strict_requirement_rejects_plateau() {
+        let e = GuardedExecutor::new(None).unwrap();
+        let data = vec![0usize, 1, 1, 2];
+        let strict = IndexArrayView {
+            name: "b",
+            data: &data,
+            version: 0,
+            required: MonotoneReq::Strict,
+        };
+        assert_eq!(
+            e.decide(&Bindings::new(), &[strict], None).path,
+            GuardPath::Serial
+        );
+        let nonstrict = IndexArrayView {
+            required: MonotoneReq::NonStrict,
+            ..strict
+        };
+        assert_eq!(
+            e.decide(&Bindings::new(), &[nonstrict], None).path,
+            GuardPath::Parallel
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! The parallel index-array inspector.
+//!
+//! When compile-time analysis is inconclusive (or when defense-in-depth is
+//! wanted at negligible cost), the monotonicity property the dependence
+//! test relies on can be established by *inspecting the actual index
+//! array at runtime* — the inspector half of classic inspector–executor
+//! parallelization. One scan establishes both non-strict and strict
+//! monotonicity (strict ⇒ injectivity, the gather/scatter requirement),
+//! so a cached verdict serves either requirement.
+//!
+//! The scan itself is parallel: the array is cut into per-thread chunks,
+//! each chunk verifies its interior adjacent pairs on the `omprt` pool,
+//! and a serial boundary-fixup pass checks the chunk-joining pairs the
+//! interior scans skipped.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use subsub_omprt::{Schedule, ThreadPool};
+
+/// Monotonicity flavour a dependence-test pattern requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MonotoneReq {
+    /// Non-decreasing (segment patterns: disjoint `[B[i] : B[i+1])`).
+    NonStrict,
+    /// Strictly increasing, hence injective (gather/scatter patterns).
+    Strict,
+}
+
+impl std::fmt::Display for MonotoneReq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonotoneReq::NonStrict => write!(f, "monotone"),
+            MonotoneReq::Strict => write!(f, "strictly monotone"),
+        }
+    }
+}
+
+/// Result of inspecting one index array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonotoneVerdict {
+    /// Adjacent pairs never decrease.
+    pub nonstrict: bool,
+    /// Adjacent pairs strictly increase.
+    pub strict: bool,
+    /// Index `i` of the first element with `data[i-1] ⋠ data[i]` under the
+    /// *non-strict* requirement, if any.
+    pub first_violation: Option<usize>,
+    /// Number of elements inspected.
+    pub len: usize,
+}
+
+impl MonotoneVerdict {
+    /// Does the verdict satisfy a requirement?
+    pub fn satisfies(&self, req: MonotoneReq) -> bool {
+        match req {
+            MonotoneReq::NonStrict => self.nonstrict,
+            MonotoneReq::Strict => self.strict,
+        }
+    }
+}
+
+/// A kernel instance's view of one runtime index array, carrying the
+/// identity + version the memo cache keys on.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexArrayView<'a> {
+    /// Array name as it appears in the analyzed source (`A_rownnz`).
+    pub name: &'a str,
+    /// The actual runtime contents.
+    pub data: &'a [usize],
+    /// Monotonically increasing write-version: the owner bumps it on every
+    /// mutation, which is what invalidates cached verdicts.
+    pub version: u64,
+    /// The flavour the parallelization decision needs.
+    pub required: MonotoneReq,
+}
+
+/// Below this length a serial scan beats the fork-join cost.
+const PAR_THRESHOLD: usize = 8192;
+
+/// Inspects `data` for monotonicity. With a pool and a large enough array
+/// the scan is chunk-parallel; the verdict is identical either way.
+pub fn inspect_monotone(data: &[usize], pool: Option<&ThreadPool>) -> MonotoneVerdict {
+    match pool {
+        Some(pool) if data.len() >= PAR_THRESHOLD => inspect_parallel(data, pool),
+        _ => inspect_serial(data),
+    }
+}
+
+fn inspect_serial(data: &[usize]) -> MonotoneVerdict {
+    let mut strict = true;
+    let mut first_violation = None;
+    for i in 1..data.len() {
+        if data[i - 1] > data[i] {
+            first_violation = Some(i);
+            strict = false;
+            break;
+        }
+        if data[i - 1] == data[i] {
+            strict = false;
+        }
+    }
+    MonotoneVerdict {
+        nonstrict: first_violation.is_none(),
+        strict: strict && first_violation.is_none(),
+        first_violation,
+        len: data.len(),
+    }
+}
+
+fn inspect_parallel(data: &[usize], pool: &ThreadPool) -> MonotoneVerdict {
+    let n = data.len();
+    let threads = pool.threads().max(1);
+    // A few chunks per thread so dynamic scheduling can absorb noise.
+    let chunks = (threads * 4).min(n / 2).max(1);
+    let chunk_len = n.div_ceil(chunks);
+    // usize::MAX = "no violation seen"; fetch-min keeps the earliest.
+    let nonstrict_viol = AtomicUsize::new(usize::MAX);
+    let strict_viol = AtomicUsize::new(usize::MAX);
+    pool.parallel_for(chunks, Schedule::Dynamic { chunk: 1 }, |c| {
+        let start = c * chunk_len;
+        let end = ((c + 1) * chunk_len).min(n);
+        // Interior pairs only; pairs straddling chunk joins are fixed up
+        // below.
+        for i in (start + 1)..end {
+            if data[i - 1] > data[i] {
+                nonstrict_viol.fetch_min(i, Ordering::Relaxed);
+                strict_viol.fetch_min(i, Ordering::Relaxed);
+                break;
+            }
+            if data[i - 1] == data[i] {
+                strict_viol.fetch_min(i, Ordering::Relaxed);
+            }
+        }
+    });
+    // Cross-chunk boundary fixup: the pair (chunk_end - 1, chunk_end) of
+    // every join was inspected by neither side.
+    for c in 1..chunks {
+        let i = c * chunk_len;
+        if i == 0 || i >= n {
+            continue;
+        }
+        if data[i - 1] > data[i] {
+            nonstrict_viol.fetch_min(i, Ordering::Relaxed);
+            strict_viol.fetch_min(i, Ordering::Relaxed);
+        } else if data[i - 1] == data[i] {
+            strict_viol.fetch_min(i, Ordering::Relaxed);
+        }
+    }
+    let nv = nonstrict_viol.load(Ordering::Relaxed);
+    let sv = strict_viol.load(Ordering::Relaxed);
+    MonotoneVerdict {
+        nonstrict: nv == usize::MAX,
+        strict: sv == usize::MAX,
+        first_violation: (nv != usize::MAX).then_some(nv),
+        len: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_verdicts() {
+        let v = inspect_serial(&[0, 1, 2, 5, 9]);
+        assert!(v.strict && v.nonstrict && v.first_violation.is_none());
+        let v = inspect_serial(&[0, 1, 1, 2]);
+        assert!(!v.strict && v.nonstrict);
+        let v = inspect_serial(&[0, 3, 2]);
+        assert!(!v.strict && !v.nonstrict);
+        assert_eq!(v.first_violation, Some(2));
+        // Trivial arrays are vacuously strict.
+        assert!(inspect_serial(&[]).strict);
+        assert!(inspect_serial(&[7]).strict);
+    }
+
+    #[test]
+    fn satisfies_maps_requirements() {
+        let v = inspect_serial(&[0, 1, 1, 2]);
+        assert!(v.satisfies(MonotoneReq::NonStrict));
+        assert!(!v.satisfies(MonotoneReq::Strict));
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_large_arrays() {
+        let pool = ThreadPool::new(4);
+        let n = PAR_THRESHOLD * 2 + 123;
+        // Strict.
+        let data: Vec<usize> = (0..n).collect();
+        assert_eq!(inspect_monotone(&data, Some(&pool)), inspect_serial(&data));
+        // Plateau (non-strict only).
+        let mut plateau = data.clone();
+        plateau[n / 2] = plateau[n / 2 - 1];
+        let got = inspect_monotone(&plateau, Some(&pool));
+        assert!(got.nonstrict && !got.strict);
+        // Violation (neither), at an arbitrary position.
+        let mut broken = data.clone();
+        broken[n / 3] = 0;
+        let got = inspect_monotone(&broken, Some(&pool));
+        let want = inspect_serial(&broken);
+        assert_eq!(got.nonstrict, want.nonstrict);
+        assert_eq!(got.strict, want.strict);
+        assert!(got.first_violation.is_some());
+    }
+
+    #[test]
+    fn boundary_violation_is_caught() {
+        // Construct a violation exactly at a chunk join for a 4-thread
+        // pool: chunks = 16, chunk_len = n/16.
+        let pool = ThreadPool::new(4);
+        let n = PAR_THRESHOLD * 2;
+        let chunk_len = n.div_ceil(16);
+        let mut data: Vec<usize> = (0..n).map(|i| i * 2).collect();
+        data[chunk_len] = data[chunk_len - 1] - 1; // only the join pair decreases
+        let v = inspect_monotone(&data, Some(&pool));
+        assert!(!v.nonstrict, "boundary fixup must catch the join violation");
+    }
+
+    #[test]
+    fn small_arrays_skip_the_pool() {
+        // Passing a pool but a small array must still produce the serial
+        // verdict (and not deadlock on a 1-thread pool).
+        let pool = ThreadPool::new(1);
+        let v = inspect_monotone(&[3, 1, 2], Some(&pool));
+        assert!(!v.nonstrict);
+        assert_eq!(v.first_violation, Some(1));
+    }
+}

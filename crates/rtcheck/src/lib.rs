@@ -1,0 +1,40 @@
+//! Executable runtime checks and index-array inspection — the execution
+//! side of the paper's "runtime verification" story.
+//!
+//! The compile-time analysis (subsub-core) sometimes parallelizes a loop
+//! *conditionally*: the emitted pragma carries a check such as
+//! `-1 + num_rownnz <= irownnz_max` comparing a loop bound against a
+//! post-loop value that only exists at runtime. This crate makes those
+//! checks executable instead of purely textual:
+//!
+//! * [`CheckExpr`] — a structured IR for runtime checks (comparisons over
+//!   symbolic scalar expressions, conjunctions), with canonicalization so
+//!   algebraically equal checks compare equal, a pretty-printer matching
+//!   the paper's pragma syntax, and a parser for round-tripping.
+//! * [`CompiledCheck`] — a compiled predicate: symbols are resolved to
+//!   slots once, each comparison is flattened into difference form, and
+//!   evaluation against a [`Bindings`] environment is allocation-free.
+//! * [`inspect`] — a parallel index-array inspector verifying (strict)
+//!   monotonicity of an actual array at runtime when compile-time analysis
+//!   is inconclusive: chunked scan on the `omprt` thread pool with
+//!   cross-chunk boundary fixup.
+//! * [`InspectorCache`] — memoization of inspection verdicts keyed by
+//!   array identity and version, so repeated kernel invocations with
+//!   unchanged index arrays skip re-inspection in O(1).
+//! * [`GuardedExecutor`] — runs the parallel variant when every check and
+//!   inspection passes and degrades gracefully to the serial variant
+//!   otherwise, recording pass/fail/cache-hit counters for observability.
+
+pub mod bindings;
+pub mod cache;
+pub mod compile;
+pub mod expr;
+pub mod guard;
+pub mod inspect;
+
+pub use bindings::Bindings;
+pub use cache::{CacheStats, InspectorCache};
+pub use compile::{CompileError, CompiledCheck, EvalError};
+pub use expr::{parse_check, CheckExpr, CmpOp, ParseError};
+pub use guard::{GuardPath, GuardStats, GuardVerdict, GuardedExecutor};
+pub use inspect::{inspect_monotone, IndexArrayView, MonotoneReq, MonotoneVerdict};

@@ -16,7 +16,11 @@ pub struct Coo {
 impl Coo {
     /// An empty matrix of the given shape.
     pub fn new(rows: usize, cols: usize) -> Coo {
-        Coo { rows, cols, entries: Vec::new() }
+        Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Appends a triplet.

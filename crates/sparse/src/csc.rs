@@ -41,7 +41,13 @@ impl Csc {
                 cursor[c] += 1;
             }
         }
-        Csc { rows: a.rows, cols: a.cols, col_ptr, row_ind, values }
+        Csc {
+            rows: a.rows,
+            cols: a.cols,
+            col_ptr,
+            row_ind,
+            values,
+        }
     }
 
     /// Number of stored nonzeros.
@@ -74,6 +80,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn csr_to_csc_roundtrip_dense() {
         let a = Csr::from_rows(
             3,

@@ -34,7 +34,13 @@ impl Csr {
             }
             row_ptr.push(col_idx.len());
         }
-        Csr { rows, cols, row_ptr, col_idx, values }
+        Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of stored nonzeros.
@@ -48,6 +54,7 @@ impl Csr {
     }
 
     /// `y = A * x` (serial reference).
+    #[allow(clippy::needless_range_loop)]
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols);
         assert_eq!(y.len(), self.rows);
@@ -85,6 +92,7 @@ impl Csr {
     }
 
     /// Dense form, for small-matrix tests.
+    #[allow(clippy::needless_range_loop)]
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut out = vec![vec![0.0; self.cols]; self.rows];
         for r in 0..self.rows {

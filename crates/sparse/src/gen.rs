@@ -8,8 +8,7 @@
 //! | generic fill-ins | [`random_uniform`] | controlled density |
 
 use crate::csr::Csr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 
 /// A named matrix recipe used by the benchmark harnesses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,9 +53,12 @@ impl MatrixSpec {
         match *self {
             MatrixSpec::Laplacian3d { n } => laplacian_3d(n),
             MatrixSpec::Banded { n, half_bw } => banded(n, half_bw),
-            MatrixSpec::PowerLaw { n, avg_deg, alpha, seed } => {
-                power_law_cols(n, avg_deg, alpha, seed)
-            }
+            MatrixSpec::PowerLaw {
+                n,
+                avg_deg,
+                alpha,
+                seed,
+            } => power_law_cols(n, avg_deg, alpha, seed),
             MatrixSpec::Uniform { n, avg_deg, seed } => random_uniform(n, avg_deg, seed),
         }
     }
@@ -74,8 +76,7 @@ pub fn laplacian_3d(n: usize) -> Csr {
                 for dz in -1i64..=1 {
                     for dy in -1i64..=1 {
                         for dx in -1i64..=1 {
-                            let (nx, ny, nz) =
-                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            let (nx, ny, nz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                             if nx < 0 || ny < 0 || nz < 0 {
                                 continue;
                             }
@@ -83,7 +84,11 @@ pub fn laplacian_3d(n: usize) -> Csr {
                             if nx >= n || ny >= n || nz >= n {
                                 continue;
                             }
-                            let v = if dx == 0 && dy == 0 && dz == 0 { 26.0 } else { -1.0 };
+                            let v = if dx == 0 && dy == 0 && dz == 0 {
+                                26.0
+                            } else {
+                                -1.0
+                            };
                             row.push((idx(nx, ny, nz), v));
                         }
                     }
@@ -115,7 +120,7 @@ pub fn banded(n: usize, half_bw: usize) -> Csr {
 /// `(c+1)^(-alpha)` (then shuffled), producing the skewed per-column work
 /// of the gsm/dielFilter/inline matrices where dynamic scheduling wins.
 pub fn power_law_cols(n: usize, avg_deg: usize, alpha: f64, seed: u64) -> Csr {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     // Degree model.
     let weights: Vec<f64> = (0..n).map(|c| ((c + 1) as f64).powf(-alpha)).collect();
     let wsum: f64 = weights.iter().sum();
@@ -135,7 +140,7 @@ pub fn power_law_cols(n: usize, avg_deg: usize, alpha: f64, seed: u64) -> Csr {
     for i in 0..n {
         let hi = (i + window).min(n - 1);
         if hi > i {
-            let j = rng.gen_range(i..=hi);
+            let j = rng.gen_usize(i, hi);
             degrees.swap(i, j);
         }
     }
@@ -143,8 +148,8 @@ pub fn power_law_cols(n: usize, avg_deg: usize, alpha: f64, seed: u64) -> Csr {
     for (c, &deg) in degrees.iter().enumerate() {
         let deg = deg.clamp(1, n);
         for _ in 0..deg {
-            let r = rng.gen_range(0..n);
-            rows[r].push((c, rng.gen_range(-1.0..1.0)));
+            let r = rng.gen_usize(0, n - 1);
+            rows[r].push((c, rng.gen_f64(-1.0, 1.0)));
         }
     }
     Csr::from_rows(n, n, rows)
@@ -153,12 +158,12 @@ pub fn power_law_cols(n: usize, avg_deg: usize, alpha: f64, seed: u64) -> Csr {
 /// Uniformly random pattern with `avg_deg` nonzeros per row plus the
 /// diagonal.
 pub fn random_uniform(n: usize, avg_deg: usize, seed: u64) -> Csr {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
     for i in 0..n {
         let mut row = vec![(i, avg_deg as f64 + 1.0)];
         for _ in 0..avg_deg {
-            row.push((rng.gen_range(0..n), rng.gen_range(-1.0..1.0)));
+            row.push((rng.gen_usize(0, n - 1), rng.gen_f64(-1.0, 1.0)));
         }
         rows.push(row);
     }
@@ -184,6 +189,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn laplacian_is_symmetric_pattern() {
         let a = laplacian_3d(4);
         let d = a.to_dense();
@@ -209,7 +215,11 @@ mod tests {
         a.validate().unwrap();
         let b = Csc::from_csr(&a);
         let st = DegreeStats::of_cols(&b);
-        assert!(st.imbalance() > 2.0, "power-law imbalance {}", st.imbalance());
+        assert!(
+            st.imbalance() > 2.0,
+            "power-law imbalance {}",
+            st.imbalance()
+        );
     }
 
     #[test]
@@ -226,8 +236,17 @@ mod tests {
         for spec in [
             MatrixSpec::Laplacian3d { n: 3 },
             MatrixSpec::Banded { n: 10, half_bw: 2 },
-            MatrixSpec::PowerLaw { n: 10, avg_deg: 2, alpha: 0.5, seed: 1 },
-            MatrixSpec::Uniform { n: 10, avg_deg: 2, seed: 1 },
+            MatrixSpec::PowerLaw {
+                n: 10,
+                avg_deg: 2,
+                alpha: 0.5,
+                seed: 1,
+            },
+            MatrixSpec::Uniform {
+                n: 10,
+                avg_deg: 2,
+                seed: 1,
+            },
         ] {
             spec.build().validate().unwrap();
         }

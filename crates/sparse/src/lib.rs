@@ -13,10 +13,12 @@ pub mod coo;
 pub mod csc;
 pub mod csr;
 pub mod gen;
+pub mod rng;
 pub mod stats;
 
 pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::Csr;
 pub use gen::{banded, laplacian_3d, power_law_cols, random_uniform, MatrixSpec};
+pub use rng::Rng64;
 pub use stats::DegreeStats;

@@ -13,12 +13,16 @@ pub struct DegreeStats {
 impl DegreeStats {
     /// Row degrees of a CSR matrix.
     pub fn of_rows(a: &Csr) -> DegreeStats {
-        DegreeStats { degrees: (0..a.rows).map(|r| a.row_nnz(r)).collect() }
+        DegreeStats {
+            degrees: (0..a.rows).map(|r| a.row_nnz(r)).collect(),
+        }
     }
 
     /// Column degrees of a CSC matrix.
     pub fn of_cols(a: &Csc) -> DegreeStats {
-        DegreeStats { degrees: (0..a.cols).map(|c| a.col_nnz(c)).collect() }
+        DegreeStats {
+            degrees: (0..a.cols).map(|c| a.col_nnz(c)).collect(),
+        }
     }
 
     /// Maximum degree.

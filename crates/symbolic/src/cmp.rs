@@ -74,16 +74,28 @@ mod tests {
     #[test]
     fn constant_ordering() {
         let env = RangeEnv::new();
-        assert_eq!(cmp_exprs(&Expr::int(3), &Expr::int(5), &env), SymOrdering::Lt);
-        assert_eq!(cmp_exprs(&Expr::int(5), &Expr::int(3), &env), SymOrdering::Gt);
+        assert_eq!(
+            cmp_exprs(&Expr::int(3), &Expr::int(5), &env),
+            SymOrdering::Lt
+        );
+        assert_eq!(
+            cmp_exprs(&Expr::int(5), &Expr::int(3), &env),
+            SymOrdering::Gt
+        );
     }
 
     #[test]
     fn shifted_symbol() {
         let env = RangeEnv::new();
         let x = Expr::var("x");
-        assert_eq!(cmp_exprs(&x, &(x.clone() + Expr::int(1)), &env), SymOrdering::Lt);
-        assert_eq!(cmp_exprs(&x, &(x.clone() - Expr::int(2)), &env), SymOrdering::Gt);
+        assert_eq!(
+            cmp_exprs(&x, &(x.clone() + Expr::int(1)), &env),
+            SymOrdering::Lt
+        );
+        assert_eq!(
+            cmp_exprs(&x, &(x.clone() - Expr::int(2)), &env),
+            SymOrdering::Gt
+        );
     }
 
     #[test]

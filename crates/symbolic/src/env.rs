@@ -41,6 +41,7 @@ impl Sign {
     }
 
     /// Sign of a sum `x + y` given the signs of `x` and `y`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Sign) -> Sign {
         use Sign::*;
         match (self, other) {
@@ -54,6 +55,7 @@ impl Sign {
     }
 
     /// Sign of a product `x * y` given the signs of `x` and `y`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Sign) -> Sign {
         use Sign::*;
         match (self, other) {
@@ -296,10 +298,7 @@ mod tests {
     #[test]
     fn upper_bound_negativity() {
         let mut env = RangeEnv::new();
-        env.assume(
-            Symbol::var("d"),
-            Interval::at_most(Expr::int(-1)),
-        );
+        env.assume(Symbol::var("d"), Interval::at_most(Expr::int(-1)));
         assert_eq!(env.sign_of(&Expr::var("d")), Sign::Neg);
         assert_eq!(env.sign_of(&(Expr::int(-2) * Expr::var("d"))), Sign::Pos);
     }

@@ -57,7 +57,10 @@ pub struct Term {
 
 impl Term {
     fn constant(c: i64) -> Term {
-        Term { coeff: c, atoms: Vec::new() }
+        Term {
+            coeff: c,
+            atoms: Vec::new(),
+        }
     }
 
     /// Total degree of the term (number of atoms, counting multiplicity).
@@ -70,7 +73,10 @@ impl Term {
         atoms.extend(self.atoms.iter().cloned());
         atoms.extend(other.atoms.iter().cloned());
         atoms.sort();
-        Term { coeff: self.coeff * other.coeff, atoms }
+        Term {
+            coeff: self.coeff * other.coeff,
+            atoms,
+        }
     }
 }
 
@@ -91,7 +97,9 @@ impl Expr {
         if c == 0 {
             Expr::default()
         } else {
-            Expr { terms: vec![Term::constant(c)] }
+            Expr {
+                terms: vec![Term::constant(c)],
+            }
         }
     }
 
@@ -102,7 +110,12 @@ impl Expr {
 
     /// A single symbol.
     pub fn sym(s: Symbol) -> Expr {
-        Expr { terms: vec![Term { coeff: 1, atoms: vec![Atom::Sym(s)] }] }
+        Expr {
+            terms: vec![Term {
+                coeff: 1,
+                atoms: vec![Atom::Sym(s)],
+            }],
+        }
     }
 
     /// A plain program variable.
@@ -130,7 +143,10 @@ impl Expr {
         Expr {
             terms: vec![Term {
                 coeff: 1,
-                atoms: vec![Atom::Read { array: Arc::from(array), indices }],
+                atoms: vec![Atom::Read {
+                    array: Arc::from(array),
+                    indices,
+                }],
             }],
         }
     }
@@ -195,7 +211,9 @@ impl Expr {
     /// Like [`Expr::as_sym`] but panics with a clear message; convenient in
     /// tests and examples.
     pub fn expect_sym(&self) -> Symbol {
-        self.as_sym().cloned().unwrap_or_else(|| panic!("expected a bare symbol, got {self}"))
+        self.as_sym()
+            .cloned()
+            .unwrap_or_else(|| panic!("expected a bare symbol, got {self}"))
     }
 
     /// The constant part of the sum.
@@ -210,7 +228,12 @@ impl Expr {
     /// The expression minus its constant part.
     pub fn drop_constant(&self) -> Expr {
         Expr {
-            terms: self.terms.iter().filter(|t| !t.atoms.is_empty()).cloned().collect(),
+            terms: self
+                .terms
+                .iter()
+                .filter(|t| !t.atoms.is_empty())
+                .cloned()
+                .collect(),
         }
     }
 
@@ -297,7 +320,10 @@ impl Expr {
                         .filter(|a| !matches!(a, Atom::Sym(s) if s == sym))
                         .cloned()
                         .collect();
-                    coef_terms.push(Term { coeff: t.coeff, atoms });
+                    coef_terms.push(Term {
+                        coeff: t.coeff,
+                        atoms,
+                    });
                 }
                 _ => return None,
             }
@@ -327,12 +353,17 @@ impl Expr {
                     Atom::Sym(s) if s == sym => replacement.clone(),
                     Atom::Sym(s) => Expr::sym(s.clone()),
                     Atom::Read { array, indices } => {
-                        let new_indices: Vec<Expr> =
-                            indices.iter().map(|ix| ix.subst_sym(sym, replacement)).collect();
+                        let new_indices: Vec<Expr> = indices
+                            .iter()
+                            .map(|ix| ix.subst_sym(sym, replacement))
+                            .collect();
                         Expr {
                             terms: vec![Term {
                                 coeff: 1,
-                                atoms: vec![Atom::Read { array: array.clone(), indices: new_indices }],
+                                atoms: vec![Atom::Read {
+                                    array: array.clone(),
+                                    indices: new_indices,
+                                }],
                             }],
                         }
                     }
@@ -359,8 +390,11 @@ impl Expr {
     /// Rewrites every symbol with kind `from` into kind `to`, e.g. turning
     /// `λ_v` into `Λ_v` when moving from Phase-1 to Phase-2.
     pub fn rekind(&self, from: crate::sym::SymbolKind, to: crate::sym::SymbolKind) -> Expr {
-        let lambdas: Vec<Symbol> =
-            self.free_syms().into_iter().filter(|s| s.kind == from).collect();
+        let lambdas: Vec<Symbol> = self
+            .free_syms()
+            .into_iter()
+            .filter(|s| s.kind == from)
+            .collect();
         let mut out = self.clone();
         for s in lambdas {
             let replacement = Expr::sym(s.with_kind(to));
@@ -452,7 +486,11 @@ impl fmt::Display for Expr {
             self.terms.iter().partition(|t| t.atoms.is_empty());
         let mut first = true;
         for t in vars.into_iter().chain(consts) {
-            let (sign, mag) = if t.coeff < 0 { ("-", -t.coeff) } else { ("+", t.coeff) };
+            let (sign, mag) = if t.coeff < 0 {
+                ("-", -t.coeff)
+            } else {
+                ("+", t.coeff)
+            };
             if first {
                 if sign == "-" {
                     write!(f, "-")?;
@@ -507,7 +545,8 @@ mod tests {
 
     #[test]
     fn cancellation_yields_zero() {
-        let e = Expr::int(25) * j() + Expr::lambda("ntemp") - Expr::int(25) * j()
+        let e = Expr::int(25) * j() + Expr::lambda("ntemp")
+            - Expr::int(25) * j()
             - Expr::lambda("ntemp");
         assert!(e.is_zero());
     }
@@ -524,8 +563,7 @@ mod tests {
     fn product_distributes() {
         // (i + 1) * (i + 2) = i^2 + 3i + 2
         let e = (i() + Expr::int(1)) * (i() + Expr::int(2));
-        let expected =
-            i() * i() + Expr::int(3) * i() + Expr::int(2);
+        let expected = i() * i() + Expr::int(3) * i() + Expr::int(2);
         assert_eq!(e, expected);
         assert_eq!(e.degree(), 2);
     }

@@ -46,22 +46,34 @@ pub struct Interval {
 impl Interval {
     /// `[lo, +∞)`.
     pub fn at_least(lo: Expr) -> Interval {
-        Interval { lo: Bound::Fin(lo), hi: Bound::PosInf }
+        Interval {
+            lo: Bound::Fin(lo),
+            hi: Bound::PosInf,
+        }
     }
 
     /// `(-∞, hi]`.
     pub fn at_most(hi: Expr) -> Interval {
-        Interval { lo: Bound::NegInf, hi: Bound::Fin(hi) }
+        Interval {
+            lo: Bound::NegInf,
+            hi: Bound::Fin(hi),
+        }
     }
 
     /// `[lo, hi]`.
     pub fn finite(lo: Expr, hi: Expr) -> Interval {
-        Interval { lo: Bound::Fin(lo), hi: Bound::Fin(hi) }
+        Interval {
+            lo: Bound::Fin(lo),
+            hi: Bound::Fin(hi),
+        }
     }
 
     /// `(-∞, +∞)`.
     pub fn top() -> Interval {
-        Interval { lo: Bound::NegInf, hi: Bound::PosInf }
+        Interval {
+            lo: Bound::NegInf,
+            hi: Bound::PosInf,
+        }
     }
 }
 
@@ -95,7 +107,10 @@ pub struct Range {
 impl Range {
     /// The degenerate range `[e:e]`.
     pub fn point(e: Expr) -> Range {
-        Range { lo: e.clone(), hi: e }
+        Range {
+            lo: e.clone(),
+            hi: e,
+        }
     }
 
     /// The range `[lo:hi]`.
@@ -129,7 +144,10 @@ impl Range {
 
     /// Element-wise sum of ranges: `[a:b] + [c:d] = [a+c : b+d]`.
     pub fn add(&self, other: &Range) -> Range {
-        Range::new(self.lo.clone() + other.lo.clone(), self.hi.clone() + other.hi.clone())
+        Range::new(
+            self.lo.clone() + other.lo.clone(),
+            self.hi.clone() + other.hi.clone(),
+        )
     }
 
     /// Shifts both bounds by `e`.
@@ -145,9 +163,15 @@ impl Range {
     /// Scales by an integer constant, swapping bounds when negative.
     pub fn mul_int(&self, c: i64) -> Range {
         if c >= 0 {
-            Range::new(Expr::int(c) * self.lo.clone(), Expr::int(c) * self.hi.clone())
+            Range::new(
+                Expr::int(c) * self.lo.clone(),
+                Expr::int(c) * self.hi.clone(),
+            )
         } else {
-            Range::new(Expr::int(c) * self.hi.clone(), Expr::int(c) * self.lo.clone())
+            Range::new(
+                Expr::int(c) * self.hi.clone(),
+                Expr::int(c) * self.lo.clone(),
+            )
         }
     }
 
@@ -159,9 +183,15 @@ impl Range {
         }
         let s = env.sign_of(e);
         if s.is_nonneg() {
-            Some(Range::new(e.clone() * self.lo.clone(), e.clone() * self.hi.clone()))
+            Some(Range::new(
+                e.clone() * self.lo.clone(),
+                e.clone() * self.hi.clone(),
+            ))
         } else if s.is_nonpos() {
-            Some(Range::new(e.clone() * self.hi.clone(), e.clone() * self.lo.clone()))
+            Some(Range::new(
+                e.clone() * self.hi.clone(),
+                e.clone() * self.lo.clone(),
+            ))
         } else {
             None
         }

@@ -53,12 +53,12 @@ mod tests {
         };
         // Phase-1 ranges of the j-loop body (per paper Section 3.3):
         let per_iter = [
-            mk(4, 25, 24, 25),   // idel[iel][0]
-            mk(0, 25, 20, 25),   // idel[iel][1]
-            mk(20, 25, 24, 25),  // idel[iel][2]
-            mk(0, 25, 4, 25),    // idel[iel][3]
-            mk(100, 5, 104, 5),  // idel[iel][4]
-            mk(0, 5, 4, 5),      // idel[iel][5]
+            mk(4, 25, 24, 25),  // idel[iel][0]
+            mk(0, 25, 20, 25),  // idel[iel][1]
+            mk(20, 25, 24, 25), // idel[iel][2]
+            mk(0, 25, 4, 25),   // idel[iel][3]
+            mk(100, 5, 104, 5), // idel[iel][4]
+            mk(0, 5, 4, 5),     // idel[iel][5]
         ];
         // Aggregate j over [0:4] first (subst_sym_range), then hull.
         let env = RangeEnv::new();
@@ -75,7 +75,7 @@ mod tests {
     fn hull_of_single_range_is_identity() {
         let env = RangeEnv::new();
         let r = Range::ints(3, 9);
-        assert_eq!(hull(&[r.clone()], &env), Some(r));
+        assert_eq!(hull(std::slice::from_ref(&r), &env), Some(r));
     }
 
     #[test]

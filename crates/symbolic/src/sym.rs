@@ -45,22 +45,34 @@ pub struct Symbol {
 impl Symbol {
     /// A plain variable symbol.
     pub fn var(name: &str) -> Self {
-        Symbol { kind: SymbolKind::Var, name: Arc::from(name) }
+        Symbol {
+            kind: SymbolKind::Var,
+            name: Arc::from(name),
+        }
     }
 
     /// The `λ_name` symbol (iteration-entry value).
     pub fn lambda(name: &str) -> Self {
-        Symbol { kind: SymbolKind::Lambda, name: Arc::from(name) }
+        Symbol {
+            kind: SymbolKind::Lambda,
+            name: Arc::from(name),
+        }
     }
 
     /// The `Λ_name` symbol (loop-entry value).
     pub fn entry(name: &str) -> Self {
-        Symbol { kind: SymbolKind::Entry, name: Arc::from(name) }
+        Symbol {
+            kind: SymbolKind::Entry,
+            name: Arc::from(name),
+        }
     }
 
     /// The `name_max` symbol (post-loop value).
     pub fn post_max(name: &str) -> Self {
-        Symbol { kind: SymbolKind::PostMax, name: Arc::from(name) }
+        Symbol {
+            kind: SymbolKind::PostMax,
+            name: Arc::from(name),
+        }
     }
 
     /// True if this is a `λ_v` symbol.
@@ -70,7 +82,10 @@ impl Symbol {
 
     /// The same base name reinterpreted with a different kind.
     pub fn with_kind(&self, kind: SymbolKind) -> Symbol {
-        Symbol { kind, name: self.name.clone() }
+        Symbol {
+            kind,
+            name: self.name.clone(),
+        }
     }
 }
 
@@ -112,7 +127,7 @@ mod tests {
     #[test]
     fn ordering_is_total_and_stable() {
         // Kind-major ordering: all plain vars sort before λ symbols.
-        let mut v = vec![Symbol::lambda("a"), Symbol::var("b"), Symbol::var("a")];
+        let mut v = [Symbol::lambda("a"), Symbol::var("b"), Symbol::var("a")];
         v.sort();
         assert_eq!(v[0], Symbol::var("a"));
         assert_eq!(v[1], Symbol::var("b"));

@@ -29,7 +29,9 @@ fn main() {
 
     // --- Runtime side ------------------------------------------------------
     let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     );
     let mut inst = kernel.prepare("MATRIX1");
 
@@ -39,22 +41,53 @@ fn main() {
 
     inst.reset();
     inst.run(Variant::InnerParallel, &pool, Schedule::static_default());
-    println!("inner-parallel checksum: {:.6} (classical decision)", inst.checksum());
+    println!(
+        "inner-parallel checksum: {:.6} (classical decision)",
+        inst.checksum()
+    );
 
     inst.reset();
     inst.run(Variant::OuterParallel, &pool, Schedule::static_default());
-    println!("outer-parallel checksum: {:.6} (new algorithm)\n", inst.checksum());
+    println!(
+        "outer-parallel checksum: {:.6} (new algorithm)\n",
+        inst.checksum()
+    );
 
     // --- Simulated multi-core picture --------------------------------------
     use subsub_bench::harness::{calibrate, measured_fork_join, simulate_variant};
     let fj = measured_fork_join(&pool);
     let cal = calibrate(inst.as_mut(), fj);
-    println!("measured fork-join: {:.2} µs; serial time {:.4} s", fj * 1e6, cal.serial_time);
-    println!("{:<8} {:>14} {:>14} {:>14}", "cores", "serial", "inner-par", "outer-par");
+    println!(
+        "measured fork-join: {:.2} µs; serial time {:.4} s",
+        fj * 1e6,
+        cal.serial_time
+    );
+    println!(
+        "{:<8} {:>14} {:>14} {:>14}",
+        "cores", "serial", "inner-par", "outer-par"
+    );
     for cores in [4usize, 8, 16] {
-        let s = simulate_variant(inst.as_ref(), Variant::Serial, cores, Schedule::static_default(), &cal);
-        let i = simulate_variant(inst.as_ref(), Variant::InnerParallel, cores, Schedule::static_default(), &cal);
-        let o = simulate_variant(inst.as_ref(), Variant::OuterParallel, cores, Schedule::static_default(), &cal);
+        let s = simulate_variant(
+            inst.as_ref(),
+            Variant::Serial,
+            cores,
+            Schedule::static_default(),
+            &cal,
+        );
+        let i = simulate_variant(
+            inst.as_ref(),
+            Variant::InnerParallel,
+            cores,
+            Schedule::static_default(),
+            &cal,
+        );
+        let o = simulate_variant(
+            inst.as_ref(),
+            Variant::OuterParallel,
+            cores,
+            Schedule::static_default(),
+            &cal,
+        );
         println!("{cores:<8} {s:>13.4}s {i:>13.4}s {o:>13.4}s");
     }
     println!("\nThe inner strategy pays one fork-join per matrix row — the");

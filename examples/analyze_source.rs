@@ -24,11 +24,16 @@ void demo(int n, int *cnt, int *pos, double *x) {
 
 fn main() {
     let src = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => DEMO.to_string(),
     };
-    for level in [AlgorithmLevel::Classic, AlgorithmLevel::Base, AlgorithmLevel::New] {
+    for level in [
+        AlgorithmLevel::Classic,
+        AlgorithmLevel::Base,
+        AlgorithmLevel::New,
+    ] {
         match analyze_program(&src, level) {
             Ok(report) => print!("{report}"),
             Err(e) => {

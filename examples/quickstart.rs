@@ -27,7 +27,11 @@ fn main() {
 
     println!("=== input ===\n{src}");
 
-    for level in [AlgorithmLevel::Classic, AlgorithmLevel::Base, AlgorithmLevel::New] {
+    for level in [
+        AlgorithmLevel::Classic,
+        AlgorithmLevel::Base,
+        AlgorithmLevel::New,
+    ] {
         let report = analyze_program(src, level).expect("analysis");
         println!("{report}");
     }

@@ -27,7 +27,9 @@ fn main() {
     println!("decision: {}\n", best.decision);
 
     let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     );
     let fj = measured_fork_join(&pool);
 
@@ -49,10 +51,18 @@ fn main() {
 
         let cal = calibrate(inst.as_mut(), fj);
         let st = simulate_variant(
-            inst.as_ref(), Variant::OuterParallel, 8, Schedule::static_default(), &cal,
+            inst.as_ref(),
+            Variant::OuterParallel,
+            8,
+            Schedule::static_default(),
+            &cal,
         );
         let dy = simulate_variant(
-            inst.as_ref(), Variant::OuterParallel, 8, Schedule::dynamic_default(), &cal,
+            inst.as_ref(),
+            Variant::OuterParallel,
+            8,
+            Schedule::dynamic_default(),
+            &cal,
         );
         println!(
             "{ds:<18} {imb:>9.2}x {st:>11.4}s {dy:>11.4}s {:>8.2}x",

@@ -39,7 +39,10 @@ fn main() {
     // Phase-1 SVDs per loop, inside out.
     for l in lowered.loops().iter().rev() {
         let la = fa.loop_analysis(l.id).unwrap();
-        println!("--- loop {} (index {}) Phase-1 SVD ---", l.id, l.original_index);
+        println!(
+            "--- loop {} (index {}) Phase-1 SVD ---",
+            l.id, l.original_index
+        );
         println!("{}", la.svd.dump());
         let c = &fa.collapsed[&l.id];
         println!("collapsed effects:");

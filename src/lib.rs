@@ -11,6 +11,8 @@
 //! * [`core`] — the paper's Phase-1/Phase-2 analysis and the
 //!   parallelization driver,
 //! * [`omprt`] — OpenMP-like runtime and scheduling cost model,
+//! * [`rtcheck`] — executable runtime checks, the parallel index-array
+//!   inspector with memoization, and guarded execution,
 //! * [`sparse`] — sparse-matrix substrate and workload generators,
 //! * [`kernels`] — the twelve evaluation benchmarks.
 
@@ -19,5 +21,6 @@ pub use subsub_core as core;
 pub use subsub_ir as ir;
 pub use subsub_kernels as kernels;
 pub use subsub_omprt as omprt;
+pub use subsub_rtcheck as rtcheck;
 pub use subsub_sparse as sparse;
 pub use subsub_symbolic as symbolic;

@@ -52,7 +52,11 @@ fn expected(name: &str, level: AlgorithmLevel) -> Variant {
 fn figure17_decision_matrix() {
     let mut failures = Vec::new();
     for k in all_kernels() {
-        for level in [AlgorithmLevel::Classic, AlgorithmLevel::Base, AlgorithmLevel::New] {
+        for level in [
+            AlgorithmLevel::Classic,
+            AlgorithmLevel::Base,
+            AlgorithmLevel::New,
+        ] {
             let got = variant_for(k.source(), k.func_name(), level);
             let want = expected(k.name(), level);
             if got != want {
@@ -75,7 +79,13 @@ fn amgmk_new_emits_paper_runtime_check() {
     let f = report.function(k.func_name()).unwrap();
     let l = f.last_nest_parallel().unwrap();
     let plan = l.decision.plan().unwrap();
-    assert_eq!(plan.runtime_check.as_deref(), Some("num_rownnz - 1 <= irownnz_max"));
+    let check = plan.runtime_check.as_ref().expect("runtime check");
+    assert_eq!(check.to_string(), "num_rownnz - 1 <= irownnz_max");
+    // The structured check round-trips through its display form.
+    assert_eq!(
+        subsub::rtcheck::parse_check(&check.to_string()).unwrap(),
+        *check
+    );
 }
 
 /// SDDMM's check matches Section 3.2.
@@ -86,7 +96,12 @@ fn sddmm_new_emits_paper_runtime_check() {
     let f = report.function(k.func_name()).unwrap();
     let l = f.last_nest_parallel().unwrap();
     let plan = l.decision.plan().unwrap();
-    assert_eq!(plan.runtime_check.as_deref(), Some("n_cols - 1 <= holder_max"));
+    let check = plan.runtime_check.as_ref().expect("runtime check");
+    assert_eq!(check.to_string(), "n_cols - 1 <= holder_max");
+    assert_eq!(
+        subsub::rtcheck::parse_check(&check.to_string()).unwrap(),
+        *check
+    );
 }
 
 /// UA(transf) requires no runtime check: the idel bounds are compile-time.

@@ -14,7 +14,11 @@ fn series(name: &str, ds: &str, pool: &ThreadPool, fj: f64) -> Series {
     Series::new(
         k.as_ref(),
         ds,
-        &[Variant::Serial, Variant::InnerParallel, Variant::OuterParallel],
+        &[
+            Variant::Serial,
+            Variant::InnerParallel,
+            Variant::OuterParallel,
+        ],
         pool,
         fj,
     )
@@ -50,7 +54,10 @@ fn figure13_anomaly_inner_slower_than_serial() {
     let s = series("AMGmk", "test", &pool, fj);
     let serial = s.sim(Variant::Serial, 16, Schedule::static_default());
     let inner = s.sim(Variant::InnerParallel, 16, Schedule::static_default());
-    assert!(inner > serial, "inner {inner} must be slower than serial {serial}");
+    assert!(
+        inner > serial,
+        "inner {inner} must be slower than serial {serial}"
+    );
 }
 
 /// Figure 14's shape: speedup over serial grows monotonically with cores
@@ -66,14 +73,20 @@ fn figure14_speedups_grow_and_amgmk_saturates() {
         for cores in [4usize, 8, 16] {
             let t = s.sim(Variant::OuterParallel, cores, Schedule::static_default());
             let sp = s.sim(Variant::Serial, cores, Schedule::static_default()) / t;
-            assert!(sp >= last - 1e-9, "{name}: speedup must not shrink with cores");
+            assert!(
+                sp >= last - 1e-9,
+                "{name}: speedup must not shrink with cores"
+            );
             last = sp;
         }
         at16.push((name, last));
     }
     let amgmk = at16.iter().find(|(n, _)| *n == "AMGmk").unwrap().1;
     for (name, sp) in &at16 {
-        assert!(amgmk <= *sp + 1e-9, "AMGmk ({amgmk:.2}) saturates at or below {name} ({sp:.2})");
+        assert!(
+            amgmk <= *sp + 1e-9,
+            "AMGmk ({amgmk:.2}) saturates at or below {name} ({sp:.2})"
+        );
     }
 }
 
@@ -111,14 +124,17 @@ fn figure17_improvement_counts() {
     use subsub_omprt::SimParams;
     let mut improved = [0usize; 3];
     for k in subsub::kernels::all_kernels() {
-        let levels = [AlgorithmLevel::Classic, AlgorithmLevel::Base, AlgorithmLevel::New];
+        let levels = [
+            AlgorithmLevel::Classic,
+            AlgorithmLevel::Base,
+            AlgorithmLevel::New,
+        ];
         let variants: Vec<_> = levels.iter().map(|&l| variant_for(k.as_ref(), l)).collect();
         // The Experiment-2 datasets: test-size problems are too small to
         // amortize fork-join for some classically-parallel kernels.
         let ds = k.datasets()[0];
         let inst = k.prepare(ds);
-        let serial_units =
-            subsub::kernels::common::serial_cost(&inst.inner_groups()).max(1.0);
+        let serial_units = subsub::kernels::common::serial_cost(&inst.inner_groups()).max(1.0);
         let cal = Calibration {
             serial_time: serial_units,
             unit: 1.0,
@@ -136,5 +152,9 @@ fn figure17_improvement_counts() {
             }
         }
     }
-    assert_eq!(improved, [6, 7, 10], "paper: Cetus 6/12, +BaseAlgo 7/12, +NewAlgo 10/12");
+    assert_eq!(
+        improved,
+        [6, 7, 10],
+        "paper: Cetus 6/12, +BaseAlgo 7/12, +NewAlgo 10/12"
+    );
 }

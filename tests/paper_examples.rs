@@ -41,21 +41,34 @@ fn section_3_1_amgmk() {
     assert!(dump.contains("A_rownnz[λ_irownnz]"), "{dump}");
     assert!(dump.contains("⟨i⟩"), "{dump}");
     assert!(dump.contains("⟨λ_irownnz + 1⟩"), "{dump}");
-    assert!(dump.contains("A_i[1 + i]") || dump.contains("A_i[i + 1]"), "{dump}");
+    assert!(
+        dump.contains("A_i[1 + i]") || dump.contains("A_i[i + 1]"),
+        "{dump}"
+    );
 
     // Phase-2 with loop-entry substitution.
     let fa = analyze_function(&f, AlgorithmLevel::New, &env);
     let p = fa.properties.get("A_rownnz").expect("property");
     assert_eq!(p.monotonicity, Monotonicity::StrictlyMonotonic);
-    assert_eq!(p.index_range, Range::new(Expr::int(0), Expr::post_max("irownnz")));
+    assert_eq!(
+        p.index_range,
+        Range::new(Expr::int(0), Expr::post_max("irownnz"))
+    );
     assert_eq!(
         p.value_range,
-        Some(Range::new(Expr::int(0), Expr::var("num_rows") - Expr::int(1)))
+        Some(Range::new(
+            Expr::int(0),
+            Expr::var("num_rows") - Expr::int(1)
+        ))
     );
 
     // Aggregated counter: irownnz = [Λ : Λ + num_rows] with Λ = 0.
     let collapsed = &fa.collapsed[&LoopId(0)];
-    let irownnz = collapsed.scalars.iter().find(|s| s.name == "irownnz").unwrap();
+    let irownnz = collapsed
+        .scalars
+        .iter()
+        .find(|s| s.name == "irownnz")
+        .unwrap();
     assert_eq!(
         irownnz.val,
         Val::Range(Range::new(
@@ -64,7 +77,11 @@ fn section_3_1_amgmk() {
         ))
     );
     // adiag = ⊥ after the loop.
-    let adiag = collapsed.scalars.iter().find(|s| s.name == "adiag").unwrap();
+    let adiag = collapsed
+        .scalars
+        .iter()
+        .find(|s| s.name == "adiag")
+        .unwrap();
     assert_eq!(adiag.val, Val::Bottom);
 }
 
@@ -98,10 +115,16 @@ fn section_3_2_sddmm() {
     let fa = analyze_function(&f, AlgorithmLevel::New, &env);
     let p = fa.properties.get("col_ptr").expect("property");
     // Range [0 : holder_max] (the paper's convention), value [0:nonzeros-1].
-    assert_eq!(p.index_range, Range::new(Expr::int(0), Expr::post_max("holder")));
+    assert_eq!(
+        p.index_range,
+        Range::new(Expr::int(0), Expr::post_max("holder"))
+    );
     assert_eq!(
         p.value_range,
-        Some(Range::new(Expr::int(0), Expr::var("nonzeros") - Expr::int(1)))
+        Some(Range::new(
+            Expr::int(0),
+            Expr::var("nonzeros") - Expr::int(1)
+        ))
     );
     // holder aggregates to [Λ : Λ + nonzeros] = [1 : 1 + nonzeros].
     let holder = fa.collapsed[&LoopId(0)]
@@ -146,7 +169,11 @@ fn section_3_3_ua() {
     // Innermost i-loop (L2): six writes, not yet mergeable — the paper's
     // "a simplified expression cannot yet be determined".
     let c2 = &fa.collapsed[&LoopId(2)];
-    assert_eq!(c2.arrays.len(), 6, "six idel facets stay separate after the i-loop");
+    assert_eq!(
+        c2.arrays.len(),
+        6,
+        "six idel facets stay separate after the i-loop"
+    );
 
     // j-loop (L1): simplification succeeds —
     // idel[iel][0:5][0:4][0:4] = [Λ_ntemp : 124 + Λ_ntemp].

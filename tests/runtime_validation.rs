@@ -8,7 +8,8 @@
 use subsub::core::AlgorithmLevel;
 use subsub::kernels::{all_kernels, common::close};
 use subsub::omprt::{Schedule, ThreadPool};
-use subsub_bench::variant_for;
+use subsub::rtcheck::{parse_check, GuardPath};
+use subsub_bench::{variant_for, GuardedHarness};
 
 #[test]
 fn every_selected_variant_matches_serial() {
@@ -17,7 +18,11 @@ fn every_selected_variant_matches_serial() {
         let mut inst = k.prepare("test");
         inst.run_serial();
         let reference = inst.checksum();
-        for level in [AlgorithmLevel::Classic, AlgorithmLevel::Base, AlgorithmLevel::New] {
+        for level in [
+            AlgorithmLevel::Classic,
+            AlgorithmLevel::Base,
+            AlgorithmLevel::New,
+        ] {
             let variant = variant_for(k.as_ref(), level);
             for sched in [Schedule::static_default(), Schedule::dynamic_default()] {
                 inst.reset();
@@ -65,13 +70,141 @@ fn runtime_checks_present_exactly_where_expected() {
 #[test]
 fn headline_benchmarks_validate_on_real_datasets() {
     let pool = ThreadPool::new(4);
-    for (name, ds) in [("AMGmk", "MATRIX1"), ("SDDMM", "gsm_106857"), ("UA(transf)", "CLASS A")] {
+    for (name, ds) in [
+        ("AMGmk", "MATRIX1"),
+        ("SDDMM", "gsm_106857"),
+        ("UA(transf)", "CLASS A"),
+    ] {
         let k = subsub::kernels::kernel_by_name(name).unwrap();
         let mut inst = k.prepare(ds);
         inst.run_serial();
         let reference = inst.checksum();
         inst.reset();
-        inst.run(subsub::kernels::Variant::OuterParallel, &pool, Schedule::dynamic_default());
+        inst.run(
+            subsub::kernels::Variant::OuterParallel,
+            &pool,
+            Schedule::dynamic_default(),
+        );
         assert!(close(reference, inst.checksum()), "{name} [{ds}]");
     }
+}
+
+/// The emitted checks are executable: they round-trip through the display
+/// form (`CheckExpr → string → parse → CheckExpr`) without losing the
+/// structure the compiler and the dedup rely on.
+#[test]
+fn emitted_checks_round_trip_through_text() {
+    use subsub::core::analyze_program;
+    for name in ["AMGmk", "SDDMM"] {
+        let k = subsub::kernels::kernel_by_name(name).unwrap();
+        let report = analyze_program(k.source(), AlgorithmLevel::New).unwrap();
+        let f = report.function(k.func_name()).unwrap();
+        let check = f
+            .last_nest_parallel()
+            .and_then(|l| l.decision.plan())
+            .and_then(|p| p.runtime_check.clone())
+            .unwrap_or_else(|| panic!("{name} should carry a runtime check"));
+        let reparsed = parse_check(&check.to_string()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(reparsed, check, "{name}: round-trip changed the check");
+    }
+}
+
+/// The guarded executor admits the parallel variant on healthy inputs and
+/// produces results matching a plain serial run.
+#[test]
+fn guarded_execution_admits_parallel_and_matches_serial() {
+    let pool = ThreadPool::new(4);
+    for name in ["AMGmk", "SDDMM"] {
+        let k = subsub::kernels::kernel_by_name(name).unwrap();
+        let mut inst = k.prepare("test");
+        inst.run_serial();
+        let reference = inst.checksum();
+        inst.reset();
+        let harness = GuardedHarness::new(k.as_ref(), AlgorithmLevel::New);
+        let out = harness.run(inst.as_mut(), &pool, Schedule::static_default());
+        assert_eq!(out.path, GuardPath::Parallel, "{name}: {:?}", out.reason);
+        assert!(close(reference, out.checksum), "{name}");
+        assert_eq!(harness.stats().parallel_runs, 1);
+    }
+}
+
+/// Corrupting an index array flips the guarded executor to the serial
+/// path, and the result is bit-identical to a plain serial run on the
+/// same corrupted instance (no parallel reassociation: exact equality).
+#[test]
+fn tampered_index_array_degrades_to_serial_bit_identical() {
+    let pool = ThreadPool::new(4);
+    for name in ["AMGmk", "SDDMM"] {
+        let k = subsub::kernels::kernel_by_name(name).unwrap();
+
+        // Serial reference on an identically tampered instance.
+        let mut serial_inst = k.prepare("test");
+        assert!(
+            serial_inst.tamper_index_arrays(),
+            "{name}: nothing tampered"
+        );
+        serial_inst.run_serial();
+        let reference = serial_inst.checksum();
+
+        let mut inst = k.prepare("test");
+        assert!(inst.tamper_index_arrays());
+        let harness = GuardedHarness::new(k.as_ref(), AlgorithmLevel::New);
+        let out = harness.run(inst.as_mut(), &pool, Schedule::static_default());
+        assert_eq!(out.path, GuardPath::Serial, "{name}: guard must reject");
+        let reason = out.reason.expect("fallback reason");
+        assert!(reason.contains("not"), "{name}: {reason}");
+        assert_eq!(out.executed, subsub::kernels::Variant::Serial);
+        // Same serial code on same input: exactly equal, not just close.
+        assert_eq!(out.checksum.to_bits(), reference.to_bits(), "{name}");
+        assert_eq!(harness.stats().inspection_failures, 1, "{name}");
+    }
+}
+
+/// Re-running an unchanged instance revalidates from the inspector cache
+/// (hit counter advances); tampering bumps the version and invalidates.
+#[test]
+fn inspector_cache_memoizes_and_invalidates() {
+    let pool = ThreadPool::new(2);
+    let k = subsub::kernels::kernel_by_name("AMGmk").unwrap();
+    let harness = GuardedHarness::new(k.as_ref(), AlgorithmLevel::New);
+    let mut inst = k.prepare("test");
+
+    harness.run(inst.as_mut(), &pool, Schedule::static_default());
+    inst.reset();
+    harness.run(inst.as_mut(), &pool, Schedule::static_default());
+    let s = harness.stats();
+    assert_eq!(s.cache.misses, 1, "first run inspects");
+    assert!(s.cache.hits >= 1, "second run must be a cache hit: {s:?}");
+
+    // Tampering bumps the version: the stale entry is invalidated and the
+    // re-inspection rejects the array.
+    assert!(inst.tamper_index_arrays());
+    let out = harness.run(inst.as_mut(), &pool, Schedule::static_default());
+    assert_eq!(out.path, GuardPath::Serial);
+    let s = harness.stats();
+    assert_eq!(s.cache.invalidations, 1, "{s:?}");
+}
+
+/// Kernels whose decision carries no check get a pass-through guard: the
+/// parallel path is admitted unconditionally (UA), and analysis-serial
+/// kernels never consult the guard at all (IS).
+#[test]
+fn no_check_kernels_keep_their_decision() {
+    let pool = ThreadPool::new(2);
+
+    let ua = subsub::kernels::kernel_by_name("UA(transf)").unwrap();
+    let harness = GuardedHarness::new(ua.as_ref(), AlgorithmLevel::New);
+    assert!(harness.check().is_none());
+    let mut inst = ua.prepare("test");
+    let out = harness.run(inst.as_mut(), &pool, Schedule::static_default());
+    assert_eq!(out.path, GuardPath::Parallel);
+    assert_eq!(out.executed, subsub::kernels::Variant::OuterParallel);
+
+    let is = subsub::kernels::kernel_by_name("IS").unwrap();
+    let harness = GuardedHarness::new(is.as_ref(), AlgorithmLevel::New);
+    assert!(harness.check().is_none());
+    let mut inst = is.prepare(is.datasets()[0]);
+    let out = harness.run(inst.as_mut(), &pool, Schedule::static_default());
+    assert_eq!(out.executed, subsub::kernels::Variant::Serial);
+    assert_eq!(out.reason.as_deref(), Some("analysis decision is serial"));
 }

@@ -8,10 +8,10 @@
 //! including *negative* parameterizations (decreasing steps, mismatched
 //! conditions) where the analysis must stay silent or remain correct.
 
-use proptest::prelude::*;
 use subsub::cfront::{parse_program, ArrayVal, Machine};
 use subsub::core::{analyze_function, AlgorithmLevel, Monotonicity, PropertyDb, PropertyKind};
 use subsub::ir::lower_function;
+use subsub::sparse::Rng64;
 use subsub::symbolic::{Expr, RangeEnv, Symbol, SymbolKind};
 
 /// Analyzes `src` and returns the property DB of its first function.
@@ -26,7 +26,8 @@ fn execute(src: &str, setup: impl FnOnce(&mut Machine)) -> Machine {
     let p = parse_program(src).unwrap();
     let mut m = Machine::new();
     setup(&mut m);
-    m.run(&p.funcs[0]).unwrap_or_else(|e| panic!("interp: {e}\n{src}"));
+    m.run(&p.funcs[0])
+        .unwrap_or_else(|e| panic!("interp: {e}\n{src}"));
     m
 }
 
@@ -36,11 +37,10 @@ fn execute(src: &str, setup: impl FnOnce(&mut Machine)) -> Machine {
 fn eval_bound(e: &Expr, m: &Machine) -> i64 {
     e.eval(
         &|s: &Symbol| match s.kind {
-            SymbolKind::Var | SymbolKind::PostMax => {
-                m.scalar(&s.name).map(|v| v.as_int()).unwrap_or_else(|| {
-                    panic!("bound symbol {s} unbound")
-                })
-            }
+            SymbolKind::Var | SymbolKind::PostMax => m
+                .scalar(&s.name)
+                .map(|v| v.as_int())
+                .unwrap_or_else(|| panic!("bound symbol {s} unbound")),
             other => panic!("unexpected symbol kind {other:?} in bound"),
         },
         &|_, _| panic!("array read in bound"),
@@ -60,7 +60,9 @@ fn check_claims(src: &str, m: &Machine, db: &PropertyDb, array: &str) {
         let final_count = m.scalar(counter).map(|v| v.as_int()).unwrap_or(hi + 1);
         hi = hi.min(final_count - 1);
     }
-    let a = m.array(array).unwrap_or_else(|| panic!("array {array} missing"));
+    let a = m
+        .array(array)
+        .unwrap_or_else(|| panic!("array {array} missing"));
     let strict = p.monotonicity == Monotonicity::StrictlyMonotonic;
     if a.dims.len() == 1 {
         let data = a.to_ints();
@@ -130,17 +132,20 @@ fn collect_slice(
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Pseudo-random 0/1 flag vector from a deterministic seed.
+fn flags_vec(rng: &mut Rng64, len: usize) -> Vec<i64> {
+    (0..len).map(|_| rng.gen_i64(0, 1)).collect()
+}
 
-    /// LEMMA 1 family: intermittent counter fills. Analysis claims SMA;
-    /// the concrete prefix must be strictly increasing for any flags.
-    #[test]
-    fn intermittent_fill_sound(
-        n in 1usize..60,
-        flags in prop::collection::vec(0i64..2, 60),
-        offset in 0i64..4,
-    ) {
+/// LEMMA 1 family: intermittent counter fills. Analysis claims SMA;
+/// the concrete prefix must be strictly increasing for any flags.
+#[test]
+fn intermittent_fill_sound() {
+    let mut rng = Rng64::seed_from_u64(101);
+    for case in 0..48u64 {
+        let n = rng.gen_usize(1, 59);
+        let flags = flags_vec(&mut rng, 60);
+        let offset = case as i64 % 4;
         let src = format!(
             r#"
             void f(int n, int *flag, int *a) {{
@@ -156,7 +161,7 @@ proptest! {
             "#
         );
         let db = properties_of(&src);
-        prop_assert!(db.get("a").is_some(), "intermittent SMA should be proven");
+        assert!(db.get("a").is_some(), "intermittent SMA should be proven");
         let m = execute(&src, |m| {
             m.set_int("n", n as i64);
             m.set_array("flag", ArrayVal::from_ints(&flags[..n.max(1)]));
@@ -164,130 +169,158 @@ proptest! {
         });
         check_claims(&src, &m, &db, "a");
     }
+}
 
-    /// SRA family: a[i] = p; p = p + k. The analysis claims MA for k = 0,
-    /// SMA for k > 0 and nothing for k < 0; whatever it claims must hold.
-    #[test]
-    fn sra_fill_sound(n in 1usize..50, k in -3i64..6, p0 in -5i64..5) {
-        let src = format!(
-            r#"
-            void f(int n, int *a) {{
-                int i; int p;
-                p = {p0};
-                for (i = 0; i < n; i++) {{
-                    a[i] = p;
-                    p = p + {k};
-                }}
-            }}
-            "#
-        );
-        let db = properties_of(&src);
-        if k > 0 {
-            prop_assert!(
-                db.get("a").map(|p| p.monotonicity.is_strict()).unwrap_or(false),
-                "k={k} should give SMA"
-            );
-        }
-        if k < 0 {
-            prop_assert!(db.get("a").is_none(), "decreasing must claim nothing");
-        }
-        let m = execute(&src, |m| {
-            m.set_int("n", n as i64);
-            m.set_array("a", ArrayVal::int_zeros(vec![n + 1]));
-        });
-        check_claims(&src, &m, &db, "a");
-    }
-
-    /// Figure 2(b) family: self-recurrence a[i+1] = a[i] + k.
-    #[test]
-    fn self_recurrence_sound(n in 1usize..40, k in 0i64..5, a0 in -4i64..4) {
-        let src = format!(
-            r#"
-            void f(int n, int *a) {{
-                int i;
-                a[0] = {a0};
-                for (i = 0; i < n; i++) {{
-                    a[i+1] = a[i] + {k};
-                }}
-            }}
-            "#
-        );
-        let db = properties_of(&src);
-        prop_assert!(db.get("a").is_some(), "self-recurrence with k={k} >= 0");
-        let m = execute(&src, |m| {
-            m.set_int("n", n as i64);
-            m.set_array("a", ArrayVal::int_zeros(vec![n + 1]));
-        });
-        check_claims(&src, &m, &db, "a");
-    }
-
-    /// LEMMA 2 family: ax[iel][j] = alpha*iel + [0 : spread]. The analysis
-    /// claims (strict) range monotonicity iff alpha + 0 ≥ spread; the
-    /// concrete slices must satisfy Definition 1.
-    #[test]
-    fn multidim_fill_sound(lelt in 1usize..12, alpha in 1i64..30, width in 1usize..6) {
-        // Per-j offsets 0..width-1 give the value range [0 : width-1].
-        // The whole slice ax[iel][*] is written (as in the UA kernel);
-        // Definition 1's `*` ranges over all legal values of the non-
-        // monotone dimensions, so the array width matches the loop bound.
-        let src = format!(
-            r#"
-            void f(int LELT, int ax[16][{width}]) {{
-                int iel; int j;
-                for (iel = 0; iel < LELT; iel++) {{
-                    for (j = 0; j < {width}; j++) {{
-                        ax[iel][j] = {alpha} * iel + j;
+/// SRA family: a[i] = p; p = p + k. The analysis claims MA for k = 0,
+/// SMA for k > 0 and nothing for k < 0; whatever it claims must hold.
+#[test]
+fn sra_fill_sound() {
+    let mut rng = Rng64::seed_from_u64(102);
+    for k in -3i64..6 {
+        for p0 in -5i64..5 {
+            let n = rng.gen_usize(1, 49);
+            let src = format!(
+                r#"
+                void f(int n, int *a) {{
+                    int i; int p;
+                    p = {p0};
+                    for (i = 0; i < n; i++) {{
+                        a[i] = p;
+                        p = p + {k};
                     }}
                 }}
-            }}
-            "#
-        );
-        let db = properties_of(&src);
-        let spread = width as i64 - 1;
-        if alpha > spread {
-            prop_assert!(
-                db.get("ax").map(|p| p.monotonicity.is_strict()).unwrap_or(false),
-                "alpha={alpha} > spread={spread} must give SMA (LEMMA 2)"
+                "#
             );
+            let db = properties_of(&src);
+            if k > 0 {
+                assert!(
+                    db.get("a")
+                        .map(|p| p.monotonicity.is_strict())
+                        .unwrap_or(false),
+                    "k={k} should give SMA"
+                );
+            }
+            if k < 0 {
+                assert!(db.get("a").is_none(), "decreasing must claim nothing");
+            }
+            let m = execute(&src, |m| {
+                m.set_int("n", n as i64);
+                m.set_array("a", ArrayVal::int_zeros(vec![n + 1]));
+            });
+            check_claims(&src, &m, &db, "a");
         }
-        let m = execute(&src, |m| {
-            m.set_int("LELT", lelt as i64);
-            m.set_array("ax", ArrayVal::int_zeros(vec![16, width]));
-        });
-        check_claims(&src, &m, &db, "ax");
     }
+}
 
-    /// Negative family: counter stepped by 2 under the condition, or the
-    /// write guarded by a different condition — the analysis must not
-    /// claim LEMMA 1, and anything it does claim must still hold.
-    #[test]
-    fn mismatched_patterns_sound(
-        n in 1usize..40,
-        flags in prop::collection::vec(0i64..2, 40),
-        step in 2i64..4,
-    ) {
-        let src = format!(
-            r#"
-            void f(int n, int *flag, int *a) {{
-                int i; int m;
-                m = 0;
-                for (i = 0; i < n; i++) {{
-                    if (flag[i] > 0) {{
-                        a[m] = i;
-                        m = m + {step};
+/// Figure 2(b) family: self-recurrence a[i+1] = a[i] + k.
+#[test]
+fn self_recurrence_sound() {
+    let mut rng = Rng64::seed_from_u64(103);
+    for k in 0i64..5 {
+        for a0 in -4i64..4 {
+            let n = rng.gen_usize(1, 39);
+            let src = format!(
+                r#"
+                void f(int n, int *a) {{
+                    int i;
+                    a[0] = {a0};
+                    for (i = 0; i < n; i++) {{
+                        a[i+1] = a[i] + {k};
                     }}
                 }}
-            }}
-            "#
-        );
-        let db = properties_of(&src);
-        prop_assert!(db.get("a").is_none(), "non-unit counter step must not match LEMMA 1");
-        let m = execute(&src, |m| {
-            m.set_int("n", n as i64);
-            m.set_array("flag", ArrayVal::from_ints(&flags[..n]));
-            m.set_array("a", ArrayVal::int_zeros(vec![2 * n + 8]));
-        });
-        check_claims(&src, &m, &db, "a");
+                "#
+            );
+            let db = properties_of(&src);
+            assert!(db.get("a").is_some(), "self-recurrence with k={k} >= 0");
+            let m = execute(&src, |m| {
+                m.set_int("n", n as i64);
+                m.set_array("a", ArrayVal::int_zeros(vec![n + 1]));
+            });
+            check_claims(&src, &m, &db, "a");
+        }
+    }
+}
+
+/// LEMMA 2 family: ax[iel][j] = alpha*iel + [0 : spread]. The analysis
+/// claims (strict) range monotonicity iff alpha + 0 ≥ spread; the
+/// concrete slices must satisfy Definition 1.
+#[test]
+fn multidim_fill_sound() {
+    let mut rng = Rng64::seed_from_u64(104);
+    for width in 1usize..6 {
+        for alpha in [1i64, 2, 3, 5, 8, 13, 21, 29] {
+            // Per-j offsets 0..width-1 give the value range [0 : width-1].
+            // The whole slice ax[iel][*] is written (as in the UA kernel);
+            // Definition 1's `*` ranges over all legal values of the non-
+            // monotone dimensions, so the array width matches the loop bound.
+            let lelt = rng.gen_usize(1, 11);
+            let src = format!(
+                r#"
+                void f(int LELT, int ax[16][{width}]) {{
+                    int iel; int j;
+                    for (iel = 0; iel < LELT; iel++) {{
+                        for (j = 0; j < {width}; j++) {{
+                            ax[iel][j] = {alpha} * iel + j;
+                        }}
+                    }}
+                }}
+                "#
+            );
+            let db = properties_of(&src);
+            let spread = width as i64 - 1;
+            if alpha > spread {
+                assert!(
+                    db.get("ax")
+                        .map(|p| p.monotonicity.is_strict())
+                        .unwrap_or(false),
+                    "alpha={alpha} > spread={spread} must give SMA (LEMMA 2)"
+                );
+            }
+            let m = execute(&src, |m| {
+                m.set_int("LELT", lelt as i64);
+                m.set_array("ax", ArrayVal::int_zeros(vec![16, width]));
+            });
+            check_claims(&src, &m, &db, "ax");
+        }
+    }
+}
+
+/// Negative family: counter stepped by 2 under the condition, or the
+/// write guarded by a different condition — the analysis must not
+/// claim LEMMA 1, and anything it does claim must still hold.
+#[test]
+fn mismatched_patterns_sound() {
+    let mut rng = Rng64::seed_from_u64(105);
+    for step in 2i64..4 {
+        for _ in 0..12 {
+            let n = rng.gen_usize(1, 39);
+            let flags = flags_vec(&mut rng, 40);
+            let src = format!(
+                r#"
+                void f(int n, int *flag, int *a) {{
+                    int i; int m;
+                    m = 0;
+                    for (i = 0; i < n; i++) {{
+                        if (flag[i] > 0) {{
+                            a[m] = i;
+                            m = m + {step};
+                        }}
+                    }}
+                }}
+                "#
+            );
+            let db = properties_of(&src);
+            assert!(
+                db.get("a").is_none(),
+                "non-unit counter step must not match LEMMA 1"
+            );
+            let m = execute(&src, |m| {
+                m.set_int("n", n as i64);
+                m.set_array("flag", ArrayVal::from_ints(&flags[..n]));
+                m.set_array("a", ArrayVal::int_zeros(vec![2 * n + 8]));
+            });
+            check_claims(&src, &m, &db, "a");
+        }
     }
 }
 

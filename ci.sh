@@ -16,4 +16,13 @@ cargo build --release --workspace
 echo "== test suite =="
 cargo test --workspace -q
 
+echo "== fork-join smoke (calibrate + validate) =="
+# A quick real measurement of fork-join latency on this machine; the
+# --validate pass re-parses the emitted JSON through the simulator's own
+# MachineCalibration parser and fails on missing/non-finite/zero numbers.
+cargo run --release -q -p subsub-bench --bin forkjoin_calibrate -- \
+  --quick --threads 1,4 --out target/BENCH_forkjoin_ci.json
+cargo run --release -q -p subsub-bench --bin forkjoin_calibrate -- \
+  --validate target/BENCH_forkjoin_ci.json
+
 echo "CI gate passed."

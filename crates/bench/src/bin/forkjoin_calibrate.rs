@@ -1,0 +1,218 @@
+//! Measures the machine's real fork-join constants and emits
+//! `BENCH_forkjoin.json`, the calibration file `omprt::sim` loads.
+//!
+//! Two quantities are measured, both against live pools:
+//!
+//! * **fork-join latency** — median over 7 samples of back-to-back empty
+//!   regions, for the claim-based [`ThreadPool`] *and* the retained
+//!   pre-rework [`LegacyMutexPool`], at each requested thread count. The
+//!   side-by-side legacy number makes the rework's improvement
+//!   reproducible on any machine rather than a historical claim.
+//! * **dynamic dispatch overhead** — the extra cost of `dynamic(1)`
+//!   self-scheduling over `static` for the same trivial loop, divided by
+//!   the number of batched claims the dynamic schedule actually issues.
+//!
+//! Usage:
+//!
+//! ```text
+//! forkjoin_calibrate [--quick] [--out PATH] [--threads 1,2,4]
+//! forkjoin_calibrate --validate PATH
+//! ```
+//!
+//! `--validate` re-parses an emitted file through the same
+//! `MachineCalibration` parser the simulator uses and fails loudly if the
+//! constants are missing, non-finite, or non-positive — this is the CI
+//! smoke check.
+
+use std::time::Instant;
+use subsub_omprt::legacy::LegacyMutexPool;
+use subsub_omprt::schedule::dynamic_batch;
+use subsub_omprt::{MachineCalibration, Schedule, ThreadPool};
+
+/// Measured samples per statistic (the acceptance criterion requires a
+/// median of at least 7).
+const SAMPLES: usize = 7;
+
+struct Args {
+    quick: bool,
+    out: String,
+    validate: Option<String>,
+    threads: Vec<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_forkjoin.json".to_string(),
+        validate: None,
+        threads: vec![1, 2, 4],
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--validate" => args.validate = Some(it.next().expect("--validate needs a path")),
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .expect("--threads needs a list")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("thread counts are integers"))
+                    .collect();
+                assert!(!args.threads.is_empty(), "--threads list is empty");
+            }
+            other => panic!("unknown argument: {other} (see module docs)"),
+        }
+    }
+    args
+}
+
+/// Median of `SAMPLES` timings of `regions` calls to `f`, in ns/call.
+fn median_ns(regions: u32, mut f: impl FnMut()) -> f64 {
+    let mut v: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..regions {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / regions as f64
+        })
+        .collect();
+    v.sort_by(f64::total_cmp);
+    v[SAMPLES / 2]
+}
+
+/// Per-claim overhead of dynamic self-scheduling: time the same trivial
+/// loop under `static` and `dynamic(1)` and attribute the difference to
+/// the dynamic claims.
+fn dispatch_overhead_ns(pool: &ThreadPool, quick: bool) -> f64 {
+    let n: usize = if quick { 50_000 } else { 200_000 };
+    let reps: u32 = if quick { 3 } else { 10 };
+    let body = |i: usize| {
+        std::hint::black_box(i);
+    };
+    let t_static = median_ns(reps, || {
+        pool.parallel_for(n, Schedule::static_default(), body)
+    });
+    let t_dyn = median_ns(reps, || {
+        pool.parallel_for(n, Schedule::Dynamic { chunk: 1 }, body)
+    });
+    let claim = dynamic_batch(n, pool.threads(), 1);
+    let claims = n.div_ceil(claim) as f64;
+    // A noisy machine can time dynamic faster than static; clamp to a
+    // token positive value so the calibration file stays valid.
+    ((t_dyn - t_static) / claims).max(0.1)
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let c = MachineCalibration::parse_json(&doc)
+        .ok_or_else(|| format!("{path}: not a valid forkjoin calibration document"))?;
+    if !(c.fork_join_ns.is_finite() && c.fork_join_ns > 0.0) {
+        return Err(format!(
+            "{path}: fork_join_ns={} not finite/positive",
+            c.fork_join_ns
+        ));
+    }
+    if !(c.dispatch_ns.is_finite() && c.dispatch_ns > 0.0) {
+        return Err(format!(
+            "{path}: dispatch_ns={} not finite/positive",
+            c.dispatch_ns
+        ));
+    }
+    if c.threads == 0 {
+        return Err(format!("{path}: cal_threads is zero"));
+    }
+    println!(
+        "{path}: OK (fork_join_ns={:.1}, dispatch_ns={:.2}, cal_threads={})",
+        c.fork_join_ns, c.dispatch_ns, c.threads
+    );
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(path) = &args.validate {
+        if let Err(e) = validate(path) {
+            eprintln!("forkjoin_calibrate: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let regions: u32 = if args.quick { 60 } else { 300 };
+    println!(
+        "fork-join calibration: {SAMPLES} samples x {regions} regions per point{}",
+        if args.quick { " (quick)" } else { "" }
+    );
+    println!(
+        "{:>8} {:>14} {:>14} {:>12}",
+        "threads", "new (ns)", "legacy (ns)", "improvement"
+    );
+
+    let mut series = Vec::new();
+    for &t in &args.threads {
+        // Legacy first and dropped before the new pool exists, so neither
+        // pool's workers can perturb the other's measurement.
+        let legacy_ns = {
+            let pool = LegacyMutexPool::new(t);
+            for _ in 0..regions {
+                pool.run(|_| {});
+            }
+            median_ns(regions, || pool.run(|_| {}))
+        };
+        let new_ns = {
+            let pool = ThreadPool::new(t);
+            for _ in 0..regions {
+                pool.run(|_| {});
+            }
+            median_ns(regions, || pool.run(|_| {}))
+        };
+        let improvement = legacy_ns / new_ns.max(1e-9);
+        println!("{t:>8} {new_ns:>14.1} {legacy_ns:>14.1} {improvement:>11.1}x");
+        series.push((t, new_ns, legacy_ns, improvement));
+    }
+
+    // Calibration point: the largest requested team (the paper's tables
+    // quote 4 threads by default).
+    let &(cal_threads, fork_join_ns, legacy_fork_join_ns, improvement) =
+        series.last().expect("at least one thread count");
+    let dispatch_ns = {
+        let pool = ThreadPool::new(cal_threads);
+        dispatch_overhead_ns(&pool, args.quick)
+    };
+    println!("dispatch overhead at {cal_threads} threads: {dispatch_ns:.2} ns/claim");
+    if improvement < 2.0 {
+        eprintln!(
+            "warning: claim-based pool is only {improvement:.2}x over the legacy \
+             mutex pool at {cal_threads} threads (expected >= 2x on an idle machine)"
+        );
+    }
+
+    let series_json = series
+        .iter()
+        .map(|(t, n, l, i)| {
+            format!(
+                "{{\"threads\":{t},\"new_ns\":{n:.1},\"legacy_ns\":{l:.1},\"improvement\":{i:.2}}}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let doc =
+        format!(
+        "{{\n  \"schema\": \"subsub-forkjoin/v1\",\n  \"quick\": {},\n  \"cal_threads\": {},\n  \
+         \"fork_join_ns\": {:.1},\n  \"dispatch_ns\": {:.2},\n  \"legacy_fork_join_ns\": {:.1},\n  \
+         \"improvement\": {:.2},\n  \"series\": [{}]\n}}\n",
+        args.quick, cal_threads, fork_join_ns, dispatch_ns, legacy_fork_join_ns, improvement,
+        series_json
+    );
+    // Dogfood: the emitted document must round-trip through the parser
+    // the simulator will use.
+    assert!(
+        MachineCalibration::parse_json(&doc).is_some(),
+        "emitted JSON failed self-validation"
+    );
+    std::fs::write(&args.out, &doc).expect("write calibration file");
+    println!("wrote {}", args.out);
+}

@@ -10,8 +10,52 @@ const SAMPLE_TARGET: Duration = Duration::from_millis(20);
 /// Number of measured samples per benchmark.
 const SAMPLES: usize = 7;
 
-/// Times one closure and reports the median per-iteration latency.
-pub fn bench(name: &str, mut f: impl FnMut()) {
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+///
+/// Returned by [`bench`] so callers can act on measurements (emit JSON,
+/// compare variants, gate CI) instead of scraping stdout.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Benchmark name as printed.
+    pub name: String,
+    /// Iterations per sample (adaptively chosen).
+    pub iters: u64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: u128,
+    /// Median sample (ns/iter) — the headline number.
+    pub median_ns: u128,
+    /// 90th-percentile sample (ns/iter).
+    pub p90_ns: u128,
+    /// All samples (ns/iter), sorted ascending.
+    pub samples_ns: Vec<u128>,
+}
+
+impl BenchStats {
+    /// The stats as one flat JSON object (hand-rolled: the workspace has
+    /// no serde). The key names match what `MachineCalibration`-style
+    /// scanners and the `BENCH_*.json` consumers expect.
+    pub fn to_json(&self) -> String {
+        let samples = self
+            .samples_ns
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"name\":\"{}\",\"iters\":{},\"min_ns\":{},\"median_ns\":{},\"p90_ns\":{},\"samples_ns\":[{}]}}",
+            self.name.replace('"', "'"),
+            self.iters,
+            self.min_ns,
+            self.median_ns,
+            self.p90_ns,
+            samples
+        )
+    }
+}
+
+/// Times one closure, prints the median per-iteration latency, and
+/// returns the full stats.
+pub fn bench(name: &str, mut f: impl FnMut()) -> BenchStats {
     // Warmup + calibration: find an iteration count filling the sample
     // window.
     let mut iters = 1u64;
@@ -39,11 +83,30 @@ pub fn bench(name: &str, mut f: impl FnMut()) {
         })
         .collect();
     samples.sort_unstable();
-    let median = samples[SAMPLES / 2];
+    let stats = BenchStats {
+        name: name.to_string(),
+        iters,
+        min_ns: samples[0],
+        median_ns: samples[SAMPLES / 2],
+        p90_ns: samples[(SAMPLES * 9) / 10],
+        samples_ns: samples,
+    };
     println!(
         "{name:<48} {:>12}/iter  ({iters} iters/sample)",
-        fmt_ns(median)
+        fmt_ns(stats.median_ns)
     );
+    stats
+}
+
+/// Runs a set of named benchmarks and returns them as one JSON document
+/// (`{"benches":[...]}`), suitable for writing to a `BENCH_*.json` file.
+pub fn bench_json(benches: Vec<BenchStats>) -> String {
+    let items = benches
+        .iter()
+        .map(BenchStats::to_json)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{\"benches\":[{items}]}}")
 }
 
 fn fmt_ns(ns: u128) -> String {
@@ -66,8 +129,28 @@ mod tests {
     fn bench_runs_and_reports() {
         // Smoke test: must terminate quickly for a trivial closure.
         let mut n = 0u64;
-        bench("noop", || n = n.wrapping_add(1));
+        let stats = bench("noop", || n = n.wrapping_add(1));
         assert!(n > 0);
+        assert_eq!(stats.samples_ns.len(), SAMPLES);
+        assert!(stats.min_ns <= stats.median_ns);
+        assert!(stats.median_ns <= stats.p90_ns);
+        assert!(stats.iters > 0);
+    }
+
+    #[test]
+    fn bench_json_is_machine_readable() {
+        let stats = BenchStats {
+            name: "x".into(),
+            iters: 10,
+            min_ns: 1,
+            median_ns: 2,
+            p90_ns: 3,
+            samples_ns: vec![1, 2, 3],
+        };
+        let doc = bench_json(vec![stats]);
+        assert!(doc.starts_with("{\"benches\":["));
+        assert!(doc.contains("\"median_ns\":2"));
+        assert!(doc.contains("\"samples_ns\":[1,2,3]"));
     }
 
     #[test]

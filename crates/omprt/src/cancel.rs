@@ -1,0 +1,49 @@
+//! Cooperative cancellation for parallel regions.
+//!
+//! A [`CancelToken`] lets any thread in (or outside) a `parallel for`
+//! request that the remaining iterations be abandoned — the mechanism
+//! behind early-exit inspectors: once one chunk finds a monotonicity
+//! violation the whole scan's answer is known, so scanning the rest of
+//! the index array is pure waste. Cancellation is *cooperative*: the
+//! runtime checks the token between chunk claims and between iterations,
+//! so an iteration already in flight always finishes (iterations run at
+//! most once, and none start after the cancel is observed).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A shareable one-way cancellation flag.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    cancelled: AtomicBool,
+}
+
+impl CancelToken {
+    /// A fresh (not cancelled) token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_is_sticky_and_idempotent() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+}

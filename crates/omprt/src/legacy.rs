@@ -1,0 +1,159 @@
+//! The original mutex/condvar fork-join pool, retained as the A/B
+//! baseline for `forkjoin_calibrate`.
+//!
+//! This is the pre-rearchitecture broadcast design: three mutexes
+//! (epoch, job slot, done counter), a condvar broadcast to wake the
+//! team, and one `Arc` clone of the job per worker per region. Keeping
+//! it compilable lets the calibration binary measure the lock-free
+//! pool's fork-join latency *against the design it replaced on the same
+//! machine*, so the improvement claim in `BENCH_forkjoin.json` is
+//! reproducible rather than historical. Not for production use — new
+//! code should use [`crate::ThreadPool`].
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+type Job = Arc<dyn Fn(usize) + Send + Sync>;
+
+struct Shared {
+    epoch: Mutex<u64>,
+    job: Mutex<Option<Job>>,
+    wake: Condvar,
+    done: Mutex<usize>,
+    done_cv: Condvar,
+    shutdown: Mutex<bool>,
+}
+
+/// The pre-change mutex/condvar pool (fork-join baseline).
+pub struct LegacyMutexPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl LegacyMutexPool {
+    /// Spawns a pool with `threads` workers.
+    pub fn new(threads: usize) -> LegacyMutexPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            epoch: Mutex::new(0),
+            job: Mutex::new(None),
+            wake: Condvar::new(),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+            shutdown: Mutex::new(false),
+        });
+        let workers = (0..threads)
+            .map(|tid| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("omprt-legacy-{tid}"))
+                    .spawn(move || worker_loop(tid, sh))
+                    .expect("spawn worker")
+            })
+            .collect();
+        LegacyMutexPool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job(tid)` on every worker and waits — one fork-join region
+    /// through the mutex/condvar broadcast path.
+    pub fn run<F>(&self, job: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        let job: Arc<dyn Fn(usize) + Send + Sync> = unsafe {
+            std::mem::transmute::<
+                Arc<dyn Fn(usize) + Send + Sync + '_>,
+                Arc<dyn Fn(usize) + Send + Sync + 'static>,
+            >(Arc::new(job))
+        };
+        {
+            let mut j = lock(&self.shared.job);
+            *j = Some(job);
+            let mut d = lock(&self.shared.done);
+            *d = 0;
+            let mut e = lock(&self.shared.epoch);
+            *e += 1;
+        }
+        self.shared.wake.notify_all();
+        let mut d = lock(&self.shared.done);
+        while *d < self.threads {
+            d = self
+                .shared
+                .done_cv
+                .wait(d)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        drop(d);
+        *lock(&self.shared.job) = None;
+    }
+}
+
+impl Drop for LegacyMutexPool {
+    fn drop(&mut self) {
+        {
+            let mut s = lock(&self.shared.shutdown);
+            *s = true;
+            let mut e = lock(&self.shared.epoch);
+            *e += 1;
+        }
+        self.shared.wake.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(tid: usize, sh: Arc<Shared>) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut e = lock(&sh.epoch);
+            while *e == seen {
+                e = sh.wake.wait(e).unwrap_or_else(|p| p.into_inner());
+            }
+            seen = *e;
+            if *lock(&sh.shutdown) {
+                return;
+            }
+            lock(&sh.job).clone()
+        };
+        if let Some(job) = job {
+            job(tid);
+        }
+        let mut d = lock(&sh.done);
+        *d += 1;
+        sh.done_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn legacy_pool_runs_regions() {
+        let pool = LegacyMutexPool::new(3);
+        let count = AtomicUsize::new(0);
+        for _ in 0..10 {
+            pool.run(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 30);
+    }
+}

@@ -19,14 +19,21 @@
 //! figure harnesses use the simulator for the paper's 4/8/16-core series
 //! and real execution for validation.
 
+pub mod barrier;
+pub mod cancel;
+pub mod legacy;
 pub mod measure;
 pub mod pool;
 pub mod schedule;
 pub mod sendptr;
 pub mod sim;
 
+pub use barrier::CachePadded;
+pub use cancel::CancelToken;
 pub use measure::{time_once, time_repeat, Measurement};
 pub use pool::ThreadPool;
 pub use schedule::Schedule;
 pub use sendptr::SendPtr;
-pub use sim::{simulate_inner_parallel, simulate_parallel_for, SimParams, SimResult};
+pub use sim::{
+    simulate_inner_parallel, simulate_parallel_for, MachineCalibration, SimParams, SimResult,
+};

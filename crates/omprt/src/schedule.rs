@@ -50,6 +50,34 @@ impl fmt::Display for Schedule {
     }
 }
 
+/// Iterations claimed per shared-cursor `fetch_add` under
+/// [`Schedule::Dynamic`].
+///
+/// With `chunk: 1` (the OpenMP default) a naive implementation performs
+/// one atomic RMW per iteration, serializing every thread on one cache
+/// line. Claims are therefore *batched*: each grab takes a whole
+/// multiple of `chunk`, scaled so a single claim is at most 1/64th of a
+/// thread's fair share (preserving dynamic load balancing at the tail)
+/// and never more than 64 chunks. The simulator charges its per-claim
+/// dispatch cost at the same granularity, so the model and the runtime
+/// agree on how many shared-counter updates a loop performs.
+pub fn dynamic_batch(n: usize, threads: usize, chunk: usize) -> usize {
+    let c = chunk.max(1);
+    let fair_share = n / threads.max(1);
+    c * (fair_share / (c * 64)).clamp(1, 64)
+}
+
+/// Size of the next claim under [`Schedule::Guided`]: half the remaining
+/// fair share, never below `min_chunk`, never beyond `remaining`. Both
+/// the pool and the simulator use this one definition, so `parallel_for`
+/// and `parallel_for_reduce` shrink geometrically in lockstep with the
+/// cost model.
+pub fn guided_claim(remaining: usize, threads: usize, min_chunk: usize) -> usize {
+    (remaining / (2 * threads.max(1)))
+        .max(min_chunk.max(1))
+        .min(remaining)
+}
+
 /// The contiguous chunks thread `tid` of `threads` executes under a static
 /// schedule of `n` iterations. Returns `(start, end)` half-open ranges.
 pub fn static_chunks(
@@ -130,6 +158,37 @@ mod tests {
         assert_eq!(a, vec![(0, 4)]);
         assert_eq!(b, vec![(4, 7)]);
         assert_eq!(c, vec![(7, 10)]);
+    }
+
+    #[test]
+    fn dynamic_batch_bounds() {
+        // Single-chunk floor: tiny loops claim exactly `chunk`.
+        assert_eq!(dynamic_batch(10, 4, 1), 1);
+        assert_eq!(dynamic_batch(10, 4, 8), 8);
+        // Large loops batch, but never more than 64 chunks per claim and
+        // never more than 1/64th of a thread's fair share.
+        for (n, t, c) in [(100_000, 4, 1), (1 << 20, 8, 1), (1 << 20, 2, 16)] {
+            let b = dynamic_batch(n, t, c);
+            assert_eq!(b % c, 0, "whole multiples of chunk");
+            assert!(b <= c * 64);
+            assert!(b <= (n / t / 64).max(c), "n={n} t={t} c={c} b={b}");
+        }
+    }
+
+    #[test]
+    fn guided_claim_shrinks_geometrically_to_min() {
+        let (n, threads, min) = (1024usize, 4usize, 2usize);
+        let mut s = 0;
+        let mut last = usize::MAX;
+        while s < n {
+            let c = guided_claim(n - s, threads, min);
+            assert!(c >= min.min(n - s) && c <= n - s);
+            assert!(c <= last, "claims never grow");
+            last = c;
+            s += c;
+        }
+        assert_eq!(s, n, "claims exactly cover the space");
+        assert_eq!(last, min, "tail claims reach the floor");
     }
 
     #[test]

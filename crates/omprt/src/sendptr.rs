@@ -30,6 +30,16 @@ impl<T> SendPtr<T> {
     pub fn get(&self) -> *mut T {
         self.0
     }
+
+    /// A new `SendPtr` offset by `count` elements.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`pointer::add`]: the offset pointer must stay
+    /// inside (or one past) the allocation the base points into.
+    pub unsafe fn add(&self, count: usize) -> SendPtr<T> {
+        SendPtr(self.0.add(count))
+    }
 }
 
 #[cfg(test)]
@@ -42,7 +52,8 @@ mod tests {
         let p = SendPtr::new(v.as_mut_ptr());
         unsafe {
             *p.get().add(1) = 9;
+            *p.add(2).get() = 8;
         }
-        assert_eq!(v, [1, 9, 3]);
+        assert_eq!(v, [1, 9, 8]);
     }
 }

@@ -9,9 +9,10 @@
 //! (Figure 13's 58× anomaly), and efficiency decline with core count
 //! (Figure 15) — without requiring a 20-core machine.
 
-use crate::schedule::{static_chunks, Schedule};
+use crate::schedule::{dynamic_batch, guided_claim, static_chunks, Schedule};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
 /// Cost-model parameters. Units are arbitrary but consistent (the figure
 /// harnesses use nanoseconds calibrated against real single-thread runs).
@@ -90,31 +91,32 @@ pub fn simulate_parallel_for(
         }
         Schedule::Dynamic { chunk } => {
             // Event-driven self-scheduling: the earliest-finishing thread
-            // grabs the next chunk.
-            let c = chunk.max(1);
+            // grabs the next claim. Claims are batched exactly like the
+            // real pool's (`dynamic_batch`), so the per-claim dispatch
+            // charge models the same number of shared-counter updates
+            // the runtime performs.
+            let claim = dynamic_batch(n, threads, chunk);
             let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
                 (0..threads).map(|t| Reverse((0u64, t))).collect();
             let mut s = 0usize;
             while s < n {
                 let Reverse((busy_bits, tid)) = heap.pop().expect("nonempty");
                 let busy = f64::from_bits(busy_bits);
-                let work: f64 = costs[s..(s + c).min(n)].iter().sum::<f64>() + params.dispatch;
+                let work: f64 = costs[s..(s + claim).min(n)].iter().sum::<f64>() + params.dispatch;
                 let new_busy = busy + work;
                 per_thread[tid] = new_busy;
                 heap.push(Reverse((new_busy.to_bits(), tid)));
-                s += c;
+                s += claim;
             }
         }
         Schedule::Guided { min_chunk } => {
-            let min = min_chunk.max(1);
             let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
                 (0..threads).map(|t| Reverse((0u64, t))).collect();
             let mut s = 0usize;
             while s < n {
                 let Reverse((busy_bits, tid)) = heap.pop().expect("nonempty");
                 let busy = f64::from_bits(busy_bits);
-                let remaining = n - s;
-                let c = (remaining / (2 * threads)).max(min).min(remaining);
+                let c = guided_claim(n - s, threads, min_chunk);
                 let work: f64 = costs[s..s + c].iter().sum::<f64>() + params.dispatch;
                 let new_busy = busy + work;
                 per_thread[tid] = new_busy;
@@ -176,6 +178,90 @@ pub fn simulate_inner_parallel(
 /// Serial time: the plain sum.
 pub fn serial_time(costs: &[f64]) -> f64 {
     costs.iter().sum()
+}
+
+/// Fork-join constants measured on *this* machine by the
+/// `forkjoin_calibrate` binary (`BENCH_forkjoin.json`), replacing the
+/// hard-coded defaults in the figure harnesses' cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineCalibration {
+    /// Median latency of one empty fork-join region, nanoseconds.
+    pub fork_join_ns: f64,
+    /// Per-claim overhead of dynamic self-scheduling, nanoseconds.
+    pub dispatch_ns: f64,
+    /// Thread count the constants were measured at.
+    pub threads: usize,
+}
+
+impl MachineCalibration {
+    /// Parses a `BENCH_forkjoin.json` document. The format is the flat
+    /// object `forkjoin_calibrate` emits; only the three scalar keys are
+    /// read, so the parser is a deliberate 20-line scan rather than a
+    /// JSON dependency.
+    pub fn parse_json(doc: &str) -> Option<MachineCalibration> {
+        let fork_join_ns = scan_number(doc, "fork_join_ns")?;
+        let dispatch_ns = scan_number(doc, "dispatch_ns")?;
+        let threads = scan_number(doc, "cal_threads")? as usize;
+        (fork_join_ns.is_finite() && fork_join_ns > 0.0 && dispatch_ns.is_finite()).then_some(
+            MachineCalibration {
+                fork_join_ns,
+                dispatch_ns: dispatch_ns.max(0.0),
+                threads: threads.max(1),
+            },
+        )
+    }
+
+    /// Reads a calibration file from disk.
+    pub fn load(path: &std::path::Path) -> Option<MachineCalibration> {
+        MachineCalibration::parse_json(&std::fs::read_to_string(path).ok()?)
+    }
+
+    /// The process-wide calibration, loaded once from
+    /// `$SUBSUB_FORKJOIN_CAL` or `./BENCH_forkjoin.json`. `None` when no
+    /// calibration file exists — callers fall back to the hard-coded
+    /// defaults.
+    pub fn load_default() -> Option<MachineCalibration> {
+        static CAL: OnceLock<Option<MachineCalibration>> = OnceLock::new();
+        *CAL.get_or_init(|| {
+            let path = std::env::var("SUBSUB_FORKJOIN_CAL")
+                .unwrap_or_else(|_| "BENCH_forkjoin.json".to_string());
+            MachineCalibration::load(std::path::Path::new(&path))
+        })
+    }
+
+    /// Measured dispatch-to-fork-join cost ratio, clamped to a sane
+    /// range (a noisy measurement must not turn the dispatch charge
+    /// negative or larger than the whole region overhead).
+    pub fn dispatch_ratio(&self) -> f64 {
+        (self.dispatch_ns / self.fork_join_ns).clamp(1e-4, 1.0)
+    }
+}
+
+impl SimParams {
+    /// Defaults overridden by this machine's measured constants when a
+    /// calibration file is present: `fork_join` and `dispatch` become
+    /// real nanoseconds instead of the canonical 5000/80.
+    pub fn calibrated() -> SimParams {
+        match MachineCalibration::load_default() {
+            Some(c) => SimParams {
+                fork_join: c.fork_join_ns,
+                dispatch: c.dispatch_ns,
+                ..SimParams::default()
+            },
+            None => SimParams::default(),
+        }
+    }
+}
+
+/// Finds `"key": <number>` in a flat JSON document.
+fn scan_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 #[cfg(test)]
@@ -330,5 +416,52 @@ mod tests {
         let p = SimParams::default();
         let r = simulate_parallel_for(&[], 8, Schedule::dynamic_default(), &p);
         assert_eq!(r.time, p.fork_join);
+    }
+
+    #[test]
+    fn calibration_parses_the_emitted_format() {
+        let doc = r#"{
+  "schema": "subsub-forkjoin/v1",
+  "quick": false,
+  "cal_threads": 4,
+  "fork_join_ns": 1234.5,
+  "dispatch_ns": 42.0,
+  "legacy_fork_join_ns": 4200.0,
+  "improvement": 3.4
+}"#;
+        let c = MachineCalibration::parse_json(doc).expect("parses");
+        assert_eq!(c.threads, 4);
+        assert!((c.fork_join_ns - 1234.5).abs() < 1e-9);
+        assert!((c.dispatch_ns - 42.0).abs() < 1e-9);
+        assert!(c.dispatch_ratio() > 0.0 && c.dispatch_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn calibration_rejects_garbage() {
+        assert!(MachineCalibration::parse_json("{}").is_none());
+        assert!(MachineCalibration::parse_json(
+            r#"{"cal_threads": 4, "fork_join_ns": -1, "dispatch_ns": 2}"#
+        )
+        .is_none());
+        assert!(MachineCalibration::parse_json(
+            r#"{"cal_threads": 4, "fork_join_ns": "nope", "dispatch_ns": 2}"#
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn dynamic_batching_conserves_work_in_sim() {
+        // Large n with chunk 1: batched claims must still cover every
+        // iteration's cost exactly once.
+        let p = SimParams {
+            fork_join: 0.0,
+            dispatch: 0.0,
+            ..SimParams::default()
+        };
+        let costs: Vec<f64> = (0..100_000).map(|i| ((i % 5) + 1) as f64).collect();
+        let r = simulate_parallel_for(&costs, 4, Schedule::dynamic_default(), &p);
+        let total: f64 = costs.iter().sum();
+        let busy: f64 = r.per_thread.iter().sum();
+        assert!((busy - total).abs() < 1e-6 * total);
     }
 }

@@ -1,0 +1,153 @@
+//! Edge-case integration tests for the claim-based fork-join pool:
+//! oversubscription, nested/concurrent regions, long-haul reuse,
+//! cooperative cancellation, and panic recovery.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use subsub_omprt::{CancelToken, Schedule, ThreadPool};
+
+#[test]
+fn oversubscribed_pool_is_exactly_once() {
+    // 16 workers on a (possibly) 1-core machine: most tids get executed
+    // by whichever thread wins the claim, not "their" worker. Coverage
+    // must stay exactly-once regardless.
+    let pool = ThreadPool::new(16);
+    for sched in [
+        Schedule::static_default(),
+        Schedule::dynamic_default(),
+        Schedule::Guided { min_chunk: 2 },
+    ] {
+        let n = 10_000usize;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(n, sched, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+            "{sched}"
+        );
+    }
+}
+
+#[test]
+fn nested_run_degrades_to_inline_serial() {
+    // A `run` issued from inside a job must not deadlock; it executes the
+    // inner job inline for every tid (OpenMP nested-disabled semantics).
+    let pool = ThreadPool::new(4);
+    let inner_calls = AtomicUsize::new(0);
+    let outer_calls = AtomicUsize::new(0);
+    pool.run(|_| {
+        outer_calls.fetch_add(1, Ordering::Relaxed);
+        pool.run(|_| {
+            inner_calls.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(outer_calls.load(Ordering::Relaxed), 4);
+    // Each of the 4 outer tids ran the inner region inline over 4 tids.
+    assert_eq!(inner_calls.load(Ordering::Relaxed), 16);
+}
+
+#[test]
+fn concurrent_runs_from_two_threads_both_complete() {
+    // Two coordinators racing on one pool: whichever loses the
+    // region_active flag runs inline. Both must produce exact sums.
+    let pool = Arc::new(ThreadPool::new(4));
+    let n = 50_000usize;
+    let expected = (n as u64 - 1) * n as u64 / 2;
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let total = AtomicU64::new(0);
+                for _ in 0..20 {
+                    total.store(0, Ordering::Relaxed);
+                    pool.parallel_for(n, Schedule::dynamic_default(), |i| {
+                        total.fetch_add(i as u64, Ordering::Relaxed);
+                    });
+                    assert_eq!(total.load(Ordering::Relaxed), expected);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("concurrent coordinator");
+    }
+}
+
+#[test]
+fn fifty_thousand_region_reuse_stress() {
+    // The epoch/claim protocol must hold up across a long back-to-back
+    // region stream (epoch monotonicity, no leaked claims, no missed
+    // wake-ups).
+    let pool = ThreadPool::new(4);
+    let count = AtomicU64::new(0);
+    for _ in 0..50_000 {
+        pool.run(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    assert_eq!(count.load(Ordering::Relaxed), 50_000 * 4);
+}
+
+#[test]
+fn cancellation_stops_future_iterations_only() {
+    // Cancel at iteration 500 of 100k: every executed iteration runs at
+    // most once, no iteration starts after the cancel is observed, and a
+    // large majority of the space is pruned.
+    let pool = ThreadPool::new(4);
+    let n = 100_000usize;
+    let cancel = CancelToken::new();
+    let cancelled = AtomicBool::new(false);
+    let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    let after_cancel = AtomicUsize::new(0);
+    pool.parallel_for_cancel(n, Schedule::dynamic_default(), &cancel, |i| {
+        // `cancelled` is set strictly before `cancel.cancel()`, so any
+        // iteration that starts after the token trips must observe it.
+        if cancelled.load(Ordering::SeqCst) && cancel.is_cancelled() {
+            after_cancel.fetch_add(1, Ordering::Relaxed);
+        }
+        hits[i].fetch_add(1, Ordering::Relaxed);
+        if i == 500 {
+            cancelled.store(true, Ordering::SeqCst);
+            cancel.cancel();
+        }
+    });
+    assert!(
+        hits.iter().all(|h| h.load(Ordering::Relaxed) <= 1),
+        "no iteration may run twice"
+    );
+    let total: usize = hits.iter().map(|h| h.load(Ordering::Relaxed)).sum();
+    assert!(total >= 1, "iteration 500 itself ran");
+    assert!(
+        total < n / 2,
+        "cancellation pruned the space (ran {total} of {n})"
+    );
+    // The runtime re-checks the token before every iteration, so nothing
+    // *begins* once its thread has seen the cancel. A thread that passed
+    // its pre-check just before the trip may still execute that one
+    // in-flight iteration, so the bound is one straggler per thread.
+    assert!(
+        after_cancel.load(Ordering::Relaxed) <= pool.threads(),
+        "at most one in-flight iteration per thread after the cancel"
+    );
+}
+
+#[test]
+fn worker_panic_propagates_and_pool_survives() {
+    let pool = ThreadPool::new(4);
+    let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        pool.run(|tid| {
+            if tid == 2 {
+                panic!("boom");
+            }
+        });
+    }));
+    assert!(r.is_err(), "the coordinator re-raises the job panic");
+    // The pool is still usable afterwards.
+    let count = AtomicU64::new(0);
+    pool.parallel_for(1000, Schedule::static_default(), |_| {
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 1000);
+}

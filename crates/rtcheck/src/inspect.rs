@@ -14,7 +14,7 @@
 //! interior scans skipped.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use subsub_omprt::{Schedule, ThreadPool};
+use subsub_omprt::{CancelToken, Schedule, ThreadPool};
 
 /// Monotonicity flavour a dependence-test pattern requires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,8 +41,12 @@ pub struct MonotoneVerdict {
     pub nonstrict: bool,
     /// Adjacent pairs strictly increase.
     pub strict: bool,
-    /// Index `i` of the first element with `data[i-1] ⋠ data[i]` under the
-    /// *non-strict* requirement, if any.
+    /// Index `i` of an element with `data[i-1] ⋠ data[i]` under the
+    /// *non-strict* requirement, if any. The serial scan reports the
+    /// globally first such index; the parallel scan reports the earliest
+    /// *observed* one — once any chunk sees a non-strict violation the
+    /// remaining chunks are cancelled (the verdict is already decided),
+    /// so a later chunk's violation may be the one recorded.
     pub first_violation: Option<usize>,
     /// Number of elements inspected.
     pub len: usize,
@@ -115,7 +119,11 @@ fn inspect_parallel(data: &[usize], pool: &ThreadPool) -> MonotoneVerdict {
     // usize::MAX = "no violation seen"; fetch-min keeps the earliest.
     let nonstrict_viol = AtomicUsize::new(usize::MAX);
     let strict_viol = AtomicUsize::new(usize::MAX);
-    pool.parallel_for(chunks, Schedule::Dynamic { chunk: 1 }, |c| {
+    // A non-strict violation settles the whole verdict (both flavours are
+    // false), so the first chunk to find one cancels the rest of the scan
+    // instead of letting every remaining chunk finish pointlessly.
+    let cancel = CancelToken::new();
+    pool.parallel_for_cancel(chunks, Schedule::Dynamic { chunk: 1 }, &cancel, |c| {
         let start = c * chunk_len;
         let end = ((c + 1) * chunk_len).min(n);
         // Interior pairs only; pairs straddling chunk joins are fixed up
@@ -124,6 +132,7 @@ fn inspect_parallel(data: &[usize], pool: &ThreadPool) -> MonotoneVerdict {
             if data[i - 1] > data[i] {
                 nonstrict_viol.fetch_min(i, Ordering::Relaxed);
                 strict_viol.fetch_min(i, Ordering::Relaxed);
+                cancel.cancel();
                 break;
             }
             if data[i - 1] == data[i] {
@@ -213,6 +222,24 @@ mod tests {
         data[chunk_len] = data[chunk_len - 1] - 1; // only the join pair decreases
         let v = inspect_monotone(&data, Some(&pool));
         assert!(!v.nonstrict, "boundary fixup must catch the join violation");
+    }
+
+    #[test]
+    fn cancelled_scan_still_reports_a_correct_verdict() {
+        // A violation in the very first chunk cancels the rest of the
+        // parallel scan; the verdict must nonetheless be decided and a
+        // violating index reported.
+        let pool = ThreadPool::new(4);
+        let n = PAR_THRESHOLD * 8;
+        let mut data: Vec<usize> = (0..n).collect();
+        data[1] = usize::MAX; // data[1] > data[2]: violation at i = 2
+        let v = inspect_monotone(&data, Some(&pool));
+        assert!(!v.nonstrict && !v.strict);
+        let i = v.first_violation.expect("violation reported");
+        assert!(
+            i < n && data[i - 1] > data[i],
+            "reported index is a real violation"
+        );
     }
 
     #[test]

@@ -10,11 +10,23 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy (no unwrap in omprt/rtcheck hot paths) =="
+# The runtime's recovery story depends on lock/channel results never
+# being unwrapped on the execution path; keep the lint as a gate.
+cargo clippy -q -p subsub-omprt -p subsub-rtcheck -- \
+  -D warnings -D clippy::unwrap_used
+
 echo "== release build =="
 cargo build --release --workspace
 
 echo "== test suite =="
 cargo test --workspace -q
+
+echo "== chaos sweep (seeded fault injection, pinned seeds) =="
+# Seeded failpoint schedules over the full kernel registry: every run
+# must complete parallel matching the serial golden or degrade serially
+# with a classified error and bit-identical output (see DESIGN.md 5c).
+cargo run --release -q -p subsub-bench --bin chaos -- 17 4242 900913
 
 echo "== fork-join smoke (calibrate + validate) =="
 # A quick real measurement of fork-join latency on this machine; the

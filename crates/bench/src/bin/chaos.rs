@@ -1,0 +1,56 @@
+//! Chaos sweep CLI: seeded fault-injection over the full kernel
+//! registry, asserting the robustness invariant (complete parallel
+//! matching golden, or degrade serially with a classified error — never
+//! abort, hang, or corrupt).
+//!
+//! Usage: `cargo run -p subsub-bench --bin chaos [seed...]`
+//! (defaults to the pinned CI seeds).
+
+use subsub_bench::chaos::{chaos_sweep, DEFAULT_SEEDS};
+
+fn main() {
+    let seeds: Vec<u64> = {
+        let args: Vec<u64> = std::env::args()
+            .skip(1)
+            .map(|a| {
+                a.parse()
+                    .unwrap_or_else(|_| panic!("seed must be a u64, got {a:?}"))
+            })
+            .collect();
+        if args.is_empty() {
+            DEFAULT_SEEDS.to_vec()
+        } else {
+            args
+        }
+    };
+    let mut failed = false;
+    for seed in seeds {
+        let report = chaos_sweep(seed);
+        let (parallel, degraded) = report.outcome_counts();
+        println!(
+            "seed {seed}: {} kernels — {parallel} completed parallel, {degraded} degraded serial",
+            report.results.len()
+        );
+        for r in &report.results {
+            let outcome = match &r.degraded {
+                None => "parallel (matches golden)".to_string(),
+                Some(e) => format!("serial ({e})"),
+            };
+            let injected = if r.fired_sites.is_empty() {
+                "no injections fired".to_string()
+            } else {
+                format!("fired: {}", r.fired_sites.join(", "))
+            };
+            println!("  {:12} {outcome} [{injected}]", r.kernel);
+        }
+        for v in &report.violations {
+            eprintln!("  VIOLATION: {v}");
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("chaos sweep FAILED");
+        std::process::exit(1);
+    }
+    println!("chaos sweep passed");
+}

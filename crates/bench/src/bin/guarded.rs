@@ -49,7 +49,9 @@ fn main() {
             println!(
                 "tampered run:   {} — {}",
                 out.executed,
-                out.reason.as_deref().unwrap_or("(admitted)")
+                out.reason
+                    .map(|r| r.to_string())
+                    .unwrap_or_else(|| "(admitted)".into())
             );
         }
 

@@ -6,31 +6,46 @@
 //! against the instance's scalar bindings, inspects (or cache-revalidates)
 //! its index arrays, and executes the admitted variant. Repeated runs on
 //! an unchanged instance are revalidated from the inspector cache in O(1).
+//!
+//! Execution is fault-tolerant end to end: the two-phase
+//! `decide_recoverable` / `execute_admitted` protocol re-checks index
+//! array versions at dispatch (tamper gate), catches a panicking or
+//! worker-losing parallel variant, resets the kernel instance, retries
+//! once, and finishes on the serial golden path when the parallel one
+//! cannot be trusted — reporting the classified [`ExecError`] instead of
+//! aborting. Repeatedly faulting kernels are pinned to serial by the
+//! executor's circuit breaker.
 
 use crate::decide::{decision_report, variant_for};
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use subsub_core::{AlgorithmLevel, CheckExpr};
+use subsub_failpoint as failpoint;
 use subsub_kernels::{Kernel, KernelInstance, Variant};
-use subsub_omprt::{Schedule, ThreadPool};
-use subsub_rtcheck::{GuardPath, GuardStats, GuardedExecutor};
+use subsub_omprt::{RegionError, Schedule, ThreadPool};
+use subsub_rtcheck::{BreakerState, ExecError, GuardPath, GuardStats, GuardedExecutor};
 
 /// What one guarded invocation did.
 #[derive(Debug, Clone)]
 pub struct GuardedOutcome {
     /// The variant the compile-time analysis selected.
     pub variant: Variant,
-    /// The variant that actually ran after the runtime guards.
+    /// The variant that actually ran (to completion) after the runtime
+    /// guards and any fault recovery.
     pub executed: Variant,
-    /// Which side of the guard the invocation took. Analysis-serial
-    /// kernels report [`GuardPath::Serial`].
+    /// Which side of the guard the invocation finished on.
+    /// Analysis-serial kernels report [`GuardPath::Serial`].
     pub path: GuardPath,
-    /// Why the serial path was taken, when it was.
-    pub reason: Option<String>,
+    /// Why the serial path was taken, when it was — a classified
+    /// [`ExecError`], never a free-form string.
+    pub reason: Option<ExecError>,
     /// Output checksum of the executed variant.
     pub checksum: f64,
 }
 
 /// A kernel's analysis decision bound to a guarded executor.
 pub struct GuardedHarness {
+    name: String,
     variant: Variant,
     check: Option<CheckExpr>,
     executor: GuardedExecutor,
@@ -50,6 +65,7 @@ impl GuardedHarness {
         let executor = GuardedExecutor::new(check.as_ref())
             .unwrap_or_else(|e| panic!("{}: check not executable: {e}", kernel.name()));
         GuardedHarness {
+            name: kernel.name().to_string(),
             variant,
             check,
             executor,
@@ -71,7 +87,13 @@ impl GuardedHarness {
         self.executor.stats()
     }
 
-    /// Runs one invocation of the kernel under the guards.
+    /// This kernel's circuit-breaker position.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.executor.breaker_state(&self.name)
+    }
+
+    /// Runs one invocation of the kernel under the guards, surviving
+    /// parallel-path faults (see the module docs for the ladder).
     pub fn run(
         &self,
         inst: &mut dyn KernelInstance,
@@ -85,27 +107,97 @@ impl GuardedHarness {
                 variant: self.variant,
                 executed: Variant::Serial,
                 path: GuardPath::Serial,
-                reason: Some("analysis decision is serial".into()),
+                reason: Some(ExecError::AnalysisSerial),
                 checksum: inst.checksum(),
             };
         }
         let bindings = inst.runtime_bindings();
-        let verdict = {
+        let decision = {
             let arrays = inst.index_arrays();
-            self.executor.decide(&bindings, &arrays, Some(pool))
+            self.executor
+                .decide_recoverable(&self.name, &bindings, &arrays, Some(pool))
         };
-        let executed = match verdict.path {
-            GuardPath::Parallel => self.variant,
-            GuardPath::Serial => Variant::Serial,
+        // The closures below each need the instance mutably, but only
+        // ever one at a time; a RefCell makes that dynamic borrow safe.
+        let cell = RefCell::new(inst);
+        let versions_owned: Vec<(String, u64)> = cell
+            .borrow()
+            .index_arrays()
+            .iter()
+            .map(|v| (v.name.to_string(), v.version))
+            .collect();
+        let versions: Vec<(&str, u64)> = versions_owned
+            .iter()
+            .map(|(n, v)| (n.as_str(), *v))
+            .collect();
+        let variant = self.variant;
+        let (checksum, reason) = self.executor.execute_admitted(
+            &self.name,
+            &decision,
+            &versions,
+            || {
+                let mut inst = cell.borrow_mut();
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    failpoint::hit("bench.kernel.parallel");
+                    inst.run(variant, pool, sched);
+                }));
+                match r {
+                    Ok(()) => Ok(inst.checksum()),
+                    Err(p) => Err(classify_panic(p.as_ref())),
+                }
+            },
+            || {
+                // A faulted attempt may have half-written the outputs;
+                // reset restores the pristine dataset so the retry (or
+                // the serial rescue) starts from known-good state.
+                cell.borrow_mut().reset();
+            },
+            || {
+                let mut inst = cell.borrow_mut();
+                inst.run_serial();
+                inst.checksum()
+            },
+        );
+        let (executed, path) = match reason {
+            None => (variant, GuardPath::Parallel),
+            Some(_) => (Variant::Serial, GuardPath::Serial),
         };
-        inst.run(executed, pool, sched);
         GuardedOutcome {
-            variant: self.variant,
+            variant,
             executed,
-            path: verdict.path,
-            reason: verdict.reason,
-            checksum: inst.checksum(),
+            path,
+            reason,
+            checksum,
         }
+    }
+}
+
+/// Maps a caught panic payload from a parallel kernel run onto the
+/// [`ExecError`] taxonomy.
+fn classify_panic(p: &(dyn std::any::Any + Send)) -> ExecError {
+    if let Some(e) = p.downcast_ref::<RegionError>() {
+        return match e {
+            RegionError::DeadlineExceeded => ExecError::Timeout,
+            other => ExecError::ParallelFault {
+                detail: other.to_string(),
+            },
+        };
+    }
+    if let Some(inj) = p.downcast_ref::<failpoint::InjectedPanic>() {
+        return ExecError::ParallelFault {
+            detail: inj.to_string(),
+        };
+    }
+    if let Some(s) = p.downcast_ref::<&str>() {
+        return ExecError::ParallelFault {
+            detail: (*s).to_string(),
+        };
+    }
+    if let Some(s) = p.downcast_ref::<String>() {
+        return ExecError::ParallelFault { detail: s.clone() };
+    }
+    ExecError::ParallelFault {
+        detail: "non-string panic payload".into(),
     }
 }
 
@@ -172,6 +264,6 @@ mod tests {
         let mut inst = is.prepare(is.datasets()[0]);
         let out = harness.run(inst.as_mut(), &pool, Schedule::static_default());
         assert_eq!(out.path, GuardPath::Serial);
-        assert_eq!(out.reason.as_deref(), Some("analysis decision is serial"));
+        assert_eq!(out.reason, Some(ExecError::AnalysisSerial));
     }
 }

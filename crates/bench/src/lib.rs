@@ -14,12 +14,14 @@
 //!    paper's 4-, 8- and 16-core series (the CI container has one core, so
 //!    multi-core numbers are simulated; see DESIGN.md).
 
+pub mod chaos;
 pub mod decide;
 pub mod guarded;
 pub mod harness;
 pub mod microbench;
 pub mod table;
 
+pub use chaos::{chaos_sweep, ChaosReport, CHAOS_SITES, DEFAULT_SEEDS};
 pub use decide::{decision_report, variant_for};
 pub use guarded::{guarded_run, GuardedHarness, GuardedOutcome};
 pub use harness::{calibrate, run_config, Config, Outcome};

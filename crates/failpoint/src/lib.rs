@@ -1,0 +1,446 @@
+//! Deterministic fault-injection failpoints.
+//!
+//! A *failpoint* is a named site in production code where a test can
+//! inject a fault: `failpoint::hit("omprt.worker.claim")`. When no plan
+//! is armed (the production case, and every non-chaos test) a hit is a
+//! single relaxed atomic load — no locks, no allocation, no branch the
+//! predictor cannot fold away. When a [`FailPlan`] is armed, each hit
+//! consults the plan and may execute one of four *arms*:
+//!
+//! * [`Arm::Panic`] — unwind with an [`InjectedPanic`] payload (a worker
+//!   that hits this outside any `catch_unwind` dies, which is how the
+//!   pool's watchdog/respawn path is exercised);
+//! * [`Arm::Delay`] — sleep for a fixed number of milliseconds (wedged
+//!   or slow thread);
+//! * [`Arm::Error`] — return [`Action::Error`], which the site maps to
+//!   its own failure path (an inspection that cannot complete, a cache
+//!   insert that is dropped);
+//! * [`Arm::Corrupt`] — return [`Action::Corrupt`], which the site maps
+//!   to a data-integrity fault (the guarded harness tampers an index
+//!   array between inspection and dispatch).
+//!
+//! Schedules are *seeded*: [`FailPlan::seeded`] derives, from one `u64`,
+//! which sites participate, which arm each uses, and at which hit
+//! indices it fires. Per-site hit indices are assigned by an atomic
+//! counter, so the k-th hit of a site fires deterministically even when
+//! the *thread* that performs the k-th hit varies between runs — chaos
+//! runs replay bug-for-bug from their seed.
+//!
+//! Arming is process-global and serialized: [`arm`] returns an
+//! [`ArmedGuard`] that holds a global scope lock, so two chaos tests in
+//! one test binary cannot interleave their plans. Counters ([`hits`],
+//! [`fired`]) remain readable after the guard drops, until the next
+//! [`arm`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arm {
+    /// Unwind with an [`InjectedPanic`] payload.
+    Panic,
+    /// Sleep this many milliseconds, then proceed.
+    Delay(u64),
+    /// Return [`Action::Error`] for the site to map to its failure path.
+    Error,
+    /// Return [`Action::Corrupt`] for the site to map to a
+    /// data-integrity fault.
+    Corrupt,
+}
+
+/// What the caller of [`hit`] must do. `Panic` and `Delay` arms are
+/// executed inside [`hit`] itself and never surface here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Nothing injected; continue normally.
+    Proceed,
+    /// The site's failure path was requested.
+    Error,
+    /// The site's corruption path was requested.
+    Corrupt,
+}
+
+/// Panic payload of an [`Arm::Panic`] firing, distinguishable from real
+/// bugs by downcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedPanic {
+    /// The site that fired.
+    pub site: String,
+}
+
+impl std::fmt::Display for InjectedPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failpoint: injected panic at {}", self.site)
+    }
+}
+
+/// When a rule fires, relative to the site's 0-based hit counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fire {
+    /// First hit index that fires.
+    pub from_hit: u64,
+    /// Fire every `period`-th hit from `from_hit` on (1 = every hit).
+    pub period: u64,
+    /// Stop after this many firings.
+    pub max_fires: u64,
+}
+
+impl Fire {
+    /// Fire exactly once, at hit index `n`.
+    pub fn nth(n: u64) -> Fire {
+        Fire {
+            from_hit: n,
+            period: 1,
+            max_fires: 1,
+        }
+    }
+
+    /// Fire on every hit.
+    pub fn always() -> Fire {
+        Fire {
+            from_hit: 0,
+            period: 1,
+            max_fires: u64::MAX,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Rule {
+    arm: Arm,
+    fire: Fire,
+}
+
+/// A set of (site → rule) injections, armed via [`arm`].
+#[derive(Debug, Clone, Default)]
+pub struct FailPlan {
+    rules: HashMap<String, Rule>,
+}
+
+impl FailPlan {
+    /// An empty plan. Arming it injects nothing but still takes the
+    /// global chaos scope (useful to serialize failpoint-sensitive tests).
+    pub fn new() -> FailPlan {
+        FailPlan::default()
+    }
+
+    /// Adds (or replaces) a rule for one site.
+    pub fn with(mut self, site: &str, arm: Arm, fire: Fire) -> FailPlan {
+        self.rules.insert(site.to_string(), Rule { arm, fire });
+        self
+    }
+
+    /// Derives a reproducible plan from a seed. Each entry of `sites`
+    /// names a site and the arms it may legally use (sites on
+    /// coordinator-only paths, for example, must never be given
+    /// `Arm::Panic`). Roughly two thirds of the sites participate; the
+    /// arm, first firing hit, period and firing budget are all drawn
+    /// from the seed.
+    pub fn seeded(seed: u64, sites: &[(&str, &[Arm])]) -> FailPlan {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FailPlan::new();
+        for (site, allowed) in sites {
+            if allowed.is_empty() || rng.next() % 100 >= 65 {
+                continue;
+            }
+            let arm = allowed[(rng.next() % allowed.len() as u64) as usize];
+            let fire = Fire {
+                from_hit: rng.next() % 6,
+                period: 1 + rng.next() % 5,
+                max_fires: 1 + rng.next() % 3,
+            };
+            plan = plan.with(site, arm, fire);
+        }
+        plan
+    }
+
+    /// The sites this plan injects at.
+    pub fn sites(&self) -> Vec<String> {
+        let mut s: Vec<String> = self.rules.keys().cloned().collect();
+        s.sort();
+        s
+    }
+}
+
+/// SplitMix64: tiny, seedable, good enough to scatter chaos schedules.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 {
+            state: seed.wrapping_add(0x9E3779B97F4A7C15),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[derive(Debug, Default)]
+struct SiteState {
+    hits: u64,
+    fired: u64,
+}
+
+#[derive(Debug, Default)]
+struct Active {
+    rules: HashMap<String, Rule>,
+    sites: HashMap<String, SiteState>,
+}
+
+/// Fast-path flag: a disarmed [`hit`] is exactly one relaxed load.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn state() -> &'static Mutex<Active> {
+    static STATE: OnceLock<Mutex<Active>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(Active::default()))
+}
+
+fn scope() -> &'static Mutex<()> {
+    static SCOPE: OnceLock<Mutex<()>> = OnceLock::new();
+    SCOPE.get_or_init(|| Mutex::new(()))
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Keeps a plan armed; disarms (but keeps counters readable) on drop.
+/// Holding the guard also holds the global chaos scope lock, so armed
+/// sections in one process are serialized.
+pub struct ArmedGuard {
+    _scope: MutexGuard<'static, ()>,
+}
+
+impl Drop for ArmedGuard {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Arms a plan process-wide. Blocks until any previously armed scope has
+/// been dropped. Counters start at zero.
+pub fn arm(plan: FailPlan) -> ArmedGuard {
+    let scope_guard = lock(scope());
+    {
+        let mut st = lock(state());
+        st.rules = plan.rules;
+        st.sites.clear();
+    }
+    ARMED.store(true, Ordering::SeqCst);
+    ArmedGuard {
+        _scope: scope_guard,
+    }
+}
+
+/// Reports a site hit. Disarmed: one relaxed load, `Action::Proceed`.
+/// Armed: bumps the site's hit counter, fires the matching rule if its
+/// schedule says so (executing `Panic`/`Delay` in place), and returns
+/// the action the caller must map.
+#[inline]
+pub fn hit(site: &'static str) -> Action {
+    if !ARMED.load(Ordering::Relaxed) {
+        return Action::Proceed;
+    }
+    hit_slow(site)
+}
+
+#[cold]
+fn hit_slow(site: &'static str) -> Action {
+    let arm = {
+        let mut st = lock(state());
+        let entry = st.sites.entry(site.to_string()).or_default();
+        let h = entry.hits;
+        entry.hits += 1;
+        let fired_so_far = entry.fired;
+        match st.rules.get(site) {
+            Some(rule)
+                if h >= rule.fire.from_hit
+                    && (h - rule.fire.from_hit).is_multiple_of(rule.fire.period)
+                    && fired_so_far < rule.fire.max_fires =>
+            {
+                let arm = rule.arm;
+                // Re-borrow to record the firing (rules and sites are
+                // disjoint maps in the same guard).
+                if let Some(e) = st.sites.get_mut(site) {
+                    e.fired += 1;
+                }
+                Some(arm)
+            }
+            _ => None,
+        }
+    };
+    // Act only after the registry lock is dropped: a panic or sleep must
+    // never hold it.
+    match arm {
+        None => Action::Proceed,
+        Some(Arm::Panic) => std::panic::panic_any(InjectedPanic {
+            site: site.to_string(),
+        }),
+        Some(Arm::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Action::Proceed
+        }
+        Some(Arm::Error) => Action::Error,
+        Some(Arm::Corrupt) => Action::Corrupt,
+    }
+}
+
+/// Total hits a site has taken under the current (or last) armed plan.
+pub fn hits(site: &str) -> u64 {
+    lock(state()).sites.get(site).map_or(0, |s| s.hits)
+}
+
+/// Times a site's rule actually fired under the current (or last) plan.
+pub fn fired(site: &str) -> u64 {
+    lock(state()).sites.get(site).map_or(0, |s| s.fired)
+}
+
+type Silencer = Box<dyn Fn(&(dyn std::any::Any + Send)) -> bool + Send + Sync>;
+
+fn silencers() -> &'static Mutex<Vec<Silencer>> {
+    static SILENCERS: OnceLock<Mutex<Vec<Silencer>>> = OnceLock::new();
+    SILENCERS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Installs (once) a panic hook that suppresses the default "thread
+/// panicked" report for [`InjectedPanic`] payloads — chaos suites kill
+/// workers on purpose and should not spray stderr — while delegating
+/// every real panic to the previous hook.
+pub fn silence_injected_panics() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            if payload.downcast_ref::<InjectedPanic>().is_some() {
+                return;
+            }
+            if lock(silencers()).iter().any(|pred| pred(payload)) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Registers an extra predicate with the hook installed by
+/// [`silence_injected_panics`]: any panic whose payload matches is also
+/// reported nowhere. Lets chaos harnesses quiet panics that are injected
+/// *consequences* carrying a foreign payload type (e.g. a runtime
+/// re-raising a region abort caused by an injected worker death) without
+/// this crate depending on those types.
+pub fn silence_panics_when(
+    pred: impl Fn(&(dyn std::any::Any + Send)) -> bool + Send + Sync + 'static,
+) {
+    silence_injected_panics();
+    lock(silencers()).push(Box::new(pred));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_hits_proceed_and_count_nothing() {
+        // No plan armed in this test: the fast path must not record hits.
+        assert_eq!(hit("unit.nothing"), Action::Proceed);
+    }
+
+    #[test]
+    fn error_arm_fires_on_schedule() {
+        let _g = arm(FailPlan::new().with(
+            "unit.err",
+            Arm::Error,
+            Fire {
+                from_hit: 1,
+                period: 2,
+                max_fires: 2,
+            },
+        ));
+        let got: Vec<Action> = (0..6).map(|_| hit("unit.err")).collect();
+        assert_eq!(
+            got,
+            vec![
+                Action::Proceed, // hit 0: before from_hit
+                Action::Error,   // hit 1: fires
+                Action::Proceed, // hit 2: off-period
+                Action::Error,   // hit 3: fires (2nd, budget exhausted)
+                Action::Proceed, // hit 4
+                Action::Proceed, // hit 5: budget spent
+            ]
+        );
+        assert_eq!(hits("unit.err"), 6);
+        assert_eq!(fired("unit.err"), 2);
+    }
+
+    #[test]
+    fn panic_arm_unwinds_with_typed_payload() {
+        silence_injected_panics();
+        let _g = arm(FailPlan::new().with("unit.boom", Arm::Panic, Fire::nth(0)));
+        let r = std::panic::catch_unwind(|| hit("unit.boom"));
+        let payload = r.expect_err("must panic");
+        let inj = payload
+            .downcast_ref::<InjectedPanic>()
+            .expect("typed payload");
+        assert_eq!(inj.site, "unit.boom");
+        // Second hit: budget spent, proceeds.
+        assert_eq!(hit("unit.boom"), Action::Proceed);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_respect_allowed_arms() {
+        let sites: &[(&str, &[Arm])] = &[
+            ("a", &[Arm::Panic, Arm::Delay(1)]),
+            ("b", &[Arm::Error]),
+            ("c", &[Arm::Corrupt, Arm::Error]),
+            ("d", &[Arm::Delay(2)]),
+        ];
+        for seed in 0..50u64 {
+            let p1 = FailPlan::seeded(seed, sites);
+            let p2 = FailPlan::seeded(seed, sites);
+            assert_eq!(p1.sites(), p2.sites(), "seed {seed}");
+            for (site, rule) in &p1.rules {
+                let allowed = sites
+                    .iter()
+                    .find(|(s, _)| s == site)
+                    .map(|(_, a)| *a)
+                    .expect("known site");
+                assert!(allowed.contains(&rule.arm), "seed {seed} site {site}");
+                assert_eq!(p2.rules[site].arm, rule.arm);
+                assert_eq!(p2.rules[site].fire, rule.fire);
+            }
+        }
+        // Different seeds eventually give different plans.
+        let all_same = (1..20u64)
+            .all(|s| FailPlan::seeded(s, sites).sites() == FailPlan::seeded(0, sites).sites());
+        assert!(!all_same, "seeds must vary the schedule");
+    }
+
+    #[test]
+    fn rearming_resets_counters() {
+        {
+            let _g = arm(FailPlan::new().with("unit.reset", Arm::Error, Fire::always()));
+            assert_eq!(hit("unit.reset"), Action::Error);
+            assert_eq!(fired("unit.reset"), 1);
+        }
+        // Counters survive the drop for post-hoc assertions…
+        assert_eq!(fired("unit.reset"), 1);
+        // …and the disarmed site no longer fires.
+        assert_eq!(hit("unit.reset"), Action::Proceed);
+        // A fresh arm starts from zero.
+        let _g = arm(FailPlan::new());
+        assert_eq!(fired("unit.reset"), 0);
+        assert_eq!(hit("unit.reset"), Action::Proceed);
+        assert_eq!(hits("unit.reset"), 1);
+    }
+}

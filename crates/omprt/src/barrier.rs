@@ -217,6 +217,19 @@ impl ClaimCursor {
             .store((epoch & EPOCH_MASK) << TID_BITS, Ordering::SeqCst);
     }
 
+    /// Number of tids already claimed in region `epoch` (0 when the
+    /// cursor is parked on a different region). Tids `0..claimed` have
+    /// been handed out; the watchdog uses this to tell a claimed-but-
+    /// unattributed tid from one that was simply never claimed.
+    pub fn claimed(&self, epoch: u64, threads: usize) -> usize {
+        let cur = self.word.load(Ordering::SeqCst);
+        if cur >> TID_BITS == epoch & EPOCH_MASK {
+            ((cur & TID_MASK) as usize).min(threads)
+        } else {
+            0
+        }
+    }
+
     /// Claims the next tid of the current region, if any. Returns the
     /// region's (truncated) epoch and the claimed tid.
     pub fn try_claim(&self, threads: usize) -> Option<(u64, usize)> {
@@ -275,26 +288,58 @@ impl JoinLatch {
     /// Reports that tid `tid` completed `epoch`. Wakes the coordinator
     /// only when it is parked *and* this was the region's last tid, so
     /// stragglers cause no spurious wake-ups.
+    ///
+    /// The slot advances with `fetch_max`, never a plain store: a
+    /// straggler that finishes a tid *after* the watchdog already
+    /// force-marked it (an abandoned region) must not drag the slot back
+    /// below an epoch the coordinator has since moved past.
     pub fn mark(&self, tid: usize, epoch: u64) {
-        self.slots[tid].store(epoch, Ordering::SeqCst);
+        self.slots[tid].fetch_max(epoch, Ordering::SeqCst);
         if self.waiting.load(Ordering::SeqCst) > 0 && self.complete(epoch).is_some() {
             drop(lock(&self.lock));
             self.cv.notify_all();
         }
     }
 
+    /// Whether tid `tid` has completed `epoch` (watchdog predicate).
+    pub fn is_marked(&self, tid: usize, epoch: u64) -> bool {
+        self.slots[tid].load(Ordering::SeqCst) >= epoch
+    }
+
     /// Waits (spin, then park) until every tid has completed `epoch`.
     pub fn wait_all(&self, epoch: u64) {
+        while !self.wait_all_for(epoch, std::time::Duration::from_millis(100)) {}
+    }
+
+    /// Waits (spin, then park with a timeout) until every tid has
+    /// completed `epoch` or `timeout` elapses. Returns whether the join
+    /// is complete — `false` hands control back to the caller, which is
+    /// how the pool's coordinator interleaves its watchdog scan with the
+    /// join wait.
+    pub fn wait_all_for(&self, epoch: u64, timeout: std::time::Duration) -> bool {
         if spin_poll(|| self.complete(epoch)).is_some() {
-            return;
+            return true;
         }
         self.waiting.fetch_add(1, Ordering::SeqCst);
+        let deadline = std::time::Instant::now() + timeout;
         let mut g = lock(&self.lock);
-        while self.complete(epoch).is_none() {
-            g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
-        }
+        let done = loop {
+            if self.complete(epoch).is_some() {
+                break true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break false;
+            }
+            let (g2, _) = self
+                .cv
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            g = g2;
+        };
         drop(g);
         self.waiting.fetch_sub(1, Ordering::SeqCst);
+        done
     }
 }
 

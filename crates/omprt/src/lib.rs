@@ -31,7 +31,7 @@ pub mod sim;
 pub use barrier::CachePadded;
 pub use cancel::CancelToken;
 pub use measure::{time_once, time_repeat, Measurement};
-pub use pool::ThreadPool;
+pub use pool::{PoolHealth, RegionError, RegionReport, ThreadPool};
 pub use schedule::Schedule;
 pub use sendptr::SendPtr;
 pub use sim::{

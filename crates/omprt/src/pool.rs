@@ -1,4 +1,5 @@
-//! A persistent worker thread pool with OpenMP-style `parallel for`.
+//! A persistent worker thread pool with OpenMP-style `parallel for`,
+//! self-healing against worker faults.
 //!
 //! Workers are spawned once and wait between parallel regions on a
 //! lock-free [`EpochGate`]; a region is one epoch. The fork-join hot
@@ -39,9 +40,44 @@
 //! for every tid), preserving the exactly-once iteration contract. This
 //! mirrors OpenMP's behaviour with nested parallelism disabled.
 //!
-//! **Panics.** A panicking job no longer deadlocks the pool: the worker
-//! catches the unwind, reports completion, and the coordinator re-raises
-//! a panic after the join. The pool stays usable afterwards.
+//! # Fault model and self-healing
+//!
+//! Each claim is *attributed*: the claimer records `(epoch, who,
+//! claimed|started)` in a cache-padded per-tid slot before and after the
+//! instant it begins the job. While the coordinator waits for the join
+//! it runs a **watchdog** every [`WATCHDOG_TICK`]: if a worker thread
+//! has died (detected with `JoinHandle::is_finished`) the watchdog
+//! consults the records for every unjoined tid the dead worker claimed —
+//!
+//! * **claimed but never started** → the tid's job has had no effect, so
+//!   the coordinator *reclaims* it: it executes the job itself and marks
+//!   the join, and the region completes normally (counted in
+//!   [`PoolHealth::reclaimed_tids`]);
+//! * **started** → exactly-once execution can no longer be guaranteed,
+//!   so the region *aborts cleanly*: the orphaned slot is force-marked
+//!   (so the join terminates, never deadlocks) and the region returns
+//!   [`RegionError::WorkerLost`].
+//!
+//! Dead workers are respawned before the next region
+//! ([`PoolHealth::respawned_workers`]); the team never shrinks
+//! permanently. Join marks use `fetch_max`, so a straggler finishing an
+//! abandoned tid later cannot corrupt a newer region's join.
+//!
+//! **Panics.** A panicking job does not deadlock the pool: the claimer
+//! catches the unwind, records the first payload, reports completion,
+//! and the region returns [`RegionError::Panicked`] (the `run` wrapper
+//! re-raises it). The pool stays usable afterwards.
+//!
+//! **Deadlines.** [`ThreadPool::run_with_deadline`] and
+//! [`ThreadPool::parallel_for_deadline`] trip the caller's
+//! [`CancelToken`] once the deadline passes, drain cooperatively, and
+//! return [`RegionError::DeadlineExceeded`]. Cancellation is
+//! cooperative: a job that never polls the token is waited for (the
+//! region borrows the caller's frame, so abandoning it would dangle).
+//!
+//! Chaos tests drive these paths deterministically through the
+//! `subsub-failpoint` sites `omprt.worker.wake`, `omprt.worker.claim`,
+//! `omprt.region.fork`, `omprt.region.join` and `omprt.reduce.slot`.
 
 use crate::barrier::{CachePadded, ClaimCursor, EpochGate, JoinLatch, EPOCH_MASK};
 use crate::cancel::CancelToken;
@@ -49,13 +85,118 @@ use crate::schedule::{dynamic_batch, guided_claim, static_chunks, Schedule};
 use crate::sendptr::SendPtr;
 use std::cell::UnsafeCell;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use subsub_failpoint as failpoint;
 
 /// The erased fork-join job: a pointer to a closure borrowed for the
 /// duration of exactly one region.
 type RawJob = *const (dyn Fn(usize) + Sync);
+
+/// How often the joining coordinator interleaves a watchdog scan with
+/// its park. Healthy regions never reach the first tick: the join
+/// completes inside the spin budget.
+pub const WATCHDOG_TICK: Duration = Duration::from_millis(2);
+
+/// Claimer id of the coordinating caller in a claim record.
+const COORD: u16 = u16::MAX;
+
+/// Claim-record states (low two bits of the record word).
+const REC_CLAIMED: u64 = 1;
+const REC_STARTED: u64 = 2;
+const REC_WHO_SHIFT: u32 = 2;
+const REC_WHO_MASK: u64 = 0xFFFF;
+const REC_EPOCH_SHIFT: u32 = 18;
+
+fn record(epoch: u64, who: u16, state: u64) -> u64 {
+    (epoch << REC_EPOCH_SHIFT) | (u64::from(who) << REC_WHO_SHIFT) | state
+}
+
+fn record_matches_epoch(rec: u64, epoch: u64) -> bool {
+    rec >> REC_EPOCH_SHIFT == (epoch << REC_EPOCH_SHIFT) >> REC_EPOCH_SHIFT
+}
+
+fn record_who(rec: u64) -> u16 {
+    ((rec >> REC_WHO_SHIFT) & REC_WHO_MASK) as u16
+}
+
+fn record_state(rec: u64) -> u64 {
+    rec & 0b11
+}
+
+/// Why a fork-join region could not complete normally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionError {
+    /// At least one tid's job panicked; `detail` carries the first
+    /// payload (injected failpoint panics keep their site name).
+    Panicked {
+        /// Rendering of the first panic payload observed.
+        detail: String,
+    },
+    /// A worker thread died after *starting* a job, so exactly-once
+    /// execution cannot be guaranteed; the region was aborted cleanly.
+    WorkerLost {
+        /// The orphaned tid.
+        tid: usize,
+    },
+    /// The region's deadline elapsed; remaining work was cancelled
+    /// cooperatively. Side effects of completed iterations remain.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionError::Panicked { detail } => {
+                write!(f, "a job panicked inside a parallel region: {detail}")
+            }
+            RegionError::WorkerLost { tid } => {
+                write!(f, "worker executing tid {tid} died mid-job; region aborted")
+            }
+            RegionError::DeadlineExceeded => write!(f, "region deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+/// Recovery work one region performed (all zero on the healthy path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionReport {
+    /// Tids reclaimed from dead workers and executed by the coordinator.
+    pub reclaimed_tids: u32,
+    /// Dead worker threads replaced around this region.
+    pub respawned_workers: u32,
+}
+
+/// Cumulative self-healing counters for one pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolHealth {
+    /// Fork-join regions coordinated (inline-degraded ones included).
+    pub regions: u64,
+    /// Regions in which at least one job panicked (and was contained).
+    pub job_panics: u64,
+    /// Tids reclaimed from dead workers by the coordinator.
+    pub reclaimed_tids: u64,
+    /// Worker threads respawned after dying.
+    pub respawned_workers: u64,
+    /// Regions aborted because a worker died mid-job.
+    pub aborted_regions: u64,
+    /// Regions whose deadline tripped the cancel token.
+    pub deadline_cancels: u64,
+}
+
+#[derive(Debug, Default)]
+struct HealthCounters {
+    regions: AtomicU64,
+    job_panics: AtomicU64,
+    reclaimed_tids: AtomicU64,
+    respawned_workers: AtomicU64,
+    aborted_regions: AtomicU64,
+    deadline_cancels: AtomicU64,
+}
 
 struct Shared {
     /// Job slot for the current region. Written by the coordinator
@@ -67,11 +208,26 @@ struct Shared {
     claim: ClaimCursor,
     join: JoinLatch,
     /// Team size; a claim word's tid field is 16 bits, so this is capped
-    /// at 65535 in `ThreadPool::new`.
+    /// at 65534 in `ThreadPool::new` (65535 is the coordinator's id).
     threads: usize,
     shutdown: AtomicBool,
     /// Some claimed tid's job panicked during the current region.
     panicked: AtomicBool,
+    /// Rendering of the first panic payload of the current region.
+    panic_detail: Mutex<Option<String>>,
+    /// Per-worker liveness heartbeat, bumped on every wake and claim.
+    beats: Vec<CachePadded<AtomicU64>>,
+    /// Per-tid claim attribution: `(epoch, who, claimed|started)`,
+    /// written by the claimer, read by the watchdog.
+    records: Vec<CachePadded<AtomicU64>>,
+}
+
+impl Shared {
+    fn note_panic(&self, detail: String) {
+        self.panicked.store(true, Ordering::SeqCst);
+        let mut slot = lock(&self.panic_detail);
+        slot.get_or_insert(detail);
+    }
 }
 
 // SAFETY: `job` is written only by the single coordinator while no
@@ -83,21 +239,28 @@ unsafe impl Send for Shared {}
 unsafe impl Sync for Shared {}
 
 /// A fixed-size team of worker threads executing fork-join parallel
-/// regions.
+/// regions, with watchdog-based recovery from dead workers.
 pub struct ThreadPool {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// `None` marks a slot whose respawn failed; retried each region.
+    /// Locked only by the coordinator (under `region_active`) and `drop`.
+    workers: Mutex<Vec<Option<JoinHandle<()>>>>,
     threads: usize,
     /// Guards against nested/concurrent `run` on the same pool.
     region_active: AtomicBool,
+    /// Set when a worker death was observed; makes the next region scan
+    /// and respawn eagerly instead of waiting for the periodic sweep.
+    suspect: AtomicBool,
+    health: HealthCounters,
 }
 
 impl ThreadPool {
     /// Spawns a pool with `threads` workers (the calling thread is not
     /// part of the team; it coordinates).
     pub fn new(threads: usize) -> ThreadPool {
-        // tid must fit the claim word's 16-bit field.
-        let threads = threads.clamp(1, 65_535);
+        // tid and claimer ids must fit their 16-bit fields, with
+        // `u16::MAX` reserved for the coordinator.
+        let threads = threads.clamp(1, 65_534);
         let shared = Arc::new(Shared {
             job: UnsafeCell::new(None),
             gate: EpochGate::new(),
@@ -106,21 +269,18 @@ impl ThreadPool {
             threads,
             shutdown: AtomicBool::new(false),
             panicked: AtomicBool::new(false),
+            panic_detail: Mutex::new(None),
+            beats: (0..threads).map(|_| CachePadded::default()).collect(),
+            records: (0..threads).map(|_| CachePadded::default()).collect(),
         });
-        let workers = (0..threads)
-            .map(|w| {
-                let sh = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("omprt-{w}"))
-                    .spawn(move || worker_loop(sh))
-                    .expect("spawn worker")
-            })
-            .collect();
+        let workers = (0..threads).map(|w| spawn_worker(&shared, w, 0)).collect();
         ThreadPool {
             shared,
-            workers,
+            workers: Mutex::new(workers),
             threads,
             region_active: AtomicBool::new(false),
+            suspect: AtomicBool::new(false),
+            health: HealthCounters::default(),
         }
     }
 
@@ -129,47 +289,57 @@ impl ThreadPool {
         self.threads
     }
 
+    /// Snapshot of the pool's self-healing counters.
+    pub fn health(&self) -> PoolHealth {
+        PoolHealth {
+            regions: self.health.regions.load(Ordering::Relaxed),
+            job_panics: self.health.job_panics.load(Ordering::Relaxed),
+            reclaimed_tids: self.health.reclaimed_tids.load(Ordering::Relaxed),
+            respawned_workers: self.health.respawned_workers.load(Ordering::Relaxed),
+            aborted_regions: self.health.aborted_regions.load(Ordering::Relaxed),
+            deadline_cancels: self.health.deadline_cancels.load(Ordering::Relaxed),
+        }
+    }
+
     /// Runs `job(tid)` on every worker and waits for all to finish —
     /// one fork-join region. Nested or concurrent calls degrade to
-    /// inline serial execution (see the module docs).
+    /// inline serial execution (see the module docs). Panics (with a
+    /// [`RegionError`] payload) if the region faulted; use
+    /// [`ThreadPool::try_run`] to handle faults as values.
     pub fn run<F>(&self, job: F)
     where
         F: Fn(usize) + Send + Sync,
     {
-        if self.region_active.swap(true, Ordering::Acquire) {
-            // Another region is in flight on this pool: run the job
-            // inline, serialized, preserving the per-tid contract.
-            for tid in 0..self.threads {
-                job(tid);
-            }
-            return;
+        if let Err(e) = self.try_run(job) {
+            std::panic::panic_any(e);
         }
-        // Erase the borrow: the closure lives on this frame and the
-        // region cannot outlive this call because we block until every
-        // worker's join slot reaches the region's epoch.
-        let obj: &(dyn Fn(usize) + Sync) = &job;
-        let raw: RawJob =
-            unsafe { std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), RawJob>(obj) };
-        self.shared.panicked.store(false, Ordering::Relaxed);
-        unsafe { *self.shared.job.get() = Some(raw) };
-        // Publish order: job slot, then the claim cursor (`SeqCst`), then
-        // the gate wake-up. Only the coordinator bumps the gate, so the
-        // next epoch is `current + 1`.
-        let epoch = self.shared.gate.current() + 1;
-        self.shared.claim.open(epoch);
-        self.shared.gate.open_next();
-        // Participate: claim and execute whatever tids no worker has
-        // taken yet, instead of blocking while workers wake up.
-        execute_claims(&self.shared);
-        self.shared.join.wait_all(epoch & EPOCH_MASK);
-        // Clear the slot while the borrow is still alive (hygiene: the
-        // pointer must never dangle into a dead frame).
-        unsafe { *self.shared.job.get() = None };
-        let panicked = self.shared.panicked.load(Ordering::Relaxed);
-        self.region_active.store(false, Ordering::Release);
-        if panicked {
-            panic!("omprt: a worker's job panicked inside a parallel region");
-        }
+    }
+
+    /// Runs one fork-join region, reporting faults (job panics, lost
+    /// workers) as a [`RegionError`] instead of panicking. The pool
+    /// remains usable after any error.
+    pub fn try_run<F>(&self, job: F) -> Result<RegionReport, RegionError>
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        self.region(&job, None, None)
+    }
+
+    /// Runs one fork-join region with a deadline: once `deadline`
+    /// elapses, `cancel` is tripped so cooperative jobs drain, and the
+    /// region returns [`RegionError::DeadlineExceeded`]. Jobs must poll
+    /// the token (as every `parallel_for` body does) for the deadline to
+    /// take effect.
+    pub fn run_with_deadline<F>(
+        &self,
+        cancel: &CancelToken,
+        deadline: Duration,
+        job: F,
+    ) -> Result<RegionReport, RegionError>
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        self.region(&job, Some(cancel), Some(Instant::now() + deadline))
     }
 
     /// OpenMP-style `parallel for` over `0..n` with the given schedule.
@@ -177,7 +347,22 @@ impl ThreadPool {
     where
         F: Fn(usize) + Send + Sync,
     {
-        self.parallel_for_impl(n, sched, None, &body);
+        if let Err(e) = self.parallel_for_impl(n, sched, None, None, &body) {
+            std::panic::panic_any(e);
+        }
+    }
+
+    /// [`ThreadPool::parallel_for`] reporting region faults as values.
+    pub fn try_parallel_for<F>(
+        &self,
+        n: usize,
+        sched: Schedule,
+        body: F,
+    ) -> Result<RegionReport, RegionError>
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        self.parallel_for_impl(n, sched, None, None, &body)
     }
 
     /// [`ThreadPool::parallel_for`] with cooperative cancellation: once
@@ -188,7 +373,49 @@ impl ThreadPool {
     where
         F: Fn(usize) + Send + Sync,
     {
-        self.parallel_for_impl(n, sched, Some(cancel), &body);
+        if let Err(e) = self.parallel_for_impl(n, sched, Some(cancel), None, &body) {
+            std::panic::panic_any(e);
+        }
+    }
+
+    /// [`ThreadPool::parallel_for_cancel`] reporting region faults as
+    /// values instead of panicking — the form fault-tolerant callers
+    /// (the rtcheck inspector) build on.
+    pub fn try_parallel_for_cancel<F>(
+        &self,
+        n: usize,
+        sched: Schedule,
+        cancel: &CancelToken,
+        body: F,
+    ) -> Result<RegionReport, RegionError>
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        self.parallel_for_impl(n, sched, Some(cancel), None, &body)
+    }
+
+    /// [`ThreadPool::parallel_for_cancel`] with a deadline: iterations
+    /// stop starting once `deadline` elapses (the token is tripped) and
+    /// the call reports [`RegionError::DeadlineExceeded`]. Side effects
+    /// of iterations that completed before the trip remain.
+    pub fn parallel_for_deadline<F>(
+        &self,
+        n: usize,
+        sched: Schedule,
+        cancel: &CancelToken,
+        deadline: Duration,
+        body: F,
+    ) -> Result<RegionReport, RegionError>
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        let dl = Instant::now() + deadline;
+        let report = self.parallel_for_impl(n, sched, Some(cancel), Some(dl), &body)?;
+        if cancel.is_cancelled() && Instant::now() >= dl {
+            self.health.deadline_cancels.fetch_add(1, Ordering::Relaxed);
+            return Err(RegionError::DeadlineExceeded);
+        }
+        Ok(report)
     }
 
     fn parallel_for_impl<F>(
@@ -196,25 +423,54 @@ impl ThreadPool {
         n: usize,
         sched: Schedule,
         cancel: Option<&CancelToken>,
+        deadline: Option<Instant>,
         body: &F,
-    ) where
+    ) -> Result<RegionReport, RegionError>
+    where
         F: Fn(usize) + Send + Sync,
     {
         // Padded so the shared cursor never false-shares with the
         // coordinator's stack around it.
         let cursor = CachePadded::new(AtomicUsize::new(0));
         let threads = self.threads;
-        self.run(|tid| {
-            drive(sched, n, threads, tid, &cursor, cancel, |s, e| {
-                for i in s..e {
-                    if cancel.is_some_and(CancelToken::is_cancelled) {
-                        return false;
+        let deadline_hit = AtomicBool::new(false);
+        let check_deadline = || {
+            if let Some(dl) = deadline {
+                if Instant::now() >= dl {
+                    deadline_hit.store(true, Ordering::Relaxed);
+                    if let Some(c) = cancel {
+                        c.cancel();
                     }
-                    body(i);
                 }
-                true
-            });
-        });
+            }
+        };
+        let report = self.region(
+            &|tid| {
+                drive(sched, n, threads, tid, &cursor, cancel, |s, e| {
+                    check_deadline();
+                    for i in s..e {
+                        if cancel.is_some_and(CancelToken::is_cancelled) {
+                            return false;
+                        }
+                        // Deadlines are polled between claimed ranges and
+                        // every 128 iterations within one, so one huge
+                        // static chunk cannot overshoot unboundedly.
+                        if deadline.is_some() && (i - s) % 128 == 127 {
+                            check_deadline();
+                        }
+                        body(i);
+                    }
+                    true
+                });
+            },
+            cancel,
+            deadline,
+        )?;
+        if deadline_hit.load(Ordering::Relaxed) {
+            self.health.deadline_cancels.fetch_add(1, Ordering::Relaxed);
+            return Err(RegionError::DeadlineExceeded);
+        }
+        Ok(report)
     }
 
     /// `parallel for` with a `+`-style reduction: each thread folds its
@@ -243,11 +499,16 @@ impl ThreadPool {
             let mut acc = Some(identity.clone());
             drive(sched, n, threads, tid, &cursor, None, |s, e| {
                 for i in s..e {
-                    acc = Some(fold(acc.take().expect("accumulator present"), i));
+                    // The accumulator is always re-seated below; if it
+                    // ever were empty, restarting from the identity is
+                    // the only sound continuation (never panic here).
+                    let cur = acc.take().unwrap_or_else(|| identity.clone());
+                    acc = Some(fold(cur, i));
                 }
                 true
             });
-            // SAFETY: slot `tid` is written by exactly one worker (and by
+            failpoint::hit("omprt.reduce.slot");
+            // SAFETY: slot `tid` is written by exactly one claimer (and by
             // the inline-serial fallback strictly sequentially), and the
             // coordinator reads only after the region's join.
             unsafe { *slots.get().add(tid) = CachePadded::new(acc) };
@@ -259,6 +520,235 @@ impl ThreadPool {
                 None => a,
             })
     }
+
+    /// The region engine behind every public entry point: fork, claim
+    /// participation, watchdog-interleaved join, recovery, respawn.
+    fn region(
+        &self,
+        job: &(dyn Fn(usize) + Sync),
+        cancel: Option<&CancelToken>,
+        deadline: Option<Instant>,
+    ) -> Result<RegionReport, RegionError> {
+        if self.region_active.swap(true, Ordering::Acquire) {
+            // Another region is in flight on this pool: run the job
+            // inline, serialized, preserving the per-tid contract.
+            return self.inline_region(job, cancel, deadline);
+        }
+        let mut report = RegionReport::default();
+        self.health.regions.fetch_add(1, Ordering::Relaxed);
+        report.respawned_workers += self.ensure_workers(false);
+        // Erase the borrow: the closure lives on (or below) this frame
+        // and the region cannot outlive this call because we block until
+        // every tid's join slot reaches the region's epoch.
+        let raw: RawJob = unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), RawJob>(
+                job as *const (dyn Fn(usize) + Sync),
+            )
+        };
+        self.shared.panicked.store(false, Ordering::SeqCst);
+        *lock(&self.shared.panic_detail) = None;
+        unsafe { *self.shared.job.get() = Some(raw) };
+        failpoint::hit("omprt.region.fork");
+        // Publish order: job slot, then the claim cursor (`SeqCst`), then
+        // the gate wake-up. Only the coordinator bumps the gate, so the
+        // next epoch is `current + 1`.
+        let epoch = self.shared.gate.current() + 1;
+        self.shared.claim.open(epoch);
+        self.shared.gate.open_next();
+        // Participate: claim and execute whatever tids no worker has
+        // taken yet, instead of blocking while workers wake up.
+        execute_claims(&self.shared, COORD, false);
+        failpoint::hit("omprt.region.join");
+        let masked = epoch & EPOCH_MASK;
+        let mut lost: Vec<usize> = Vec::new();
+        let mut stale_strikes = 0u32;
+        let mut deadline_tripped = false;
+        loop {
+            if self.shared.join.wait_all_for(masked, WATCHDOG_TICK) {
+                break;
+            }
+            if !deadline_tripped {
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        deadline_tripped = true;
+                        if let Some(c) = cancel {
+                            c.cancel();
+                        }
+                    }
+                }
+            }
+            self.watchdog(masked, raw, &mut report, &mut lost, &mut stale_strikes);
+        }
+        // Clear the slot while the borrow is still alive (hygiene: the
+        // pointer must never dangle into a dead frame).
+        unsafe { *self.shared.job.get() = None };
+        let panicked = self.shared.panicked.load(Ordering::SeqCst);
+        let detail = lock(&self.shared.panic_detail).take();
+        report.respawned_workers += self.ensure_workers(false);
+        self.health
+            .reclaimed_tids
+            .fetch_add(u64::from(report.reclaimed_tids), Ordering::Relaxed);
+        self.region_active.store(false, Ordering::Release);
+        if let Some(&tid) = lost.first() {
+            self.health.aborted_regions.fetch_add(1, Ordering::Relaxed);
+            return Err(RegionError::WorkerLost { tid });
+        }
+        if panicked {
+            self.health.job_panics.fetch_add(1, Ordering::Relaxed);
+            return Err(RegionError::Panicked {
+                detail: detail.unwrap_or_else(|| "unknown panic payload".into()),
+            });
+        }
+        Ok(report)
+    }
+
+    /// The nested/concurrent fallback: every tid inline on this thread.
+    fn inline_region(
+        &self,
+        job: &(dyn Fn(usize) + Sync),
+        cancel: Option<&CancelToken>,
+        deadline: Option<Instant>,
+    ) -> Result<RegionReport, RegionError> {
+        let mut first_panic: Option<String> = None;
+        for tid in 0..self.threads {
+            if let (Some(dl), Some(c)) = (deadline, cancel) {
+                if Instant::now() >= dl {
+                    c.cancel();
+                }
+            }
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| job(tid)));
+            if let Err(p) = r {
+                first_panic.get_or_insert_with(|| payload_detail(p.as_ref()));
+            }
+        }
+        if let Some(detail) = first_panic {
+            return Err(RegionError::Panicked { detail });
+        }
+        Ok(RegionReport::default())
+    }
+
+    /// Reaps dead worker threads and respawns replacements. Cheap
+    /// (per-slot `is_finished` loads under an uncontended, coordinator-
+    /// only mutex), but still gated: a full sweep runs when a death was
+    /// observed (`suspect`), every 64th region, or when `force`d —
+    /// so back-to-back microscopic regions pay one flag load.
+    fn ensure_workers(&self, force: bool) -> u32 {
+        let periodic = self.health.regions.load(Ordering::Relaxed) % 64 == 1;
+        if !force && !periodic && !self.suspect.swap(false, Ordering::Relaxed) {
+            return 0;
+        }
+        let mut respawned = 0;
+        let mut workers = lock(&self.workers);
+        for (w, slot) in workers.iter_mut().enumerate() {
+            let dead = match slot {
+                Some(h) => h.is_finished(),
+                None => true,
+            };
+            if !dead {
+                continue;
+            }
+            if let Some(h) = slot.take() {
+                let _ = h.join(); // reap; a panicked worker is expected here
+            }
+            *slot = spawn_worker(&self.shared, w, respawned + 1);
+            if slot.is_some() {
+                respawned += 1;
+            }
+        }
+        self.health
+            .respawned_workers
+            .fetch_add(u64::from(respawned), Ordering::Relaxed);
+        respawned
+    }
+
+    /// One watchdog pass over an incomplete join: recover every tid a
+    /// dead worker left behind. See the module docs for the policy.
+    fn watchdog(
+        &self,
+        masked_epoch: u64,
+        raw: RawJob,
+        report: &mut RegionReport,
+        lost: &mut Vec<usize>,
+        stale_strikes: &mut u32,
+    ) {
+        let sh = &self.shared;
+        // Which workers are dead right now? (Coordinator-only lock.)
+        let dead: Vec<bool> = {
+            let workers = lock(&self.workers);
+            workers
+                .iter()
+                .map(|slot| slot.as_ref().is_none_or(JoinHandle::is_finished))
+                .collect()
+        };
+        if !dead.iter().any(|&d| d) {
+            return;
+        }
+        self.suspect.store(true, Ordering::Relaxed);
+        let claimed = sh.claim.claimed(masked_epoch, sh.threads);
+        for tid in 0..sh.threads {
+            if sh.join.is_marked(tid, masked_epoch) {
+                continue;
+            }
+            let rec = sh.records[tid].load(Ordering::SeqCst);
+            if !record_matches_epoch(rec, masked_epoch) {
+                // Claimed (the coordinator drains the cursor before
+                // joining, so every tid is) but never attributed: the
+                // claimer died between its CAS and its record store, or
+                // is nanoseconds away from storing. Give it a few ticks
+                // before declaring the tid lost — never reclaim it, the
+                // ambiguity means it may have started.
+                if tid < claimed {
+                    *stale_strikes += 1;
+                    if *stale_strikes >= 3 && !lost.contains(&tid) {
+                        lost.push(tid);
+                        sh.join.mark(tid, masked_epoch);
+                    }
+                }
+                continue;
+            }
+            let who = record_who(rec);
+            if who == COORD || !dead.get(who as usize).copied().unwrap_or(false) {
+                continue; // ours, or a live worker still executing
+            }
+            match record_state(rec) {
+                REC_CLAIMED => {
+                    // Dead before starting: the job has had no effect on
+                    // this tid, so the coordinator reclaims it. The job
+                    // pointer is valid — we are inside `region`'s frame.
+                    sh.records[tid]
+                        .store(record(masked_epoch, COORD, REC_STARTED), Ordering::SeqCst);
+                    let r = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*raw)(tid) }));
+                    if let Err(p) = r {
+                        sh.note_panic(payload_detail(p.as_ref()));
+                    }
+                    sh.join.mark(tid, masked_epoch);
+                    report.reclaimed_tids += 1;
+                }
+                _ => {
+                    // Started and the executor died: exactly-once is
+                    // unrecoverable. Force-complete the slot so the join
+                    // terminates, and abort the region.
+                    if !lost.contains(&tid) {
+                        lost.push(tid);
+                    }
+                    sh.join.mark(tid, masked_epoch);
+                }
+            }
+        }
+    }
+}
+
+fn spawn_worker(shared: &Arc<Shared>, w: usize, generation: u32) -> Option<JoinHandle<()>> {
+    let sh = Arc::clone(shared);
+    let name = if generation == 0 {
+        format!("omprt-{w}")
+    } else {
+        format!("omprt-{w}-r{generation}")
+    };
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_loop(sh, w))
+        .ok()
 }
 
 /// One worker's share of a scheduled loop: claims ranges according to
@@ -329,48 +819,99 @@ impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.gate.open_next();
-        for w in self.workers.drain(..) {
+        let mut workers = lock(&self.workers);
+        for w in workers.drain(..).flatten() {
             let _ = w.join();
         }
     }
+}
+
+/// Renders a panic payload for [`RegionError::Panicked`], keeping
+/// injected-failpoint panics identifiable by their site name.
+fn payload_detail(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(inj) = p.downcast_ref::<failpoint::InjectedPanic>() {
+        return inj.to_string();
+    }
+    if let Some(s) = p.downcast_ref::<&str>() {
+        return (*s).to_string();
+    }
+    if let Some(s) = p.downcast_ref::<String>() {
+        return s.clone();
+    }
+    "non-string panic payload".to_string()
+}
+
+/// Locks a mutex, ignoring poisoning (every guarded value here is
+/// recovery metadata that stays consistent across an unwinding writer).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Claims and executes tids until the current region's cursor is
 /// exhausted. Run by workers after each gate release *and* by the
 /// coordinator between fork and join.
 ///
-/// A successful claim pins the region open: `run` cannot pass its join
-/// (and therefore cannot clear or rewrite the job slot) until the
+/// A successful claim pins the region open: `region` cannot pass its
+/// join (and therefore cannot clear or rewrite the job slot) until the
 /// claimed tid's latch slot reaches the region's epoch, which happens
 /// only in the `mark` below — so the pointer read between claim and
 /// mark can never dangle or observe a torn rewrite.
-fn execute_claims(sh: &Shared) {
+fn execute_claims(sh: &Shared, who: u16, is_worker: bool) {
     while let Some((epoch, tid)) = sh.claim.try_claim(sh.threads) {
+        sh.records[tid].store(record(epoch, who, REC_CLAIMED), Ordering::SeqCst);
+        if is_worker {
+            // Worker-death window (claimed, not yet started): an
+            // injected panic here escapes `worker_loop`, kills the
+            // thread, and exercises the watchdog's reclaim path.
+            failpoint::hit("omprt.worker.claim");
+        }
+        sh.records[tid].store(record(epoch, who, REC_STARTED), Ordering::SeqCst);
+        if is_worker {
+            // Worker-death window (started): an injected panic here kills
+            // the thread after the tid is attributed as running, so the
+            // watchdog cannot reclaim it — this exercises the clean-abort
+            // (`RegionError::WorkerLost`) path instead.
+            failpoint::hit("omprt.worker.job");
+        }
         // SAFETY: claim-pinned as described above; the `SeqCst` CAS that
         // won the claim observed the cursor open, which the coordinator
         // stored after writing the slot.
-        let job = unsafe { (*sh.job.get()).expect("claimable region has a job") };
-        // SAFETY: the pointee lives on the coordinator's `run` frame,
+        let Some(job) = (unsafe { *sh.job.get() }) else {
+            // Defensive: a claimable region always carries a job. Were
+            // the slot ever empty, completing the tid (instead of
+            // unwinding) keeps the join from hanging.
+            sh.join.mark(tid, epoch);
+            continue;
+        };
+        // SAFETY: the pointee lives on the coordinator's `region` frame,
         // which is blocked until our mark.
         let r = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*job)(tid) }));
-        if r.is_err() {
-            sh.panicked.store(true, Ordering::Relaxed);
+        if let Err(p) = r {
+            sh.note_panic(payload_detail(p.as_ref()));
+        }
+        if is_worker {
+            sh.beats[who as usize].fetch_add(1, Ordering::Relaxed);
         }
         sh.join.mark(tid, epoch);
     }
 }
 
-fn worker_loop(sh: Arc<Shared>) {
+fn worker_loop(sh: Arc<Shared>, w: usize) {
     let mut seen = 0u64;
     loop {
         seen = sh.gate.wait_past(seen);
+        sh.beats[w].fetch_add(1, Ordering::Relaxed);
         if sh.shutdown.load(Ordering::SeqCst) {
             return;
         }
+        // Idle-death window (no claim held): an injected panic here
+        // kills the worker without stranding any tid; the periodic sweep
+        // respawns it.
+        failpoint::hit("omprt.worker.wake");
         // The claim may already be drained (the coordinator absorbs tids
         // while workers wake), in which case this is a no-op and we go
         // straight back to waiting.
-        execute_claims(&sh);
+        execute_claims(&sh, w as u16, true);
     }
 }
 
@@ -507,5 +1048,78 @@ mod tests {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn try_run_reports_job_panics_as_values() {
+        let pool = ThreadPool::new(2);
+        let err = pool
+            .try_run(|tid| {
+                if tid == 1 {
+                    panic!("kaboom {tid}");
+                }
+            })
+            .expect_err("must report the panic");
+        match err {
+            RegionError::Panicked { detail } => assert!(detail.contains("kaboom"), "{detail}"),
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert_eq!(pool.health().job_panics, 1);
+        // Still healthy afterwards.
+        assert!(pool.try_run(|_| {}).is_ok());
+    }
+
+    #[test]
+    fn deadline_cancels_cooperative_loops() {
+        let pool = ThreadPool::new(2);
+        let cancel = CancelToken::new();
+        let done = AtomicUsize::new(0);
+        let err = pool.parallel_for_deadline(
+            1_000_000,
+            Schedule::Dynamic { chunk: 1 },
+            &cancel,
+            Duration::from_millis(5),
+            |_| {
+                done.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(50));
+            },
+        );
+        assert_eq!(err, Err(RegionError::DeadlineExceeded));
+        assert!(cancel.is_cancelled());
+        let ran = done.load(Ordering::Relaxed);
+        assert!(ran > 0, "some iterations ran before the trip");
+        assert!(ran < 1_000_000, "the deadline pruned the space");
+        assert_eq!(pool.health().deadline_cancels, 1);
+    }
+
+    #[test]
+    fn generous_deadline_is_not_an_error() {
+        let pool = ThreadPool::new(2);
+        let cancel = CancelToken::new();
+        let r = pool.parallel_for_deadline(
+            100,
+            Schedule::static_default(),
+            &cancel,
+            Duration::from_secs(60),
+            |_| {},
+        );
+        assert!(r.is_ok(), "{r:?}");
+        assert!(!cancel.is_cancelled());
+    }
+
+    #[test]
+    fn claim_records_round_trip() {
+        for (epoch, who, state) in [
+            (0u64, 0u16, REC_CLAIMED),
+            (7, 3, REC_STARTED),
+            (EPOCH_MASK, COORD, REC_STARTED),
+            ((1 << 46) - 1, 65_000, REC_CLAIMED),
+        ] {
+            let r = record(epoch, who, state);
+            assert!(record_matches_epoch(r, epoch));
+            assert_eq!(record_who(r), who);
+            assert_eq!(record_state(r), state);
+        }
+        assert!(!record_matches_epoch(record(5, 1, REC_CLAIMED), 6));
     }
 }

@@ -134,6 +134,89 @@ fn cancellation_stops_future_iterations_only() {
 }
 
 #[test]
+fn cancel_racing_region_boundaries_never_deadlocks() {
+    // An external canceller races `CancelToken::cancel` against the
+    // region lifecycle: depending on timing the trip lands before the
+    // fork, mid-region, or after the join. Whatever interleaving occurs,
+    // the call must terminate, run nothing twice, and run nothing at all
+    // once a pre-tripped token is observed.
+    let pool = ThreadPool::new(4);
+    let n = 2_000usize;
+    for round in 0..100u64 {
+        let cancel = Arc::new(CancelToken::new());
+        let canceller = {
+            let cancel = Arc::clone(&cancel);
+            std::thread::spawn(move || {
+                // Sweep the trip point across the region boundary.
+                std::thread::sleep(std::time::Duration::from_micros(round % 40));
+                cancel.cancel();
+            })
+        };
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_cancel(n, Schedule::dynamic_default(), &cancel, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        canceller.join().expect("canceller thread");
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) <= 1),
+            "round {round}: no iteration may run twice"
+        );
+        // The token is now tripped: a follow-up region on the same token
+        // must prune everything before any body runs.
+        let late = AtomicUsize::new(0);
+        pool.parallel_for_cancel(n, Schedule::static_default(), &cancel, |_| {
+            late.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(
+            late.load(Ordering::Relaxed),
+            0,
+            "round {round}: pre-cancelled region ran iterations"
+        );
+    }
+}
+
+#[test]
+fn panic_in_reduction_propagates_without_leaking_slots() {
+    let pool = ThreadPool::new(4);
+    let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        pool.parallel_for_reduce(
+            1_000,
+            Schedule::static_default(),
+            0u64,
+            |acc, i| {
+                if i == 777 {
+                    panic!("reduce boom");
+                }
+                acc + i as u64
+            },
+            |a, b| a + b,
+        )
+    }));
+    // The fold panic surfaces as a structured region error, not a hang
+    // and not a partial result.
+    let payload = r.expect_err("the fold panic must propagate");
+    match payload.downcast_ref::<subsub_omprt::RegionError>() {
+        Some(subsub_omprt::RegionError::Panicked { detail }) => {
+            assert!(detail.contains("reduce boom"), "{detail}")
+        }
+        other => panic!("expected RegionError::Panicked, got {other:?}"),
+    }
+    assert!(pool.health().job_panics >= 1);
+    // No padded slot from the aborted reduction leaks into later ones:
+    // fresh reductions are exact under every schedule.
+    let n = 10_000usize;
+    let expected = (n as u64 - 1) * n as u64 / 2;
+    for sched in [
+        Schedule::static_default(),
+        Schedule::dynamic_default(),
+        Schedule::Guided { min_chunk: 2 },
+    ] {
+        let sum = pool.parallel_for_reduce(n, sched, 0u64, |a, i| a + i as u64, |a, b| a + b);
+        assert_eq!(sum, expected, "{sched}");
+    }
+}
+
+#[test]
 fn worker_panic_propagates_and_pool_survives() {
     let pool = ThreadPool::new(4);
     let r = std::panic::catch_unwind(AssertUnwindSafe(|| {

@@ -1,0 +1,186 @@
+//! Self-healing integration tests: injected worker deaths at the three
+//! failure windows (idle wake, claimed-not-started, started) and the
+//! pool's recovery behaviour — reclaim by the watchdog, clean
+//! `WorkerLost` abort, and worker respawn.
+//!
+//! These tests *arm* failpoints, which is process-global state; they live
+//! in their own test binary so no unrelated test shares the process.
+//! Within the binary, `failpoint::arm` serializes armed scopes.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use subsub_failpoint::{self as failpoint, Arm, FailPlan, Fire};
+use subsub_omprt::{RegionError, Schedule, ThreadPool};
+
+/// Armed failpoints are process-global: serialize the tests so one
+/// test's armed schedule never injects into another's clean phase.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A region body slow enough that the worker threads (not just the
+/// coordinator) win some of the per-tid claims.
+fn slow_body() {
+    std::thread::sleep(Duration::from_micros(300));
+}
+
+#[test]
+fn claim_window_death_is_reclaimed_and_the_region_completes() {
+    let _t = serialize();
+    failpoint::silence_injected_panics();
+    let pool = ThreadPool::new(4);
+    let _armed =
+        failpoint::arm(FailPlan::new().with("omprt.worker.claim", Arm::Panic, Fire::nth(0)));
+    // Which thread makes the first worker claim is scheduling-dependent,
+    // so run regions until the failpoint has fired. Every region —
+    // including the one whose worker died between claiming a tid and
+    // starting its job — must complete exactly-once: the watchdog
+    // attributes the orphaned claim to the dead worker and the
+    // coordinator re-executes it.
+    let mut fired = false;
+    for _ in 0..50 {
+        let n = 64usize;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let r = pool.try_parallel_for(n, Schedule::static_default(), |i| {
+            slow_body();
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(r.is_ok(), "claim-window death must not abort: {r:?}");
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+            "reclaim must preserve exactly-once"
+        );
+        if failpoint::fired("omprt.worker.claim") > 0 {
+            fired = true;
+            break;
+        }
+    }
+    assert!(fired, "the claim-window failpoint never fired");
+    let h = pool.health();
+    assert!(
+        h.reclaimed_tids >= 1,
+        "watchdog reclaim not recorded: {h:?}"
+    );
+    // The watchdog flagged the pool suspect, so the region epilogue
+    // already swept and respawned the dead worker.
+    assert!(h.respawned_workers >= 1, "no respawn recorded: {h:?}");
+}
+
+#[test]
+fn idle_wake_death_heals_by_the_periodic_sweep() {
+    let _t = serialize();
+    failpoint::silence_injected_panics();
+    let pool = ThreadPool::new(4);
+    {
+        let _armed =
+            failpoint::arm(FailPlan::new().with("omprt.worker.wake", Arm::Panic, Fire::nth(0)));
+        // The worker dies on wake-up holding no claim, so regions keep
+        // completing off the survivors; nothing forces the watchdog to
+        // observe the death.
+        for _ in 0..10 {
+            pool.run(|_| slow_body());
+        }
+        assert!(
+            failpoint::fired("omprt.worker.wake") > 0,
+            "wake failpoint never fired"
+        );
+    }
+    // Disarmed: drive enough regions to cross a periodic maintenance
+    // sweep (every 64th region), which reaps the dead handle and
+    // respawns. Exactly-once coverage must hold throughout.
+    let count = AtomicU64::new(0);
+    for _ in 0..130 {
+        pool.run(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    assert_eq!(count.load(Ordering::Relaxed), 130 * 4);
+    let h = pool.health();
+    assert!(
+        h.respawned_workers >= 1,
+        "periodic sweep did not heal: {h:?}"
+    );
+}
+
+#[test]
+fn mid_job_death_aborts_with_worker_lost_then_pool_recovers() {
+    let _t = serialize();
+    failpoint::silence_injected_panics();
+    let pool = ThreadPool::new(4);
+    let lost = {
+        let _armed =
+            failpoint::arm(FailPlan::new().with("omprt.worker.job", Arm::Panic, Fire::nth(0)));
+        let mut lost = None;
+        for _ in 0..50 {
+            let r = pool.try_run(|_| slow_body());
+            if failpoint::fired("omprt.worker.job") > 0 {
+                lost = Some(r);
+                break;
+            }
+            assert!(r.is_ok(), "unfired region must succeed: {r:?}");
+        }
+        lost.expect("the mid-job failpoint never fired")
+    };
+    // The dead worker's tid was attributed as *started*: re-running it
+    // could double-execute side effects, so the region must abort as a
+    // value — never hang, never pretend success.
+    match lost {
+        Err(RegionError::WorkerLost { .. }) => {}
+        other => panic!("expected WorkerLost, got {other:?}"),
+    }
+    let h = pool.health();
+    assert!(h.aborted_regions >= 1, "{h:?}");
+    // Disarmed: the pool healed (respawn happens on the abort path) and
+    // later regions are exactly-once again.
+    let count = AtomicU64::new(0);
+    pool.parallel_for(1_000, Schedule::dynamic_default(), |_| {
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 1_000);
+    assert!(pool.health().respawned_workers >= 1);
+}
+
+#[test]
+fn repeated_injected_deaths_never_wedge_the_pool() {
+    let _t = serialize();
+    failpoint::silence_injected_panics();
+    let pool = ThreadPool::new(4);
+    {
+        // One death every 40 claim hits, up to 5 deaths: a sustained
+        // fault load across many regions.
+        let _armed = failpoint::arm(FailPlan::new().with(
+            "omprt.worker.claim",
+            Arm::Panic,
+            Fire {
+                from_hit: 2,
+                period: 40,
+                max_fires: 5,
+            },
+        ));
+        for _ in 0..60 {
+            let n = 32usize;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let r = pool.try_parallel_for(n, Schedule::dynamic_default(), |i| {
+                slow_body();
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            // Claim-window deaths are always reclaimable; the region
+            // must complete with exact coverage.
+            assert!(r.is_ok(), "{r:?}");
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+    // After the storm: healthy steady state.
+    let count = AtomicU64::new(0);
+    for _ in 0..20 {
+        pool.parallel_for(500, Schedule::static_default(), |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    assert_eq!(count.load(Ordering::Relaxed), 20 * 500);
+    let h = pool.health();
+    assert_eq!(h.deadline_cancels, 0, "{h:?}");
+}

@@ -1,0 +1,214 @@
+//! A per-kernel circuit breaker over the parallel path.
+//!
+//! A kernel whose parallel variant keeps faulting should stop paying the
+//! fault-recovery cost (reset + serial rerun) on every invocation: after
+//! [`CircuitBreaker::threshold`] consecutive faults the breaker *opens*
+//! and the kernel is pinned to the serial path for a cooldown measured
+//! in admission attempts. When the cooldown is spent the breaker goes
+//! *half-open* and admits exactly one trial: a clean parallel run closes
+//! it again, another fault re-opens it for a fresh cooldown.
+//!
+//! ```text
+//!           fault ×threshold              cooldown spent
+//!  Closed ───────────────────▶ Open ─────────────────────▶ HalfOpen
+//!    ▲                          ▲                             │  │
+//!    │          fault           └─────────────────────────────┘  │
+//!    └───────────────────────────────────────────────────────────┘
+//!                            success
+//! ```
+//!
+//! Cooldown is counted in *denied admissions*, not wall-clock time, so
+//! behaviour is deterministic under test and in the chaos harness.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Breaker position for one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Parallel admitted; `faults` consecutive faults recorded so far.
+    Closed {
+        /// Consecutive parallel-path faults since the last success.
+        faults: u32,
+    },
+    /// Parallel denied; `remaining` more denials before a trial.
+    Open {
+        /// Admission attempts left to deny before going half-open.
+        remaining: u32,
+    },
+    /// One trial admission is in flight; its outcome decides the state.
+    HalfOpen,
+}
+
+/// Consecutive-fault circuit breaker keyed by kernel name.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: u32,
+    states: Mutex<HashMap<String, BreakerState>>,
+}
+
+/// Parallel-path faults that open the breaker. Matches one faulting
+/// invocation plus its failed retry, with one strike to spare.
+pub const DEFAULT_THRESHOLD: u32 = 3;
+/// Admissions denied while open before a half-open trial.
+pub const DEFAULT_COOLDOWN: u32 = 8;
+
+impl Default for CircuitBreaker {
+    fn default() -> CircuitBreaker {
+        CircuitBreaker::new(DEFAULT_THRESHOLD, DEFAULT_COOLDOWN)
+    }
+}
+
+impl CircuitBreaker {
+    /// A breaker opening after `threshold` consecutive faults and
+    /// holding for `cooldown` denied admissions. Both are clamped to at
+    /// least 1.
+    pub fn new(threshold: u32, cooldown: u32) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown: cooldown.max(1),
+            states: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Consecutive faults that open the breaker.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Denied admissions per open period.
+    pub fn cooldown(&self) -> u32 {
+        self.cooldown
+    }
+
+    /// Asks to run `kernel` on the parallel path. `Ok(())` admits (and,
+    /// from open, may grant the half-open trial); `Err(remaining)`
+    /// denies, reporting how many further denials precede a trial.
+    pub fn admit(&self, kernel: &str) -> Result<(), u32> {
+        let mut states = lock(&self.states);
+        let state = states
+            .entry(kernel.to_string())
+            .or_insert(BreakerState::Closed { faults: 0 });
+        match *state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Open { remaining } => {
+                if remaining <= 1 {
+                    *state = BreakerState::HalfOpen;
+                } else {
+                    *state = BreakerState::Open {
+                        remaining: remaining - 1,
+                    };
+                }
+                Err(remaining.saturating_sub(1))
+            }
+        }
+    }
+
+    /// Records a parallel-path fault for `kernel`. Returns `true` when
+    /// this fault is the one that opened the breaker.
+    pub fn record_fault(&self, kernel: &str) -> bool {
+        let mut states = lock(&self.states);
+        let state = states
+            .entry(kernel.to_string())
+            .or_insert(BreakerState::Closed { faults: 0 });
+        match *state {
+            BreakerState::Closed { faults } => {
+                let faults = faults + 1;
+                if faults >= self.threshold {
+                    *state = BreakerState::Open {
+                        remaining: self.cooldown,
+                    };
+                    true
+                } else {
+                    *state = BreakerState::Closed { faults };
+                    false
+                }
+            }
+            // The half-open trial faulted: straight back to open.
+            BreakerState::HalfOpen => {
+                *state = BreakerState::Open {
+                    remaining: self.cooldown,
+                };
+                true
+            }
+            // Already open (a fault recorded by a racing path): keep it.
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// Records a clean parallel run for `kernel`; closes the breaker and
+    /// clears the consecutive-fault count.
+    pub fn record_success(&self, kernel: &str) {
+        lock(&self.states).insert(kernel.to_string(), BreakerState::Closed { faults: 0 });
+    }
+
+    /// Current position for `kernel` (closed with zero faults when the
+    /// kernel has never been seen).
+    pub fn state(&self, kernel: &str) -> BreakerState {
+        lock(&self.states)
+            .get(kernel)
+            .copied()
+            .unwrap_or(BreakerState::Closed { faults: 0 })
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_consecutive_faults() {
+        let b = CircuitBreaker::new(3, 4);
+        assert!(!b.record_fault("k"));
+        assert!(!b.record_fault("k"));
+        assert_eq!(b.state("k"), BreakerState::Closed { faults: 2 });
+        assert!(b.record_fault("k"), "third fault opens");
+        assert_eq!(b.state("k"), BreakerState::Open { remaining: 4 });
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let b = CircuitBreaker::new(3, 4);
+        b.record_fault("k");
+        b.record_fault("k");
+        b.record_success("k");
+        assert!(!b.record_fault("k"), "count restarted after success");
+        assert_eq!(b.state("k"), BreakerState::Closed { faults: 1 });
+    }
+
+    #[test]
+    fn cooldown_denials_then_half_open_trial() {
+        let b = CircuitBreaker::new(1, 3);
+        b.record_fault("k");
+        assert_eq!(b.admit("k"), Err(2));
+        assert_eq!(b.admit("k"), Err(1));
+        assert_eq!(b.admit("k"), Err(0), "last denial arms the trial");
+        assert_eq!(b.state("k"), BreakerState::HalfOpen);
+        assert_eq!(b.admit("k"), Ok(()), "half-open admits the trial");
+    }
+
+    #[test]
+    fn trial_outcome_decides_the_next_state() {
+        let b = CircuitBreaker::new(1, 1);
+        b.record_fault("k");
+        let _ = b.admit("k"); // spends the cooldown, goes half-open
+        assert!(b.record_fault("k"), "faulted trial re-opens");
+        assert_eq!(b.state("k"), BreakerState::Open { remaining: 1 });
+        let _ = b.admit("k");
+        b.record_success("k");
+        assert_eq!(b.state("k"), BreakerState::Closed { faults: 0 });
+    }
+
+    #[test]
+    fn kernels_are_independent() {
+        let b = CircuitBreaker::new(1, 2);
+        b.record_fault("bad");
+        assert!(b.admit("bad").is_err());
+        assert!(b.admit("good").is_ok());
+    }
+}

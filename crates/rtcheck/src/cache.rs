@@ -8,11 +8,12 @@
 //! version misses (recorded as an invalidation) and triggers
 //! re-inspection, while an unchanged array revalidates in O(1).
 
-use crate::inspect::{inspect_monotone, IndexArrayView, MonotoneVerdict};
+use crate::inspect::{inspect_serial, try_inspect_monotone, IndexArrayView, MonotoneVerdict};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use subsub_omprt::ThreadPool;
+use subsub_failpoint::{self as failpoint, Action};
+use subsub_omprt::{RegionError, ThreadPool};
 
 /// Cache identity of one index array.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -60,15 +61,33 @@ impl InspectorCache {
 
     /// Returns the verdict for `view`, inspecting only when no entry with
     /// the current version exists. A version mismatch on a known array is
-    /// counted as an invalidation and the entry is replaced.
+    /// counted as an invalidation and the entry is replaced. A faulted
+    /// parallel inspection degrades to the serial scan (see
+    /// [`InspectorCache::try_verdict`] to observe the fault instead).
     pub fn verdict(&self, view: &IndexArrayView<'_>, pool: Option<&ThreadPool>) -> MonotoneVerdict {
+        match self.try_verdict(view, pool) {
+            Ok(v) => v,
+            Err(_) => self.verdict_serial(view),
+        }
+    }
+
+    /// [`InspectorCache::verdict`] that reports a faulted inspection as
+    /// an error instead of rescuing it. **A fault never records a
+    /// verdict**: an inspection that panicked or lost a worker produced
+    /// no trustworthy result, and memoizing one would poison every later
+    /// lookup at this version (hits bypass re-inspection by design).
+    pub fn try_verdict(
+        &self,
+        view: &IndexArrayView<'_>,
+        pool: Option<&ThreadPool>,
+    ) -> Result<MonotoneVerdict, RegionError> {
         let key = Key::of(view);
         {
             let entries = lock(&self.entries);
             match entries.get(&key) {
                 Some((ver, verdict)) if *ver == view.version => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return *verdict;
+                    return Ok(*verdict);
                 }
                 Some(_) => {
                     self.invalidations.fetch_add(1, Ordering::Relaxed);
@@ -76,11 +95,45 @@ impl InspectorCache {
                 None => {}
             }
         }
-        // Inspect outside the lock: scans can be long and parallel.
+        // Inspect outside the lock: scans can be long and parallel. The
+        // `?` is the poisoning fix: no insert on a faulted scan.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let verdict = inspect_monotone(view.data, pool);
-        lock(&self.entries).insert(key, (view.version, verdict));
+        let verdict = try_inspect_monotone(view.data, pool)?;
+        self.insert(key, view.version, verdict);
+        Ok(verdict)
+    }
+
+    /// Inspects `view` with the infallible serial scan and memoizes the
+    /// result — the final rung of the guard's retry ladder.
+    pub fn verdict_serial(&self, view: &IndexArrayView<'_>) -> MonotoneVerdict {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let verdict = inspect_serial(view.data);
+        self.insert(Key::of(view), view.version, verdict);
         verdict
+    }
+
+    fn insert(&self, key: Key, version: u64, verdict: MonotoneVerdict) {
+        match failpoint::hit("rtcheck.cache.insert") {
+            Action::Proceed => {
+                lock(&self.entries).insert(key, (version, verdict));
+            }
+            // Injected insert fault: skip memoization. The verdict
+            // already computed stays valid; later lookups just re-inspect.
+            Action::Error => {}
+            // Injected memo corruption is modelled in the conservative
+            // direction only: the stored verdict denies everything, so a
+            // corrupted cache can cost performance (spurious serial
+            // fallbacks) but never admit an unsound parallel run.
+            Action::Corrupt => {
+                let deny = MonotoneVerdict {
+                    nonstrict: false,
+                    strict: false,
+                    first_violation: None,
+                    len: verdict.len,
+                };
+                lock(&self.entries).insert(key, (version, deny));
+            }
+        }
     }
 
     /// Drops every memoized verdict (counters are kept).

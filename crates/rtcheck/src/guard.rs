@@ -1,21 +1,43 @@
 //! Guarded execution: run parallel when the evidence admits it, degrade
-//! to serial otherwise.
+//! to serial otherwise — and degrade *gracefully* when the parallel
+//! machinery itself faults.
 //!
 //! A [`GuardedExecutor`] bundles the compiled scalar check emitted by the
-//! dependence test with the inspector cache. Per invocation it evaluates
-//! the check against the kernel's scalar [`Bindings`] and each declared
-//! index array against its required monotonicity (served from the cache
-//! when the array is unchanged), then dispatches to the parallel or
-//! serial closure. Every decision is counted, so a harness can assert
-//! that both paths were actually taken and that memoization worked.
+//! dependence test with the inspector cache and a per-kernel
+//! [`CircuitBreaker`]. Per invocation it walks a fixed degradation
+//! ladder:
+//!
+//! 1. **breaker** — a kernel with too many recent parallel-path faults
+//!    is pinned to serial for a cooldown ([`ExecError::BreakerOpen`]);
+//! 2. **scalar check** — evaluated against the kernel's [`Bindings`];
+//!    false or unevaluable denies ([`ExecError::CheckFailed`] /
+//!    [`ExecError::CheckUnevaluable`]);
+//! 3. **inspection** — each declared index array against its required
+//!    monotonicity, served from the cache when unchanged. A *faulted*
+//!    inspection (worker died, injected panic) is retried once, then
+//!    rescued by the infallible serial scan — only a genuine
+//!    [`ExecError::NotMonotone`] verdict denies;
+//! 4. **tamper gate** — at dispatch, any index array whose write-version
+//!    moved since its inspection denies ([`ExecError::TamperDetected`]);
+//! 5. **parallel attempt** — a faulting parallel variant gets one retry
+//!    after the caller's `recover` hook (transient faults only), then
+//!    the invocation finishes on the recovered serial path
+//!    ([`ExecError::ParallelFault`]), feeding the breaker.
+//!
+//! Every decision and recovery action is counted in [`GuardStats`], so a
+//! harness can assert that both paths were actually taken, that
+//! memoization worked, and that the breaker tripped when it should.
 
 use crate::bindings::Bindings;
+use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::cache::{CacheStats, InspectorCache};
 use crate::compile::{CompileError, CompiledCheck};
+use crate::error::ExecError;
 use crate::expr::CheckExpr;
-use crate::inspect::IndexArrayView;
+use crate::inspect::{IndexArrayView, MonotoneVerdict};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use subsub_failpoint::{self as failpoint, Action};
 use subsub_omprt::ThreadPool;
 
 /// Which variant a guarded invocation ran.
@@ -27,15 +49,15 @@ pub enum GuardPath {
     Serial,
 }
 
-/// The decision for one invocation, with the reason it fell back (if it
-/// did).
+/// The decision for one invocation, with the classified reason it fell
+/// back (if it did).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GuardVerdict {
     /// The variant to run.
     pub path: GuardPath,
     /// Why the serial path was chosen, when it was. `None` on the
     /// parallel path.
-    pub reason: Option<String>,
+    pub reason: Option<ExecError>,
 }
 
 impl GuardVerdict {
@@ -46,12 +68,25 @@ impl GuardVerdict {
         }
     }
 
-    fn serial(reason: String) -> GuardVerdict {
+    fn serial(reason: ExecError) -> GuardVerdict {
         GuardVerdict {
             path: GuardPath::Serial,
             reason: Some(reason),
         }
     }
+}
+
+/// A phase-1 decision ([`GuardedExecutor::decide_recoverable`]) carrying
+/// what phase 2 ([`GuardedExecutor::execute_admitted`]) needs: the
+/// verdict plus the write-versions the inspection evidence was based on,
+/// for the dispatch-time tamper gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// The guard verdict (no path counters recorded yet — phase 2 counts
+    /// what actually ran).
+    pub verdict: GuardVerdict,
+    /// `(array name, version)` for every inspected index array.
+    pub inspected: Vec<(String, u64)>,
 }
 
 /// Cumulative decision counters for one executor.
@@ -66,6 +101,20 @@ pub struct GuardStats {
     /// Inspection failures (array not monotone enough) among the
     /// fallbacks.
     pub inspection_failures: u64,
+    /// Faulted fork-join regions observed (inspection scans and parallel
+    /// attempts; includes faults that a retry then recovered).
+    pub region_faults: u64,
+    /// Bounded retries attempted after a transient fault.
+    pub retries: u64,
+    /// Retries whose second attempt succeeded.
+    pub retry_successes: u64,
+    /// Index arrays whose version drifted between inspection and
+    /// dispatch (each denied the parallel path).
+    pub tamper_detections: u64,
+    /// Times a fault opened a kernel's circuit breaker.
+    pub breaker_trips: u64,
+    /// Invocations denied up front by an open breaker.
+    pub breaker_short_circuits: u64,
     /// Inspector-cache behaviour (shared across arrays).
     pub cache: CacheStats,
 }
@@ -75,10 +124,17 @@ pub struct GuardStats {
 pub struct GuardedExecutor {
     check: Option<CompiledCheck>,
     cache: Arc<InspectorCache>,
+    breaker: CircuitBreaker,
     parallel_runs: AtomicU64,
     serial_fallbacks: AtomicU64,
     check_failures: AtomicU64,
     inspection_failures: AtomicU64,
+    region_faults: AtomicU64,
+    retries: AtomicU64,
+    retry_successes: AtomicU64,
+    tamper_detections: AtomicU64,
+    breaker_trips: AtomicU64,
+    breaker_short_circuits: AtomicU64,
 }
 
 impl GuardedExecutor {
@@ -90,10 +146,17 @@ impl GuardedExecutor {
         Ok(GuardedExecutor {
             check: compiled,
             cache: Arc::new(InspectorCache::new()),
+            breaker: CircuitBreaker::default(),
             parallel_runs: AtomicU64::new(0),
             serial_fallbacks: AtomicU64::new(0),
             check_failures: AtomicU64::new(0),
             inspection_failures: AtomicU64::new(0),
+            region_faults: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            retry_successes: AtomicU64::new(0),
+            tamper_detections: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            breaker_short_circuits: AtomicU64::new(0),
         })
     }
 
@@ -108,20 +171,34 @@ impl GuardedExecutor {
         Ok(e)
     }
 
+    /// Replaces the default circuit breaker (threshold 3, cooldown 8)
+    /// with a custom-tuned one.
+    pub fn with_breaker(mut self, breaker: CircuitBreaker) -> GuardedExecutor {
+        self.breaker = breaker;
+        self
+    }
+
     /// The shared inspector cache.
     pub fn cache(&self) -> &Arc<InspectorCache> {
         &self.cache
     }
 
+    /// The per-kernel circuit breaker position (for harness assertions).
+    pub fn breaker_state(&self, kernel: &str) -> BreakerState {
+        self.breaker.state(kernel)
+    }
+
     /// Evaluates every guard and records the decision, without running
-    /// anything.
+    /// anything. The original one-phase entry point: no breaker, no
+    /// tamper gate — use [`GuardedExecutor::decide_recoverable`] +
+    /// [`GuardedExecutor::execute_admitted`] for the fault-tolerant path.
     pub fn decide(
         &self,
         bindings: &Bindings,
         arrays: &[IndexArrayView<'_>],
         pool: Option<&ThreadPool>,
     ) -> GuardVerdict {
-        let verdict = self.evaluate(bindings, arrays, pool);
+        let (verdict, _) = self.evaluate(bindings, arrays, pool);
         match verdict.path {
             GuardPath::Parallel => {
                 self.parallel_runs.fetch_add(1, Ordering::Relaxed);
@@ -133,45 +210,219 @@ impl GuardedExecutor {
         verdict
     }
 
+    /// Phase 1 of fault-tolerant guarded execution: breaker admission,
+    /// then every guard. Path counters are *not* recorded here — phase 2
+    /// records what actually ran, which can differ (tamper, faults).
+    pub fn decide_recoverable(
+        &self,
+        kernel: &str,
+        bindings: &Bindings,
+        arrays: &[IndexArrayView<'_>],
+        pool: Option<&ThreadPool>,
+    ) -> Decision {
+        if let Err(remaining) = self.breaker.admit(kernel) {
+            self.breaker_short_circuits.fetch_add(1, Ordering::Relaxed);
+            return Decision {
+                verdict: GuardVerdict::serial(ExecError::BreakerOpen { remaining }),
+                inspected: Vec::new(),
+            };
+        }
+        let (verdict, inspected) = self.evaluate(bindings, arrays, pool);
+        Decision { verdict, inspected }
+    }
+
+    /// Phase 2: runs the variant phase 1 admitted, surviving parallel
+    /// faults. `current_versions` re-reads each index array's
+    /// write-version at dispatch time (tamper gate); `parallel` attempts
+    /// the parallel variant, classifying its own faults; `recover`
+    /// restores kernel state after a faulted attempt (it runs before any
+    /// retry and before the serial rescue); `serial` is the infallible
+    /// last rung.
+    ///
+    /// Returns the output plus the classified reason the invocation did
+    /// not finish parallel (`None` when it did).
+    pub fn execute_admitted<T>(
+        &self,
+        kernel: &str,
+        decision: &Decision,
+        current_versions: &[(&str, u64)],
+        mut parallel: impl FnMut() -> Result<T, ExecError>,
+        mut recover: impl FnMut(),
+        serial: impl FnOnce() -> T,
+    ) -> (T, Option<ExecError>) {
+        if decision.verdict.path == GuardPath::Serial {
+            self.serial_fallbacks.fetch_add(1, Ordering::Relaxed);
+            return (serial(), decision.verdict.reason.clone());
+        }
+        // Tamper gate: the inspection evidence is only as good as the
+        // versions it was computed at. Any drift since phase 1 means a
+        // concurrent writer touched an index array — deny.
+        for (name, at_decision) in &decision.inspected {
+            let current = current_versions
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v);
+            if current != Some(*at_decision) {
+                self.tamper_detections.fetch_add(1, Ordering::Relaxed);
+                self.serial_fallbacks.fetch_add(1, Ordering::Relaxed);
+                let reason = ExecError::TamperDetected {
+                    array: name.clone(),
+                };
+                return (serial(), Some(reason));
+            }
+        }
+        // Chaos site: an Error arm models a fault detected at the
+        // dispatch boundary itself (before the kernel runs).
+        let mut fault = match failpoint::hit("rtcheck.guard.dispatch") {
+            Action::Error | Action::Corrupt => Some(ExecError::ParallelFault {
+                detail: "injected dispatch fault".into(),
+            }),
+            Action::Proceed => None,
+        };
+        if fault.is_none() {
+            match parallel() {
+                Ok(out) => {
+                    self.parallel_runs.fetch_add(1, Ordering::Relaxed);
+                    self.breaker.record_success(kernel);
+                    return (out, None);
+                }
+                Err(e) => fault = Some(e),
+            }
+        }
+        // `fault` is always `Some` here; the loop shape keeps the
+        // borrow-checker happy without unwraps.
+        if let Some(first) = fault.take() {
+            self.note_fault(kernel);
+            if first.transient() {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                recover();
+                match parallel() {
+                    Ok(out) => {
+                        self.retry_successes.fetch_add(1, Ordering::Relaxed);
+                        self.parallel_runs.fetch_add(1, Ordering::Relaxed);
+                        self.breaker.record_success(kernel);
+                        return (out, None);
+                    }
+                    Err(second) => {
+                        self.note_fault(kernel);
+                        fault = Some(second);
+                    }
+                }
+            } else {
+                fault = Some(first);
+            }
+        }
+        // Final rung: restore state and finish serially. The serial
+        // variant is the semantics-defining golden path, so the output
+        // is bit-identical to a never-parallelized run.
+        recover();
+        self.serial_fallbacks.fetch_add(1, Ordering::Relaxed);
+        (serial(), fault)
+    }
+
+    fn note_fault(&self, kernel: &str) {
+        self.region_faults.fetch_add(1, Ordering::Relaxed);
+        if self.breaker.record_fault(kernel) {
+            self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     fn evaluate(
         &self,
         bindings: &Bindings,
         arrays: &[IndexArrayView<'_>],
         pool: Option<&ThreadPool>,
-    ) -> GuardVerdict {
+    ) -> (GuardVerdict, Vec<(String, u64)>) {
         if let Some(check) = &self.check {
+            // Chaos site: Corrupt flips the evaluation toward the
+            // conservative answer (deny); Error makes it unevaluable.
+            // Neither can ever admit a run the real check would deny.
+            let injected = match failpoint::hit("rtcheck.check.eval") {
+                Action::Corrupt => Some(Err("injected corrupt evaluation (conservative deny)")),
+                Action::Error => Some(Ok("injected evaluation fault")),
+                Action::Proceed => None,
+            };
+            if let Some(inj) = injected {
+                self.check_failures.fetch_add(1, Ordering::Relaxed);
+                let reason = match inj {
+                    Err(d) => ExecError::CheckFailed { detail: d.into() },
+                    Ok(d) => ExecError::CheckUnevaluable { detail: d.into() },
+                };
+                return (GuardVerdict::serial(reason), Vec::new());
+            }
             match check.eval(bindings) {
                 Ok(true) => {}
                 Ok(false) => {
                     self.check_failures.fetch_add(1, Ordering::Relaxed);
-                    return GuardVerdict::serial("runtime check evaluated to false".into());
+                    return (
+                        GuardVerdict::serial(ExecError::CheckFailed {
+                            detail: "parallelization precondition does not hold".into(),
+                        }),
+                        Vec::new(),
+                    );
                 }
                 Err(e) => {
                     self.check_failures.fetch_add(1, Ordering::Relaxed);
-                    return GuardVerdict::serial(format!("runtime check not evaluable: {e}"));
+                    return (
+                        GuardVerdict::serial(ExecError::CheckUnevaluable {
+                            detail: e.to_string(),
+                        }),
+                        Vec::new(),
+                    );
                 }
             }
         }
+        let mut inspected = Vec::with_capacity(arrays.len());
         for view in arrays {
-            let verdict = self.cache.verdict(view, pool);
+            let verdict = self.inspect_with_retry(view, pool);
+            inspected.push((view.name.to_string(), view.version));
             if !verdict.satisfies(view.required) {
                 self.inspection_failures.fetch_add(1, Ordering::Relaxed);
-                let at = verdict
-                    .first_violation
-                    .map(|i| format!(" (first violation at index {i})"))
-                    .unwrap_or_default();
-                return GuardVerdict::serial(format!(
-                    "index array {} is not {}{}",
-                    view.name, view.required, at
-                ));
+                return (
+                    GuardVerdict::serial(ExecError::NotMonotone {
+                        array: view.name.to_string(),
+                        required: view.required,
+                        first_violation: verdict.first_violation,
+                    }),
+                    inspected,
+                );
             }
         }
-        GuardVerdict::parallel()
+        (GuardVerdict::parallel(), inspected)
+    }
+
+    /// The inspection rung of the ladder: cached parallel scan, one
+    /// retry on a region fault (inspection is read-only, so a rerun is
+    /// always sound), then the infallible serial scan. Always produces a
+    /// genuine verdict; faults are counted, never memoized.
+    fn inspect_with_retry(
+        &self,
+        view: &IndexArrayView<'_>,
+        pool: Option<&ThreadPool>,
+    ) -> MonotoneVerdict {
+        match self.cache.try_verdict(view, pool) {
+            Ok(v) => v,
+            Err(_) => {
+                self.region_faults.fetch_add(1, Ordering::Relaxed);
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                match self.cache.try_verdict(view, pool) {
+                    Ok(v) => {
+                        self.retry_successes.fetch_add(1, Ordering::Relaxed);
+                        v
+                    }
+                    Err(_) => {
+                        self.region_faults.fetch_add(1, Ordering::Relaxed);
+                        self.cache.verdict_serial(view)
+                    }
+                }
+            }
+        }
     }
 
     /// Decides, then runs the admitted variant. Both closures receive
     /// nothing and return the kernel's output value; the caller keeps
-    /// ownership of all state.
+    /// ownership of all state. (One-phase form without fault recovery;
+    /// see [`GuardedExecutor::execute_admitted`].)
     pub fn run<T>(
         &self,
         bindings: &Bindings,
@@ -195,6 +446,12 @@ impl GuardedExecutor {
             serial_fallbacks: self.serial_fallbacks.load(Ordering::Relaxed),
             check_failures: self.check_failures.load(Ordering::Relaxed),
             inspection_failures: self.inspection_failures.load(Ordering::Relaxed),
+            region_faults: self.region_faults.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            retry_successes: self.retry_successes.load(Ordering::Relaxed),
+            tamper_detections: self.tamper_detections.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_short_circuits: self.breaker_short_circuits.load(Ordering::Relaxed),
             cache: self.cache.stats(),
         }
     }
@@ -227,7 +484,7 @@ mod tests {
         let e = GuardedExecutor::new(Some(&c)).unwrap();
         let v = e.decide(&amgmk_bindings(200, 100), &[], None);
         assert_eq!(v.path, GuardPath::Serial);
-        assert!(v.reason.unwrap().contains("false"));
+        assert!(matches!(v.reason, Some(ExecError::CheckFailed { .. })));
         let s = e.stats();
         assert_eq!((s.serial_fallbacks, s.check_failures), (1, 1));
     }
@@ -238,7 +495,8 @@ mod tests {
         let e = GuardedExecutor::new(Some(&c)).unwrap();
         let v = e.decide(&Bindings::new(), &[], None);
         assert_eq!(v.path, GuardPath::Serial);
-        assert!(v.reason.unwrap().contains("not evaluable"));
+        assert!(matches!(v.reason, Some(ExecError::CheckUnevaluable { .. })));
+        assert!(v.reason.unwrap().to_string().contains("not evaluable"));
     }
 
     #[test]
@@ -253,7 +511,12 @@ mod tests {
         };
         let v = e.decide(&Bindings::new(), &[view], None);
         assert_eq!(v.path, GuardPath::Serial);
-        assert!(v.reason.unwrap().contains("index 2"));
+        match v.reason {
+            Some(ExecError::NotMonotone {
+                first_violation, ..
+            }) => assert_eq!(first_violation, Some(2)),
+            other => panic!("wrong reason: {other:?}"),
+        }
         assert_eq!(e.stats().inspection_failures, 1);
     }
 
@@ -300,5 +563,143 @@ mod tests {
             e.decide(&Bindings::new(), &[nonstrict], None).path,
             GuardPath::Parallel
         );
+    }
+
+    #[test]
+    fn two_phase_happy_path_runs_parallel_once() {
+        let e = GuardedExecutor::new(None).unwrap();
+        let data = vec![0usize, 1, 2, 3];
+        let view = IndexArrayView {
+            name: "b",
+            data: &data,
+            version: 0,
+            required: MonotoneReq::Strict,
+        };
+        let d = e.decide_recoverable("k", &Bindings::new(), &[view], None);
+        assert_eq!(d.verdict.path, GuardPath::Parallel);
+        assert_eq!(d.inspected, vec![("b".to_string(), 0)]);
+        let (out, reason) = e.execute_admitted("k", &d, &[("b", 0)], || Ok("par"), || {}, || "ser");
+        assert_eq!((out, reason), ("par", None));
+        let s = e.stats();
+        assert_eq!((s.parallel_runs, s.serial_fallbacks), (1, 0));
+    }
+
+    #[test]
+    fn version_drift_at_dispatch_is_tamper() {
+        let e = GuardedExecutor::new(None).unwrap();
+        let data = vec![0usize, 1, 2, 3];
+        let view = IndexArrayView {
+            name: "b",
+            data: &data,
+            version: 3,
+            required: MonotoneReq::Strict,
+        };
+        let d = e.decide_recoverable("k", &Bindings::new(), &[view], None);
+        assert_eq!(d.verdict.path, GuardPath::Parallel);
+        // A writer bumped the version between phases.
+        let (out, reason) = e.execute_admitted("k", &d, &[("b", 4)], || Ok("par"), || {}, || "ser");
+        assert_eq!(out, "ser");
+        assert_eq!(
+            reason,
+            Some(ExecError::TamperDetected { array: "b".into() })
+        );
+        let s = e.stats();
+        assert_eq!((s.tamper_detections, s.serial_fallbacks), (1, 1));
+        assert_eq!(s.parallel_runs, 0, "parallel must not have run");
+    }
+
+    #[test]
+    fn transient_fault_retries_once_then_falls_back() {
+        let e = GuardedExecutor::new(None).unwrap();
+        let d = e.decide_recoverable("k", &Bindings::new(), &[], None);
+        let recovered = AtomicU64::new(0);
+        let (out, reason) = e.execute_admitted(
+            "k",
+            &d,
+            &[],
+            || {
+                Err::<&str, _>(ExecError::ParallelFault {
+                    detail: "worker died".into(),
+                })
+            },
+            || {
+                recovered.fetch_add(1, Ordering::Relaxed);
+            },
+            || "ser",
+        );
+        assert_eq!(out, "ser");
+        assert!(matches!(reason, Some(ExecError::ParallelFault { .. })));
+        assert_eq!(
+            recovered.load(Ordering::Relaxed),
+            2,
+            "recover before the retry and before the serial rescue"
+        );
+        let s = e.stats();
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.retry_successes, 0);
+        assert_eq!(s.region_faults, 2);
+        assert_eq!(s.serial_fallbacks, 1);
+    }
+
+    #[test]
+    fn retry_can_rescue_the_parallel_path() {
+        let e = GuardedExecutor::new(None).unwrap();
+        let d = e.decide_recoverable("k", &Bindings::new(), &[], None);
+        let attempts = AtomicU64::new(0);
+        let (out, reason) = e.execute_admitted(
+            "k",
+            &d,
+            &[],
+            || {
+                if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                    Err(ExecError::ParallelFault {
+                        detail: "transient".into(),
+                    })
+                } else {
+                    Ok("par")
+                }
+            },
+            || {},
+            || "ser",
+        );
+        assert_eq!((out, reason), ("par", None));
+        let s = e.stats();
+        assert_eq!((s.retries, s.retry_successes, s.parallel_runs), (1, 1, 1));
+    }
+
+    #[test]
+    fn breaker_pins_to_serial_and_readmits_after_cooldown() {
+        let e = GuardedExecutor::new(None)
+            .unwrap()
+            .with_breaker(CircuitBreaker::new(2, 3));
+        let faulty = || {
+            Err::<&str, _>(ExecError::ParallelFault {
+                detail: "boom".into(),
+            })
+        };
+        // One faulting invocation = first attempt + failed retry = 2
+        // consecutive faults = the threshold: the breaker opens.
+        let d = e.decide_recoverable("k", &Bindings::new(), &[], None);
+        let _ = e.execute_admitted("k", &d, &[], faulty, || {}, || "ser");
+        assert_eq!(e.breaker_state("k"), BreakerState::Open { remaining: 3 });
+        assert_eq!(e.stats().breaker_trips, 1);
+        // Cooldown: three denied admissions, classified as BreakerOpen.
+        for _ in 0..3 {
+            let d = e.decide_recoverable("k", &Bindings::new(), &[], None);
+            assert!(matches!(
+                d.verdict.reason,
+                Some(ExecError::BreakerOpen { .. })
+            ));
+            let (out, _) = e.execute_admitted("k", &d, &[], || Ok("par"), || {}, || "ser");
+            assert_eq!(out, "ser", "pinned to serial while open");
+        }
+        assert_eq!(e.stats().breaker_short_circuits, 3);
+        // Cooldown spent: the half-open trial is admitted, succeeds, and
+        // the breaker closes again.
+        let d = e.decide_recoverable("k", &Bindings::new(), &[], None);
+        assert_eq!(d.verdict.path, GuardPath::Parallel);
+        let (out, reason) = e.execute_admitted("k", &d, &[], || Ok("par"), || {}, || "ser");
+        assert_eq!((out, reason), ("par", None));
+        assert_eq!(e.breaker_state("k"), BreakerState::Closed { faults: 0 });
     }
 }

@@ -14,7 +14,8 @@
 //! interior scans skipped.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use subsub_omprt::{CancelToken, Schedule, ThreadPool};
+use subsub_failpoint as failpoint;
+use subsub_omprt::{CancelToken, RegionError, Schedule, ThreadPool};
 
 /// Monotonicity flavour a dependence-test pattern requires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,15 +82,29 @@ pub struct IndexArrayView<'a> {
 const PAR_THRESHOLD: usize = 8192;
 
 /// Inspects `data` for monotonicity. With a pool and a large enough array
-/// the scan is chunk-parallel; the verdict is identical either way.
+/// the scan is chunk-parallel; the verdict is identical either way. A
+/// faulted parallel scan (a panicking or dying worker) degrades to the
+/// serial scan — inspection is read-only, so a rerun is always sound.
+/// Use [`try_inspect_monotone`] to observe the fault instead.
 pub fn inspect_monotone(data: &[usize], pool: Option<&ThreadPool>) -> MonotoneVerdict {
+    try_inspect_monotone(data, pool).unwrap_or_else(|_| inspect_serial(data))
+}
+
+/// [`inspect_monotone`] that reports a faulted parallel scan instead of
+/// silently rescuing it, so callers (the inspector cache, the guard's
+/// retry ladder) can refuse to memoize a verdict that was never reached.
+pub fn try_inspect_monotone(
+    data: &[usize],
+    pool: Option<&ThreadPool>,
+) -> Result<MonotoneVerdict, RegionError> {
     match pool {
         Some(pool) if data.len() >= PAR_THRESHOLD => inspect_parallel(data, pool),
-        _ => inspect_serial(data),
+        _ => Ok(inspect_serial(data)),
     }
 }
 
-fn inspect_serial(data: &[usize]) -> MonotoneVerdict {
+/// The unconditionally-serial scan; infallible, the ladder's last rung.
+pub fn inspect_serial(data: &[usize]) -> MonotoneVerdict {
     let mut strict = true;
     let mut first_violation = None;
     for i in 1..data.len() {
@@ -110,7 +125,7 @@ fn inspect_serial(data: &[usize]) -> MonotoneVerdict {
     }
 }
 
-fn inspect_parallel(data: &[usize], pool: &ThreadPool) -> MonotoneVerdict {
+fn inspect_parallel(data: &[usize], pool: &ThreadPool) -> Result<MonotoneVerdict, RegionError> {
     let n = data.len();
     let threads = pool.threads().max(1);
     // A few chunks per thread so dynamic scheduling can absorb noise.
@@ -123,7 +138,11 @@ fn inspect_parallel(data: &[usize], pool: &ThreadPool) -> MonotoneVerdict {
     // false), so the first chunk to find one cancels the rest of the scan
     // instead of letting every remaining chunk finish pointlessly.
     let cancel = CancelToken::new();
-    pool.parallel_for_cancel(chunks, Schedule::Dynamic { chunk: 1 }, &cancel, |c| {
+    pool.try_parallel_for_cancel(chunks, Schedule::Dynamic { chunk: 1 }, &cancel, |c| {
+        // Chaos site: a Panic arm here makes this chunk's job unwind,
+        // which surfaces as `RegionError::Panicked` below — the verdict
+        // must then be treated as never reached.
+        failpoint::hit("rtcheck.inspect.chunk");
         let start = c * chunk_len;
         let end = ((c + 1) * chunk_len).min(n);
         // Interior pairs only; pairs straddling chunk joins are fixed up
@@ -139,7 +158,7 @@ fn inspect_parallel(data: &[usize], pool: &ThreadPool) -> MonotoneVerdict {
                 strict_viol.fetch_min(i, Ordering::Relaxed);
             }
         }
-    });
+    })?;
     // Cross-chunk boundary fixup: the pair (chunk_end - 1, chunk_end) of
     // every join was inspected by neither side.
     for c in 1..chunks {
@@ -156,12 +175,12 @@ fn inspect_parallel(data: &[usize], pool: &ThreadPool) -> MonotoneVerdict {
     }
     let nv = nonstrict_viol.load(Ordering::Relaxed);
     let sv = strict_viol.load(Ordering::Relaxed);
-    MonotoneVerdict {
+    Ok(MonotoneVerdict {
         nonstrict: nv == usize::MAX,
         strict: sv == usize::MAX,
         first_violation: (nv != usize::MAX).then_some(nv),
         len: n,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -24,17 +24,28 @@
 //! * [`GuardedExecutor`] — runs the parallel variant when every check and
 //!   inspection passes and degrades gracefully to the serial variant
 //!   otherwise, recording pass/fail/cache-hit counters for observability.
+//! * [`ExecError`] + [`CircuitBreaker`] — the degradation policy: every
+//!   fallback is a classified error, transient machinery faults get one
+//!   bounded retry, and a kernel whose parallel path keeps faulting is
+//!   pinned to serial for a cooldown before a half-open re-trial.
 
 pub mod bindings;
+pub mod breaker;
 pub mod cache;
 pub mod compile;
+pub mod error;
 pub mod expr;
 pub mod guard;
 pub mod inspect;
 
 pub use bindings::Bindings;
+pub use breaker::{BreakerState, CircuitBreaker};
 pub use cache::{CacheStats, InspectorCache};
 pub use compile::{CompileError, CompiledCheck, EvalError};
+pub use error::ExecError;
 pub use expr::{parse_check, CheckExpr, CmpOp, ParseError};
-pub use guard::{GuardPath, GuardStats, GuardVerdict, GuardedExecutor};
-pub use inspect::{inspect_monotone, IndexArrayView, MonotoneReq, MonotoneVerdict};
+pub use guard::{Decision, GuardPath, GuardStats, GuardVerdict, GuardedExecutor};
+pub use inspect::{
+    inspect_monotone, inspect_serial, try_inspect_monotone, IndexArrayView, MonotoneReq,
+    MonotoneVerdict,
+};

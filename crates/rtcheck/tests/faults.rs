@@ -1,0 +1,166 @@
+//! Fault-injection tests for the inspection/caching rungs of the
+//! degradation ladder: a faulted parallel scan is retried and serially
+//! rescued but **never memoized**, dropped cache inserts only cost
+//! re-inspection, and corrupted memos can only deny (conservative
+//! direction).
+//!
+//! Armed failpoints are process-global, so this suite owns its test
+//! binary; `failpoint::arm` serializes the armed scopes within it.
+
+use std::sync::Mutex;
+use subsub_failpoint::{self as failpoint, Arm, FailPlan, Fire};
+
+/// Armed failpoints are process-global: serialize the tests so one
+/// test's armed schedule never injects into another's clean phase.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+use subsub_omprt::ThreadPool;
+use subsub_rtcheck::{InspectorCache, MonotoneReq};
+
+/// A strictly increasing index array large enough (>= the inspector's
+/// parallel threshold of 8192) that verdicts go through the pool.
+fn big_data() -> Vec<usize> {
+    (0..20_000usize).collect()
+}
+
+fn view<'a>(name: &'a str, data: &'a [usize], version: u64) -> subsub_rtcheck::IndexArrayView<'a> {
+    subsub_rtcheck::IndexArrayView {
+        name,
+        data,
+        version,
+        required: MonotoneReq::NonStrict,
+    }
+}
+
+#[test]
+fn faulted_inspection_is_never_memoized() {
+    let _t = serialize();
+    failpoint::silence_injected_panics();
+    let pool = ThreadPool::new(4);
+    let cache = InspectorCache::new();
+    let data = big_data();
+    {
+        let _armed = failpoint::arm(FailPlan::new().with(
+            "rtcheck.inspect.chunk",
+            Arm::Panic,
+            Fire::always(),
+        ));
+        let r = cache.try_verdict(&view("b", &data, 0), Some(&pool));
+        assert!(r.is_err(), "every chunk scan faults: {r:?}");
+        assert!(failpoint::fired("rtcheck.inspect.chunk") > 0);
+    }
+    // The fault must not have recorded a verdict: the next (clean)
+    // lookup is a *miss* that re-inspects and returns the truth.
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses), (0, 1), "{s:?}");
+    let v = cache
+        .try_verdict(&view("b", &data, 0), Some(&pool))
+        .expect("clean re-inspection");
+    assert!(v.nonstrict && v.strict);
+    let s = cache.stats();
+    assert_eq!(
+        (s.hits, s.misses),
+        (0, 2),
+        "no poisoned entry served: {s:?}"
+    );
+    // Now it is memoized: a third lookup hits.
+    cache
+        .try_verdict(&view("b", &data, 0), Some(&pool))
+        .unwrap();
+    assert_eq!(cache.stats().hits, 1);
+}
+
+#[test]
+fn public_verdict_rescues_a_persistently_faulting_scan_serially() {
+    let _t = serialize();
+    failpoint::silence_injected_panics();
+    let pool = ThreadPool::new(4);
+    let cache = InspectorCache::new();
+    let data = big_data();
+    let _armed =
+        failpoint::arm(FailPlan::new().with("rtcheck.inspect.chunk", Arm::Panic, Fire::always()));
+    // The infallible entry point degrades to the serial scan and still
+    // produces the genuine verdict.
+    let v = cache.verdict(&view("b", &data, 7), Some(&pool));
+    assert!(v.nonstrict && v.strict, "serial rescue truth: {v:?}");
+    // The serial rescue's verdict is trustworthy, so it *is* memoized.
+    let v2 = cache.verdict(&view("b", &data, 7), Some(&pool));
+    assert_eq!(v, v2);
+    assert_eq!(cache.stats().hits, 1);
+}
+
+#[test]
+fn single_chunk_fault_is_recovered_by_one_retry() {
+    let _t = serialize();
+    failpoint::silence_injected_panics();
+    let pool = ThreadPool::new(4);
+    let cache = InspectorCache::new();
+    let data = big_data();
+    let _armed =
+        failpoint::arm(FailPlan::new().with("rtcheck.inspect.chunk", Arm::Panic, Fire::nth(0)));
+    // First attempt faults (one injected chunk panic), so `try_verdict`
+    // reports the fault without memoizing...
+    let r = cache.try_verdict(&view("b", &data, 0), Some(&pool));
+    assert!(r.is_err(), "{r:?}");
+    // ...and the immediate second attempt (the guard's bounded retry)
+    // succeeds: inspection is read-only, so a rerun is always sound.
+    let v = cache
+        .try_verdict(&view("b", &data, 0), Some(&pool))
+        .expect("retry must succeed once the failpoint is spent");
+    assert!(v.nonstrict && v.strict);
+}
+
+#[test]
+fn dropped_cache_inserts_only_cost_reinspection() {
+    let _t = serialize();
+    failpoint::silence_injected_panics();
+    let pool = ThreadPool::new(2);
+    let cache = InspectorCache::new();
+    let data = big_data();
+    {
+        let _armed = failpoint::arm(FailPlan::new().with(
+            "rtcheck.cache.insert",
+            Arm::Error,
+            Fire::always(),
+        ));
+        // Every insert is dropped: both lookups compute fresh verdicts
+        // (correct ones), neither is served from the cache.
+        let v1 = cache.verdict(&view("b", &data, 0), Some(&pool));
+        let v2 = cache.verdict(&view("b", &data, 0), Some(&pool));
+        assert!(v1.nonstrict && v2.nonstrict);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 2), "{s:?}");
+    }
+    // Disarmed: memoization is back.
+    cache.verdict(&view("b", &data, 0), Some(&pool));
+    cache.verdict(&view("b", &data, 0), Some(&pool));
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses), (1, 3), "{s:?}");
+}
+
+#[test]
+fn corrupted_memo_denies_but_never_admits() {
+    let _t = serialize();
+    failpoint::silence_injected_panics();
+    let pool = ThreadPool::new(2);
+    let cache = InspectorCache::new();
+    let data = big_data();
+    let _armed =
+        failpoint::arm(FailPlan::new().with("rtcheck.cache.insert", Arm::Corrupt, Fire::nth(0)));
+    // The fresh inspection itself returns the truth...
+    let v1 = cache.verdict(&view("b", &data, 0), Some(&pool));
+    assert!(v1.nonstrict && v1.strict);
+    // ...but the memoized entry was corrupted — in the only direction
+    // the model allows: a blanket deny. A corrupted cache can cause
+    // spurious serial fallbacks, never an unsound parallel admission.
+    let v2 = cache.verdict(&view("b", &data, 0), Some(&pool));
+    assert!(
+        !v2.nonstrict && !v2.strict,
+        "corruption must be conservative: {v2:?}"
+    );
+    assert_eq!(cache.stats().hits, 1, "the corrupt entry was a cache hit");
+}

@@ -28,6 +28,14 @@ echo "== chaos sweep (seeded fault injection, pinned seeds) =="
 # with a classified error and bit-identical output (see DESIGN.md 5c).
 cargo run --release -q -p subsub-bench --bin chaos -- 17 4242 900913
 
+echo "== differential fuzz (pinned seeds + corpus replay) =="
+# Adversarial campaigns over the inspect/guard/dispatch trust boundary:
+# inspector vs brute-force reference, compiled predicate vs checked-i128
+# evaluator, guarded parallel kernels vs serial goldens — then a full
+# replay of the committed regression corpus. Any divergence fails CI
+# (see DESIGN.md 5d).
+cargo run --release -q -p subsub-bench --bin fuzz -- 7 31337 271828
+
 echo "== fork-join smoke (calibrate + validate) =="
 # A quick real measurement of fork-join latency on this machine; the
 # --validate pass re-parses the emitted JSON through the simulator's own

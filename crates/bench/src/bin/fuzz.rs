@@ -1,0 +1,149 @@
+//! Differential fuzzing CLI: runs seeded adversarial campaigns over the
+//! inspect/guard/dispatch trust boundary and replays the committed
+//! regression corpus.
+//!
+//! Usage:
+//!   fuzz [SEED...] [--no-kernels] [--arrays N] [--predicates N]
+//!        [--corpus DIR | --no-corpus] [--threads N]
+//!
+//! With no seeds given, the CI-pinned trio 7, 31337, 271828 runs. Exits
+//! non-zero on ANY divergence or corpus regression, printing every
+//! minimized counterexample so it can be promoted into the corpus.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use subsub_omprt::ThreadPool;
+use subsub_oracle::{load_dir, replay_all, run_campaign, FuzzConfig};
+
+const PINNED_SEEDS: [u64; 3] = [7, 31337, 271828];
+
+struct Args {
+    seeds: Vec<u64>,
+    arrays_per_shape: usize,
+    predicates: usize,
+    kernels: bool,
+    corpus: Option<PathBuf>,
+    threads: usize,
+}
+
+fn default_corpus_dir() -> Option<PathBuf> {
+    // bench and oracle are sibling crates; resolve relative to this
+    // crate's manifest so the binary works from any cwd inside the repo.
+    let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let dir = here.parent()?.join("oracle").join("corpus");
+    dir.is_dir().then_some(dir)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: Vec::new(),
+        arrays_per_shape: 8,
+        predicates: 200,
+        kernels: true,
+        corpus: default_corpus_dir(),
+        threads: 3,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut grab = |what: &str| it.next().ok_or_else(|| format!("{what} requires a value"));
+        match a.as_str() {
+            "--no-kernels" => args.kernels = false,
+            "--no-corpus" => args.corpus = None,
+            "--arrays" => {
+                args.arrays_per_shape = grab("--arrays")?
+                    .parse()
+                    .map_err(|e| format!("--arrays: {e}"))?
+            }
+            "--predicates" => {
+                args.predicates = grab("--predicates")?
+                    .parse()
+                    .map_err(|e| format!("--predicates: {e}"))?
+            }
+            "--corpus" => args.corpus = Some(PathBuf::from(grab("--corpus")?)),
+            "--threads" => {
+                args.threads = grab("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: fuzz [SEED...] [--no-kernels] [--arrays N] [--predicates N] \
+                     [--corpus DIR | --no-corpus] [--threads N]"
+                        .into(),
+                )
+            }
+            s => {
+                let seed: u64 = s
+                    .parse()
+                    .map_err(|_| format!("unrecognized argument `{s}` (expected a seed)"))?;
+                args.seeds.push(seed);
+            }
+        }
+    }
+    if args.seeds.is_empty() {
+        args.seeds = PINNED_SEEDS.to_vec();
+    }
+    if args.threads == 0 {
+        return Err("--threads must be >= 1".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let pool = ThreadPool::new(args.threads);
+    let mut failed = false;
+
+    for &seed in &args.seeds {
+        let cfg = FuzzConfig {
+            seed,
+            arrays_per_shape: args.arrays_per_shape,
+            predicates: args.predicates,
+            kernels: args.kernels,
+        };
+        let report = run_campaign(&cfg, &pool);
+        println!("{report}");
+        if !report.is_clean() {
+            failed = true;
+        }
+    }
+
+    if let Some(dir) = &args.corpus {
+        match load_dir(dir) {
+            Ok(entries) => {
+                let regressions = replay_all(&entries, &pool);
+                println!(
+                    "corpus replay: {} entries from {}, {} regression(s)",
+                    entries.len(),
+                    dir.display(),
+                    regressions.len()
+                );
+                for r in &regressions {
+                    eprintln!("corpus regression: {r}");
+                }
+                if !regressions.is_empty() {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("corpus load failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        eprintln!("FUZZ: divergences found");
+        ExitCode::FAILURE
+    } else {
+        println!("FUZZ: all campaigns clean");
+        ExitCode::SUCCESS
+    }
+}

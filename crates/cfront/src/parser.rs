@@ -23,9 +23,31 @@ impl std::error::Error for ParseError {}
 
 type PResult<T> = Result<T, ParseError>;
 
+/// Maximum statement/expression nesting depth. Recursive descent puts
+/// source nesting on the call stack; without a ceiling, adversarial
+/// input like `((((…` or `{{{{…` overflows the stack and aborts the
+/// process instead of returning a [`ParseError`]. One nesting level
+/// costs up to three units (assign + ternary + unary each hold one) of
+/// roughly a precedence-climb round trip of stack frames each, which an
+/// unoptimized build can turn into several KiB — the ceiling must clear
+/// a 2 MiB worker-thread stack with margin. 120 units ≈ 40 levels of
+/// parentheses, still far beyond any real kernel source.
+const MAX_DEPTH: usize = 120;
+
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn new(toks: Vec<Token>) -> Parser {
+        Parser {
+            toks,
+            pos: 0,
+            depth: 0,
+        }
+    }
 }
 
 /// Parses a full translation unit.
@@ -34,7 +56,7 @@ pub fn parse_program(src: &str) -> PResult<Program> {
         msg: e.msg,
         line: e.line,
     })?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser::new(toks);
     p.program()
 }
 
@@ -44,7 +66,7 @@ pub fn parse_stmt(src: &str) -> PResult<Stmt> {
         msg: e.msg,
         line: e.line,
     })?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser::new(toks);
     let s = p.statement()?;
     p.expect_eof()?;
     Ok(s)
@@ -56,7 +78,7 @@ pub fn parse_expr(src: &str) -> PResult<CExpr> {
         msg: e.msg,
         line: e.line,
     })?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser::new(toks);
     let e = p.expr()?;
     p.expect_eof()?;
     Ok(e)
@@ -84,6 +106,21 @@ impl Parser {
             msg: msg.into(),
             line: self.line(),
         })
+    }
+
+    /// Enters one nesting level; fails once [`MAX_DEPTH`] is exceeded so
+    /// hostile nesting becomes a parse error, not a stack overflow.
+    fn descend(&mut self) -> PResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.err(format!("nesting too deep (limit {MAX_DEPTH})"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
     }
 
     fn eat_punct(&mut self, p: &str) -> bool {
@@ -368,6 +405,15 @@ impl Parser {
     }
 
     fn statement(&mut self) -> PResult<Stmt> {
+        // Every nested statement form (blocks, if/else arms, loop bodies)
+        // recurses through here, so this one guard bounds them all.
+        self.descend()?;
+        let r = self.statement_inner();
+        self.ascend();
+        r
+    }
+
+    fn statement_inner(&mut self) -> PResult<Stmt> {
         if let TokenKind::Pragma(text) = self.peek().clone() {
             self.bump();
             return Ok(Stmt::Pragma(text));
@@ -515,6 +561,16 @@ impl Parser {
     }
 
     fn assign_expr(&mut self) -> PResult<CExpr> {
+        // The depth guard must be HELD by every frame that recurses —
+        // `a = a = …` recurses from here after the inner guards have
+        // already unwound, so assign/ternary/unary each hold one level.
+        self.descend()?;
+        let r = self.assign_expr_inner();
+        self.ascend();
+        r
+    }
+
+    fn assign_expr_inner(&mut self) -> PResult<CExpr> {
         let lhs = self.ternary()?;
         let op = match self.peek() {
             TokenKind::Punct("=") => Some(AssignOp::Assign),
@@ -538,6 +594,15 @@ impl Parser {
     }
 
     fn ternary(&mut self) -> PResult<CExpr> {
+        // Held across the arms: `a ? b : a ? b : …` recurses through the
+        // else arm below, after the cond's guards have unwound.
+        self.descend()?;
+        let r = self.ternary_inner();
+        self.ascend();
+        r
+    }
+
+    fn ternary_inner(&mut self) -> PResult<CExpr> {
         let cond = self.binary(0)?;
         if self.eat_punct("?") {
             let then_e = self.expr()?;
@@ -591,6 +656,16 @@ impl Parser {
     }
 
     fn unary(&mut self) -> PResult<CExpr> {
+        // Every recursive expression form — unary chains, parenthesized
+        // expressions, subscript and call arguments — descends through
+        // here at least once per level, so this guard bounds them all.
+        self.descend()?;
+        let r = self.unary_inner();
+        self.ascend();
+        r
+    }
+
+    fn unary_inner(&mut self) -> PResult<CExpr> {
         match self.peek() {
             TokenKind::Punct("-") => {
                 self.bump();
@@ -936,5 +1011,39 @@ mod tests {
     fn while_loop() {
         let s = parse_stmt("while (k < n) { k = k + 1; }").unwrap();
         assert!(matches!(s, Stmt::While { .. }));
+    }
+
+    #[test]
+    fn deep_paren_nesting_is_an_error_not_a_crash() {
+        let src = format!("{}1{}", "(".repeat(100_000), ")".repeat(100_000));
+        let err = parse_expr(&src).unwrap_err();
+        assert!(err.msg.contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn deep_unary_chain_is_an_error_not_a_crash() {
+        let src = format!("{}x", "-".repeat(100_000));
+        let err = parse_expr(&src).unwrap_err();
+        assert!(err.msg.contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn deep_block_nesting_is_an_error_not_a_crash() {
+        let src = format!("{}{}", "{".repeat(100_000), "}".repeat(100_000));
+        let err = parse_stmt(&src).unwrap_err();
+        assert!(err.msg.contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn deep_subscript_nesting_is_an_error_not_a_crash() {
+        let src = format!("{}0{}", "x[".repeat(50_000), "]".repeat(50_000));
+        let err = parse_expr(&src).unwrap_err();
+        assert!(err.msg.contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        let src = format!("{}x + 1{}", "(".repeat(30), ")".repeat(30));
+        assert!(parse_expr(&src).is_ok());
     }
 }

@@ -1,0 +1,203 @@
+//! Fuzz smoke test: the lexer and parser must never panic (or overflow
+//! the stack) on arbitrary input — every malformed program is a
+//! `LexError`/`ParseError`, never a crash. The frontend sits upstream of
+//! the parallelization pipeline, so a crash here is denial of service
+//! for the whole analysis.
+//!
+//! Deterministic, offline, no external fuzzing engine: a small inline
+//! PRNG drives 1 000 random byte strings and 1 000 random token soups
+//! per pinned seed, each fed to `parse_program`, `parse_stmt`, and
+//! `parse_expr` under `catch_unwind`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use subsub_cfront::{parse_expr, parse_program, parse_stmt};
+
+/// xorshift64* — inline so the test has no dependencies beyond cfront.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Byte pool skewed toward bytes the lexer treats specially, plus raw
+/// non-ASCII bytes (folded to U+FFFD by `from_utf8_lossy`, which the
+/// lexer must reject cleanly, not crash on).
+fn random_bytes(rng: &mut Rng) -> String {
+    const POOL: &[u8] =
+        b"(){}[];,+-*/%=<>!&|^~?:.#\\\"'\n\t 0123456789abcdefXYZ_\x00\x7f\x80\xc3\xff";
+    let len = rng.below(200);
+    let bytes: Vec<u8> = (0..len).map(|_| POOL[rng.below(POOL.len())]).collect();
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Structured soup: valid tokens in random order, which drives the
+/// parser much deeper than raw bytes do.
+fn random_tokens(rng: &mut Rng) -> String {
+    const TOKENS: &[&str] = &[
+        "(",
+        ")",
+        "[",
+        "]",
+        "{",
+        "}",
+        ";",
+        ",",
+        "=",
+        "+",
+        "-",
+        "*",
+        "/",
+        "%",
+        "<",
+        ">",
+        "<=",
+        ">=",
+        "==",
+        "!=",
+        "&&",
+        "||",
+        "++",
+        "--",
+        "+=",
+        "-=",
+        "?",
+        ":",
+        "!",
+        "if",
+        "else",
+        "for",
+        "while",
+        "return",
+        "break",
+        "continue",
+        "int",
+        "long",
+        "float",
+        "double",
+        "void",
+        "unsigned",
+        "const",
+        "static",
+        "x",
+        "y",
+        "ind",
+        "n",
+        "0",
+        "1",
+        "42",
+        "1.5",
+        "2e3",
+        "1e",
+        "0.",
+        "9999999999999999999999",
+        "#pragma omp parallel for\n",
+        "#include <x>\n",
+        "// c\n",
+        "/*",
+        "*/",
+        "\n",
+    ];
+    let len = rng.below(80);
+    let mut out = String::new();
+    for _ in 0..len {
+        out.push_str(TOKENS[rng.below(TOKENS.len())]);
+        out.push(' ');
+    }
+    out
+}
+
+fn assert_no_panic(src: &str) {
+    for (what, run) in [
+        (
+            "parse_program",
+            Box::new(|| drop(parse_program(src))) as Box<dyn Fn()>,
+        ),
+        ("parse_stmt", Box::new(|| drop(parse_stmt(src)))),
+        ("parse_expr", Box::new(|| drop(parse_expr(src)))),
+    ] {
+        let outcome = catch_unwind(AssertUnwindSafe(&run));
+        assert!(
+            outcome.is_ok(),
+            "{what} panicked on input ({} bytes): {:?}",
+            src.len(),
+            &src[..src.len().min(120)]
+        );
+    }
+}
+
+#[test]
+fn random_byte_inputs_never_panic() {
+    for seed in [7u64, 31337, 271828] {
+        let mut rng = Rng::new(seed);
+        for _ in 0..1_000 {
+            assert_no_panic(&random_bytes(&mut rng));
+        }
+    }
+}
+
+#[test]
+fn random_token_soup_never_panics() {
+    for seed in [7u64, 31337, 271828] {
+        let mut rng = Rng::new(seed);
+        for _ in 0..1_000 {
+            assert_no_panic(&random_tokens(&mut rng));
+        }
+    }
+}
+
+#[test]
+fn hostile_nesting_returns_errors() {
+    for src in [
+        format!("{}1", "(".repeat(100_000)),
+        format!("{}x", "-".repeat(100_000)),
+        format!("{}x", "!".repeat(100_000)),
+        format!("{}x", "++".repeat(100_000)),
+        "{".repeat(100_000),
+        format!("void f() {{ {} }}", "{".repeat(100_000)),
+        format!("if (x) {}", "if (x) ".repeat(100_000)),
+        format!("a{}", "[0".repeat(100_000)),
+        format!("f{}", "(g".repeat(100_000)),
+        format!("a ? {}b : c", "b ? ".repeat(100_000)),
+    ] {
+        assert_no_panic(&src);
+        assert!(
+            parse_expr(&src).is_err() || parse_stmt(&src).is_err(),
+            "hostile input unexpectedly parsed"
+        );
+    }
+}
+
+#[test]
+fn truncated_and_garbage_inputs_error_cleanly() {
+    for src in [
+        "",
+        "/*",
+        "/* unterminated",
+        "\"",
+        "void f( {",
+        "int x = ;",
+        "for (;;",
+        "1e",
+        "1e+",
+        "0..5",
+        "99999999999999999999999999",
+        "#pragma",
+        "\u{fffd}\u{fffd}",
+        "int \u{fffd};",
+    ] {
+        assert_no_panic(src);
+    }
+}

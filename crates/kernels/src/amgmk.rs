@@ -9,7 +9,7 @@
 
 use crate::common::{InnerGroup, Kernel, KernelInstance};
 use subsub_omprt::{Schedule, SendPtr, ThreadPool};
-use subsub_rtcheck::{Bindings, IndexArrayView, MonotoneReq};
+use subsub_rtcheck::{Bindings, IndexArrayView, MonotoneReq, Provenance, ValidatedIndexArray};
 use subsub_sparse::{gen, Csr};
 
 /// Inline-expanded AMGmk kernel source (fill + use loop), as analyzed by
@@ -73,7 +73,17 @@ impl Kernel for Amgmk {
         // AMG operators have empty rows after coarsening; clear every 4th
         // row so A_rownnz is a proper (intermittent) subset.
         clear_rows(&mut a, |r| r % 4 == 3);
-        let rownnz = a.rownnz();
+        // Ingestion trust boundary: every A_rownnz entry must index a
+        // real row of A before any verdict licenses `unsafe` scatter.
+        let rownnz = ValidatedIndexArray::ingest(
+            "A_rownnz",
+            a.rownnz(),
+            a.rows,
+            Provenance::Dataset {
+                name: dataset.to_string(),
+            },
+        )
+        .expect("generated A_rownnz entries are row indices of A");
         let dim = a.rows;
         let x: Vec<f64> = (0..dim).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
         let y0: Vec<f64> = (0..dim).map(|i| (i % 5) as f64 * 0.5).collect();
@@ -81,7 +91,6 @@ impl Kernel for Amgmk {
             y: y0.clone(),
             a,
             rownnz,
-            rownnz_version: 0,
             x,
             y0,
         })
@@ -106,10 +115,10 @@ fn clear_rows(a: &mut Csr, pred: impl Fn(usize) -> bool) {
 
 struct AmgmkInstance {
     a: Csr,
-    rownnz: Vec<usize>,
-    /// Write-version of `rownnz`, bumped on every mutation so inspector
-    /// caches invalidate.
-    rownnz_version: u64,
+    /// The subscript array behind the ingestion trust boundary: entries
+    /// validated against `a.rows`, mutations tracked by version (for the
+    /// inspector cache) and checksum (for the out-of-band-writer gate).
+    rownnz: ValidatedIndexArray,
     x: Vec<f64>,
     y: Vec<f64>,
     y0: Vec<f64>,
@@ -134,19 +143,22 @@ const COST_PER_ROW: f64 = 20.0;
 impl KernelInstance for AmgmkInstance {
     fn run_serial(&mut self) {
         for idx in 0..self.rownnz.len() {
-            let m = self.rownnz[idx];
+            let m = self.rownnz.data()[idx];
             self.y[m] = self.row_update(m);
         }
     }
 
     fn run_outer(&mut self, pool: &ThreadPool, sched: Schedule) {
         let y = SendPtr::new(self.y.as_mut_ptr());
+        let y_len = self.y.len();
         let this: &AmgmkInstance = self;
         pool.parallel_for(this.rownnz.len(), sched, |idx| {
-            let m = this.rownnz[idx];
+            let m = this.rownnz.data()[idx];
             let v = this.row_update(m);
-            // SAFETY: A_rownnz is strictly monotonic (the property the
-            // analysis proves), so distinct iterations write distinct rows.
+            // SAFETY: ingestion validated m < a.rows == y.len(), and
+            // A_rownnz is strictly monotonic (the property the analysis
+            // proves), so distinct iterations write distinct rows.
+            debug_assert!(m < y_len, "A_rownnz[{idx}] = {m} out of y[0, {y_len})");
             unsafe {
                 *y.get().add(m) = v;
             }
@@ -157,7 +169,7 @@ impl KernelInstance for AmgmkInstance {
         // Classical strategy: serial outer loop, fork a reduction team for
         // every row's dot product.
         for idx in 0..self.rownnz.len() {
-            let m = self.rownnz[idx];
+            let m = self.rownnz.data()[idx];
             let lo = self.a.row_ptr[m];
             let n = self.a.row_ptr[m + 1] - lo;
             let a = &self.a;
@@ -175,6 +187,7 @@ impl KernelInstance for AmgmkInstance {
 
     fn outer_costs(&self) -> Vec<f64> {
         self.rownnz
+            .data()
             .iter()
             .map(|&m| COST_PER_ROW + COST_PER_NNZ * self.a.row_nnz(m) as f64)
             .collect()
@@ -182,6 +195,7 @@ impl KernelInstance for AmgmkInstance {
 
     fn inner_groups(&self) -> Vec<InnerGroup> {
         self.rownnz
+            .data()
             .iter()
             .map(|&m| InnerGroup {
                 serial: COST_PER_ROW,
@@ -204,24 +218,22 @@ impl KernelInstance for AmgmkInstance {
     }
 
     fn index_arrays(&self) -> Vec<IndexArrayView<'_>> {
-        vec![IndexArrayView {
-            name: "A_rownnz",
-            data: &self.rownnz,
-            version: self.rownnz_version,
-            // Distinct iterations must write distinct rows: injectivity,
-            // i.e. strict monotonicity.
-            required: MonotoneReq::Strict,
-        }]
+        // Distinct iterations must write distinct rows: injectivity,
+        // i.e. strict monotonicity.
+        vec![self.rownnz.view(MonotoneReq::Strict)]
     }
 
     fn tamper_index_arrays(&mut self) -> bool {
         if self.rownnz.len() < 2 {
             return false;
         }
-        // Duplicate an entry: still sorted, no longer injective. The
-        // serial variant just updates that row twice, deterministically.
-        self.rownnz[1] = self.rownnz[0];
-        self.rownnz_version += 1;
+        // Duplicate an entry: still sorted and in-domain, no longer
+        // injective. Going through `mutate` keeps the array validated and
+        // bumps the version, so cached verdicts invalidate. The serial
+        // variant just updates that row twice, deterministically.
+        self.rownnz
+            .mutate(|d| d[1] = d[0])
+            .expect("duplicating an in-domain entry stays in domain");
         true
     }
 

@@ -113,15 +113,21 @@ impl KernelInstance for CgInstance {
             {
                 let q = SendPtr::new(self.q.as_mut_ptr());
                 let this: &CgInstance = self;
-                pool.parallel_for(n, sched, |i| unsafe {
-                    *q.get().add(i) = this.row(i);
+                pool.parallel_for(n, sched, |i| {
+                    debug_assert!(i < this.q.len(), "row index {i} out of q bounds");
+                    unsafe {
+                        *q.get().add(i) = this.row(i);
+                    }
                 });
             }
             {
                 let z = SendPtr::new(self.z.as_mut_ptr());
                 let this: &CgInstance = self;
-                pool.parallel_for(n, sched, |i| unsafe {
-                    *z.get().add(i) += 0.3 * this.p[i] + 1e-3 * this.q[i];
+                pool.parallel_for(n, sched, |i| {
+                    debug_assert!(i < this.z.len(), "row index {i} out of z bounds");
+                    unsafe {
+                        *z.get().add(i) += 0.3 * this.p[i] + 1e-3 * this.q[i];
+                    }
                 });
             }
         }

@@ -11,6 +11,7 @@
 
 use crate::common::{InnerGroup, Kernel, KernelInstance};
 use subsub_omprt::{Schedule, SendPtr, ThreadPool};
+use subsub_rtcheck::{IndexArrayView, MonotoneReq, Provenance, ValidatedIndexArray};
 
 /// Panel (supernode) width of the synthetic factor.
 pub const PANEL: usize = 192;
@@ -61,10 +62,22 @@ impl Kernel for Cholmod {
 
     fn prepare(&self, dataset: &str) -> Box<dyn KernelInstance> {
         let n_super = supernodes_for(dataset);
-        let colptr: Vec<usize> = (0..=n_super).map(|j| j * PANEL).collect();
         let l0: Vec<f64> = (0..n_super * PANEL)
             .map(|i| 1.0 + (i % 9) as f64 * 0.1)
             .collect();
+        // Defense in depth: even though the prefix-sum fill is
+        // compile-time analyzable, the panel boundaries still pass the
+        // ingestion trust boundary (domain = |L_x| + 1, since the last
+        // boundary equals the element count).
+        let colptr = ValidatedIndexArray::ingest(
+            "colptr",
+            (0..=n_super).map(|j| j * PANEL).collect(),
+            l0.len() + 1,
+            Provenance::Dataset {
+                name: dataset.to_string(),
+            },
+        )
+        .expect("prefix-sum panel boundaries are bounded by the factor size");
         let diag: Vec<f64> = (0..n_super).map(|j| 0.5 + (j % 3) as f64 * 0.25).collect();
         Box::new(CholmodInstance {
             l: l0.clone(),
@@ -76,7 +89,9 @@ impl Kernel for Cholmod {
 }
 
 struct CholmodInstance {
-    colptr: Vec<usize>,
+    /// Panel boundaries behind the ingestion trust boundary (validated
+    /// against the factor length).
+    colptr: ValidatedIndexArray,
     l: Vec<f64>,
     l0: Vec<f64>,
     diag: Vec<f64>,
@@ -89,7 +104,7 @@ impl KernelInstance for CholmodInstance {
     fn run_serial(&mut self) {
         for j in 0..self.diag.len() {
             let d = self.diag[j];
-            for p in self.colptr[j]..self.colptr[j + 1] {
+            for p in self.colptr.data()[j]..self.colptr.data()[j + 1] {
                 self.l[p] *= d;
             }
         }
@@ -97,12 +112,15 @@ impl KernelInstance for CholmodInstance {
 
     fn run_outer(&mut self, pool: &ThreadPool, sched: Schedule) {
         let l = SendPtr::new(self.l.as_mut_ptr());
+        let l_len = self.l.len();
         let this: &CholmodInstance = self;
         pool.parallel_for(this.diag.len(), sched, |j| {
             let d = this.diag[j];
-            for p in this.colptr[j]..this.colptr[j + 1] {
-                // SAFETY: colptr is strictly monotone (prefix sum of a
-                // positive constant), so panels are disjoint.
+            for p in this.colptr.data()[j]..this.colptr.data()[j + 1] {
+                // SAFETY: ingestion validated the boundaries against the
+                // factor length, and colptr is strictly monotone (prefix
+                // sum of a positive constant), so panels are disjoint.
+                debug_assert!(p < l_len, "panel element {p} out of L_x[0, {l_len})");
                 unsafe {
                     *l.get().add(p) *= d;
                 }
@@ -112,12 +130,16 @@ impl KernelInstance for CholmodInstance {
 
     fn run_inner(&mut self, pool: &ThreadPool, sched: Schedule) {
         let l = SendPtr::new(self.l.as_mut_ptr());
+        let l_len = self.l.len();
         for j in 0..self.diag.len() {
             let d = self.diag[j];
-            let lo = self.colptr[j];
-            let len = self.colptr[j + 1] - lo;
-            pool.parallel_for(len, sched, |i| unsafe {
-                *l.get().add(lo + i) *= d;
+            let lo = self.colptr.data()[j];
+            let len = self.colptr.data()[j + 1].saturating_sub(lo);
+            pool.parallel_for(len, sched, |i| {
+                debug_assert!(lo + i < l_len, "panel element out of L_x bounds");
+                unsafe {
+                    *l.get().add(lo + i) *= d;
+                }
             });
         }
     }
@@ -139,6 +161,14 @@ impl KernelInstance for CholmodInstance {
 
     fn mem_bound_fraction(&self) -> f64 {
         0.55 // panel scaling is a streaming update
+    }
+
+    fn index_arrays(&self) -> Vec<IndexArrayView<'_>> {
+        // Strict monotonicity makes panels disjoint; the compile-time
+        // analysis already proves this for the constant prefix sum, so the
+        // runtime view is defense in depth rather than a licensing
+        // requirement.
+        vec![self.colptr.view(MonotoneReq::Strict)]
     }
 
     fn checksum(&self) -> f64 {

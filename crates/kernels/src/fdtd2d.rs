@@ -131,10 +131,12 @@ impl KernelInstance for Fdtd2dInstance {
             }
             {
                 let ey = SendPtr::new(self.ey.as_mut_ptr());
+                let ey_len = self.ey.len();
                 let hz = &self.hz;
                 pool.parallel_for(n - 1, sched, |ii| {
                     let i = ii + 1;
                     for j in 0..n {
+                        debug_assert!(i * n + j < ey_len, "ey index out of bounds");
                         unsafe {
                             *ey.get().add(i * n + j) -= 0.5 * (hz[i * n + j] - hz[(i - 1) * n + j]);
                         }
@@ -143,9 +145,11 @@ impl KernelInstance for Fdtd2dInstance {
             }
             {
                 let ex = SendPtr::new(self.ex.as_mut_ptr());
+                let ex_len = self.ex.len();
                 let hz = &self.hz;
                 pool.parallel_for(n, sched, |i| {
                     for j in 1..n {
+                        debug_assert!(i * n + j < ex_len, "ex index out of bounds");
                         unsafe {
                             *ex.get().add(i * n + j) -= 0.5 * (hz[i * n + j] - hz[i * n + j - 1]);
                         }
@@ -154,10 +158,12 @@ impl KernelInstance for Fdtd2dInstance {
             }
             {
                 let hz = SendPtr::new(self.hz.as_mut_ptr());
+                let hz_len = self.hz.len();
                 let ex = &self.ex;
                 let ey = &self.ey;
                 pool.parallel_for(n - 1, sched, |i| {
                     for j in 0..n - 1 {
+                        debug_assert!(i * n + j < hz_len, "hz index out of bounds");
                         unsafe {
                             *hz.get().add(i * n + j) -= 0.7
                                 * (ex[i * n + j + 1] - ex[i * n + j] + ey[(i + 1) * n + j]

@@ -91,6 +91,9 @@ impl GsInstance {
     #[inline]
     fn update(&self, k: usize, j: usize, a: *mut f64, r: *mut f64) {
         let n = self.n;
+        // k and j in range bound every pointer offset below by n*n, the
+        // length of the a/q/r buffers.
+        debug_assert!(k < n && j < n, "column pair ({k}, {j}) out of [0, {n})");
         let mut dot = 0.0;
         for i in 0..n {
             // SAFETY: column j is written only by iteration j of the

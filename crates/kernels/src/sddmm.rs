@@ -10,7 +10,7 @@
 
 use crate::common::{InnerGroup, Kernel, KernelInstance};
 use subsub_omprt::{Schedule, SendPtr, ThreadPool};
-use subsub_rtcheck::{Bindings, IndexArrayView, MonotoneReq};
+use subsub_rtcheck::{Bindings, IndexArrayView, MonotoneReq, Provenance, ValidatedIndexArray};
 use subsub_sparse::{Csc, MatrixSpec};
 
 /// Inline-expanded SDDMM source (CSC build loop + compute loop).
@@ -108,9 +108,21 @@ impl Kernel for Sddmm {
             .map(|i| ((i % 11) as f64 - 5.0) * 0.1)
             .collect();
         let p = vec![0.0; m.nnz()];
+        // Ingestion trust boundary: every column boundary must stay within
+        // [0, nnz] — segment iteration `col_ptr[r]..col_ptr[r+1]` then
+        // never produces a nonzero index past the p/values arrays.
+        let col_ptr = ValidatedIndexArray::ingest(
+            "col_ptr",
+            m.col_ptr.clone(),
+            m.nnz() + 1,
+            Provenance::Dataset {
+                name: dataset.to_string(),
+            },
+        )
+        .expect("CSC column boundaries are bounded by nnz");
         Box::new(SddmmInstance {
             m,
-            col_ptr_version: 0,
+            col_ptr,
             w,
             h,
             p,
@@ -120,9 +132,10 @@ impl Kernel for Sddmm {
 
 struct SddmmInstance {
     m: Csc,
-    /// Write-version of `m.col_ptr`, bumped on every mutation so
-    /// inspector caches invalidate.
-    col_ptr_version: u64,
+    /// The column-boundary subscript array behind the ingestion trust
+    /// boundary (validated against nnz+1); all loops read this copy, not
+    /// `m.col_ptr`, so dispatch only ever sees validated boundaries.
+    col_ptr: ValidatedIndexArray,
     w: Vec<f64>,
     h: Vec<f64>,
     p: Vec<f64>,
@@ -131,15 +144,18 @@ struct SddmmInstance {
 impl SddmmInstance {
     #[inline]
     fn column(&self, r: usize, p: *mut f64) {
-        for ind in self.m.col_ptr[r]..self.m.col_ptr[r + 1] {
+        for ind in self.col_ptr.data()[r]..self.col_ptr.data()[r + 1] {
             let row = self.m.row_ind[ind];
             let mut sm = 0.0;
             for t in 0..RANK {
                 sm += self.w[r * RANK + t] * self.h[row * RANK + t];
             }
-            // SAFETY (in parallel contexts): col_ptr is monotone, so the
-            // segments [col_ptr[r], col_ptr[r+1]) of distinct columns are
-            // disjoint — the property the analysis proves.
+            // SAFETY (in parallel contexts): ingestion validated the
+            // boundaries against nnz (so ind < nnz), and col_ptr is
+            // monotone, so the segments [col_ptr[r], col_ptr[r+1]) of
+            // distinct columns are disjoint — the property the analysis
+            // proves.
+            debug_assert!(ind < self.m.values.len(), "nnz index {ind} out of bounds");
             unsafe {
                 *p.add(ind) = sm * self.m.values[ind];
             }
@@ -171,8 +187,9 @@ impl KernelInstance for SddmmInstance {
         // nonzero segment.
         let p = SendPtr::new(self.p.as_mut_ptr());
         for r in 0..self.m.cols {
-            let lo = self.m.col_ptr[r];
-            let len = self.m.col_ptr[r + 1] - lo;
+            let lo = self.col_ptr.data()[r];
+            let hi = self.col_ptr.data()[r + 1];
+            let len = hi.saturating_sub(lo);
             let this: &SddmmInstance = self;
             pool.parallel_for(len, sched, |i| {
                 let ind = lo + i;
@@ -181,6 +198,7 @@ impl KernelInstance for SddmmInstance {
                 for t in 0..RANK {
                     sm += this.w[r * RANK + t] * this.h[row * RANK + t];
                 }
+                debug_assert!(ind < this.m.values.len(), "nnz index {ind} out of bounds");
                 unsafe {
                     *p.get().add(ind) = sm * this.m.values[ind];
                 }
@@ -217,14 +235,9 @@ impl KernelInstance for SddmmInstance {
     }
 
     fn index_arrays(&self) -> Vec<IndexArrayView<'_>> {
-        vec![IndexArrayView {
-            name: "col_ptr",
-            data: &self.m.col_ptr,
-            version: self.col_ptr_version,
-            // Segments [col_ptr[r], col_ptr[r+1]) need only be disjoint:
-            // non-strict monotonicity (empty columns allowed).
-            required: MonotoneReq::NonStrict,
-        }]
+        // Segments [col_ptr[r], col_ptr[r+1]) need only be disjoint:
+        // non-strict monotonicity (empty columns allowed).
+        vec![self.col_ptr.view(MonotoneReq::NonStrict)]
     }
 
     fn tamper_index_arrays(&mut self) -> bool {
@@ -232,13 +245,15 @@ impl KernelInstance for SddmmInstance {
         // now precedes the smaller, breaking (non-strict) monotonicity
         // while keeping every entry bounded by nnz — all segment accesses
         // stay in bounds and the serial variant stays deterministic
-        // (the inverted segment is just an empty Rust range).
-        let ptr = &mut self.m.col_ptr;
+        // (the inverted segment is just an empty Rust range). `mutate`
+        // keeps the array validated and bumps the version.
+        let ptr = self.col_ptr.data();
         let Some(r) = (1..ptr.len()).find(|&r| ptr[r] > ptr[r - 1]) else {
             return false;
         };
-        ptr.swap(r - 1, r);
-        self.col_ptr_version += 1;
+        self.col_ptr
+            .mutate(|d| d.swap(r - 1, r))
+            .expect("swapping in-domain entries stays in domain");
         true
     }
 

@@ -142,9 +142,11 @@ impl UaInstance {
         for j in 0..Q {
             for i in 0..Q {
                 let il1 = self.idel[((iel * FACES + 1) * Q + j) * Q + i];
+                let t = (iel * Q + j) * Q + i;
                 // SAFETY: tmp slices are indexed by iel — disjoint.
+                debug_assert!(t < self.tmp.len(), "tmp index {t} out of bounds");
                 unsafe {
-                    *tmp.add((iel * Q + j) * Q + i) = self.tmort[il1] * self.w[i];
+                    *tmp.add(t) = self.tmort[il1] * self.w[i];
                 }
             }
         }
@@ -153,11 +155,17 @@ impl UaInstance {
             for j in 0..Q {
                 for i in 0..Q {
                     let il2 = self.idel[((iel * FACES + f) * Q + j) * Q + i];
+                    let ti = (iel * Q + j) * Q + i;
                     // SAFETY: idel is range-monotonic w.r.t. dimension 0
                     // (LEMMA 2): all il2 for this iel lie in
                     // [125·iel, 125·iel+124], disjoint across elements.
+                    debug_assert!(
+                        il2 < self.tx.len() && ti < self.tmp.len(),
+                        "idel scatter target {il2} out of tx[0, {})",
+                        self.tx.len()
+                    );
                     unsafe {
-                        let t = *tmp.add((iel * Q + j) * Q + i);
+                        let t = *tmp.add(ti);
                         *tx.add(il2) += t * self.w[j];
                     }
                 }
@@ -196,8 +204,10 @@ impl KernelInstance for UaInstance {
             pool.parallel_for(Q, sched, |j| {
                 for i in 0..Q {
                     let il1 = this.idel[((iel * FACES + 1) * Q + j) * Q + i];
+                    let t = (iel * Q + j) * Q + i;
+                    debug_assert!(t < this.tmp.len(), "tmp index {t} out of bounds");
                     unsafe {
-                        *tmp.get().add((iel * Q + j) * Q + i) = this.tmort[il1] * this.w[i];
+                        *tmp.get().add(t) = this.tmort[il1] * this.w[i];
                     }
                 }
             });

@@ -1,0 +1,478 @@
+//! The committed regression corpus: adversarial cases that once found
+//! (or nearly found) a divergence, shrunk to minimal form and replayed
+//! on every CI run.
+//!
+//! The on-disk format is a dependency-free text format. A corpus file
+//! holds one or more entries separated by `---` lines; each entry is
+//! `key: value` pairs. Lines starting with `#` are comments.
+//!
+//! ```text
+//! kind: array
+//! name: duplicate-at-chunk-join
+//! shape: duplicate-at-boundary
+//! domain: 20000
+//! expect: accept
+//! data: 0 1 2 2 3
+//! ---
+//! kind: predicate
+//! name: sqrtmax-product-overflow
+//! check: a*b <= c
+//! bind: a=3037000500 b=3037000500 c=0
+//! expect: overflow
+//! ---
+//! kind: kernel
+//! name: amgmk-seed7
+//! kernel: AMGmk
+//! seed: 7
+//! ```
+//!
+//! Binding names with a `_max` suffix are installed with
+//! [`Bindings::set_post_max`], matching the parser's treatment of
+//! `X_max` symbols in check sources.
+
+use crate::diff::{check_index_array, check_kernel, Divergence};
+use crate::gen::{brute_force_monotone, ArrayShape, GeneratedArray};
+use crate::refeval::{compare, ref_eval, PredicateAgreement};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use subsub_kernels::kernel_by_name;
+use subsub_omprt::ThreadPool;
+use subsub_rtcheck::{parse_check, Bindings, CompiledCheck, EvalError};
+
+/// What a predicate entry expects the *compiled* evaluator to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredicateExpect {
+    /// `Ok(true)`.
+    True,
+    /// `Ok(false)`.
+    False,
+    /// `Err(EvalError::Overflow)` — the conservative deny.
+    Overflow,
+    /// `Err(EvalError::Unbound)`.
+    Unbound,
+}
+
+impl fmt::Display for PredicateExpect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PredicateExpect::True => "true",
+            PredicateExpect::False => "false",
+            PredicateExpect::Overflow => "overflow",
+            PredicateExpect::Unbound => "unbound",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One value a predicate entry binds, keeping the textual name so the
+/// `_max` suffix survives a round-trip.
+#[derive(Debug, Clone)]
+pub struct Bind {
+    /// Binding name as written (`n`, `m_max`, ...).
+    pub name: String,
+    /// The bound value.
+    pub value: i64,
+}
+
+/// One replayable corpus entry.
+#[derive(Debug, Clone)]
+pub enum CorpusEntry {
+    /// An index array replayed through ingestion and both inspectors.
+    Array {
+        /// Entry id used in failure messages.
+        name: String,
+        /// Generator shape it regression-tests.
+        shape: ArrayShape,
+        /// Exclusive domain bound for ingestion.
+        domain: usize,
+        /// Whether ingestion must reject it.
+        expect_reject: bool,
+        /// The subscript values.
+        data: Vec<usize>,
+    },
+    /// A (check, bindings) pair replayed through both evaluators.
+    Predicate {
+        /// Entry id.
+        name: String,
+        /// Check source, re-parsed at replay time.
+        check: String,
+        /// Bindings to install.
+        binds: Vec<Bind>,
+        /// Expected compiled-evaluator outcome.
+        expect: PredicateExpect,
+    },
+    /// A kernel × campaign-seed pair replayed through [`check_kernel`].
+    Kernel {
+        /// Entry id.
+        name: String,
+        /// Registry name of the kernel.
+        kernel: String,
+        /// Campaign seed (selects pool size and schedule).
+        seed: u64,
+    },
+}
+
+impl CorpusEntry {
+    /// The entry's id.
+    pub fn name(&self) -> &str {
+        match self {
+            CorpusEntry::Array { name, .. }
+            | CorpusEntry::Predicate { name, .. }
+            | CorpusEntry::Kernel { name, .. } => name,
+        }
+    }
+}
+
+/// Why a corpus file failed to load.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// Filesystem error reading the file or directory.
+    Io(String),
+    /// Structural problem in an entry.
+    Malformed {
+        /// File the entry came from.
+        file: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io(e) => write!(f, "corpus io error: {e}"),
+            CorpusError::Malformed { file, detail } => {
+                write!(f, "malformed corpus entry in {}: {detail}", file.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+fn parse_entry(block: &str, file: &Path) -> Result<Option<CorpusEntry>, CorpusError> {
+    let mut kind = None;
+    let mut fields: Vec<(String, String)> = Vec::new();
+    for line in block.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line.split_once(':').ok_or_else(|| CorpusError::Malformed {
+            file: file.to_path_buf(),
+            detail: format!("line without `key: value` form: `{line}`"),
+        })?;
+        let (key, value) = (key.trim().to_string(), value.trim().to_string());
+        if key == "kind" {
+            kind = Some(value);
+        } else {
+            fields.push((key, value));
+        }
+    }
+    let Some(kind) = kind else {
+        // A block of only comments/blank lines (e.g. a trailing `---`).
+        if fields.is_empty() {
+            return Ok(None);
+        }
+        return Err(CorpusError::Malformed {
+            file: file.to_path_buf(),
+            detail: "entry missing `kind:`".to_string(),
+        });
+    };
+    let get = |key: &str| -> Result<String, CorpusError> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| CorpusError::Malformed {
+                file: file.to_path_buf(),
+                detail: format!("{kind} entry missing `{key}:`"),
+            })
+    };
+    let malformed = |detail: String| CorpusError::Malformed {
+        file: file.to_path_buf(),
+        detail,
+    };
+    match kind.as_str() {
+        "array" => {
+            let shape_s = get("shape")?;
+            let shape = ArrayShape::parse(&shape_s)
+                .ok_or_else(|| malformed(format!("unknown shape `{shape_s}`")))?;
+            let domain = get("domain")?
+                .parse::<usize>()
+                .map_err(|e| malformed(format!("bad domain: {e}")))?;
+            let expect_s = get("expect")?;
+            let expect_reject = match expect_s.as_str() {
+                "accept" => false,
+                "reject" => true,
+                other => {
+                    return Err(malformed(format!(
+                        "array expect must be accept|reject, got `{other}`"
+                    )))
+                }
+            };
+            let data_s = get("data").unwrap_or_default();
+            let mut data = Vec::new();
+            for tok in data_s.split_whitespace() {
+                data.push(
+                    tok.parse::<usize>()
+                        .map_err(|e| malformed(format!("bad data value `{tok}`: {e}")))?,
+                );
+            }
+            Ok(Some(CorpusEntry::Array {
+                name: get("name")?,
+                shape,
+                domain,
+                expect_reject,
+                data,
+            }))
+        }
+        "predicate" => {
+            let mut binds = Vec::new();
+            for tok in get("bind").unwrap_or_default().split_whitespace() {
+                let (name, value) = tok
+                    .split_once('=')
+                    .ok_or_else(|| malformed(format!("bad bind `{tok}` (want name=value)")))?;
+                binds.push(Bind {
+                    name: name.to_string(),
+                    value: value
+                        .parse::<i64>()
+                        .map_err(|e| malformed(format!("bad bind value `{tok}`: {e}")))?,
+                });
+            }
+            let expect_s = get("expect")?;
+            let expect = match expect_s.as_str() {
+                "true" => PredicateExpect::True,
+                "false" => PredicateExpect::False,
+                "overflow" => PredicateExpect::Overflow,
+                "unbound" => PredicateExpect::Unbound,
+                other => {
+                    return Err(malformed(format!(
+                        "predicate expect must be true|false|overflow|unbound, got `{other}`"
+                    )))
+                }
+            };
+            Ok(Some(CorpusEntry::Predicate {
+                name: get("name")?,
+                check: get("check")?,
+                binds,
+                expect,
+            }))
+        }
+        "kernel" => Ok(Some(CorpusEntry::Kernel {
+            name: get("name")?,
+            kernel: get("kernel")?,
+            seed: get("seed")?
+                .parse::<u64>()
+                .map_err(|e| malformed(format!("bad seed: {e}")))?,
+        })),
+        other => Err(malformed(format!("unknown kind `{other}`"))),
+    }
+}
+
+/// Parses every entry in one corpus file's contents.
+pub fn parse_corpus(text: &str, file: &Path) -> Result<Vec<CorpusEntry>, CorpusError> {
+    let mut out = Vec::new();
+    for block in text.split("\n---") {
+        if let Some(entry) = parse_entry(block, file)? {
+            out.push(entry);
+        }
+    }
+    Ok(out)
+}
+
+/// Loads every `.corpus` file in `dir` (sorted by name, so replay order
+/// is stable across platforms).
+pub fn load_dir(dir: &Path) -> Result<Vec<CorpusEntry>, CorpusError> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| CorpusError::Io(format!("{}: {e}", dir.display())))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "corpus"))
+        .collect();
+    files.sort();
+    let mut out = Vec::new();
+    for f in files {
+        let text = std::fs::read_to_string(&f)
+            .map_err(|e| CorpusError::Io(format!("{}: {e}", f.display())))?;
+        out.extend(parse_corpus(&text, &f)?);
+    }
+    Ok(out)
+}
+
+fn describe_compiled(r: &Result<bool, EvalError>) -> String {
+    match r {
+        Ok(v) => format!("Ok({v})"),
+        Err(e) => format!("Err({e})"),
+    }
+}
+
+/// Replays one entry; returns human-readable failure descriptions
+/// (empty = clean).
+pub fn replay(entry: &CorpusEntry, pool: &ThreadPool) -> Vec<String> {
+    match entry {
+        CorpusEntry::Array {
+            name,
+            shape,
+            domain,
+            expect_reject,
+            data,
+        } => {
+            let g = GeneratedArray {
+                shape: *shape,
+                data: data.clone(),
+                domain: *domain,
+                expect_reject: *expect_reject,
+            };
+            let mut out: Vec<String> = check_index_array(&g, pool)
+                .into_iter()
+                .map(|d: Divergence| format!("[{name}] {d}"))
+                .collect();
+            // Belt and braces: corpus data must still match its shape's
+            // advertised monotonicity class where one is implied.
+            let (nonstrict, _) = brute_force_monotone(data);
+            if matches!(shape, ArrayShape::Sawtooth) && nonstrict && data.len() > 1 {
+                out.push(format!(
+                    "[{name}] sawtooth entry degenerated to a monotone array"
+                ));
+            }
+            out
+        }
+        CorpusEntry::Predicate {
+            name,
+            check,
+            binds,
+            expect,
+        } => {
+            let parsed = match parse_check(check) {
+                Ok(c) => c,
+                Err(e) => return vec![format!("[{name}] check failed to parse: {e}")],
+            };
+            let compiled = match CompiledCheck::compile(&parsed) {
+                Ok(c) => c,
+                Err(e) => return vec![format!("[{name}] check failed to compile: {e}")],
+            };
+            let mut b = Bindings::new();
+            for bind in binds {
+                match bind.name.strip_suffix("_max") {
+                    Some(base) => b.set_post_max(base, bind.value),
+                    None => b.set_var(&bind.name, bind.value),
+                };
+            }
+            let got = compiled.eval(&b);
+            let matches_expect = matches!(
+                (&got, expect),
+                (Ok(true), PredicateExpect::True)
+                    | (Ok(false), PredicateExpect::False)
+                    | (Err(EvalError::Overflow { .. }), PredicateExpect::Overflow)
+                    | (Err(EvalError::Unbound { .. }), PredicateExpect::Unbound)
+            );
+            let mut out = Vec::new();
+            if !matches_expect {
+                out.push(format!(
+                    "[{name}] compiled evaluator returned {}, corpus expects {expect}",
+                    describe_compiled(&got)
+                ));
+            }
+            let reference = ref_eval(&parsed, &b);
+            if compare(&got, &reference) == PredicateAgreement::Diverged {
+                out.push(format!(
+                    "[{name}] compiled {} diverges from reference {:?}",
+                    describe_compiled(&got),
+                    reference
+                ));
+            }
+            out
+        }
+        CorpusEntry::Kernel { name, kernel, seed } => match kernel_by_name(kernel) {
+            Some(k) => check_kernel(k.as_ref(), *seed)
+                .into_iter()
+                .map(|d| format!("[{name}] {d}"))
+                .collect(),
+            None => vec![format!("[{name}] unknown kernel `{kernel}`")],
+        },
+    }
+}
+
+/// Replays every entry; returns all failures.
+pub fn replay_all(entries: &[CorpusEntry], pool: &ThreadPool) -> Vec<String> {
+    entries.iter().flat_map(|e| replay(e, pool)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(text: &str) -> CorpusEntry {
+        let mut v = parse_corpus(text, Path::new("test.corpus")).expect("parses");
+        assert_eq!(v.len(), 1);
+        v.remove(0)
+    }
+
+    #[test]
+    fn parses_all_three_kinds() {
+        let entries = parse_corpus(
+            "# comment\nkind: array\nname: a\nshape: plateau\ndomain: 10\nexpect: accept\n\
+             data: 3 3 3\n---\nkind: predicate\nname: p\ncheck: n <= m\nbind: n=1 m=2\n\
+             expect: true\n---\nkind: kernel\nname: k\nkernel: AMGmk\nseed: 7\n",
+            Path::new("test.corpus"),
+        )
+        .expect("parses");
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].name(), "a");
+        assert!(matches!(entries[1], CorpusEntry::Predicate { .. }));
+        assert!(matches!(entries[2], CorpusEntry::Kernel { .. }));
+    }
+
+    #[test]
+    fn malformed_entries_are_rejected_with_context() {
+        for bad in [
+            "kind: array\nname: a\nshape: nosuch\ndomain: 1\nexpect: accept\ndata:\n",
+            "kind: frobnicate\nname: x\n",
+            "name: missing-kind\n",
+            "kind: predicate\nname: p\ncheck: n <= m\nbind: n+1\nexpect: true\n",
+        ] {
+            assert!(
+                matches!(
+                    parse_corpus(bad, Path::new("t.corpus")),
+                    Err(CorpusError::Malformed { .. })
+                ),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn array_replay_catches_expectation_flips() {
+        let entry = parse_one(
+            "kind: array\nname: oob\nshape: out-of-domain\ndomain: 4\nexpect: accept\ndata: 9\n",
+        );
+        let pool = ThreadPool::new(2);
+        let failures = replay(&entry, &pool);
+        assert!(!failures.is_empty());
+        assert!(failures[0].contains("[oob]"), "{failures:?}");
+    }
+
+    #[test]
+    fn predicate_replay_checks_both_expectation_and_reference() {
+        let pool = ThreadPool::new(2);
+        let clean = parse_one(
+            "kind: predicate\nname: p\ncheck: a*b <= c\nbind: a=3037000500 b=3037000500 c=0\n\
+             expect: overflow\n",
+        );
+        assert!(replay(&clean, &pool).is_empty());
+        let flipped = parse_one(
+            "kind: predicate\nname: p2\ncheck: a*b <= c\nbind: a=3037000500 b=3037000500 c=0\n\
+             expect: true\n",
+        );
+        assert!(!replay(&flipped, &pool).is_empty());
+    }
+
+    #[test]
+    fn post_max_binds_round_trip() {
+        let pool = ThreadPool::new(2);
+        let entry = parse_one(
+            "kind: predicate\nname: pm\ncheck: n - 1 <= m_max\nbind: n=10 m_max=9\nexpect: true\n",
+        );
+        assert!(replay(&entry, &pool).is_empty());
+    }
+}

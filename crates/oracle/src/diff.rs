@@ -1,0 +1,413 @@
+//! The differential checks: each cross-examines one leg of the trust
+//! boundary against an independent ground truth.
+//!
+//! * [`check_index_array`] — inspector verdicts (serial scan and pooled
+//!   chunked scan) against the definitional brute-force scan, plus the
+//!   ingestion accept/reject expectation.
+//! * [`check_predicate`] — the compiled `i64` predicate against the
+//!   checked-`i128` reference evaluator, under the conservative-deny
+//!   trust rule ([`crate::refeval::compare`]).
+//! * [`check_kernel`] — a guarded parallel kernel execution against the
+//!   serial golden output, and (when the kernel can be tampered) that a
+//!   monotonicity-breaking mutation is *denied*, not admitted.
+//!
+//! Every violation is a structured [`Divergence`]; an empty result is
+//! the oracle's "no divergence" verdict.
+
+use crate::gen::{brute_force_monotone, GeneratedArray};
+use crate::refeval::{compare, ref_eval, PredicateAgreement, RefEvalError};
+use std::fmt;
+use subsub_kernels::common::close;
+use subsub_kernels::Kernel;
+use subsub_omprt::{Schedule, ThreadPool};
+use subsub_rtcheck::{
+    inspect_monotone, inspect_serial, Bindings, CheckExpr, CompiledCheck, EvalError, GuardPath,
+    GuardedExecutor, MonotoneVerdict, Provenance, ValidatedIndexArray,
+};
+use subsub_sparse::Rng64;
+
+/// One verdict/output divergence found by the oracle. Each variant
+/// carries enough to reproduce the failure without the campaign state.
+#[derive(Debug, Clone)]
+pub enum Divergence {
+    /// The serial or pooled inspector disagrees with the brute-force
+    /// definition of monotonicity (or with each other).
+    InspectorMismatch {
+        /// Shape label (or corpus id) of the offending array.
+        label: String,
+        /// The array, possibly shrunk to a minimal reproducer.
+        data: Vec<usize>,
+        /// Brute-force ground truth `(nonstrict, strict)`.
+        expected: (bool, bool),
+        /// The serial inspector's verdict.
+        serial: MonotoneVerdict,
+        /// The pooled inspector's verdict.
+        pooled: MonotoneVerdict,
+    },
+    /// Ingestion accepted an array it must reject, or vice versa.
+    IngestionMismatch {
+        /// Shape label of the offending array.
+        label: String,
+        /// The array.
+        data: Vec<usize>,
+        /// The domain it was validated against.
+        domain: usize,
+        /// Whether rejection was expected.
+        expect_reject: bool,
+        /// What ingestion actually said.
+        got: String,
+    },
+    /// Compiled predicate and reference evaluator disagree in a
+    /// direction the trust model forbids.
+    PredicateMismatch {
+        /// Pretty-printed check.
+        check: String,
+        /// Pretty-printed bindings (sym=value pairs).
+        bindings: String,
+        /// The compiled evaluator's result.
+        compiled: String,
+        /// The reference evaluator's result.
+        reference: String,
+    },
+    /// An admitted parallel kernel run produced output diverging from
+    /// the serial golden run.
+    KernelChecksumMismatch {
+        /// Kernel name.
+        kernel: String,
+        /// Campaign seed that selected pool size and schedule.
+        seed: u64,
+        /// Parallel checksum.
+        parallel: f64,
+        /// Serial golden checksum.
+        serial: f64,
+    },
+    /// The guard admitted the parallel path on a tampered index array
+    /// whose required monotonicity is broken.
+    KernelWronglyAdmitted {
+        /// Kernel name.
+        kernel: String,
+        /// Campaign seed.
+        seed: u64,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::InspectorMismatch {
+                label,
+                data,
+                expected,
+                serial,
+                pooled,
+            } => write!(
+                f,
+                "inspector mismatch [{label}] on {data:?}: brute force (nonstrict, strict) = \
+                 {expected:?}, serial = ({}, {}), pooled = ({}, {})",
+                serial.nonstrict, serial.strict, pooled.nonstrict, pooled.strict
+            ),
+            Divergence::IngestionMismatch {
+                label,
+                data,
+                domain,
+                expect_reject,
+                got,
+            } => write!(
+                f,
+                "ingestion mismatch [{label}] domain {domain}, expect_reject = {expect_reject}, \
+                 got {got}; data = {data:?}"
+            ),
+            Divergence::PredicateMismatch {
+                check,
+                bindings,
+                compiled,
+                reference,
+            } => write!(
+                f,
+                "predicate mismatch: `{check}` with [{bindings}]: compiled = {compiled}, \
+                 reference = {reference}"
+            ),
+            Divergence::KernelChecksumMismatch {
+                kernel,
+                seed,
+                parallel,
+                serial,
+            } => write!(
+                f,
+                "kernel {kernel} (seed {seed}): parallel checksum {parallel} diverges from \
+                 serial golden {serial}"
+            ),
+            Divergence::KernelWronglyAdmitted { kernel, seed } => write!(
+                f,
+                "kernel {kernel} (seed {seed}): tampered index array was ADMITTED to the \
+                 parallel path"
+            ),
+        }
+    }
+}
+
+/// Cross-checks the inspectors against brute force on one array, and
+/// ingestion against the array's accept/reject expectation.
+pub fn check_index_array(g: &GeneratedArray, pool: &ThreadPool) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    let expected = brute_force_monotone(&g.data);
+    let serial = inspect_serial(&g.data);
+    let pooled = inspect_monotone(&g.data, Some(pool));
+    let serial_pair = (serial.nonstrict, serial.strict);
+    let pooled_pair = (pooled.nonstrict, pooled.strict);
+    if serial_pair != expected || pooled_pair != expected {
+        out.push(Divergence::InspectorMismatch {
+            label: g.shape.to_string(),
+            data: g.data.clone(),
+            expected,
+            serial,
+            pooled,
+        });
+    }
+    // A reported violation index must point at a real violating pair.
+    for (v, which) in [(&serial, "serial"), (&pooled, "pooled")] {
+        if let Some(i) = v.first_violation {
+            let real = i > 0 && i < g.data.len() && g.data[i - 1] > g.data[i];
+            if !real {
+                out.push(Divergence::InspectorMismatch {
+                    label: format!("{} ({which} violation index {i} not real)", g.shape),
+                    data: g.data.clone(),
+                    expected,
+                    serial,
+                    pooled,
+                });
+            }
+        }
+    }
+    let ingested = ValidatedIndexArray::ingest(
+        "fuzz",
+        g.data.clone(),
+        g.domain,
+        Provenance::Generated { seed: 0 },
+    );
+    let rejected = ingested.is_err();
+    if rejected != g.expect_reject {
+        out.push(Divergence::IngestionMismatch {
+            label: g.shape.to_string(),
+            data: g.data.clone(),
+            domain: g.domain,
+            expect_reject: g.expect_reject,
+            got: match &ingested {
+                Ok(_) => "accepted".to_string(),
+                Err(e) => format!("rejected ({e})"),
+            },
+        });
+    }
+    out
+}
+
+fn show_compiled(r: &Result<bool, EvalError>) -> String {
+    match r {
+        Ok(v) => format!("Ok({v})"),
+        Err(e) => format!("Err({e})"),
+    }
+}
+
+fn show_reference(r: &Result<bool, RefEvalError>) -> String {
+    match r {
+        Ok(v) => format!("Ok({v})"),
+        Err(e) => format!("Err({e})"),
+    }
+}
+
+fn show_bindings(check: &CheckExpr, b: &Bindings) -> String {
+    check
+        .free_syms()
+        .iter()
+        .map(|s| match b.get(s) {
+            Some(v) => format!("{s}={v}"),
+            None => format!("{s}=<unbound>"),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Cross-checks the compiled predicate against the reference evaluator
+/// on one (check, bindings) pair.
+pub fn check_predicate(check: &CheckExpr, b: &Bindings) -> Vec<Divergence> {
+    let compiled = match CompiledCheck::compile(check) {
+        Ok(c) => c,
+        // Scalar-only restriction: nothing to cross-check.
+        Err(_) => return Vec::new(),
+    };
+    let got = compiled.eval(b);
+    let want = ref_eval(check, b);
+    if compare(&got, &want) == PredicateAgreement::Diverged {
+        vec![Divergence::PredicateMismatch {
+            check: check.to_string(),
+            bindings: show_bindings(check, b),
+            compiled: show_compiled(&got),
+            reference: show_reference(&want),
+        }]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Derives the pool size and schedule a campaign seed exercises for a
+/// kernel, so repeated seeds replay identically.
+fn execution_params(kernel: &str, seed: u64) -> (usize, Schedule) {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in kernel.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+    }
+    let mut rng = Rng64::seed_from_u64(h);
+    let threads = rng.gen_usize(2, 4);
+    let sched = match rng.gen_usize(0, 2) {
+        0 => Schedule::static_default(),
+        1 => Schedule::dynamic_default(),
+        _ => Schedule::Guided { min_chunk: 2 },
+    };
+    (threads, sched)
+}
+
+/// Runs one kernel differentially under a campaign seed:
+///
+/// 1. serial golden run;
+/// 2. guarded execution (inspection-admitted) of the outer-parallel
+///    variant on a seed-derived pool/schedule — its checksum must match
+///    the golden within [`close`];
+/// 3. if the kernel supports tampering, the tampered instance must be
+///    *denied* the parallel path and still complete (serially) with
+///    output matching its own serial golden.
+pub fn check_kernel(kernel: &dyn Kernel, seed: u64) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    let name = kernel.name();
+    let (threads, sched) = execution_params(name, seed);
+    let pool = ThreadPool::new(threads);
+
+    // Leg 1 + 2: admitted parallel output vs serial golden.
+    let mut inst = kernel.prepare("test");
+    inst.run_serial();
+    let golden = inst.checksum();
+    inst.reset();
+    let executor = GuardedExecutor::new(None).expect("no check always compiles");
+    let bindings = inst.runtime_bindings();
+    let decision = {
+        let arrays = inst.index_arrays();
+        executor.decide_recoverable(name, &bindings, &arrays, Some(&pool))
+    };
+    let versions: Vec<(String, u64)> = inst
+        .index_arrays()
+        .iter()
+        .map(|v| (v.name.to_string(), v.version))
+        .collect();
+    let versions_ref: Vec<(&str, u64)> = versions.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let cell = std::cell::RefCell::new(inst.as_mut());
+    let (checksum, _reason) = executor.execute_admitted(
+        name,
+        &decision,
+        &versions_ref,
+        || {
+            let mut i = cell.borrow_mut();
+            i.run_outer(&pool, sched);
+            Ok(i.checksum())
+        },
+        || cell.borrow_mut().reset(),
+        || {
+            let mut i = cell.borrow_mut();
+            i.run_serial();
+            i.checksum()
+        },
+    );
+    if !close(checksum, golden) {
+        out.push(Divergence::KernelChecksumMismatch {
+            kernel: name.to_string(),
+            seed,
+            parallel: checksum,
+            serial: golden,
+        });
+    }
+
+    // Leg 3: a tampered index array must be denied, and the degraded
+    // run must still match the tampered instance's own serial output.
+    let mut tampered = kernel.prepare("test");
+    if tampered.tamper_index_arrays() {
+        tampered.run_serial();
+        let tampered_golden = tampered.checksum();
+        tampered.reset();
+        let executor = GuardedExecutor::new(None).expect("no check always compiles");
+        let decision = {
+            let arrays = tampered.index_arrays();
+            executor.decide_recoverable(name, &bindings, &arrays, Some(&pool))
+        };
+        if decision.verdict.path == GuardPath::Parallel {
+            out.push(Divergence::KernelWronglyAdmitted {
+                kernel: name.to_string(),
+                seed,
+            });
+        } else {
+            tampered.run_serial();
+            if !close(tampered.checksum(), tampered_golden) {
+                out.push(Divergence::KernelChecksumMismatch {
+                    kernel: format!("{name} (tampered serial)"),
+                    seed,
+                    parallel: tampered.checksum(),
+                    serial: tampered_golden,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::ArrayShape;
+    use subsub_kernels::kernel_by_name;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(3)
+    }
+
+    #[test]
+    fn clean_arrays_have_no_divergence() {
+        let g = GeneratedArray {
+            shape: ArrayShape::StrictRamp,
+            data: (0..100).collect(),
+            domain: 100,
+            expect_reject: false,
+        };
+        assert!(check_index_array(&g, &pool()).is_empty());
+    }
+
+    #[test]
+    fn oob_array_must_reject() {
+        // expect_reject = false on data that IS out of domain: ingestion
+        // rejects it, which the oracle reports as an expectation miss.
+        let g = GeneratedArray {
+            shape: ArrayShape::OutOfDomain,
+            data: vec![0, 1, 99],
+            domain: 10,
+            expect_reject: false,
+        };
+        let d = check_index_array(&g, &pool());
+        assert!(matches!(d[0], Divergence::IngestionMismatch { .. }));
+    }
+
+    #[test]
+    fn predicate_overflow_is_not_a_divergence() {
+        let c = subsub_rtcheck::parse_check("a*b <= c").unwrap();
+        let mut b = Bindings::new();
+        b.set_var("a", 3_037_000_500)
+            .set_var("b", 3_037_000_500)
+            .set_var("c", 0);
+        assert!(
+            check_predicate(&c, &b).is_empty(),
+            "conservative deny is permitted"
+        );
+    }
+
+    #[test]
+    fn amgmk_runs_clean_under_a_seed() {
+        let k = kernel_by_name("AMGmk").unwrap();
+        let d = check_kernel(k.as_ref(), 7);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

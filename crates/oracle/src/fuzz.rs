@@ -1,0 +1,198 @@
+//! The seeded campaign driver: generate adversarial cases, run every
+//! differential check, shrink what fails, and summarize.
+//!
+//! A campaign is fully determined by its [`FuzzConfig`] — the same seed
+//! replays the same cases in the same order, so a CI failure reproduces
+//! locally with nothing but the seed.
+
+use crate::diff::{check_index_array, check_kernel, check_predicate, Divergence};
+use crate::gen::{brute_force_monotone, gen_array, gen_bindings, gen_check, ALL_SHAPES};
+use crate::shrink::shrink_array;
+use std::fmt;
+use subsub_kernels::all_kernels;
+use subsub_omprt::ThreadPool;
+use subsub_rtcheck::{inspect_monotone, inspect_serial};
+use subsub_sparse::Rng64;
+
+/// Knobs for one campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Master seed; everything else derives from it.
+    pub seed: u64,
+    /// Arrays generated per shape in [`ALL_SHAPES`].
+    pub arrays_per_shape: usize,
+    /// Number of (check, bindings) pairs generated.
+    pub predicates: usize,
+    /// Whether to sweep the full kernel registry (slow; CI does, unit
+    /// tests usually don't).
+    pub kernels: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seed: 7,
+            arrays_per_shape: 8,
+            predicates: 200,
+            kernels: false,
+        }
+    }
+}
+
+/// What a campaign did and what it found.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// The seed that drove it.
+    pub seed: u64,
+    /// Index arrays checked.
+    pub array_cases: usize,
+    /// Predicate pairs checked.
+    pub predicate_cases: usize,
+    /// Kernel × variant executions checked.
+    pub kernel_cases: usize,
+    /// Every divergence found, arrays shrunk to minimal reproducers.
+    pub divergences: Vec<Divergence>,
+}
+
+impl FuzzReport {
+    /// True when the campaign found no divergence.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+impl fmt::Display for FuzzReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "seed {}: {} arrays, {} predicates, {} kernel runs -> {} divergence(s)",
+            self.seed,
+            self.array_cases,
+            self.predicate_cases,
+            self.kernel_cases,
+            self.divergences.len()
+        )?;
+        for d in &self.divergences {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// True when either inspector disagrees with the brute-force scan —
+/// the shrink predicate for inspector divergences.
+fn inspector_diverges(data: &[usize], pool: &ThreadPool) -> bool {
+    let expected = brute_force_monotone(data);
+    let s = inspect_serial(data);
+    let p = inspect_monotone(data, Some(pool));
+    (s.nonstrict, s.strict) != expected || (p.nonstrict, p.strict) != expected
+}
+
+/// Runs one campaign under `cfg` on `pool`.
+pub fn run_campaign(cfg: &FuzzConfig, pool: &ThreadPool) -> FuzzReport {
+    let mut rng = Rng64::seed_from_u64(cfg.seed);
+    let mut report = FuzzReport {
+        seed: cfg.seed,
+        array_cases: 0,
+        predicate_cases: 0,
+        kernel_cases: 0,
+        divergences: Vec::new(),
+    };
+
+    // Leg 1: index arrays through ingestion and both inspectors.
+    for shape in ALL_SHAPES {
+        for _ in 0..cfg.arrays_per_shape {
+            let g = gen_array(&mut rng, shape);
+            report.array_cases += 1;
+            for d in check_index_array(&g, pool) {
+                report.divergences.push(match d {
+                    Divergence::InspectorMismatch { label, data, .. }
+                        if inspector_diverges(&data, pool) =>
+                    {
+                        let minimal = shrink_array(&data, |c| inspector_diverges(c, pool));
+                        let serial = inspect_serial(&minimal);
+                        let pooled = inspect_monotone(&minimal, Some(pool));
+                        Divergence::InspectorMismatch {
+                            label: format!("{label} (shrunk from {} elems)", data.len()),
+                            expected: brute_force_monotone(&minimal),
+                            data: minimal,
+                            serial,
+                            pooled,
+                        }
+                    }
+                    other => other,
+                });
+            }
+        }
+    }
+
+    // Leg 2: compiled predicate vs checked-i128 reference.
+    for _ in 0..cfg.predicates {
+        let check = gen_check(&mut rng);
+        let bindings = gen_bindings(&mut rng, &check);
+        report.predicate_cases += 1;
+        report
+            .divergences
+            .extend(check_predicate(&check, &bindings));
+    }
+
+    // Leg 3: guarded kernel executions vs serial goldens.
+    if cfg.kernels {
+        for kernel in all_kernels() {
+            report.kernel_cases += 1;
+            report
+                .divergences
+                .extend(check_kernel(kernel.as_ref(), cfg.seed));
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(3)
+    }
+
+    #[test]
+    fn pinned_seed_campaign_is_clean() {
+        let cfg = FuzzConfig {
+            seed: 7,
+            arrays_per_shape: 3,
+            predicates: 60,
+            kernels: false,
+        };
+        let report = run_campaign(&cfg, &pool());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.array_cases, 3 * ALL_SHAPES.len());
+        assert_eq!(report.predicate_cases, 60);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let cfg = FuzzConfig {
+            seed: 31337,
+            arrays_per_shape: 2,
+            predicates: 30,
+            kernels: false,
+        };
+        let p = pool();
+        let a = run_campaign(&cfg, &p);
+        let b = run_campaign(&cfg, &p);
+        assert_eq!(a.array_cases, b.array_cases);
+        assert_eq!(a.predicate_cases, b.predicate_cases);
+        assert_eq!(
+            a.divergences
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>(),
+            b.divergences
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! The slow, trusted reference evaluator for runtime checks.
+//!
+//! [`CompiledCheck`](subsub_rtcheck::CompiledCheck) flattens a check into
+//! slot-resolved `i64` difference form for speed. This module evaluates
+//! the *same canonical semantics* along an independent path: it interprets
+//! the symbolic [`Expr`](subsub_symbolic::Expr) terms directly (no slot
+//! compilation) in checked `i128` arithmetic — wide enough that no
+//! realistic predicate over `i64` bindings can overflow it, with no
+//! big-integer machinery. Any disagreement between the two is a bug in
+//! one of them; [`compare`] encodes which disagreements the trust model
+//! permits (the compiled path may *conservatively deny* on `i64`
+//! overflow, never the reverse).
+
+use std::fmt;
+use subsub_rtcheck::{Bindings, CheckExpr, EvalError};
+use subsub_symbolic::Atom;
+
+/// Why the reference evaluation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefEvalError {
+    /// A symbol the check needs has no value in the bindings.
+    Unbound {
+        /// Display form of the missing symbol.
+        symbol: String,
+    },
+    /// The difference overflowed even `i128` (requires degree ≥ 2 terms
+    /// with enormous coefficients; generated predicates cannot reach it).
+    Overflow,
+    /// The check contains an uninterpreted array read, which scalar
+    /// evaluation cannot resolve.
+    ArrayRead {
+        /// Name of the array being read.
+        array: String,
+    },
+}
+
+impl fmt::Display for RefEvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefEvalError::Unbound { symbol } => write!(f, "unbound symbol {symbol}"),
+            RefEvalError::Overflow => write!(f, "i128 overflow in reference evaluation"),
+            RefEvalError::ArrayRead { array } => write!(f, "array read {array} in scalar check"),
+        }
+    }
+}
+
+/// Evaluates `check` against `b` in checked `i128` arithmetic over the
+/// canonical difference forms.
+pub fn ref_eval(check: &CheckExpr, b: &Bindings) -> Result<bool, RefEvalError> {
+    for canon in check.canonical() {
+        let mut diff: i128 = 0;
+        for t in canon.diff.terms() {
+            let mut v: i128 = i128::from(t.coeff);
+            for a in &t.atoms {
+                let val = match a {
+                    Atom::Sym(s) => b.get(s).ok_or_else(|| RefEvalError::Unbound {
+                        symbol: s.to_string(),
+                    })?,
+                    Atom::Read { array, .. } => {
+                        return Err(RefEvalError::ArrayRead {
+                            array: array.to_string(),
+                        })
+                    }
+                };
+                v = v
+                    .checked_mul(i128::from(val))
+                    .ok_or(RefEvalError::Overflow)?;
+            }
+            diff = diff.checked_add(v).ok_or(RefEvalError::Overflow)?;
+        }
+        let holds = if canon.is_le {
+            diff <= 0
+        } else if canon.eq {
+            diff == 0
+        } else {
+            diff != 0
+        };
+        if !holds {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// How a compiled-vs-reference pair relates under the trust model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredicateAgreement {
+    /// Both evaluated and agreed.
+    Agree,
+    /// The compiled path denied on `i64` overflow while the reference
+    /// evaluated fine — the permitted conservative direction.
+    ConservativeDeny,
+    /// Both failed to evaluate (unbound symbol, etc.).
+    BothErr,
+    /// The two paths disagree in a way the trust model forbids.
+    Diverged,
+}
+
+/// Classifies a compiled result against the reference result.
+///
+/// Any compiled `Err` is a guard-level *deny*, which is always safe, so
+/// a compiled error against a reference verdict is the permitted
+/// conservative direction — `i64` overflow is the designed case, and an
+/// unbound symbol the reference never needed (it short-circuits on an
+/// earlier false conjunct; the compiled path resolves every binding up
+/// front) is the same deny. Forbidden: differing `Ok` verdicts (a plain
+/// evaluation bug in one path), and the compiled path *succeeding* where
+/// the reference cannot evaluate — `i128` covers everything `i64` can
+/// compute, so that direction means the compiled path read something the
+/// sound evaluator would refuse, exactly how a wrong admit starts.
+pub fn compare(
+    compiled: &Result<bool, EvalError>,
+    reference: &Result<bool, RefEvalError>,
+) -> PredicateAgreement {
+    match (compiled, reference) {
+        (Ok(a), Ok(b)) => {
+            if a == b {
+                PredicateAgreement::Agree
+            } else {
+                PredicateAgreement::Diverged
+            }
+        }
+        (Err(_), Ok(_)) => PredicateAgreement::ConservativeDeny,
+        (Err(_), Err(_)) => PredicateAgreement::BothErr,
+        (Ok(_), Err(_)) => PredicateAgreement::Diverged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsub_rtcheck::{parse_check, CompiledCheck};
+
+    fn eval_both(src: &str, b: &Bindings) -> (Result<bool, EvalError>, Result<bool, RefEvalError>) {
+        let c = parse_check(src).expect("test check parses");
+        let compiled = CompiledCheck::compile(&c).expect("scalar check compiles");
+        (compiled.eval(b), ref_eval(&c, b))
+    }
+
+    #[test]
+    fn simple_checks_agree() {
+        let mut b = Bindings::new();
+        b.set_var("n", 10).set_post_max("m", 9);
+        for (src, want) in [
+            ("n - 1 <= m_max", true),
+            ("n <= m_max", false),
+            ("n == 10", true),
+            ("n != 10", false),
+            ("n - 1 <= m_max && n > 0", true),
+        ] {
+            let (c, r) = eval_both(src, &b);
+            assert_eq!(r, Ok(want), "{src}");
+            assert_eq!(compare(&c, &r), PredicateAgreement::Agree, "{src}");
+        }
+    }
+
+    #[test]
+    fn i64_overflow_is_conservative_deny() {
+        let mut b = Bindings::new();
+        b.set_var("a", 3_037_000_500)
+            .set_var("b", 3_037_000_500)
+            .set_var("c", 0);
+        let (c, r) = eval_both("a*b <= c", &b);
+        assert!(matches!(c, Err(EvalError::Overflow { .. })));
+        // The reference evaluates exactly: 3037000500² > 0 is false.
+        assert_eq!(r, Ok(false));
+        assert_eq!(compare(&c, &r), PredicateAgreement::ConservativeDeny);
+    }
+
+    #[test]
+    fn unbound_symbols_agree() {
+        let b = Bindings::new();
+        let (c, r) = eval_both("n <= m", &b);
+        assert!(matches!(c, Err(EvalError::Unbound { .. })));
+        assert!(matches!(r, Err(RefEvalError::Unbound { .. })));
+        assert_eq!(compare(&c, &r), PredicateAgreement::BothErr);
+    }
+
+    #[test]
+    fn short_circuit_unbound_is_conservative_deny() {
+        // The reference decides on the bound false conjunct; the compiled
+        // path resolves every binding up front and denies on the unbound
+        // one. Deny is the permitted direction.
+        let mut b = Bindings::new();
+        b.set_var("a", 5);
+        // Canonical order sorts `a - 1` before `m - 3`, so the reference
+        // sees the bound false conjunct first.
+        let (c, r) = eval_both("a <= 1 && m <= 3", &b);
+        assert!(matches!(c, Err(EvalError::Unbound { .. })));
+        assert_eq!(r, Ok(false));
+        assert_eq!(compare(&c, &r), PredicateAgreement::ConservativeDeny);
+    }
+
+    #[test]
+    fn forbidden_directions_are_diverged() {
+        assert_eq!(compare(&Ok(true), &Ok(false)), PredicateAgreement::Diverged);
+        assert_eq!(
+            compare(&Ok(true), &Err(RefEvalError::Overflow)),
+            PredicateAgreement::Diverged,
+            "compiled success where the reference overflows could wrongly admit"
+        );
+        assert_eq!(
+            compare(
+                &Ok(false),
+                &Err(RefEvalError::Unbound { symbol: "n".into() })
+            ),
+            PredicateAgreement::Diverged
+        );
+    }
+
+    #[test]
+    fn i64_edge_bindings_evaluate_exactly() {
+        let mut b = Bindings::new();
+        b.set_var("n", i64::MAX).set_var("m", i64::MIN + 1);
+        // n - m = MAX - (MIN+1) = 2^64 - 2: overflows i64 but not i128.
+        let (c, r) = eval_both("n <= m", &b);
+        assert_eq!(r, Ok(false));
+        match compare(&c, &r) {
+            PredicateAgreement::Agree | PredicateAgreement::ConservativeDeny => {}
+            other => panic!("forbidden relation: {other:?}"),
+        }
+    }
+}

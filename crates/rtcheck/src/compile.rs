@@ -42,12 +42,24 @@ pub enum EvalError {
         /// The missing symbol, in display form (e.g. `irownnz_max`).
         symbol: String,
     },
+    /// Evaluating the predicate overflowed `i64`. A wrapped difference can
+    /// flip a comparison and wrongly *admit* parallelism, so overflow is a
+    /// hard evaluation failure: the guard treats it as unevaluable and
+    /// conservatively denies (serial fallback).
+    Overflow {
+        /// Which conjunct (0-based, canonical order) overflowed.
+        conjunct: usize,
+    },
 }
 
 impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::Unbound { symbol } => write!(f, "unbound check symbol {symbol}"),
+            EvalError::Overflow { conjunct } => write!(
+                f,
+                "arithmetic overflow evaluating conjunct {conjunct} (conservative deny)"
+            ),
         }
     }
 }
@@ -134,7 +146,57 @@ impl CompiledCheck {
     }
 
     /// Evaluates the predicate against a runtime environment.
+    ///
+    /// All arithmetic is *checked*: an `i64` overflow anywhere in a
+    /// conjunct returns [`EvalError::Overflow`] instead of wrapping. A
+    /// wrapped product or sum can flip the sign of the difference and turn
+    /// a false precondition into an apparent true one — i.e. silently
+    /// admit a data race — so overflow must surface as a failure the guard
+    /// maps to a conservative serial fallback.
     pub fn eval(&self, b: &Bindings) -> Result<bool, EvalError> {
+        let slots = self.fill_slots(b)?;
+        for (ci, c) in self.cmps.iter().enumerate() {
+            let overflow = || EvalError::Overflow { conjunct: ci };
+            let mut diff = c.constant;
+            for t in &c.terms {
+                let mut v = t.coeff;
+                for &slot in &t.slots {
+                    v = v.checked_mul(slots[slot]).ok_or_else(overflow)?;
+                }
+                diff = diff.checked_add(v).ok_or_else(overflow)?;
+            }
+            if !c.holds(diff) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The pre-hardening evaluation semantics: wrapping arithmetic, no
+    /// overflow detection. **Unsound** — a wrapped difference can admit a
+    /// parallel run whose precondition is actually false. Kept only so
+    /// regression tests (and the differential oracle) can demonstrate the
+    /// admit-on-overflow behaviour this crate used to have; never call it
+    /// on the execution path.
+    pub fn eval_wrapping_unsound(&self, b: &Bindings) -> Result<bool, EvalError> {
+        let slots = self.fill_slots(b)?;
+        for c in &self.cmps {
+            let mut diff = c.constant;
+            for t in &c.terms {
+                let mut v = t.coeff;
+                for &slot in &t.slots {
+                    v = v.wrapping_mul(slots[slot]);
+                }
+                diff = diff.wrapping_add(v);
+            }
+            if !c.holds(diff) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn fill_slots(&self, b: &Bindings) -> Result<Vec<i64>, EvalError> {
         let mut slots = Vec::with_capacity(self.syms.len());
         for s in &self.syms {
             match b.get(s) {
@@ -146,27 +208,20 @@ impl CompiledCheck {
                 }
             }
         }
-        for c in &self.cmps {
-            let mut diff = c.constant;
-            for t in &c.terms {
-                let mut v = t.coeff;
-                for &slot in &t.slots {
-                    v = v.wrapping_mul(slots[slot]);
-                }
-                diff = diff.wrapping_add(v);
-            }
-            let holds = if c.is_le {
-                diff <= 0
-            } else if c.eq {
-                diff == 0
-            } else {
-                diff != 0
-            };
-            if !holds {
-                return Ok(false);
-            }
+        Ok(slots)
+    }
+}
+
+impl FlatCmp {
+    /// Whether a computed difference satisfies this conjunct's comparison.
+    fn holds(&self, diff: i64) -> bool {
+        if self.is_le {
+            diff <= 0
+        } else if self.eq {
+            diff == 0
+        } else {
+            diff != 0
         }
-        Ok(true)
     }
 }
 
@@ -247,6 +302,70 @@ mod tests {
         let names: Vec<String> = p.required_symbols().iter().map(|s| s.to_string()).collect();
         assert!(names.contains(&"n".to_string()));
         assert!(names.contains(&"irownnz_max".to_string()));
+    }
+
+    /// `a*b <= c` with `a = b = 3_037_000_500` overflows `i64`
+    /// (`a*b ≈ 9.22e18 > i64::MAX`). The true difference is positive, so
+    /// the precondition is false and parallelism must be denied.
+    fn overflowing_bindings() -> Bindings {
+        let mut b = Bindings::new();
+        b.set_var("a", 3_037_000_500)
+            .set_var("b", 3_037_000_500)
+            .set_var("c", 0);
+        b
+    }
+
+    #[test]
+    fn overflow_is_detected_and_denies() {
+        let c = parse_check("a*b <= c").unwrap();
+        let p = CompiledCheck::compile(&c).unwrap();
+        assert_eq!(
+            p.eval(&overflowing_bindings()),
+            Err(EvalError::Overflow { conjunct: 0 }),
+            "checked evaluation must refuse to produce a verdict"
+        );
+    }
+
+    #[test]
+    fn wrapping_path_wrongly_admitted_the_overflow_case() {
+        // Paired regression: the pre-hardening semantics wrapped the
+        // product negative, making `diff <= 0` hold — an unsound ADMIT.
+        // This documents the vulnerability the checked path closes.
+        let c = parse_check("a*b <= c").unwrap();
+        let p = CompiledCheck::compile(&c).unwrap();
+        assert_eq!(
+            p.eval_wrapping_unsound(&overflowing_bindings()),
+            Ok(true),
+            "the old wrapping evaluation admitted the false precondition"
+        );
+    }
+
+    #[test]
+    fn additive_overflow_near_i64_max_denies() {
+        // Purely additive overflow: n + m with both near i64::MAX.
+        let c = parse_check("n + m <= k").unwrap();
+        let p = CompiledCheck::compile(&c).unwrap();
+        let mut b = Bindings::new();
+        b.set_var("n", i64::MAX - 1)
+            .set_var("m", i64::MAX - 1)
+            .set_var("k", 5);
+        assert_eq!(p.eval(&b), Err(EvalError::Overflow { conjunct: 0 }));
+        // The same shape without overflow still evaluates normally.
+        let mut ok = Bindings::new();
+        ok.set_var("n", 2).set_var("m", 2).set_var("k", 5);
+        assert_eq!(p.eval(&ok), Ok(true));
+    }
+
+    #[test]
+    fn i64_max_bindings_evaluate_when_no_overflow_occurs() {
+        // Extreme-but-representable values are not rejected: `n <= m`
+        // with both at i64::MAX computes diff = MAX - MAX = 0... but the
+        // subtraction is expressed as MAX + (-1)*MAX, each step in range.
+        let c = parse_check("n <= m").unwrap();
+        let p = CompiledCheck::compile(&c).unwrap();
+        let mut b = Bindings::new();
+        b.set_var("n", i64::MAX).set_var("m", i64::MAX);
+        assert_eq!(p.eval(&b), Ok(true));
     }
 
     #[test]

@@ -38,6 +38,17 @@ pub enum ExecError {
         /// A violating index, when one was recorded.
         first_violation: Option<usize>,
     },
+    /// An index array was rejected at the ingestion trust boundary: an
+    /// entry fell outside the target array's domain, or the content
+    /// checksum no longer matches what was validated (an out-of-band
+    /// writer). Dispatching on such an array would be undefined behaviour
+    /// behind the `unsafe` gather/scatter, so rejection denies up front.
+    InvalidIndexArray {
+        /// The offending array.
+        array: String,
+        /// What the validator found.
+        detail: String,
+    },
     /// An index array's write-version changed between inspection and
     /// dispatch: the verdict may describe stale contents, so the
     /// invocation is not admitted.
@@ -95,6 +106,9 @@ impl std::fmt::Display for ExecError {
                 }
                 Ok(())
             }
+            ExecError::InvalidIndexArray { array, detail } => {
+                write!(f, "index array {array} rejected at ingestion: {detail}")
+            }
             ExecError::TamperDetected { array } => {
                 write!(
                     f,
@@ -135,6 +149,10 @@ mod tests {
                 array: "b".into(),
                 required: MonotoneReq::Strict,
                 first_violation: Some(3),
+            },
+            ExecError::InvalidIndexArray {
+                array: "b".into(),
+                detail: "entry 3 out of domain".into(),
             },
             ExecError::TamperDetected { array: "b".into() },
             ExecError::Timeout,

@@ -34,7 +34,8 @@ use crate::cache::{CacheStats, InspectorCache};
 use crate::compile::{CompileError, CompiledCheck};
 use crate::error::ExecError;
 use crate::expr::CheckExpr;
-use crate::inspect::{IndexArrayView, MonotoneVerdict};
+use crate::inspect::{IndexArrayView, MonotoneReq, MonotoneVerdict};
+use crate::validate::ValidatedIndexArray;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use subsub_failpoint::{self as failpoint, Action};
@@ -111,6 +112,9 @@ pub struct GuardStats {
     /// Index arrays whose version drifted between inspection and
     /// dispatch (each denied the parallel path).
     pub tamper_detections: u64,
+    /// Index arrays rejected at the ingestion trust boundary (failed
+    /// re-verification in [`GuardedExecutor::decide_ingested`]).
+    pub validation_rejections: u64,
     /// Times a fault opened a kernel's circuit breaker.
     pub breaker_trips: u64,
     /// Invocations denied up front by an open breaker.
@@ -133,6 +137,7 @@ pub struct GuardedExecutor {
     retries: AtomicU64,
     retry_successes: AtomicU64,
     tamper_detections: AtomicU64,
+    validation_rejections: AtomicU64,
     breaker_trips: AtomicU64,
     breaker_short_circuits: AtomicU64,
 }
@@ -155,6 +160,7 @@ impl GuardedExecutor {
             retries: AtomicU64::new(0),
             retry_successes: AtomicU64::new(0),
             tamper_detections: AtomicU64::new(0),
+            validation_rejections: AtomicU64::new(0),
             breaker_trips: AtomicU64::new(0),
             breaker_short_circuits: AtomicU64::new(0),
         })
@@ -228,6 +234,45 @@ impl GuardedExecutor {
             };
         }
         let (verdict, inspected) = self.evaluate(bindings, arrays, pool);
+        Decision { verdict, inspected }
+    }
+
+    /// Phase 1 over *ingested* index arrays: the trust-boundary form of
+    /// [`GuardedExecutor::decide_recoverable`]. Before any inspection,
+    /// every [`ValidatedIndexArray`] is re-verified (checksum + domain) —
+    /// an array a writer mutated without going through the boundary, or
+    /// that somehow holds an out-of-domain subscript, denies up front
+    /// with [`ExecError::InvalidIndexArray`]. Only arrays that pass are
+    /// viewed and inspected, so the `unsafe` gather/scatter downstream
+    /// never dispatches on unvalidated subscripts.
+    pub fn decide_ingested(
+        &self,
+        kernel: &str,
+        bindings: &Bindings,
+        arrays: &[(&ValidatedIndexArray, MonotoneReq)],
+        pool: Option<&ThreadPool>,
+    ) -> Decision {
+        if let Err(remaining) = self.breaker.admit(kernel) {
+            self.breaker_short_circuits.fetch_add(1, Ordering::Relaxed);
+            return Decision {
+                verdict: GuardVerdict::serial(ExecError::BreakerOpen { remaining }),
+                inspected: Vec::new(),
+            };
+        }
+        for (array, _) in arrays {
+            if let Err(e) = array.verify() {
+                self.validation_rejections.fetch_add(1, Ordering::Relaxed);
+                return Decision {
+                    verdict: GuardVerdict::serial(e.into()),
+                    inspected: Vec::new(),
+                };
+            }
+        }
+        let views: Vec<IndexArrayView<'_>> = arrays
+            .iter()
+            .map(|(array, required)| array.view(*required))
+            .collect();
+        let (verdict, inspected) = self.evaluate(bindings, &views, pool);
         Decision { verdict, inspected }
     }
 
@@ -450,6 +495,7 @@ impl GuardedExecutor {
             retries: self.retries.load(Ordering::Relaxed),
             retry_successes: self.retry_successes.load(Ordering::Relaxed),
             tamper_detections: self.tamper_detections.load(Ordering::Relaxed),
+            validation_rejections: self.validation_rejections.load(Ordering::Relaxed),
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             breaker_short_circuits: self.breaker_short_circuits.load(Ordering::Relaxed),
             cache: self.cache.stats(),
@@ -497,6 +543,76 @@ mod tests {
         assert_eq!(v.path, GuardPath::Serial);
         assert!(matches!(v.reason, Some(ExecError::CheckUnevaluable { .. })));
         assert!(v.reason.unwrap().to_string().contains("not evaluable"));
+    }
+
+    #[test]
+    fn overflowing_check_denies_at_guard_level() {
+        // a*b wraps past i64::MAX: the hardened evaluator reports
+        // Overflow, which the guard classifies as CheckUnevaluable —
+        // conservative serial fallback, never a wrongly-admitted
+        // parallel run.
+        let c = parse_check("a*b <= c").unwrap();
+        let e = GuardedExecutor::new(Some(&c)).unwrap();
+        let mut b = Bindings::new();
+        b.set_var("a", 3_037_000_500)
+            .set_var("b", 3_037_000_500)
+            .set_var("c", 0);
+        let v = e.decide(&b, &[], None);
+        assert_eq!(v.path, GuardPath::Serial);
+        match v.reason {
+            Some(ExecError::CheckUnevaluable { detail }) => {
+                assert!(detail.contains("overflow"), "{detail}");
+            }
+            other => panic!("wrong reason: {other:?}"),
+        }
+        assert_eq!(e.stats().check_failures, 1);
+    }
+
+    #[test]
+    fn ingested_arrays_admit_through_the_boundary() {
+        let e = GuardedExecutor::new(None).unwrap();
+        let a = ValidatedIndexArray::ingest(
+            "b",
+            vec![0, 1, 2, 3],
+            10,
+            crate::validate::Provenance::Untrusted {
+                source: "test".into(),
+            },
+        )
+        .unwrap();
+        let d = e.decide_ingested("k", &Bindings::new(), &[(&a, MonotoneReq::Strict)], None);
+        assert_eq!(d.verdict.path, GuardPath::Parallel);
+        assert_eq!(d.inspected, vec![("b".to_string(), 0)]);
+        assert_eq!(e.stats().validation_rejections, 0);
+    }
+
+    #[test]
+    fn bypassing_writer_denies_before_inspection() {
+        let e = GuardedExecutor::new(None).unwrap();
+        let mut a = ValidatedIndexArray::ingest(
+            "b",
+            vec![0, 1, 2, 3],
+            10,
+            crate::validate::Provenance::Untrusted {
+                source: "test".into(),
+            },
+        )
+        .unwrap();
+        // A hostile writer mutates the data without announcing it: the
+        // contents are still in domain (and still monotone), but the
+        // checksum no longer matches the validated state.
+        a.bypass_validation_mut()[1] = 2;
+        let d = e.decide_ingested("k", &Bindings::new(), &[(&a, MonotoneReq::NonStrict)], None);
+        assert_eq!(d.verdict.path, GuardPath::Serial);
+        match d.verdict.reason {
+            Some(ExecError::InvalidIndexArray { array, detail }) => {
+                assert_eq!(array, "b");
+                assert!(detail.contains("checksum"), "{detail}");
+            }
+            other => panic!("wrong reason: {other:?}"),
+        }
+        assert!(d.inspected.is_empty(), "rejected before inspection");
+        assert_eq!(e.stats().validation_rejections, 1);
     }
 
     #[test]

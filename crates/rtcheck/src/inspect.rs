@@ -78,8 +78,10 @@ pub struct IndexArrayView<'a> {
     pub required: MonotoneReq,
 }
 
-/// Below this length a serial scan beats the fork-join cost.
-const PAR_THRESHOLD: usize = 8192;
+/// Below this length a serial scan beats the fork-join cost. Public so
+/// adversarial harnesses can construct arrays that exercise the parallel
+/// scan's chunk-boundary fixup.
+pub const PAR_THRESHOLD: usize = 8192;
 
 /// Inspects `data` for monotonicity. With a pool and a large enough array
 /// the scan is chunk-parallel; the verdict is identical either way. A
@@ -269,5 +271,84 @@ mod tests {
         let v = inspect_monotone(&[3, 1, 2], Some(&pool));
         assert!(!v.nonstrict);
         assert_eq!(v.first_violation, Some(1));
+    }
+
+    #[test]
+    fn degenerate_inputs_serial_and_pooled_agree() {
+        // Adversarial degenerate shapes: the serial and pooled scans must
+        // agree on the (nonstrict, strict) flags for every one of them.
+        // Violation indices may differ (cancellation semantics), but any
+        // reported index must point at a real violating pair.
+        let pool = ThreadPool::new(3);
+        let cases: Vec<Vec<usize>> = vec![
+            vec![],
+            vec![0],
+            vec![usize::MAX],
+            vec![usize::MAX, usize::MAX],
+            vec![usize::MAX - 1, usize::MAX],
+            vec![usize::MAX, 0],
+            vec![0, usize::MAX],
+            vec![7; 17],
+            vec![7; PAR_THRESHOLD + 5],
+            (0..PAR_THRESHOLD + 9).map(|i| i / 2).collect(),
+            (0..PAR_THRESHOLD + 9)
+                .map(|i| usize::MAX - (PAR_THRESHOLD + 9) + i)
+                .collect(),
+        ];
+        for data in &cases {
+            let serial = inspect_serial(data);
+            let pooled = inspect_monotone(data, Some(&pool));
+            assert_eq!(
+                serial.nonstrict,
+                pooled.nonstrict,
+                "{:?}…",
+                &data[..data.len().min(4)]
+            );
+            assert_eq!(
+                serial.strict,
+                pooled.strict,
+                "{:?}…",
+                &data[..data.len().min(4)]
+            );
+            for v in [&serial, &pooled] {
+                if let Some(i) = v.first_violation {
+                    assert!(i > 0 && i < data.len() && data[i - 1] > data[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vacuous_inputs_are_strict_for_both_paths() {
+        let pool = ThreadPool::new(2);
+        for data in [vec![], vec![42]] {
+            for v in [inspect_serial(&data), inspect_monotone(&data, Some(&pool))] {
+                assert!(v.strict && v.nonstrict && v.first_violation.is_none());
+                assert_eq!(v.len, data.len());
+            }
+        }
+    }
+
+    #[test]
+    fn all_equal_plateau_through_the_parallel_path() {
+        // A plateau long enough to engage the chunked scan: every chunk
+        // AND every chunk-join pair is an equality — nonstrict only.
+        let pool = ThreadPool::new(4);
+        let data = vec![3; PAR_THRESHOLD * 2];
+        let v = inspect_monotone(&data, Some(&pool));
+        assert!(v.nonstrict && !v.strict && v.first_violation.is_none());
+    }
+
+    #[test]
+    fn max_entries_do_not_wrap_the_parallel_scan() {
+        // Entries adjacent to usize::MAX must not overflow any chunk-size
+        // or comparison arithmetic in the pooled path.
+        let pool = ThreadPool::new(4);
+        let n = PAR_THRESHOLD + 1;
+        let mut data: Vec<usize> = (0..n).map(|i| usize::MAX - n + i).collect();
+        assert!(inspect_monotone(&data, Some(&pool)).strict);
+        data[n / 2] = usize::MAX; // plateau at MAX further right, then decrease
+        let v = inspect_monotone(&data, Some(&pool));
+        assert_eq!(v.nonstrict, inspect_serial(&data).nonstrict);
     }
 }

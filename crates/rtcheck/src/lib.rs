@@ -28,6 +28,11 @@
 //!   fallback is a classified error, transient machinery faults get one
 //!   bounded retry, and a kernel whose parallel path keeps faulting is
 //!   pinned to serial for a cooldown before a half-open re-trial.
+//! * [`ValidatedIndexArray`] — the ingestion trust boundary: the one
+//!   sanctioned path from raw subscript data into inspection and
+//!   dispatch, validating every entry against the target array's domain
+//!   and tracking mutations (version + checksum) so out-of-band writers
+//!   are caught before the `unsafe` gather/scatter ever sees them.
 
 pub mod bindings;
 pub mod breaker;
@@ -37,6 +42,7 @@ pub mod error;
 pub mod expr;
 pub mod guard;
 pub mod inspect;
+pub mod validate;
 
 pub use bindings::Bindings;
 pub use breaker::{BreakerState, CircuitBreaker};
@@ -47,5 +53,6 @@ pub use expr::{parse_check, CheckExpr, CmpOp, ParseError};
 pub use guard::{Decision, GuardPath, GuardStats, GuardVerdict, GuardedExecutor};
 pub use inspect::{
     inspect_monotone, inspect_serial, try_inspect_monotone, IndexArrayView, MonotoneReq,
-    MonotoneVerdict,
+    MonotoneVerdict, PAR_THRESHOLD,
 };
+pub use validate::{Provenance, ValidatedIndexArray, ValidationError};

@@ -1,0 +1,387 @@
+//! The ingestion trust boundary for index arrays.
+//!
+//! Everything downstream of this module — the inspector, the memo cache,
+//! the guard's tamper gate, and ultimately the `unsafe` gather/scatter in
+//! the kernels — *assumes* that every subscript is a valid index into the
+//! target array. That assumption is exactly what a hostile (or merely
+//! buggy) input can break: an out-of-range entry behind `unsafe` indexing
+//! is undefined behaviour, not a wrong answer.
+//!
+//! [`ValidatedIndexArray`] is the one sanctioned path from raw
+//! `&[usize]` data (files, generators, benchmark datasets) into
+//! inspection and dispatch:
+//!
+//! * **ingestion** validates every entry against the target array's
+//!   domain and rejects with a structured [`ValidationError`] (which the
+//!   guard maps onto [`crate::ExecError::InvalidIndexArray`] — a serial
+//!   fallback, never UB);
+//! * **mutation** goes through [`ValidatedIndexArray::mutate`], which
+//!   re-validates, bumps the write-version (invalidating cached
+//!   verdicts) and refreshes the content checksum; a mutation that would
+//!   leave the array out of domain is rolled back;
+//! * **verification** ([`ValidatedIndexArray::verify`]) re-checks the
+//!   checksum and domain, catching out-of-band writers that bypassed the
+//!   boundary (the hostile-writer model of the PR 3 tamper tests).
+//!
+//! The array also carries a [`Provenance`] tag so a rejection or a
+//! divergence report can say *where* the bytes came from.
+
+use crate::inspect::{IndexArrayView, MonotoneReq};
+use std::fmt;
+
+/// Where an index array's contents came from, for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Provenance {
+    /// Produced by a deterministic generator (datasets, fuzzers).
+    Generated {
+        /// The generator seed, for reproduction.
+        seed: u64,
+    },
+    /// Materialized from a named benchmark dataset.
+    Dataset {
+        /// Dataset name (e.g. `"MATRIX2"`, `"test"`).
+        name: String,
+    },
+    /// Arbitrary external input (file, network, caller-supplied slice).
+    Untrusted {
+        /// Free-form description of the source.
+        source: String,
+    },
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Provenance::Generated { seed } => write!(f, "generated (seed {seed})"),
+            Provenance::Dataset { name } => write!(f, "dataset {name}"),
+            Provenance::Untrusted { source } => write!(f, "untrusted ({source})"),
+        }
+    }
+}
+
+/// Why ingestion (or re-verification) rejected an index array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// An entry indexes past the target array's domain.
+    OutOfDomain {
+        /// The array's declared name.
+        array: String,
+        /// Position of the offending entry.
+        index: usize,
+        /// The offending subscript value.
+        value: usize,
+        /// Exclusive upper bound the entry had to stay below.
+        domain: usize,
+    },
+    /// The content checksum does not match the last validated state: a
+    /// writer mutated the data without going through the trust boundary.
+    ChecksumMismatch {
+        /// The array's declared name.
+        array: String,
+    },
+}
+
+impl ValidationError {
+    /// The name of the array the error is about.
+    pub fn array(&self) -> &str {
+        match self {
+            ValidationError::OutOfDomain { array, .. } => array,
+            ValidationError::ChecksumMismatch { array } => array,
+        }
+    }
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::OutOfDomain {
+                array,
+                index,
+                value,
+                domain,
+            } => write!(
+                f,
+                "{array}[{index}] = {value} is outside the target domain [0, {domain})"
+            ),
+            ValidationError::ChecksumMismatch { array } => write!(
+                f,
+                "{array} content checksum drifted since validation (out-of-band writer)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl From<ValidationError> for crate::error::ExecError {
+    fn from(e: ValidationError) -> crate::error::ExecError {
+        crate::error::ExecError::InvalidIndexArray {
+            array: e.array().to_string(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// An index array that passed domain validation at ingestion and is
+/// tracked (version + checksum) across mutations. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ValidatedIndexArray {
+    name: String,
+    data: Vec<usize>,
+    /// Exclusive upper bound every entry must stay below: the length of
+    /// the target array the subscripts index into.
+    domain: usize,
+    version: u64,
+    checksum: u64,
+    provenance: Provenance,
+}
+
+/// FNV-1a over the entries plus the length; cheap, deterministic, and
+/// sensitive to any single-entry flip — exactly what the out-of-band
+/// writer check needs (this is an integrity fingerprint, not a
+/// cryptographic MAC).
+fn fingerprint(data: &[usize]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (data.len() as u64);
+    for &v in data {
+        for b in (v as u64).to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn scan_domain(name: &str, data: &[usize], domain: usize) -> Result<(), ValidationError> {
+    if let Some((index, &value)) = data.iter().enumerate().find(|&(_, &v)| v >= domain) {
+        return Err(ValidationError::OutOfDomain {
+            array: name.to_string(),
+            index,
+            value,
+            domain,
+        });
+    }
+    Ok(())
+}
+
+impl ValidatedIndexArray {
+    /// Validates `data` against `domain` (the exclusive bound its entries
+    /// index into) and takes ownership. The only constructor: there is no
+    /// way to hold a `ValidatedIndexArray` with an out-of-domain entry.
+    pub fn ingest(
+        name: impl Into<String>,
+        data: Vec<usize>,
+        domain: usize,
+        provenance: Provenance,
+    ) -> Result<ValidatedIndexArray, ValidationError> {
+        let name = name.into();
+        scan_domain(&name, &data, domain)?;
+        let checksum = fingerprint(&data);
+        Ok(ValidatedIndexArray {
+            name,
+            data,
+            domain,
+            version: 0,
+            checksum,
+            provenance,
+        })
+    }
+
+    /// The array's declared name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The validated contents.
+    pub fn data(&self) -> &[usize] {
+        &self.data
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the array has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The exclusive domain bound entries were validated against.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Current write-version (bumped on every successful mutation).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Where the contents came from.
+    pub fn provenance(&self) -> &Provenance {
+        &self.provenance
+    }
+
+    /// An inspection/dispatch view carrying the identity and version the
+    /// memo cache and the guard's tamper gate key on.
+    pub fn view(&self, required: MonotoneReq) -> IndexArrayView<'_> {
+        IndexArrayView {
+            name: &self.name,
+            data: &self.data,
+            version: self.version,
+            required,
+        }
+    }
+
+    /// Mutates the contents through the trust boundary: applies `f`,
+    /// re-validates the domain, bumps the version and refreshes the
+    /// checksum. A mutation that would leave an out-of-domain entry is
+    /// rolled back (the array stays in its previous validated state) and
+    /// the error is returned.
+    ///
+    /// Note the boundary validates *memory safety* (domain), not the
+    /// dependence property: a mutation may freely break monotonicity —
+    /// detecting that is the inspector's job, and the version bump
+    /// guarantees it re-runs.
+    pub fn mutate(&mut self, f: impl FnOnce(&mut Vec<usize>)) -> Result<(), ValidationError> {
+        let snapshot = self.data.clone();
+        f(&mut self.data);
+        if let Err(e) = scan_domain(&self.name, &self.data, self.domain) {
+            self.data = snapshot;
+            return Err(e);
+        }
+        self.version += 1;
+        self.checksum = fingerprint(&self.data);
+        Ok(())
+    }
+
+    /// Re-verifies the integrity of the contents: the checksum must match
+    /// the last validated state and every entry must still be in domain.
+    /// Fails when a writer mutated the data without going through
+    /// [`ValidatedIndexArray::mutate`] — the hostile-writer scenario the
+    /// guard must refuse to dispatch on.
+    pub fn verify(&self) -> Result<(), ValidationError> {
+        if fingerprint(&self.data) != self.checksum {
+            return Err(ValidationError::ChecksumMismatch {
+                array: self.name.clone(),
+            });
+        }
+        scan_domain(&self.name, &self.data, self.domain)
+    }
+
+    /// Raw mutable access that **bypasses** version and checksum
+    /// bookkeeping, modelling a writer that ignores the trust boundary
+    /// (the tamper scenarios of the robustness suites). A later
+    /// [`ValidatedIndexArray::verify`] fails with
+    /// [`ValidationError::ChecksumMismatch`]. Never use this on a real
+    /// mutation path — that is what [`ValidatedIndexArray::mutate`] is
+    /// for.
+    pub fn bypass_validation_mut(&mut self) -> &mut [usize] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ExecError;
+
+    fn untrusted() -> Provenance {
+        Provenance::Untrusted {
+            source: "test".into(),
+        }
+    }
+
+    #[test]
+    fn in_domain_data_is_ingested() {
+        let a = ValidatedIndexArray::ingest("b", vec![0, 3, 7, 9], 10, untrusted()).unwrap();
+        assert_eq!(a.data(), &[0, 3, 7, 9]);
+        assert_eq!((a.len(), a.domain(), a.version()), (4, 10, 0));
+        assert!(a.verify().is_ok());
+    }
+
+    #[test]
+    fn out_of_domain_entry_is_rejected_with_location() {
+        let err = ValidatedIndexArray::ingest("b", vec![0, 3, 10, 9], 10, untrusted())
+            .expect_err("entry 10 is out of [0, 10)");
+        assert_eq!(
+            err,
+            ValidationError::OutOfDomain {
+                array: "b".into(),
+                index: 2,
+                value: 10,
+                domain: 10,
+            }
+        );
+        // The boundary value domain-1 is fine; usize::MAX never is.
+        assert!(ValidatedIndexArray::ingest("b", vec![9], 10, untrusted()).is_ok());
+        assert!(ValidatedIndexArray::ingest("b", vec![usize::MAX], 10, untrusted()).is_err());
+    }
+
+    #[test]
+    fn empty_domain_rejects_any_entry_but_accepts_empty_data() {
+        assert!(ValidatedIndexArray::ingest("b", vec![], 0, untrusted()).is_ok());
+        assert!(ValidatedIndexArray::ingest("b", vec![0], 0, untrusted()).is_err());
+    }
+
+    #[test]
+    fn mutation_bumps_version_and_stays_verified() {
+        let mut a = ValidatedIndexArray::ingest("b", vec![0, 1, 2], 10, untrusted()).unwrap();
+        a.mutate(|d| d[1] = 5).unwrap();
+        assert_eq!((a.version(), a.data()[1]), (1, 5));
+        assert!(a.verify().is_ok());
+    }
+
+    #[test]
+    fn invalid_mutation_is_rolled_back() {
+        let mut a = ValidatedIndexArray::ingest("b", vec![0, 1, 2], 10, untrusted()).unwrap();
+        let err = a.mutate(|d| d[0] = 99).expect_err("99 out of [0, 10)");
+        assert!(matches!(
+            err,
+            ValidationError::OutOfDomain { value: 99, .. }
+        ));
+        // Rolled back: previous validated state, version unchanged.
+        assert_eq!(a.data(), &[0, 1, 2]);
+        assert_eq!(a.version(), 0);
+        assert!(a.verify().is_ok());
+    }
+
+    #[test]
+    fn bypassing_writer_is_caught_by_verify() {
+        let mut a = ValidatedIndexArray::ingest("b", vec![0, 1, 2], 10, untrusted()).unwrap();
+        a.bypass_validation_mut()[2] = 3; // in-domain, but unannounced
+        assert_eq!(
+            a.verify(),
+            Err(ValidationError::ChecksumMismatch { array: "b".into() })
+        );
+    }
+
+    #[test]
+    fn view_carries_identity_and_version() {
+        let mut a = ValidatedIndexArray::ingest("b", vec![0, 1], 10, untrusted()).unwrap();
+        let v = a.view(MonotoneReq::Strict);
+        assert_eq!((v.name, v.version, v.data.len()), ("b", 0, 2));
+        a.mutate(|d| d.push(4)).unwrap();
+        assert_eq!(a.view(MonotoneReq::Strict).version, 1);
+    }
+
+    #[test]
+    fn validation_error_maps_into_the_exec_ladder() {
+        let err = ValidatedIndexArray::ingest("A_rownnz", vec![5], 3, untrusted()).unwrap_err();
+        let exec: ExecError = err.into();
+        match &exec {
+            ExecError::InvalidIndexArray { array, detail } => {
+                assert_eq!(array, "A_rownnz");
+                assert!(detail.contains("outside the target domain"), "{detail}");
+            }
+            other => panic!("wrong mapping: {other:?}"),
+        }
+        assert!(!exec.transient(), "a rejected input is not retryable");
+    }
+
+    #[test]
+    fn fingerprint_is_length_and_content_sensitive() {
+        assert_ne!(fingerprint(&[0, 1]), fingerprint(&[0, 1, 0]));
+        assert_ne!(fingerprint(&[0, 1]), fingerprint(&[1, 0]));
+        assert_eq!(fingerprint(&[7, 8, 9]), fingerprint(&[7, 8, 9]));
+        assert_ne!(fingerprint(&[]), fingerprint(&[0]));
+    }
+}

@@ -1,8 +1,21 @@
 #!/usr/bin/env bash
-# Full CI gate: formatting, lints, release build, full test suite.
-# Everything runs offline — the workspace has zero external dependencies.
+# CI gate, in two tiers. Everything runs offline — the workspace has
+# zero external dependencies.
+#
+#   ./ci.sh quick   fmt, clippy, debug build, unit tests
+#                   (the edit-compile loop: fast, no release artifacts)
+#   ./ci.sh full    everything in quick, plus the release build, chaos
+#                   sweep, differential fuzz, fork-join calibration
+#                   smoke, telemetry trace smoke, and the perf gate
+#                   (the merge gate; the default)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+MODE="${1:-full}"
+case "$MODE" in
+  quick|full) ;;
+  *) echo "usage: $0 [quick|full]" >&2; exit 2 ;;
+esac
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
@@ -16,11 +29,19 @@ echo "== cargo clippy (no unwrap in omprt/rtcheck hot paths) =="
 cargo clippy -q -p subsub-omprt -p subsub-rtcheck -- \
   -D warnings -D clippy::unwrap_used
 
-echo "== release build =="
-cargo build --release --workspace
+echo "== debug build =="
+cargo build --workspace
 
 echo "== test suite =="
 cargo test --workspace -q
+
+if [ "$MODE" = "quick" ]; then
+  echo "CI gate passed (quick tier; run './ci.sh full' before merging)."
+  exit 0
+fi
+
+echo "== release build =="
+cargo build --release --workspace
 
 echo "== chaos sweep (seeded fault injection, pinned seeds) =="
 # Seeded failpoint schedules over the full kernel registry: every run
@@ -38,11 +59,32 @@ cargo run --release -q -p subsub-bench --bin fuzz -- 7 31337 271828
 
 echo "== fork-join smoke (calibrate + validate) =="
 # A quick real measurement of fork-join latency on this machine; the
-# --validate pass re-parses the emitted JSON through the simulator's own
-# MachineCalibration parser and fails on missing/non-finite/zero numbers.
+# --validate pass re-parses the emitted JSON through the strict parser
+# and the simulator's own MachineCalibration scanner, and — because
+# --threads is passed — rejects a file whose measured series does not
+# match the requested thread counts.
 cargo run --release -q -p subsub-bench --bin forkjoin_calibrate -- \
   --quick --threads 1,4 --out target/BENCH_forkjoin_ci.json
 cargo run --release -q -p subsub-bench --bin forkjoin_calibrate -- \
-  --validate target/BENCH_forkjoin_ci.json
+  --validate target/BENCH_forkjoin_ci.json --threads 1,4
 
-echo "CI gate passed."
+echo "== telemetry trace smoke (capture + strict validation) =="
+# Arms the flight recorder, runs one registry kernel through the full
+# guarded pipeline, and validates the emitted Chrome trace with the
+# strict parser: balanced B/E pairs, per-thread monotone timestamps,
+# and every required span family present (region/inspect/guard/
+# dispatch; see DESIGN.md 5e). Malformed output fails CI.
+cargo run --release -q -p subsub-bench --bin trace -- \
+  --kernel AMGmk --threads 4 \
+  --out target/BENCH_trace_ci.json --snapshot target/BENCH_telemetry_ci.json
+cargo run --release -q -p subsub-bench --bin trace -- \
+  --validate target/BENCH_trace_ci.json
+
+echo "== perf gate (medians vs committed baseline, +/-25%) =="
+# The pinned micro-suite (fork-join latency, inspector throughput,
+# three representative serial kernels) against BENCH_baseline.json.
+# A median beyond the band fails; refresh with 'perfgate --update'
+# alongside an intentional perf change.
+cargo run --release -q -p subsub-bench --bin perfgate
+
+echo "CI gate passed (full tier)."

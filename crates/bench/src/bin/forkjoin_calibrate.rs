@@ -19,12 +19,16 @@
 //! forkjoin_calibrate --validate PATH
 //! ```
 //!
-//! `--validate` re-parses an emitted file through the same
-//! `MachineCalibration` parser the simulator uses and fails loudly if the
-//! constants are missing, non-finite, or non-positive — this is the CI
-//! smoke check.
+//! `--validate` re-parses an emitted file through the strict JSON parser
+//! *and* the same `MachineCalibration` scanner the simulator uses, and
+//! fails loudly if the constants are missing, non-finite, or
+//! non-positive — this is the CI smoke check. When `--threads` is given
+//! alongside `--validate`, the file's measured `series` must match those
+//! thread counts exactly (with the calibration point at the last of
+//! them), so a stale file measured at the wrong team sizes cannot pass.
 
 use std::time::Instant;
+use subsub_bench::calibration::validate_calibration_doc;
 use subsub_omprt::legacy::LegacyMutexPool;
 use subsub_omprt::schedule::dynamic_batch;
 use subsub_omprt::{MachineCalibration, Schedule, ThreadPool};
@@ -38,6 +42,11 @@ struct Args {
     out: String,
     validate: Option<String>,
     threads: Vec<usize>,
+    /// Whether `--threads` was given on the command line (an explicit
+    /// list makes `--validate` enforce the series thread counts; the
+    /// default list does not, so plain `--validate PATH` keeps working
+    /// on files measured with any counts).
+    threads_explicit: bool,
 }
 
 fn parse_args() -> Args {
@@ -46,6 +55,7 @@ fn parse_args() -> Args {
         out: "BENCH_forkjoin.json".to_string(),
         validate: None,
         threads: vec![1, 2, 4],
+        threads_explicit: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -61,6 +71,7 @@ fn parse_args() -> Args {
                     .map(|s| s.trim().parse().expect("thread counts are integers"))
                     .collect();
                 assert!(!args.threads.is_empty(), "--threads list is empty");
+                args.threads_explicit = true;
             }
             other => panic!("unknown argument: {other} (see module docs)"),
         }
@@ -105,28 +116,12 @@ fn dispatch_overhead_ns(pool: &ThreadPool, quick: bool) -> f64 {
     ((t_dyn - t_static) / claims).max(0.1)
 }
 
-fn validate(path: &str) -> Result<(), String> {
+fn validate(path: &str, requested: Option<&[usize]>) -> Result<(), String> {
     let doc = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let c = MachineCalibration::parse_json(&doc)
-        .ok_or_else(|| format!("{path}: not a valid forkjoin calibration document"))?;
-    if !(c.fork_join_ns.is_finite() && c.fork_join_ns > 0.0) {
-        return Err(format!(
-            "{path}: fork_join_ns={} not finite/positive",
-            c.fork_join_ns
-        ));
-    }
-    if !(c.dispatch_ns.is_finite() && c.dispatch_ns > 0.0) {
-        return Err(format!(
-            "{path}: dispatch_ns={} not finite/positive",
-            c.dispatch_ns
-        ));
-    }
-    if c.threads == 0 {
-        return Err(format!("{path}: cal_threads is zero"));
-    }
+    let s = validate_calibration_doc(&doc, requested).map_err(|e| format!("{path}: {e}"))?;
     println!(
-        "{path}: OK (fork_join_ns={:.1}, dispatch_ns={:.2}, cal_threads={})",
-        c.fork_join_ns, c.dispatch_ns, c.threads
+        "{path}: OK (fork_join_ns={:.1}, dispatch_ns={:.2}, cal_threads={}, series={:?})",
+        s.fork_join_ns, s.dispatch_ns, s.cal_threads, s.series_threads
     );
     Ok(())
 }
@@ -134,7 +129,8 @@ fn validate(path: &str) -> Result<(), String> {
 fn main() {
     let args = parse_args();
     if let Some(path) = &args.validate {
-        if let Err(e) = validate(path) {
+        let requested = args.threads_explicit.then_some(args.threads.as_slice());
+        if let Err(e) = validate(path, requested) {
             eprintln!("forkjoin_calibrate: {e}");
             std::process::exit(1);
         }

@@ -100,6 +100,8 @@ impl GuardedHarness {
         pool: &ThreadPool,
         sched: Schedule,
     ) -> GuardedOutcome {
+        let _kernel_span =
+            subsub_telemetry::span_labeled(subsub_telemetry::Phase::KernelRun, &self.name);
         if self.variant == Variant::Serial {
             // Nothing to guard: the analysis itself kept the loop serial.
             inst.run_serial();

@@ -14,16 +14,22 @@
 //!    paper's 4-, 8- and 16-core series (the CI container has one core, so
 //!    multi-core numbers are simulated; see DESIGN.md).
 
+pub mod calibration;
 pub mod chaos;
 pub mod decide;
 pub mod guarded;
 pub mod harness;
 pub mod microbench;
+pub mod perfgate;
 pub mod table;
+pub mod trace;
 
+pub use calibration::{validate_calibration_doc, CalibrationSummary};
 pub use chaos::{chaos_sweep, ChaosReport, CHAOS_SITES, DEFAULT_SEEDS};
 pub use decide::{decision_report, variant_for};
 pub use guarded::{guarded_run, GuardedHarness, GuardedOutcome};
 pub use harness::{calibrate, run_config, Config, Outcome};
 pub use microbench::bench;
+pub use perfgate::{GateRow, GateStatus};
 pub use table::Table;
+pub use trace::{capture_trace, validate_trace_file, TraceArtifacts};

@@ -1,0 +1,250 @@
+//! Perf-regression gate: a pinned micro-suite compared against a
+//! committed baseline.
+//!
+//! The suite is small and deterministic by construction — fixed dataset
+//! seeds, fixed thread count, serial kernel variants — so its medians
+//! move only when the code's constant factors move. [`run_suite`] times
+//! each entry with the adaptive [`crate::microbench::bench`] harness;
+//! [`compare`] checks every median against `BENCH_baseline.json` with a
+//! symmetric relative tolerance. CI fails on any *regression* (median
+//! above baseline × (1 + tol)); an *improvement* beyond the band is
+//! reported as a warning suggesting a baseline refresh, because a stale
+//! too-slow baseline would mask future regressions.
+//!
+//! The tolerance is deliberately wide (±25%): the suite gates against
+//! structural slowdowns (an accidentally-armed telemetry path, a lock on
+//! the claim fast path), not scheduler jitter on shared CI hardware.
+
+use crate::microbench::{bench, BenchStats};
+use subsub_kernels::kernel_by_name;
+use subsub_omprt::{Schedule, ThreadPool};
+use subsub_rtcheck::inspect_serial;
+use subsub_telemetry::json::{parse, Json};
+
+/// Symmetric relative tolerance band around each baseline median.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Threads used by the fork-join latency entry (pinned so the baseline
+/// is comparable across runs).
+pub const FORKJOIN_THREADS: usize = 4;
+
+/// Elements scanned by the inspector-throughput entry.
+pub const INSPECT_LEN: usize = 65_536;
+
+/// Kernels timed serially (first dataset of each), chosen to cover the
+/// three structural families: sparse gather (AMGmk), sampled dense
+/// product (SDDMM), and a dense stencil (heat-3d).
+pub const SUITE_KERNELS: &[&str] = &["AMGmk", "SDDMM", "heat-3d"];
+
+/// Runs the pinned suite and returns one stats row per entry.
+pub fn run_suite() -> Vec<BenchStats> {
+    let mut out = Vec::new();
+
+    let pool = ThreadPool::new(FORKJOIN_THREADS);
+    out.push(bench("forkjoin/empty-region", || {
+        pool.parallel_for(FORKJOIN_THREADS, Schedule::static_default(), |_| {});
+    }));
+
+    let ramp: Vec<usize> = (0..INSPECT_LEN).collect();
+    out.push(bench("inspect/serial-65536", || {
+        std::hint::black_box(inspect_serial(std::hint::black_box(&ramp)));
+    }));
+
+    for name in SUITE_KERNELS {
+        let kernel = kernel_by_name(name)
+            .unwrap_or_else(|| panic!("suite kernel {name:?} missing from registry"));
+        let dataset = kernel.datasets()[0];
+        let mut inst = kernel.prepare(dataset);
+        out.push(bench(&format!("kernel/{name}-serial"), || {
+            inst.run_serial();
+        }));
+    }
+    out
+}
+
+/// Renders suite results as the committed baseline document.
+pub fn baseline_json(results: &[BenchStats]) -> String {
+    let entries = results
+        .iter()
+        .map(|s| format!("{{\"name\":\"{}\",\"median_ns\":{}}}", s.name, s.median_ns))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{\"schema\":\"subsub-perfgate/v1\",\"tolerance\":{DEFAULT_TOLERANCE},\"benches\":[{entries}]}}")
+}
+
+/// Parses a baseline document into `(name, median_ns)` rows.
+pub fn parse_baseline(doc: &str) -> Result<Vec<(String, u64)>, String> {
+    let root = parse(doc).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    match root.get("schema").and_then(Json::as_str) {
+        Some("subsub-perfgate/v1") => {}
+        other => return Err(format!("unexpected baseline schema {other:?}")),
+    }
+    let benches = root
+        .get("benches")
+        .and_then(Json::as_array)
+        .ok_or("baseline has no \"benches\" array")?;
+    let mut out = Vec::with_capacity(benches.len());
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("bench entry missing \"name\"")?;
+        let median = b
+            .get("median_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("bench {name:?} missing integer \"median_ns\""))?;
+        out.push((name.to_string(), median));
+    }
+    Ok(out)
+}
+
+/// Outcome of one suite entry against the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateStatus {
+    /// Within the tolerance band.
+    Ok,
+    /// Faster than baseline × (1 − tol): not a failure, but the
+    /// baseline is stale enough to mask future regressions.
+    Improved,
+    /// Slower than baseline × (1 + tol): fails the gate.
+    Regressed,
+    /// Present in the suite but absent from the baseline: fails the
+    /// gate (the baseline must be refreshed when the suite grows).
+    Missing,
+}
+
+/// One row of the gate report.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// Suite entry name.
+    pub name: String,
+    /// Baseline median (ns/iter), when the entry was found.
+    pub baseline_ns: Option<u64>,
+    /// Measured median (ns/iter).
+    pub current_ns: u64,
+    /// Verdict for this entry.
+    pub status: GateStatus,
+}
+
+impl GateRow {
+    /// current / baseline, when a baseline exists.
+    pub fn ratio(&self) -> Option<f64> {
+        self.baseline_ns
+            .map(|b| self.current_ns as f64 / (b.max(1)) as f64)
+    }
+}
+
+/// Compares measured medians against the baseline with a symmetric
+/// relative tolerance.
+pub fn compare(results: &[BenchStats], baseline: &[(String, u64)], tolerance: f64) -> Vec<GateRow> {
+    results
+        .iter()
+        .map(|s| {
+            let current_ns = u64::try_from(s.median_ns).unwrap_or(u64::MAX);
+            let baseline_ns = baseline.iter().find(|(n, _)| *n == s.name).map(|(_, m)| *m);
+            let status = match baseline_ns {
+                None => GateStatus::Missing,
+                Some(base) => {
+                    let base = base.max(1) as f64;
+                    let cur = current_ns as f64;
+                    if cur > base * (1.0 + tolerance) {
+                        GateStatus::Regressed
+                    } else if cur < base * (1.0 - tolerance) {
+                        GateStatus::Improved
+                    } else {
+                        GateStatus::Ok
+                    }
+                }
+            };
+            GateRow {
+                name: s.name.clone(),
+                baseline_ns,
+                current_ns,
+                status,
+            }
+        })
+        .collect()
+}
+
+/// Whether a comparison passes the gate (regressions and missing
+/// baselines fail; improvements only warn).
+pub fn passes(rows: &[GateRow]) -> bool {
+    rows.iter()
+        .all(|r| !matches!(r.status, GateStatus::Regressed | GateStatus::Missing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(name: &str, median_ns: u128) -> BenchStats {
+        BenchStats {
+            name: name.to_string(),
+            iters: 1,
+            min_ns: median_ns,
+            median_ns,
+            p90_ns: median_ns,
+            samples_ns: vec![median_ns],
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_the_parser() {
+        let doc = baseline_json(&[stats("a", 100), stats("b", 2_000_000)]);
+        let parsed = parse_baseline(&doc).expect("roundtrip");
+        assert_eq!(
+            parsed,
+            vec![("a".to_string(), 100), ("b".to_string(), 2_000_000)]
+        );
+    }
+
+    #[test]
+    fn tolerance_band_classifies_all_four_ways() {
+        let baseline = vec![
+            ("ok".to_string(), 1000u64),
+            ("fast".to_string(), 1000),
+            ("slow".to_string(), 1000),
+        ];
+        let rows = compare(
+            &[
+                stats("ok", 1100),
+                stats("fast", 500),
+                stats("slow", 1500),
+                stats("new", 10),
+            ],
+            &baseline,
+            0.25,
+        );
+        assert_eq!(rows[0].status, GateStatus::Ok);
+        assert_eq!(rows[1].status, GateStatus::Improved);
+        assert_eq!(rows[2].status, GateStatus::Regressed);
+        assert_eq!(rows[3].status, GateStatus::Missing);
+        assert!(!passes(&rows));
+        assert!(passes(&rows[..2]));
+    }
+
+    #[test]
+    fn band_edges_are_inclusive() {
+        let baseline = vec![("x".to_string(), 1000u64)];
+        // Exactly on the upper edge (1250) and lower edge (750): inside.
+        assert_eq!(
+            compare(&[stats("x", 1250)], &baseline, 0.25)[0].status,
+            GateStatus::Ok
+        );
+        assert_eq!(
+            compare(&[stats("x", 750)], &baseline, 0.25)[0].status,
+            GateStatus::Ok
+        );
+    }
+
+    #[test]
+    fn malformed_baseline_is_rejected() {
+        assert!(parse_baseline("not json").is_err());
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("{\"schema\":\"other/v9\",\"benches\":[]}").is_err());
+        assert!(parse_baseline(
+            "{\"schema\":\"subsub-perfgate/v1\",\"benches\":[{\"name\":\"a\"}]}"
+        )
+        .is_err());
+    }
+}

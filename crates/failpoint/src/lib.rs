@@ -281,6 +281,14 @@ fn hit_slow(site: &'static str) -> Action {
     };
     // Act only after the registry lock is dropped: a panic or sleep must
     // never hold it.
+    if arm.is_some() {
+        subsub_telemetry::instant_labeled(
+            subsub_telemetry::EventKind::FailpointTrip,
+            subsub_telemetry::Phase::None,
+            site,
+            0,
+        );
+    }
     match arm {
         None => Action::Proceed,
         Some(Arm::Panic) => std::panic::panic_any(InjectedPanic {

@@ -114,6 +114,12 @@ pub trait KernelInstance: Send {
 
     /// Runs the chosen variant.
     fn run(&mut self, variant: Variant, pool: &ThreadPool, sched: Schedule) {
+        let label = match variant {
+            Variant::Serial => "serial",
+            Variant::InnerParallel => "inner-parallel",
+            Variant::OuterParallel => "outer-parallel",
+        };
+        let _run_span = subsub_telemetry::span_labeled(subsub_telemetry::Phase::KernelRun, label);
         match variant {
             Variant::Serial => self.run_serial(),
             Variant::InnerParallel => self.run_inner(pool, sched),

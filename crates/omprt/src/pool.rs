@@ -90,6 +90,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use subsub_failpoint as failpoint;
+use subsub_telemetry as telemetry;
+use subsub_telemetry::{EventKind, Phase};
 
 /// The erased fork-join job: a pointer to a closure borrowed for the
 /// duration of exactly one region.
@@ -535,6 +537,7 @@ impl ThreadPool {
             return self.inline_region(job, cancel, deadline);
         }
         let mut report = RegionReport::default();
+        let _region_span = telemetry::span(Phase::Region, 0);
         self.health.regions.fetch_add(1, Ordering::Relaxed);
         report.respawned_workers += self.ensure_workers(false);
         // Erase the borrow: the closure lives on (or below) this frame
@@ -549,6 +552,7 @@ impl ThreadPool {
         *lock(&self.shared.panic_detail) = None;
         unsafe { *self.shared.job.get() = Some(raw) };
         failpoint::hit("omprt.region.fork");
+        telemetry::instant(EventKind::RegionFork, Phase::Region, 0, self.threads as u64);
         // Publish order: job slot, then the claim cursor (`SeqCst`), then
         // the gate wake-up. Only the coordinator bumps the gate, so the
         // next epoch is `current + 1`.
@@ -582,6 +586,12 @@ impl ThreadPool {
         // Clear the slot while the borrow is still alive (hygiene: the
         // pointer must never dangle into a dead frame).
         unsafe { *self.shared.job.get() = None };
+        telemetry::instant(
+            EventKind::RegionJoin,
+            Phase::Region,
+            0,
+            u64::from(report.reclaimed_tids),
+        );
         let panicked = self.shared.panicked.load(Ordering::SeqCst);
         let detail = lock(&self.shared.panic_detail).take();
         report.respawned_workers += self.ensure_workers(false);
@@ -684,6 +694,8 @@ impl ThreadPool {
             return;
         }
         self.suspect.store(true, Ordering::Relaxed);
+        let dead_count = dead.iter().filter(|&&d| d).count();
+        telemetry::instant(EventKind::WatchdogScan, Phase::Region, 0, dead_count as u64);
         let claimed = sh.claim.claimed(masked_epoch, sh.threads);
         for tid in 0..sh.threads {
             if sh.join.is_marked(tid, masked_epoch) {
@@ -859,6 +871,7 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 fn execute_claims(sh: &Shared, who: u16, is_worker: bool) {
     while let Some((epoch, tid)) = sh.claim.try_claim(sh.threads) {
         sh.records[tid].store(record(epoch, who, REC_CLAIMED), Ordering::SeqCst);
+        telemetry::instant(EventKind::ClaimBatch, Phase::Claim, 0, tid as u64);
         if is_worker {
             // Worker-death window (claimed, not yet started): an
             // injected panic here escapes `worker_loop`, kills the

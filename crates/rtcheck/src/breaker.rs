@@ -22,6 +22,17 @@
 
 use std::collections::HashMap;
 use std::sync::Mutex;
+use subsub_telemetry::{breaker_code, instant_labeled, EventKind, Phase};
+
+/// Emits a `breaker_transition` flight-recorder instant for `kernel`.
+fn note_transition(kernel: &str, code: u64) {
+    instant_labeled(
+        EventKind::BreakerTransition,
+        Phase::GuardDecide,
+        kernel,
+        code,
+    );
+}
 
 /// Breaker position for one kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +106,7 @@ impl CircuitBreaker {
             BreakerState::Open { remaining } => {
                 if remaining <= 1 {
                     *state = BreakerState::HalfOpen;
+                    note_transition(kernel, breaker_code::HALF_OPEN);
                 } else {
                     *state = BreakerState::Open {
                         remaining: remaining - 1,
@@ -119,6 +131,7 @@ impl CircuitBreaker {
                     *state = BreakerState::Open {
                         remaining: self.cooldown,
                     };
+                    note_transition(kernel, breaker_code::OPEN);
                     true
                 } else {
                     *state = BreakerState::Closed { faults };
@@ -130,6 +143,7 @@ impl CircuitBreaker {
                 *state = BreakerState::Open {
                     remaining: self.cooldown,
                 };
+                note_transition(kernel, breaker_code::OPEN);
                 true
             }
             // Already open (a fault recorded by a racing path): keep it.
@@ -140,7 +154,13 @@ impl CircuitBreaker {
     /// Records a clean parallel run for `kernel`; closes the breaker and
     /// clears the consecutive-fault count.
     pub fn record_success(&self, kernel: &str) {
-        lock(&self.states).insert(kernel.to_string(), BreakerState::Closed { faults: 0 });
+        let prior =
+            lock(&self.states).insert(kernel.to_string(), BreakerState::Closed { faults: 0 });
+        // Only an actual position change is a transition worth recording
+        // (every clean parallel run lands here).
+        if !matches!(prior, None | Some(BreakerState::Closed { faults: 0 })) {
+            note_transition(kernel, breaker_code::CLOSED);
+        }
     }
 
     /// Current position for `kernel` (closed with zero faults when the

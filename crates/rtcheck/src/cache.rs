@@ -14,6 +14,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use subsub_failpoint::{self as failpoint, Action};
 use subsub_omprt::{RegionError, ThreadPool};
+use subsub_telemetry as telemetry;
+use subsub_telemetry::{EventKind, Phase};
 
 /// Cache identity of one index array.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -82,15 +84,28 @@ impl InspectorCache {
         pool: Option<&ThreadPool>,
     ) -> Result<MonotoneVerdict, RegionError> {
         let key = Key::of(view);
+        let _lookup_span = telemetry::span_labeled(Phase::CacheLookup, view.name);
         {
             let entries = lock(&self.entries);
             match entries.get(&key) {
                 Some((ver, verdict)) if *ver == view.version => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    telemetry::instant_labeled(
+                        EventKind::CacheHit,
+                        Phase::CacheLookup,
+                        view.name,
+                        view.version,
+                    );
                     return Ok(*verdict);
                 }
                 Some(_) => {
                     self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    telemetry::instant_labeled(
+                        EventKind::CacheInvalidate,
+                        Phase::CacheLookup,
+                        view.name,
+                        view.version,
+                    );
                 }
                 None => {}
             }
@@ -98,7 +113,16 @@ impl InspectorCache {
         // Inspect outside the lock: scans can be long and parallel. The
         // `?` is the poisoning fix: no insert on a faulted scan.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let verdict = try_inspect_monotone(view.data, pool)?;
+        telemetry::instant_labeled(
+            EventKind::CacheMiss,
+            Phase::CacheLookup,
+            view.name,
+            view.data.len() as u64,
+        );
+        let verdict = {
+            let _inspect_span = telemetry::span_labeled(Phase::Inspect, view.name);
+            try_inspect_monotone(view.data, pool)?
+        };
         self.insert(key, view.version, verdict);
         Ok(verdict)
     }
@@ -107,7 +131,16 @@ impl InspectorCache {
     /// result — the final rung of the guard's retry ladder.
     pub fn verdict_serial(&self, view: &IndexArrayView<'_>) -> MonotoneVerdict {
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let verdict = inspect_serial(view.data);
+        telemetry::instant_labeled(
+            EventKind::CacheMiss,
+            Phase::CacheLookup,
+            view.name,
+            view.data.len() as u64,
+        );
+        let verdict = {
+            let _inspect_span = telemetry::span_labeled(Phase::Inspect, view.name);
+            inspect_serial(view.data)
+        };
         self.insert(Key::of(view), view.version, verdict);
         verdict
     }

@@ -83,6 +83,23 @@ impl ExecError {
     pub fn transient(&self) -> bool {
         matches!(self, ExecError::ParallelFault { .. })
     }
+
+    /// Small stable numeric class for telemetry (`guard_verdict` event
+    /// payloads): 0 is reserved for "parallel admitted", so every
+    /// variant maps to a nonzero code.
+    pub fn reason_class(&self) -> u8 {
+        match self {
+            ExecError::AnalysisSerial => 1,
+            ExecError::CheckFailed { .. } => 2,
+            ExecError::CheckUnevaluable { .. } => 3,
+            ExecError::NotMonotone { .. } => 4,
+            ExecError::InvalidIndexArray { .. } => 5,
+            ExecError::TamperDetected { .. } => 6,
+            ExecError::ParallelFault { .. } => 7,
+            ExecError::Timeout => 8,
+            ExecError::BreakerOpen { .. } => 9,
+        }
+    }
 }
 
 impl std::fmt::Display for ExecError {

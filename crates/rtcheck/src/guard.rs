@@ -40,6 +40,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use subsub_failpoint::{self as failpoint, Action};
 use subsub_omprt::ThreadPool;
+use subsub_telemetry as telemetry;
+use subsub_telemetry::{verdict_code, EventKind, Phase};
 
 /// Which variant a guarded invocation ran.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +61,19 @@ pub struct GuardVerdict {
     /// Why the serial path was chosen, when it was. `None` on the
     /// parallel path.
     pub reason: Option<ExecError>,
+}
+
+/// Emits the `guard_verdict` flight-recorder instant for one decision.
+fn record_verdict(kernel: &str, verdict: &GuardVerdict) {
+    telemetry::instant_labeled(
+        EventKind::GuardVerdict,
+        Phase::GuardDecide,
+        kernel,
+        verdict_code(
+            verdict.path == GuardPath::Parallel,
+            verdict.reason.as_ref().map_or(0, ExecError::reason_class),
+        ),
+    );
 }
 
 impl GuardVerdict {
@@ -204,7 +219,9 @@ impl GuardedExecutor {
         arrays: &[IndexArrayView<'_>],
         pool: Option<&ThreadPool>,
     ) -> GuardVerdict {
+        let _decide_span = telemetry::span(Phase::GuardDecide, 0);
         let (verdict, _) = self.evaluate(bindings, arrays, pool);
+        record_verdict("", &verdict);
         match verdict.path {
             GuardPath::Parallel => {
                 self.parallel_runs.fetch_add(1, Ordering::Relaxed);
@@ -226,14 +243,18 @@ impl GuardedExecutor {
         arrays: &[IndexArrayView<'_>],
         pool: Option<&ThreadPool>,
     ) -> Decision {
+        let _decide_span = telemetry::span_labeled(Phase::GuardDecide, kernel);
         if let Err(remaining) = self.breaker.admit(kernel) {
             self.breaker_short_circuits.fetch_add(1, Ordering::Relaxed);
+            let verdict = GuardVerdict::serial(ExecError::BreakerOpen { remaining });
+            record_verdict(kernel, &verdict);
             return Decision {
-                verdict: GuardVerdict::serial(ExecError::BreakerOpen { remaining }),
+                verdict,
                 inspected: Vec::new(),
             };
         }
         let (verdict, inspected) = self.evaluate(bindings, arrays, pool);
+        record_verdict(kernel, &verdict);
         Decision { verdict, inspected }
     }
 
@@ -252,18 +273,23 @@ impl GuardedExecutor {
         arrays: &[(&ValidatedIndexArray, MonotoneReq)],
         pool: Option<&ThreadPool>,
     ) -> Decision {
+        let _decide_span = telemetry::span_labeled(Phase::GuardDecide, kernel);
         if let Err(remaining) = self.breaker.admit(kernel) {
             self.breaker_short_circuits.fetch_add(1, Ordering::Relaxed);
+            let verdict = GuardVerdict::serial(ExecError::BreakerOpen { remaining });
+            record_verdict(kernel, &verdict);
             return Decision {
-                verdict: GuardVerdict::serial(ExecError::BreakerOpen { remaining }),
+                verdict,
                 inspected: Vec::new(),
             };
         }
         for (array, _) in arrays {
             if let Err(e) = array.verify() {
                 self.validation_rejections.fetch_add(1, Ordering::Relaxed);
+                let verdict = GuardVerdict::serial(e.into());
+                record_verdict(kernel, &verdict);
                 return Decision {
-                    verdict: GuardVerdict::serial(e.into()),
+                    verdict,
                     inspected: Vec::new(),
                 };
             }
@@ -273,6 +299,7 @@ impl GuardedExecutor {
             .map(|(array, required)| array.view(*required))
             .collect();
         let (verdict, inspected) = self.evaluate(bindings, &views, pool);
+        record_verdict(kernel, &verdict);
         Decision { verdict, inspected }
     }
 
@@ -295,6 +322,7 @@ impl GuardedExecutor {
         mut recover: impl FnMut(),
         serial: impl FnOnce() -> T,
     ) -> (T, Option<ExecError>) {
+        let _dispatch_span = telemetry::span_labeled(Phase::Dispatch, kernel);
         if decision.verdict.path == GuardPath::Serial {
             self.serial_fallbacks.fetch_add(1, Ordering::Relaxed);
             return (serial(), decision.verdict.reason.clone());

@@ -1,0 +1,401 @@
+//! Exporters: machine-readable JSON snapshot, Chrome `trace_event`
+//! output, and a strict trace validator for CI.
+//!
+//! # Snapshot schema (`subsub-telemetry/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "subsub-telemetry/v1",
+//!   "events_recorded": 123, "events_retained": 123,
+//!   "events_overwritten": 0, "rings": 4,
+//!   "counters": { "region_fork": 2, ... },
+//!   "histograms": [
+//!     { "kernel": "AMGmk", "kernel_id": 3, "phase": "kernel_run",
+//!       "count": 10, "sum_ns": 12345, "p50_ns": 1023, "p90_ns": 2047 }
+//!   ]
+//! }
+//! ```
+//!
+//! # Chrome trace
+//!
+//! [`chrome_trace`] renders flight-recorder events in the Chrome
+//! `trace_event` JSON format (load in `chrome://tracing` or Perfetto).
+//! Spans are recorded at *end* time with `(start, dur)`; the exporter
+//! reconstructs properly nested `B`/`E` duration events per thread by
+//! sorting spans by `(start asc, end desc)` and unwinding a stack:
+//! before emitting a span's `B`, every stacked span that ended at or
+//! before this start gets its `E`. RAII span guards make same-thread
+//! spans well-nested, so this emits each span exactly once and keeps
+//! per-thread timestamps monotone — exactly the invariants
+//! [`validate_chrome_trace`] enforces.
+
+use crate::event::{Event, EventKind};
+use crate::json::{escape, parse, Json};
+use crate::{label, metrics, ring};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Renders the cumulative metrics (counters, histograms, ring totals)
+/// as a `subsub-telemetry/v1` JSON document.
+pub fn snapshot_json() -> String {
+    let (recorded, overwritten, rings) = ring::totals();
+    let retained = recorded - overwritten;
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"subsub-telemetry/v1\",\n");
+    let _ = writeln!(out, "  \"events_recorded\": {recorded},");
+    let _ = writeln!(out, "  \"events_retained\": {retained},");
+    let _ = writeln!(out, "  \"events_overwritten\": {overwritten},");
+    let _ = writeln!(out, "  \"rings\": {rings},");
+    out.push_str("  \"counters\": {\n");
+    let kinds = EventKind::all();
+    for (i, kind) in kinds.iter().enumerate() {
+        let comma = if i + 1 < kinds.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {}{comma}",
+            kind.name(),
+            metrics::kind_count(*kind)
+        );
+    }
+    out.push_str("  },\n  \"histograms\": [\n");
+    let hists = metrics::all_histograms();
+    for (i, (kernel_id, phase, snap)) in hists.iter().enumerate() {
+        let comma = if i + 1 < hists.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{ \"kernel\": \"{}\", \"kernel_id\": {}, \"phase\": \"{}\", \
+             \"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {} }}{comma}",
+            escape(&label(*kernel_id)),
+            kernel_id,
+            phase.name(),
+            snap.count,
+            snap.sum_ns,
+            snap.quantile_ns(0.5),
+            snap.quantile_ns(0.9)
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn trace_name(e: &Event) -> String {
+    let l = label(e.kernel);
+    let base = if e.kind == EventKind::Span {
+        e.phase.name()
+    } else {
+        e.kind.name()
+    };
+    if l.is_empty() {
+        base.to_string()
+    } else {
+        format!("{base}:{l}")
+    }
+}
+
+/// Renders flight-recorder events as a Chrome `trace_event` document
+/// (`{"traceEvents": [...]}`; ts in microseconds, pid fixed at 1, tid =
+/// recorder thread slot).
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut by_tid: BTreeMap<u32, (Vec<&Event>, Vec<&Event>)> = BTreeMap::new();
+    for e in events {
+        let entry = by_tid.entry(e.thread).or_default();
+        if e.kind == EventKind::Span {
+            entry.0.push(e);
+        } else {
+            entry.1.push(e);
+        }
+    }
+
+    // (ts_ns, emission order tiebreak, json line)
+    let mut lines: Vec<(u64, u64, String)> = Vec::new();
+    let mut order = 0u64;
+    let mut push = |lines: &mut Vec<(u64, u64, String)>, ts: u64, line: String| {
+        lines.push((ts, order, line));
+        order += 1;
+    };
+
+    for (tid, (mut spans, instants)) in by_tid {
+        spans.sort_by_key(|e| (e.ts_ns, std::cmp::Reverse(e.end_ns())));
+        let mut stack: Vec<&Event> = Vec::new();
+        for span in spans {
+            while let Some(top) = stack.last() {
+                if top.end_ns() <= span.ts_ns {
+                    let top = stack.pop().expect("checked non-empty");
+                    push(
+                        &mut lines,
+                        top.end_ns(),
+                        format!(
+                            "{{\"name\":\"{}\",\"cat\":\"subsub\",\"ph\":\"E\",\"ts\":{},\"pid\":1,\"tid\":{tid}}}",
+                            escape(&trace_name(top)),
+                            micros(top.end_ns())
+                        ),
+                    );
+                } else {
+                    break;
+                }
+            }
+            push(
+                &mut lines,
+                span.ts_ns,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"subsub\",\"ph\":\"B\",\"ts\":{},\"pid\":1,\"tid\":{tid},\"args\":{{\"dur_ns\":{}}}}}",
+                    escape(&trace_name(span)),
+                    micros(span.ts_ns),
+                    span.dur_ns
+                ),
+            );
+            stack.push(span);
+        }
+        while let Some(top) = stack.pop() {
+            push(
+                &mut lines,
+                top.end_ns(),
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"subsub\",\"ph\":\"E\",\"ts\":{},\"pid\":1,\"tid\":{tid}}}",
+                    escape(&trace_name(top)),
+                    micros(top.end_ns())
+                ),
+            );
+        }
+        for e in instants {
+            push(
+                &mut lines,
+                e.ts_ns,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"subsub\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{tid},\"s\":\"t\",\"args\":{{\"arg\":{}}}}}",
+                    escape(&trace_name(e)),
+                    micros(e.ts_ns),
+                    e.arg
+                ),
+            );
+        }
+    }
+
+    // Global order is cosmetic (viewers sort); per-tid order is what the
+    // validator checks, and the per-tid emission above already interleaves
+    // B/E monotonically. Sorting stably by ts keeps instants in place.
+    lines.sort_by_key(|(ts, ord, _)| (*ts, *ord));
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, (_, _, line)) in lines.iter().enumerate() {
+        out.push_str(line);
+        out.push_str(if i + 1 < lines.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// What a validated trace contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total `B`/`E` pairs (complete duration events).
+    pub spans: usize,
+    /// Total instant (`i`) events.
+    pub instants: usize,
+    /// Distinct `tid`s seen.
+    pub threads: usize,
+    /// Distinct event names seen.
+    pub names: BTreeSet<String>,
+}
+
+impl TraceSummary {
+    /// Does any event name start with `prefix` (e.g. `"region"` or
+    /// `"inspect"`)?
+    pub fn has_name_prefix(&self, prefix: &str) -> bool {
+        self.names.iter().any(|n| n.starts_with(prefix))
+    }
+}
+
+/// Strictly validates a Chrome `trace_event` document: well-formed
+/// JSON, a `traceEvents` array of objects each carrying `name` / `ph` /
+/// `ts` / `pid` / `tid`, per-tid `B`/`E` balance with matching names,
+/// and per-tid monotone non-decreasing timestamps. Returns a summary of
+/// the trace or a description of the first violation.
+pub fn validate_chrome_trace(doc: &str) -> Result<TraceSummary, String> {
+    let root = parse(doc).map_err(|e| e.to_string())?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing traceEvents array")?;
+
+    struct TidState {
+        stack: Vec<String>,
+        last_ts: f64,
+    }
+    let mut tids: BTreeMap<u64, TidState> = BTreeMap::new();
+    let mut summary = TraceSummary {
+        spans: 0,
+        instants: 0,
+        threads: 0,
+        names: BTreeSet::new(),
+    };
+
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |msg: String| format!("traceEvents[{i}]: {msg}");
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .filter(|n| !n.is_empty())
+            .ok_or_else(|| ctx("missing or empty name".into()))?;
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing ph".into()))?;
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_f64)
+            .filter(|t| t.is_finite() && *t >= 0.0)
+            .ok_or_else(|| ctx("missing or negative ts".into()))?;
+        ev.get("pid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ctx("missing pid".into()))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ctx("missing tid".into()))?;
+
+        let state = tids.entry(tid).or_insert(TidState {
+            stack: Vec::new(),
+            last_ts: 0.0,
+        });
+        if ts < state.last_ts {
+            return Err(ctx(format!(
+                "timestamp regression on tid {tid}: {ts} after {}",
+                state.last_ts
+            )));
+        }
+        state.last_ts = ts;
+        summary.names.insert(name.to_string());
+
+        match ph {
+            "B" => state.stack.push(name.to_string()),
+            "E" => match state.stack.pop() {
+                Some(open) if open == name => summary.spans += 1,
+                Some(open) => {
+                    return Err(ctx(format!(
+                        "mismatched E on tid {tid}: closes \"{name}\" but \"{open}\" is open"
+                    )))
+                }
+                None => return Err(ctx(format!("E without matching B on tid {tid}"))),
+            },
+            "i" | "I" => summary.instants += 1,
+            other => return Err(ctx(format!("unsupported ph {other:?}"))),
+        }
+    }
+
+    for (tid, state) in &tids {
+        if let Some(open) = state.stack.last() {
+            return Err(format!("unclosed B event \"{open}\" on tid {tid}"));
+        }
+    }
+    summary.threads = tids.len();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+
+    fn span(tid: u32, start: u64, dur: u64) -> Event {
+        Event {
+            ts_ns: start,
+            dur_ns: dur,
+            kind: EventKind::Span,
+            phase: Phase::Region,
+            kernel: 0,
+            thread: tid,
+            arg: 0,
+        }
+    }
+
+    fn instant(tid: u32, ts: u64, kind: EventKind) -> Event {
+        Event {
+            ts_ns: ts,
+            dur_ns: 0,
+            kind,
+            phase: Phase::None,
+            kernel: 0,
+            thread: tid,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn nested_and_sequential_spans_validate() {
+        // Nested pair plus a later disjoint span, with instants mixed in.
+        let events = vec![
+            span(0, 1_000, 10_000),
+            span(0, 2_000, 3_000),
+            span(0, 15_000, 1_000),
+            instant(0, 2_500, EventKind::RegionFork),
+            span(1, 500, 2_000),
+            instant(1, 600, EventKind::ClaimBatch),
+        ];
+        let doc = chrome_trace(&events);
+        let summary = validate_chrome_trace(&doc).expect("trace should validate");
+        assert_eq!(summary.spans, 4);
+        assert_eq!(summary.instants, 2);
+        assert_eq!(summary.threads, 2);
+        assert!(summary.has_name_prefix("region"));
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_and_regressing_traces() {
+        let unbalanced = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":1,"tid":0}
+        ]}"#;
+        assert!(validate_chrome_trace(unbalanced)
+            .unwrap_err()
+            .contains("unclosed"));
+
+        let mismatched = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":1,"tid":0},
+            {"name":"b","ph":"E","ts":2,"pid":1,"tid":0}
+        ]}"#;
+        assert!(validate_chrome_trace(mismatched)
+            .unwrap_err()
+            .contains("mismatched"));
+
+        let regressing = r#"{"traceEvents":[
+            {"name":"a","ph":"i","ts":5,"pid":1,"tid":0,"s":"t"},
+            {"name":"b","ph":"i","ts":4,"pid":1,"tid":0,"s":"t"}
+        ]}"#;
+        assert!(validate_chrome_trace(regressing)
+            .unwrap_err()
+            .contains("regression"));
+
+        let stray_e = r#"{"traceEvents":[
+            {"name":"a","ph":"E","ts":1,"pid":1,"tid":0}
+        ]}"#;
+        assert!(validate_chrome_trace(stray_e)
+            .unwrap_err()
+            .contains("without matching B"));
+
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+    }
+
+    #[test]
+    fn snapshot_json_is_wellformed() {
+        let doc = snapshot_json();
+        let v = parse(&doc).expect("snapshot parses");
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some("subsub-telemetry/v1")
+        );
+        assert!(v.get("counters").is_some());
+        assert!(v.get("histograms").and_then(Json::as_array).is_some());
+    }
+
+    #[test]
+    fn micros_formatting_is_exact() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(1_000), "1.000");
+        assert_eq!(micros(1_234_567), "1234.567");
+    }
+}

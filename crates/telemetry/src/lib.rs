@@ -1,0 +1,185 @@
+//! Flight-recorder telemetry for the subsub runtime.
+//!
+//! A zero-external-dependency observability layer in the same spirit as
+//! `subsub-failpoint`: **zero-cost when disarmed** (every instrumented
+//! site costs one relaxed atomic load and a predictable branch), and
+//! lock-free on the record path when armed. Three storage planes:
+//!
+//! * **flight recorder** — fixed-capacity per-thread ring buffers of
+//!   timestamped [`Event`]s ([`ring`]): region fork/join, claim batches,
+//!   inspector scans, cache hits/misses, guard verdicts, breaker
+//!   transitions, failpoint trips;
+//! * **counters** — cache-padded per-[`EventKind`] atomics ([`metrics`]);
+//! * **histograms** — log2-bucketed latency histograms keyed by
+//!   (interned kernel label, [`Phase`]) ([`metrics`]).
+//!
+//! Spans are recorded with RAII guards ([`span_labeled`]); the guard is
+//! inert (no clock read, no allocation) while telemetry is disarmed.
+//! Exporters ([`export`]) render a machine-readable JSON snapshot
+//! (`BENCH_telemetry.json` schema `subsub-telemetry/v1`) and the Chrome
+//! `trace_event` format, plus a strict trace validator used by CI.
+//!
+//! Arming is process-global and serialized exactly like failpoint
+//! arming: [`arm`] returns an [`ArmedTelemetry`] guard holding a global
+//! scope lock, so two telemetry-sensitive tests in one binary cannot
+//! interleave. Counters and rings are cumulative across armings; the
+//! guard records its arm timestamp so [`ArmedTelemetry::events`] returns
+//! only the events of its own scope.
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod ring;
+pub mod span;
+
+pub use event::{breaker_code, verdict_code, Event, EventKind, Phase, NUM_KINDS, NUM_PHASES};
+pub use export::{chrome_trace, snapshot_json, validate_chrome_trace, TraceSummary};
+pub use metrics::{
+    bucket_of, bucket_upper_bound, CachePadded, HistogramSnapshot, HIST_BUCKETS, MAX_KERNEL_IDS,
+};
+pub use ring::RING_CAPACITY;
+pub use span::{instant, instant_labeled, span, span_labeled, SpanGuard};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Fast-path flag: a disarmed instrumented site is exactly one relaxed
+/// load of this.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is telemetry armed right now? One relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the recorder epoch (the first call in the
+/// process). Monotone across threads.
+pub fn now_ns() -> u64 {
+    let e = epoch();
+    // u64 nanoseconds overflow after ~584 years of process uptime.
+    e.elapsed().as_nanos() as u64
+}
+
+fn scope() -> &'static Mutex<()> {
+    static SCOPE: OnceLock<Mutex<()>> = OnceLock::new();
+    SCOPE.get_or_init(|| Mutex::new(()))
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Keeps telemetry armed; disarms on drop. Holding the guard holds the
+/// global telemetry scope lock, so armed sections are serialized.
+pub struct ArmedTelemetry {
+    since_ns: u64,
+    _scope: MutexGuard<'static, ()>,
+}
+
+impl ArmedTelemetry {
+    /// Recorder timestamp at which this scope armed.
+    pub fn since_ns(&self) -> u64 {
+        self.since_ns
+    }
+
+    /// The flight-recorder events recorded since this scope armed,
+    /// merged across threads and sorted by start time.
+    pub fn events(&self) -> Vec<Event> {
+        ring::snapshot_events()
+            .into_iter()
+            .filter(|e| e.ts_ns >= self.since_ns)
+            .collect()
+    }
+}
+
+impl Drop for ArmedTelemetry {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Arms telemetry process-wide. Blocks until any previously armed scope
+/// is dropped. Rings and counters accumulate across scopes; use
+/// [`ArmedTelemetry::events`] for this scope's events only.
+pub fn arm() -> ArmedTelemetry {
+    let scope_guard = lock(scope());
+    let since_ns = now_ns();
+    ENABLED.store(true, Ordering::SeqCst);
+    ArmedTelemetry {
+        since_ns,
+        _scope: scope_guard,
+    }
+}
+
+fn labels() -> &'static Mutex<Vec<String>> {
+    static LABELS: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    // Id 0 is reserved for "unlabelled".
+    LABELS.get_or_init(|| Mutex::new(vec![String::new()]))
+}
+
+/// Interns a label (kernel name, array name, failpoint site) to a small
+/// id usable as a histogram key and event field. Idempotent; saturates
+/// at `u16::MAX` distinct labels (further labels all map to the last
+/// id). Takes a short critical section — callers on hot paths go
+/// through [`span_labeled`] / [`instant_labeled`], which intern only
+/// when telemetry is armed.
+pub fn intern(label: &str) -> u16 {
+    let mut table = lock(labels());
+    if let Some(i) = table.iter().position(|l| l == label) {
+        return i as u16;
+    }
+    if table.len() > usize::from(u16::MAX) {
+        return u16::MAX;
+    }
+    table.push(label.to_string());
+    (table.len() - 1) as u16
+}
+
+/// The label text for an interned id (empty string for 0 or unknown).
+pub fn label(id: u16) -> String {
+    lock(labels())
+        .get(usize::from(id))
+        .cloned()
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_invertible() {
+        let a = intern("unit-label-a");
+        let b = intern("unit-label-b");
+        assert_ne!(a, b);
+        assert_eq!(intern("unit-label-a"), a);
+        assert_eq!(label(a), "unit-label-a");
+        assert_eq!(label(0), "");
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn arming_scopes_serialize_and_disarm() {
+        {
+            let g = arm();
+            assert!(enabled());
+            instant(EventKind::CacheHit, Phase::None, 0, 7);
+            assert!(g.events().iter().any(|e| e.kind == EventKind::CacheHit));
+        }
+        assert!(!enabled());
+    }
+}

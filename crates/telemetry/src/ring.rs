@@ -1,0 +1,221 @@
+//! Per-thread flight-recorder ring buffers.
+//!
+//! # Memory model
+//!
+//! Each thread that records an event owns one [`Ring`]: a fixed-capacity
+//! circular buffer of four-word slots plus a monotone write cursor.
+//! Rings are **single-writer** by construction (the owning thread is the
+//! only one that ever pushes) and **multi-reader**: exporters snapshot
+//! any ring at any time without stopping the writer. The wait-free
+//! writer/reader protocol is a per-slot seqlock:
+//!
+//! * the writer bumps the slot's sequence to the *odd* value `2h + 1`
+//!   (write in progress for cursor position `h`), stores the four event
+//!   words, then publishes with the *even* value `2h + 2`;
+//! * a reader loads the sequence, skips the slot unless it equals
+//!   `2h + 2` for the position it wants, reads the words, and re-checks
+//!   the sequence — any concurrent overwrite changes the sequence and
+//!   the reader discards the torn slot instead of reporting it.
+//!
+//! The cursor never wraps its 64 bits in practice, so every slot write
+//! has a unique sequence pair and a reader can never confuse lap `h`
+//! with lap `h + capacity`. When the ring is full the oldest events are
+//! overwritten — a flight recorder keeps the most recent window, and the
+//! overwritten count is reported so exporters can say what was lost.
+//!
+//! All sequence operations use `SeqCst`; the recording path only runs
+//! when telemetry is armed, so the cost is irrelevant next to the
+//! disarmed fast path (one relaxed load in [`crate::enabled`]).
+
+use crate::event::Event;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Events retained per thread. At 40 bytes per slot this is ~160 KiB
+/// per recording thread, allocated lazily on the thread's first event.
+pub const RING_CAPACITY: usize = 4096;
+
+struct Slot {
+    seq: AtomicU64,
+    w: [AtomicU64; 4],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            w: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+}
+
+/// One thread's flight recorder.
+pub struct Ring {
+    thread: u32,
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Ring {
+    fn new(thread: u32) -> Ring {
+        Ring {
+            thread,
+            head: AtomicU64::new(0),
+            slots: (0..RING_CAPACITY).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Recorder slot id of the owning thread.
+    pub fn thread(&self) -> u32 {
+        self.thread
+    }
+
+    /// Total events ever pushed (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events lost to wraparound so far.
+    pub fn overwritten(&self) -> u64 {
+        self.recorded().saturating_sub(RING_CAPACITY as u64)
+    }
+
+    /// Writer side of the seqlock. Must only be called by the owning
+    /// thread (enforced by the thread-local in [`record`]).
+    fn push(&self, event: &Event) {
+        let h = self.head.load(Ordering::Relaxed);
+        let idx = (h % RING_CAPACITY as u64) as usize;
+        let slot = &self.slots[idx];
+        slot.seq.store(2 * h + 1, Ordering::SeqCst);
+        for (cell, word) in slot.w.iter().zip(event.encode()) {
+            cell.store(word, Ordering::Relaxed);
+        }
+        slot.seq.store(2 * h + 2, Ordering::SeqCst);
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Reader side: the retained window, oldest first. Slots being
+    /// overwritten concurrently are skipped, never reported torn.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let head = self.head.load(Ordering::Acquire);
+        let start = head.saturating_sub(RING_CAPACITY as u64);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for h in start..head {
+            let slot = &self.slots[(h % RING_CAPACITY as u64) as usize];
+            let s1 = slot.seq.load(Ordering::SeqCst);
+            if s1 != 2 * h + 2 {
+                continue; // in-flight write or already lapped
+            }
+            let words = [
+                slot.w[0].load(Ordering::Relaxed),
+                slot.w[1].load(Ordering::Relaxed),
+                slot.w[2].load(Ordering::Relaxed),
+                slot.w[3].load(Ordering::Relaxed),
+            ];
+            if slot.seq.load(Ordering::SeqCst) != s1 {
+                continue; // overwritten while reading
+            }
+            if let Some(e) = Event::decode(words) {
+                out.push(e);
+            }
+        }
+        out
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    static MY_RING: std::cell::OnceCell<Arc<Ring>> = const { std::cell::OnceCell::new() };
+}
+
+/// Records one event into the calling thread's ring, creating and
+/// registering the ring on the thread's first event. The event's
+/// `thread` field is overwritten with the ring's slot id.
+pub fn record(mut event: Event) {
+    MY_RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let ring = Arc::new(Ring::new(NEXT_THREAD.fetch_add(1, Ordering::Relaxed)));
+            lock(registry()).push(Arc::clone(&ring));
+            ring
+        });
+        event.thread = ring.thread();
+        ring.push(&event);
+    });
+}
+
+/// Snapshot of every registered ring's retained window, merged and
+/// sorted by start timestamp (ties broken by thread, then end).
+pub fn snapshot_events() -> Vec<Event> {
+    let rings: Vec<Arc<Ring>> = lock(registry()).clone();
+    let mut out: Vec<Event> = rings.iter().flat_map(|r| r.snapshot()).collect();
+    out.sort_by_key(|e| (e.ts_ns, e.thread, e.end_ns()));
+    out
+}
+
+/// (total recorded, total overwritten, registered rings) across threads.
+pub fn totals() -> (u64, u64, usize) {
+    let rings = lock(registry());
+    let recorded = rings.iter().map(|r| r.recorded()).sum();
+    let overwritten = rings.iter().map(|r| r.overwritten()).sum();
+    (recorded, overwritten, rings.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Phase};
+
+    fn ev(ts: u64, arg: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            dur_ns: 0,
+            kind: EventKind::ClaimBatch,
+            phase: Phase::None,
+            kernel: 0,
+            thread: 0,
+            arg,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_window() {
+        let ring = Ring::new(99);
+        let n = RING_CAPACITY as u64 + 100;
+        for i in 0..n {
+            ring.push(&ev(i, i));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), RING_CAPACITY);
+        assert_eq!(snap.first().map(|e| e.arg), Some(100));
+        assert_eq!(snap.last().map(|e| e.arg), Some(n - 1));
+        assert_eq!(ring.recorded(), n);
+        assert_eq!(ring.overwritten(), 100);
+    }
+
+    #[test]
+    fn partially_filled_ring_reports_only_written_slots() {
+        let ring = Ring::new(0);
+        for i in 0..10 {
+            ring.push(&ev(i, i));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 10);
+        assert!(snap.iter().enumerate().all(|(i, e)| e.arg == i as u64));
+        assert_eq!(ring.overwritten(), 0);
+    }
+}

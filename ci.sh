@@ -80,6 +80,23 @@ cargo run --release -q -p subsub-bench --bin trace -- \
 cargo run --release -q -p subsub-bench --bin trace -- \
   --validate target/BENCH_trace_ci.json
 
+echo "== analysis service smoke (seeded multi-client workload + chaos) =="
+# Closed-loop clients over the long-lived service front door, cold and
+# warm cache phases, with a mid-run worker kill: every completion must
+# match the serial golden checksum (zero incorrect dispatches), no
+# ticket may wedge, the warm phase must hit the shard cache >= 90% of
+# the time, and >= 8 requests must be observed in flight at once
+# (see DESIGN.md 6). The pinned default seed keeps the run replayable.
+cargo run --release -q -p subsub-bench --bin serve
+
+echo "== snapshot round-trip (write -> corrupt -> reject -> rebuild) =="
+# Persistence drill for the verdict cache: a snapshot with any single
+# byte flipped must be rejected wholesale (digest mismatch), a rejected
+# load must leave the cache empty for a clean rebuild, and an intact
+# snapshot must warm-start a fresh service into a hit on the first
+# repeated request.
+cargo run --release -q -p subsub-bench --bin serve -- --roundtrip
+
 echo "== perf gate (medians vs committed baseline, +/-25%) =="
 # The pinned micro-suite (fork-join latency, inspector throughput,
 # three representative serial kernels) against BENCH_baseline.json.

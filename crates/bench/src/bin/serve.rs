@@ -1,0 +1,85 @@
+//! Analysis-service workload CLI: seeded multi-client closed-loop
+//! benchmark with cold/warm cache phases, mid-run fault injection, and
+//! snapshot round-trip drills.
+//!
+//! Usage:
+//!   cargo run -p subsub-bench --bin serve [--seed N] [--clients N]
+//!       [--requests N] [--no-chaos] [--snapshot PATH] [--light]
+//!   cargo run -p subsub-bench --bin serve -- --roundtrip [--seed N]
+//!
+//! The default mode runs the workload and asserts the acceptance
+//! invariants: zero checksum divergences from the serial golden path,
+//! zero wedged tickets, warm-phase hit rate ≥ 90%, and ≥ 8 requests
+//! concurrently in flight. `--light` drops the concurrency/hit-rate
+//! bars (for constrained smoke environments) while keeping the
+//! correctness ones. `--roundtrip` runs the snapshot write → corrupt →
+//! reject → rebuild → warm-start drill instead. Exit code is nonzero on
+//! any violation, so CI can gate on it directly.
+
+use subsub_bench::serve::{run_serve_workload, snapshot_roundtrip_drill, ServeConfig};
+
+fn parse_flag_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} expects a number, got {v:?}"))
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = parse_flag_value(&args, "--seed").unwrap_or(0x5eed_5e47);
+
+    if args.iter().any(|a| a == "--roundtrip") {
+        let violations = snapshot_roundtrip_drill(seed);
+        if violations.is_empty() {
+            println!("snapshot round-trip drill passed (seed {seed})");
+            return;
+        }
+        for v in &violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        eprintln!("snapshot round-trip drill FAILED");
+        std::process::exit(1);
+    }
+
+    let light = args.iter().any(|a| a == "--light");
+    let cfg = ServeConfig {
+        seed,
+        clients: parse_flag_value(&args, "--clients").unwrap_or(12) as usize,
+        requests_per_client: parse_flag_value(&args, "--requests").unwrap_or(16) as usize,
+        kill_worker: !args.iter().any(|a| a == "--no-chaos"),
+        ..ServeConfig::default()
+    };
+    let (report, service) = run_serve_workload(&cfg);
+    println!("{}", report.to_json());
+
+    if let Some(i) = args.iter().position(|a| a == "--snapshot") {
+        let path = args.get(i + 1).expect("--snapshot expects a path");
+        std::fs::write(path, service.snapshot())
+            .unwrap_or_else(|e| panic!("writing snapshot to {path}: {e}"));
+        eprintln!("snapshot written to {path}");
+    }
+    service.shutdown();
+
+    let violations: Vec<String> = report
+        .violations()
+        .into_iter()
+        .filter(|v| !light || (!v.contains("in-flight") && !v.contains("hit rate")))
+        .collect();
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        eprintln!("serve workload FAILED (seed {seed})");
+        std::process::exit(1);
+    }
+    println!(
+        "serve workload passed (seed {seed}): {} requests, warm hit rate {:.1}%, max in-flight {}",
+        report.cold.completed + report.warm.completed,
+        report.warm.hit_rate * 100.0,
+        report.max_inflight
+    );
+}

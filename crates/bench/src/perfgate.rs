@@ -19,6 +19,7 @@ use crate::microbench::{bench, BenchStats};
 use subsub_kernels::kernel_by_name;
 use subsub_omprt::{Schedule, ThreadPool};
 use subsub_rtcheck::inspect_serial;
+use subsub_service::{AnalysisService, Payload, Request, ServiceConfig};
 use subsub_telemetry::json::{parse, Json};
 
 /// Symmetric relative tolerance band around each baseline median.
@@ -35,6 +36,9 @@ pub const INSPECT_LEN: usize = 65_536;
 /// three structural families: sparse gather (AMGmk), sampled dense
 /// product (SDDMM), and a dense stencil (heat-3d).
 pub const SUITE_KERNELS: &[&str] = &["AMGmk", "SDDMM", "heat-3d"];
+
+/// Requests per burst in the service-throughput entry.
+pub const SERVICE_BURST: usize = 16;
 
 /// Runs the pinned suite and returns one stats row per entry.
 pub fn run_suite() -> Vec<BenchStats> {
@@ -59,6 +63,49 @@ pub fn run_suite() -> Vec<BenchStats> {
             inst.run_serial();
         }));
     }
+
+    // Service front-door entries, pinned small: one worker and a
+    // single-thread pool so the medians track the submit → shard-cache
+    // hit → dispatch constant factors, not scheduler jitter.
+    let service = AnalysisService::start(ServiceConfig {
+        workers: 1,
+        pool_threads: 1,
+        ..ServiceConfig::default()
+    });
+    let request = |client: String| Request {
+        client,
+        payload: Payload::Execute {
+            kernel: "AMGmk".into(),
+            dataset: "test".into(),
+        },
+    };
+    // Warm the registry entry and the verdict cache so the timed path
+    // is the steady-state hot hit.
+    let warmup = service
+        .submit(request("perfgate".into()))
+        .expect("admitted")
+        .wait();
+    warmup.result.expect("warmup request must execute");
+    out.push(bench("service/hot-hit", || {
+        let response = service
+            .submit(request("perfgate".into()))
+            .expect("admitted")
+            .wait();
+        std::hint::black_box(&response);
+    }));
+    out.push(bench("service/throughput-16", || {
+        let tickets: Vec<_> = (0..SERVICE_BURST)
+            .map(|i| {
+                service
+                    .submit(request(format!("burst-{}", i % 4)))
+                    .expect("admitted")
+            })
+            .collect();
+        for t in tickets {
+            std::hint::black_box(&t.wait());
+        }
+    }));
+    service.shutdown();
     out
 }
 

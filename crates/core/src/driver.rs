@@ -150,12 +150,26 @@ impl fmt::Display for ProgramReport {
 /// Parses and analyzes a C-subset translation unit at the given level.
 pub fn analyze_program(src: &str, level: AlgorithmLevel) -> Result<ProgramReport, String> {
     let prog = parse_program(src).map_err(|e| e.to_string())?;
+    let mut lowered = Vec::new();
+    for func in &prog.funcs {
+        lowered.push(lower_function(func, &prog.globals).map_err(|e| e.to_string())?);
+    }
+    Ok(analyze_lowered(&lowered, level))
+}
+
+/// Analyzes already-lowered functions at the given level — the entry
+/// point for callers (the analysis service) that hold pre-lowered IR
+/// nests instead of C source. Infallible: lowering is where programs
+/// get rejected; every lowered function analyzes to *some* report.
+pub fn analyze_lowered(
+    funcs: &[subsub_ir::LoweredFunction],
+    level: AlgorithmLevel,
+) -> ProgramReport {
     let env = RangeEnv::new();
     let mut functions = Vec::new();
-    for func in &prog.funcs {
-        let lowered = lower_function(func, &prog.globals).map_err(|e| e.to_string())?;
+    for lowered in funcs {
         let fa = if level.analyzes_arrays() {
-            analyze_function(&lowered, level, &env)
+            analyze_function(lowered, level, &env)
         } else {
             // Classical level still needs the (empty) property DB shape.
             crate::nest::FunctionAnalysis {
@@ -188,7 +202,7 @@ pub fn analyze_program(src: &str, level: AlgorithmLevel) -> Result<ProgramReport
             properties: fa.properties.iter().map(|p| p.to_string()).collect(),
         });
     }
-    Ok(ProgramReport { level, functions })
+    ProgramReport { level, functions }
 }
 
 fn collect_with_depth(body: &[IrStmt], depth: usize, f: &mut impl FnMut(&LoopIr, usize)) {

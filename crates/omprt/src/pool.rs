@@ -190,6 +190,26 @@ pub struct PoolHealth {
     pub deadline_cancels: u64,
 }
 
+impl PoolHealth {
+    /// Total degradation events recorded: everything except the plain
+    /// region count. Monotone, so a consumer polling for "did anything
+    /// go wrong since last time" can diff two snapshots.
+    pub fn degradation_events(&self) -> u64 {
+        self.job_panics
+            + self.reclaimed_tids
+            + self.respawned_workers
+            + self.aborted_regions
+            + self.deadline_cancels
+    }
+
+    /// Degradation events in `self` that were not yet present in the
+    /// earlier snapshot `prev` (saturating; snapshots are cumulative).
+    pub fn degradation_since(&self, prev: &PoolHealth) -> u64 {
+        self.degradation_events()
+            .saturating_sub(prev.degradation_events())
+    }
+}
+
 #[derive(Debug, Default)]
 struct HealthCounters {
     regions: AtomicU64,
@@ -284,6 +304,15 @@ impl ThreadPool {
             suspect: AtomicBool::new(false),
             health: HealthCounters::default(),
         }
+    }
+
+    /// Spawns a pool wrapped for sharing across threads — the handle a
+    /// long-lived service hands to every worker so concurrent requests
+    /// multiplex over one team (concurrent coordinators degrade inline
+    /// per the module docs; the pool stays correct, the losers just run
+    /// their regions serially).
+    pub fn shared(threads: usize) -> Arc<ThreadPool> {
+        Arc::new(ThreadPool::new(threads))
     }
 
     /// Number of worker threads.

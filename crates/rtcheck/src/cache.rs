@@ -10,12 +10,120 @@
 
 use crate::inspect::{inspect_serial, try_inspect_monotone, IndexArrayView, MonotoneVerdict};
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use subsub_failpoint::{self as failpoint, Action};
 use subsub_omprt::{RegionError, ThreadPool};
 use subsub_telemetry as telemetry;
 use subsub_telemetry::{EventKind, Phase};
+
+/// A bounded verdict memo with least-recently-used-ish eviction.
+///
+/// The original inspector memo grew without bound: every distinct array
+/// identity (or, at service scale, every distinct array *content*) held
+/// its entry forever. `VerdictCache` caps the entry count explicitly;
+/// when an insert would exceed the capacity, the entry with the oldest
+/// recency stamp is evicted (a linear min-scan — exact LRU order is not
+/// worth a linked list at the capacities the runtime uses, and the scan
+/// only runs on inserts into a full cache).
+///
+/// The type is deliberately not internally synchronized: the inspector
+/// memo wraps it in a `Mutex`, and the service's sharded cache wraps one
+/// per shard — locking granularity is the caller's concern.
+#[derive(Debug)]
+pub struct VerdictCache<K, V> {
+    cap: usize,
+    tick: u64,
+    evictions: u64,
+    map: HashMap<K, (u64, V)>,
+}
+
+impl<K: Eq + Hash + Clone, V> VerdictCache<K, V> {
+    /// A cache holding at most `cap` entries (clamped to at least 1).
+    pub fn with_capacity(cap: usize) -> VerdictCache<K, V> {
+        VerdictCache {
+            cap: cap.max(1),
+            tick: 0,
+            evictions: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current entry count (always `<= capacity()`).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entry is held.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entries evicted under capacity pressure so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks up `key`, refreshing its recency stamp on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((stamp, v)) => {
+                *stamp = tick;
+                Some(v)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts (or replaces) `key`, evicting the stalest entry first if
+    /// the cache is full. Returns the evicted key, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<K> {
+        self.tick += 1;
+        let mut evicted = None;
+        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                self.evictions += 1;
+                evicted = Some(victim);
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+        evicted
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.map.remove(key).map(|(_, v)| v)
+    }
+
+    /// Drops every entry (the eviction counter is kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Iterates over `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, (_, v))| (k, v))
+    }
+}
+
+/// Entries the inspector memo holds before evicting; far above what the
+/// kernel registry needs, low enough that a service sweeping arbitrary
+/// arrays through one executor cannot grow the memo without bound.
+pub const MEMO_CAPACITY: usize = 1024;
 
 /// Cache identity of one index array.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -44,21 +152,40 @@ pub struct CacheStats {
     pub misses: u64,
     /// Misses caused specifically by a version change on a known array.
     pub invalidations: u64,
+    /// Entries evicted under capacity pressure.
+    pub evictions: u64,
 }
 
-/// Verdict memo keyed by (array identity, version).
-#[derive(Debug, Default)]
+/// Verdict memo keyed by (array identity, version), bounded at
+/// [`MEMO_CAPACITY`] entries with LRU-ish eviction.
+#[derive(Debug)]
 pub struct InspectorCache {
-    entries: Mutex<HashMap<Key, (u64, MonotoneVerdict)>>,
+    entries: Mutex<VerdictCache<Key, (u64, MonotoneVerdict)>>,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
 }
 
+impl Default for InspectorCache {
+    fn default() -> InspectorCache {
+        InspectorCache::new()
+    }
+}
+
 impl InspectorCache {
-    /// Empty cache.
+    /// Empty cache with the default [`MEMO_CAPACITY`] bound.
     pub fn new() -> InspectorCache {
-        InspectorCache::default()
+        InspectorCache::bounded(MEMO_CAPACITY)
+    }
+
+    /// Empty cache holding at most `cap` verdicts.
+    pub fn bounded(cap: usize) -> InspectorCache {
+        InspectorCache {
+            entries: Mutex::new(VerdictCache::with_capacity(cap)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
     }
 
     /// Returns the verdict for `view`, inspecting only when no entry with
@@ -86,7 +213,7 @@ impl InspectorCache {
         let key = Key::of(view);
         let _lookup_span = telemetry::span_labeled(Phase::CacheLookup, view.name);
         {
-            let entries = lock(&self.entries);
+            let mut entries = lock(&self.entries);
             match entries.get(&key) {
                 Some((ver, verdict)) if *ver == view.version => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
@@ -148,7 +275,7 @@ impl InspectorCache {
     fn insert(&self, key: Key, version: u64, verdict: MonotoneVerdict) {
         match failpoint::hit("rtcheck.cache.insert") {
             Action::Proceed => {
-                lock(&self.entries).insert(key, (version, verdict));
+                self.insert_noting_eviction(key, (version, verdict));
             }
             // Injected insert fault: skip memoization. The verdict
             // already computed stays valid; later lookups just re-inspect.
@@ -164,8 +291,20 @@ impl InspectorCache {
                     first_violation: None,
                     len: verdict.len,
                 };
-                lock(&self.entries).insert(key, (version, deny));
+                self.insert_noting_eviction(key, (version, deny));
             }
+        }
+    }
+
+    fn insert_noting_eviction(&self, key: Key, entry: (u64, MonotoneVerdict)) {
+        let evicted = lock(&self.entries).insert(key, entry);
+        if let Some(victim) = evicted {
+            telemetry::instant_labeled(
+                EventKind::CacheEvict,
+                Phase::CacheLookup,
+                &victim.name,
+                victim.len as u64,
+            );
         }
     }
 
@@ -180,6 +319,7 @@ impl InspectorCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: lock(&self.entries).evictions(),
         }
     }
 }
@@ -237,6 +377,57 @@ mod tests {
         assert!(cache.verdict(&view("g", &good, 0), None).nonstrict);
         assert!(!cache.verdict(&view("b", &bad, 0), None).nonstrict);
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn verdict_cache_evicts_stalest_under_pressure() {
+        let mut c: VerdictCache<u32, &str> = VerdictCache::with_capacity(3);
+        assert!(c.insert(1, "a").is_none());
+        assert!(c.insert(2, "b").is_none());
+        assert!(c.insert(3, "c").is_none());
+        assert_eq!(c.len(), 3);
+        // Touch 1 and 2 so 3 is the stalest.
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.get(&2), Some(&"b"));
+        assert_eq!(c.insert(4, "d"), Some(3));
+        assert_eq!((c.len(), c.evictions()), (3, 1));
+        assert!(c.get(&3).is_none(), "victim is gone");
+        assert_eq!(c.get(&4), Some(&"d"));
+        // Replacing an existing key under a full cache evicts nothing.
+        assert!(c.insert(4, "d2").is_none());
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn verdict_cache_capacity_is_clamped_to_one() {
+        let mut c: VerdictCache<u8, u8> = VerdictCache::with_capacity(0);
+        assert_eq!(c.capacity(), 1);
+        assert!(c.insert(1, 10).is_none());
+        assert_eq!(c.insert(2, 20), Some(1));
+        assert_eq!((c.len(), c.get(&2)), (1, Some(&20)));
+    }
+
+    #[test]
+    fn inspector_memo_evicts_under_pressure_and_reinspects() {
+        // A 2-entry memo driven with 3 distinct arrays: the stalest entry
+        // is evicted, and looking it up again is a miss (re-inspection),
+        // not a stale answer.
+        let cache = InspectorCache::bounded(2);
+        let a = vec![0usize, 1, 2];
+        let b = vec![0usize, 2, 4];
+        let c = vec![5usize, 6, 7];
+        cache.verdict(&view("a", &a, 0), None);
+        cache.verdict(&view("b", &b, 0), None);
+        cache.verdict(&view("c", &c, 0), None); // evicts "a"
+        let s = cache.stats();
+        assert_eq!((s.misses, s.evictions), (3, 1));
+        // "a" was evicted: this lookup must re-inspect, not hit.
+        cache.verdict(&view("a", &a, 0), None);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 4));
+        // "c" is still resident and hits.
+        cache.verdict(&view("c", &c, 0), None);
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod validate;
 
 pub use bindings::Bindings;
 pub use breaker::{BreakerState, CircuitBreaker};
-pub use cache::{CacheStats, InspectorCache};
+pub use cache::{CacheStats, InspectorCache, VerdictCache, MEMO_CAPACITY};
 pub use compile::{CompileError, CompiledCheck, EvalError};
 pub use error::ExecError;
 pub use expr::{parse_check, CheckExpr, CmpOp, ParseError};

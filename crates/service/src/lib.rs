@@ -1,0 +1,44 @@
+//! Analysis-as-a-service: the concurrent batch front door over the
+//! subscripted-subscript analysis pipeline.
+//!
+//! The paper's hybrid scheme amortizes runtime inspection across the
+//! repeated invocations of *one* program. This crate lifts that
+//! amortization across *callers*: a long-lived [`AnalysisService`]
+//! accepts many concurrent requests — C source for the front end,
+//! pre-lowered IR nests, or guarded kernel executions — multiplexes
+//! them over one shared omprt pool through a bounded admission queue,
+//! and answers each with a structured [`Response`] (analysis verdict,
+//! guard decision, execution result, per-request telemetry summary).
+//!
+//! The core is the [`ShardedVerdictCache`]: N independently-locked
+//! shards of monotonicity verdicts keyed by content checksum +
+//! provenance + inspector kind, replacing the per-executor
+//! identity-keyed memo for the multi-tenant case. Verdicts persist
+//! across restarts via the `subsub-cache/v1` snapshot
+//! ([`snapshot`]) — versioned, digest-validated, rejected wholesale on
+//! any corruption, and never trusted for dispatch without the
+//! executor's write-version tamper gate re-validating the live arrays.
+//!
+//! Admission control rides the existing resilience machinery: pool
+//! health deltas and breaker-open observations flip the service into a
+//! serialized cooldown, a per-client fairness cap keeps one heavy
+//! caller from starving the queue, and every accept/shed/hit/miss/evict
+//! is telemetry-instrumented.
+
+pub mod exec;
+pub mod request;
+pub mod service;
+pub mod shard;
+pub mod snapshot;
+
+pub use exec::{ExecReport, KernelEntry, KernelRegistry};
+pub use request::{
+    Outcome, Payload, Request, RequestTelemetry, Response, ServiceError, ShedReason,
+};
+pub use service::{AnalysisService, ServiceConfig, ServiceStats, Ticket};
+pub use shard::{
+    CachedVerdict, InspectorKind, Lookup, ShardStats, ShardedVerdictCache, VerdictKey,
+};
+pub use snapshot::{
+    load_snapshot, parse_snapshot, write_snapshot, SnapshotError, SNAPSHOT_VERSION,
+};

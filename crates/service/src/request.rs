@@ -1,0 +1,174 @@
+//! Request/response surface of the analysis service.
+//!
+//! A request either asks for *analysis only* (hand back the program
+//! report for C source or pre-lowered IR) or for a *guarded kernel
+//! execution* (analyze → inspect via the sharded verdict cache → guard
+//! → dispatch, returning the executed variant and result checksum).
+//! Every response carries a [`RequestTelemetry`] so callers can see
+//! where their time went without scraping the global trace ring.
+
+use std::time::Duration;
+use subsub_core::{AlgorithmLevel, ProgramReport};
+use subsub_rtcheck::{ExecError, GuardPath};
+
+use crate::shard::Lookup;
+
+/// What the caller wants done.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Parse + lower + analyze a C-subset translation unit.
+    AnalyzeSource {
+        /// The C-subset source text.
+        source: String,
+        /// Analysis level to run at.
+        level: AlgorithmLevel,
+    },
+    /// Analyze pre-lowered IR nests (no parse step).
+    AnalyzeLowered {
+        /// The lowered functions.
+        funcs: Vec<subsub_ir::LoweredFunction>,
+        /// Analysis level to run at.
+        level: AlgorithmLevel,
+    },
+    /// Run a registered kernel dataset through the full
+    /// analyze → inspect → guard → dispatch path.
+    Execute {
+        /// Registered kernel name (see [`crate::KernelRegistry`]).
+        kernel: String,
+        /// Dataset name within the kernel.
+        dataset: String,
+    },
+}
+
+impl Payload {
+    /// Short label for telemetry.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Payload::AnalyzeSource { .. } => "analyze-source",
+            Payload::AnalyzeLowered { .. } => "analyze-lowered",
+            Payload::Execute { .. } => "execute",
+        }
+    }
+}
+
+/// One unit of work submitted by a client.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller identity for fairness accounting. Callers sharing an id
+    /// share one in-flight budget.
+    pub client: String,
+    /// The work itself.
+    pub payload: Payload,
+}
+
+/// Why admission control refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded queue was full.
+    QueueFull,
+    /// The caller already has its fair share of in-flight requests.
+    FairnessCap,
+    /// The service is degraded and shedding parallel work.
+    Degraded,
+    /// The service is shutting down.
+    Shutdown,
+}
+
+impl ShedReason {
+    /// Stable numeric code carried in the `service_shed` telemetry arg.
+    pub fn code(self) -> u64 {
+        match self {
+            ShedReason::QueueFull => 1,
+            ShedReason::FairnessCap => 2,
+            ShedReason::Degraded => 3,
+            ShedReason::Shutdown => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "queue full"),
+            ShedReason::FairnessCap => write!(f, "fairness cap"),
+            ShedReason::Degraded => write!(f, "degraded"),
+            ShedReason::Shutdown => write!(f, "shutdown"),
+        }
+    }
+}
+
+/// Terminal failure of a request (distinct from a guarded execution
+/// that *degraded* — degradation still yields an [`Outcome::Executed`]
+/// with a serial path).
+#[derive(Debug, Clone)]
+pub enum ServiceError {
+    /// Admission control refused the request.
+    Shed(ShedReason),
+    /// The C front end or lowering rejected the program.
+    Rejected {
+        /// Parser/lowering diagnostic.
+        detail: String,
+    },
+    /// Unknown kernel or dataset name.
+    UnknownKernel {
+        /// The offending name.
+        name: String,
+    },
+    /// The guarded execution failed terminally (both parallel and
+    /// serial rescue unavailable).
+    Failed(ExecError),
+    /// The response channel was abandoned (service dropped mid-flight).
+    Canceled,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Shed(r) => write!(f, "request shed: {r}"),
+            ServiceError::Rejected { detail } => write!(f, "program rejected: {detail}"),
+            ServiceError::UnknownKernel { name } => write!(f, "unknown kernel/dataset: {name}"),
+            ServiceError::Failed(e) => write!(f, "execution failed: {e}"),
+            ServiceError::Canceled => write!(f, "request canceled"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The useful part of a successful response.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Analysis-only request: the program report.
+    Analyzed(ProgramReport),
+    /// Execution request: what ran and what it produced.
+    Executed {
+        /// Guard path actually taken.
+        path: GuardPath,
+        /// Kernel output checksum (for divergence checking).
+        checksum: f64,
+        /// Whether the parallel attempt degraded to serial rescue.
+        degraded: Option<ExecError>,
+    },
+}
+
+/// Per-request accounting returned with every response.
+#[derive(Debug, Clone, Default)]
+pub struct RequestTelemetry {
+    /// Time spent waiting in the admission queue.
+    pub queued: Duration,
+    /// Time spent in the worker (analysis + inspection + execution).
+    pub service: Duration,
+    /// How the verdict-cache lookup was answered, when one happened.
+    pub cache: Option<Lookup>,
+    /// True when the request ran under degraded (serialized) mode.
+    pub serialized: bool,
+}
+
+/// A completed request: outcome or error, plus accounting.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// What happened.
+    pub result: Result<Outcome, ServiceError>,
+    /// Where the time went.
+    pub telemetry: RequestTelemetry,
+}

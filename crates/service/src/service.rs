@@ -1,0 +1,575 @@
+//! The long-lived analysis service: bounded admission queue, worker
+//! threads multiplexed over one shared omprt pool, and the sharded
+//! verdict cache.
+//!
+//! ## Request lifecycle
+//!
+//! `submit` walks the admission ladder under the queue lock —
+//! shutdown → queue bound → per-client fairness cap → degradation
+//! shed — and either returns a [`ShedReason`] immediately or enqueues
+//! the job and hands back a [`Ticket`]. A worker dequeues, stamps the
+//! queue wait, consults the degradation mode (requests admitted while
+//! the service is `Serialized` run serial-only), executes the payload,
+//! and fulfills the ticket with a [`Response`] carrying per-request
+//! telemetry. Kernel executions flow through [`KernelRegistry`] and the
+//! [`ShardedVerdictCache`]; every parallel region of every request
+//! shares the single omprt pool, whose nested-region degradation makes
+//! concurrent multiplexing safe by construction.
+//!
+//! ## Degradation ladder
+//!
+//! The service watches [`PoolHealth`] deltas (worker deaths, reclaimed
+//! tids, aborted regions) and guarded-execution outcomes (breaker-open
+//! denials, parallel faults). Any observation flips the mode to
+//! `Serialized { remaining }`: the next `remaining` admitted kernel
+//! requests run the serial golden path only — no inspection, no
+//! parallel dispatch — giving the pool's self-healing watchdog room to
+//! respawn workers without a stampede of faulting regions. While
+//! serialized, a queue at half capacity sheds new work as `Degraded`
+//! instead of letting latency balloon. The cooldown spent, the mode
+//! snaps back to `Normal`.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use subsub_core::{analyze_lowered, analyze_program, AlgorithmLevel};
+use subsub_omprt::{PoolHealth, ThreadPool};
+use subsub_rtcheck::ExecError;
+use subsub_telemetry as telemetry;
+use subsub_telemetry::{EventKind, Phase, SpanGuard};
+
+use crate::exec::KernelRegistry;
+use crate::request::{
+    Outcome, Payload, Request, RequestTelemetry, Response, ServiceError, ShedReason,
+};
+use crate::shard::{ShardStats, ShardedVerdictCache};
+use crate::snapshot::{self, SnapshotError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Tunables for one [`AnalysisService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue (≥1).
+    pub workers: usize,
+    /// Bounded queue depth; submissions beyond it shed `QueueFull`.
+    pub queue_capacity: usize,
+    /// Max in-flight (queued + executing) requests per client id;
+    /// submissions beyond it shed `FairnessCap`.
+    pub fairness_cap: usize,
+    /// Shards of the verdict cache.
+    pub shards: usize,
+    /// Capacity bound of each shard.
+    pub shard_capacity: usize,
+    /// Analysis level for kernel requests.
+    pub level: AlgorithmLevel,
+    /// Threads in the shared omprt pool.
+    pub pool_threads: usize,
+    /// Re-verify ingested arrays before serving cached verdicts.
+    pub paranoid_verify: bool,
+    /// Kernel requests to serialize after observing degradation.
+    pub serialized_cooldown: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            fairness_cap: 8,
+            shards: 8,
+            shard_capacity: 256,
+            level: AlgorithmLevel::New,
+            pool_threads: 3,
+            paranoid_verify: true,
+            serialized_cooldown: 16,
+        }
+    }
+}
+
+/// Cumulative service counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests completed (fulfilled tickets).
+    pub completed: u64,
+    /// Requests shed at admission, by reason code order
+    /// (queue-full, fairness, degraded, shutdown).
+    pub shed: [u64; 4],
+    /// High-water mark of concurrently in-flight requests.
+    pub max_inflight: u64,
+    /// Requests executed under serialized (degraded) mode.
+    pub serialized_requests: u64,
+    /// Times the mode flipped Normal → Serialized.
+    pub degradations: u64,
+    /// Verdict-cache counters.
+    pub cache: ShardStats,
+}
+
+impl ServiceStats {
+    /// Total shed count.
+    pub fn total_shed(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+}
+
+/// One completed response slot, fulfilled exactly once.
+struct ResponseSlot {
+    state: Mutex<Option<Response>>,
+    cv: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> ResponseSlot {
+        ResponseSlot {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, response: Response) {
+        let mut st = lock(&self.state);
+        if st.is_none() {
+            *st = Some(response);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Handle to a submitted request.
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    /// Blocks until the response is ready.
+    pub fn wait(self) -> Response {
+        let mut st = lock(&self.slot.state);
+        loop {
+            if let Some(r) = st.take() {
+                return r;
+            }
+            st = self.slot.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocks up to `timeout`; `None` means the deadline passed with the
+    /// request still in flight (the ticket is consumed — a wedged queue
+    /// is an error condition the caller reports, not retries).
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Response> {
+        let deadline = Instant::now() + timeout;
+        let mut st = lock(&self.slot.state);
+        loop {
+            if let Some(r) = st.take() {
+                return Some(r);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .slot
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+}
+
+struct Job {
+    request: Request,
+    slot: Arc<ResponseSlot>,
+    enqueued_at: Instant,
+    /// Dropped at dequeue: records the queue wait into the telemetry
+    /// histogram for `Phase::Queue`.
+    queue_span: SpanGuard,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Normal,
+    Serialized { remaining: u64 },
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// In-flight (queued + executing) per client id.
+    per_client: HashMap<String, usize>,
+    inflight: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    queue: Mutex<QueueState>,
+    jobs_cv: Condvar,
+    cache: ShardedVerdictCache,
+    registry: KernelRegistry,
+    pool: Arc<ThreadPool>,
+    mode: Mutex<Mode>,
+    health_baseline: Mutex<PoolHealth>,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    shed: [AtomicU64; 4],
+    max_inflight: AtomicU64,
+    serialized_requests: AtomicU64,
+    degradations: AtomicU64,
+    draining: AtomicBool,
+}
+
+impl Inner {
+    fn note_shed(&self, reason: ShedReason) {
+        let idx = (reason.code() - 1) as usize;
+        self.shed[idx].fetch_add(1, Ordering::Relaxed);
+        telemetry::instant(EventKind::ServiceShed, Phase::Service, 0, reason.code());
+    }
+
+    /// Enters serialized mode (or extends an active cooldown).
+    fn degrade(&self) {
+        let mut mode = lock(&self.mode);
+        if *mode == Mode::Normal {
+            self.degradations.fetch_add(1, Ordering::Relaxed);
+        }
+        *mode = Mode::Serialized {
+            remaining: self.cfg.serialized_cooldown,
+        };
+    }
+
+    /// Consumes one serialized-mode token; returns whether this request
+    /// must run serial-only.
+    fn take_mode(&self) -> bool {
+        let mut mode = lock(&self.mode);
+        match *mode {
+            Mode::Normal => false,
+            Mode::Serialized { remaining } => {
+                *mode = if remaining <= 1 {
+                    Mode::Normal
+                } else {
+                    Mode::Serialized {
+                        remaining: remaining - 1,
+                    }
+                };
+                true
+            }
+        }
+    }
+
+    /// Polls pool health; any degradation delta since the last poll
+    /// flips the mode.
+    fn observe_health(&self) {
+        let health = self.pool.health();
+        let mut baseline = lock(&self.health_baseline);
+        if health.degradation_since(&baseline) > 0 {
+            drop(baseline);
+            self.degrade();
+            *lock(&self.health_baseline) = health;
+        } else {
+            *baseline = health;
+        }
+    }
+
+    fn execute_payload(&self, payload: &Payload, serialized: bool) -> ExecOutcome {
+        match payload {
+            Payload::AnalyzeSource { source, level } => match analyze_program(source, *level) {
+                Ok(report) => ExecOutcome {
+                    result: Ok(Outcome::Analyzed(report)),
+                    cache: None,
+                },
+                Err(detail) => ExecOutcome {
+                    result: Err(ServiceError::Rejected { detail }),
+                    cache: None,
+                },
+            },
+            Payload::AnalyzeLowered { funcs, level } => ExecOutcome {
+                result: Ok(Outcome::Analyzed(analyze_lowered(funcs, *level))),
+                cache: None,
+            },
+            Payload::Execute { kernel, dataset } => {
+                match self.registry.entry(kernel, dataset).and_then(|e| {
+                    e.execute(
+                        &self.cache,
+                        &self.pool,
+                        serialized,
+                        self.cfg.paranoid_verify,
+                    )
+                }) {
+                    Ok(report) => {
+                        // Guarded outcomes that fell back for fault-like
+                        // reasons feed the degradation ladder.
+                        if let Outcome::Executed {
+                            degraded: Some(reason),
+                            ..
+                        } = &report.outcome
+                        {
+                            if matches!(
+                                reason,
+                                ExecError::ParallelFault { .. }
+                                    | ExecError::Timeout
+                                    | ExecError::BreakerOpen { .. }
+                            ) {
+                                self.degrade();
+                            }
+                        }
+                        ExecOutcome {
+                            result: Ok(report.outcome),
+                            cache: report.cache,
+                        }
+                    }
+                    Err(e) => ExecOutcome {
+                        result: Err(e),
+                        cache: None,
+                    },
+                }
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = lock(&self.queue);
+                loop {
+                    if let Some(job) = q.jobs.pop_front() {
+                        break job;
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    q = self.jobs_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let queued = job.enqueued_at.elapsed();
+            drop(job.queue_span);
+            let started = Instant::now();
+            let _service_span =
+                telemetry::span_labeled(Phase::Service, job.request.payload.label());
+            self.observe_health();
+            let wants_kernel = matches!(job.request.payload, Payload::Execute { .. });
+            let serialized = wants_kernel && self.take_mode();
+            if serialized {
+                self.serialized_requests.fetch_add(1, Ordering::Relaxed);
+            }
+            // A panicking payload must not take the worker down with it:
+            // the queue would lose a drainer and eventually wedge.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.execute_payload(&job.request.payload, serialized)
+            }))
+            .unwrap_or_else(|_| {
+                self.degrade();
+                ExecOutcome {
+                    result: Err(ServiceError::Failed(ExecError::ParallelFault {
+                        detail: "request processing panicked".into(),
+                    })),
+                    cache: None,
+                }
+            });
+            let response = Response {
+                result: outcome.result,
+                telemetry: RequestTelemetry {
+                    queued,
+                    service: started.elapsed(),
+                    cache: outcome.cache,
+                    serialized,
+                },
+            };
+            job.slot.fulfill(response);
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            let mut q = lock(&self.queue);
+            q.inflight = q.inflight.saturating_sub(1);
+            if let Some(n) = q.per_client.get_mut(&job.request.client) {
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    q.per_client.remove(&job.request.client);
+                }
+            }
+        }
+    }
+}
+
+struct ExecOutcome {
+    result: Result<Outcome, ServiceError>,
+    cache: Option<crate::shard::Lookup>,
+}
+
+/// The concurrent analysis front door. See the module docs.
+pub struct AnalysisService {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl AnalysisService {
+    /// Starts the service: spawns the worker threads and the shared
+    /// omprt pool.
+    pub fn start(cfg: ServiceConfig) -> AnalysisService {
+        let pool = Arc::new(ThreadPool::new(cfg.pool_threads.max(1)));
+        AnalysisService::start_with_pool(cfg, pool)
+    }
+
+    /// Starts the service over a caller-provided pool (shared with
+    /// other subsystems).
+    pub fn start_with_pool(cfg: ServiceConfig, pool: Arc<ThreadPool>) -> AnalysisService {
+        let inner = Arc::new(Inner {
+            cache: ShardedVerdictCache::new(cfg.shards, cfg.shard_capacity),
+            registry: KernelRegistry::new(cfg.level),
+            pool,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                per_client: HashMap::new(),
+                inflight: 0,
+                shutdown: false,
+            }),
+            jobs_cv: Condvar::new(),
+            mode: Mutex::new(Mode::Normal),
+            health_baseline: Mutex::new(PoolHealth::default()),
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: Default::default(),
+            max_inflight: AtomicU64::new(0),
+            serialized_requests: AtomicU64::new(0),
+            degradations: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            cfg,
+        });
+        let workers = (0..inner.cfg.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || inner.worker_loop())
+            })
+            .collect();
+        AnalysisService {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submits a request, returning a [`Ticket`] or the shed reason.
+    pub fn submit(&self, request: Request) -> Result<Ticket, ShedReason> {
+        let inner = &self.inner;
+        if inner.draining.load(Ordering::Acquire) {
+            inner.note_shed(ShedReason::Shutdown);
+            return Err(ShedReason::Shutdown);
+        }
+        let mut q = lock(&inner.queue);
+        if q.shutdown {
+            drop(q);
+            inner.note_shed(ShedReason::Shutdown);
+            return Err(ShedReason::Shutdown);
+        }
+        if q.jobs.len() >= inner.cfg.queue_capacity {
+            drop(q);
+            inner.note_shed(ShedReason::QueueFull);
+            return Err(ShedReason::QueueFull);
+        }
+        let client_load = q.per_client.get(&request.client).copied().unwrap_or(0);
+        if client_load >= inner.cfg.fairness_cap {
+            drop(q);
+            inner.note_shed(ShedReason::FairnessCap);
+            return Err(ShedReason::FairnessCap);
+        }
+        // Degradation shed: while serialized, refuse to let the queue
+        // grow past half capacity — serial execution drains slowly.
+        if q.jobs.len() >= inner.cfg.queue_capacity.div_ceil(2)
+            && *lock(&inner.mode) != Mode::Normal
+        {
+            drop(q);
+            inner.note_shed(ShedReason::Degraded);
+            return Err(ShedReason::Degraded);
+        }
+        let slot = Arc::new(ResponseSlot::new());
+        let depth = q.jobs.len() as u64 + 1;
+        *q.per_client.entry(request.client.clone()).or_insert(0) += 1;
+        q.jobs.push_back(Job {
+            queue_span: telemetry::span_labeled(Phase::Queue, &request.client),
+            request,
+            slot: Arc::clone(&slot),
+            enqueued_at: Instant::now(),
+        });
+        q.inflight += 1;
+        let inflight = q.inflight;
+        drop(q);
+        inner.admitted.fetch_add(1, Ordering::Relaxed);
+        inner.max_inflight.fetch_max(inflight, Ordering::Relaxed);
+        telemetry::instant(EventKind::ServiceAdmit, Phase::Service, 0, depth);
+        inner.jobs_cv.notify_one();
+        Ok(Ticket { slot })
+    }
+
+    /// Serializes the verdict cache as a `subsub-cache/v1` document.
+    pub fn snapshot(&self) -> String {
+        snapshot::write_snapshot(&self.inner.cache)
+    }
+
+    /// Warm-starts the verdict cache from a snapshot. A rejected
+    /// snapshot leaves the cache exactly as it was.
+    pub fn warm_start(&self, text: &str) -> Result<usize, SnapshotError> {
+        snapshot::load_snapshot(&self.inner.cache, text)
+    }
+
+    /// The shared omprt pool (for harnesses that co-schedule work).
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.inner.pool
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let inner = &self.inner;
+        ServiceStats {
+            admitted: inner.admitted.load(Ordering::Relaxed),
+            completed: inner.completed.load(Ordering::Relaxed),
+            shed: [
+                inner.shed[0].load(Ordering::Relaxed),
+                inner.shed[1].load(Ordering::Relaxed),
+                inner.shed[2].load(Ordering::Relaxed),
+                inner.shed[3].load(Ordering::Relaxed),
+            ],
+            max_inflight: inner.max_inflight.load(Ordering::Relaxed),
+            serialized_requests: inner.serialized_requests.load(Ordering::Relaxed),
+            degradations: inner.degradations.load(Ordering::Relaxed),
+            cache: inner.cache.stats(),
+        }
+    }
+
+    /// The serial reference checksum for a kernel request (divergence
+    /// oracle for harnesses).
+    pub fn golden_checksum(&self, kernel: &str, dataset: &str) -> Result<f64, ServiceError> {
+        Ok(self
+            .inner
+            .registry
+            .entry(kernel, dataset)?
+            .golden_checksum())
+    }
+
+    /// Stops admissions, drains queued jobs as `Shed(Shutdown)` errors,
+    /// and joins the workers.
+    pub fn shutdown(&self) {
+        self.inner.draining.store(true, Ordering::Release);
+        let drained: Vec<Job> = {
+            let mut q = lock(&self.inner.queue);
+            q.shutdown = true;
+            q.per_client.clear();
+            q.jobs.drain(..).collect()
+        };
+        self.inner.jobs_cv.notify_all();
+        for job in drained {
+            job.slot.fulfill(Response {
+                result: Err(ServiceError::Shed(ShedReason::Shutdown)),
+                telemetry: RequestTelemetry::default(),
+            });
+        }
+        let handles: Vec<_> = lock(&self.workers).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for AnalysisService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,352 @@
+//! Concurrency and tamper stress tests for the analysis service.
+//!
+//! The three properties the service's soundness rests on:
+//! * racing requests on the same content coalesce to exactly one
+//!   inspection (single-flight);
+//! * a tampered array (bumped write-version, changed content) never
+//!   serves a stale parallel verdict — neither from live shards nor
+//!   from a warm-start snapshot;
+//! * an injected worker death degrades the service without wedging the
+//!   queue.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+use subsub_failpoint::{self as failpoint, Arm, FailPlan, Fire};
+use subsub_rtcheck::{Provenance, ValidatedIndexArray};
+use subsub_service::{
+    write_snapshot, AnalysisService, InspectorKind, Lookup, Outcome, Payload, Request,
+    ServiceConfig, ShardedVerdictCache, ShedReason, VerdictKey,
+};
+
+fn ingest(name: &str, data: Vec<usize>) -> ValidatedIndexArray {
+    ValidatedIndexArray::ingest(
+        name,
+        data,
+        usize::MAX,
+        Provenance::Untrusted {
+            source: "stress".into(),
+        },
+    )
+    .expect("in-domain")
+}
+
+fn execute_request(client: &str) -> Request {
+    Request {
+        client: client.to_string(),
+        payload: Payload::Execute {
+            kernel: "AMGmk".into(),
+            dataset: "test".into(),
+        },
+    }
+}
+
+fn small_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 4,
+        pool_threads: 2,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Eight threads race the same key: the leader inspects once, everyone
+/// else parks on the shard condvar and is served the same verdict.
+#[test]
+fn racing_lookups_run_exactly_one_inspection() {
+    let cache = Arc::new(ShardedVerdictCache::new(8, 64));
+    let a = Arc::new(ingest("hot", (0..4096).collect()));
+    let key = VerdictKey::of(&a, InspectorKind::Monotone);
+    let computes = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(8));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let (cache, a, computes, barrier) = (
+                Arc::clone(&cache),
+                Arc::clone(&a),
+                Arc::clone(&computes),
+                Arc::clone(&barrier),
+            );
+            std::thread::spawn(move || {
+                barrier.wait();
+                let (verdict, _) = cache.get_or_compute(key, || {
+                    computes.fetch_add(1, Ordering::SeqCst);
+                    // Widen the race window so every follower arrives
+                    // while the leader is still inspecting.
+                    std::thread::sleep(Duration::from_millis(30));
+                    subsub_rtcheck::inspect_monotone(a.data(), None)
+                });
+                assert!(verdict.strict);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no raced panic");
+    }
+    assert_eq!(computes.load(Ordering::SeqCst), 1, "single-flight violated");
+    let s = cache.stats();
+    assert_eq!(s.misses, 1);
+    assert_eq!(s.coalesced, 7, "followers must coalesce, not re-inspect");
+}
+
+/// The same race end-to-end through the service: eight clients request
+/// the same kernel/dataset concurrently; AMGmk has one index array, so
+/// exactly one shard-cache inspection may run.
+#[test]
+fn racing_service_requests_share_one_inspection() {
+    let service = AnalysisService::start(small_config());
+    let golden = service.golden_checksum("AMGmk", "test").expect("golden");
+    let tickets: Vec<_> = (0..8)
+        .map(|i| {
+            service
+                .submit(execute_request(&format!("client-{i}")))
+                .expect("admitted")
+        })
+        .collect();
+    for t in tickets {
+        let response = t.wait_timeout(Duration::from_secs(60)).expect("no wedge");
+        let outcome = response.result.expect("request succeeded");
+        let Outcome::Executed { checksum, .. } = outcome else {
+            panic!("expected an execution outcome");
+        };
+        assert!(
+            subsub_kernels::common::close(checksum, golden),
+            "divergence from the serial golden path: {checksum} vs {golden}"
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(stats.completed, 8);
+    assert_eq!(
+        stats.cache.misses, 1,
+        "AMGmk:test has one index array; racing requests must share its inspection"
+    );
+    assert_eq!(
+        stats.cache.hits + stats.cache.coalesced,
+        7,
+        "the other seven lookups must be hits or coalesced waits"
+    );
+    assert!(stats.max_inflight >= 2, "requests must overlap");
+    service.shutdown();
+}
+
+/// Live-shard tamper: once content changes through the trust boundary
+/// (version bump + checksum refresh), the old verdict is unreachable —
+/// the new key misses and the fresh inspection reports the violation.
+#[test]
+fn tampered_array_never_serves_stale_verdict_from_live_shards() {
+    let cache = ShardedVerdictCache::new(4, 64);
+    let mut a = ingest("t", (0..256).collect());
+    let (v, lookup) = cache.verdict_for(&a, None, true).unwrap();
+    assert!(v.strict);
+    assert_eq!(lookup, Lookup::Miss);
+    // Hot: second lookup hits.
+    assert_eq!(cache.verdict_for(&a, None, true).unwrap().1, Lookup::Hit);
+    // Tamper through the boundary: break monotonicity.
+    a.mutate(|d| d[100] = 0).unwrap();
+    let (v2, lookup2) = cache.verdict_for(&a, None, true).unwrap();
+    assert_eq!(lookup2, Lookup::Miss, "stale verdict served after tamper");
+    assert!(!v2.nonstrict, "fresh inspection must see the violation");
+    assert_eq!(v2.first_violation, Some(100));
+}
+
+/// Warm-start tamper: a snapshot taken before the tamper keys the old
+/// content. After the tamper, the loaded entry can never match — the
+/// lookup misses and re-inspects; the untampered twin still warm-hits.
+#[test]
+fn tampered_array_never_serves_stale_verdict_from_snapshot() {
+    let live = ShardedVerdictCache::new(4, 64);
+    let mut a = ingest("w", (0..256).collect());
+    let twin = ingest("w", (0..256).collect());
+    live.verdict_for(&a, None, true).unwrap();
+    let snapshot = write_snapshot(&live);
+
+    a.mutate(|d| d[7] = 0).unwrap();
+
+    let fresh = ShardedVerdictCache::new(4, 64);
+    subsub_service::load_snapshot(&fresh, &snapshot).expect("valid snapshot");
+    let (v, lookup) = fresh.verdict_for(&a, None, true).unwrap();
+    assert_eq!(
+        lookup,
+        Lookup::Miss,
+        "snapshot must not answer for tampered content"
+    );
+    assert!(!v.nonstrict);
+    // The untampered twin is exactly what the snapshot described.
+    let (tv, tlookup) = fresh.verdict_for(&twin, None, true).unwrap();
+    assert_eq!(tlookup, Lookup::WarmHit);
+    assert!(tv.strict);
+}
+
+/// Same property end-to-end: a service warm-started from another
+/// service's snapshot answers its first repeated request from the
+/// cache, and its results still match the serial golden path.
+#[test]
+fn warm_started_service_hits_on_first_request() {
+    let first = AnalysisService::start(small_config());
+    first
+        .submit(execute_request("warmup"))
+        .expect("admitted")
+        .wait()
+        .result
+        .expect("executed");
+    let snapshot = first.snapshot();
+    first.shutdown();
+
+    let second = AnalysisService::start(small_config());
+    let loaded = second.warm_start(&snapshot).expect("snapshot accepted");
+    assert!(loaded >= 1);
+    let golden = second.golden_checksum("AMGmk", "test").expect("golden");
+    let response = second
+        .submit(execute_request("warm-client"))
+        .expect("admitted")
+        .wait();
+    let telemetry = response.telemetry.clone();
+    let Ok(Outcome::Executed { checksum, .. }) = response.result else {
+        panic!("expected an execution outcome");
+    };
+    assert!(subsub_kernels::common::close(checksum, golden));
+    assert_eq!(
+        telemetry.cache,
+        Some(Lookup::WarmHit),
+        "first repeated request must be served from the warm-start snapshot"
+    );
+    assert_eq!(second.stats().cache.misses, 0);
+    second.shutdown();
+}
+
+/// A poisoned (corrupted) snapshot is rejected wholesale and the
+/// service rebuilds from cold without serving anything from it.
+#[test]
+fn corrupt_snapshot_is_rejected_and_rebuilt() {
+    let service = AnalysisService::start(small_config());
+    service
+        .submit(execute_request("seed"))
+        .expect("admitted")
+        .wait()
+        .result
+        .expect("executed");
+    let mut snapshot = service.snapshot().into_bytes();
+    // Flip one content byte inside the digested region.
+    let pos = snapshot
+        .windows(8)
+        .position(|w| w == b"checksum")
+        .expect("has an entry")
+        + 12;
+    snapshot[pos] ^= 0x01;
+    let corrupt = String::from_utf8(snapshot).unwrap();
+    service.shutdown();
+
+    let fresh = AnalysisService::start(small_config());
+    assert!(fresh.warm_start(&corrupt).is_err(), "corruption accepted");
+    assert_eq!(fresh.stats().cache.entries, 0, "no partial load");
+    // Rebuild: the same request now runs a fresh inspection and still
+    // matches the golden path.
+    let golden = fresh.golden_checksum("AMGmk", "test").expect("golden");
+    let response = fresh
+        .submit(execute_request("rebuild"))
+        .expect("admitted")
+        .wait();
+    let Ok(Outcome::Executed { checksum, .. }) = response.result else {
+        panic!("expected an execution outcome");
+    };
+    assert!(subsub_kernels::common::close(checksum, golden));
+    assert_eq!(fresh.stats().cache.misses, 1);
+    fresh.shutdown();
+}
+
+/// Kill-a-worker chaos: an injected panic in an omprt pool worker while
+/// requests are in flight must degrade (serial rescue, self-healed
+/// pool) without wedging the queue — every ticket completes, and every
+/// completed execution still matches the golden checksum.
+#[test]
+fn worker_death_degrades_without_wedging_the_queue() {
+    failpoint::silence_injected_panics();
+    let _chaos =
+        failpoint::arm(FailPlan::new().with("omprt.worker.wake", Arm::Panic, Fire::nth(5)));
+    let service = AnalysisService::start(small_config());
+    let golden = service.golden_checksum("AMGmk", "test").expect("golden");
+    let tickets: Vec<_> = (0..12)
+        .map(|i| {
+            service
+                .submit(execute_request(&format!("chaos-{i}")))
+                .expect("admitted")
+        })
+        .collect();
+    let mut completed = 0;
+    for t in tickets {
+        let response = t
+            .wait_timeout(Duration::from_secs(120))
+            .expect("queue wedged under worker death");
+        let Ok(Outcome::Executed { checksum, .. }) = response.result else {
+            panic!("request failed terminally under a recoverable fault");
+        };
+        assert!(
+            subsub_kernels::common::close(checksum, golden),
+            "divergence under chaos: {checksum} vs {golden}"
+        );
+        completed += 1;
+    }
+    assert_eq!(completed, 12);
+    assert_eq!(service.stats().completed, 12);
+    service.shutdown();
+}
+
+/// One heavy caller cannot starve the queue: submissions beyond the
+/// fairness cap shed `FairnessCap` while another client stays admitted.
+#[test]
+fn fairness_cap_sheds_the_heavy_caller_only() {
+    let service = AnalysisService::start(ServiceConfig {
+        workers: 1,
+        fairness_cap: 2,
+        pool_threads: 2,
+        ..ServiceConfig::default()
+    });
+    let mut hog_tickets = Vec::new();
+    let mut hog_sheds = 0;
+    for _ in 0..6 {
+        match service.submit(execute_request("hog")) {
+            Ok(t) => hog_tickets.push(t),
+            Err(ShedReason::FairnessCap) => hog_sheds += 1,
+            Err(other) => panic!("unexpected shed reason {other:?}"),
+        }
+    }
+    // The worker may drain a slot mid-loop, so the exact split varies,
+    // but the cap must have bitten at least once and at most two of the
+    // six can ever be in flight together.
+    assert_eq!(hog_tickets.len() + hog_sheds, 6);
+    assert!(hog_sheds >= 1, "cap never enforced");
+    // The queue still has room for a polite client.
+    let polite = service.submit(execute_request("mouse")).expect("starved");
+    for t in hog_tickets {
+        t.wait().result.expect("executed");
+    }
+    polite.wait().result.expect("executed");
+    let stats = service.stats();
+    assert!(stats.shed[1] >= 1, "fairness sheds must be counted");
+    service.shutdown();
+}
+
+/// Shutdown drains queued requests as structured shed responses instead
+/// of leaving callers blocked forever.
+#[test]
+fn shutdown_fulfills_pending_tickets() {
+    let service = AnalysisService::start(ServiceConfig {
+        workers: 1,
+        pool_threads: 2,
+        ..ServiceConfig::default()
+    });
+    let tickets: Vec<_> = (0..4)
+        .filter_map(|i| service.submit(execute_request(&format!("c{i}"))).ok())
+        .collect();
+    service.shutdown();
+    for t in tickets {
+        // Completed or shed-at-shutdown — but never wedged.
+        let response = t.wait_timeout(Duration::from_secs(30)).expect("wedged");
+        if let Err(e) = response.result {
+            assert!(
+                matches!(e, subsub_service::ServiceError::Shed(ShedReason::Shutdown)),
+                "unexpected terminal error: {e}"
+            );
+        }
+    }
+    assert!(service.submit(execute_request("late")).is_err());
+}

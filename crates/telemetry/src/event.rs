@@ -35,10 +35,19 @@ pub enum EventKind {
     Span = 9,
     /// The join watchdog ran a recovery scan (`arg` = tids reclaimed).
     WatchdogScan = 10,
+    /// A verdict-cache entry was evicted under capacity pressure
+    /// (`arg` = evicted array length).
+    CacheEvict = 11,
+    /// The analysis service admitted a request (`arg` = queue depth at
+    /// admission).
+    ServiceAdmit = 12,
+    /// The analysis service shed a request (`arg` = shed-reason code:
+    /// 1 = queue full, 2 = fairness cap, 3 = degraded, 4 = shutdown).
+    ServiceShed = 13,
 }
 
 /// Number of event kinds (sizing for per-kind counters).
-pub const NUM_KINDS: usize = 11;
+pub const NUM_KINDS: usize = 14;
 
 impl EventKind {
     /// Stable lowercase name used by the exporters.
@@ -55,6 +64,9 @@ impl EventKind {
             EventKind::FailpointTrip => "failpoint_trip",
             EventKind::Span => "span",
             EventKind::WatchdogScan => "watchdog_scan",
+            EventKind::CacheEvict => "cache_evict",
+            EventKind::ServiceAdmit => "service_admit",
+            EventKind::ServiceShed => "service_shed",
         }
     }
 
@@ -72,6 +84,9 @@ impl EventKind {
             EventKind::FailpointTrip,
             EventKind::Span,
             EventKind::WatchdogScan,
+            EventKind::CacheEvict,
+            EventKind::ServiceAdmit,
+            EventKind::ServiceShed,
         ]
     }
 
@@ -103,10 +118,15 @@ pub enum Phase {
     KernelRun = 7,
     /// Calibration / micro-benchmark measurement sections.
     Calibrate = 8,
+    /// Time a service request spent queued before a worker picked it up.
+    Queue = 9,
+    /// One service request, dequeue to response (analysis or guarded
+    /// execution, on a service worker).
+    Service = 10,
 }
 
 /// Number of phases (sizing for the histogram table).
-pub const NUM_PHASES: usize = 9;
+pub const NUM_PHASES: usize = 11;
 
 impl Phase {
     /// Stable lowercase name used by the exporters.
@@ -121,6 +141,8 @@ impl Phase {
             Phase::Dispatch => "dispatch",
             Phase::KernelRun => "kernel_run",
             Phase::Calibrate => "calibrate",
+            Phase::Queue => "queue",
+            Phase::Service => "service",
         }
     }
 
@@ -136,6 +158,8 @@ impl Phase {
             Phase::Dispatch,
             Phase::KernelRun,
             Phase::Calibrate,
+            Phase::Queue,
+            Phase::Service,
         ]
     }
 

@@ -5,8 +5,9 @@
 #   ./ci.sh quick   fmt, clippy, debug build, unit tests
 #                   (the edit-compile loop: fast, no release artifacts)
 #   ./ci.sh full    everything in quick, plus the release build, chaos
-#                   sweep, differential fuzz, fork-join calibration
-#                   smoke, telemetry trace smoke, and the perf gate
+#                   sweep, differential fuzz, the incremental
+#                   re-inspection gate, fork-join calibration smoke,
+#                   telemetry trace smoke, and the perf gate
 #                   (the merge gate; the default)
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -51,11 +52,19 @@ cargo run --release -q -p subsub-bench --bin chaos -- 17 4242 900913
 
 echo "== differential fuzz (pinned seeds + corpus replay) =="
 # Adversarial campaigns over the inspect/guard/dispatch trust boundary:
-# inspector vs brute-force reference, compiled predicate vs checked-i128
-# evaluator, guarded parallel kernels vs serial goldens — then a full
-# replay of the committed regression corpus. Any divergence fails CI
+# inspector vs brute-force reference, incremental re-inspection vs
+# full-scan rebuild, compiled predicate vs checked-i128 evaluator,
+# guarded parallel kernels vs serial goldens — then a full replay of
+# the committed regression corpus. Any divergence fails CI
 # (see DESIGN.md 5d).
 cargo run --release -q -p subsub-bench --bin fuzz -- 7 31337 271828
+
+echo "== incremental re-inspection gate (O(delta) vs full re-scan) =="
+# The 1 Mi-element mutate-then-reinspect workload: a single-element
+# mutate_range (block rescan + O(blocks) verdict/checksum recombine)
+# must agree with the full re-ingest + full-scan reference at every
+# checkpoint and beat it by at least the 20x acceptance floor.
+cargo run --release -q -p subsub-bench --bin reinspect
 
 echo "== fork-join smoke (calibrate + validate) =="
 # A quick real measurement of fork-join latency on this machine; the

@@ -1,0 +1,59 @@
+//! CI gate for the incremental re-inspection path.
+//!
+//! Usage:
+//!   reinspect [--min-speedup X]
+//!
+//! Runs the 1 Mi-element mutate-then-reinspect workload and exits
+//! non-zero unless (a) the incremental and full-scan paths agree on
+//! verdict + checksum and (b) the incremental path is at least the
+//! acceptance floor (default 20×) faster than a full re-ingest + scan.
+
+use std::process::ExitCode;
+use subsub_bench::reinspect::{run_reinspect_workload, MIN_SPEEDUP, REINSPECT_LEN};
+
+fn main() -> ExitCode {
+    let mut min_speedup = MIN_SPEEDUP;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--min-speedup" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--min-speedup requires a numeric value");
+                    return ExitCode::from(2);
+                };
+                min_speedup = v;
+            }
+            "--help" | "-h" => {
+                println!("usage: reinspect [--min-speedup X]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unrecognized argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    println!(
+        "reinspect workload: {REINSPECT_LEN} elements, single-element mutate_range vs full re-ingest + scan"
+    );
+    let report = run_reinspect_workload();
+    println!(
+        "speedup: {:.1}x (full {} ns/iter vs incremental {} ns/iter, floor {min_speedup}x)",
+        report.speedup, report.full.median_ns, report.incremental.median_ns
+    );
+
+    if !report.verdicts_agree {
+        eprintln!("REINSPECT: incremental and full-scan paths disagree (correctness bug)");
+        return ExitCode::FAILURE;
+    }
+    if report.speedup < min_speedup {
+        eprintln!(
+            "REINSPECT: speedup {:.1}x below the {min_speedup}x floor",
+            report.speedup
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("REINSPECT: ok");
+    ExitCode::SUCCESS
+}

@@ -21,6 +21,7 @@ pub mod guarded;
 pub mod harness;
 pub mod microbench;
 pub mod perfgate;
+pub mod reinspect;
 pub mod serve;
 pub mod table;
 pub mod trace;
@@ -32,6 +33,7 @@ pub use guarded::{guarded_run, GuardedHarness, GuardedOutcome};
 pub use harness::{calibrate, run_config, Config, Outcome};
 pub use microbench::bench;
 pub use perfgate::{GateRow, GateStatus};
+pub use reinspect::{run_reinspect_workload, ReinspectReport, MIN_SPEEDUP};
 pub use serve::{
     run_serve_workload, snapshot_roundtrip_drill, ServeConfig, ServeReport, SERVE_MIX,
 };

@@ -18,7 +18,7 @@
 use crate::microbench::{bench, BenchStats};
 use subsub_kernels::kernel_by_name;
 use subsub_omprt::{Schedule, ThreadPool};
-use subsub_rtcheck::inspect_serial;
+use subsub_rtcheck::{inspect_serial, BlockSummaries, Provenance, ValidatedIndexArray};
 use subsub_service::{AnalysisService, Payload, Request, ServiceConfig};
 use subsub_telemetry::json::{parse, Json};
 
@@ -29,8 +29,11 @@ pub const DEFAULT_TOLERANCE: f64 = 0.25;
 /// is comparable across runs).
 pub const FORKJOIN_THREADS: usize = 4;
 
-/// Elements scanned by the inspector-throughput entry.
+/// Elements scanned by the inspector-throughput entries.
 pub const INSPECT_LEN: usize = 65_536;
+
+/// Elements in the incremental re-inspection entry's array (1 Mi).
+pub const REINSPECT_LEN: usize = 1 << 20;
 
 /// Kernels timed serially (first dataset of each), chosen to cover the
 /// three structural families: sparse gather (AMGmk), sampled dense
@@ -52,6 +55,34 @@ pub fn run_suite() -> Vec<BenchStats> {
     let ramp: Vec<usize> = (0..INSPECT_LEN).collect();
     out.push(bench("inspect/serial-65536", || {
         std::hint::black_box(inspect_serial(std::hint::black_box(&ramp)));
+    }));
+
+    // Fused single-pass ingest: domain scan + per-block fingerprint +
+    // monotonicity summaries over one traversal (what `ingest` pays).
+    out.push(bench("inspect/simd-65536", || {
+        let s = BlockSummaries::build(std::hint::black_box(&ramp), INSPECT_LEN)
+            .expect("ramp is in domain");
+        std::hint::black_box(s.checksum());
+    }));
+
+    // O(Δ) re-inspection: single-element mutate_range into a 1 Mi-element
+    // array, verdict + checksum refreshed from summaries. Rewriting the
+    // resident value keeps every iteration identical while still paying
+    // the full dirty-window bookkeeping.
+    let n = REINSPECT_LEN;
+    let mut big = ValidatedIndexArray::ingest(
+        "perfgate-1Mi",
+        (0..n).collect::<Vec<usize>>(),
+        n,
+        Provenance::Generated { seed: 0x5eed },
+    )
+    .expect("ramp is in domain");
+    out.push(bench("reinspect/delta-1Mi", || {
+        let at = n / 2;
+        let v = big.data()[at];
+        big.mutate_range(at..at + 1, |w| w[0] = v)
+            .expect("rewrite stays in domain");
+        std::hint::black_box(big.summary_verdict());
     }));
 
     for name in SUITE_KERNELS {

@@ -228,11 +228,12 @@ impl KernelInstance for AmgmkInstance {
             return false;
         }
         // Duplicate an entry: still sorted and in-domain, no longer
-        // injective. Going through `mutate` keeps the array validated and
-        // bumps the version, so cached verdicts invalidate. The serial
-        // variant just updates that row twice, deterministically.
+        // injective. Going through `mutate_range` keeps the array
+        // validated and bumps the version (so cached verdicts
+        // invalidate) at O(Δ) instead of a whole-array snapshot. The
+        // serial variant just updates that row twice, deterministically.
         self.rownnz
-            .mutate(|d| d[1] = d[0])
+            .mutate_range(0..2, |w| w[1] = w[0])
             .expect("duplicating an in-domain entry stays in domain");
         true
     }

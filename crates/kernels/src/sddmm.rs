@@ -245,14 +245,15 @@ impl KernelInstance for SddmmInstance {
         // now precedes the smaller, breaking (non-strict) monotonicity
         // while keeping every entry bounded by nnz — all segment accesses
         // stay in bounds and the serial variant stays deterministic
-        // (the inverted segment is just an empty Rust range). `mutate`
-        // keeps the array validated and bumps the version.
+        // (the inverted segment is just an empty Rust range).
+        // `mutate_range` keeps the array validated and bumps the
+        // version, snapshotting only the two touched entries.
         let ptr = self.col_ptr.data();
         let Some(r) = (1..ptr.len()).find(|&r| ptr[r] > ptr[r - 1]) else {
             return false;
         };
         self.col_ptr
-            .mutate(|d| d.swap(r - 1, r))
+            .mutate_range(r - 1..r + 1, |w| w.swap(0, 1))
             .expect("swapping in-domain entries stays in domain");
         true
     }

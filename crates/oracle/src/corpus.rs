@@ -24,14 +24,25 @@
 //! name: amgmk-seed7
 //! kernel: AMGmk
 //! seed: 7
+//! ---
+//! kind: reinspect
+//! name: heal-at-block-join
+//! domain: 100
+//! data: 0 1 2 3
+//! mutations: 2=0 2=2 1=999
 //! ```
+//!
+//! A `reinspect` entry replays `at=value` writes through `mutate_range`
+//! (out-of-domain values exercise the reject-and-rollback path) and
+//! diffs the incremental block-summary state against a full scan after
+//! every write.
 //!
 //! Binding names with a `_max` suffix are installed with
 //! [`Bindings::set_post_max`], matching the parser's treatment of
 //! `X_max` symbols in check sources.
 
-use crate::diff::{check_index_array, check_kernel, Divergence};
-use crate::gen::{brute_force_monotone, ArrayShape, GeneratedArray};
+use crate::diff::{check_index_array, check_kernel, check_reinspect, Divergence};
+use crate::gen::{brute_force_monotone, ArrayShape, GeneratedArray, MutationStep};
 use crate::refeval::{compare, ref_eval, PredicateAgreement};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -110,6 +121,20 @@ pub enum CorpusEntry {
         /// Campaign seed (selects pool size and schedule).
         seed: u64,
     },
+    /// A mutate-then-reinspect plan replayed through
+    /// [`check_reinspect`]: incremental block-summary state diffed
+    /// against the full-scan reference after every write, plus the
+    /// bypassing-writer tamper leg.
+    Reinspect {
+        /// Entry id.
+        name: String,
+        /// Exclusive domain bound for ingestion and mutation.
+        domain: usize,
+        /// The seed array (ingestion must accept it).
+        data: Vec<usize>,
+        /// Writes applied through `mutate_range`, in order.
+        plan: Vec<MutationStep>,
+    },
 }
 
 impl CorpusEntry {
@@ -118,7 +143,8 @@ impl CorpusEntry {
         match self {
             CorpusEntry::Array { name, .. }
             | CorpusEntry::Predicate { name, .. }
-            | CorpusEntry::Kernel { name, .. } => name,
+            | CorpusEntry::Kernel { name, .. }
+            | CorpusEntry::Reinspect { name, .. } => name,
         }
     }
 }
@@ -266,6 +292,38 @@ fn parse_entry(block: &str, file: &Path) -> Result<Option<CorpusEntry>, CorpusEr
                 .parse::<u64>()
                 .map_err(|e| malformed(format!("bad seed: {e}")))?,
         })),
+        "reinspect" => {
+            let domain = get("domain")?
+                .parse::<usize>()
+                .map_err(|e| malformed(format!("bad domain: {e}")))?;
+            let mut data = Vec::new();
+            for tok in get("data").unwrap_or_default().split_whitespace() {
+                data.push(
+                    tok.parse::<usize>()
+                        .map_err(|e| malformed(format!("bad data value `{tok}`: {e}")))?,
+                );
+            }
+            let mut plan = Vec::new();
+            for tok in get("mutations")?.split_whitespace() {
+                let (at, value) = tok
+                    .split_once('=')
+                    .ok_or_else(|| malformed(format!("bad mutation `{tok}` (want at=value)")))?;
+                plan.push(MutationStep {
+                    at: at
+                        .parse::<usize>()
+                        .map_err(|e| malformed(format!("bad mutation index `{tok}`: {e}")))?,
+                    value: value
+                        .parse::<usize>()
+                        .map_err(|e| malformed(format!("bad mutation value `{tok}`: {e}")))?,
+                });
+            }
+            Ok(Some(CorpusEntry::Reinspect {
+                name: get("name")?,
+                domain,
+                data,
+                plan,
+            }))
+        }
         other => Err(malformed(format!("unknown kind `{other}`"))),
     }
 }
@@ -390,6 +448,15 @@ pub fn replay(entry: &CorpusEntry, pool: &ThreadPool) -> Vec<String> {
                 .collect(),
             None => vec![format!("[{name}] unknown kernel `{kernel}`")],
         },
+        CorpusEntry::Reinspect {
+            name,
+            domain,
+            data,
+            plan,
+        } => check_reinspect(name, data, *domain, plan)
+            .into_iter()
+            .map(|d| format!("[{name}] {d}"))
+            .collect(),
     }
 }
 
@@ -465,6 +532,39 @@ mod tests {
              expect: true\n",
         );
         assert!(!replay(&flipped, &pool).is_empty());
+    }
+
+    #[test]
+    fn reinspect_entries_parse_and_replay() {
+        let pool = ThreadPool::new(2);
+        let clean = parse_one(
+            "kind: reinspect\nname: r\ndomain: 10\ndata: 0 1 2 3\nmutations: 2=0 2=2 1=999\n",
+        );
+        assert!(matches!(clean, CorpusEntry::Reinspect { .. }));
+        assert!(replay(&clean, &pool).is_empty());
+        // A seed array ingestion rejects is a malformed case, not a
+        // silent skip.
+        let bad = parse_one("kind: reinspect\nname: r2\ndomain: 4\ndata: 0 9\nmutations: 0=1\n");
+        let failures = replay(&bad, &pool);
+        assert!(!failures.is_empty());
+        assert!(failures[0].contains("[r2]"), "{failures:?}");
+    }
+
+    #[test]
+    fn malformed_reinspect_mutations_are_rejected() {
+        for bad in [
+            "kind: reinspect\nname: r\ndomain: 10\ndata: 0 1\nmutations: 1+2\n",
+            "kind: reinspect\nname: r\ndomain: 10\ndata: 0 1\nmutations: x=2\n",
+            "kind: reinspect\nname: r\ndomain: 10\ndata: 0 1\n",
+        ] {
+            assert!(
+                matches!(
+                    parse_corpus(bad, Path::new("t.corpus")),
+                    Err(CorpusError::Malformed { .. })
+                ),
+                "{bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -10,19 +10,24 @@
 //! * [`check_kernel`] — a guarded parallel kernel execution against the
 //!   serial golden output, and (when the kernel can be tampered) that a
 //!   monotonicity-breaking mutation is *denied*, not admitted.
+//! * [`check_reinspect`] — the O(Δ) incremental re-inspection state
+//!   (block summaries refreshed by `mutate_range`) against a full-scan
+//!   reference after every step of a seeded mutation plan, plus the
+//!   tampered-instance leg: a write that bypasses the boundary must be
+//!   flagged by `verify()`.
 //!
 //! Every violation is a structured [`Divergence`]; an empty result is
 //! the oracle's "no divergence" verdict.
 
-use crate::gen::{brute_force_monotone, GeneratedArray};
+use crate::gen::{brute_force_monotone, GeneratedArray, MutationStep};
 use crate::refeval::{compare, ref_eval, PredicateAgreement, RefEvalError};
 use std::fmt;
 use subsub_kernels::common::close;
 use subsub_kernels::Kernel;
 use subsub_omprt::{Schedule, ThreadPool};
 use subsub_rtcheck::{
-    inspect_monotone, inspect_serial, Bindings, CheckExpr, CompiledCheck, EvalError, GuardPath,
-    GuardedExecutor, MonotoneVerdict, Provenance, ValidatedIndexArray,
+    inspect_monotone, inspect_serial, Bindings, BlockSummaries, CheckExpr, CompiledCheck,
+    EvalError, GuardPath, GuardedExecutor, MonotoneVerdict, Provenance, ValidatedIndexArray,
 };
 use subsub_sparse::Rng64;
 
@@ -89,6 +94,18 @@ pub enum Divergence {
         /// Campaign seed.
         seed: u64,
     },
+    /// The incremental (block-summary) re-inspection state diverged
+    /// from the full-scan reference after a `mutate_range` plan, or the
+    /// tamper gate failed to flag a write that bypassed the boundary.
+    ReinspectMismatch {
+        /// Shape label (or corpus id) of the offending array.
+        label: String,
+        /// Which step of the plan diverged (array length for the
+        /// post-plan tamper leg).
+        step: usize,
+        /// What diverged.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Divergence {
@@ -142,6 +159,11 @@ impl fmt::Display for Divergence {
                 "kernel {kernel} (seed {seed}): tampered index array was ADMITTED to the \
                  parallel path"
             ),
+            Divergence::ReinspectMismatch {
+                label,
+                step,
+                detail,
+            } => write!(f, "reinspect mismatch [{label}] at step {step}: {detail}"),
         }
     }
 }
@@ -197,6 +219,123 @@ pub fn check_index_array(g: &GeneratedArray, pool: &ThreadPool) -> Vec<Divergenc
                 Err(e) => format!("rejected ({e})"),
             },
         });
+    }
+    out
+}
+
+/// Cross-checks the incremental re-inspection path against a full-scan
+/// reference.
+///
+/// Applies `plan` step by step through `mutate_range` while maintaining
+/// an independent mirror `Vec` of what the contents must be (writes the
+/// boundary rejects leave the mirror untouched). After every step the
+/// incremental state — contents, `summary_verdict()`, `checksum()` —
+/// must match the mirror as seen by `inspect_serial` and a from-scratch
+/// `BlockSummaries` build, and `verify()` must pass. Finally a write is
+/// smuggled past the boundary with `bypass_validation_mut`; `verify()`
+/// flagging it is the tamper gate the summaries must never weaken.
+pub fn check_reinspect(
+    label: &str,
+    data: &[usize],
+    domain: usize,
+    plan: &[MutationStep],
+) -> Vec<Divergence> {
+    let mismatch = |step: usize, detail: String| Divergence::ReinspectMismatch {
+        label: label.to_string(),
+        step,
+        detail,
+    };
+    let mut array = match ValidatedIndexArray::ingest(
+        "reinspect-fuzz",
+        data.to_vec(),
+        domain,
+        Provenance::Generated { seed: 0 },
+    ) {
+        Ok(a) => a,
+        // Only accepted arrays have a boundary to mutate through; a
+        // rejected seed array means the case itself is malformed.
+        Err(e) => {
+            return vec![mismatch(
+                0,
+                format!("seed array rejected at ingestion: {e}"),
+            )]
+        }
+    };
+    let mut mirror = data.to_vec();
+
+    let mut out = Vec::new();
+    for (step, m) in plan.iter().enumerate() {
+        if m.at >= mirror.len() {
+            out.push(mismatch(
+                step,
+                format!("mutation index {} out of bounds", m.at),
+            ));
+            return out;
+        }
+        let want_ok = m.value < domain;
+        match array.mutate_range(m.at..m.at + 1, |w| w[0] = m.value) {
+            Ok(()) => {
+                if !want_ok {
+                    out.push(mismatch(
+                        step,
+                        format!("out-of-domain write {} accepted at {}", m.value, m.at),
+                    ));
+                }
+                mirror[m.at] = m.value;
+            }
+            Err(e) => {
+                if want_ok {
+                    out.push(mismatch(
+                        step,
+                        format!("in-domain write {} at {} rejected: {e}", m.value, m.at),
+                    ));
+                }
+            }
+        }
+        // Diff the incremental state against the full-scan reference.
+        if array.data() != &mirror[..] {
+            out.push(mismatch(step, "contents diverged from mirror".to_string()));
+            return out; // everything downstream would re-report this
+        }
+        let incremental = array.summary_verdict();
+        let full = inspect_serial(&mirror);
+        if incremental != full {
+            out.push(mismatch(
+                step,
+                format!("summary verdict {incremental:?} != full scan {full:?}"),
+            ));
+        }
+        let fresh = BlockSummaries::build_unchecked(&mirror).checksum();
+        if array.checksum() != fresh {
+            out.push(mismatch(
+                step,
+                format!(
+                    "incremental checksum {:016x} != full rebuild {fresh:016x}",
+                    array.checksum()
+                ),
+            ));
+        }
+        if let Err(e) = array.verify() {
+            out.push(mismatch(
+                step,
+                format!("verify() failed on untampered state: {e}"),
+            ));
+        }
+    }
+
+    // Tamper leg: a write that bypasses the boundary leaves the
+    // summaries stale; verify() must catch it from the raw bytes.
+    if !mirror.is_empty() {
+        let at = mirror.len() / 2;
+        // Accepted arrays have every value < domain <= usize::MAX, so
+        // +1 cannot wrap and is guaranteed to change the contents.
+        array.bypass_validation_mut()[at] += 1;
+        if array.verify().is_ok() {
+            out.push(mismatch(
+                plan.len(),
+                format!("bypassing write at {at} escaped verify()"),
+            ));
+        }
     }
     out
 }
@@ -409,5 +548,47 @@ mod tests {
         let k = kernel_by_name("AMGmk").unwrap();
         let d = check_kernel(k.as_ref(), 7);
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn reinspect_plan_with_rollback_is_clean() {
+        let data: Vec<usize> = (0..5000).collect();
+        let plan = [
+            MutationStep { at: 0, value: 4999 }, // break monotonicity
+            MutationStep {
+                at: 4096,
+                value: 9999,
+            }, // out of domain: rolls back
+            MutationStep { at: 0, value: 0 },    // heal
+            MutationStep {
+                at: 4999,
+                value: 4999,
+            }, // rewrite last in place
+        ];
+        let d = check_reinspect("test-ramp", &data, 5000, &plan);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn reinspect_rejects_malformed_cases_with_context() {
+        // Seed array out of domain: no boundary to mutate through.
+        let d = check_reinspect("oob-seed", &[0, 99], 10, &[]);
+        assert!(
+            matches!(&d[0], Divergence::ReinspectMismatch { .. }),
+            "{d:?}"
+        );
+        // Mutation index past the end.
+        let d = check_reinspect(
+            "oob-index",
+            &[0, 1],
+            10,
+            &[MutationStep { at: 7, value: 1 }],
+        );
+        assert!(d[0].to_string().contains("out of bounds"), "{d:?}");
+    }
+
+    #[test]
+    fn reinspect_empty_array_has_no_tamper_leg() {
+        assert!(check_reinspect("empty", &[], 10, &[]).is_empty());
     }
 }

@@ -5,8 +5,10 @@
 //! replays the same cases in the same order, so a CI failure reproduces
 //! locally with nothing but the seed.
 
-use crate::diff::{check_index_array, check_kernel, check_predicate, Divergence};
-use crate::gen::{brute_force_monotone, gen_array, gen_bindings, gen_check, ALL_SHAPES};
+use crate::diff::{check_index_array, check_kernel, check_predicate, check_reinspect, Divergence};
+use crate::gen::{
+    brute_force_monotone, gen_array, gen_bindings, gen_check, gen_mutation_plan, ALL_SHAPES,
+};
 use crate::shrink::shrink_array;
 use std::fmt;
 use subsub_kernels::all_kernels;
@@ -46,6 +48,9 @@ pub struct FuzzReport {
     pub seed: u64,
     /// Index arrays checked.
     pub array_cases: usize,
+    /// Mutate-then-reinspect plans checked (one per accepted non-empty
+    /// array, diffing incremental block summaries against full scans).
+    pub reinspect_cases: usize,
     /// Predicate pairs checked.
     pub predicate_cases: usize,
     /// Kernel × variant executions checked.
@@ -65,9 +70,11 @@ impl fmt::Display for FuzzReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "seed {}: {} arrays, {} predicates, {} kernel runs -> {} divergence(s)",
+            "seed {}: {} arrays, {} reinspect plans, {} predicates, {} kernel runs -> \
+             {} divergence(s)",
             self.seed,
             self.array_cases,
+            self.reinspect_cases,
             self.predicate_cases,
             self.kernel_cases,
             self.divergences.len()
@@ -94,6 +101,7 @@ pub fn run_campaign(cfg: &FuzzConfig, pool: &ThreadPool) -> FuzzReport {
     let mut report = FuzzReport {
         seed: cfg.seed,
         array_cases: 0,
+        reinspect_cases: 0,
         predicate_cases: 0,
         kernel_cases: 0,
         divergences: Vec::new(),
@@ -122,6 +130,19 @@ pub fn run_campaign(cfg: &FuzzConfig, pool: &ThreadPool) -> FuzzReport {
                     }
                     other => other,
                 });
+            }
+            // Leg 1b: for arrays ingestion accepts, drive a seeded
+            // mutation plan through the incremental re-inspection path
+            // and diff it against full-scan ground truth at every step.
+            let plan = gen_mutation_plan(&mut rng, &g);
+            if !plan.is_empty() {
+                report.reinspect_cases += 1;
+                report.divergences.extend(check_reinspect(
+                    &g.shape.to_string(),
+                    &g.data,
+                    g.domain,
+                    &plan,
+                ));
             }
         }
     }
@@ -169,6 +190,9 @@ mod tests {
         assert!(report.is_clean(), "{report}");
         assert_eq!(report.array_cases, 3 * ALL_SHAPES.len());
         assert_eq!(report.predicate_cases, 60);
+        // Every accepted non-empty array gets a reinspect plan: all
+        // shapes except empty, near-max and out-of-domain.
+        assert_eq!(report.reinspect_cases, 3 * (ALL_SHAPES.len() - 3));
     }
 
     #[test]
@@ -183,6 +207,7 @@ mod tests {
         let a = run_campaign(&cfg, &p);
         let b = run_campaign(&cfg, &p);
         assert_eq!(a.array_cases, b.array_cases);
+        assert_eq!(a.reinspect_cases, b.reinspect_cases);
         assert_eq!(a.predicate_cases, b.predicate_cases);
         assert_eq!(
             a.divergences

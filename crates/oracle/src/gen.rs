@@ -178,6 +178,49 @@ pub fn gen_array(rng: &mut Rng64, shape: ArrayShape) -> GeneratedArray {
     }
 }
 
+/// One step of a mutate-then-reinspect plan: write `value` at index
+/// `at` through the validated boundary (`mutate_range`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationStep {
+    /// Index written.
+    pub at: usize,
+    /// Value written (may be out of domain — then the write must be
+    /// rejected and rolled back).
+    pub value: usize,
+}
+
+/// Generates a mutate-then-reinspect plan for an array ingestion will
+/// accept. Targets are biased toward the indices incremental block
+/// summaries get wrong first — index 0, the last index, and 4 Ki block
+/// joins — and roughly one write in six is out of domain, so the
+/// reject-and-rollback path is exercised alongside the happy path.
+/// Empty for arrays ingestion rejects (there is no boundary to mutate
+/// through).
+pub fn gen_mutation_plan(rng: &mut Rng64, g: &GeneratedArray) -> Vec<MutationStep> {
+    if g.expect_reject || g.data.is_empty() {
+        return Vec::new();
+    }
+    let n = g.data.len();
+    let steps = rng.gen_usize(1, 6);
+    let mut plan = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let at = match rng.gen_usize(0, 5) {
+            0 => 0,
+            1 => n - 1,
+            2 if n > 4096 => (rng.gen_usize(1, n / 4096) * 4096).min(n - 1),
+            _ => rng.gen_usize(0, n - 1),
+        };
+        let value = if rng.gen_usize(0, 5) == 0 {
+            g.domain + rng.gen_usize(0, 100)
+        } else {
+            // Accepted non-empty arrays always have domain >= 1.
+            rng.gen_usize(0, g.domain - 1)
+        };
+        plan.push(MutationStep { at, value });
+    }
+    plan
+}
+
 /// Ground truth the inspector is checked against: the O(n) definitional
 /// scan of both monotonicity flavours, written independently of
 /// `inspect_serial` (windows + iterator combinators, no early exit).
@@ -313,6 +356,25 @@ mod tests {
             // Not all symbols need be bound, but the environment never
             // binds symbols the check does not mention.
             assert!(b.len() <= c.free_syms().len());
+        }
+    }
+
+    #[test]
+    fn mutation_plans_target_valid_indices_only() {
+        let mut rng = Rng64::seed_from_u64(99);
+        for _ in 0..50 {
+            for shape in ALL_SHAPES {
+                let g = gen_array(&mut rng, shape);
+                let plan = gen_mutation_plan(&mut rng, &g);
+                if g.expect_reject || g.data.is_empty() {
+                    assert!(plan.is_empty(), "{shape}: no plan for unmutable arrays");
+                    continue;
+                }
+                assert!(!plan.is_empty());
+                for step in &plan {
+                    assert!(step.at < g.data.len(), "{shape}: index in bounds");
+                }
+            }
         }
     }
 

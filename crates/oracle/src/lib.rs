@@ -13,6 +13,7 @@
 //! | `inspect_serial` / pooled `inspect_monotone` | definitional brute-force scan |
 //! | [`CompiledCheck`](subsub_rtcheck::CompiledCheck) (`i64`, checked) | checked-`i128` interpreter over canonical forms |
 //! | guarded parallel kernel output | serial golden run |
+//! | incremental re-inspection (`mutate_range` + block summaries) | from-scratch summary rebuild + `inspect_serial` |
 //!
 //! The trust model is asymmetric (see [`refeval::compare`]): the fast
 //! path may *conservatively deny* (e.g. `i64` overflow), but must never
@@ -32,9 +33,12 @@ pub mod refeval;
 pub mod shrink;
 
 pub use corpus::{load_dir, parse_corpus, replay, replay_all, CorpusEntry, CorpusError};
-pub use diff::{check_index_array, check_kernel, check_predicate, Divergence};
+pub use diff::{check_index_array, check_kernel, check_predicate, check_reinspect, Divergence};
 pub use fuzz::{run_campaign, FuzzConfig, FuzzReport};
-pub use gen::{brute_force_monotone, gen_array, gen_bindings, gen_check, ArrayShape, ALL_SHAPES};
+pub use gen::{
+    brute_force_monotone, gen_array, gen_bindings, gen_check, gen_mutation_plan, ArrayShape,
+    MutationStep, ALL_SHAPES,
+};
 pub use refeval::{compare, ref_eval, PredicateAgreement, RefEvalError};
 pub use shrink::shrink_array;
 // Re-export the ingestion types so oracle consumers name one crate.

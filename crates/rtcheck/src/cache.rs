@@ -8,7 +8,9 @@
 //! version misses (recorded as an invalidation) and triggers
 //! re-inspection, while an unchanged array revalidates in O(1).
 
-use crate::inspect::{inspect_serial, try_inspect_monotone, IndexArrayView, MonotoneVerdict};
+use crate::inspect::{
+    inspect_serial, try_inspect_monotone, IndexArrayView, MonotoneReq, MonotoneVerdict,
+};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -252,6 +254,69 @@ impl InspectorCache {
         };
         self.insert(key, view.version, verdict);
         Ok(verdict)
+    }
+
+    /// Returns the verdict for an array living behind the ingestion
+    /// trust boundary, serving a miss from the array's block summaries
+    /// in O(blocks) instead of rescanning O(n) elements.
+    ///
+    /// Soundness: the boundary rebuilds or rescans the summaries
+    /// atomically with every write-version bump, so at any version the
+    /// summaries describe exactly the contents the version names — the
+    /// dirty-window bookkeeping of `mutate_range` guarantees untouched
+    /// blocks' summaries are still current. Callers defending against
+    /// *bypassing* writers (who change neither version nor summaries)
+    /// must pair this with [`ValidatedIndexArray::verify`], which
+    /// recomputes from raw data — exactly what the guard does before
+    /// decide/dispatch.
+    ///
+    /// [`ValidatedIndexArray::verify`]: crate::ValidatedIndexArray::verify
+    pub fn verdict_ingested(
+        &self,
+        array: &crate::ValidatedIndexArray,
+        required: MonotoneReq,
+    ) -> MonotoneVerdict {
+        let view = array.view(required);
+        let key = Key::of(&view);
+        let _lookup_span = telemetry::span_labeled(Phase::CacheLookup, view.name);
+        {
+            let mut entries = lock(&self.entries);
+            match entries.get(&key) {
+                Some((ver, verdict)) if *ver == view.version => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    telemetry::instant_labeled(
+                        EventKind::CacheHit,
+                        Phase::CacheLookup,
+                        view.name,
+                        view.version,
+                    );
+                    return *verdict;
+                }
+                Some(_) => {
+                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    telemetry::instant_labeled(
+                        EventKind::CacheInvalidate,
+                        Phase::CacheLookup,
+                        view.name,
+                        view.version,
+                    );
+                }
+                None => {}
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        telemetry::instant_labeled(
+            EventKind::CacheMiss,
+            Phase::CacheLookup,
+            view.name,
+            view.data.len() as u64,
+        );
+        let verdict = {
+            let _reinspect_span = telemetry::span_labeled(Phase::Reinspect, view.name);
+            array.summary_verdict()
+        };
+        self.insert(key, view.version, verdict);
+        verdict
     }
 
     /// Inspects `view` with the infallible serial scan and memoizes the

@@ -264,14 +264,22 @@ impl GuardedExecutor {
     /// an array a writer mutated without going through the boundary, or
     /// that somehow holds an out-of-domain subscript, denies up front
     /// with [`ExecError::InvalidIndexArray`]. Only arrays that pass are
-    /// viewed and inspected, so the `unsafe` gather/scatter downstream
-    /// never dispatches on unvalidated subscripts.
+    /// inspected, so the `unsafe` gather/scatter downstream never
+    /// dispatches on unvalidated subscripts.
+    ///
+    /// Inspection here is served from the arrays' block summaries
+    /// (O(blocks) per array, no element rescans, no thread pool): the
+    /// `verify()` that just passed recomputed the checksum from raw
+    /// data, proving the contents — and therefore the summaries the
+    /// boundary keeps in lockstep with them — are exactly the last
+    /// validated state, which is the precondition
+    /// [`InspectorCache::verdict_ingested`] needs.
     pub fn decide_ingested(
         &self,
         kernel: &str,
         bindings: &Bindings,
         arrays: &[(&ValidatedIndexArray, MonotoneReq)],
-        pool: Option<&ThreadPool>,
+        _pool: Option<&ThreadPool>,
     ) -> Decision {
         let _decide_span = telemetry::span_labeled(Phase::GuardDecide, kernel);
         if let Err(remaining) = self.breaker.admit(kernel) {
@@ -294,11 +302,32 @@ impl GuardedExecutor {
                 };
             }
         }
-        let views: Vec<IndexArrayView<'_>> = arrays
-            .iter()
-            .map(|(array, required)| array.view(*required))
-            .collect();
-        let (verdict, inspected) = self.evaluate(bindings, &views, pool);
+        if let Some(denied) = self.eval_check(bindings) {
+            record_verdict(kernel, &denied);
+            return Decision {
+                verdict: denied,
+                inspected: Vec::new(),
+            };
+        }
+        let mut inspected = Vec::with_capacity(arrays.len());
+        for (array, required) in arrays {
+            let verdict = self.cache.verdict_ingested(array, *required);
+            inspected.push((array.name().to_string(), array.version()));
+            if !verdict.satisfies(*required) {
+                self.inspection_failures.fetch_add(1, Ordering::Relaxed);
+                let denied = GuardVerdict::serial(ExecError::NotMonotone {
+                    array: array.name().to_string(),
+                    required: *required,
+                    first_violation: verdict.first_violation,
+                });
+                record_verdict(kernel, &denied);
+                return Decision {
+                    verdict: denied,
+                    inspected,
+                };
+            }
+        }
+        let verdict = GuardVerdict::parallel();
         record_verdict(kernel, &verdict);
         Decision { verdict, inspected }
     }
@@ -400,50 +429,51 @@ impl GuardedExecutor {
         }
     }
 
+    /// Evaluates the compiled scalar check (if any); `Some(verdict)` is
+    /// a denial with the classified reason, `None` admits.
+    fn eval_check(&self, bindings: &Bindings) -> Option<GuardVerdict> {
+        let check = self.check.as_ref()?;
+        // Chaos site: Corrupt flips the evaluation toward the
+        // conservative answer (deny); Error makes it unevaluable.
+        // Neither can ever admit a run the real check would deny.
+        let injected = match failpoint::hit("rtcheck.check.eval") {
+            Action::Corrupt => Some(Err("injected corrupt evaluation (conservative deny)")),
+            Action::Error => Some(Ok("injected evaluation fault")),
+            Action::Proceed => None,
+        };
+        if let Some(inj) = injected {
+            self.check_failures.fetch_add(1, Ordering::Relaxed);
+            let reason = match inj {
+                Err(d) => ExecError::CheckFailed { detail: d.into() },
+                Ok(d) => ExecError::CheckUnevaluable { detail: d.into() },
+            };
+            return Some(GuardVerdict::serial(reason));
+        }
+        match check.eval(bindings) {
+            Ok(true) => None,
+            Ok(false) => {
+                self.check_failures.fetch_add(1, Ordering::Relaxed);
+                Some(GuardVerdict::serial(ExecError::CheckFailed {
+                    detail: "parallelization precondition does not hold".into(),
+                }))
+            }
+            Err(e) => {
+                self.check_failures.fetch_add(1, Ordering::Relaxed);
+                Some(GuardVerdict::serial(ExecError::CheckUnevaluable {
+                    detail: e.to_string(),
+                }))
+            }
+        }
+    }
+
     fn evaluate(
         &self,
         bindings: &Bindings,
         arrays: &[IndexArrayView<'_>],
         pool: Option<&ThreadPool>,
     ) -> (GuardVerdict, Vec<(String, u64)>) {
-        if let Some(check) = &self.check {
-            // Chaos site: Corrupt flips the evaluation toward the
-            // conservative answer (deny); Error makes it unevaluable.
-            // Neither can ever admit a run the real check would deny.
-            let injected = match failpoint::hit("rtcheck.check.eval") {
-                Action::Corrupt => Some(Err("injected corrupt evaluation (conservative deny)")),
-                Action::Error => Some(Ok("injected evaluation fault")),
-                Action::Proceed => None,
-            };
-            if let Some(inj) = injected {
-                self.check_failures.fetch_add(1, Ordering::Relaxed);
-                let reason = match inj {
-                    Err(d) => ExecError::CheckFailed { detail: d.into() },
-                    Ok(d) => ExecError::CheckUnevaluable { detail: d.into() },
-                };
-                return (GuardVerdict::serial(reason), Vec::new());
-            }
-            match check.eval(bindings) {
-                Ok(true) => {}
-                Ok(false) => {
-                    self.check_failures.fetch_add(1, Ordering::Relaxed);
-                    return (
-                        GuardVerdict::serial(ExecError::CheckFailed {
-                            detail: "parallelization precondition does not hold".into(),
-                        }),
-                        Vec::new(),
-                    );
-                }
-                Err(e) => {
-                    self.check_failures.fetch_add(1, Ordering::Relaxed);
-                    return (
-                        GuardVerdict::serial(ExecError::CheckUnevaluable {
-                            detail: e.to_string(),
-                        }),
-                        Vec::new(),
-                    );
-                }
-            }
+        if let Some(denied) = self.eval_check(bindings) {
+            return (denied, Vec::new());
         }
         let mut inspected = Vec::with_capacity(arrays.len());
         for view in arrays {

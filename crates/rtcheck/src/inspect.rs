@@ -83,6 +83,88 @@ pub struct IndexArrayView<'a> {
 /// scan's chunk-boundary fixup.
 pub const PAR_THRESHOLD: usize = 8192;
 
+/// Pairs examined between early-exit checks of the wide scan. The inner
+/// fold stays branch-free across one stride; a tripped stride triggers
+/// a positioned second pass over at most this many pairs.
+const SCAN_STRIDE: usize = 512;
+
+/// Raw result of [`scan_pairs`]: the monotonicity flags of one slice's
+/// adjacent pairs plus the slice-relative index of the first decrease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairScan {
+    /// No adjacent pair decreases.
+    pub nonstrict: bool,
+    /// Every adjacent pair strictly increases.
+    pub strict: bool,
+    /// Smallest `i` with `data[i - 1] > data[i]`, if any.
+    pub first_violation: Option<usize>,
+}
+
+/// The wide adjacent-pair scan every inspection path is built on.
+///
+/// The scan walks the slice in strides of [`SCAN_STRIDE`] pairs. Within
+/// a stride a *single* comparison per pair is OR-accumulated branch-free
+/// over the two offset views of the slice (`data[i-1]` vs `data[i]`) —
+/// a clean zip-fold the loop vectorizer turns into packed unsigned
+/// 64-bit compares (one `vpcmp` per lane-group, no nightly
+/// `std::simd`). While no equality has been seen the fold asks
+/// `x >= y`, which trips on a plateau *or* a decrease; a tripped stride
+/// pays one positioned scalar pass that either returns the globally
+/// first decrease or records the equality. Once an equality is known,
+/// `strict` is settled and the fold degenerates to `x > y` — so even
+/// plateau-heavy arrays run one vector compare per pair. The result is
+/// identical to the naive early-exit loop: the *globally first*
+/// decrease, and `strict` iff no pair was equal before it.
+pub fn scan_pairs(data: &[usize]) -> PairScan {
+    let n = data.len();
+    let mut eq_seen = false;
+    let mut pos = 1usize;
+    while pos < n {
+        let end = (pos + SCAN_STRIDE).min(n);
+        let a = &data[pos - 1..end - 1];
+        let b = &data[pos..end];
+        if eq_seen {
+            // Strictness already settled: only a decrease matters.
+            let mut dec = false;
+            for (x, y) in a.iter().zip(b) {
+                dec |= x > y;
+            }
+            if !dec {
+                pos = end;
+                continue;
+            }
+        } else {
+            // `x >= y` catches a decrease or an equality with one
+            // compare; strictly increasing strides stay on this path.
+            let mut ge = false;
+            for (x, y) in a.iter().zip(b) {
+                ge |= x >= y;
+            }
+            if !ge {
+                pos = end;
+                continue;
+            }
+        }
+        // Positioned second pass: the stride tripped, classify it.
+        for (k, (x, y)) in a.iter().zip(b).enumerate() {
+            if x > y {
+                return PairScan {
+                    nonstrict: false,
+                    strict: false,
+                    first_violation: Some(pos + k),
+                };
+            }
+            eq_seen |= x == y;
+        }
+        pos = end;
+    }
+    PairScan {
+        nonstrict: true,
+        strict: !eq_seen,
+        first_violation: None,
+    }
+}
+
 /// Inspects `data` for monotonicity. With a pool and a large enough array
 /// the scan is chunk-parallel; the verdict is identical either way. A
 /// faulted parallel scan (a panicking or dying worker) degrades to the
@@ -106,23 +188,15 @@ pub fn try_inspect_monotone(
 }
 
 /// The unconditionally-serial scan; infallible, the ladder's last rung.
+/// Built on the wide [`scan_pairs`] primitive, so it runs at
+/// autovectorized throughput while reporting the same globally-first
+/// violation index as the one-pair-per-iteration loop it replaced.
 pub fn inspect_serial(data: &[usize]) -> MonotoneVerdict {
-    let mut strict = true;
-    let mut first_violation = None;
-    for i in 1..data.len() {
-        if data[i - 1] > data[i] {
-            first_violation = Some(i);
-            strict = false;
-            break;
-        }
-        if data[i - 1] == data[i] {
-            strict = false;
-        }
-    }
+    let ps = scan_pairs(data);
     MonotoneVerdict {
-        nonstrict: first_violation.is_none(),
-        strict: strict && first_violation.is_none(),
-        first_violation,
+        nonstrict: ps.nonstrict,
+        strict: ps.strict,
+        first_violation: ps.first_violation,
         len: data.len(),
     }
 }
@@ -147,18 +221,21 @@ fn inspect_parallel(data: &[usize], pool: &ThreadPool) -> Result<MonotoneVerdict
         failpoint::hit("rtcheck.inspect.chunk");
         let start = c * chunk_len;
         let end = ((c + 1) * chunk_len).min(n);
-        // Interior pairs only; pairs straddling chunk joins are fixed up
-        // below.
-        for i in (start + 1)..end {
-            if data[i - 1] > data[i] {
-                nonstrict_viol.fetch_min(i, Ordering::Relaxed);
-                strict_viol.fetch_min(i, Ordering::Relaxed);
-                cancel.cancel();
-                break;
-            }
-            if data[i - 1] == data[i] {
-                strict_viol.fetch_min(i, Ordering::Relaxed);
-            }
+        if start >= end {
+            return;
+        }
+        // Interior pairs only, through the wide scan; pairs straddling
+        // chunk joins are fixed up below.
+        let ps = scan_pairs(&data[start..end]);
+        if let Some(rel) = ps.first_violation {
+            nonstrict_viol.fetch_min(start + rel, Ordering::Relaxed);
+            strict_viol.fetch_min(start + rel, Ordering::Relaxed);
+            cancel.cancel();
+        } else if !ps.strict {
+            // Only the *presence* of an equality matters for the strict
+            // flag (no index is ever reported for it), so the chunk
+            // start stands in as the fetch-min marker.
+            strict_viol.fetch_min(start.max(1), Ordering::Relaxed);
         }
     })?;
     // Cross-chunk boundary fixup: the pair (chunk_end - 1, chunk_end) of

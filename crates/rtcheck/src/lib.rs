@@ -35,6 +35,7 @@
 //!   are caught before the `unsafe` gather/scatter ever sees them.
 
 pub mod bindings;
+pub mod block;
 pub mod breaker;
 pub mod cache;
 pub mod compile;
@@ -45,6 +46,7 @@ pub mod inspect;
 pub mod validate;
 
 pub use bindings::Bindings;
+pub use block::{BlockSummaries, BlockSummary, BLOCK_LEN, FINGERPRINT_VERSION};
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use cache::{CacheStats, InspectorCache, VerdictCache, MEMO_CAPACITY};
 pub use compile::{CompileError, CompiledCheck, EvalError};
@@ -52,7 +54,7 @@ pub use error::ExecError;
 pub use expr::{parse_check, CheckExpr, CmpOp, ParseError};
 pub use guard::{Decision, GuardPath, GuardStats, GuardVerdict, GuardedExecutor};
 pub use inspect::{
-    inspect_monotone, inspect_serial, try_inspect_monotone, IndexArrayView, MonotoneReq,
-    MonotoneVerdict, PAR_THRESHOLD,
+    inspect_monotone, inspect_serial, scan_pairs, try_inspect_monotone, IndexArrayView,
+    MonotoneReq, MonotoneVerdict, PairScan, PAR_THRESHOLD,
 };
 pub use validate::{Provenance, ValidatedIndexArray, ValidationError};

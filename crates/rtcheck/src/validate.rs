@@ -15,19 +15,38 @@
 //!   domain and rejects with a structured [`ValidationError`] (which the
 //!   guard maps onto [`crate::ExecError::InvalidIndexArray`] — a serial
 //!   fallback, never UB);
-//! * **mutation** goes through [`ValidatedIndexArray::mutate`], which
-//!   re-validates, bumps the write-version (invalidating cached
-//!   verdicts) and refreshes the content checksum; a mutation that would
-//!   leave the array out of domain is rolled back;
+//! * **mutation** goes through [`ValidatedIndexArray::mutate`] (an
+//!   arbitrary whole-vector edit, O(n)) or the preferred
+//!   [`ValidatedIndexArray::mutate_range`] (a ranged in-place edit,
+//!   O(Δ) in the touched window): both re-validate, bump the
+//!   write-version (invalidating cached verdicts) and refresh the
+//!   content checksum, and both roll back a mutation that would leave
+//!   the array out of domain;
 //! * **verification** ([`ValidatedIndexArray::verify`]) re-checks the
-//!   checksum and domain, catching out-of-band writers that bypassed the
-//!   boundary (the hostile-writer model of the PR 3 tamper tests).
+//!   checksum and domain *from the raw data*, catching out-of-band
+//!   writers that bypassed the boundary (the hostile-writer model of
+//!   the PR 3 tamper tests).
+//!
+//! Since PR 7 the boundary also maintains per-block summaries
+//! ([`crate::block::BlockSummaries`]) in lockstep with the contents:
+//! ingestion builds them in the same pass as domain validation and the
+//! checksum, and `mutate_range` rescans only the dirty blocks. That is
+//! what makes [`ValidatedIndexArray::summary_verdict`] an O(blocks)
+//! whole-array monotonicity verdict — sound exactly because every
+//! sanctioned write path refreshes the summaries atomically with the
+//! version bump, and because `verify()` still recomputes the checksum
+//! from the raw bytes, so a bypassing writer is caught before any
+//! summary-derived verdict can be trusted.
 //!
 //! The array also carries a [`Provenance`] tag so a rejection or a
 //! divergence report can say *where* the bytes came from.
 
-use crate::inspect::{IndexArrayView, MonotoneReq};
+use crate::block::{first_out_of_domain, BlockSummaries};
+use crate::inspect::{IndexArrayView, MonotoneReq, MonotoneVerdict};
 use std::fmt;
+use std::ops::Range;
+use subsub_telemetry as telemetry;
+use subsub_telemetry::Phase;
 
 /// Where an index array's contents came from, for diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,38 +153,33 @@ pub struct ValidatedIndexArray {
     version: u64,
     checksum: u64,
     provenance: Provenance,
+    /// Per-block summaries, kept in lockstep with `data` by every
+    /// sanctioned write path. `checksum` is always
+    /// `summaries.checksum()` — the `subsub-fingerprint/v2` combined
+    /// value (an integrity fingerprint, not a cryptographic MAC).
+    summaries: BlockSummaries,
 }
 
-/// FNV-1a over the entries plus the length; cheap, deterministic, and
-/// sensitive to any single-entry flip — exactly what the out-of-band
-/// writer check needs (this is an integrity fingerprint, not a
-/// cryptographic MAC).
-fn fingerprint(data: &[usize]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (data.len() as u64);
-    for &v in data {
-        for b in (v as u64).to_le_bytes() {
-            h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
-        }
+fn out_of_domain(name: &str, data: &[usize], index: usize, domain: usize) -> ValidationError {
+    ValidationError::OutOfDomain {
+        array: name.to_string(),
+        index,
+        value: data[index],
+        domain,
     }
-    h
-}
-
-fn scan_domain(name: &str, data: &[usize], domain: usize) -> Result<(), ValidationError> {
-    if let Some((index, &value)) = data.iter().enumerate().find(|&(_, &v)| v >= domain) {
-        return Err(ValidationError::OutOfDomain {
-            array: name.to_string(),
-            index,
-            value,
-            domain,
-        });
-    }
-    Ok(())
 }
 
 impl ValidatedIndexArray {
     /// Validates `data` against `domain` (the exclusive bound its entries
     /// index into) and takes ownership. The only constructor: there is no
     /// way to hold a `ValidatedIndexArray` with an out-of-domain entry.
+    ///
+    /// Ingestion is a fused single pass: the domain scan, the content
+    /// fingerprint, and the per-block monotonicity summaries are all
+    /// computed block-by-block over one traversal of the data, so the
+    /// bytes cross the memory bus once instead of twice. An
+    /// out-of-domain entry is reported at its first offending index —
+    /// the same location semantics the old two-pass scan had.
     pub fn ingest(
         name: impl Into<String>,
         data: Vec<usize>,
@@ -173,8 +187,9 @@ impl ValidatedIndexArray {
         provenance: Provenance,
     ) -> Result<ValidatedIndexArray, ValidationError> {
         let name = name.into();
-        scan_domain(&name, &data, domain)?;
-        let checksum = fingerprint(&data);
+        let summaries = BlockSummaries::build(&data, domain)
+            .map_err(|index| out_of_domain(&name, &data, index, domain))?;
+        let checksum = summaries.checksum();
         Ok(ValidatedIndexArray {
             name,
             data,
@@ -182,6 +197,7 @@ impl ValidatedIndexArray {
             version: 0,
             checksum,
             provenance,
+            summaries,
         })
     }
 
@@ -256,11 +272,18 @@ impl ValidatedIndexArray {
         }
     }
 
-    /// Mutates the contents through the trust boundary: applies `f`,
-    /// re-validates the domain, bumps the version and refreshes the
-    /// checksum. A mutation that would leave an out-of-domain entry is
-    /// rolled back (the array stays in its previous validated state) and
-    /// the error is returned.
+    /// Mutates the contents through the trust boundary with an arbitrary
+    /// whole-vector edit (the closure may grow, shrink, or reorder the
+    /// data): applies `f`, re-validates the domain, bumps the version and
+    /// refreshes the checksum and block summaries. A mutation that would
+    /// leave an out-of-domain entry is rolled back (the array stays in
+    /// its previous validated state) and the error is returned.
+    ///
+    /// This is the *structural* slow path: rolling back an arbitrary
+    /// `FnOnce(&mut Vec)` requires a full snapshot, so the call is O(n)
+    /// no matter how small the edit. Writes that stay within a known
+    /// window should use [`ValidatedIndexArray::mutate_range`], which
+    /// snapshots, validates, and rescans only that window.
     ///
     /// Note the boundary validates *memory safety* (domain), not the
     /// dependence property: a mutation may freely break monotonicity —
@@ -269,27 +292,104 @@ impl ValidatedIndexArray {
     pub fn mutate(&mut self, f: impl FnOnce(&mut Vec<usize>)) -> Result<(), ValidationError> {
         let snapshot = self.data.clone();
         f(&mut self.data);
-        if let Err(e) = scan_domain(&self.name, &self.data, self.domain) {
-            self.data = snapshot;
-            return Err(e);
+        match BlockSummaries::build(&self.data, self.domain) {
+            Err(index) => {
+                let err = out_of_domain(&self.name, &self.data, index, self.domain);
+                self.data = snapshot;
+                Err(err)
+            }
+            Ok(summaries) => {
+                self.version += 1;
+                self.checksum = summaries.checksum();
+                self.summaries = summaries;
+                Ok(())
+            }
+        }
+    }
+
+    /// Mutates `data[range]` in place through the trust boundary, paying
+    /// O(Δ + blocks) instead of O(n): only the touched window is
+    /// snapshotted for rollback and re-validated against the domain,
+    /// only the blocks overlapping it are rescanned, and the whole-array
+    /// checksum and verdict are re-derived by recombining summaries. A
+    /// single-element write into a 1 Mi-element array costs one 4 Ki
+    /// block rescan plus an O(256) recombine.
+    ///
+    /// The closure sees exactly `&mut data[range]` — it cannot write
+    /// outside the declared window, which is what makes the dirty-window
+    /// bookkeeping sound: every untouched block's summary provably still
+    /// describes its contents. A mutation that would leave an
+    /// out-of-domain entry in the window is rolled back and reported at
+    /// its first offending (absolute) index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds or inverted, like slice
+    /// indexing would.
+    pub fn mutate_range(
+        &mut self,
+        range: Range<usize>,
+        f: impl FnOnce(&mut [usize]),
+    ) -> Result<(), ValidationError> {
+        let _span = telemetry::span_labeled(Phase::Reinspect, &self.name);
+        let (lo, hi) = (range.start, range.end);
+        assert!(
+            lo <= hi && hi <= self.data.len(),
+            "mutate_range {lo}..{hi} out of bounds for length {}",
+            self.data.len()
+        );
+        let snapshot = self.data[lo..hi].to_vec();
+        f(&mut self.data[lo..hi]);
+        if let Some(rel) = first_out_of_domain(&self.data[lo..hi], self.domain) {
+            let err = out_of_domain(&self.name, &self.data, lo + rel, self.domain);
+            self.data[lo..hi].copy_from_slice(&snapshot);
+            return Err(err);
         }
         self.version += 1;
-        self.checksum = fingerprint(&self.data);
+        self.summaries.rescan(&self.data, lo..hi);
+        self.checksum = self.summaries.checksum();
         Ok(())
     }
 
-    /// Re-verifies the integrity of the contents: the checksum must match
-    /// the last validated state and every entry must still be in domain.
-    /// Fails when a writer mutated the data without going through
-    /// [`ValidatedIndexArray::mutate`] — the hostile-writer scenario the
-    /// guard must refuse to dispatch on.
+    /// The whole-array monotonicity verdict derived from the block
+    /// summaries in O(blocks) — no element is re-read. Identical
+    /// (including the first-violation index) to running
+    /// [`crate::inspect_serial`] over the current contents, because every
+    /// sanctioned write path keeps the summaries in lockstep with the
+    /// data. Like [`ValidatedIndexArray::checksum`], it describes the
+    /// *last validated state*: callers that must defend against
+    /// bypassing writers pair it with a fresh
+    /// [`ValidatedIndexArray::verify`], which recomputes from raw data.
+    pub fn summary_verdict(&self) -> MonotoneVerdict {
+        self.summaries.verdict()
+    }
+
+    /// The per-block summaries backing [`summary_verdict`]
+    /// (read-only; the boundary owns their maintenance).
+    ///
+    /// [`summary_verdict`]: ValidatedIndexArray::summary_verdict
+    pub fn summaries(&self) -> &BlockSummaries {
+        &self.summaries
+    }
+
+    /// Re-verifies the integrity of the contents *from the raw data*:
+    /// the checksum must match the last validated state and every entry
+    /// must still be in domain. Fails when a writer mutated the data
+    /// without going through [`ValidatedIndexArray::mutate`] /
+    /// [`ValidatedIndexArray::mutate_range`] — the hostile-writer
+    /// scenario the guard must refuse to dispatch on. Deliberately O(n):
+    /// this is the tamper gate, and it never trusts the summaries it is
+    /// being asked to vouch for.
     pub fn verify(&self) -> Result<(), ValidationError> {
-        if fingerprint(&self.data) != self.checksum {
+        if BlockSummaries::build_unchecked(&self.data).checksum() != self.checksum {
             return Err(ValidationError::ChecksumMismatch {
                 array: self.name.clone(),
             });
         }
-        scan_domain(&self.name, &self.data, self.domain)
+        match first_out_of_domain(&self.data, self.domain) {
+            Some(index) => Err(out_of_domain(&self.name, &self.data, index, self.domain)),
+            None => Ok(()),
+        }
     }
 
     /// Raw mutable access that **bypasses** version and checksum
@@ -404,9 +504,165 @@ mod tests {
 
     #[test]
     fn fingerprint_is_length_and_content_sensitive() {
-        assert_ne!(fingerprint(&[0, 1]), fingerprint(&[0, 1, 0]));
-        assert_ne!(fingerprint(&[0, 1]), fingerprint(&[1, 0]));
-        assert_eq!(fingerprint(&[7, 8, 9]), fingerprint(&[7, 8, 9]));
-        assert_ne!(fingerprint(&[]), fingerprint(&[0]));
+        let fp = |d: &[usize]| {
+            ValidatedIndexArray::ingest("b", d.to_vec(), usize::MAX, untrusted())
+                .unwrap()
+                .checksum()
+        };
+        assert_ne!(fp(&[0, 1]), fp(&[0, 1, 0]));
+        assert_ne!(fp(&[0, 1]), fp(&[1, 0]));
+        assert_eq!(fp(&[7, 8, 9]), fp(&[7, 8, 9]));
+        assert_ne!(fp(&[]), fp(&[0]));
+    }
+
+    #[test]
+    fn mutate_range_bumps_version_and_matches_full_rebuild() {
+        let mut a = ValidatedIndexArray::ingest("b", vec![0, 1, 2, 3], 10, untrusted()).unwrap();
+        a.mutate_range(1..3, |w| {
+            w[0] = 5;
+            w[1] = 6;
+        })
+        .unwrap();
+        assert_eq!(a.data(), &[0, 5, 6, 3]);
+        assert_eq!(a.version(), 1);
+        assert!(a.verify().is_ok());
+        let rebuilt = ValidatedIndexArray::ingest("b", a.data().to_vec(), 10, untrusted()).unwrap();
+        assert_eq!(a.checksum(), rebuilt.checksum());
+        assert_eq!(a.summary_verdict(), rebuilt.summary_verdict());
+    }
+
+    #[test]
+    fn invalid_mutate_range_rolls_back_only_logically_but_fully() {
+        let mut a = ValidatedIndexArray::ingest("b", vec![0, 1, 2, 3], 10, untrusted()).unwrap();
+        let err = a
+            .mutate_range(1..3, |w| {
+                w[0] = 4; // in-domain, but rolled back with the rest
+                w[1] = 99; // out of [0, 10)
+            })
+            .expect_err("99 out of [0, 10)");
+        assert_eq!(
+            err,
+            ValidationError::OutOfDomain {
+                array: "b".into(),
+                index: 2,
+                value: 99,
+                domain: 10,
+            }
+        );
+        assert_eq!(a.data(), &[0, 1, 2, 3]);
+        assert_eq!(a.version(), 0);
+        assert!(a.verify().is_ok());
+    }
+
+    #[test]
+    fn mutate_range_at_first_last_and_join_indices() {
+        use crate::block::BLOCK_LEN;
+        let n = BLOCK_LEN * 2 + 5;
+        let base: Vec<usize> = (0..n).collect();
+        let mut a =
+            ValidatedIndexArray::ingest("b", base.clone(), usize::MAX, untrusted()).unwrap();
+        for at in [0, n - 1, BLOCK_LEN, BLOCK_LEN - 1, BLOCK_LEN + 1] {
+            a.mutate_range(at..at + 1, |w| w[0] = 0).unwrap();
+            assert_eq!(
+                a.summary_verdict(),
+                crate::inspect::inspect_serial(a.data()),
+                "mutation at {at}"
+            );
+            assert!(a.verify().is_ok());
+            a.mutate_range(at..at + 1, |w| w[0] = at).unwrap();
+            assert_eq!(a.data(), &base[..], "heal at {at}");
+        }
+        // Healed array: checksum converges back to the pristine value.
+        let pristine = ValidatedIndexArray::ingest("b", base, usize::MAX, untrusted()).unwrap();
+        assert_eq!(a.checksum(), pristine.checksum());
+        assert!(a.summary_verdict().strict);
+    }
+
+    #[test]
+    fn mutate_range_straddling_a_block_join() {
+        use crate::block::BLOCK_LEN;
+        let n = BLOCK_LEN * 2;
+        let mut a =
+            ValidatedIndexArray::ingest("b", (0..n).collect::<Vec<_>>(), usize::MAX, untrusted())
+                .unwrap();
+        // Window covers the last 2 elements of block 0 and first 2 of
+        // block 1; introduce a decrease exactly across the join.
+        a.mutate_range(BLOCK_LEN - 2..BLOCK_LEN + 2, |w| {
+            w[1] = 7_000_000;
+            w[2] = 5;
+        })
+        .unwrap();
+        let v = a.summary_verdict();
+        assert_eq!(v, crate::inspect::inspect_serial(a.data()));
+        assert_eq!(v.first_violation, Some(BLOCK_LEN));
+        assert!(a.verify().is_ok());
+    }
+
+    #[test]
+    fn mutate_range_handles_max_adjacency() {
+        let mut a =
+            ValidatedIndexArray::ingest("b", vec![0, 1, 2, 3], usize::MAX, untrusted()).unwrap();
+        // usize::MAX is out of every domain `< usize::MAX`, but with
+        // domain == usize::MAX... MAX itself is >= domain, so still out.
+        let err = a.mutate_range(3..4, |w| w[0] = usize::MAX).unwrap_err();
+        assert!(matches!(err, ValidationError::OutOfDomain { index: 3, .. }));
+        // MAX - 1 is in domain; adjacent equal MAX-1 values must not wrap.
+        a.mutate_range(2..4, |w| {
+            w[0] = usize::MAX - 1;
+            w[1] = usize::MAX - 1;
+        })
+        .unwrap();
+        let v = a.summary_verdict();
+        assert_eq!(v, crate::inspect::inspect_serial(a.data()));
+        assert!(v.nonstrict && !v.strict);
+    }
+
+    #[test]
+    fn empty_mutate_range_is_a_versioned_noop() {
+        let mut a = ValidatedIndexArray::ingest("b", vec![0, 1, 2], 10, untrusted()).unwrap();
+        let before = a.checksum();
+        a.mutate_range(1..1, |w| assert!(w.is_empty())).unwrap();
+        assert_eq!(a.version(), 1);
+        assert_eq!(a.checksum(), before);
+        assert!(a.verify().is_ok());
+    }
+
+    #[test]
+    fn summary_verdict_property_matches_serial_under_seeded_mutations() {
+        use crate::block::BLOCK_LEN;
+        let n = BLOCK_LEN + 700;
+        let mut a =
+            ValidatedIndexArray::ingest("b", (0..n).collect::<Vec<_>>(), 2 * n, untrusted())
+                .unwrap();
+        let mut x = 0x243f_6a88_85a3_08d3u64;
+        for step in 0..120 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let at = (x as usize) % n;
+            let val = ((x >> 32) as usize) % (2 * n);
+            a.mutate_range(at..at + 1, |w| w[0] = val).unwrap();
+            assert_eq!(
+                a.summary_verdict(),
+                crate::inspect::inspect_serial(a.data()),
+                "step {step}: wrote {val} at {at}"
+            );
+            assert_eq!(a.version(), step + 1);
+        }
+        assert!(a.verify().is_ok());
+    }
+
+    #[test]
+    fn summary_verdict_goes_stale_on_bypass_until_verify_catches_it() {
+        let mut a = ValidatedIndexArray::ingest("b", vec![0, 1, 2, 3], 10, untrusted()).unwrap();
+        assert!(a.summary_verdict().strict);
+        a.bypass_validation_mut()[1] = 9; // breaks monotonicity, unannounced
+                                          // The summary verdict is stale — and that is exactly why the
+                                          // paranoid path calls verify() first, which fails here.
+        assert!(a.summary_verdict().strict);
+        assert!(matches!(
+            a.verify(),
+            Err(ValidationError::ChecksumMismatch { .. })
+        ));
     }
 }

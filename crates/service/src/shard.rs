@@ -10,7 +10,7 @@
 //! and the inspector kind ([`VerdictKey`]). Two requests carrying
 //! bit-identical arrays share one verdict no matter where the bytes
 //! live — and, because the key is position-independent, verdicts
-//! survive across processes via the `subsub-cache/v1` snapshot
+//! survive across processes via the `subsub-cache/v2` snapshot
 //! ([`crate::snapshot`]).
 //!
 //! Three properties the service relies on:
@@ -19,9 +19,9 @@
 //!   shards (shard = key hash modulo N), so concurrent requests on
 //!   different arrays never contend on one global lock;
 //! * **single-flight** — racing lookups of the *same* key coalesce:
-//!   the first becomes the leader and inspects, the rest park on the
+//!   the first becomes the leader and computes, the rest park on the
 //!   shard condvar and are served the leader's verdict. An N-way race
-//!   costs exactly one O(n) inspection;
+//!   costs exactly one verdict computation;
 //! * **bounded memory** — each shard holds a capacity-bounded
 //!   [`VerdictCache`] with LRU-ish eviction, so an adversarial client
 //!   streaming novel arrays cannot grow the cache without bound.
@@ -44,7 +44,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use subsub_omprt::ThreadPool;
 use subsub_rtcheck::{
-    inspect_monotone, MonotoneVerdict, ValidatedIndexArray, ValidationError, VerdictCache,
+    MonotoneVerdict, ValidatedIndexArray, ValidationError, VerdictCache, FINGERPRINT_VERSION,
 };
 use subsub_telemetry as telemetry;
 use subsub_telemetry::{EventKind, Phase};
@@ -76,12 +76,16 @@ impl InspectorKind {
     }
 }
 
-/// Content-addressed cache key: checksum + length + provenance tag +
-/// inspector kind. Length rides along so two arrays whose FNV checksums
-/// collide across different lengths still key apart.
+/// Content-addressed cache key: checksum, fingerprint scheme, length,
+/// provenance tag, and inspector kind. Length rides along so two arrays
+/// whose FNV checksums collide across different lengths still key
+/// apart; the fingerprint version rides along so a checksum computed
+/// under one scheme (the byte-wise v1, the block-folded v2, ...) is
+/// never matched against one computed under another.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VerdictKey {
-    /// FNV-1a content fingerprint from the ingestion trust boundary.
+    /// Content fingerprint from the ingestion trust boundary
+    /// (`subsub-fingerprint/v{fp}`).
     pub checksum: u64,
     /// Element count of the fingerprinted content.
     pub len: usize,
@@ -90,6 +94,9 @@ pub struct VerdictKey {
     pub provenance: u64,
     /// Which inspector the verdict belongs to.
     pub kind: InspectorKind,
+    /// Which fingerprint scheme produced `checksum`
+    /// ([`FINGERPRINT_VERSION`] for everything this build computes).
+    pub fp: u8,
 }
 
 impl VerdictKey {
@@ -101,6 +108,7 @@ impl VerdictKey {
             len: array.len(),
             provenance: array.provenance_tag(),
             kind,
+            fp: FINGERPRINT_VERSION,
         }
     }
 }
@@ -254,19 +262,31 @@ impl ShardedVerdictCache {
     /// The verdict for `array` under `required`-agnostic inspection:
     /// verifies the array first when `paranoid` is set (catching
     /// bypassing writers), then serves the content-keyed verdict,
-    /// coalescing concurrent misses on the same key into one
-    /// inspection over `pool`.
+    /// coalescing concurrent misses on the same key into one verdict
+    /// computation.
+    ///
+    /// A miss is served from the array's block summaries in O(blocks) —
+    /// the trust boundary already paid the O(n) scan at ingestion (and
+    /// O(Δ) per ranged mutation), and its dirty-window bookkeeping
+    /// keeps the summaries current through every sanctioned write.
+    /// That summary-derived verdict and the key's checksum describe the
+    /// same validated state by construction; `paranoid` mode
+    /// additionally proves (by recomputing the fingerprint from raw
+    /// data in `verify()`) that the *bytes* still match that state, so
+    /// a bypassing writer is rejected before the summaries are
+    /// consulted. The `pool` parameter is kept for call-site
+    /// compatibility: no per-request O(n) scan remains to parallelize.
     pub fn verdict_for(
         &self,
         array: &ValidatedIndexArray,
-        pool: Option<&ThreadPool>,
+        _pool: Option<&ThreadPool>,
         paranoid: bool,
     ) -> Result<(MonotoneVerdict, Lookup), ValidationError> {
         if paranoid {
             array.verify()?;
         }
         let key = VerdictKey::of(array, InspectorKind::Monotone);
-        let (verdict, lookup) = self.get_or_compute(key, || inspect_monotone(array.data(), pool));
+        let (verdict, lookup) = self.get_or_compute(key, || array.summary_verdict());
         Ok((verdict, lookup))
     }
 

@@ -1,4 +1,4 @@
-//! `subsub-cache/v1`: the warm-start snapshot of the sharded verdict
+//! `subsub-cache/v2`: the warm-start snapshot of the sharded verdict
 //! cache.
 //!
 //! The snapshot is a versioned JSON document carrying the cache's
@@ -19,11 +19,17 @@
 //! fixed-width hex *strings* and parsed back losslessly.
 
 use crate::shard::{InspectorKind, ShardedVerdictCache, VerdictKey};
-use subsub_rtcheck::MonotoneVerdict;
+use subsub_rtcheck::{MonotoneVerdict, FINGERPRINT_VERSION};
 use subsub_telemetry::json::{self, Json};
 
-/// Magic/version tag of the format this module reads and writes.
-pub const SNAPSHOT_VERSION: &str = "subsub-cache/v1";
+/// Magic/version tag of the format this module reads and writes. The
+/// v1→v2 bump tracks the `subsub-fingerprint/v1→v2` checksum change:
+/// a v1 snapshot's keys were computed under the byte-wise fingerprint
+/// and can never match a key this build computes, so v1 documents are
+/// rejected cleanly ([`SnapshotError::WrongVersion`] — the service
+/// starts cold and rebuilds, it never panics and never serves a
+/// cross-scheme verdict).
+pub const SNAPSHOT_VERSION: &str = "subsub-cache/v2";
 
 /// Why a snapshot was rejected. Every variant means "start cold".
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,7 +39,8 @@ pub enum SnapshotError {
         /// Parser diagnostic.
         detail: String,
     },
-    /// Parsed, but not a `subsub-cache/v1` document.
+    /// Parsed, but not a `subsub-cache/v2` document (v1 and every
+    /// other version land here).
     WrongVersion {
         /// What the document claimed.
         found: String,
@@ -89,11 +96,12 @@ fn digest_lines(lines: &[String]) -> u64 {
 /// whitespace or key order.
 fn canonical_line(key: &VerdictKey, v: &MonotoneVerdict) -> String {
     format!(
-        "{:016x},{},{:016x},{},{},{},{},{}",
+        "{:016x},{},{:016x},{},{},{},{},{},{}",
         key.checksum,
         key.len,
         key.provenance,
         key.kind.code(),
+        key.fp,
         v.nonstrict as u8,
         v.strict as u8,
         v.first_violation.map_or(-1i64, |i| i as i64),
@@ -101,11 +109,11 @@ fn canonical_line(key: &VerdictKey, v: &MonotoneVerdict) -> String {
     )
 }
 
-/// Serializes the cache's resident entries as a `subsub-cache/v1`
+/// Serializes the cache's resident entries as a `subsub-cache/v2`
 /// document. Entries are sorted by key so the output is deterministic.
 pub fn write_snapshot(cache: &ShardedVerdictCache) -> String {
     let mut entries = cache.entries();
-    entries.sort_by_key(|(k, _)| (k.checksum, k.len, k.provenance, k.kind.code()));
+    entries.sort_by_key(|(k, _)| (k.checksum, k.len, k.provenance, k.kind.code(), k.fp));
     let lines: Vec<String> = entries
         .iter()
         .map(|(k, v)| canonical_line(k, &v.verdict))
@@ -119,11 +127,12 @@ pub fn write_snapshot(cache: &ShardedVerdictCache) -> String {
     for (i, (k, v)) in entries.iter().enumerate() {
         let sep = if i + 1 == entries.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"checksum\": \"{:016x}\", \"len\": {}, \"provenance\": \"{:016x}\", \"kind\": {}, \"nonstrict\": {}, \"strict\": {}, \"first_violation\": {}, \"vlen\": {}}}{}\n",
+            "    {{\"checksum\": \"{:016x}\", \"len\": {}, \"provenance\": \"{:016x}\", \"kind\": {}, \"fp\": {}, \"nonstrict\": {}, \"strict\": {}, \"first_violation\": {}, \"vlen\": {}}}{}\n",
             k.checksum,
             k.len,
             k.provenance,
             k.kind.code(),
+            k.fp,
             v.verdict.nonstrict,
             v.verdict.strict,
             v.verdict.first_violation.map_or(-1i64, |i| i as i64),
@@ -168,7 +177,7 @@ fn num_bool(j: &Json, field: &str, index: usize) -> Result<bool, SnapshotError> 
     }
 }
 
-/// Parses and validates a `subsub-cache/v1` document into
+/// Parses and validates a `subsub-cache/v2` document into
 /// (key, verdict) pairs. Strict: any defect rejects the whole snapshot.
 pub fn parse_snapshot(text: &str) -> Result<Vec<(VerdictKey, MonotoneVerdict)>, SnapshotError> {
     let doc = json::parse(text).map_err(|e| SnapshotError::Malformed {
@@ -200,6 +209,14 @@ pub fn parse_snapshot(text: &str) -> Result<Vec<(VerdictKey, MonotoneVerdict)>, 
             .ok_or_else(|| SnapshotError::BadEntry {
                 index,
                 detail: format!("unknown inspector kind {kind_code}"),
+            })?;
+        let fp_code = num_u64(e, "fp", index)?;
+        let fp = u8::try_from(fp_code)
+            .ok()
+            .filter(|f| *f == FINGERPRINT_VERSION)
+            .ok_or_else(|| SnapshotError::BadEntry {
+                index,
+                detail: format!("unknown fingerprint scheme {fp_code}"),
             })?;
         let nonstrict = num_bool(e, "nonstrict", index)?;
         let strict = num_bool(e, "strict", index)?;
@@ -237,6 +254,7 @@ pub fn parse_snapshot(text: &str) -> Result<Vec<(VerdictKey, MonotoneVerdict)>, 
             len,
             provenance,
             kind,
+            fp,
         };
         let verdict = MonotoneVerdict {
             nonstrict,
@@ -363,6 +381,7 @@ mod tests {
                 len: 4,
                 provenance: 2,
                 kind: InspectorKind::Monotone,
+                fp: FINGERPRINT_VERSION,
             },
             &MonotoneVerdict {
                 nonstrict: false,
@@ -375,12 +394,52 @@ mod tests {
         let doc = format!(
             "{{\"version\": \"{SNAPSHOT_VERSION}\", \"digest\": \"{digest:016x}\", \"entries\": [\
              {{\"checksum\": \"0000000000000001\", \"len\": 4, \"provenance\": \"0000000000000002\", \
-             \"kind\": 0, \"nonstrict\": false, \"strict\": true, \"first_violation\": -1, \"vlen\": 4}}]}}"
+             \"kind\": 0, \"fp\": {FINGERPRINT_VERSION}, \"nonstrict\": false, \"strict\": true, \
+             \"first_violation\": -1, \"vlen\": 4}}]}}"
         );
         assert!(matches!(
             parse_snapshot(&doc),
             Err(SnapshotError::BadEntry { .. })
         ));
+    }
+
+    #[test]
+    fn v1_snapshots_are_rejected_cleanly() {
+        // A well-formed document in the retired v1 format: pre-fp
+        // entries, byte-wise-fingerprint keys. Loading must fail with
+        // WrongVersion (cold rebuild), not panic and not install
+        // entries whose checksums no current array can ever match.
+        let v1 = "{\n  \"version\": \"subsub-cache/v1\",\n  \"digest\": \"0000000000000000\",\n  \
+                  \"entries\": [\n    {\"checksum\": \"00000000deadbeef\", \"len\": 3, \
+                  \"provenance\": \"0000000000000002\", \"kind\": 0, \"nonstrict\": true, \
+                  \"strict\": true, \"first_violation\": -1, \"vlen\": 3}\n  ]\n}\n";
+        let cache = ShardedVerdictCache::new(2, 8);
+        assert_eq!(
+            load_snapshot(&cache, v1),
+            Err(SnapshotError::WrongVersion {
+                found: "subsub-cache/v1".into()
+            })
+        );
+        assert_eq!(cache.stats().entries, 0, "cache must stay cold");
+    }
+
+    #[test]
+    fn unknown_fingerprint_scheme_is_rejected() {
+        // A hypothetical v3 fingerprint inside an otherwise-valid v2
+        // document: the entry gate must refuse it even before the
+        // digest could vouch for it.
+        let doc = format!(
+            "{{\"version\": \"{SNAPSHOT_VERSION}\", \"digest\": \"0000000000000000\", \"entries\": [\
+             {{\"checksum\": \"0000000000000001\", \"len\": 4, \"provenance\": \"0000000000000002\", \
+             \"kind\": 0, \"fp\": 3, \"nonstrict\": true, \"strict\": true, \
+             \"first_violation\": -1, \"vlen\": 4}}]}}"
+        );
+        match parse_snapshot(&doc) {
+            Err(SnapshotError::BadEntry { detail, .. }) => {
+                assert!(detail.contains("fingerprint scheme"), "{detail}");
+            }
+            other => panic!("wrong rejection: {other:?}"),
+        }
     }
 
     #[test]

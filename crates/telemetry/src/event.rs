@@ -123,10 +123,13 @@ pub enum Phase {
     /// One service request, dequeue to response (analysis or guarded
     /// execution, on a service worker).
     Service = 10,
+    /// An incremental re-inspection: dirty-block rescan plus summary
+    /// recombine after a ranged mutation (O(Δ), vs a full `Inspect`).
+    Reinspect = 11,
 }
 
 /// Number of phases (sizing for the histogram table).
-pub const NUM_PHASES: usize = 11;
+pub const NUM_PHASES: usize = 12;
 
 impl Phase {
     /// Stable lowercase name used by the exporters.
@@ -143,6 +146,7 @@ impl Phase {
             Phase::Calibrate => "calibrate",
             Phase::Queue => "queue",
             Phase::Service => "service",
+            Phase::Reinspect => "reinspect",
         }
     }
 
@@ -160,6 +164,7 @@ impl Phase {
             Phase::Calibrate,
             Phase::Queue,
             Phase::Service,
+            Phase::Reinspect,
         ]
     }
 

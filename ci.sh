@@ -7,7 +7,8 @@
 #   ./ci.sh full    everything in quick, plus the release build, chaos
 #                   sweep, differential fuzz, the incremental
 #                   re-inspection gate, fork-join calibration smoke,
-#                   telemetry trace smoke, and the perf gate
+#                   telemetry trace smoke, the service workload +
+#                   lifecycle chaos storms, and the perf gate
 #                   (the merge gate; the default)
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -97,6 +98,17 @@ echo "== analysis service smoke (seeded multi-client workload + chaos) =="
 # the time, and >= 8 requests must be observed in flight at once
 # (see DESIGN.md 6). The pinned default seed keeps the run replayable.
 cargo run --release -q -p subsub-bench --bin serve
+
+echo "== chaos-serve (seeded lifecycle storms over the service, pinned seeds) =="
+# Service-layer chaos: seeded failpoint schedules over the multi-client
+# workload with deadlines and abandoned tickets in the mix — admission
+# faults, worker dispatch deaths, single-flight leader panics, snapshot
+# save/rotate/load faults. Every request must settle in a typed terminal
+# state within bounds: zero divergence on Ok responses, no wedged
+# ticket, no post-storm lockout (quarantined identities re-admit via
+# their serial probe), and recovery from the snapshot directory must
+# find a verified generation or start cold (see DESIGN.md 8).
+cargo run --release -q -p subsub-bench --bin chaos_serve -- 29 8181 424243
 
 echo "== snapshot round-trip (write -> corrupt -> reject -> rebuild) =="
 # Persistence drill for the verdict cache: a snapshot with any single

@@ -16,6 +16,7 @@
 
 pub mod calibration;
 pub mod chaos;
+pub mod chaos_serve;
 pub mod decide;
 pub mod guarded;
 pub mod harness;
@@ -28,6 +29,9 @@ pub mod trace;
 
 pub use calibration::{validate_calibration_doc, CalibrationSummary};
 pub use chaos::{chaos_sweep, ChaosReport, CHAOS_SITES, DEFAULT_SEEDS};
+pub use chaos_serve::{
+    chaos_serve_storm, ChaosServeConfig, ChaosServeReport, CHAOS_SERVE_SEEDS, CHAOS_SERVE_SITES,
+};
 pub use decide::{decision_report, variant_for};
 pub use guarded::{guarded_run, GuardedHarness, GuardedOutcome};
 pub use harness::{calibrate, run_config, Config, Outcome};

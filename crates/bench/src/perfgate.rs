@@ -16,6 +16,7 @@
 //! the claim fast path), not scheduler jitter on shared CI hardware.
 
 use crate::microbench::{bench, BenchStats};
+use std::time::Duration;
 use subsub_kernels::kernel_by_name;
 use subsub_omprt::{Schedule, ThreadPool};
 use subsub_rtcheck::{inspect_serial, BlockSummaries, Provenance, ValidatedIndexArray};
@@ -109,6 +110,7 @@ pub fn run_suite() -> Vec<BenchStats> {
             kernel: "AMGmk".into(),
             dataset: "test".into(),
         },
+        deadline: None,
     };
     // Warm the registry entry and the verdict cache so the timed path
     // is the steady-state hot hit.
@@ -120,6 +122,16 @@ pub fn run_suite() -> Vec<BenchStats> {
     out.push(bench("service/hot-hit", || {
         let response = service
             .submit(request("perfgate".into()))
+            .expect("admitted")
+            .wait();
+        std::hint::black_box(&response);
+    }));
+    // Same hot hit with a (generous) deadline attached: the lifecycle
+    // machinery — doom stamping, cancel-token plumbing, janitor
+    // coexistence — must not tax the steady-state path.
+    out.push(bench("service/hot-hit-deadline", || {
+        let response = service
+            .submit(request("perfgate".into()).with_deadline(Duration::from_secs(30)))
             .expect("admitted")
             .wait();
         std::hint::black_box(&response);

@@ -257,6 +257,7 @@ fn run_phase(
                     let submitted = Instant::now();
                     let ticket = match service.submit(Request {
                         client: client.clone(),
+                        deadline: None,
                         payload: Payload::Execute {
                             kernel: kernel.into(),
                             dataset: dataset.into(),
@@ -425,6 +426,7 @@ pub fn snapshot_roundtrip_drill(seed: u64) -> Vec<String> {
     let response = rebuilt
         .submit(Request {
             client: "rebuild".into(),
+            deadline: None,
             payload: Payload::Execute {
                 kernel: "AMGmk".into(),
                 dataset: "test".into(),
@@ -448,6 +450,7 @@ pub fn snapshot_roundtrip_drill(seed: u64) -> Vec<String> {
     let response = warm
         .submit(Request {
             client: "warm".into(),
+            deadline: None,
             payload: Payload::Execute {
                 kernel: "AMGmk".into(),
                 dataset: "test".into(),

@@ -9,7 +9,9 @@
 //! so an iteration already in flight always finishes (iterations run at
 //! most once, and none start after the cancel is observed).
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// A shareable one-way cancellation flag.
 #[derive(Debug, Default)]
@@ -34,6 +36,42 @@ impl CancelToken {
     }
 }
 
+thread_local! {
+    /// Stack of ambient tokens installed by [`with_ambient_cancel`] on
+    /// *this* thread. A stack (not a slot) so nested scopes restore the
+    /// outer token instead of clearing it.
+    static AMBIENT: RefCell<Vec<Arc<CancelToken>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with `token` installed as this thread's *ambient* cancel
+/// token: any `parallel for` the thread coordinates while inside `f`
+/// observes the token exactly as if it had been passed explicitly to
+/// [`crate::ThreadPool::parallel_for_deadline`].
+///
+/// This is the hook that lets a host (the analysis service) cancel deep
+/// inside code that never learned about tokens — kernels call plain
+/// `pool.parallel_for`, and the runtime picks the token up from the
+/// coordinating thread's ambient scope. The scope is strictly
+/// per-thread: other coordinators sharing the pool are unaffected.
+pub fn with_ambient_cancel<R>(token: &Arc<CancelToken>, f: impl FnOnce() -> R) -> R {
+    struct PopOnDrop;
+    impl Drop for PopOnDrop {
+        fn drop(&mut self) {
+            AMBIENT.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    AMBIENT.with(|s| s.borrow_mut().push(Arc::clone(token)));
+    let _guard = PopOnDrop;
+    f()
+}
+
+/// The innermost ambient token installed on this thread, if any.
+pub fn ambient_cancel() -> Option<Arc<CancelToken>> {
+    AMBIENT.with(|s| s.borrow().last().cloned())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,5 +83,50 @@ mod tests {
         t.cancel();
         t.cancel();
         assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn ambient_scope_nests_and_restores() {
+        assert!(ambient_cancel().is_none());
+        let outer = Arc::new(CancelToken::new());
+        let inner = Arc::new(CancelToken::new());
+        with_ambient_cancel(&outer, || {
+            assert!(Arc::ptr_eq(
+                &ambient_cancel().expect("outer installed"),
+                &outer
+            ));
+            with_ambient_cancel(&inner, || {
+                assert!(Arc::ptr_eq(
+                    &ambient_cancel().expect("inner installed"),
+                    &inner
+                ));
+            });
+            assert!(Arc::ptr_eq(
+                &ambient_cancel().expect("outer restored"),
+                &outer
+            ));
+        });
+        assert!(ambient_cancel().is_none());
+    }
+
+    #[test]
+    fn ambient_scope_unwinds_on_panic() {
+        let t = Arc::new(CancelToken::new());
+        let caught = std::panic::catch_unwind(|| {
+            with_ambient_cancel(&t, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert!(ambient_cancel().is_none());
+    }
+
+    #[test]
+    fn ambient_is_per_thread() {
+        let t = Arc::new(CancelToken::new());
+        with_ambient_cancel(&t, || {
+            let seen = std::thread::spawn(|| ambient_cancel().is_some())
+                .join()
+                .expect("probe thread");
+            assert!(!seen, "ambient token leaked across threads");
+        });
     }
 }

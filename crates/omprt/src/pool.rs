@@ -460,6 +460,17 @@ impl ThreadPool {
     where
         F: Fn(usize) + Send + Sync,
     {
+        // An explicit token always wins; otherwise the coordinating
+        // thread's ambient scope (installed by a host via
+        // `cancel::with_ambient_cancel`) supplies one, so cancellation
+        // reaches regions opened by code that never learned about
+        // tokens (kernel bodies calling plain `parallel_for`).
+        let ambient = if cancel.is_none() {
+            crate::cancel::ambient_cancel()
+        } else {
+            None
+        };
+        let cancel = cancel.or(ambient.as_deref());
         // Padded so the shared cursor never false-shares with the
         // coordinator's stack around it.
         let cursor = CachePadded::new(AtomicUsize::new(0));
@@ -526,10 +537,19 @@ impl ThreadPool {
         let slots = SendPtr::new(partials.as_mut_ptr());
         let cursor = CachePadded::new(AtomicUsize::new(0));
         let threads = self.threads;
+        // Reductions honour the coordinator's ambient cancel scope the
+        // same way `parallel_for` does: a cancelled reduction stops
+        // claiming and folds only the iterations that already ran (the
+        // host discards the partial result).
+        let ambient = crate::cancel::ambient_cancel();
+        let cancel = ambient.as_deref();
         self.run(|tid| {
             let mut acc = Some(identity.clone());
-            drive(sched, n, threads, tid, &cursor, None, |s, e| {
+            drive(sched, n, threads, tid, &cursor, cancel, |s, e| {
                 for i in s..e {
+                    if cancel.is_some_and(CancelToken::is_cancelled) {
+                        return false;
+                    }
                     // The accumulator is always re-seated below; if it
                     // ever were empty, restarting from the identity is
                     // the only sound continuation (never panic here).

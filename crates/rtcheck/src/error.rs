@@ -71,6 +71,13 @@ pub enum ExecError {
         /// Breaker-admission denials left before a half-open trial.
         remaining: u32,
     },
+    /// The invocation's cancel token tripped (the caller's deadline
+    /// expired or the waiter abandoned the request) before a result was
+    /// produced; whatever partial work ran was discarded. Unlike
+    /// [`ExecError::Timeout`] — a *region*-level deadline on the
+    /// parallel variant, which still finishes serially — cancellation
+    /// abandons the whole invocation, serial rescue included.
+    Cancelled,
 }
 
 impl ExecError {
@@ -98,6 +105,7 @@ impl ExecError {
             ExecError::ParallelFault { .. } => 7,
             ExecError::Timeout => 8,
             ExecError::BreakerOpen { .. } => 9,
+            ExecError::Cancelled => 10,
         }
     }
 }
@@ -142,6 +150,9 @@ impl std::fmt::Display for ExecError {
                     "circuit breaker open: kernel pinned to serial ({remaining} denials before half-open trial)"
                 )
             }
+            ExecError::Cancelled => {
+                write!(f, "invocation cancelled before a result was produced")
+            }
         }
     }
 }
@@ -174,6 +185,7 @@ mod tests {
             ExecError::TamperDetected { array: "b".into() },
             ExecError::Timeout,
             ExecError::BreakerOpen { remaining: 5 },
+            ExecError::Cancelled,
         ] {
             assert!(!e.transient(), "{e}");
         }

@@ -39,7 +39,7 @@ use crate::validate::ValidatedIndexArray;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use subsub_failpoint::{self as failpoint, Action};
-use subsub_omprt::ThreadPool;
+use subsub_omprt::{CancelToken, ThreadPool};
 use subsub_telemetry as telemetry;
 use subsub_telemetry::{verdict_code, EventKind, Phase};
 
@@ -134,6 +134,9 @@ pub struct GuardStats {
     pub breaker_trips: u64,
     /// Invocations denied up front by an open breaker.
     pub breaker_short_circuits: u64,
+    /// Invocations abandoned mid-ladder because their cancel token
+    /// tripped (expired deadline or abandoned waiter).
+    pub cancelled_invocations: u64,
     /// Inspector-cache behaviour (shared across arrays).
     pub cache: CacheStats,
 }
@@ -155,6 +158,7 @@ pub struct GuardedExecutor {
     validation_rejections: AtomicU64,
     breaker_trips: AtomicU64,
     breaker_short_circuits: AtomicU64,
+    cancelled_invocations: AtomicU64,
 }
 
 impl GuardedExecutor {
@@ -178,6 +182,7 @@ impl GuardedExecutor {
             validation_rejections: AtomicU64::new(0),
             breaker_trips: AtomicU64::new(0),
             breaker_short_circuits: AtomicU64::new(0),
+            cancelled_invocations: AtomicU64::new(0),
         })
     }
 
@@ -347,14 +352,58 @@ impl GuardedExecutor {
         kernel: &str,
         decision: &Decision,
         current_versions: &[(&str, u64)],
+        parallel: impl FnMut() -> Result<T, ExecError>,
+        recover: impl FnMut(),
+        serial: impl FnOnce() -> T,
+    ) -> (T, Option<ExecError>) {
+        match self.execute_admitted_cancellable(
+            kernel,
+            decision,
+            current_versions,
+            None,
+            parallel,
+            recover,
+            serial,
+        ) {
+            Ok(out) => out,
+            // Without a token, cancellation is unobservable; the ladder
+            // always bottoms out in the infallible serial rung.
+            Err(_) => unreachable!("uncancellable invocation reported Cancelled"),
+        }
+    }
+
+    /// [`GuardedExecutor::execute_admitted`] with a cooperative cancel
+    /// token checked at every rung boundary: before the serial-decision
+    /// short-circuit, before the parallel attempt, before any retry, and
+    /// before the serial rescue. A tripped token abandons the whole
+    /// invocation with [`ExecError::Cancelled`] — including the serial
+    /// rung, which plain `execute_admitted` treats as infallible — so a
+    /// request whose waiter is gone stops consuming pool time at the
+    /// next boundary. `recover` still runs before the abort, leaving the
+    /// kernel instance reusable.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_admitted_cancellable<T>(
+        &self,
+        kernel: &str,
+        decision: &Decision,
+        current_versions: &[(&str, u64)],
+        cancel: Option<&CancelToken>,
         mut parallel: impl FnMut() -> Result<T, ExecError>,
         mut recover: impl FnMut(),
         serial: impl FnOnce() -> T,
-    ) -> (T, Option<ExecError>) {
+    ) -> Result<(T, Option<ExecError>), ExecError> {
         let _dispatch_span = telemetry::span_labeled(Phase::Dispatch, kernel);
+        let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
+        let abort = || {
+            self.cancelled_invocations.fetch_add(1, Ordering::Relaxed);
+            ExecError::Cancelled
+        };
+        if cancelled() {
+            return Err(abort());
+        }
         if decision.verdict.path == GuardPath::Serial {
             self.serial_fallbacks.fetch_add(1, Ordering::Relaxed);
-            return (serial(), decision.verdict.reason.clone());
+            return Ok((serial(), decision.verdict.reason.clone()));
         }
         // Tamper gate: the inspection evidence is only as good as the
         // versions it was computed at. Any drift since phase 1 means a
@@ -370,7 +419,7 @@ impl GuardedExecutor {
                 let reason = ExecError::TamperDetected {
                     array: name.clone(),
                 };
-                return (serial(), Some(reason));
+                return Ok((serial(), Some(reason)));
             }
         }
         // Chaos site: an Error arm models a fault detected at the
@@ -382,11 +431,21 @@ impl GuardedExecutor {
             Action::Proceed => None,
         };
         if fault.is_none() {
+            if cancelled() {
+                return Err(abort());
+            }
             match parallel() {
-                Ok(out) => {
+                Ok(out) if !cancelled() => {
                     self.parallel_runs.fetch_add(1, Ordering::Relaxed);
                     self.breaker.record_success(kernel);
-                    return (out, None);
+                    return Ok((out, None));
+                }
+                // A cancelled run that "succeeded" only stopped claiming
+                // iterations early — the output is partial. Restore the
+                // instance and abandon; never surface partial work.
+                Ok(_) => {
+                    recover();
+                    return Err(abort());
                 }
                 Err(e) => fault = Some(e),
             }
@@ -394,16 +453,24 @@ impl GuardedExecutor {
         // `fault` is always `Some` here; the loop shape keeps the
         // borrow-checker happy without unwraps.
         if let Some(first) = fault.take() {
+            if matches!(first, ExecError::Cancelled) || cancelled() {
+                recover();
+                return Err(abort());
+            }
             self.note_fault(kernel);
             if first.transient() {
                 self.retries.fetch_add(1, Ordering::Relaxed);
                 recover();
                 match parallel() {
-                    Ok(out) => {
+                    Ok(out) if !cancelled() => {
                         self.retry_successes.fetch_add(1, Ordering::Relaxed);
                         self.parallel_runs.fetch_add(1, Ordering::Relaxed);
                         self.breaker.record_success(kernel);
-                        return (out, None);
+                        return Ok((out, None));
+                    }
+                    Ok(_) => {
+                        recover();
+                        return Err(abort());
                     }
                     Err(second) => {
                         self.note_fault(kernel);
@@ -418,8 +485,11 @@ impl GuardedExecutor {
         // variant is the semantics-defining golden path, so the output
         // is bit-identical to a never-parallelized run.
         recover();
+        if cancelled() {
+            return Err(abort());
+        }
         self.serial_fallbacks.fetch_add(1, Ordering::Relaxed);
-        (serial(), fault)
+        Ok((serial(), fault))
     }
 
     fn note_fault(&self, kernel: &str) {
@@ -556,6 +626,7 @@ impl GuardedExecutor {
             validation_rejections: self.validation_rejections.load(Ordering::Relaxed),
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             breaker_short_circuits: self.breaker_short_circuits.load(Ordering::Relaxed),
+            cancelled_invocations: self.cancelled_invocations.load(Ordering::Relaxed),
             cache: self.cache.stats(),
         }
     }

@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use subsub_core::{analyze_program, AlgorithmLevel, CheckExpr};
 use subsub_failpoint as failpoint;
 use subsub_kernels::{kernel_by_name, KernelInstance, Variant};
-use subsub_omprt::{RegionError, Schedule, ThreadPool};
+use subsub_omprt::{cancel::with_ambient_cancel, CancelToken, RegionError, Schedule, ThreadPool};
 use subsub_rtcheck::{
     Decision, ExecError, GuardPath, GuardStats, GuardVerdict, GuardedExecutor, Provenance,
     ValidatedIndexArray,
@@ -223,16 +223,21 @@ impl KernelEntry {
     /// One guarded execution through the service's sharded verdict
     /// cache. `serialized` forces the serial path (degraded-mode
     /// admission); `paranoid` re-verifies ingested copies before
-    /// serving cached verdicts.
+    /// serving cached verdicts; `cancel` (the per-job token) is
+    /// installed as the ambient token around every kernel region and
+    /// checked at each rung boundary — a tripped token abandons the
+    /// invocation with [`ServiceError::Canceled`], discarding partial
+    /// work.
     pub fn execute(
         &self,
         cache: &ShardedVerdictCache,
         pool: &ThreadPool,
         serialized: bool,
         paranoid: bool,
+        cancel: Option<&Arc<CancelToken>>,
     ) -> Result<ExecReport, ServiceError> {
         let mut p = self.checkout();
-        let report = self.execute_prepared(&mut p, cache, pool, serialized, paranoid);
+        let report = self.execute_prepared(&mut p, cache, pool, serialized, paranoid, cancel);
         self.restore(p);
         report
     }
@@ -244,11 +249,19 @@ impl KernelEntry {
         pool: &ThreadPool,
         serialized: bool,
         paranoid: bool,
+        cancel: Option<&Arc<CancelToken>>,
     ) -> Result<ExecReport, ServiceError> {
         let _kernel_span =
             subsub_telemetry::span_labeled(subsub_telemetry::Phase::KernelRun, &self.kernel_name);
+        let cancelled = || cancel.is_some_and(|c| c.is_cancelled());
+        if cancelled() {
+            return Err(ServiceError::Canceled);
+        }
         if self.variant == Variant::Serial || serialized {
             p.inst.run_serial();
+            if cancelled() {
+                return Err(ServiceError::Canceled);
+            }
             return Ok(ExecReport {
                 outcome: Outcome::Executed {
                     path: GuardPath::Serial,
@@ -321,19 +334,30 @@ impl KernelEntry {
             .collect();
         let variant = self.variant;
         let cell = RefCell::new(&mut p.inst);
-        let (checksum, reason) = self.executor.execute_admitted(
+        let (checksum, reason) = match self.executor.execute_admitted_cancellable(
             &self.kernel_name,
             &decision,
             &versions,
+            cancel.map(Arc::as_ref),
             || {
                 let mut inst = cell.borrow_mut();
-                let r = catch_unwind(AssertUnwindSafe(|| {
-                    failpoint::hit("service.kernel.parallel");
-                    inst.run(variant, pool, Schedule::Static { chunk: None });
-                }));
-                match r {
-                    Ok(()) => Ok(inst.checksum()),
-                    Err(panic) => Err(classify_panic(panic.as_ref())),
+                let mut run = || {
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        failpoint::hit("service.kernel.parallel");
+                        inst.run(variant, pool, Schedule::Static { chunk: None });
+                    }));
+                    match r {
+                        Ok(()) => Ok(inst.checksum()),
+                        Err(panic) => Err(classify_panic(panic.as_ref())),
+                    }
+                };
+                // The ambient scope makes the per-job token visible to
+                // every region the kernel opens on the shared pool, so
+                // a janitor-tripped deadline stops the run between
+                // chunk claims instead of after the kernel finishes.
+                match cancel {
+                    Some(token) => with_ambient_cancel(token, run),
+                    None => run(),
                 }
             },
             || {
@@ -344,7 +368,10 @@ impl KernelEntry {
                 inst.run_serial();
                 inst.checksum()
             },
-        );
+        ) {
+            Ok(out) => out,
+            Err(_) => return Err(ServiceError::Canceled),
+        };
         let path = if reason.is_none() {
             GuardPath::Parallel
         } else {
@@ -461,9 +488,9 @@ mod tests {
         let pool = ThreadPool::new(2);
         let entry = KernelEntry::new("AMGmk", "test", AlgorithmLevel::New).unwrap();
         assert_eq!(entry.variant(), Variant::OuterParallel);
-        let first = entry.execute(&cache, &pool, false, true).unwrap();
+        let first = entry.execute(&cache, &pool, false, true, None).unwrap();
         assert_eq!(first.cache, Some(Lookup::Miss));
-        let second = entry.execute(&cache, &pool, false, true).unwrap();
+        let second = entry.execute(&cache, &pool, false, true, None).unwrap();
         assert_eq!(second.cache, Some(Lookup::Hit));
         let (Outcome::Executed { checksum: a, .. }, Outcome::Executed { checksum: b, .. }) =
             (&first.outcome, &second.outcome)
@@ -479,7 +506,7 @@ mod tests {
         let cache = ShardedVerdictCache::new(2, 16);
         let pool = ThreadPool::new(2);
         let entry = KernelEntry::new("AMGmk", "test", AlgorithmLevel::New).unwrap();
-        let r = entry.execute(&cache, &pool, true, true).unwrap();
+        let r = entry.execute(&cache, &pool, true, true, None).unwrap();
         let Outcome::Executed { path, checksum, .. } = r.outcome else {
             panic!("expected executed outcome");
         };

@@ -24,16 +24,31 @@
 //! serialized cooldown, a per-client fairness cap keeps one heavy
 //! caller from starving the queue, and every accept/shed/hit/miss/evict
 //! is telemetry-instrumented.
+//!
+//! The request lifecycle is hardened end to end (DESIGN.md §8): every
+//! request carries an optional deadline enforced server-side through
+//! cooperative cancellation ([`lifecycle`]), abandoned tickets reap
+//! their jobs and free their fairness slots, payload identities that
+//! repeatedly fault workers are quarantined behind a serial
+//! probe-with-backoff ladder ([`quarantine`]), and the verdict cache
+//! persists crash-consistently through a two-generation atomic-rename
+//! snapshot store ([`store`]).
 
 pub mod exec;
+pub mod lifecycle;
+pub mod quarantine;
 pub mod request;
 pub mod service;
 pub mod shard;
 pub mod snapshot;
+pub mod store;
 
 pub use exec::{ExecReport, KernelEntry, KernelRegistry};
+pub use lifecycle::{Doom, JobControl};
+pub use quarantine::{Admission, Quarantine, QuarantineConfig, QuarantineStats};
 pub use request::{
     Outcome, Payload, Request, RequestTelemetry, Response, ServiceError, ShedReason,
+    NUM_SHED_REASONS,
 };
 pub use service::{AnalysisService, ServiceConfig, ServiceStats, Ticket};
 pub use shard::{
@@ -42,3 +57,4 @@ pub use shard::{
 pub use snapshot::{
     load_snapshot, parse_snapshot, write_snapshot, SnapshotError, SNAPSHOT_VERSION,
 };
+pub use store::{Recovery, SnapshotStore, StoreError, StoreStats};

@@ -1,0 +1,202 @@
+//! Per-request lifecycle control: deadlines, cancellation, and the
+//! doomed-request taxonomy.
+//!
+//! Every admitted request gets one [`JobControl`] shared between its
+//! [`crate::Ticket`], the queue entry, the worker that executes it, and
+//! the janitor thread. The control carries the request's absolute
+//! deadline (stamped at admission) and an `omprt` [`CancelToken`] the
+//! worker installs as the *ambient* token while running the payload —
+//! so tripping the token stops the request's parallel regions at the
+//! next cooperative boundary, wherever in the pipeline they are.
+//!
+//! A request becomes *doomed* two ways:
+//!
+//! - **Expired** — its deadline passed. The janitor trips the token of
+//!   a running job within one tick; a queued job is reaped without ever
+//!   reaching a worker.
+//! - **Abandoned** — its waiter gave up ([`crate::Ticket`] dropped
+//!   without receiving, or `wait_timeout` returned `None`). The ticket
+//!   trips the token on the way out and asks the service to reap the
+//!   job from the queue immediately, freeing its fairness-cap slot.
+//!
+//! Either way the outcome is a typed error response
+//! ([`crate::ServiceError::Expired`] / [`crate::ServiceError::Abandoned`]),
+//! never silent loss: the response slot is always fulfilled, and the
+//! accounting (in-flight count, per-client budget) is always released
+//! exactly once.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use subsub_omprt::CancelToken;
+
+use crate::request::ServiceError;
+
+/// Why a request is doomed (will never produce an outcome).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Doom {
+    /// The request's deadline passed before a response was produced.
+    Expired,
+    /// The waiter abandoned the ticket (drop or timed-out wait).
+    Abandoned,
+}
+
+impl Doom {
+    /// The typed terminal error for this doom.
+    pub fn error(self) -> ServiceError {
+        match self {
+            Doom::Expired => ServiceError::Expired,
+            Doom::Abandoned => ServiceError::Abandoned,
+        }
+    }
+
+    /// `arg` payload for the `request_expired` telemetry instant.
+    pub fn code(self) -> u64 {
+        match self {
+            Doom::Expired => 1,
+            Doom::Abandoned => 2,
+        }
+    }
+}
+
+/// Shared lifecycle state of one admitted request.
+#[derive(Debug)]
+pub struct JobControl {
+    cancel: Arc<CancelToken>,
+    deadline: Option<Instant>,
+    abandoned: AtomicBool,
+}
+
+impl JobControl {
+    /// A fresh control with an optional absolute deadline.
+    pub fn new(deadline: Option<Instant>) -> Arc<JobControl> {
+        Arc::new(JobControl {
+            cancel: Arc::new(CancelToken::new()),
+            deadline,
+            abandoned: AtomicBool::new(false),
+        })
+    }
+
+    /// The per-job cancel token (installed as the worker's ambient
+    /// token for the duration of the payload).
+    pub fn cancel_token(&self) -> &Arc<CancelToken> {
+        &self.cancel
+    }
+
+    /// The absolute deadline, if the request carries one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Marks the waiter gone and trips the token. Idempotent.
+    pub fn abandon(&self) {
+        self.abandoned.store(true, Ordering::Release);
+        self.cancel.cancel();
+    }
+
+    /// Trips the token because the deadline passed (janitor path).
+    /// The doom classification itself comes from [`JobControl::doom`],
+    /// which re-derives expiry from the clock — so an expired job is
+    /// `Expired` even if no janitor tick happened to run.
+    pub fn expire(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Whether this request is doomed, and why. Abandonment wins over
+    /// expiry: a waiter that gave up is gone regardless of deadline.
+    pub fn doom(&self) -> Option<Doom> {
+        if self.abandoned.load(Ordering::Acquire) {
+            return Some(Doom::Abandoned);
+        }
+        if self.deadline.is_some_and(|dl| Instant::now() >= dl) {
+            return Some(Doom::Expired);
+        }
+        None
+    }
+}
+
+/// The set of controls currently executing on workers, scanned by the
+/// janitor to trip deadlines of in-flight jobs within one tick.
+#[derive(Debug, Default)]
+pub struct RunningSet {
+    jobs: std::sync::Mutex<Vec<Arc<JobControl>>>,
+}
+
+impl RunningSet {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Arc<JobControl>>> {
+        self.jobs.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a control for the duration of its payload run.
+    pub fn register(&self, control: &Arc<JobControl>) {
+        self.lock().push(Arc::clone(control));
+    }
+
+    /// Removes a control after its payload run settles.
+    pub fn unregister(&self, control: &Arc<JobControl>) {
+        self.lock().retain(|c| !Arc::ptr_eq(c, control));
+    }
+
+    /// Trips the token of every running job whose deadline has passed
+    /// or whose waiter abandoned it; returns how many tokens tripped
+    /// this scan (already-cancelled tokens are not re-counted).
+    pub fn trip_doomed(&self) -> u64 {
+        let mut tripped = 0;
+        for c in self.lock().iter() {
+            if c.doom().is_some() && !c.cancel_token().is_cancelled() {
+                c.expire();
+                tripped += 1;
+            }
+        }
+        tripped
+    }
+
+    /// Number of registered (currently running) jobs.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no job is currently running.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn doom_classifies_abandonment_over_expiry() {
+        let c = JobControl::new(Some(Instant::now() - Duration::from_secs(1)));
+        assert_eq!(c.doom(), Some(Doom::Expired));
+        c.abandon();
+        assert_eq!(c.doom(), Some(Doom::Abandoned));
+        assert!(c.cancel_token().is_cancelled());
+    }
+
+    #[test]
+    fn undoomed_without_deadline() {
+        let c = JobControl::new(None);
+        assert_eq!(c.doom(), None);
+        assert!(!c.cancel_token().is_cancelled());
+    }
+
+    #[test]
+    fn running_set_trips_only_doomed_jobs() {
+        let set = RunningSet::default();
+        let live = JobControl::new(Some(Instant::now() + Duration::from_secs(60)));
+        let dead = JobControl::new(Some(Instant::now() - Duration::from_millis(1)));
+        set.register(&live);
+        set.register(&dead);
+        assert_eq!(set.trip_doomed(), 1);
+        assert!(dead.cancel_token().is_cancelled());
+        assert!(!live.cancel_token().is_cancelled());
+        // Second scan does not re-count the already-tripped token.
+        assert_eq!(set.trip_doomed(), 0);
+        set.unregister(&dead);
+        set.unregister(&live);
+        assert!(set.is_empty());
+    }
+}

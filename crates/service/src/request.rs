@@ -49,6 +49,47 @@ impl Payload {
             Payload::Execute { .. } => "execute",
         }
     }
+
+    /// Content fingerprint identifying this payload for the poison
+    /// quarantine ([`crate::quarantine::Quarantine`]): resubmissions of
+    /// the same hostile input hash to the same key regardless of which
+    /// client sends them. FNV-1a over the payload kind and its
+    /// identity-bearing content (source text / nest shape / kernel and
+    /// dataset names).
+    pub fn poison_key(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.label().as_bytes());
+        match self {
+            Payload::AnalyzeSource { source, level } => {
+                eat(source.as_bytes());
+                eat(format!("{level:?}").as_bytes());
+            }
+            Payload::AnalyzeLowered { funcs, level } => {
+                // Lowered IR carries no canonical serialization; the
+                // function names plus nest counts are identity enough
+                // to stop verbatim resubmission of a poison input.
+                for f in funcs {
+                    eat(f.name.as_bytes());
+                    eat(&(f.body.len() as u64).to_le_bytes());
+                }
+                eat(format!("{level:?}").as_bytes());
+            }
+            Payload::Execute { kernel, dataset } => {
+                eat(kernel.as_bytes());
+                eat(b":");
+                eat(dataset.as_bytes());
+            }
+        }
+        h
+    }
 }
 
 /// One unit of work submitted by a client.
@@ -59,6 +100,28 @@ pub struct Request {
     pub client: String,
     /// The work itself.
     pub payload: Payload,
+    /// Lifetime budget, measured from admission. A request still
+    /// unfinished when the budget runs out is cancelled at the next
+    /// cooperative boundary and answered [`ServiceError::Expired`].
+    /// `None` defers to [`crate::ServiceConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A request with no deadline of its own.
+    pub fn new(client: impl Into<String>, payload: Payload) -> Request {
+        Request {
+            client: client.into(),
+            payload,
+            deadline: None,
+        }
+    }
+
+    /// Sets the lifetime budget.
+    pub fn with_deadline(mut self, deadline: Duration) -> Request {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 /// Why admission control refused a request.
@@ -72,6 +135,10 @@ pub enum ShedReason {
     Degraded,
     /// The service is shutting down.
     Shutdown,
+    /// The payload's identity is quarantined after repeated faulting
+    /// completions and its probe backoff has not elapsed (or a probe is
+    /// already in flight).
+    Quarantined,
 }
 
 impl ShedReason {
@@ -82,9 +149,13 @@ impl ShedReason {
             ShedReason::FairnessCap => 2,
             ShedReason::Degraded => 3,
             ShedReason::Shutdown => 4,
+            ShedReason::Quarantined => 5,
         }
     }
 }
+
+/// Number of shed reasons (sizes the per-reason counters).
+pub const NUM_SHED_REASONS: usize = 5;
 
 impl std::fmt::Display for ShedReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -93,6 +164,7 @@ impl std::fmt::Display for ShedReason {
             ShedReason::FairnessCap => write!(f, "fairness cap"),
             ShedReason::Degraded => write!(f, "degraded"),
             ShedReason::Shutdown => write!(f, "shutdown"),
+            ShedReason::Quarantined => write!(f, "quarantined"),
         }
     }
 }
@@ -119,6 +191,12 @@ pub enum ServiceError {
     Failed(ExecError),
     /// The response channel was abandoned (service dropped mid-flight).
     Canceled,
+    /// The request's deadline passed before a response was produced;
+    /// any partial work was cancelled and discarded.
+    Expired,
+    /// The waiter abandoned the ticket (dropped it or timed out); the
+    /// job was cancelled and its fairness slot released.
+    Abandoned,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -129,6 +207,8 @@ impl std::fmt::Display for ServiceError {
             ServiceError::UnknownKernel { name } => write!(f, "unknown kernel/dataset: {name}"),
             ServiceError::Failed(e) => write!(f, "execution failed: {e}"),
             ServiceError::Canceled => write!(f, "request canceled"),
+            ServiceError::Expired => write!(f, "request deadline expired"),
+            ServiceError::Abandoned => write!(f, "request abandoned by its waiter"),
         }
     }
 }

@@ -42,6 +42,7 @@ use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
+use subsub_failpoint as failpoint;
 use subsub_omprt::ThreadPool;
 use subsub_rtcheck::{
     MonotoneVerdict, ValidatedIndexArray, ValidationError, VerdictCache, FINGERPRINT_VERSION,
@@ -331,6 +332,11 @@ impl ShardedVerdictCache {
         };
         self.misses.fetch_add(1, Ordering::Relaxed);
         telemetry::instant(EventKind::CacheMiss, Phase::Service, 0, key.len as u64);
+        // Chaos site: a panicking or stalled single-flight leader. The
+        // FlightGuard above guarantees an unwinding leader clears the
+        // in-flight marker and wakes waiters (who elect a new leader),
+        // so an injected panic here must never wedge coalesced lookups.
+        failpoint::hit("service.flight.leader");
         let verdict = {
             let _span = telemetry::span(Phase::Inspect, 0);
             compute()

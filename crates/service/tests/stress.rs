@@ -15,8 +15,8 @@ use std::time::Duration;
 use subsub_failpoint::{self as failpoint, Arm, FailPlan, Fire};
 use subsub_rtcheck::{Provenance, ValidatedIndexArray};
 use subsub_service::{
-    write_snapshot, AnalysisService, InspectorKind, Lookup, Outcome, Payload, Request,
-    ServiceConfig, ShardedVerdictCache, ShedReason, VerdictKey,
+    write_snapshot, AnalysisService, InspectorKind, Lookup, Outcome, Payload, QuarantineConfig,
+    Request, ServiceConfig, ServiceError, ShardedVerdictCache, ShedReason, VerdictKey,
 };
 
 fn ingest(name: &str, data: Vec<usize>) -> ValidatedIndexArray {
@@ -32,13 +32,13 @@ fn ingest(name: &str, data: Vec<usize>) -> ValidatedIndexArray {
 }
 
 fn execute_request(client: &str) -> Request {
-    Request {
-        client: client.to_string(),
-        payload: Payload::Execute {
+    Request::new(
+        client,
+        Payload::Execute {
             kernel: "AMGmk".into(),
             dataset: "test".into(),
         },
-    }
+    )
 }
 
 fn small_config() -> ServiceConfig {
@@ -322,6 +322,231 @@ fn fairness_cap_sheds_the_heavy_caller_only() {
     polite.wait().result.expect("executed");
     let stats = service.stats();
     assert!(stats.shed[1] >= 1, "fairness sheds must be counted");
+    service.shutdown();
+}
+
+/// Regression for the abandoned-ticket leak: a client whose tickets are
+/// dropped (or time out) without ever receiving their responses must
+/// not hold its fairness slots forever. Each round saturates the cap
+/// and abandons everything; with the old accounting (slot released only
+/// by a worker completing the job it still thinks someone wants) the
+/// client's budget would be exhausted after one round and every later
+/// submission would shed `FairnessCap`.
+#[test]
+fn abandoned_tickets_free_their_fairness_slots() {
+    // Best-effort wedge: the first dispatch sleeps so the early rounds
+    // abandon *queued* jobs (exercising the reap path, not just
+    // completion). The property below holds regardless of timing.
+    let _chaos = failpoint::arm(FailPlan::new().with(
+        "service.worker.dispatch",
+        Arm::Delay(300),
+        Fire::nth(0),
+    ));
+    let service = AnalysisService::start(ServiceConfig {
+        workers: 1,
+        fairness_cap: 2,
+        pool_threads: 2,
+        ..ServiceConfig::default()
+    });
+    let slow = service
+        .submit(execute_request("slowpoke"))
+        .expect("admitted");
+    for round in 0..5 {
+        let mut held = Vec::new();
+        for _ in 0..64 {
+            match service.submit(execute_request("gone")) {
+                Ok(t) => held.push(t),
+                Err(ShedReason::FairnessCap) => break,
+                Err(other) => panic!("unexpected shed reason {other:?}"),
+            }
+            if held.len() >= 8 {
+                break; // worker draining faster than we fill; enough held
+            }
+        }
+        assert!(!held.is_empty(), "round {round} admitted nothing");
+        // A timed-out wait abandons exactly like a drop.
+        if let Some(t) = held.pop() {
+            if t.wait_timeout(Duration::ZERO).is_some() {
+                // Already completed — fine, slot released by the worker.
+            }
+        }
+        drop(held);
+    }
+    // After five rounds of abandoned tickets, the client's budget must
+    // be whole again.
+    let fresh = service
+        .submit(execute_request("gone"))
+        .expect("abandoned tickets leaked fairness slots");
+    drop(fresh);
+    drop(slow);
+    let stats = service.stats();
+    assert!(
+        stats.abandoned + stats.completed > 0,
+        "lifecycle accounting recorded nothing"
+    );
+    service.shutdown();
+}
+
+/// Deadlines are enforced server-side: an already-expired request is
+/// answered with a typed `Expired` error (never executed, never
+/// wedged), and a deadline that trips mid-run cancels the kernel at a
+/// cooperative boundary within a bounded interval.
+#[test]
+fn expired_requests_resolve_typed_and_bounded() {
+    let service = AnalysisService::start(ServiceConfig {
+        workers: 2,
+        pool_threads: 2,
+        ..ServiceConfig::default()
+    });
+    // (a) Expired before any worker touches it.
+    let t = service
+        .submit(execute_request("doomed").with_deadline(Duration::ZERO))
+        .expect("admitted");
+    let started = std::time::Instant::now();
+    let response = t.wait_timeout(Duration::from_secs(30)).expect("wedged");
+    assert!(
+        matches!(response.result, Err(ServiceError::Expired)),
+        "zero-deadline request must expire, got {:?}",
+        response.result.map(|_| ())
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "expiry must resolve promptly"
+    );
+    // (b) Expired mid-run: the dispatch stalls past the deadline; the
+    // janitor trips the job's token and the guard layer discards the
+    // partial run instead of serving it.
+    let _chaos = failpoint::arm(FailPlan::new().with(
+        "service.kernel.parallel",
+        Arm::Delay(150),
+        Fire::always(),
+    ));
+    let t = service
+        .submit(execute_request("mid-run").with_deadline(Duration::from_millis(15)))
+        .expect("admitted");
+    let started = std::time::Instant::now();
+    let response = t.wait_timeout(Duration::from_secs(30)).expect("wedged");
+    assert!(
+        matches!(response.result, Err(ServiceError::Expired)),
+        "mid-run deadline must surface as Expired"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "cancellation must stop the run within a bounded interval"
+    );
+    let stats = service.stats();
+    assert!(stats.expired >= 2, "expired responses must be counted");
+    // A deadline-free request on the same service still succeeds.
+    let ok = service
+        .submit(execute_request("healthy"))
+        .expect("admitted")
+        .wait();
+    assert!(ok.result.is_ok(), "service wedged after expiries");
+    service.shutdown();
+}
+
+/// Poison quarantine end-to-end: a payload identity that keeps faulting
+/// workers is quarantined (shed with a typed reason while its backoff
+/// runs), re-admitted only as a serial single-flight probe, and fully
+/// released after the probe completes clean.
+#[test]
+fn quarantine_isolates_poison_payload_and_releases_on_clean_probe() {
+    failpoint::silence_injected_panics();
+    let service = AnalysisService::start(ServiceConfig {
+        workers: 2,
+        pool_threads: 2,
+        // One serialized request per degradation so the second strike
+        // runs the parallel path again instead of hiding behind the
+        // cooldown.
+        serialized_cooldown: 1,
+        quarantine: QuarantineConfig {
+            strikes: 2,
+            window: Duration::from_secs(30),
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(2),
+        },
+        ..ServiceConfig::default()
+    });
+    let poison = Payload::Execute {
+        kernel: "AMGmk".into(),
+        dataset: "test".into(),
+    };
+    let burn = || {
+        Request::new(
+            "bystander",
+            Payload::Execute {
+                kernel: "CG".into(),
+                dataset: "test".into(),
+            },
+        )
+    };
+    let _chaos =
+        failpoint::arm(FailPlan::new().with("service.kernel.parallel", Arm::Panic, Fire::always()));
+    // Two faulting completions of the same identity = two strikes. The
+    // guard rescues each serially, so the responses still execute — but
+    // the fault class is recorded against the payload.
+    for strike in 0..2 {
+        let r = service
+            .submit(execute_request(&format!("striker-{strike}")))
+            .expect("admitted")
+            .wait();
+        assert!(
+            matches!(
+                r.result,
+                Ok(Outcome::Executed {
+                    degraded: Some(_),
+                    ..
+                })
+            ),
+            "strike run must degrade, not fail terminally"
+        );
+        // Burn the serialized-cooldown token so the next strike run
+        // takes the parallel path again.
+        service
+            .submit(burn())
+            .expect("admitted")
+            .wait()
+            .result
+            .expect("burn");
+    }
+    assert!(
+        service.is_quarantined(&poison),
+        "two strikes must quarantine the identity"
+    );
+    // Inside the backoff window the identity is refused outright.
+    match service.submit(execute_request("victim")) {
+        Err(ShedReason::Quarantined) => {}
+        Err(other) => panic!("expected a quarantine shed, got {other:?}"),
+        Ok(_) => panic!("quarantined identity admitted inside its backoff"),
+    }
+    // Past the backoff, exactly one serial probe is admitted. Serial
+    // execution never touches the armed parallel site, so the probe
+    // completes clean and releases the identity — even though the
+    // chaos plan is still armed.
+    std::thread::sleep(Duration::from_millis(150));
+    let probe = service
+        .submit(execute_request("prober"))
+        .expect("probe must be admitted after backoff")
+        .wait();
+    assert!(
+        matches!(probe.result, Ok(Outcome::Executed { .. })),
+        "serial probe must complete"
+    );
+    assert!(
+        !service.is_quarantined(&poison),
+        "a clean probe must release the quarantine"
+    );
+    let r = service
+        .submit(execute_request("released"))
+        .expect("released identity must admit normally")
+        .wait();
+    assert!(r.result.is_ok());
+    let q = service.stats().quarantine;
+    assert!(q.strikes >= 2 && q.quarantined >= 1 && q.probes >= 1 && q.released >= 1);
+    assert!(
+        service.stats().shed[4] >= 1,
+        "quarantine sheds must be counted"
+    );
     service.shutdown();
 }
 

@@ -42,12 +42,22 @@ pub enum EventKind {
     /// admission).
     ServiceAdmit = 12,
     /// The analysis service shed a request (`arg` = shed-reason code:
-    /// 1 = queue full, 2 = fairness cap, 3 = degraded, 4 = shutdown).
+    /// 1 = queue full, 2 = fairness cap, 3 = degraded, 4 = shutdown,
+    /// 5 = quarantined).
     ServiceShed = 13,
+    /// A request's lifetime budget ran out before a response was
+    /// delivered (`arg` = 1 deadline expired, 2 waiter abandoned).
+    RequestExpired = 14,
+    /// The poison-quarantine ladder moved (`arg` = 1 strike recorded,
+    /// 2 identity quarantined, 3 probe admitted, 4 released clean).
+    Quarantine = 15,
+    /// A snapshot-store persistence event (`arg` = entries written on a
+    /// successful save, 0 for an aborted or failed attempt).
+    SnapshotSave = 16,
 }
 
 /// Number of event kinds (sizing for per-kind counters).
-pub const NUM_KINDS: usize = 14;
+pub const NUM_KINDS: usize = 17;
 
 impl EventKind {
     /// Stable lowercase name used by the exporters.
@@ -67,6 +77,9 @@ impl EventKind {
             EventKind::CacheEvict => "cache_evict",
             EventKind::ServiceAdmit => "service_admit",
             EventKind::ServiceShed => "service_shed",
+            EventKind::RequestExpired => "request_expired",
+            EventKind::Quarantine => "quarantine",
+            EventKind::SnapshotSave => "snapshot_save",
         }
     }
 
@@ -87,6 +100,9 @@ impl EventKind {
             EventKind::CacheEvict,
             EventKind::ServiceAdmit,
             EventKind::ServiceShed,
+            EventKind::RequestExpired,
+            EventKind::Quarantine,
+            EventKind::SnapshotSave,
         ]
     }
 

@@ -5,10 +5,11 @@
 #   ./ci.sh quick   fmt, clippy, debug build, unit tests
 #                   (the edit-compile loop: fast, no release artifacts)
 #   ./ci.sh full    everything in quick, plus the release build, chaos
-#                   sweep, differential fuzz, the incremental
-#                   re-inspection gate, fork-join calibration smoke,
-#                   telemetry trace smoke, the service workload +
-#                   lifecycle chaos storms, and the perf gate
+#                   sweep, differential fuzz, the AST round-trip
+#                   conformance harness, the incremental re-inspection
+#                   gate, fork-join calibration smoke, telemetry trace
+#                   smoke, the service workload + lifecycle chaos
+#                   storms, and the perf gate
 #                   (the merge gate; the default)
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -25,10 +26,12 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo clippy (no unwrap in omprt/rtcheck hot paths) =="
+echo "== cargo clippy (no unwrap in omprt/rtcheck/cfront/core hot paths) =="
 # The runtime's recovery story depends on lock/channel results never
-# being unwrapped on the execution path; keep the lint as a gate.
-cargo clippy -q -p subsub-omprt -p subsub-rtcheck -- \
+# being unwrapped on the execution path, and the frontend + analysis
+# driver sit on the service's untrusted-input boundary where a panic
+# would read as a worker fault; keep the lint as a gate on all four.
+cargo clippy -q -p subsub-omprt -p subsub-rtcheck -p subsub-cfront -p subsub-core -- \
   -D warnings -D clippy::unwrap_used
 
 echo "== debug build =="
@@ -55,10 +58,19 @@ echo "== differential fuzz (pinned seeds + corpus replay) =="
 # Adversarial campaigns over the inspect/guard/dispatch trust boundary:
 # inspector vs brute-force reference, incremental re-inspection vs
 # full-scan rebuild, compiled predicate vs checked-i128 evaluator,
-# guarded parallel kernels vs serial goldens — then a full replay of
-# the committed regression corpus. Any divergence fails CI
-# (see DESIGN.md 5d).
+# mutated C sources vs the frontend's no-panic/deterministic-rejection/
+# round-trip contract, guarded parallel kernels vs serial goldens —
+# then a full replay of the committed regression corpus. Any divergence
+# fails CI (see DESIGN.md 5d and 9).
 cargo run --release -q -p subsub-bench --bin fuzz -- 7 31337 271828
+
+echo "== AST round-trip conformance (kernel registry + committed corpus) =="
+# The frontend's canonical contract: for every accepted source,
+# parse -> canonicalize -> print -> reparse is a structural identity,
+# the printed form is a printer fixpoint, and the subsub-ast/v1 JSON
+# serialization is deterministic. Runs over all registry kernel sources
+# plus crates/bench/corpus/conform/*.c (see DESIGN.md 9).
+cargo run --release -q -p subsub-bench --bin conform
 
 echo "== incremental re-inspection gate (O(delta) vs full re-scan) =="
 # The 1 Mi-element mutate-then-reinspect workload: a single-element

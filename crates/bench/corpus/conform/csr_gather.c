@@ -1,0 +1,12 @@
+/* CSR sparse gather with subscripted subscripts: the canonical shape
+ * the paper's analysis targets (x[col[k]] under a rowptr-bounded k). */
+void csr_gather(int n, int *rowptr, int *col, double *val,
+                double *x, double *y) {
+    int i; int k; double acc;
+    for (i = 0; i < n; i++) {
+        acc = 0.0;
+        for (k = rowptr[i]; k < rowptr[i + 1]; k++)
+            acc += val[k] * x[col[k]];
+        y[i] = acc;
+    }
+}

@@ -1,0 +1,24 @@
+/* Printer edge cases: dangling else, unbraced single-statement bodies,
+ * an empty-clause for loop, and an else-if ladder. */
+void sweep(int n, int *a, int *flags) {
+    int i; int state;
+    state = 0;
+    for (i = 0; i < n; i++)
+        if (flags[i])
+            if (a[i] > 0)
+                state = 1;
+            else
+                state = 2;
+    i = 0;
+    for (;;) {
+        if (i >= n)
+            break;
+        if (state == 1)
+            a[i] = a[i] + 1;
+        else if (state == 2)
+            a[i] = a[i] - 1;
+        else
+            a[i] = 0;
+        i++;
+    }
+}

@@ -1,0 +1,12 @@
+/* Indirect scatter with a postincrement write and a packing loop that
+ * builds the index array itself (the recurrence the paper analyzes). */
+void histogram_scatter(int n, int nb, int *idx, int *bins, int *src) {
+    int i; int m;
+    m = 0;
+    for (i = 0; i < n; i++) {
+        if (src[i] >= 0 && src[i] < nb)
+            idx[m++] = src[i];
+    }
+    for (i = 0; i < m; i++)
+        bins[idx[i]] += 1;
+}

@@ -1,0 +1,13 @@
+/* Pointer declarators everywhere they can appear: parameters, local
+ * declarations with initializers, and a for-init declaration. */
+void pointer_walk(int n, int *base, int *out) {
+    int *cursor = base;
+    int j;
+    j = 0;
+    while (j < n) {
+        out[j] = cursor[j];
+        j++;
+    }
+    for (int *p = base; p < base + n; p++)
+        out[0] += p[0];
+}

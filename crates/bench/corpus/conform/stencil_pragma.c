@@ -1,0 +1,14 @@
+/* Multi-dimensional arrays, float-literal spellings (exponents,
+ * fractions), compound assignment, and pragma lines. */
+void stencil_pragma(int n, double A[100][100], double B[100][100]) {
+    int i; int j; double c;
+    c = 2.5e-1;
+#pragma omp parallel for
+    for (i = 1; i < n - 1; i++) {
+        for (j = 1; j < n - 1; j++) {
+            B[i][j] = c * (A[i][j - 1] + A[i][j + 1] + A[i - 1][j] + A[i + 1][j]);
+            B[i][j] -= A[i][j] * 0.125;
+            B[i][j] /= 1.0 + 1e-9;
+        }
+    }
+}

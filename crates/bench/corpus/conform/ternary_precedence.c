@@ -1,0 +1,11 @@
+/* Precedence torture: ternaries, negation chains, mixed mul/add/mod
+ * chains, and comparisons feeding logical operators. */
+void ternary_precedence(int n, int *a, int *b, double *w) {
+    int i; int lo; int hi;
+    for (i = 0; i < n; i++) {
+        lo = a[i] < b[i] ? a[i] : b[i];
+        hi = a[i] < b[i] ? b[i] : a[i];
+        w[i] = -(-lo) + - -hi * 2 - (a[i] + b[i]) % 7;
+        a[i] = (lo <= hi && hi - lo < n) || i % 2 == 0 ? hi : lo;
+    }
+}

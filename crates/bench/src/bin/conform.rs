@@ -1,0 +1,85 @@
+//! AST round-trip conformance CLI: checks `parse → canonicalize → print
+//! → reparse` identity, printer fixpoints and `subsub-ast/v1` JSON
+//! stability over the kernel registry and the committed conform corpus.
+//!
+//! Usage:
+//!   conform [--corpus DIR | --no-corpus] [--no-kernels]
+//!
+//! Exits non-zero on any divergence, printing every path-addressed
+//! mismatch.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use subsub_bench::conform::{kernel_cases, load_corpus_dir, run_conformance, ConformCase};
+
+struct Args {
+    corpus: Option<PathBuf>,
+    kernels: bool,
+}
+
+fn default_corpus_dir() -> Option<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("corpus")
+        .join("conform");
+    dir.is_dir().then_some(dir)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        corpus: default_corpus_dir(),
+        kernels: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--no-corpus" => args.corpus = None,
+            "--no-kernels" => args.kernels = false,
+            "--corpus" => {
+                args.corpus = Some(PathBuf::from(it.next().ok_or("--corpus requires a value")?))
+            }
+            "--help" | "-h" => {
+                return Err("usage: conform [--corpus DIR | --no-corpus] [--no-kernels]".into())
+            }
+            s => return Err(format!("unrecognized argument `{s}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut cases: Vec<ConformCase> = Vec::new();
+    if args.kernels {
+        cases.extend(kernel_cases());
+    }
+    if let Some(dir) = &args.corpus {
+        match load_corpus_dir(dir) {
+            Ok(c) => cases.extend(c),
+            Err(e) => {
+                eprintln!("conform corpus load failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if cases.is_empty() {
+        eprintln!("conform: no cases to run (corpus and kernels both disabled?)");
+        return ExitCode::FAILURE;
+    }
+
+    let report = run_conformance(&cases);
+    print!("{report}");
+    if report.is_clean() {
+        println!("CONFORM: all {} case(s) round-trip clean", report.cases);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("CONFORM: divergences found");
+        ExitCode::FAILURE
+    }
+}

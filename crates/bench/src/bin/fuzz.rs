@@ -4,7 +4,7 @@
 //!
 //! Usage:
 //!   fuzz [SEED...] [--no-kernels] [--arrays N] [--predicates N]
-//!        [--corpus DIR | --no-corpus] [--threads N]
+//!        [--sources N] [--corpus DIR | --no-corpus] [--threads N]
 //!
 //! With no seeds given, the CI-pinned trio 7, 31337, 271828 runs. Exits
 //! non-zero on ANY divergence or corpus regression, printing every
@@ -21,6 +21,7 @@ struct Args {
     seeds: Vec<u64>,
     arrays_per_shape: usize,
     predicates: usize,
+    sources: usize,
     kernels: bool,
     corpus: Option<PathBuf>,
     threads: usize,
@@ -39,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         seeds: Vec::new(),
         arrays_per_shape: 8,
         predicates: 200,
+        sources: 160,
         kernels: true,
         corpus: default_corpus_dir(),
         threads: 3,
@@ -59,6 +61,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--predicates: {e}"))?
             }
+            "--sources" => {
+                args.sources = grab("--sources")?
+                    .parse()
+                    .map_err(|e| format!("--sources: {e}"))?
+            }
             "--corpus" => args.corpus = Some(PathBuf::from(grab("--corpus")?)),
             "--threads" => {
                 args.threads = grab("--threads")?
@@ -68,7 +75,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: fuzz [SEED...] [--no-kernels] [--arrays N] [--predicates N] \
-                     [--corpus DIR | --no-corpus] [--threads N]"
+                     [--sources N] [--corpus DIR | --no-corpus] [--threads N]"
                         .into(),
                 )
             }
@@ -106,6 +113,7 @@ fn main() -> ExitCode {
             seed,
             arrays_per_shape: args.arrays_per_shape,
             predicates: args.predicates,
+            sources: args.sources,
             kernels: args.kernels,
         };
         let report = run_campaign(&cfg, &pool);

@@ -1,9 +1,12 @@
 //! Chaos at the service layer: seeded failpoint schedules over the
 //! multi-client serve workload, exercising the request lifecycle end to
 //! end — admission faults, worker dispatch deaths, single-flight leader
-//! panics, kernel-body panics, and snapshot save/rotate/load faults —
-//! while clients mix plain requests with short deadlines and abandoned
-//! tickets.
+//! panics, kernel-body panics, frontend lex/parse faults, and snapshot
+//! save/rotate/load faults — while clients mix plain requests with
+//! short deadlines, abandoned tickets, and a fuzz client streaming
+//! malformed C sources through `AnalyzeSource` (which must always
+//! settle as typed `Rejected`, never as a worker fault or a quarantine
+//! strike).
 //!
 //! The acceptance invariant mirrors the kernel-level chaos sweep one
 //! layer up. Whatever fires, every submitted request must settle in one
@@ -29,6 +32,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use subsub_core::AlgorithmLevel;
 use subsub_failpoint::{self as failpoint, Arm, FailPlan};
 use subsub_kernels::common::close;
 use subsub_service::{
@@ -69,6 +73,29 @@ pub const CHAOS_SERVE_SITES: &[(&str, &[Arm])] = &[
         "service.snapshot.load",
         &[Arm::Error, Arm::Corrupt, Arm::Delay(1)],
     ),
+    // Frontend lex/parse, hit on a worker thread while it analyzes an
+    // `AnalyzeSource` payload. Error injects a typed `injected-fault`
+    // diagnostic (a Rejected response, never a worker fault); Panic is
+    // deliberately excluded — the frontend's contract is that it never
+    // panics, so an injected panic would fail the storm for the wrong
+    // reason.
+    ("cfront.lex", &[Arm::Error, Arm::Delay(1)]),
+    ("cfront.parse", &[Arm::Error, Arm::Delay(1)]),
+];
+
+/// Sources the frontend fuzz client streams during the storm, tagged
+/// with whether the frontend accepts them when no fault is injected.
+const FUZZ_SOURCES: &[(&str, bool)] = &[
+    (
+        "void f(int n, int *a) { int i; for (i = 0; i < n; i++) a[i] = i; }",
+        true,
+    ),
+    ("void f() { x = 1; }", true),
+    ("void f( {", false),
+    ("void f() { x = ; }", false),
+    ("void f() { /* unterminated", false),
+    ("void f() { x = 1e999; }", false),
+    ("}{)(", false),
 ];
 
 /// The pinned seeds CI sweeps (`ci.sh full` step `chaos-serve`).
@@ -114,6 +141,11 @@ pub struct ChaosServeReport {
     /// Classified terminal `Failed` responses (injected faults that
     /// exhausted the serial rescue — typed, not violations).
     pub classified_failures: u64,
+    /// Fuzz-client sources answered `Ok(Analyzed)`.
+    pub sources_ok: u64,
+    /// Fuzz-client sources answered with a typed `Rejected` (the
+    /// expected state for malformed input and injected frontend faults).
+    pub sources_rejected: u64,
     /// Sites whose rules actually fired during the storm.
     pub fired_sites: Vec<String>,
     /// What recovery found on disk after shutdown.
@@ -144,7 +176,8 @@ impl ChaosServeReport {
             .collect();
         format!(
             "{{\n  \"seed\": {},\n  \"ok\": {},\n  \"shed\": {},\n  \"expired\": {},\n  \
-             \"abandoned\": {},\n  \"classified_failures\": {},\n  \"fired_sites\": [{}],\n  \
+             \"abandoned\": {},\n  \"classified_failures\": {},\n  \"sources_ok\": {},\n  \
+             \"sources_rejected\": {},\n  \"fired_sites\": [{}],\n  \
              \"recovered_entries\": {},\n  \"storm_ms\": {},\n  \"violations\": [{}]\n}}",
             self.seed,
             self.ok,
@@ -152,6 +185,8 @@ impl ChaosServeReport {
             self.expired,
             self.abandoned,
             self.classified_failures,
+            self.sources_ok,
+            self.sources_rejected,
             fired.join(", "),
             self.recovered_entries,
             self.storm.as_millis(),
@@ -189,6 +224,9 @@ struct StormCounters {
     divergences: AtomicU64,
     wedged: AtomicU64,
     unclassified: AtomicU64,
+    sources_ok: AtomicU64,
+    sources_rejected: AtomicU64,
+    source_misroutes: AtomicU64,
 }
 
 /// Runs one seeded chaos-serve storm.
@@ -234,6 +272,9 @@ pub fn chaos_serve_storm(cfg: &ChaosServeConfig) -> ChaosServeReport {
         divergences: AtomicU64::new(0),
         wedged: AtomicU64::new(0),
         unclassified: AtomicU64::new(0),
+        sources_ok: AtomicU64::new(0),
+        sources_rejected: AtomicU64::new(0),
+        source_misroutes: AtomicU64::new(0),
     });
 
     let plan = FailPlan::seeded(sub_seed(seed, "serve-storm"), CHAOS_SERVE_SITES);
@@ -314,7 +355,69 @@ pub fn chaos_serve_storm(cfg: &ChaosServeConfig) -> ChaosServeReport {
                 })
             })
             .collect();
-        for h in handles {
+        // Frontend fuzz client: streams malformed and well-formed
+        // sources through `AnalyzeSource` while the storm rages. Every
+        // response must be a typed terminal state; `Failed` on a source
+        // payload would mean the client's own bad input read as a
+        // worker fault.
+        let fuzz_handle = {
+            let service = Arc::clone(&service);
+            let counters = Arc::clone(&counters);
+            let mut rng = Rng64::seed_from_u64(sub_seed(seed, "fuzz-client"));
+            let rounds = cfg.requests_per_client * 2;
+            std::thread::spawn(move || {
+                for _ in 0..rounds {
+                    let (source, _ok) = FUZZ_SOURCES[rng.gen_usize(0, FUZZ_SOURCES.len() - 1)];
+                    let request = Request::new(
+                        "chaos-fuzz",
+                        Payload::AnalyzeSource {
+                            source: source.to_string(),
+                            level: AlgorithmLevel::New,
+                        },
+                    );
+                    let ticket = match service.submit(request) {
+                        Ok(t) => t,
+                        Err(_) => {
+                            counters.shed.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    };
+                    let Some(response) = ticket.wait_timeout(Duration::from_secs(60)) else {
+                        counters.wedged.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    };
+                    match response.result {
+                        Ok(_) => {
+                            counters.sources_ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServiceError::Rejected { code, .. }) => {
+                            if code.is_empty() {
+                                counters.source_misroutes.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                counters.sources_rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(ServiceError::Expired) => {
+                            counters.expired.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServiceError::Shed(_)) => {
+                            counters.shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // An injected *service* fault (worker dispatch
+                        // panic) can fail any payload mid-storm; the
+                        // "bad input never reads as a worker fault"
+                        // invariant is asserted disarmed, post-storm.
+                        Err(ServiceError::Failed(_)) => {
+                            counters.classified_failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            counters.source_misroutes.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        };
+        for h in handles.into_iter().chain(std::iter::once(fuzz_handle)) {
             if h.join().is_err() {
                 violations.push(format!("[seed {seed}] a client thread panicked"));
             }
@@ -386,6 +489,72 @@ pub fn chaos_serve_storm(cfg: &ChaosServeConfig) -> ChaosServeReport {
         }
     }
 
+    // Post-storm frontend trust boundary (disarmed): malformed source
+    // rejects typed, strikes nothing, and leaves the client admitted;
+    // an oversized body is shed at the door; a valid source analyzes.
+    let bad_payload = Payload::AnalyzeSource {
+        source: "void f( {".to_string(),
+        level: AlgorithmLevel::New,
+    };
+    for round in 0..2 {
+        match service
+            .submit(Request::new("post-storm-frontend", bad_payload.clone()))
+            .ok()
+            .and_then(|t| t.wait_timeout(Duration::from_secs(60)))
+        {
+            Some(response) => match response.result {
+                Err(ServiceError::Rejected { code, .. }) if !code.is_empty() => {}
+                other => violations.push(format!(
+                    "[seed {seed}] malformed source round {round} not typed-rejected: {other:?}"
+                )),
+            },
+            None => violations.push(format!(
+                "[seed {seed}] malformed source round {round} shed or wedged after disarm"
+            )),
+        }
+    }
+    if service.is_quarantined(&bad_payload) {
+        violations.push(format!(
+            "[seed {seed}] malformed source was quarantined (client input read as worker fault)"
+        ));
+    }
+    let oversized = Request::new(
+        "post-storm-frontend",
+        Payload::AnalyzeSource {
+            source: "x".repeat(ServiceConfig::default().parse_budget.max_input_bytes + 1),
+            level: AlgorithmLevel::New,
+        },
+    );
+    match service.submit(oversized) {
+        Err(ShedReason::OverBudget) => {}
+        other => violations.push(format!(
+            "[seed {seed}] oversized source not shed OverBudget: {:?}",
+            other.map(|_| "admitted")
+        )),
+    }
+    match service
+        .submit(Request::new(
+            "post-storm-frontend",
+            Payload::AnalyzeSource {
+                source: FUZZ_SOURCES[0].0.to_string(),
+                level: AlgorithmLevel::New,
+            },
+        ))
+        .ok()
+        .and_then(|t| t.wait_timeout(Duration::from_secs(60)))
+    {
+        Some(response) => {
+            if !matches!(response.result, Ok(Outcome::Analyzed(_))) {
+                violations.push(format!(
+                    "[seed {seed}] valid source failed to analyze after disarm"
+                ));
+            }
+        }
+        None => violations.push(format!(
+            "[seed {seed}] valid source shed or wedged after disarm"
+        )),
+    }
+
     let final_entries = service.stats().cache.entries;
     service.shutdown();
     drop(service);
@@ -447,6 +616,13 @@ pub fn chaos_serve_storm(cfg: &ChaosServeConfig) -> ChaosServeReport {
     if counters.ok.load(Ordering::Relaxed) == 0 {
         violations.push(format!("[seed {seed}] no request completed successfully"));
     }
+    let source_misroutes = counters.source_misroutes.load(Ordering::Relaxed);
+    if source_misroutes > 0 {
+        violations.push(format!(
+            "[seed {seed}] {source_misroutes} source payloads settled outside the typed \
+             reject/analyze states"
+        ));
+    }
 
     ChaosServeReport {
         seed,
@@ -455,6 +631,8 @@ pub fn chaos_serve_storm(cfg: &ChaosServeConfig) -> ChaosServeReport {
         expired: counters.expired.load(Ordering::Relaxed),
         abandoned: counters.abandoned.load(Ordering::Relaxed),
         classified_failures: counters.classified_failures.load(Ordering::Relaxed),
+        sources_ok: counters.sources_ok.load(Ordering::Relaxed),
+        sources_rejected: counters.sources_rejected.load(Ordering::Relaxed),
         fired_sites,
         recovered_entries,
         storm,
@@ -473,6 +651,12 @@ mod tests {
                 assert!(
                     !arms.contains(&Arm::Panic),
                     "{site} is hit outside a guaranteed catch_unwind; Panic would abort"
+                );
+            }
+            if site.starts_with("cfront.") {
+                assert!(
+                    !arms.contains(&Arm::Panic),
+                    "{site}: the frontend's contract is panic-freedom; inject typed faults only"
                 );
             }
         }

@@ -1,0 +1,229 @@
+//! AST round-trip conformance harness.
+//!
+//! The frontend's canonical contract (DESIGN.md §9) is that for every
+//! accepted source, `parse → canonicalize → print → reparse` reproduces
+//! a structurally identical AST, the printed form is a fixpoint of the
+//! printer, and the `subsub-ast/v1` JSON serialization is deterministic
+//! and well-formed. This module checks that contract over two corpora:
+//!
+//! * the full kernel registry (the twelve paper benchmark sources), and
+//! * `crates/bench/corpus/conform/*.c` — committed C-subset kernels
+//!   chosen to pin down printer edge cases (dangling else, empty `for`
+//!   clauses, pointer declarators, negation chains, ternaries).
+//!
+//! Run by `cargo run -p subsub-bench --bin conform` (CI `full` tier);
+//! any divergence fails the run.
+
+use std::fmt;
+use std::path::Path;
+use subsub_cfront::printer::print_program;
+use subsub_cfront::{
+    canonicalize, diff_programs, parse_program_with, program_to_json, ParseBudget,
+};
+use subsub_kernels::all_kernels;
+use subsub_telemetry::json;
+
+/// One source the harness conforms.
+#[derive(Debug, Clone)]
+pub struct ConformCase {
+    /// Case id (kernel name or corpus file stem).
+    pub name: String,
+    /// The C-subset source text.
+    pub source: String,
+}
+
+/// One broken conformance invariant.
+#[derive(Debug, Clone)]
+pub struct ConformFailure {
+    /// Which case broke.
+    pub name: String,
+    /// Which invariant, and how.
+    pub detail: String,
+}
+
+impl fmt::Display for ConformFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.name, self.detail)
+    }
+}
+
+/// What a conformance run covered and what it found.
+#[derive(Debug, Clone)]
+pub struct ConformReport {
+    /// Cases checked.
+    pub cases: usize,
+    /// Every broken invariant (empty = conformant).
+    pub failures: Vec<ConformFailure>,
+}
+
+impl ConformReport {
+    /// True when every case round-tripped.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for ConformReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "conformance: {} case(s), {} failure(s)",
+            self.cases,
+            self.failures.len()
+        )?;
+        for fail in &self.failures {
+            writeln!(f, "  {fail}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks every conformance invariant on one source. The source must be
+/// *accepted* by the frontend — a corpus entry that fails to parse is
+/// itself a failure (the conform corpus holds well-formed kernels; the
+/// rejection paths belong to the oracle's mutation leg).
+pub fn check_source(name: &str, source: &str) -> Vec<ConformFailure> {
+    let fail = |detail: String| ConformFailure {
+        name: name.to_string(),
+        detail,
+    };
+    let prog = match parse_program_with(source, &ParseBudget::DEFAULT) {
+        Ok(p) => p,
+        Err(d) => return vec![fail(format!("corpus source rejected [{}]: {d}", d.code))],
+    };
+    let mut out = Vec::new();
+
+    // Invariant 1: canonical print reparses to a structurally identical
+    // program.
+    let canon = canonicalize(&prog);
+    let printed = print_program(&canon);
+    let reparsed = match parse_program_with(&printed, &ParseBudget::DEFAULT) {
+        Ok(p) => p,
+        Err(d) => {
+            out.push(fail(format!(
+                "canonical print failed to reparse [{}]: {d}",
+                d.code
+            )));
+            return out;
+        }
+    };
+    let recanon = canonicalize(&reparsed);
+    let diffs = diff_programs(&canon, &recanon);
+    if !diffs.is_empty() {
+        for d in diffs.iter().take(4) {
+            out.push(fail(format!("round-trip diverged: {d}")));
+        }
+        if diffs.len() > 4 {
+            out.push(fail(format!("... and {} more node(s)", diffs.len() - 4)));
+        }
+    }
+
+    // Invariant 2: the printed form is a printer fixpoint (printing the
+    // reparsed AST reproduces the same bytes).
+    let reprinted = print_program(&recanon);
+    if reprinted != printed {
+        out.push(fail(
+            "printer is not a fixpoint on its own output".to_string(),
+        ));
+    }
+
+    // Invariant 3: the `subsub-ast/v1` serialization is deterministic,
+    // well-formed JSON, and identical across the round trip.
+    let j1 = program_to_json(&canon);
+    let j2 = program_to_json(&recanon);
+    if json::parse(&j1).is_err() {
+        out.push(fail("ast/v1 serialization is not valid JSON".to_string()));
+    }
+    if j1 != j2 {
+        out.push(fail(
+            "ast/v1 serialization differs across the round trip".to_string(),
+        ));
+    }
+    out
+}
+
+/// The kernel-registry corpus: every benchmark source in the registry.
+pub fn kernel_cases() -> Vec<ConformCase> {
+    all_kernels()
+        .iter()
+        .map(|k| ConformCase {
+            name: format!("kernel:{}", k.name()),
+            source: k.source().to_string(),
+        })
+        .collect()
+}
+
+/// Loads every `*.c` file in `dir` (sorted by name for stable order).
+pub fn load_corpus_dir(dir: &Path) -> Result<Vec<ConformCase>, String> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "c"))
+        .collect();
+    files.sort();
+    let mut out = Vec::new();
+    for f in files {
+        let source = std::fs::read_to_string(&f).map_err(|e| format!("{}: {e}", f.display()))?;
+        let stem = f
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| f.display().to_string());
+        out.push(ConformCase {
+            name: format!("corpus:{stem}"),
+            source,
+        });
+    }
+    Ok(out)
+}
+
+/// Runs the harness over `cases`.
+pub fn run_conformance(cases: &[ConformCase]) -> ConformReport {
+    let mut report = ConformReport {
+        cases: 0,
+        failures: Vec::new(),
+    };
+    for c in cases {
+        report.cases += 1;
+        report.failures.extend(check_source(&c.name, &c.source));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_source_conforms() {
+        let report = run_conformance(&kernel_cases());
+        assert!(report.cases >= 12, "{report}");
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn committed_corpus_conforms() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("corpus")
+            .join("conform");
+        let cases = load_corpus_dir(&dir).expect("conform corpus dir exists");
+        assert!(cases.len() >= 6, "expected >= 6 corpus kernels");
+        let report = run_conformance(&cases);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn rejected_sources_are_reported_not_skipped() {
+        let fails = check_source("bad", "void f( {");
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].detail.contains("rejected"), "{fails:?}");
+    }
+
+    #[test]
+    fn a_divergence_would_be_caught() {
+        // Sanity-check the harness itself: hand-diff two different
+        // programs through the same machinery the checker uses.
+        let a = parse_program_with("void f() { x = 1; }", &ParseBudget::DEFAULT).unwrap();
+        let b = parse_program_with("void f() { x = 2; }", &ParseBudget::DEFAULT).unwrap();
+        assert!(!diff_programs(&canonicalize(&a), &canonicalize(&b)).is_empty());
+    }
+}

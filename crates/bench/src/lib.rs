@@ -17,6 +17,7 @@
 pub mod calibration;
 pub mod chaos;
 pub mod chaos_serve;
+pub mod conform;
 pub mod decide;
 pub mod guarded;
 pub mod harness;
@@ -31,6 +32,10 @@ pub use calibration::{validate_calibration_doc, CalibrationSummary};
 pub use chaos::{chaos_sweep, ChaosReport, CHAOS_SITES, DEFAULT_SEEDS};
 pub use chaos_serve::{
     chaos_serve_storm, ChaosServeConfig, ChaosServeReport, CHAOS_SERVE_SEEDS, CHAOS_SERVE_SITES,
+};
+pub use conform::{
+    check_source, kernel_cases, load_corpus_dir, run_conformance, ConformCase, ConformFailure,
+    ConformReport,
 };
 pub use decide::{decision_report, variant_for};
 pub use guarded::{guarded_run, GuardedHarness, GuardedOutcome};

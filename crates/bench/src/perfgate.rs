@@ -96,6 +96,25 @@ pub fn run_suite() -> Vec<BenchStats> {
         }));
     }
 
+    // Frontend throughput: lex + parse every kernel source in the
+    // registry under the default budget. Guards the constant factors of
+    // the hardened lexer/parser loops (span tracking, budget checks,
+    // cancellation polls) against structural slowdowns.
+    let sources: Vec<&'static str> = subsub_kernels::all_kernels()
+        .iter()
+        .map(|k| k.source())
+        .collect();
+    out.push(bench("cfront/parse-throughput", || {
+        for src in &sources {
+            let prog = subsub_cfront::parse_program_with(
+                std::hint::black_box(src),
+                &subsub_cfront::ParseBudget::DEFAULT,
+            )
+            .expect("registry kernel sources parse");
+            std::hint::black_box(&prog);
+        }
+    }));
+
     // Service front-door entries, pinned small: one worker and a
     // single-thread pool so the medians track the submit → shard-cache
     // hit → dispatch constant factors, not scheduler jitter.

@@ -433,12 +433,44 @@ mod tests {
             }),
             index: Box::new(CExpr::ident("j")),
         };
-        let (name, subs) = e.as_index_chain().unwrap();
-        assert_eq!(name, "idel");
-        assert_eq!(subs.len(), 3);
-        assert_eq!(subs[0], &CExpr::ident("iel"));
-        assert_eq!(subs[1], &CExpr::IntLit(0));
-        assert_eq!(subs[2], &CExpr::ident("j"));
+        match e.as_index_chain() {
+            Some((name, subs)) => {
+                assert_eq!(name, "idel");
+                assert_eq!(subs.len(), 3);
+                assert_eq!(subs[0], &CExpr::ident("iel"));
+                assert_eq!(subs[1], &CExpr::IntLit(0));
+                assert_eq!(subs[2], &CExpr::ident("j"));
+            }
+            None => panic!("expected an index chain"),
+        }
+    }
+
+    #[test]
+    fn non_index_chain_returns_none() {
+        // A bare identifier has no subscripts.
+        assert!(CExpr::ident("a").as_index_chain().is_none());
+        // Indexing a call result has no identifier base: `f(x)[0]`.
+        let call_base = CExpr::Index {
+            base: Box::new(CExpr::Call {
+                name: "f".into(),
+                args: vec![CExpr::ident("x")],
+            }),
+            index: Box::new(CExpr::IntLit(0)),
+        };
+        assert!(call_base.as_index_chain().is_none());
+        // Indexing an arithmetic base: `(a + b)[i]`.
+        let expr_base = CExpr::Index {
+            base: Box::new(CExpr::bin(BinOp::Add, CExpr::ident("a"), CExpr::ident("b"))),
+            index: Box::new(CExpr::ident("i")),
+        };
+        assert!(expr_base.as_index_chain().is_none());
+        // Literals and casts are not chains either.
+        assert!(CExpr::IntLit(3).as_index_chain().is_none());
+        let cast = CExpr::Cast {
+            ty: Type::Int,
+            expr: Box::new(CExpr::ident("a")),
+        };
+        assert!(cast.as_index_chain().is_none());
     }
 
     #[test]

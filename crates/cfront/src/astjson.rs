@@ -1,0 +1,791 @@
+//! Canonical AST serialization (`subsub-ast/v1`) and structural diffing.
+//!
+//! The serializer emits a deterministic JSON form of a [`Program`] —
+//! the conformance contract for the frontend: two sources are
+//! structurally identical iff their serialized forms are byte-identical.
+//! The differ walks two ASTs in lockstep and reports path-addressed
+//! mismatches (`$.funcs[0].body.stmts[2].cond`), which is what the
+//! `conform` harness prints when a round trip diverges.
+//!
+//! String escaping reuses `telemetry::json` so the output parses with the
+//! in-tree JSON reader; integer literals are serialized as strings to
+//! keep full `i64` precision (the reader holds numbers as `f64`).
+
+use crate::ast::*;
+use crate::printer::print_expr;
+use std::fmt;
+use std::fmt::Write;
+use subsub_telemetry::json::escape;
+
+/// Schema identifier embedded in every serialized program.
+pub const AST_SCHEMA: &str = "subsub-ast/v1";
+
+/// One structural divergence between two ASTs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstMismatch {
+    /// JSONPath-style address of the diverging node.
+    pub path: String,
+    /// Short rendering of the left side at that path.
+    pub left: String,
+    /// Short rendering of the right side at that path.
+    pub right: String,
+}
+
+impl fmt::Display for AstMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} != {}", self.path, self.left, self.right)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Canonicalization
+// ---------------------------------------------------------------------
+
+/// Rewrites a program into printer-canonical form: every control-flow
+/// body (`if` arms, `for`/`while` bodies) becomes an explicit block.
+/// The printer always emits braces, so a reparse of printed output
+/// yields the canonical form — round-trip identity is checked between
+/// canonical forms on both sides.
+pub fn canonicalize(p: &Program) -> Program {
+    Program {
+        globals: p.globals.clone(),
+        funcs: p
+            .funcs
+            .iter()
+            .map(|f| Function {
+                ret: f.ret.clone(),
+                name: f.name.clone(),
+                params: f.params.clone(),
+                body: canon_block(&f.body),
+            })
+            .collect(),
+    }
+}
+
+fn canon_block(b: &Block) -> Block {
+    Block {
+        stmts: b.stmts.iter().map(canon_stmt).collect(),
+    }
+}
+
+/// Wraps a statement used as a control-flow body into a block. A body
+/// that is already a block is canonicalized in place (the printer
+/// flattens it into the braces it emits anyway).
+fn canon_body(s: &Stmt) -> Box<Stmt> {
+    Box::new(match canon_stmt(s) {
+        Stmt::Block(b) => Stmt::Block(b),
+        other => Stmt::Block(Block { stmts: vec![other] }),
+    })
+}
+
+fn canon_stmt(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Block(b) => Stmt::Block(canon_block(b)),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
+            cond: cond.clone(),
+            then_branch: canon_body(then_branch),
+            else_branch: else_branch.as_ref().map(|e| canon_body(e)),
+        },
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => Stmt::For {
+            init: init.clone(),
+            cond: cond.clone(),
+            step: step.clone(),
+            body: canon_body(body),
+        },
+        Stmt::While { cond, body } => Stmt::While {
+            cond: cond.clone(),
+            body: canon_body(body),
+        },
+        other => other.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+/// Serializes a program to canonical `subsub-ast/v1` JSON.
+pub fn program_to_json(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"schema\":\"{AST_SCHEMA}\",\"globals\":[");
+    for (i, g) in p.globals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        decl_json(&mut out, g);
+    }
+    out.push_str("],\"funcs\":[");
+    for (i, f) in p.funcs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        func_json(&mut out, f);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn func_json(out: &mut String, f: &Function) {
+    let _ = write!(
+        out,
+        "{{\"ret\":\"{}\",\"name\":\"{}\",\"params\":[",
+        escape(&f.ret.to_string()),
+        escape(&f.name)
+    );
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"ty\":\"{}\",\"ptr\":{},\"name\":\"{}\",\"dims\":[",
+            escape(&p.ty.to_string()),
+            p.pointer,
+            escape(&p.name)
+        );
+        for (j, d) in p.dims.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            match d {
+                Some(e) => expr_json(out, e),
+                None => out.push_str("null"),
+            }
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"body\":");
+    block_json(out, &f.body);
+    out.push('}');
+}
+
+fn decl_json(out: &mut String, d: &Decl) {
+    let _ = write!(
+        out,
+        "{{\"k\":\"decl\",\"ty\":\"{}\",\"ptr\":{},\"name\":\"{}\",\"dims\":[",
+        escape(&d.ty.to_string()),
+        d.pointer,
+        escape(&d.name)
+    );
+    for (i, e) in d.dims.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        expr_json(out, e);
+    }
+    out.push_str("],\"init\":");
+    match &d.init {
+        Some(e) => expr_json(out, e),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+}
+
+fn block_json(out: &mut String, b: &Block) {
+    out.push('[');
+    for (i, s) in b.stmts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        stmt_json(out, s);
+    }
+    out.push(']');
+}
+
+fn stmt_json(out: &mut String, s: &Stmt) {
+    match s {
+        Stmt::Decl(d) => decl_json(out, d),
+        Stmt::Expr(e) => {
+            out.push_str("{\"k\":\"expr\",\"e\":");
+            expr_json(out, e);
+            out.push('}');
+        }
+        Stmt::Block(b) => {
+            out.push_str("{\"k\":\"block\",\"stmts\":");
+            block_json(out, b);
+            out.push('}');
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            out.push_str("{\"k\":\"if\",\"cond\":");
+            expr_json(out, cond);
+            out.push_str(",\"then\":");
+            stmt_json(out, then_branch);
+            out.push_str(",\"else\":");
+            match else_branch {
+                Some(e) => stmt_json(out, e),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            out.push_str("{\"k\":\"for\",\"init\":");
+            match init {
+                ForInit::Empty => out.push_str("{\"k\":\"none\"}"),
+                ForInit::Decl(d) => decl_json(out, d),
+                ForInit::Expr(e) => {
+                    out.push_str("{\"k\":\"expr\",\"e\":");
+                    expr_json(out, e);
+                    out.push('}');
+                }
+            }
+            out.push_str(",\"cond\":");
+            match cond {
+                Some(e) => expr_json(out, e),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"step\":");
+            match step {
+                Some(e) => expr_json(out, e),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"body\":");
+            stmt_json(out, body);
+            out.push('}');
+        }
+        Stmt::While { cond, body } => {
+            out.push_str("{\"k\":\"while\",\"cond\":");
+            expr_json(out, cond);
+            out.push_str(",\"body\":");
+            stmt_json(out, body);
+            out.push('}');
+        }
+        Stmt::Return(e) => {
+            out.push_str("{\"k\":\"return\",\"e\":");
+            match e {
+                Some(e) => expr_json(out, e),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        Stmt::Break => out.push_str("{\"k\":\"break\"}"),
+        Stmt::Continue => out.push_str("{\"k\":\"continue\"}"),
+        Stmt::Pragma(t) => {
+            let _ = write!(out, "{{\"k\":\"pragma\",\"text\":\"{}\"}}", escape(t));
+        }
+        Stmt::Empty => out.push_str("{\"k\":\"empty\"}"),
+    }
+}
+
+fn unop_symbol(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "-",
+        UnOp::Not => "!",
+        UnOp::PreInc => "++",
+        UnOp::PreDec => "--",
+    }
+}
+
+fn postop_symbol(op: PostOp) -> &'static str {
+    match op {
+        PostOp::PostInc => "++",
+        PostOp::PostDec => "--",
+    }
+}
+
+fn expr_json(out: &mut String, e: &CExpr) {
+    match e {
+        // Integer literals serialize as strings: the in-tree JSON reader
+        // holds numbers as f64 and would lose i64 precision past 2^53.
+        CExpr::IntLit(v) => {
+            let _ = write!(out, "{{\"k\":\"int\",\"v\":\"{v}\"}}");
+        }
+        CExpr::FloatLit(v) => {
+            let _ = write!(out, "{{\"k\":\"float\",\"v\":\"{v}\"}}");
+        }
+        CExpr::Ident(n) => {
+            let _ = write!(out, "{{\"k\":\"ident\",\"name\":\"{}\"}}", escape(n));
+        }
+        CExpr::Index { base, index } => {
+            out.push_str("{\"k\":\"index\",\"base\":");
+            expr_json(out, base);
+            out.push_str(",\"index\":");
+            expr_json(out, index);
+            out.push('}');
+        }
+        CExpr::Call { name, args } => {
+            let _ = write!(
+                out,
+                "{{\"k\":\"call\",\"name\":\"{}\",\"args\":[",
+                escape(name)
+            );
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                expr_json(out, a);
+            }
+            out.push_str("]}");
+        }
+        CExpr::Unary { op, operand } => {
+            let _ = write!(
+                out,
+                "{{\"k\":\"unary\",\"op\":\"{}\",\"e\":",
+                unop_symbol(*op)
+            );
+            expr_json(out, operand);
+            out.push('}');
+        }
+        CExpr::Postfix { op, operand } => {
+            let _ = write!(
+                out,
+                "{{\"k\":\"postfix\",\"op\":\"{}\",\"e\":",
+                postop_symbol(*op)
+            );
+            expr_json(out, operand);
+            out.push('}');
+        }
+        CExpr::Binary { op, lhs, rhs } => {
+            let _ = write!(out, "{{\"k\":\"bin\",\"op\":\"{}\",\"lhs\":", op.symbol());
+            expr_json(out, lhs);
+            out.push_str(",\"rhs\":");
+            expr_json(out, rhs);
+            out.push('}');
+        }
+        CExpr::Assign { op, lhs, rhs } => {
+            let _ = write!(
+                out,
+                "{{\"k\":\"assign\",\"op\":\"{}\",\"lhs\":",
+                op.symbol()
+            );
+            expr_json(out, lhs);
+            out.push_str(",\"rhs\":");
+            expr_json(out, rhs);
+            out.push('}');
+        }
+        CExpr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            out.push_str("{\"k\":\"ternary\",\"cond\":");
+            expr_json(out, cond);
+            out.push_str(",\"then\":");
+            expr_json(out, then_e);
+            out.push_str(",\"else\":");
+            expr_json(out, else_e);
+            out.push('}');
+        }
+        CExpr::Cast { ty, expr } => {
+            let _ = write!(
+                out,
+                "{{\"k\":\"cast\",\"ty\":\"{}\",\"e\":",
+                escape(&ty.to_string())
+            );
+            expr_json(out, expr);
+            out.push('}');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structural diff
+// ---------------------------------------------------------------------
+
+struct Differ {
+    out: Vec<AstMismatch>,
+}
+
+/// Bound on the number of reported mismatches — the first divergence is
+/// what matters; an unbounded report on grossly different trees is noise.
+const MAX_MISMATCHES: usize = 32;
+
+impl Differ {
+    fn report(&mut self, path: &str, left: impl Into<String>, right: impl Into<String>) {
+        if self.out.len() < MAX_MISMATCHES {
+            self.out.push(AstMismatch {
+                path: path.to_string(),
+                left: left.into(),
+                right: right.into(),
+            });
+        }
+    }
+
+    fn lens<T>(&mut self, path: &str, what: &str, a: &[T], b: &[T]) -> bool {
+        if a.len() != b.len() {
+            self.report(
+                path,
+                format!("{} {}(s)", a.len(), what),
+                format!("{} {}(s)", b.len(), what),
+            );
+            false
+        } else {
+            true
+        }
+    }
+
+    fn diff_decl(&mut self, path: &str, a: &Decl, b: &Decl) {
+        if a.ty != b.ty {
+            self.report(&format!("{path}.ty"), a.ty.to_string(), b.ty.to_string());
+        }
+        if a.pointer != b.pointer {
+            self.report(
+                &format!("{path}.ptr"),
+                a.pointer.to_string(),
+                b.pointer.to_string(),
+            );
+        }
+        if a.name != b.name {
+            self.report(&format!("{path}.name"), &a.name, &b.name);
+        }
+        if self.lens(&format!("{path}.dims"), "dim", &a.dims, &b.dims) {
+            for (i, (x, y)) in a.dims.iter().zip(&b.dims).enumerate() {
+                self.diff_expr(&format!("{path}.dims[{i}]"), x, y);
+            }
+        }
+        self.diff_opt_expr(&format!("{path}.init"), &a.init, &b.init);
+    }
+
+    fn diff_opt_expr(&mut self, path: &str, a: &Option<CExpr>, b: &Option<CExpr>) {
+        match (a, b) {
+            (None, None) => {}
+            (Some(x), Some(y)) => self.diff_expr(path, x, y),
+            (Some(x), None) => self.report(path, print_expr(x), "<absent>"),
+            (None, Some(y)) => self.report(path, "<absent>", print_expr(y)),
+        }
+    }
+
+    fn diff_block(&mut self, path: &str, a: &Block, b: &Block) {
+        if self.lens(&format!("{path}.stmts"), "stmt", &a.stmts, &b.stmts) {
+            for (i, (x, y)) in a.stmts.iter().zip(&b.stmts).enumerate() {
+                self.diff_stmt(&format!("{path}.stmts[{i}]"), x, y);
+            }
+        }
+    }
+
+    fn diff_stmt(&mut self, path: &str, a: &Stmt, b: &Stmt) {
+        match (a, b) {
+            (Stmt::Decl(x), Stmt::Decl(y)) => self.diff_decl(path, x, y),
+            (Stmt::Expr(x), Stmt::Expr(y)) => self.diff_expr(path, x, y),
+            (Stmt::Block(x), Stmt::Block(y)) => self.diff_block(path, x, y),
+            (
+                Stmt::If {
+                    cond: c1,
+                    then_branch: t1,
+                    else_branch: e1,
+                },
+                Stmt::If {
+                    cond: c2,
+                    then_branch: t2,
+                    else_branch: e2,
+                },
+            ) => {
+                self.diff_expr(&format!("{path}.cond"), c1, c2);
+                self.diff_stmt(&format!("{path}.then"), t1, t2);
+                match (e1, e2) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => self.diff_stmt(&format!("{path}.else"), x, y),
+                    (Some(_), None) => self.report(&format!("{path}.else"), "else", "<absent>"),
+                    (None, Some(_)) => self.report(&format!("{path}.else"), "<absent>", "else"),
+                }
+            }
+            (
+                Stmt::For {
+                    init: i1,
+                    cond: c1,
+                    step: s1,
+                    body: b1,
+                },
+                Stmt::For {
+                    init: i2,
+                    cond: c2,
+                    step: s2,
+                    body: b2,
+                },
+            ) => {
+                match (i1, i2) {
+                    (ForInit::Empty, ForInit::Empty) => {}
+                    (ForInit::Decl(x), ForInit::Decl(y)) => {
+                        self.diff_decl(&format!("{path}.init"), x, y)
+                    }
+                    (ForInit::Expr(x), ForInit::Expr(y)) => {
+                        self.diff_expr(&format!("{path}.init"), x, y)
+                    }
+                    _ => self.report(&format!("{path}.init"), forinit_tag(i1), forinit_tag(i2)),
+                }
+                self.diff_opt_expr(&format!("{path}.cond"), c1, c2);
+                self.diff_opt_expr(&format!("{path}.step"), s1, s2);
+                self.diff_stmt(&format!("{path}.body"), b1, b2);
+            }
+            (Stmt::While { cond: c1, body: b1 }, Stmt::While { cond: c2, body: b2 }) => {
+                self.diff_expr(&format!("{path}.cond"), c1, c2);
+                self.diff_stmt(&format!("{path}.body"), b1, b2);
+            }
+            (Stmt::Return(x), Stmt::Return(y)) => {
+                self.diff_opt_expr(&format!("{path}.value"), x, y)
+            }
+            (Stmt::Break, Stmt::Break)
+            | (Stmt::Continue, Stmt::Continue)
+            | (Stmt::Empty, Stmt::Empty) => {}
+            (Stmt::Pragma(x), Stmt::Pragma(y)) => {
+                if x != y {
+                    self.report(&format!("{path}.pragma"), x, y);
+                }
+            }
+            _ => self.report(path, stmt_tag(a), stmt_tag(b)),
+        }
+    }
+
+    fn diff_expr(&mut self, path: &str, a: &CExpr, b: &CExpr) {
+        if a == b {
+            return;
+        }
+        match (a, b) {
+            (
+                CExpr::Index {
+                    base: b1,
+                    index: i1,
+                },
+                CExpr::Index {
+                    base: b2,
+                    index: i2,
+                },
+            ) => {
+                self.diff_expr(&format!("{path}.base"), b1, b2);
+                self.diff_expr(&format!("{path}.index"), i1, i2);
+            }
+            (CExpr::Call { name: n1, args: a1 }, CExpr::Call { name: n2, args: a2 }) => {
+                if n1 != n2 {
+                    self.report(&format!("{path}.callee"), n1, n2);
+                }
+                if self.lens(&format!("{path}.args"), "arg", a1, a2) {
+                    for (i, (x, y)) in a1.iter().zip(a2).enumerate() {
+                        self.diff_expr(&format!("{path}.args[{i}]"), x, y);
+                    }
+                }
+            }
+            (
+                CExpr::Binary {
+                    op: o1,
+                    lhs: l1,
+                    rhs: r1,
+                },
+                CExpr::Binary {
+                    op: o2,
+                    lhs: l2,
+                    rhs: r2,
+                },
+            ) if o1 == o2 => {
+                self.diff_expr(&format!("{path}.lhs"), l1, l2);
+                self.diff_expr(&format!("{path}.rhs"), r1, r2);
+            }
+            (
+                CExpr::Assign {
+                    op: o1,
+                    lhs: l1,
+                    rhs: r1,
+                },
+                CExpr::Assign {
+                    op: o2,
+                    lhs: l2,
+                    rhs: r2,
+                },
+            ) if o1 == o2 => {
+                self.diff_expr(&format!("{path}.lhs"), l1, l2);
+                self.diff_expr(&format!("{path}.rhs"), r1, r2);
+            }
+            (
+                CExpr::Ternary {
+                    cond: c1,
+                    then_e: t1,
+                    else_e: e1,
+                },
+                CExpr::Ternary {
+                    cond: c2,
+                    then_e: t2,
+                    else_e: e2,
+                },
+            ) => {
+                self.diff_expr(&format!("{path}.cond"), c1, c2);
+                self.diff_expr(&format!("{path}.then"), t1, t2);
+                self.diff_expr(&format!("{path}.else"), e1, e2);
+            }
+            // Leaf or tag-level mismatch: render both sides as C.
+            _ => self.report(path, print_expr(a), print_expr(b)),
+        }
+    }
+}
+
+fn stmt_tag(s: &Stmt) -> &'static str {
+    match s {
+        Stmt::Decl(_) => "decl",
+        Stmt::Expr(_) => "expr",
+        Stmt::Block(_) => "block",
+        Stmt::If { .. } => "if",
+        Stmt::For { .. } => "for",
+        Stmt::While { .. } => "while",
+        Stmt::Return(_) => "return",
+        Stmt::Break => "break",
+        Stmt::Continue => "continue",
+        Stmt::Pragma(_) => "pragma",
+        Stmt::Empty => "empty",
+    }
+}
+
+fn forinit_tag(i: &ForInit) -> &'static str {
+    match i {
+        ForInit::Empty => "empty-init",
+        ForInit::Decl(_) => "decl-init",
+        ForInit::Expr(_) => "expr-init",
+    }
+}
+
+/// Structurally compares two programs, returning path-addressed
+/// mismatches (empty = identical). At most 32 mismatches are reported.
+pub fn diff_programs(a: &Program, b: &Program) -> Vec<AstMismatch> {
+    let mut d = Differ { out: Vec::new() };
+    if d.lens("$.globals", "global", &a.globals, &b.globals) {
+        for (i, (x, y)) in a.globals.iter().zip(&b.globals).enumerate() {
+            d.diff_decl(&format!("$.globals[{i}]"), x, y);
+        }
+    }
+    if d.lens("$.funcs", "func", &a.funcs, &b.funcs) {
+        for (i, (x, y)) in a.funcs.iter().zip(&b.funcs).enumerate() {
+            let path = format!("$.funcs[{i}]");
+            if x.ret != y.ret {
+                d.report(&format!("{path}.ret"), x.ret.to_string(), y.ret.to_string());
+            }
+            if x.name != y.name {
+                d.report(&format!("{path}.name"), &x.name, &y.name);
+            }
+            if d.lens(&format!("{path}.params"), "param", &x.params, &y.params) {
+                for (j, (p, q)) in x.params.iter().zip(&y.params).enumerate() {
+                    if p != q {
+                        d.report(
+                            &format!("{path}.params[{j}]"),
+                            format!("{} {}{}", p.ty, "*".repeat(p.pointer), p.name),
+                            format!("{} {}{}", q.ty, "*".repeat(q.pointer), q.name),
+                        );
+                    }
+                }
+            }
+            d.diff_block(&format!("{path}.body"), &x.body, &y.body);
+        }
+    }
+    d.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use subsub_telemetry::json;
+
+    const SRC: &str = r#"
+    int total = 0;
+    void fill(int num_rows, int *A_i, int *A_rownnz) {
+        int i; int adiag; int irownnz;
+        irownnz = 0;
+        for (i = 0; i < num_rows; i++) {
+            adiag = A_i[i + 1] - A_i[i];
+            if (adiag > 0)
+                A_rownnz[irownnz++] = i;
+        }
+    }
+    "#;
+
+    #[test]
+    fn serialization_is_deterministic_and_parses() {
+        let p = parse_program(SRC).unwrap();
+        let j1 = program_to_json(&p);
+        let j2 = program_to_json(&p);
+        assert_eq!(j1, j2);
+        assert!(j1.starts_with("{\"schema\":\"subsub-ast/v1\""));
+        let parsed = json::parse(&j1).expect("serialized AST must be valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(|s| s.as_str()),
+            Some(AST_SCHEMA)
+        );
+        assert_eq!(
+            parsed
+                .get("funcs")
+                .and_then(|f| f.as_array())
+                .map(|f| f.len()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn int_literals_keep_full_precision() {
+        let p = parse_program("void f(long *x) { x[0] = 9007199254740993; }").unwrap();
+        let j = program_to_json(&p);
+        // 2^53 + 1 is not representable in f64; the string form must
+        // carry it exactly.
+        assert!(j.contains("\"9007199254740993\""), "{j}");
+    }
+
+    #[test]
+    fn canonicalize_braces_all_bodies() {
+        let p = parse_program(SRC).unwrap();
+        let c = canonicalize(&p);
+        match &c.funcs[0].body.stmts[4] {
+            Stmt::For { body, .. } => match &**body {
+                Stmt::Block(b) => match &b.stmts[1] {
+                    Stmt::If { then_branch, .. } => {
+                        assert!(matches!(&**then_branch, Stmt::Block(_)))
+                    }
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        // Canonicalization is idempotent.
+        assert_eq!(c, canonicalize(&c));
+    }
+
+    #[test]
+    fn identical_programs_have_empty_diff() {
+        let p = parse_program(SRC).unwrap();
+        assert!(diff_programs(&p, &p).is_empty());
+        // And identical serialized forms.
+        assert_eq!(program_to_json(&p), program_to_json(&p.clone()));
+    }
+
+    #[test]
+    fn diff_addresses_the_changed_node() {
+        let a = parse_program("void f(int *x) { x[0] = 1 + 2; }").unwrap();
+        let b = parse_program("void f(int *x) { x[0] = 1 + 3; }").unwrap();
+        let m = diff_programs(&a, &b);
+        assert_eq!(m.len(), 1, "{m:?}");
+        assert_eq!(m[0].path, "$.funcs[0].body.stmts[0].rhs.rhs");
+        assert_eq!(m[0].left, "2");
+        assert_eq!(m[0].right, "3");
+    }
+
+    #[test]
+    fn diff_reports_shape_changes() {
+        let a = parse_program("void f() { int i; }").unwrap();
+        let b = parse_program("void f() { int i; int j; }").unwrap();
+        let m = diff_programs(&a, &b);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].path, "$.funcs[0].body.stmts");
+    }
+
+    #[test]
+    fn diff_is_bounded() {
+        let mk = |v: i64| {
+            let body: String = (0..100).map(|i| format!("x[{i}] = {v};")).collect();
+            parse_program(&format!("void f(int *x) {{ {body} }}")).unwrap()
+        };
+        let m = diff_programs(&mk(1), &mk(2));
+        assert_eq!(m.len(), MAX_MISMATCHES);
+    }
+}

@@ -1,0 +1,438 @@
+//! Typed frontend diagnostics and parse budgets.
+//!
+//! Everything the lexer, parser and interpreter can say about an input
+//! is a [`Diagnostic`]: a stable machine-readable [`DiagCode`], the byte
+//! [`Span`] the complaint anchors to, the 1-based source line, a
+//! human-readable message, and optional notes. The service front door
+//! forwards diagnostics to clients verbatim (a malformed program is the
+//! *client's* fault — it must never read as a worker fault), so codes
+//! are part of the public surface and must stay stable.
+//!
+//! [`ParseBudget`] bounds what a single parse may consume: input bytes,
+//! token count, nesting depth, and grammar-production count. Every limit
+//! violation is a deterministic diagnostic (`budget-*` codes), never a
+//! panic or an OOM — the budgets are what lets the service hand the
+//! frontend adversarial input without an isolation sandbox.
+
+use std::fmt;
+
+/// A half-open byte range `start..end` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// First byte of the offending region.
+    pub start: usize,
+    /// One past the last byte of the offending region.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The empty span at byte `at` (used for end-of-input diagnostics).
+    pub fn at(at: usize) -> Span {
+        Span { start: at, end: at }
+    }
+
+    /// Byte length of the span.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True when the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Stable machine-readable diagnostic codes. The numeric discriminant is
+/// carried as the telemetry arg of frontend-reject events; the kebab
+/// name is what clients match on. Both are stable across releases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum DiagCode {
+    /// A byte the lexer has no token for.
+    UnexpectedChar = 101,
+    /// `/*` with no closing `*/`.
+    UnterminatedComment = 102,
+    /// An integer literal that does not fit `i64`.
+    BadIntLiteral = 103,
+    /// A float literal `f64` cannot parse.
+    BadFloatLiteral = 104,
+    /// A float literal that overflows to infinity (`1e999`): rejected
+    /// because `inf` has no round-trippable source spelling.
+    NonFiniteFloatLiteral = 105,
+
+    /// A token that fits no grammar production at this point.
+    UnexpectedToken = 201,
+    /// A specific punctuation token was required.
+    ExpectedToken = 202,
+    /// An identifier was required.
+    ExpectedIdent = 203,
+    /// A type name was required.
+    ExpectedType = 204,
+    /// A keyword where an expression was required.
+    UnexpectedKeyword = 205,
+    /// Input ended inside an open construct.
+    UnexpectedEof = 206,
+    /// Extra tokens after a complete snippet parse.
+    TrailingInput = 207,
+
+    /// Source text longer than [`ParseBudget::max_input_bytes`].
+    InputTooLarge = 301,
+    /// More tokens than [`ParseBudget::max_tokens`].
+    TokenBudgetExceeded = 302,
+    /// Nesting deeper than [`ParseBudget::max_depth`].
+    DepthBudgetExceeded = 303,
+    /// More grammar productions than [`ParseBudget::max_nodes`].
+    NodeBudgetExceeded = 304,
+
+    /// The ambient [`subsub_omprt::CancelToken`] fired mid-parse.
+    Cancelled = 401,
+    /// A `cfront.*` failpoint injected a fault (tests/chaos only).
+    InjectedFault = 402,
+
+    /// The interpreter's step budget ran out.
+    StepBudgetExceeded = 501,
+    /// A scalar or array name with no binding.
+    UnknownName = 502,
+    /// An array subscript outside the array's extent.
+    IndexOutOfBounds = 503,
+    /// Subscript count differs from the array's rank.
+    RankMismatch = 504,
+    /// Integer `/` or `%` by zero.
+    DivideByZero = 505,
+    /// A construct the interpreter does not model.
+    UnsupportedConstruct = 506,
+}
+
+impl DiagCode {
+    /// Stable numeric code (the telemetry arg of frontend rejections).
+    pub fn code(self) -> u32 {
+        self as u32
+    }
+
+    /// Stable kebab-case name, e.g. `"parse-expected-token"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagCode::UnexpectedChar => "lex-unexpected-char",
+            DiagCode::UnterminatedComment => "lex-unterminated-comment",
+            DiagCode::BadIntLiteral => "lex-bad-int-literal",
+            DiagCode::BadFloatLiteral => "lex-bad-float-literal",
+            DiagCode::NonFiniteFloatLiteral => "lex-non-finite-float",
+            DiagCode::UnexpectedToken => "parse-unexpected-token",
+            DiagCode::ExpectedToken => "parse-expected-token",
+            DiagCode::ExpectedIdent => "parse-expected-ident",
+            DiagCode::ExpectedType => "parse-expected-type",
+            DiagCode::UnexpectedKeyword => "parse-unexpected-keyword",
+            DiagCode::UnexpectedEof => "parse-unexpected-eof",
+            DiagCode::TrailingInput => "parse-trailing-input",
+            DiagCode::InputTooLarge => "budget-input-bytes",
+            DiagCode::TokenBudgetExceeded => "budget-tokens",
+            DiagCode::DepthBudgetExceeded => "budget-depth",
+            DiagCode::NodeBudgetExceeded => "budget-nodes",
+            DiagCode::Cancelled => "cancelled",
+            DiagCode::InjectedFault => "injected-fault",
+            DiagCode::StepBudgetExceeded => "interp-step-budget",
+            DiagCode::UnknownName => "interp-unknown-name",
+            DiagCode::IndexOutOfBounds => "interp-out-of-bounds",
+            DiagCode::RankMismatch => "interp-rank-mismatch",
+            DiagCode::DivideByZero => "interp-divide-by-zero",
+            DiagCode::UnsupportedConstruct => "interp-unsupported",
+        }
+    }
+
+    /// True for the `budget-*` family (a resource ceiling, not a syntax
+    /// error — the input might be well-formed, just too big).
+    pub fn is_budget(self) -> bool {
+        matches!(
+            self,
+            DiagCode::InputTooLarge
+                | DiagCode::TokenBudgetExceeded
+                | DiagCode::DepthBudgetExceeded
+                | DiagCode::NodeBudgetExceeded
+        )
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed frontend error: code + span + line + message + notes.
+///
+/// `line` is 0 for diagnostics with no source position (interpreter
+/// runtime errors); source-anchored diagnostics carry the 1-based line
+/// and a byte span, and [`Diagnostic::render`] draws a caret under the
+/// offending region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code.
+    pub code: DiagCode,
+    /// Byte range the diagnostic anchors to (empty for runtime errors).
+    pub span: Span,
+    /// 1-based source line (0 = no source position).
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+    /// Optional supplementary notes.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A source-anchored diagnostic.
+    pub fn new(code: DiagCode, span: Span, line: u32, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            span,
+            line,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// A position-free diagnostic (interpreter runtime errors).
+    pub fn runtime(code: DiagCode, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(code, Span::default(), 0, message)
+    }
+
+    /// Appends a note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// True for the `budget-*` family.
+    pub fn is_budget(&self) -> bool {
+        self.code.is_budget()
+    }
+
+    /// True when the parse was cancelled by the ambient token rather
+    /// than rejected on its own merits.
+    pub fn is_cancelled(&self) -> bool {
+        self.code == DiagCode::Cancelled
+    }
+
+    /// Recomputes the 1-based (line, column) of the span start against
+    /// the source the diagnostic was produced from. Columns count
+    /// characters, not bytes.
+    pub fn line_col(&self, src: &str) -> (u32, u32) {
+        let at = clamp_boundary(src, self.span.start);
+        let before = &src[..at];
+        let line = before.bytes().filter(|&b| b == b'\n').count() as u32 + 1;
+        let line_start = before.rfind('\n').map(|p| p + 1).unwrap_or(0);
+        let col = src[line_start..at].chars().count() as u32 + 1;
+        (line, col)
+    }
+
+    /// Renders the diagnostic with a source excerpt and caret:
+    ///
+    /// ```text
+    /// error[parse-expected-token]: expected `;`, found `)`
+    ///   --> line 2, col 7
+    ///    |
+    ///  2 | a = b )
+    ///    |       ^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let mut out = format!("error[{}]: {}\n", self.code, self.message);
+        if self.line == 0 && self.span.is_empty() && self.span.start == 0 {
+            for n in &self.notes {
+                out.push_str(&format!("  = note: {n}\n"));
+            }
+            return out;
+        }
+        let (line, col) = self.line_col(src);
+        out.push_str(&format!("  --> line {line}, col {col}\n"));
+        let at = clamp_boundary(src, self.span.start);
+        let line_start = src[..at].rfind('\n').map(|p| p + 1).unwrap_or(0);
+        let line_end = src[at..].find('\n').map(|p| at + p).unwrap_or(src.len());
+        let text = &src[line_start..line_end];
+        let gutter = format!("{line}");
+        let pad = " ".repeat(gutter.len());
+        out.push_str(&format!(" {pad} |\n"));
+        out.push_str(&format!(" {gutter} | {text}\n"));
+        let lead = src[line_start..at].chars().count();
+        let span_end = clamp_boundary(src, self.span.end.min(line_end)).max(at);
+        let width = src[at..span_end].chars().count().max(1);
+        out.push_str(&format!(
+            " {pad} | {}{}\n",
+            " ".repeat(lead),
+            "^".repeat(width)
+        ));
+        for n in &self.notes {
+            out.push_str(&format!(" {pad} = note: {n}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Largest char boundary `<= at` (budget spans can land mid-character).
+fn clamp_boundary(src: &str, at: usize) -> usize {
+    let mut at = at.min(src.len());
+    while at > 0 && !src.is_char_boundary(at) {
+        at -= 1;
+    }
+    at
+}
+
+/// Resource ceilings for one parse. Every violation is a deterministic
+/// `budget-*` [`Diagnostic`]; none is a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseBudget {
+    /// Maximum source length in bytes.
+    pub max_input_bytes: usize,
+    /// Maximum token count (including the EOF sentinel).
+    pub max_tokens: usize,
+    /// Maximum nesting-guard depth. Recursive descent puts source
+    /// nesting on the call stack; one nesting level costs up to three
+    /// guard units (assign + ternary + unary each hold one), several
+    /// KiB of frames each in unoptimized builds — the default clears a
+    /// 2 MiB worker-thread stack with margin (~40 paren levels).
+    pub max_depth: usize,
+    /// Maximum grammar productions visited (bounds AST size and parse
+    /// work for token streams that are wide rather than deep).
+    pub max_nodes: usize,
+}
+
+impl ParseBudget {
+    /// The default ceilings: far above any real kernel source, far
+    /// below anything that could distress a worker.
+    pub const DEFAULT: ParseBudget = ParseBudget {
+        max_input_bytes: 1 << 20,
+        max_tokens: 1 << 18,
+        max_depth: 120,
+        max_nodes: 1 << 19,
+    };
+}
+
+impl Default for ParseBudget {
+    fn default() -> ParseBudget {
+        ParseBudget::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_from_one() {
+        let src = "ab\ncd e\nf";
+        let d = Diagnostic::new(DiagCode::UnexpectedToken, Span::new(6, 7), 2, "x");
+        assert_eq!(d.line_col(src), (2, 4));
+        let d0 = Diagnostic::new(DiagCode::UnexpectedToken, Span::new(0, 1), 1, "x");
+        assert_eq!(d0.line_col(src), (1, 1));
+    }
+
+    #[test]
+    fn render_draws_caret_under_span() {
+        let src = "a = b\nc = ;\n";
+        let d = Diagnostic::new(
+            DiagCode::ExpectedToken,
+            Span::new(10, 11),
+            2,
+            "expected expr",
+        );
+        let r = d.render(src);
+        assert!(r.contains("error[parse-expected-token]"), "{r}");
+        assert!(r.contains("line 2, col 5"), "{r}");
+        assert!(r.contains("2 | c = ;"), "{r}");
+        assert!(r.contains("    ^"), "{r}");
+    }
+
+    #[test]
+    fn render_survives_spans_past_the_input() {
+        let src = "xy";
+        let d = Diagnostic::new(DiagCode::UnexpectedEof, Span::at(99), 1, "eof");
+        let r = d.render(src);
+        assert!(r.contains("error[parse-unexpected-eof]"), "{r}");
+    }
+
+    #[test]
+    fn render_clamps_to_char_boundaries() {
+        let src = "aß = 1;"; // ß is two bytes; span lands inside it
+        let d = Diagnostic::new(DiagCode::UnexpectedChar, Span::new(2, 3), 1, "x");
+        let (line, col) = d.line_col(src);
+        assert_eq!((line, col), (1, 2));
+        let _ = d.render(src); // must not panic on slicing
+    }
+
+    #[test]
+    fn notes_are_rendered() {
+        let d = Diagnostic::runtime(DiagCode::UnknownName, "unknown scalar q")
+            .with_note("bind it with set_int");
+        let r = d.render("");
+        assert!(r.contains("note: bind it with set_int"), "{r}");
+    }
+
+    #[test]
+    fn budget_family_is_recognized() {
+        assert!(DiagCode::InputTooLarge.is_budget());
+        assert!(DiagCode::NodeBudgetExceeded.is_budget());
+        assert!(!DiagCode::UnexpectedToken.is_budget());
+        assert!(Diagnostic::runtime(DiagCode::TokenBudgetExceeded, "x").is_budget());
+    }
+
+    #[test]
+    fn codes_and_names_are_unique() {
+        let all = [
+            DiagCode::UnexpectedChar,
+            DiagCode::UnterminatedComment,
+            DiagCode::BadIntLiteral,
+            DiagCode::BadFloatLiteral,
+            DiagCode::NonFiniteFloatLiteral,
+            DiagCode::UnexpectedToken,
+            DiagCode::ExpectedToken,
+            DiagCode::ExpectedIdent,
+            DiagCode::ExpectedType,
+            DiagCode::UnexpectedKeyword,
+            DiagCode::UnexpectedEof,
+            DiagCode::TrailingInput,
+            DiagCode::InputTooLarge,
+            DiagCode::TokenBudgetExceeded,
+            DiagCode::DepthBudgetExceeded,
+            DiagCode::NodeBudgetExceeded,
+            DiagCode::Cancelled,
+            DiagCode::InjectedFault,
+            DiagCode::StepBudgetExceeded,
+            DiagCode::UnknownName,
+            DiagCode::IndexOutOfBounds,
+            DiagCode::RankMismatch,
+            DiagCode::DivideByZero,
+            DiagCode::UnsupportedConstruct,
+        ];
+        let mut names: Vec<&str> = all.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        let mut codes: Vec<u32> = all.iter().map(|c| c.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len());
+    }
+
+    #[test]
+    fn display_includes_line_when_present() {
+        let d = Diagnostic::new(DiagCode::UnexpectedToken, Span::new(0, 1), 3, "boom");
+        assert_eq!(d.to_string(), "line 3: boom");
+        let r = Diagnostic::runtime(DiagCode::DivideByZero, "division by zero");
+        assert_eq!(r.to_string(), "division by zero");
+    }
+}

@@ -8,8 +8,8 @@
 //! floating-point scalars and flat arrays.
 
 use crate::ast::*;
+use crate::diag::{DiagCode, Diagnostic};
 use std::collections::HashMap;
-use std::fmt;
 
 /// A runtime value.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,18 +89,22 @@ impl ArrayVal {
 
     fn flat_index(&self, subs: &[i64]) -> Result<usize, InterpError> {
         if subs.len() != self.dims.len() {
-            return Err(InterpError::new(format!(
-                "rank mismatch: {} subscripts for {} dims",
-                subs.len(),
-                self.dims.len()
-            )));
+            return Err(ierr(
+                DiagCode::RankMismatch,
+                format!(
+                    "rank mismatch: {} subscripts for {} dims",
+                    subs.len(),
+                    self.dims.len()
+                ),
+            ));
         }
         let mut flat = 0usize;
         for (s, &d) in subs.iter().zip(&self.dims) {
             if *s < 0 || *s as usize >= d {
-                return Err(InterpError::new(format!(
-                    "index {s} out of bounds (dim {d})"
-                )));
+                return Err(ierr(
+                    DiagCode::IndexOutOfBounds,
+                    format!("index {s} out of bounds (dim {d})"),
+                ));
             }
             flat = flat * d + *s as usize;
         }
@@ -108,26 +112,13 @@ impl ArrayVal {
     }
 }
 
-/// Interpreter failure (out-of-bounds access, unknown name, …).
-#[derive(Debug, Clone)]
-pub struct InterpError {
-    /// Human-readable message.
-    pub msg: String,
-}
+/// Interpreter failures are typed diagnostics: runtime errors carry no
+/// source span (the interpreter works on the AST), only a code + message.
+pub type InterpError = Diagnostic;
 
-impl InterpError {
-    fn new(msg: impl Into<String>) -> InterpError {
-        InterpError { msg: msg.into() }
-    }
+fn ierr(code: DiagCode, msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::runtime(code, msg)
 }
-
-impl fmt::Display for InterpError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.msg)
-    }
-}
-
-impl std::error::Error for InterpError {}
 
 /// The mutable machine state: scalar and array environments.
 #[derive(Debug, Clone, Default)]
@@ -189,7 +180,7 @@ impl Machine {
     fn exec_stmt(&mut self, s: &Stmt, steps: &mut u64) -> Result<(), InterpError> {
         *steps += 1;
         if *steps > MAX_STEPS {
-            return Err(InterpError::new("step budget exceeded"));
+            return Err(ierr(DiagCode::StepBudgetExceeded, "step budget exceeded"));
         }
         match s {
             Stmt::Decl(d) => {
@@ -247,7 +238,7 @@ impl Machine {
                 loop {
                     *steps += 1;
                     if *steps > MAX_STEPS {
-                        return Err(InterpError::new("step budget exceeded"));
+                        return Err(ierr(DiagCode::StepBudgetExceeded, "step budget exceeded"));
                     }
                     if let Some(c) = cond {
                         if !self.eval(c, steps)?.truthy() {
@@ -265,7 +256,7 @@ impl Machine {
                 while self.eval(cond, steps)?.truthy() {
                     *steps += 1;
                     if *steps > MAX_STEPS {
-                        return Err(InterpError::new("step budget exceeded"));
+                        return Err(ierr(DiagCode::StepBudgetExceeded, "step budget exceeded"));
                     }
                     self.exec_stmt(body, steps)?;
                 }
@@ -274,7 +265,10 @@ impl Machine {
             Stmt::Return(_) | Stmt::Break | Stmt::Continue => {
                 // The analysis subset rejects these inside analyzed loops;
                 // the interpreter treats them as unsupported.
-                Err(InterpError::new("return/break/continue not supported"))
+                Err(ierr(
+                    DiagCode::UnsupportedConstruct,
+                    "return/break/continue not supported",
+                ))
             }
             Stmt::Pragma(_) | Stmt::Empty => Ok(()),
         }
@@ -283,7 +277,7 @@ impl Machine {
     fn eval(&mut self, e: &CExpr, steps: &mut u64) -> Result<Value, InterpError> {
         *steps += 1;
         if *steps > MAX_STEPS {
-            return Err(InterpError::new("step budget exceeded"));
+            return Err(ierr(DiagCode::StepBudgetExceeded, "step budget exceeded"));
         }
         match e {
             CExpr::IntLit(v) => Ok(Value::Int(*v)),
@@ -292,13 +286,13 @@ impl Machine {
                 .scalars
                 .get(n)
                 .cloned()
-                .ok_or_else(|| InterpError::new(format!("unknown scalar {n}"))),
+                .ok_or_else(|| ierr(DiagCode::UnknownName, format!("unknown scalar {n}"))),
             CExpr::Index { .. } => {
                 let (name, subs) = self.resolve_access(e, steps)?;
                 let arr = self
                     .arrays
                     .get(&name)
-                    .ok_or_else(|| InterpError::new(format!("unknown array {name}")))?;
+                    .ok_or_else(|| ierr(DiagCode::UnknownName, format!("unknown array {name}")))?;
                 let flat = arr.flat_index(&subs)?;
                 Ok(arr.data[flat].clone())
             }
@@ -323,7 +317,12 @@ impl Machine {
                     "abs" | "labs" => {
                         return Ok(Value::Int(vals[0].as_int().abs()));
                     }
-                    other => return Err(InterpError::new(format!("unsupported call {other}"))),
+                    other => {
+                        return Err(ierr(
+                            DiagCode::UnsupportedConstruct,
+                            format!("unsupported call {other}"),
+                        ))
+                    }
                 };
                 Ok(Value::Double(out))
             }
@@ -376,13 +375,13 @@ impl Machine {
                         BinOp::Mul => Value::Int(a.wrapping_mul(b)),
                         BinOp::Div => {
                             if b == 0 {
-                                return Err(InterpError::new("division by zero"));
+                                return Err(ierr(DiagCode::DivideByZero, "division by zero"));
                             }
                             Value::Int(a / b)
                         }
                         BinOp::Mod => {
                             if b == 0 {
-                                return Err(InterpError::new("mod by zero"));
+                                return Err(ierr(DiagCode::DivideByZero, "mod by zero"));
                             }
                             Value::Int(a % b)
                         }
@@ -452,7 +451,7 @@ impl Machine {
     ) -> Result<(String, Vec<i64>), InterpError> {
         let (name, subs) = e
             .as_index_chain()
-            .ok_or_else(|| InterpError::new("unsupported lvalue"))?;
+            .ok_or_else(|| ierr(DiagCode::UnsupportedConstruct, "unsupported lvalue"))?;
         let name = name.to_string();
         let idx: Result<Vec<i64>, _> = subs
             .iter()
@@ -472,12 +471,15 @@ impl Machine {
                 let arr = self
                     .arrays
                     .get_mut(&name)
-                    .ok_or_else(|| InterpError::new(format!("unknown array {name}")))?;
+                    .ok_or_else(|| ierr(DiagCode::UnknownName, format!("unknown array {name}")))?;
                 let flat = arr.flat_index(&subs)?;
                 arr.data[flat] = value;
                 Ok(())
             }
-            _ => Err(InterpError::new("unsupported assignment target")),
+            _ => Err(ierr(
+                DiagCode::UnsupportedConstruct,
+                "unsupported assignment target",
+            )),
         }
     }
 }

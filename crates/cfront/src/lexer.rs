@@ -1,6 +1,11 @@
 //! Hand-written lexer for the C subset.
 
+use crate::diag::{DiagCode, Diagnostic, ParseBudget, Span};
 use std::fmt;
+use subsub_failpoint as failpoint;
+
+/// Lexical errors are ordinary typed diagnostics.
+pub type LexError = Diagnostic;
 
 /// Kinds of tokens produced by [`lex`].
 #[derive(Debug, Clone, PartialEq)]
@@ -32,31 +37,20 @@ impl fmt::Display for TokenKind {
     }
 }
 
-/// A token with its source line (1-based) for diagnostics.
+/// A token with its source position for diagnostics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The token payload.
     pub kind: TokenKind,
     /// 1-based source line.
     pub line: u32,
+    /// Byte range of the token text.
+    pub span: Span,
 }
 
-/// A lexical error with position information.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LexError {
-    /// Human-readable message.
-    pub msg: String,
-    /// 1-based source line.
-    pub line: u32,
-}
-
-impl fmt::Display for LexError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.msg)
-    }
-}
-
-impl std::error::Error for LexError {}
+/// How many tokens between cooperative-cancellation polls. Cheap enough
+/// to keep deadline latency low, rare enough to stay off the profile.
+const CANCEL_POLL_TOKENS: usize = 1024;
 
 /// Multi-character punctuation, longest first so maximal munch works.
 const PUNCTS: &[&str] = &[
@@ -65,14 +59,73 @@ const PUNCTS: &[&str] = &[
     ";", ",", ".", "(", ")", "[", "]", "{", "}",
 ];
 
+/// Tokenizes `src` under the default [`ParseBudget`].
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    lex_with(src, &ParseBudget::DEFAULT)
+}
+
 /// Tokenizes `src`, skipping whitespace and `//`/`/* */` comments and
 /// capturing `#pragma` lines as single tokens (other `#` directives are
-/// skipped).
-pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+/// skipped). Enforces `budget.max_input_bytes` and `budget.max_tokens`,
+/// and polls the ambient [`subsub_omprt::CancelToken`] so an expired
+/// request deadline stops the scan mid-input.
+pub fn lex_with(src: &str, budget: &ParseBudget) -> Result<Vec<Token>, Diagnostic> {
+    if src.len() > budget.max_input_bytes {
+        return Err(Diagnostic::new(
+            DiagCode::InputTooLarge,
+            Span::new(budget.max_input_bytes, src.len()),
+            1,
+            format!(
+                "input is {} bytes (budget {})",
+                src.len(),
+                budget.max_input_bytes
+            ),
+        ));
+    }
+    if matches!(failpoint::hit("cfront.lex"), failpoint::Action::Error) {
+        return Err(Diagnostic::new(
+            DiagCode::InjectedFault,
+            Span::at(0),
+            1,
+            "injected lexer fault (cfront.lex failpoint)",
+        ));
+    }
+    let cancel = subsub_omprt::cancel::ambient_cancel();
+
     let bytes = src.as_bytes();
     let mut i = 0usize;
     let mut line = 1u32;
-    let mut out = Vec::new();
+    let mut out: Vec<Token> = Vec::new();
+
+    macro_rules! push {
+        ($kind:expr, $start:expr, $end:expr) => {{
+            if out.len() + 1 >= budget.max_tokens {
+                return Err(Diagnostic::new(
+                    DiagCode::TokenBudgetExceeded,
+                    Span::new($start, $end),
+                    line,
+                    format!("token budget exceeded (limit {})", budget.max_tokens),
+                ));
+            }
+            if out.len() % CANCEL_POLL_TOKENS == 0 {
+                if let Some(c) = &cancel {
+                    if c.is_cancelled() {
+                        return Err(Diagnostic::new(
+                            DiagCode::Cancelled,
+                            Span::new($start, $end),
+                            line,
+                            "lexing cancelled",
+                        ));
+                    }
+                }
+            }
+            out.push(Token {
+                kind: $kind,
+                line,
+                span: Span::new($start, $end),
+            });
+        }};
+    }
 
     while i < bytes.len() {
         let c = bytes[i] as char;
@@ -95,13 +148,16 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     continue;
                 }
                 '*' => {
+                    let start = i;
                     i += 2;
                     loop {
                         if i + 1 >= bytes.len() {
-                            return Err(LexError {
-                                msg: "unterminated comment".into(),
+                            return Err(Diagnostic::new(
+                                DiagCode::UnterminatedComment,
+                                Span::new(start, bytes.len()),
                                 line,
-                            });
+                                "unterminated comment",
+                            ));
                         }
                         if bytes[i] as char == '\n' {
                             line += 1;
@@ -125,10 +181,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             let text = &src[start..i];
             if let Some(rest) = text.strip_prefix("#pragma") {
-                out.push(Token {
-                    kind: TokenKind::Pragma(rest.trim().to_string()),
-                    line,
-                });
+                push!(TokenKind::Pragma(rest.trim().to_string()), start, i);
             }
             continue;
         }
@@ -164,21 +217,37 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
                 i += 1;
             }
-            let text: String = src[start..i]
-                .trim_end_matches(|ch: char| ch.is_ascii_alphabetic())
-                .to_string();
+            let text: &str = src[start..i].trim_end_matches(|ch: char| ch.is_ascii_alphabetic());
             let kind = if is_float {
-                TokenKind::Float(text.parse::<f64>().map_err(|e| LexError {
-                    msg: format!("bad float literal {text:?}: {e}"),
-                    line,
-                })?)
+                let v = text.parse::<f64>().map_err(|e| {
+                    Diagnostic::new(
+                        DiagCode::BadFloatLiteral,
+                        Span::new(start, i),
+                        line,
+                        format!("bad float literal {text:?}: {e}"),
+                    )
+                })?;
+                if !v.is_finite() {
+                    return Err(Diagnostic::new(
+                        DiagCode::NonFiniteFloatLiteral,
+                        Span::new(start, i),
+                        line,
+                        format!("float literal {text:?} is not finite"),
+                    )
+                    .with_note("literals that overflow f64 have no printable form"));
+                }
+                TokenKind::Float(v)
             } else {
-                TokenKind::Int(text.parse::<i64>().map_err(|e| LexError {
-                    msg: format!("bad int literal {text:?}: {e}"),
-                    line,
+                TokenKind::Int(text.parse::<i64>().map_err(|e| {
+                    Diagnostic::new(
+                        DiagCode::BadIntLiteral,
+                        Span::new(start, i),
+                        line,
+                        format!("bad int literal {text:?}: {e}"),
+                    )
                 })?)
             };
-            out.push(Token { kind, line });
+            push!(kind, start, i);
             continue;
         }
         // Identifiers.
@@ -189,30 +258,29 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             {
                 i += 1;
             }
-            out.push(Token {
-                kind: TokenKind::Ident(src[start..i].to_string()),
-                line,
-            });
+            push!(TokenKind::Ident(src[start..i].to_string()), start, i);
             continue;
         }
         // Punctuation (maximal munch).
         let rest = &src[i..];
         if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) {
-            out.push(Token {
-                kind: TokenKind::Punct(p),
-                line,
-            });
+            let start = i;
             i += p.len();
+            push!(TokenKind::Punct(p), start, i);
             continue;
         }
-        return Err(LexError {
-            msg: format!("unexpected character {c:?}"),
+        let clen = src[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+        return Err(Diagnostic::new(
+            DiagCode::UnexpectedChar,
+            Span::new(i, i + clen),
             line,
-        });
+            format!("unexpected character {c:?}"),
+        ));
     }
     out.push(Token {
         kind: TokenKind::Eof,
         line,
+        span: Span::at(src.len()),
     });
     Ok(out)
 }
@@ -299,7 +367,74 @@ mod tests {
     }
 
     #[test]
+    fn spans_cover_token_text() {
+        let src = "abc = 42;";
+        let ts = lex(src).unwrap();
+        assert_eq!(&src[ts[0].span.start..ts[0].span.end], "abc");
+        assert_eq!(&src[ts[1].span.start..ts[1].span.end], "=");
+        assert_eq!(&src[ts[2].span.start..ts[2].span.end], "42");
+        assert_eq!(ts.last().unwrap().span, Span::at(src.len()));
+    }
+
+    #[test]
     fn error_on_garbage() {
-        assert!(lex("a = $;").is_err());
+        let err = lex("a = $;").unwrap_err();
+        assert_eq!(err.code, DiagCode::UnexpectedChar);
+        assert_eq!(err.span, Span::new(4, 5));
+    }
+
+    #[test]
+    fn unterminated_comment_spans_to_eof() {
+        let err = lex("x /* open").unwrap_err();
+        assert_eq!(err.code, DiagCode::UnterminatedComment);
+        assert_eq!(err.span.start, 2);
+    }
+
+    #[test]
+    fn non_finite_float_rejected() {
+        let err = lex("x = 1e999;").unwrap_err();
+        assert_eq!(err.code, DiagCode::NonFiniteFloatLiteral);
+        let err = lex("x = 1e999999;").unwrap_err();
+        assert_eq!(err.code, DiagCode::NonFiniteFloatLiteral);
+    }
+
+    #[test]
+    fn int_overflow_rejected() {
+        let err = lex("x = 99999999999999999999;").unwrap_err();
+        assert_eq!(err.code, DiagCode::BadIntLiteral);
+    }
+
+    #[test]
+    fn input_budget_enforced() {
+        let budget = ParseBudget {
+            max_input_bytes: 8,
+            ..ParseBudget::DEFAULT
+        };
+        let err = lex_with("a = 1; b = 2;", &budget).unwrap_err();
+        assert_eq!(err.code, DiagCode::InputTooLarge);
+        assert_eq!(err.span.start, 8);
+        assert!(lex_with("a = 1;", &budget).is_ok());
+    }
+
+    #[test]
+    fn token_budget_enforced() {
+        let budget = ParseBudget {
+            max_tokens: 4,
+            ..ParseBudget::DEFAULT
+        };
+        let err = lex_with("a = 1 + 2 + 3;", &budget).unwrap_err();
+        assert_eq!(err.code, DiagCode::TokenBudgetExceeded);
+        // Exactly at the limit (3 tokens + EOF) still fits.
+        assert!(lex_with("a = 1", &budget).is_ok());
+    }
+
+    #[test]
+    fn cancelled_lex_reports_cancellation() {
+        use std::sync::Arc;
+        use subsub_omprt::cancel::{with_ambient_cancel, CancelToken};
+        let token = Arc::new(CancelToken::new());
+        token.cancel();
+        let err = with_ambient_cancel(&token, || lex("a = b + c;")).unwrap_err();
+        assert_eq!(err.code, DiagCode::Cancelled);
     }
 }

@@ -29,7 +29,21 @@
 //! assert_eq!(prog.funcs[0].name, "fill");
 //! ```
 
+//! # Untrusted input
+//!
+//! The frontend is hardened for adversarial sources: every failure is a
+//! typed [`Diagnostic`] (stable numeric code, byte-offset [`Span`],
+//! caret rendering via [`Diagnostic::render`]), resource consumption is
+//! bounded by an explicit [`ParseBudget`] (input bytes, tokens, nesting
+//! depth, AST nodes), and the lex/parse loops poll the ambient
+//! `CancelToken` so request deadlines reach the frontend. The
+//! [`astjson`] module provides the canonical `subsub-ast/v1`
+//! serialization and the structural differ backing the conformance
+//! harness.
+
 pub mod ast;
+pub mod astjson;
+pub mod diag;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
@@ -39,9 +53,14 @@ pub use ast::{
     AssignOp, BinOp, Block, CExpr, Decl, ForInit, Function, Param, PostOp, Program, Stmt, Type,
     UnOp,
 };
+pub use astjson::{canonicalize, diff_programs, program_to_json, AstMismatch, AST_SCHEMA};
+pub use diag::{DiagCode, Diagnostic, ParseBudget, Span};
 pub use interp::{ArrayVal, InterpError, Machine, Value};
-pub use lexer::{lex, LexError, Token, TokenKind};
-pub use parser::{parse_expr, parse_program, parse_stmt, ParseError};
+pub use lexer::{lex, lex_with, LexError, Token, TokenKind};
+pub use parser::{
+    parse_expr, parse_expr_with, parse_program, parse_program_with, parse_stmt, parse_stmt_with,
+    ParseError,
+};
 
 /// Parses a program and panics with the parser diagnostic on failure.
 /// Convenient for embedding kernel sources in tests and benchmarks.

@@ -1,72 +1,81 @@
 //! Recursive-descent parser for the C subset.
 
 use crate::ast::*;
-use crate::lexer::{lex, Token, TokenKind};
-use std::fmt;
+use crate::diag::{DiagCode, Diagnostic, ParseBudget, Span};
+use crate::lexer::{lex_with, Token, TokenKind};
+use std::sync::Arc;
+use subsub_failpoint as failpoint;
+use subsub_omprt::cancel::{ambient_cancel, CancelToken};
 
-/// A parse error with position information.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ParseError {
-    /// Human-readable message.
-    pub msg: String,
-    /// 1-based source line.
-    pub line: u32,
-}
+/// Parse errors are ordinary typed diagnostics.
+pub type ParseError = Diagnostic;
 
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.msg)
-    }
-}
+type PResult<T> = Result<T, Diagnostic>;
 
-impl std::error::Error for ParseError {}
-
-type PResult<T> = Result<T, ParseError>;
-
-/// Maximum statement/expression nesting depth. Recursive descent puts
-/// source nesting on the call stack; without a ceiling, adversarial
-/// input like `((((…` or `{{{{…` overflows the stack and aborts the
-/// process instead of returning a [`ParseError`]. One nesting level
-/// costs up to three units (assign + ternary + unary each hold one) of
-/// roughly a precedence-climb round trip of stack frames each, which an
-/// unoptimized build can turn into several KiB — the ceiling must clear
-/// a 2 MiB worker-thread stack with margin. 120 units ≈ 40 levels of
-/// parentheses, still far beyond any real kernel source.
-const MAX_DEPTH: usize = 120;
+/// Guard-descents between cooperative-cancellation polls. A descent
+/// happens at least once per statement and per expression operand, so
+/// this bounds how much work a doomed parse does after its deadline.
+const CANCEL_POLL_DESCENTS: usize = 256;
 
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
     depth: usize,
+    /// Monotone count of guard descents — a proxy for grammar
+    /// productions visited, charged against `budget.max_nodes`.
+    nodes: usize,
+    budget: ParseBudget,
+    cancel: Option<Arc<CancelToken>>,
 }
 
 impl Parser {
-    fn new(toks: Vec<Token>) -> Parser {
+    fn new(toks: Vec<Token>, budget: ParseBudget) -> Parser {
         Parser {
             toks,
             pos: 0,
             depth: 0,
+            nodes: 0,
+            budget,
+            cancel: ambient_cancel(),
         }
     }
 }
 
-/// Parses a full translation unit.
+fn parse_gate() -> Result<(), Diagnostic> {
+    if matches!(failpoint::hit("cfront.parse"), failpoint::Action::Error) {
+        return Err(Diagnostic::new(
+            DiagCode::InjectedFault,
+            Span::at(0),
+            1,
+            "injected parser fault (cfront.parse failpoint)",
+        ));
+    }
+    Ok(())
+}
+
+/// Parses a full translation unit under the default [`ParseBudget`].
 pub fn parse_program(src: &str) -> PResult<Program> {
-    let toks = lex(src).map_err(|e| ParseError {
-        msg: e.msg,
-        line: e.line,
-    })?;
-    let mut p = Parser::new(toks);
+    parse_program_with(src, &ParseBudget::DEFAULT)
+}
+
+/// Parses a full translation unit under an explicit budget.
+pub fn parse_program_with(src: &str, budget: &ParseBudget) -> PResult<Program> {
+    let toks = lex_with(src, budget)?;
+    parse_gate()?;
+    let mut p = Parser::new(toks, *budget);
     p.program()
 }
 
 /// Parses a single statement (for tests and embedded snippets).
 pub fn parse_stmt(src: &str) -> PResult<Stmt> {
-    let toks = lex(src).map_err(|e| ParseError {
-        msg: e.msg,
-        line: e.line,
-    })?;
-    let mut p = Parser::new(toks);
+    parse_stmt_with(src, &ParseBudget::DEFAULT)
+}
+
+/// Parses a single statement under an explicit budget.
+pub fn parse_stmt_with(src: &str, budget: &ParseBudget) -> PResult<Stmt> {
+    let toks = lex_with(src, budget)?;
+    parse_gate()?;
+    let mut p = Parser::new(toks, *budget);
     let s = p.statement()?;
     p.expect_eof()?;
     Ok(s)
@@ -74,11 +83,14 @@ pub fn parse_stmt(src: &str) -> PResult<Stmt> {
 
 /// Parses a single expression (for tests and embedded snippets).
 pub fn parse_expr(src: &str) -> PResult<CExpr> {
-    let toks = lex(src).map_err(|e| ParseError {
-        msg: e.msg,
-        line: e.line,
-    })?;
-    let mut p = Parser::new(toks);
+    parse_expr_with(src, &ParseBudget::DEFAULT)
+}
+
+/// Parses a single expression under an explicit budget.
+pub fn parse_expr_with(src: &str, budget: &ParseBudget) -> PResult<CExpr> {
+    let toks = lex_with(src, budget)?;
+    parse_gate()?;
+    let mut p = Parser::new(toks, *budget);
     let e = p.expr()?;
     p.expect_eof()?;
     Ok(e)
@@ -93,6 +105,10 @@ impl Parser {
         self.toks[self.pos].line
     }
 
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
     fn bump(&mut self) -> TokenKind {
         let k = self.toks[self.pos].kind.clone();
         if self.pos + 1 < self.toks.len() {
@@ -101,22 +117,39 @@ impl Parser {
         k
     }
 
-    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
-        Err(ParseError {
-            msg: msg.into(),
-            line: self.line(),
-        })
+    fn err<T>(&self, code: DiagCode, msg: impl Into<String>) -> PResult<T> {
+        Err(Diagnostic::new(code, self.span(), self.line(), msg))
     }
 
-    /// Enters one nesting level; fails once [`MAX_DEPTH`] is exceeded so
-    /// hostile nesting becomes a parse error, not a stack overflow.
+    /// Enters one nesting level. Fails once `budget.max_depth` is
+    /// exceeded so hostile nesting becomes a parse error, not a stack
+    /// overflow, and once `budget.max_nodes` descents have happened so
+    /// wide-but-flat token streams are bounded too. Also the cadence for
+    /// cooperative-cancellation polls: every recursing production passes
+    /// through here.
     fn descend(&mut self) -> PResult<()> {
         self.depth += 1;
-        if self.depth > MAX_DEPTH {
-            self.err(format!("nesting too deep (limit {MAX_DEPTH})"))
-        } else {
-            Ok(())
+        self.nodes += 1;
+        if self.depth > self.budget.max_depth {
+            return self.err(
+                DiagCode::DepthBudgetExceeded,
+                format!("nesting too deep (limit {})", self.budget.max_depth),
+            );
         }
+        if self.nodes > self.budget.max_nodes {
+            return self.err(
+                DiagCode::NodeBudgetExceeded,
+                format!("node budget exceeded (limit {})", self.budget.max_nodes),
+            );
+        }
+        if self.nodes.is_multiple_of(CANCEL_POLL_DESCENTS) {
+            if let Some(c) = &self.cancel {
+                if c.is_cancelled() {
+                    return self.err(DiagCode::Cancelled, "parsing cancelled");
+                }
+            }
+        }
+        Ok(())
     }
 
     fn ascend(&mut self) {
@@ -136,7 +169,10 @@ impl Parser {
         if self.eat_punct(p) {
             Ok(())
         } else {
-            self.err(format!("expected `{p}`, found `{}`", self.peek()))
+            self.err(
+                DiagCode::ExpectedToken,
+                format!("expected `{p}`, found `{}`", self.peek()),
+            )
         }
     }
 
@@ -155,7 +191,10 @@ impl Parser {
                 self.bump();
                 Ok(s)
             }
-            other => self.err(format!("expected identifier, found `{other}`")),
+            other => self.err(
+                DiagCode::ExpectedIdent,
+                format!("expected identifier, found `{other}`"),
+            ),
         }
     }
 
@@ -165,7 +204,10 @@ impl Parser {
         if matches!(self.peek(), TokenKind::Eof) {
             Ok(())
         } else {
-            self.err(format!("trailing input starting at `{}`", self.peek()))
+            self.err(
+                DiagCode::TrailingInput,
+                format!("trailing input starting at `{}`", self.peek()),
+            )
         }
     }
 
@@ -230,7 +272,7 @@ impl Parser {
         }
         match ty {
             Some(t) => Ok(t),
-            None => self.err("expected type"),
+            None => self.err(DiagCode::ExpectedType, "expected type"),
         }
     }
 
@@ -397,7 +439,7 @@ impl Parser {
         let mut stmts = Vec::new();
         while !self.eat_punct("}") {
             if matches!(self.peek(), TokenKind::Eof) {
-                return self.err("unexpected end of input in block");
+                return self.err(DiagCode::UnexpectedEof, "unexpected end of input in block");
             }
             stmts.push(self.statement()?);
         }
@@ -453,7 +495,13 @@ impl Parser {
                         let ty = self.parse_type()?;
                         let mut decls = self.declarators(ty)?;
                         if decls.len() == 1 {
-                            Ok(Stmt::Decl(decls.pop().unwrap()))
+                            // `declarators` always yields at least one
+                            // entry on Ok; keep this unwrap-free for the
+                            // lint gate anyway.
+                            match decls.pop() {
+                                Some(d) => Ok(Stmt::Decl(d)),
+                                None => self.err(DiagCode::ExpectedIdent, "expected declarator"),
+                            }
                         } else {
                             Ok(Stmt::Block(Block {
                                 stmts: decls.into_iter().map(Stmt::Decl).collect(),
@@ -772,7 +820,10 @@ impl Parser {
             }
             TokenKind::Ident(name) => {
                 if is_keyword(&name) {
-                    return self.err(format!("unexpected keyword `{name}` in expression"));
+                    return self.err(
+                        DiagCode::UnexpectedKeyword,
+                        format!("unexpected keyword `{name}` in expression"),
+                    );
                 }
                 self.bump();
                 if self.eat_punct("(") {
@@ -791,7 +842,14 @@ impl Parser {
                     Ok(CExpr::Ident(name))
                 }
             }
-            other => self.err(format!("unexpected token `{other}` in expression")),
+            TokenKind::Eof => self.err(
+                DiagCode::UnexpectedEof,
+                "unexpected end of input in expression",
+            ),
+            other => self.err(
+                DiagCode::UnexpectedToken,
+                format!("unexpected token `{other}` in expression"),
+            ),
         }
     }
 }
@@ -996,9 +1054,22 @@ mod tests {
     }
 
     #[test]
-    fn error_reports_line() {
-        let err = parse_program("void f() {\n  a = ;\n}").unwrap_err();
+    fn error_reports_line_span_and_code() {
+        let src = "void f() {\n  a = ;\n}";
+        let err = parse_program(src).unwrap_err();
         assert_eq!(err.line, 2);
+        assert_eq!(err.code, DiagCode::UnexpectedToken);
+        // The span points at the offending `;`.
+        assert_eq!(&src[err.span.start..err.span.end], ";");
+        let rendered = err.render(src);
+        assert!(rendered.contains("line 2"), "{rendered}");
+        assert!(rendered.contains('^'), "{rendered}");
+    }
+
+    #[test]
+    fn eof_inside_block_is_typed() {
+        let err = parse_program("void f() { a = 1;").unwrap_err();
+        assert_eq!(err.code, DiagCode::UnexpectedEof);
     }
 
     #[test]
@@ -1017,33 +1088,71 @@ mod tests {
     fn deep_paren_nesting_is_an_error_not_a_crash() {
         let src = format!("{}1{}", "(".repeat(100_000), ")".repeat(100_000));
         let err = parse_expr(&src).unwrap_err();
-        assert!(err.msg.contains("nesting too deep"), "{err}");
+        assert_eq!(err.code, DiagCode::DepthBudgetExceeded);
+        assert!(err.message.contains("nesting too deep"), "{err}");
     }
 
     #[test]
     fn deep_unary_chain_is_an_error_not_a_crash() {
         let src = format!("{}x", "-".repeat(100_000));
         let err = parse_expr(&src).unwrap_err();
-        assert!(err.msg.contains("nesting too deep"), "{err}");
+        assert_eq!(err.code, DiagCode::DepthBudgetExceeded);
     }
 
     #[test]
     fn deep_block_nesting_is_an_error_not_a_crash() {
         let src = format!("{}{}", "{".repeat(100_000), "}".repeat(100_000));
         let err = parse_stmt(&src).unwrap_err();
-        assert!(err.msg.contains("nesting too deep"), "{err}");
+        assert_eq!(err.code, DiagCode::DepthBudgetExceeded);
     }
 
     #[test]
     fn deep_subscript_nesting_is_an_error_not_a_crash() {
         let src = format!("{}0{}", "x[".repeat(50_000), "]".repeat(50_000));
         let err = parse_expr(&src).unwrap_err();
-        assert!(err.msg.contains("nesting too deep"), "{err}");
+        assert_eq!(err.code, DiagCode::DepthBudgetExceeded);
     }
 
     #[test]
     fn reasonable_nesting_still_parses() {
         let src = format!("{}x + 1{}", "(".repeat(30), ")".repeat(30));
         assert!(parse_expr(&src).is_ok());
+    }
+
+    #[test]
+    fn node_budget_bounds_flat_inputs() {
+        let budget = ParseBudget {
+            max_nodes: 64,
+            ..ParseBudget::DEFAULT
+        };
+        let src = format!("void f() {{ {} }}", "x = 1; ".repeat(1_000));
+        let err = parse_program_with(&src, &budget).unwrap_err();
+        assert_eq!(err.code, DiagCode::NodeBudgetExceeded);
+        // The same budget admits a small program.
+        assert!(parse_program_with("void f() { x = 1; }", &budget).is_ok());
+    }
+
+    #[test]
+    fn budget_rejections_are_deterministic() {
+        let budget = ParseBudget {
+            max_depth: 10,
+            ..ParseBudget::DEFAULT
+        };
+        let src = format!("{}1{}", "(".repeat(64), ")".repeat(64));
+        let a = parse_expr_with(&src, &budget).unwrap_err();
+        let b = parse_expr_with(&src, &budget).unwrap_err();
+        assert_eq!(a, b);
+        assert!(a.span.end <= src.len());
+    }
+
+    #[test]
+    fn cancelled_parse_reports_cancellation() {
+        use std::sync::Arc;
+        use subsub_omprt::cancel::with_ambient_cancel;
+        let token = Arc::new(CancelToken::new());
+        token.cancel();
+        let src = format!("void f() {{ {} }}", "x = y + 1; ".repeat(2_000));
+        let err = with_ambient_cancel(&token, || parse_program(&src)).unwrap_err();
+        assert_eq!(err.code, DiagCode::Cancelled);
     }
 }

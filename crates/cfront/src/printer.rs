@@ -110,7 +110,7 @@ pub fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
             let init_s = match init {
                 ForInit::Empty => String::new(),
                 ForInit::Decl(d) => {
-                    let mut s = format!("{} {}", d.ty, d.name);
+                    let mut s = format!("{} {}{}", d.ty, "*".repeat(d.pointer), d.name);
                     if let Some(i) = &d.init {
                         let _ = write!(s, " = {}", print_expr(i));
                     }
@@ -218,6 +218,10 @@ fn print_prec(e: &CExpr, min_prec: u8) -> String {
         CExpr::Unary { op, operand } => {
             let o = print_prec(operand, 8);
             match op {
+                // `-` followed by an operand that itself starts with `-`
+                // (Neg or PreDec) would re-lex as `--` under maximal munch;
+                // a space keeps the token boundary.
+                UnOp::Neg if o.starts_with('-') => format!("- {o}"),
                 UnOp::Neg => format!("-{o}"),
                 UnOp::Not => format!("!{o}"),
                 UnOp::PreInc => format!("++{o}"),
@@ -326,5 +330,113 @@ mod tests {
     fn precedence_parens_preserved() {
         let e = parse_expr("(a + b) * c").unwrap();
         assert_eq!(print_expr(&e), "(a + b) * c");
+    }
+
+    fn roundtrip_program(src: &str) {
+        use crate::astjson::{canonicalize, diff_programs};
+        let p1 = canonicalize(&parse_program(src).unwrap());
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed).unwrap_or_else(|e| panic!("{printed}\n{e}"));
+        let mismatches = diff_programs(&p1, &canonicalize(&p2));
+        assert!(
+            mismatches.is_empty(),
+            "round-trip diverged for {src:?}:\n{printed}\n{mismatches:?}"
+        );
+        assert_eq!(p1, canonicalize(&p2));
+    }
+
+    #[test]
+    fn empty_for_clauses_roundtrip() {
+        roundtrip_program("void f() { for (;;) { break; } }");
+        roundtrip_program("void f(int n) { int i; for (i = 0;; i++) { if (i >= n) break; } }");
+        roundtrip_program("void f(int n) { int i; for (i = 0; i < n;) { i = i + 1; } }");
+        roundtrip_program("void f(int n) { for (; n > 0;) { n = n - 1; } }");
+    }
+
+    #[test]
+    fn dangling_else_roundtrip() {
+        // The else must stay attached to the INNER if across the round trip.
+        let src = "void f(int a, int b, int *x) { if (a) if (b) x[0] = 1; else x[0] = 2; }";
+        let p1 = parse_program(src).unwrap();
+        match &p1.funcs[0].body.stmts[0] {
+            Stmt::If {
+                then_branch,
+                else_branch: None,
+                ..
+            } => assert!(
+                matches!(
+                    &**then_branch,
+                    Stmt::If {
+                        else_branch: Some(_),
+                        ..
+                    }
+                ),
+                "else should bind to inner if"
+            ),
+            other => panic!("{other:?}"),
+        }
+        roundtrip_program(src);
+    }
+
+    #[test]
+    fn unbraced_bodies_roundtrip_canonically() {
+        roundtrip_program("void f(int n, int *a) { int i; for (i = 0; i < n; i++) a[i] = i; }");
+        roundtrip_program("void f(int a, int *x) { if (a) x[0] = 1; else x[0] = 2; }");
+        roundtrip_program("void f(int n) { while (n > 0) n--; }");
+    }
+
+    #[test]
+    fn negation_chains_roundtrip() {
+        // `-(-x)` must not print as `--x` (which re-lexes as predecrement).
+        for src in ["-(-x)", "-(--x)", "--(-x)", "-(-(-x))", "- -x + 1"] {
+            roundtrip_expr(src);
+        }
+        let neg_neg = CExpr::Unary {
+            op: UnOp::Neg,
+            operand: Box::new(CExpr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(CExpr::ident("x")),
+            }),
+        };
+        assert_eq!(print_expr(&neg_neg), "- -x");
+    }
+
+    #[test]
+    fn pointer_for_decl_roundtrips() {
+        let src = "void f(int *base, int n) { for (int *p = base; n > 0; n--) { p++; } }";
+        let p1 = parse_program(src).unwrap();
+        match &p1.funcs[0].body.stmts[0] {
+            Stmt::For {
+                init: ForInit::Decl(d),
+                ..
+            } => assert_eq!(d.pointer, 1),
+            other => panic!("{other:?}"),
+        }
+        roundtrip_program(src);
+    }
+
+    #[test]
+    fn empty_statement_bodies_roundtrip() {
+        roundtrip_program("void f(int n) { int i; for (i = 0; i < n; i++); }");
+        roundtrip_program("void f(int a) { if (a); else; }");
+        roundtrip_program("void f() { ; ; }");
+    }
+
+    #[test]
+    fn operator_precedence_reprints_faithfully() {
+        for src in [
+            "a - (b - c)",
+            "a / (b * c)",
+            "a % (b % c)",
+            "(a < b) == (c < d)",
+            "a && (b || c)",
+            "(a = b) + 1",
+            "-(a + b) * c",
+            "(a ? b : c) + d",
+            "a = b ? c : d",
+            "!(a && b) || c",
+        ] {
+            roundtrip_expr(src);
+        }
     }
 }

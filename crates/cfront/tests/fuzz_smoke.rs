@@ -5,9 +5,9 @@
 //! for the whole analysis.
 //!
 //! Deterministic, offline, no external fuzzing engine: a small inline
-//! PRNG drives 1 000 random byte strings and 1 000 random token soups
-//! per pinned seed, each fed to `parse_program`, `parse_stmt`, and
-//! `parse_expr` under `catch_unwind`.
+//! PRNG drives 3 334 random byte strings and 3 334 random token soups
+//! per pinned seed (20 004 inputs total), each fed to `parse_program`,
+//! `parse_stmt`, and `parse_expr` under `catch_unwind`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use subsub_cfront::{parse_expr, parse_program, parse_stmt};
@@ -142,7 +142,7 @@ fn assert_no_panic(src: &str) {
 fn random_byte_inputs_never_panic() {
     for seed in [7u64, 31337, 271828] {
         let mut rng = Rng::new(seed);
-        for _ in 0..1_000 {
+        for _ in 0..3_334 {
             assert_no_panic(&random_bytes(&mut rng));
         }
     }
@@ -152,7 +152,7 @@ fn random_byte_inputs_never_panic() {
 fn random_token_soup_never_panics() {
     for seed in [7u64, 31337, 271828] {
         let mut rng = Rng::new(seed);
-        for _ in 0..1_000 {
+        for _ in 0..3_334 {
             assert_no_panic(&random_tokens(&mut rng));
         }
     }

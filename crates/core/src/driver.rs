@@ -7,9 +7,51 @@ use crate::deptest::{decide_loop, LoopDecision};
 use crate::nest::analyze_function;
 use crate::properties::{AlgorithmLevel, PropertyDb};
 use std::fmt;
-use subsub_cfront::parse_program;
+use subsub_cfront::diag::{Diagnostic, ParseBudget};
+use subsub_cfront::parser::parse_program_with;
 use subsub_ir::{lower_function, IrStmt, LoopId, LoopIr};
 use subsub_symbolic::RangeEnv;
+
+/// Why a translation unit was rejected before analysis could run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalyzeError {
+    /// Lexer/parser rejection — carries the full typed diagnostic
+    /// (code, span, line) so callers can render carets or map the
+    /// stable code into a protocol response.
+    Parse(Diagnostic),
+    /// The program parsed but a function uses constructs outside the
+    /// analyzable subset.
+    Lower {
+        /// The function that failed to lower.
+        function: String,
+        /// Human-readable reason.
+        detail: String,
+    },
+}
+
+impl AnalyzeError {
+    /// Stable machine-readable code: the diagnostic's kebab name for
+    /// parse rejections, `"lower"` for subset violations.
+    pub fn code(&self) -> &'static str {
+        match self {
+            AnalyzeError::Parse(d) => d.code.name(),
+            AnalyzeError::Lower { .. } => "lower",
+        }
+    }
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Parse(d) => write!(f, "{d}"),
+            AnalyzeError::Lower { function, detail } => {
+                write!(f, "function {function}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
 
 /// Analysis + decision for one loop.
 #[derive(Debug, Clone)]
@@ -147,12 +189,28 @@ impl fmt::Display for ProgramReport {
     }
 }
 
-/// Parses and analyzes a C-subset translation unit at the given level.
-pub fn analyze_program(src: &str, level: AlgorithmLevel) -> Result<ProgramReport, String> {
-    let prog = parse_program(src).map_err(|e| e.to_string())?;
+/// Parses and analyzes a C-subset translation unit at the given level,
+/// under the default [`ParseBudget`].
+pub fn analyze_program(src: &str, level: AlgorithmLevel) -> Result<ProgramReport, AnalyzeError> {
+    analyze_program_with(src, level, &ParseBudget::DEFAULT)
+}
+
+/// Parses and analyzes a translation unit under an explicit parse
+/// budget — the entry point for services facing untrusted sources.
+pub fn analyze_program_with(
+    src: &str,
+    level: AlgorithmLevel,
+    budget: &ParseBudget,
+) -> Result<ProgramReport, AnalyzeError> {
+    let prog = parse_program_with(src, budget).map_err(AnalyzeError::Parse)?;
     let mut lowered = Vec::new();
     for func in &prog.funcs {
-        lowered.push(lower_function(func, &prog.globals).map_err(|e| e.to_string())?);
+        lowered.push(
+            lower_function(func, &prog.globals).map_err(|e| AnalyzeError::Lower {
+                function: func.name.clone(),
+                detail: e.to_string(),
+            })?,
+        );
     }
     Ok(analyze_lowered(&lowered, level))
 }
@@ -277,6 +335,33 @@ mod tests {
     #[test]
     fn bad_source_reports_error() {
         assert!(analyze_program("void f( {", AlgorithmLevel::New).is_err());
+    }
+
+    #[test]
+    fn bad_source_yields_typed_parse_diagnostic() {
+        let err = analyze_program("void f( {", AlgorithmLevel::New).unwrap_err();
+        match &err {
+            AnalyzeError::Parse(d) => {
+                assert!(d.code.code() > 0);
+                assert!(d.line >= 1);
+            }
+            other => panic!("expected a parse diagnostic, got {other:?}"),
+        }
+        assert!(!err.code().is_empty());
+    }
+
+    #[test]
+    fn budget_violation_surfaces_through_analyze() {
+        let budget = ParseBudget {
+            max_input_bytes: 16,
+            ..ParseBudget::DEFAULT
+        };
+        let err = analyze_program_with("void f() { int abcdef; }", AlgorithmLevel::New, &budget)
+            .unwrap_err();
+        match err {
+            AnalyzeError::Parse(d) => assert!(d.is_budget(), "{d:?}"),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

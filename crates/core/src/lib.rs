@@ -31,7 +31,10 @@ pub mod value;
 pub use classic::{classic_analyze_loop, Access, ArrayDep, ClassicAnalysis};
 pub use collapse::{CollapsedArrayWrite, CollapsedLoop, CollapsedMap, CollapsedScalar};
 pub use deptest::{decide_loop, LoopDecision, ParallelPlan};
-pub use driver::{analyze_lowered, analyze_program, FunctionReport, LoopReport, ProgramReport};
+pub use driver::{
+    analyze_lowered, analyze_program, analyze_program_with, AnalyzeError, FunctionReport,
+    LoopReport, ProgramReport,
+};
 pub use nest::{analyze_function, FunctionAnalysis, LoopAnalysis};
 pub use phase1::{phase1, Phase1Result};
 pub use phase2::{phase2, Phase2Result, SsrInfo};

@@ -54,7 +54,11 @@ pub fn phase1(
             init.clone()
         } else {
             let mut it = node.preds.iter();
-            let first = out[it.next().unwrap().0].clone().expect("topo order");
+            let first = match it.next() {
+                Some(p) => out[p.0].clone().expect("topo order"),
+                // Unreachable: guarded by the `preds.is_empty()` branch.
+                None => init.clone(),
+            };
             it.fold(first, |acc, p| {
                 acc.merge(out[p.0].as_ref().expect("topo order"))
             })

@@ -30,7 +30,17 @@
 //! domain: 100
 //! data: 0 1 2 3
 //! mutations: 2=0 2=2 1=999
+//! ---
+//! kind: source
+//! name: unclosed-brace
+//! source: void f() {\n    x = 1;
 //! ```
+//!
+//! A `source` entry replays C source text through the frontend
+//! differential check ([`crate::srcgen::check_frontend`]): no panics,
+//! deterministic span-correct diagnostics, round-trip identity on
+//! acceptance. The source is stored on one line with `\n` escaping
+//! newlines and `\\` escaping backslashes.
 //!
 //! A `reinspect` entry replays `at=value` writes through `mutate_range`
 //! (out-of-domain values exercise the reject-and-rollback path) and
@@ -44,6 +54,7 @@
 use crate::diff::{check_index_array, check_kernel, check_reinspect, Divergence};
 use crate::gen::{brute_force_monotone, ArrayShape, GeneratedArray, MutationStep};
 use crate::refeval::{compare, ref_eval, PredicateAgreement};
+use crate::srcgen::{check_frontend, FUZZ_BUDGET};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use subsub_kernels::kernel_by_name;
@@ -135,6 +146,14 @@ pub enum CorpusEntry {
         /// Writes applied through `mutate_range`, in order.
         plan: Vec<MutationStep>,
     },
+    /// A C source replayed through the frontend differential check
+    /// ([`crate::srcgen::check_frontend`]).
+    Source {
+        /// Entry id.
+        name: String,
+        /// The source text (unescaped).
+        source: String,
+    },
 }
 
 impl CorpusEntry {
@@ -144,7 +163,8 @@ impl CorpusEntry {
             CorpusEntry::Array { name, .. }
             | CorpusEntry::Predicate { name, .. }
             | CorpusEntry::Kernel { name, .. }
-            | CorpusEntry::Reinspect { name, .. } => name,
+            | CorpusEntry::Reinspect { name, .. }
+            | CorpusEntry::Source { name, .. } => name,
         }
     }
 }
@@ -175,6 +195,31 @@ impl fmt::Display for CorpusError {
 }
 
 impl std::error::Error for CorpusError {}
+
+/// Encodes source text onto one corpus line: `\` → `\\`, newline → `\n`.
+pub fn escape_source(src: &str) -> String {
+    src.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Inverse of [`escape_source`]; rejects dangling or unknown escapes so
+/// a corrupted entry fails loudly instead of replaying the wrong bytes.
+pub fn unescape_source(line: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some(other) => return Err(format!("unknown escape `\\{other}`")),
+            None => return Err("dangling `\\` at end of source".to_string()),
+        }
+    }
+    Ok(out)
+}
 
 fn parse_entry(block: &str, file: &Path) -> Result<Option<CorpusEntry>, CorpusError> {
     let mut kind = None;
@@ -324,6 +369,11 @@ fn parse_entry(block: &str, file: &Path) -> Result<Option<CorpusEntry>, CorpusEr
                 plan,
             }))
         }
+        "source" => Ok(Some(CorpusEntry::Source {
+            name: get("name")?,
+            source: unescape_source(&get("source")?)
+                .map_err(|e| malformed(format!("bad source escape: {e}")))?,
+        })),
         other => Err(malformed(format!("unknown kind `{other}`"))),
     }
 }
@@ -457,6 +507,10 @@ pub fn replay(entry: &CorpusEntry, pool: &ThreadPool) -> Vec<String> {
             .into_iter()
             .map(|d| format!("[{name}] {d}"))
             .collect(),
+        CorpusEntry::Source { name, source } => check_frontend(name, source, &FUZZ_BUDGET)
+            .into_iter()
+            .map(|d| format!("[{name}] {d}"))
+            .collect(),
     }
 }
 
@@ -556,6 +610,48 @@ mod tests {
             "kind: reinspect\nname: r\ndomain: 10\ndata: 0 1\nmutations: 1+2\n",
             "kind: reinspect\nname: r\ndomain: 10\ndata: 0 1\nmutations: x=2\n",
             "kind: reinspect\nname: r\ndomain: 10\ndata: 0 1\n",
+        ] {
+            assert!(
+                matches!(
+                    parse_corpus(bad, Path::new("t.corpus")),
+                    Err(CorpusError::Malformed { .. })
+                ),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn source_entries_unescape_and_replay() {
+        let pool = ThreadPool::new(2);
+        // A malformed source replays clean: typed rejection IS the
+        // expected behaviour, only panics/instability are failures.
+        let entry = parse_one("kind: source\nname: s\nsource: void f() {\\n    x = 1;\n");
+        match &entry {
+            CorpusEntry::Source { source, .. } => {
+                assert_eq!(source, "void f() {\n    x = 1;");
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        assert!(replay(&entry, &pool).is_empty());
+        // A well-formed source exercises the round-trip identity leg.
+        let ok = parse_one("kind: source\nname: ok\nsource: void f() { x = 1; }\n");
+        assert!(replay(&ok, &pool).is_empty());
+    }
+
+    #[test]
+    fn source_escape_round_trips() {
+        let src = "a\\b\nc\\\\d\n";
+        assert_eq!(unescape_source(&escape_source(src)).unwrap(), src);
+        assert!(unescape_source("bad \\q escape").is_err());
+        assert!(unescape_source("dangling \\").is_err());
+    }
+
+    #[test]
+    fn malformed_source_entries_are_rejected() {
+        for bad in [
+            "kind: source\nname: s\n",
+            "kind: source\nname: s\nsource: x \\q y\n",
         ] {
             assert!(
                 matches!(

@@ -94,6 +94,22 @@ pub enum Divergence {
         /// Campaign seed.
         seed: u64,
     },
+    /// A panic escaped the C frontend (lex, parse, diagnostic render or
+    /// canonical print) on some input — the one failure hardening must
+    /// categorically prevent.
+    FrontendPanic {
+        /// Mutation label (or corpus id) of the offending source.
+        label: String,
+    },
+    /// The frontend broke one of its differential invariants: replay
+    /// determinism, span-correct rejection, or round-trip identity on
+    /// an accepted source.
+    FrontendMismatch {
+        /// Mutation label (or corpus id) of the offending source.
+        label: String,
+        /// Which invariant broke, and how.
+        detail: String,
+    },
     /// The incremental (block-summary) re-inspection state diverged
     /// from the full-scan reference after a `mutate_range` plan, or the
     /// tamper gate failed to flag a write that bypassed the boundary.
@@ -159,6 +175,12 @@ impl fmt::Display for Divergence {
                 "kernel {kernel} (seed {seed}): tampered index array was ADMITTED to the \
                  parallel path"
             ),
+            Divergence::FrontendPanic { label } => {
+                write!(f, "frontend PANICKED on [{label}]")
+            }
+            Divergence::FrontendMismatch { label, detail } => {
+                write!(f, "frontend mismatch [{label}]: {detail}")
+            }
             Divergence::ReinspectMismatch {
                 label,
                 step,

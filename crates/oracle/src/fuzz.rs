@@ -10,6 +10,7 @@ use crate::gen::{
     brute_force_monotone, gen_array, gen_bindings, gen_check, gen_mutation_plan, ALL_SHAPES,
 };
 use crate::shrink::shrink_array;
+use crate::srcgen::{check_frontend, gen_source_case, FUZZ_BUDGET};
 use std::fmt;
 use subsub_kernels::all_kernels;
 use subsub_omprt::ThreadPool;
@@ -25,6 +26,11 @@ pub struct FuzzConfig {
     pub arrays_per_shape: usize,
     /// Number of (check, bindings) pairs generated.
     pub predicates: usize,
+    /// Mutated C sources driven through the frontend differential
+    /// check ([`crate::srcgen::check_frontend`]): no panics ever,
+    /// deterministic span-correct rejection, round-trip identity on
+    /// acceptance.
+    pub sources: usize,
     /// Whether to sweep the full kernel registry (slow; CI does, unit
     /// tests usually don't).
     pub kernels: bool,
@@ -36,6 +42,7 @@ impl Default for FuzzConfig {
             seed: 7,
             arrays_per_shape: 8,
             predicates: 200,
+            sources: 160,
             kernels: false,
         }
     }
@@ -53,6 +60,8 @@ pub struct FuzzReport {
     pub reinspect_cases: usize,
     /// Predicate pairs checked.
     pub predicate_cases: usize,
+    /// Mutated sources checked through the frontend leg.
+    pub source_cases: usize,
     /// Kernel × variant executions checked.
     pub kernel_cases: usize,
     /// Every divergence found, arrays shrunk to minimal reproducers.
@@ -70,12 +79,13 @@ impl fmt::Display for FuzzReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "seed {}: {} arrays, {} reinspect plans, {} predicates, {} kernel runs -> \
-             {} divergence(s)",
+            "seed {}: {} arrays, {} reinspect plans, {} predicates, {} sources, \
+             {} kernel runs -> {} divergence(s)",
             self.seed,
             self.array_cases,
             self.reinspect_cases,
             self.predicate_cases,
+            self.source_cases,
             self.kernel_cases,
             self.divergences.len()
         )?;
@@ -103,6 +113,7 @@ pub fn run_campaign(cfg: &FuzzConfig, pool: &ThreadPool) -> FuzzReport {
         array_cases: 0,
         reinspect_cases: 0,
         predicate_cases: 0,
+        source_cases: 0,
         kernel_cases: 0,
         divergences: Vec::new(),
     };
@@ -157,7 +168,20 @@ pub fn run_campaign(cfg: &FuzzConfig, pool: &ThreadPool) -> FuzzReport {
             .extend(check_predicate(&check, &bindings));
     }
 
-    // Leg 3: guarded kernel executions vs serial goldens.
+    // Leg 3: mutated C sources through the frontend differential
+    // check (panic-freedom, deterministic rejection, round-trip
+    // identity). Runs on its own rng stream so changing the other
+    // legs' case counts doesn't reshuffle the sources replayed here.
+    let mut src_rng = Rng64::seed_from_u64(cfg.seed ^ 0x50_55_52_43_45);
+    for i in 0..cfg.sources {
+        let case = gen_source_case(&mut src_rng, i, &FUZZ_BUDGET);
+        report.source_cases += 1;
+        report
+            .divergences
+            .extend(check_frontend(&case.label, &case.source, &FUZZ_BUDGET));
+    }
+
+    // Leg 4: guarded kernel executions vs serial goldens.
     if cfg.kernels {
         for kernel in all_kernels() {
             report.kernel_cases += 1;
@@ -184,12 +208,14 @@ mod tests {
             seed: 7,
             arrays_per_shape: 3,
             predicates: 60,
+            sources: 16,
             kernels: false,
         };
         let report = run_campaign(&cfg, &pool());
         assert!(report.is_clean(), "{report}");
         assert_eq!(report.array_cases, 3 * ALL_SHAPES.len());
         assert_eq!(report.predicate_cases, 60);
+        assert_eq!(report.source_cases, 16);
         // Every accepted non-empty array gets a reinspect plan: all
         // shapes except empty, near-max and out-of-domain.
         assert_eq!(report.reinspect_cases, 3 * (ALL_SHAPES.len() - 3));
@@ -201,6 +227,7 @@ mod tests {
             seed: 31337,
             arrays_per_shape: 2,
             predicates: 30,
+            sources: 8,
             kernels: false,
         };
         let p = pool();
@@ -209,6 +236,7 @@ mod tests {
         assert_eq!(a.array_cases, b.array_cases);
         assert_eq!(a.reinspect_cases, b.reinspect_cases);
         assert_eq!(a.predicate_cases, b.predicate_cases);
+        assert_eq!(a.source_cases, b.source_cases);
         assert_eq!(
             a.divergences
                 .iter()

@@ -14,6 +14,7 @@
 //! | [`CompiledCheck`](subsub_rtcheck::CompiledCheck) (`i64`, checked) | checked-`i128` interpreter over canonical forms |
 //! | guarded parallel kernel output | serial golden run |
 //! | incremental re-inspection (`mutate_range` + block summaries) | from-scratch summary rebuild + `inspect_serial` |
+//! | C frontend on mutated sources ([`srcgen::check_frontend`]) | panic-freedom, replay determinism, canonical round-trip identity |
 //!
 //! The trust model is asymmetric (see [`refeval::compare`]): the fast
 //! path may *conservatively deny* (e.g. `i64` overflow), but must never
@@ -31,6 +32,7 @@ pub mod fuzz;
 pub mod gen;
 pub mod refeval;
 pub mod shrink;
+pub mod srcgen;
 
 pub use corpus::{load_dir, parse_corpus, replay, replay_all, CorpusEntry, CorpusError};
 pub use diff::{check_index_array, check_kernel, check_predicate, check_reinspect, Divergence};
@@ -41,5 +43,6 @@ pub use gen::{
 };
 pub use refeval::{compare, ref_eval, PredicateAgreement, RefEvalError};
 pub use shrink::shrink_array;
+pub use srcgen::{check_frontend, gen_source_case, SourceCase, FUZZ_BUDGET};
 // Re-export the ingestion types so oracle consumers name one crate.
 pub use subsub_rtcheck::{Provenance, ValidatedIndexArray, ValidationError};

@@ -1,0 +1,371 @@
+//! Seeded source mutators and the frontend differential check.
+//!
+//! The C frontend sits on the service's trust boundary: clients hand it
+//! arbitrary bytes as `AnalyzeSource`. This leg cross-examines the
+//! hardened frontend ([`subsub_cfront::diag`]) against three invariants
+//! no mutation may break:
+//!
+//! 1. **No panic, ever.** Lexing, parsing and diagnostic rendering run
+//!    under `catch_unwind`; any escape is a [`Divergence::FrontendPanic`].
+//! 2. **Deterministic, span-correct rejection.** The same bytes must
+//!    produce byte-identical diagnostics on replay, anchored to a span
+//!    inside the input, with a 1-based line — budget violations
+//!    included.
+//! 3. **Round-trip identity on accepted inputs.** `parse → canonicalize
+//!    → print → reparse` must reproduce a structurally identical AST
+//!    (diffed by [`subsub_cfront::diff_programs`]).
+//!
+//! Mutations start from the real kernel registry sources and cover
+//! truncation, token splices, span deletion/duplication, raw byte soup,
+//! nesting pushed across the depth budget, and sources sized exactly at
+//! the input-byte budget edge.
+
+use crate::diff::Divergence;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use subsub_cfront::printer::print_program;
+use subsub_cfront::{
+    canonicalize, diff_programs, parse_program_with, Diagnostic, ParseBudget, Program,
+};
+use subsub_kernels::all_kernels;
+use subsub_sparse::Rng64;
+
+/// The tightened budget the source leg fuzzes against. Small enough
+/// that budget-edge mutations are cheap to generate, large enough that
+/// every unmutated kernel source is accepted.
+pub const FUZZ_BUDGET: ParseBudget = ParseBudget {
+    max_input_bytes: 1 << 16,
+    max_tokens: 1 << 14,
+    max_depth: 48,
+    max_nodes: 1 << 15,
+};
+
+/// One generated frontend case: a label naming the mutation for
+/// divergence reports, and the (possibly hostile) source text.
+#[derive(Debug, Clone)]
+pub struct SourceCase {
+    /// Mutation label, e.g. `"truncate:AMGmk@312"`.
+    pub label: String,
+    /// The source bytes handed to the frontend.
+    pub source: String,
+}
+
+/// Largest char boundary `<= at` in `s`.
+fn clamp_boundary(s: &str, at: usize) -> usize {
+    let mut at = at.min(s.len());
+    while at > 0 && !s.is_char_boundary(at) {
+        at -= 1;
+    }
+    at
+}
+
+/// Token fragments spliced into otherwise-valid sources: unbalanced
+/// delimiters, dangling keywords, literals at the numeric edges, and
+/// lexer bait (`/*`, stray quotes, non-ASCII).
+const SPLICES: &[&str] = &[
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    "else",
+    "for (",
+    "while",
+    "return",
+    "++",
+    "--",
+    "int",
+    "/*",
+    "*/",
+    "1e999",
+    "9223372036854775808",
+    "0x1",
+    "\"",
+    "'",
+    "\u{00df}",
+    "#pragma",
+];
+
+/// Bytes the soup generator draws from: printable C, plus a multi-byte
+/// char and characters no token starts with.
+const SOUP: &[&str] = &[
+    "a", "z", "0", "9", "(", ")", "{", "}", "[", "]", ";", "+", "-", "*", "/", "%", "<", ">", "=",
+    "!", "&", "|", ",", ".", " ", "\n", "\t", "$", "@", "`", "\\", "\u{00e9}", "\u{4e16}", "\"",
+];
+
+fn kernel_sources() -> Vec<(&'static str, &'static str)> {
+    all_kernels()
+        .iter()
+        .map(|k| (k.name(), k.source()))
+        .collect()
+}
+
+/// Deterministically generates the `idx`-th source case of a campaign
+/// stream. Cycles through eight mutation families so every campaign,
+/// however small, touches each family at least once per eight cases.
+pub fn gen_source_case(rng: &mut Rng64, idx: usize, budget: &ParseBudget) -> SourceCase {
+    let kernels = kernel_sources();
+    let (name, base) = kernels[rng.gen_usize(0, kernels.len() - 1)];
+    match idx % 8 {
+        // Identity: the round-trip leg over real accepted sources.
+        0 => SourceCase {
+            label: format!("identity:{name}"),
+            source: base.to_string(),
+        },
+        // Truncation at an arbitrary byte (clamped to a char boundary).
+        1 => {
+            let at = clamp_boundary(base, rng.gen_usize(0, base.len()));
+            SourceCase {
+                label: format!("truncate:{name}@{at}"),
+                source: base[..at].to_string(),
+            }
+        }
+        // Token splice: drop a hostile fragment mid-source.
+        2 => {
+            let frag = SPLICES[rng.gen_usize(0, SPLICES.len() - 1)];
+            let at = clamp_boundary(base, rng.gen_usize(0, base.len()));
+            SourceCase {
+                label: format!("splice:{name}@{at}+{frag:?}"),
+                source: format!("{}{}{}", &base[..at], frag, &base[at..]),
+            }
+        }
+        // Delete a span.
+        3 => {
+            let a = clamp_boundary(base, rng.gen_usize(0, base.len()));
+            let b = clamp_boundary(base, rng.gen_usize(a, base.len()));
+            SourceCase {
+                label: format!("delete:{name}@{a}..{b}"),
+                source: format!("{}{}", &base[..a], &base[b..]),
+            }
+        }
+        // Duplicate a span in place.
+        4 => {
+            let a = clamp_boundary(base, rng.gen_usize(0, base.len()));
+            let b = clamp_boundary(base, rng.gen_usize(a, base.len().min(a + 64)));
+            SourceCase {
+                label: format!("dup:{name}@{a}..{b}"),
+                source: format!("{}{}{}", &base[..b], &base[a..b], &base[b..]),
+            }
+        }
+        // Raw byte soup.
+        5 => {
+            let len = rng.gen_usize(0, 200);
+            let mut s = String::new();
+            for _ in 0..len {
+                s.push_str(SOUP[rng.gen_usize(0, SOUP.len() - 1)]);
+            }
+            SourceCase {
+                label: format!("soup:{len}"),
+                source: s,
+            }
+        }
+        // Nesting straddling the depth budget (under, at, and over).
+        6 => {
+            let d = rng.gen_usize(budget.max_depth.saturating_sub(2), budget.max_depth * 3);
+            SourceCase {
+                label: format!("nest:{d}"),
+                source: format!("void f() {{ x = {}1{}; }}", "(".repeat(d), ")".repeat(d)),
+            }
+        }
+        // Source sized exactly at the input-byte budget edge: one
+        // statement padded by a comment to land on max_input_bytes - 1,
+        // max_input_bytes, or max_input_bytes + 1.
+        _ => {
+            let target = budget.max_input_bytes + rng.gen_usize(0, 2) - 1;
+            let stem = "void f() { x = 1; } /*";
+            let pad = target.saturating_sub(stem.len() + 2);
+            SourceCase {
+                label: format!("edge:{target}"),
+                source: format!("{stem}{}*/", "#".repeat(pad)),
+            }
+        }
+    }
+}
+
+type ParseOutcome = Result<Program, Diagnostic>;
+
+/// Runs the frontend under `catch_unwind`; `Err(())` means a panic
+/// escaped — the one thing hardening must categorically prevent.
+fn guarded_parse(source: &str, budget: &ParseBudget) -> Result<ParseOutcome, ()> {
+    catch_unwind(AssertUnwindSafe(|| parse_program_with(source, budget))).map_err(|_| ())
+}
+
+/// Cross-examines the frontend on one source: no panics, deterministic
+/// span-correct diagnostics, and round-trip identity on acceptance.
+pub fn check_frontend(label: &str, source: &str, budget: &ParseBudget) -> Vec<Divergence> {
+    let panic = || Divergence::FrontendPanic {
+        label: label.to_string(),
+    };
+    let mismatch = |detail: String| Divergence::FrontendMismatch {
+        label: label.to_string(),
+        detail,
+    };
+    let mut out = Vec::new();
+
+    let first = match guarded_parse(source, budget) {
+        Ok(r) => r,
+        Err(()) => return vec![panic()],
+    };
+    let second = match guarded_parse(source, budget) {
+        Ok(r) => r,
+        Err(()) => return vec![panic()],
+    };
+    // Replay determinism: same bytes, same verdict, byte-identical
+    // diagnostic (budget rejections included).
+    let show = |r: &ParseOutcome| match r {
+        Ok(p) => format!("accepted ({} funcs)", p.funcs.len()),
+        Err(d) => format!("{:?}", d),
+    };
+    if show(&first) != show(&second) {
+        out.push(mismatch(format!(
+            "non-deterministic frontend: first {}, second {}",
+            show(&first),
+            show(&second)
+        )));
+    }
+
+    match first {
+        Err(d) => {
+            if d.span.start > d.span.end || d.span.end > source.len() {
+                out.push(mismatch(format!(
+                    "diagnostic [{}] span {}..{} escapes the {}-byte input",
+                    d.code,
+                    d.span.start,
+                    d.span.end,
+                    source.len()
+                )));
+            }
+            if d.line == 0 {
+                out.push(mismatch(format!(
+                    "source-anchored diagnostic [{}] lost its line",
+                    d.code
+                )));
+            }
+            if catch_unwind(AssertUnwindSafe(|| d.render(source))).is_err() {
+                out.push(panic());
+            }
+        }
+        Ok(prog) => {
+            // Round-trip identity: parse → canonicalize → print →
+            // reparse → structural diff. The reparse runs under the
+            // default budget — canonical printing may legitimately add
+            // braces past a tight fuzz budget.
+            let round = catch_unwind(AssertUnwindSafe(|| {
+                let canon = canonicalize(&prog);
+                let printed = print_program(&canon);
+                (canon, printed)
+            }));
+            let (canon, printed) = match round {
+                Ok(v) => v,
+                Err(_) => return vec![panic()],
+            };
+            match guarded_parse(&printed, &ParseBudget::DEFAULT) {
+                Err(()) => out.push(panic()),
+                Ok(Err(d)) => out.push(mismatch(format!(
+                    "canonical print failed to reparse: {} [{}]",
+                    d, d.code
+                ))),
+                Ok(Ok(re)) => {
+                    let diffs = diff_programs(&canon, &canonicalize(&re));
+                    if let Some(first) = diffs.first() {
+                        out.push(mismatch(format!(
+                            "round-trip diverged ({} node(s)): {first}",
+                            diffs.len()
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_sources_round_trip_clean() {
+        for (name, src) in kernel_sources() {
+            let d = check_frontend(name, src, &FUZZ_BUDGET);
+            assert!(d.is_empty(), "{name}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let gen = |seed: u64| -> Vec<SourceCase> {
+            let mut rng = Rng64::seed_from_u64(seed);
+            (0..32)
+                .map(|i| gen_source_case(&mut rng, i, &FUZZ_BUDGET))
+                .collect()
+        };
+        let a = gen(7);
+        let b = gen(7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.source, y.source);
+        }
+    }
+
+    #[test]
+    fn generator_covers_every_family() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let labels: Vec<String> = (0..8)
+            .map(|i| gen_source_case(&mut rng, i, &FUZZ_BUDGET).label)
+            .collect();
+        for fam in [
+            "identity:",
+            "truncate:",
+            "splice:",
+            "delete:",
+            "dup:",
+            "soup:",
+            "nest:",
+            "edge:",
+        ] {
+            assert!(
+                labels.iter().any(|l| l.starts_with(fam)),
+                "missing {fam} in {labels:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_mutations_never_panic() {
+        let mut rng = Rng64::seed_from_u64(99);
+        for i in 0..64 {
+            let case = gen_source_case(&mut rng, i, &FUZZ_BUDGET);
+            let d = check_frontend(&case.label, &case.source, &FUZZ_BUDGET);
+            assert!(
+                !d.iter()
+                    .any(|d| matches!(d, Divergence::FrontendPanic { .. })),
+                "{}: {d:?}",
+                case.label
+            );
+        }
+    }
+
+    #[test]
+    fn budget_edge_sources_reject_deterministically() {
+        let over = format!("void f() {{ x = 1; }} /*{}*/", "#".repeat(1 << 16));
+        let d1 = parse_program_with(&over, &FUZZ_BUDGET).unwrap_err();
+        let d2 = parse_program_with(&over, &FUZZ_BUDGET).unwrap_err();
+        assert!(d1.is_budget());
+        assert_eq!(format!("{d1:?}"), format!("{d2:?}"));
+        assert!(check_frontend("edge", &over, &FUZZ_BUDGET).is_empty());
+    }
+
+    #[test]
+    fn frontend_checks_are_clean_across_seeds() {
+        for seed in [7u64, 31337, 271828] {
+            let mut rng = Rng64::seed_from_u64(seed);
+            for i in 0..48 {
+                let case = gen_source_case(&mut rng, i, &FUZZ_BUDGET);
+                let d = check_frontend(&case.label, &case.source, &FUZZ_BUDGET);
+                assert!(d.is_empty(), "seed {seed} {}: {d:?}", case.label);
+            }
+        }
+    }
+}

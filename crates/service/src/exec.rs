@@ -92,11 +92,15 @@ impl KernelEntry {
                 name: format!("{kernel_name}:{dataset}"),
             }
         })?;
-        let report = analyze_program(kernel.source(), level)
-            .map_err(|detail| ServiceError::Rejected { detail })?;
+        let report =
+            analyze_program(kernel.source(), level).map_err(|e| ServiceError::Rejected {
+                code: e.code().to_string(),
+                detail: e.to_string(),
+            })?;
         let func = report
             .function(kernel.func_name())
             .ok_or_else(|| ServiceError::Rejected {
+                code: "missing-function".to_string(),
                 detail: format!("{kernel_name}: function {} missing", kernel.func_name()),
             })?;
         let (variant, check): (Variant, Option<CheckExpr>) = match func.last_nest_parallel() {
@@ -112,6 +116,7 @@ impl KernelEntry {
         };
         let executor =
             GuardedExecutor::new(check.as_ref()).map_err(|e| ServiceError::Rejected {
+                code: "check-not-executable".to_string(),
                 detail: format!("{kernel_name}: check not executable: {e}"),
             })?;
         let entry = KernelEntry {

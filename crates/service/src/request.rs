@@ -139,6 +139,10 @@ pub enum ShedReason {
     /// completions and its probe backoff has not elapsed (or a probe is
     /// already in flight).
     Quarantined,
+    /// The payload exceeds the frontend parse budget (e.g. source text
+    /// larger than `max_input_bytes`) — refused before queueing so an
+    /// oversized body can't occupy a worker at all.
+    OverBudget,
 }
 
 impl ShedReason {
@@ -150,12 +154,13 @@ impl ShedReason {
             ShedReason::Degraded => 3,
             ShedReason::Shutdown => 4,
             ShedReason::Quarantined => 5,
+            ShedReason::OverBudget => 6,
         }
     }
 }
 
 /// Number of shed reasons (sizes the per-reason counters).
-pub const NUM_SHED_REASONS: usize = 5;
+pub const NUM_SHED_REASONS: usize = 6;
 
 impl std::fmt::Display for ShedReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -165,6 +170,7 @@ impl std::fmt::Display for ShedReason {
             ShedReason::Degraded => write!(f, "degraded"),
             ShedReason::Shutdown => write!(f, "shutdown"),
             ShedReason::Quarantined => write!(f, "quarantined"),
+            ShedReason::OverBudget => write!(f, "over budget"),
         }
     }
 }
@@ -176,9 +182,16 @@ impl std::fmt::Display for ShedReason {
 pub enum ServiceError {
     /// Admission control refused the request.
     Shed(ShedReason),
-    /// The C front end or lowering rejected the program.
+    /// The C front end or lowering rejected the program. This is the
+    /// client's own bad input: it never counts as a worker fault and
+    /// never contributes a quarantine strike.
     Rejected {
-        /// Parser/lowering diagnostic.
+        /// Stable machine-readable code (a `DiagCode` kebab name such
+        /// as `"parse-unexpected-token"`, or `"lower"`,
+        /// `"missing-function"`, `"check-not-executable"`).
+        code: String,
+        /// Human-readable diagnostic, rendered with source position
+        /// where one exists.
         detail: String,
     },
     /// Unknown kernel or dataset name.
@@ -203,7 +216,9 @@ impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::Shed(r) => write!(f, "request shed: {r}"),
-            ServiceError::Rejected { detail } => write!(f, "program rejected: {detail}"),
+            ServiceError::Rejected { code, detail } => {
+                write!(f, "program rejected [{code}]: {detail}")
+            }
             ServiceError::UnknownKernel { name } => write!(f, "unknown kernel/dataset: {name}"),
             ServiceError::Failed(e) => write!(f, "execution failed: {e}"),
             ServiceError::Canceled => write!(f, "request canceled"),

@@ -65,8 +65,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::time::{Duration, Instant};
-use subsub_core::{analyze_lowered, analyze_program, AlgorithmLevel};
+use subsub_cfront::ParseBudget;
+use subsub_core::{analyze_lowered, analyze_program_with, AlgorithmLevel, AnalyzeError};
 use subsub_failpoint::{self as failpoint, Action};
+use subsub_omprt::cancel::with_ambient_cancel;
 use subsub_omprt::{PoolHealth, ThreadPool};
 use subsub_rtcheck::ExecError;
 use subsub_telemetry as telemetry;
@@ -122,6 +124,11 @@ pub struct ServiceConfig {
     /// Autosave once this many new inspections (cache misses) have
     /// accumulated since the last successful save.
     pub autosave_dirty: u64,
+    /// Frontend resource limits applied to `AnalyzeSource` payloads:
+    /// oversized sources shed [`ShedReason::OverBudget`] at admission,
+    /// and the lexer/parser enforce the token/depth/node bounds while
+    /// the request runs.
+    pub parse_budget: ParseBudget,
 }
 
 impl Default for ServiceConfig {
@@ -141,6 +148,7 @@ impl Default for ServiceConfig {
             janitor_tick: Duration::from_millis(2),
             snapshot_dir: None,
             autosave_dirty: 64,
+            parse_budget: ParseBudget::DEFAULT,
         }
     }
 }
@@ -152,8 +160,8 @@ pub struct ServiceStats {
     pub admitted: u64,
     /// Requests completed (fulfilled tickets).
     pub completed: u64,
-    /// Requests shed at admission, by reason code order
-    /// (queue-full, fairness, degraded, shutdown, quarantined).
+    /// Requests shed at admission, by reason code order (queue-full,
+    /// fairness, degraded, shutdown, quarantined, over-budget).
     pub shed: [u64; NUM_SHED_REASONS],
     /// High-water mark of concurrently in-flight requests.
     pub max_inflight: u64,
@@ -467,16 +475,39 @@ impl Inner {
         failpoint::hit("service.worker.dispatch");
         let cancel = Some(job.control.cancel_token());
         match &job.request.payload {
-            Payload::AnalyzeSource { source, level } => match analyze_program(source, *level) {
-                Ok(report) => ExecOutcome {
-                    result: Ok(Outcome::Analyzed(report)),
-                    cache: None,
-                },
-                Err(detail) => ExecOutcome {
-                    result: Err(ServiceError::Rejected { detail }),
-                    cache: None,
-                },
-            },
+            Payload::AnalyzeSource { source, level } => {
+                // Ambient cancel makes the job's deadline reach the
+                // lex/parse loops, which poll it cooperatively.
+                let analyzed = with_ambient_cancel(job.control.cancel_token(), || {
+                    analyze_program_with(source, *level, &self.cfg.parse_budget)
+                });
+                match analyzed {
+                    Ok(report) => ExecOutcome {
+                        result: Ok(Outcome::Analyzed(report)),
+                        cache: None,
+                    },
+                    // A parse abandoned because the deadline fired is the
+                    // service's timeout, not the client's bad input.
+                    Err(AnalyzeError::Parse(d)) if d.is_cancelled() => ExecOutcome {
+                        result: Err(ServiceError::Expired),
+                        cache: None,
+                    },
+                    Err(e) => {
+                        let arg = match &e {
+                            AnalyzeError::Parse(d) => u64::from(d.code.code()),
+                            AnalyzeError::Lower { .. } => 0,
+                        };
+                        telemetry::instant(EventKind::FrontendReject, Phase::Service, 0, arg);
+                        ExecOutcome {
+                            result: Err(ServiceError::Rejected {
+                                code: e.code().to_string(),
+                                detail: e.to_string(),
+                            }),
+                            cache: None,
+                        }
+                    }
+                }
+            }
             Payload::AnalyzeLowered { funcs, level } => ExecOutcome {
                 result: Ok(Outcome::Analyzed(analyze_lowered(funcs, *level))),
                 cache: None,
@@ -780,6 +811,15 @@ impl AnalysisService {
         if inner.draining.load(Ordering::Acquire) {
             inner.note_shed(ShedReason::Shutdown);
             return Err(ShedReason::Shutdown);
+        }
+        // Frontend budget rung: an oversized source is refused before it
+        // can occupy queue space or a worker — the lexer would reject it
+        // anyway, but only after the bytes sat in the queue.
+        if let Payload::AnalyzeSource { source, .. } = &request.payload {
+            if source.len() > inner.cfg.parse_budget.max_input_bytes {
+                inner.note_shed(ShedReason::OverBudget);
+                return Err(ShedReason::OverBudget);
+            }
         }
         let poison_key = request.payload.poison_key();
         let mut q = lock(&inner.queue);

@@ -575,3 +575,100 @@ fn shutdown_fulfills_pending_tickets() {
     }
     assert!(service.submit(execute_request("late")).is_err());
 }
+
+/// Malformed source is the client's own bad input: every submission
+/// resolves to a typed `Rejected` (stable code + diagnostic), the worker
+/// never faults, and the payload identity never accrues quarantine
+/// strikes no matter how many times it is resubmitted.
+#[test]
+fn malformed_source_rejects_typed_without_quarantine() {
+    let service = AnalysisService::start(small_config());
+    let payload = Payload::AnalyzeSource {
+        source: "void f( {".into(),
+        level: subsub_core::AlgorithmLevel::New,
+    };
+    for round in 0..4 {
+        let r = service
+            .submit(Request::new(format!("mal-{round}"), payload.clone()))
+            .expect("malformed source must be admitted, not shed")
+            .wait();
+        match r.result {
+            Err(ServiceError::Rejected { code, detail }) => {
+                assert!(!code.is_empty(), "rejection must carry a stable code");
+                assert!(!detail.is_empty());
+            }
+            other => panic!("expected a typed rejection, got {other:?}"),
+        }
+    }
+    assert!(
+        !service.is_quarantined(&payload),
+        "client-side bad input must never strike the quarantine ladder"
+    );
+    // A well-formed source on the same connection still analyzes.
+    let ok = service
+        .submit(Request::new(
+            "mal-ok",
+            Payload::AnalyzeSource {
+                source: "void f(int n, double *x) { int i; for (i = 0; i < n; i++) x[i] = 0.0; }"
+                    .into(),
+                level: subsub_core::AlgorithmLevel::New,
+            },
+        ))
+        .expect("admitted")
+        .wait();
+    assert!(matches!(ok.result, Ok(Outcome::Analyzed(_))));
+    service.shutdown();
+}
+
+/// Oversized sources shed `OverBudget` at admission (before queueing);
+/// in-budget sources that exceed structural limits reject deterministically
+/// with the typed `budget-*` diagnostic.
+#[test]
+fn over_budget_sources_shed_or_reject_deterministically() {
+    let mut cfg = small_config();
+    cfg.parse_budget.max_input_bytes = 1024;
+    cfg.parse_budget.max_depth = 16;
+    let service = AnalysisService::start(cfg);
+    // Admission rung: too many bytes → typed shed, counted.
+    let huge = Payload::AnalyzeSource {
+        source: "x".repeat(4096),
+        level: subsub_core::AlgorithmLevel::New,
+    };
+    match service.submit(Request::new("big", huge)) {
+        Err(ShedReason::OverBudget) => {}
+        Err(other) => panic!("expected an over-budget shed, got {other:?}"),
+        Ok(_) => panic!("oversized source must not be admitted"),
+    }
+    assert!(
+        service.stats().shed[(ShedReason::OverBudget.code() - 1) as usize] >= 1,
+        "over-budget sheds must be counted"
+    );
+    // Worker rung: within byte budget but hostile nesting → the same
+    // typed diagnostic on every resubmission.
+    let deep = format!("void f() {{ x = {}1{}; }}", "(".repeat(64), ")".repeat(64));
+    let mut details = Vec::new();
+    for round in 0..2 {
+        let r = service
+            .submit(Request::new(
+                format!("deep-{round}"),
+                Payload::AnalyzeSource {
+                    source: deep.clone(),
+                    level: subsub_core::AlgorithmLevel::New,
+                },
+            ))
+            .expect("admitted")
+            .wait();
+        match r.result {
+            Err(ServiceError::Rejected { code, detail }) => {
+                assert_eq!(code, "budget-depth");
+                details.push(detail);
+            }
+            other => panic!("expected a budget rejection, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        details[0], details[1],
+        "budget rejections must be deterministic"
+    );
+    service.shutdown();
+}

@@ -43,7 +43,7 @@ pub enum EventKind {
     ServiceAdmit = 12,
     /// The analysis service shed a request (`arg` = shed-reason code:
     /// 1 = queue full, 2 = fairness cap, 3 = degraded, 4 = shutdown,
-    /// 5 = quarantined).
+    /// 5 = quarantined, 6 = over budget).
     ServiceShed = 13,
     /// A request's lifetime budget ran out before a response was
     /// delivered (`arg` = 1 deadline expired, 2 waiter abandoned).
@@ -54,10 +54,14 @@ pub enum EventKind {
     /// A snapshot-store persistence event (`arg` = entries written on a
     /// successful save, 0 for an aborted or failed attempt).
     SnapshotSave = 16,
+    /// The C frontend rejected a request's source (`arg` = the numeric
+    /// `DiagCode` of the diagnostic, 0 for a lowering rejection). The
+    /// client's own bad input — distinct from worker faults.
+    FrontendReject = 17,
 }
 
 /// Number of event kinds (sizing for per-kind counters).
-pub const NUM_KINDS: usize = 17;
+pub const NUM_KINDS: usize = 18;
 
 impl EventKind {
     /// Stable lowercase name used by the exporters.
@@ -80,6 +84,7 @@ impl EventKind {
             EventKind::RequestExpired => "request_expired",
             EventKind::Quarantine => "quarantine",
             EventKind::SnapshotSave => "snapshot_save",
+            EventKind::FrontendReject => "frontend_reject",
         }
     }
 
@@ -103,6 +108,7 @@ impl EventKind {
             EventKind::RequestExpired,
             EventKind::Quarantine,
             EventKind::SnapshotSave,
+            EventKind::FrontendReject,
         ]
     }
 

@@ -76,7 +76,8 @@ fn tampering_after_ingestion_is_caught() {
 fn pinned_campaigns_stay_clean_across_the_stack() {
     // A reduced-size campaign per pinned seed (CI runs the full ones via
     // ci.sh): arrays through ingestion+inspection, predicates through
-    // compile-vs-reference, no kernels here to keep the test fast.
+    // compile-vs-reference, mutated sources through the frontend
+    // contract, no kernels here to keep the test fast.
     let pool = ThreadPool::new(3);
     for seed in [7u64, 31337, 271828] {
         let report = run_campaign(
@@ -84,11 +85,13 @@ fn pinned_campaigns_stay_clean_across_the_stack() {
                 seed,
                 arrays_per_shape: 4,
                 predicates: 60,
+                sources: 24,
                 kernels: false,
             },
             &pool,
         );
         assert!(report.is_clean(), "seed {seed} diverged:\n{report}");
+        assert_eq!(report.source_cases, 24, "source leg did not run");
     }
 }
 

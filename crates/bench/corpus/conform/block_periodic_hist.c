@@ -1,0 +1,10 @@
+/* Block-periodic histogram: keys restart a ramp every block, so the
+ * subscript array is monotone only within blocks — a runtime property no
+ * compile-time level proves. The flat data-dependent scatter must
+ * survive the canonical round-trip (and analyze serial). */
+void block_periodic_hist(int n, int *key, double *y, double *g) {
+    int i;
+    for (i = 0; i < n; i++) {
+        y[key[i]] = y[key[i]] + g[i];
+    }
+}

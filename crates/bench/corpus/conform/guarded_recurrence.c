@@ -1,0 +1,15 @@
+/* Conditionally monotone recurrence: the prefix sum's step is a runtime
+ * scalar, so monotonicity holds only under the guard 1 <= step. The
+ * segment loop below consumes the offsets CHOLMOD-style. */
+void guarded_recurrence(int n, int step, int *bound, double *work) {
+    int i; int k;
+    bound[0] = 0;
+    for (i = 0; i < n; i++) {
+        bound[i+1] = bound[i] + step;
+    }
+    for (i = 0; i < n; i++) {
+        for (k = bound[i]; k < bound[i+1]; k++) {
+            work[k] = work[k] + 1.0;
+        }
+    }
+}

@@ -1,0 +1,15 @@
+/* Constant-stride recurrence filling an offset array (off[i] = i*4 in
+ * recurrence form), then a scatter through it: the strided-SRA pattern
+ * (#SMA+4). The fill and use loops share one function so the analysis
+ * sees the definition site. */
+void strided_update(int n, int *off, double *y, double *g) {
+    int i; int p;
+    p = 0;
+    for (i = 0; i < n; i++) {
+        off[i] = p;
+        p = p + 4;
+    }
+    for (i = 0; i < n; i++) {
+        y[off[i]] = y[off[i]] + g[i] * 0.5;
+    }
+}

@@ -1,0 +1,16 @@
+/* Two-level subscripted subscripts: the value array is addressed through
+ * a composition of index arrays (base[level1[level2[i]]]), the pattern
+ * the composed-monotonicity rule proves. Exercises nested subscript
+ * expressions through the canonical round-trip. */
+void two_level_gather(int n, int m, int *starts, int *active,
+                      double *base, double *delta) {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < n; i++) {
+        starts[i] = s;
+        s = s + 3;
+    }
+    for (i = 0; i < m; i++) {
+        base[starts[active[i]]] = base[starts[active[i]]] + delta[i];
+    }
+}

@@ -4,9 +4,25 @@
 //! abort, hang, or corrupt).
 //!
 //! Usage: `cargo run -p subsub-bench --bin chaos [seed...]`
-//! (defaults to the pinned CI seeds).
+//! (defaults to the pinned CI seeds). With no CLI seeds, the
+//! `SUBSUB_CHAOS_SEEDS` environment variable (comma- or
+//! whitespace-separated u64s) overrides the pinned trio, so a CI
+//! matrix can widen the sweep without editing the script.
 
 use subsub_bench::chaos::{chaos_sweep, DEFAULT_SEEDS};
+
+fn env_seeds() -> Option<Vec<u64>> {
+    let raw = std::env::var("SUBSUB_CHAOS_SEEDS").ok()?;
+    let seeds: Vec<u64> = raw
+        .split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| panic!("SUBSUB_CHAOS_SEEDS: seed must be a u64, got {s:?}"))
+        })
+        .collect();
+    (!seeds.is_empty()).then_some(seeds)
+}
 
 fn main() {
     let seeds: Vec<u64> = {
@@ -18,7 +34,7 @@ fn main() {
             })
             .collect();
         if args.is_empty() {
-            DEFAULT_SEEDS.to_vec()
+            env_seeds().unwrap_or_else(|| DEFAULT_SEEDS.to_vec())
         } else {
             args
         }

@@ -5,10 +5,17 @@
 //! Usage:
 //!   fuzz [SEED...] [--no-kernels] [--arrays N] [--predicates N]
 //!        [--sources N] [--corpus DIR | --no-corpus] [--threads N]
+//!        [--replay-only]
 //!
-//! With no seeds given, the CI-pinned trio 7, 31337, 271828 runs. Exits
-//! non-zero on ANY divergence or corpus regression, printing every
-//! minimized counterexample so it can be promoted into the corpus.
+//! With no seeds given, the CI-pinned trio 7, 31337, 271828 runs.
+//! `--replay-only` skips the campaigns and only replays the committed
+//! corpus (the quick-tier CI leg). The `SUBSUB_FUZZ_CASES` environment
+//! variable scales campaign volume without touching the script: `N`
+//! sets predicates to `N`, sources to `4N/5` and arrays-per-shape to
+//! `N/25` (so `N=200` reproduces the defaults); explicit CLI flags win
+//! over the environment. Exits non-zero on ANY divergence or corpus
+//! regression, printing every minimized counterexample so it can be
+//! promoted into the corpus.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,6 +32,7 @@ struct Args {
     kernels: bool,
     corpus: Option<PathBuf>,
     threads: usize,
+    replay_only: bool,
 }
 
 fn default_corpus_dir() -> Option<PathBuf> {
@@ -44,13 +52,27 @@ fn parse_args() -> Result<Args, String> {
         kernels: true,
         corpus: default_corpus_dir(),
         threads: 3,
+        replay_only: false,
     };
+    // Environment-scaled campaign volume; CLI flags below override it.
+    if let Ok(cases) = std::env::var("SUBSUB_FUZZ_CASES") {
+        let n: usize = cases
+            .parse()
+            .map_err(|e| format!("SUBSUB_FUZZ_CASES: {e}"))?;
+        if n == 0 {
+            return Err("SUBSUB_FUZZ_CASES must be >= 1".into());
+        }
+        args.predicates = n;
+        args.sources = n * 4 / 5;
+        args.arrays_per_shape = (n / 25).max(1);
+    }
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut grab = |what: &str| it.next().ok_or_else(|| format!("{what} requires a value"));
         match a.as_str() {
             "--no-kernels" => args.kernels = false,
             "--no-corpus" => args.corpus = None,
+            "--replay-only" => args.replay_only = true,
             "--arrays" => {
                 args.arrays_per_shape = grab("--arrays")?
                     .parse()
@@ -75,7 +97,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: fuzz [SEED...] [--no-kernels] [--arrays N] [--predicates N] \
-                     [--sources N] [--corpus DIR | --no-corpus] [--threads N]"
+                     [--sources N] [--corpus DIR | --no-corpus] [--threads N] [--replay-only]"
                         .into(),
                 )
             }
@@ -108,18 +130,25 @@ fn main() -> ExitCode {
     let pool = ThreadPool::new(args.threads);
     let mut failed = false;
 
-    for &seed in &args.seeds {
-        let cfg = FuzzConfig {
-            seed,
-            arrays_per_shape: args.arrays_per_shape,
-            predicates: args.predicates,
-            sources: args.sources,
-            kernels: args.kernels,
-        };
-        let report = run_campaign(&cfg, &pool);
-        println!("{report}");
-        if !report.is_clean() {
-            failed = true;
+    if args.replay_only {
+        if args.corpus.is_none() {
+            eprintln!("--replay-only with --no-corpus leaves nothing to run");
+            return ExitCode::from(2);
+        }
+    } else {
+        for &seed in &args.seeds {
+            let cfg = FuzzConfig {
+                seed,
+                arrays_per_shape: args.arrays_per_shape,
+                predicates: args.predicates,
+                sources: args.sources,
+                kernels: args.kernels,
+            };
+            let report = run_campaign(&cfg, &pool);
+            println!("{report}");
+            if !report.is_clean() {
+                failed = true;
+            }
         }
     }
 

@@ -12,7 +12,7 @@ use subsub_omprt::{Schedule, ThreadPool};
 fn main() {
     let filter = std::env::args().nth(1);
     let pool = ThreadPool::new(4);
-    let demos = ["AMGmk", "SDDMM", "UA(transf)"];
+    let demos = ["AMGmk", "SDDMM", "UA(transf)", "CSRoCSR", "GuardedPrefix"];
     let mut matched = false;
     for name in demos {
         if let Some(f) = &filter {

@@ -19,7 +19,9 @@ use crate::microbench::{bench, BenchStats};
 use std::time::Duration;
 use subsub_kernels::kernel_by_name;
 use subsub_omprt::{Schedule, ThreadPool};
-use subsub_rtcheck::{inspect_serial, BlockSummaries, Provenance, ValidatedIndexArray};
+use subsub_rtcheck::{
+    composed_verdict, inspect_serial, BlockSummaries, Provenance, ValidatedIndexArray,
+};
 use subsub_service::{AnalysisService, Payload, Request, ServiceConfig};
 use subsub_telemetry::json::{parse, Json};
 
@@ -37,9 +39,10 @@ pub const INSPECT_LEN: usize = 65_536;
 pub const REINSPECT_LEN: usize = 1 << 20;
 
 /// Kernels timed serially (first dataset of each), chosen to cover the
-/// three structural families: sparse gather (AMGmk), sampled dense
-/// product (SDDMM), and a dense stencil (heat-3d).
-pub const SUITE_KERNELS: &[&str] = &["AMGmk", "SDDMM", "heat-3d"];
+/// structural families: sparse gather (AMGmk), sampled dense product
+/// (SDDMM), a dense stencil (heat-3d), the two-level composed gather
+/// (CSRoCSR), and the strided-recurrence scatter (StridedScatter).
+pub const SUITE_KERNELS: &[&str] = &["AMGmk", "SDDMM", "heat-3d", "CSRoCSR", "StridedScatter"];
 
 /// Requests per burst in the service-throughput entry.
 pub const SERVICE_BURST: usize = 16;
@@ -64,6 +67,31 @@ pub fn run_suite() -> Vec<BenchStats> {
         let s = BlockSummaries::build(std::hint::black_box(&ramp), INSPECT_LEN)
             .expect("ramp is in domain");
         std::hint::black_box(s.checksum());
+    }));
+
+    // Composed two-level verdict over two pre-ingested 65 Ki arrays:
+    // O(blocks) summary recombination per level plus the domain-chain
+    // test — the inspection cost the CSR-of-CSR rule pays per execution
+    // once both levels are resident.
+    let two_outer = ValidatedIndexArray::ingest(
+        "perfgate-two-level-outer",
+        (0..INSPECT_LEN).map(|i| 2 * i).collect::<Vec<usize>>(),
+        2 * INSPECT_LEN,
+        Provenance::Generated { seed: 0x5eed },
+    )
+    .expect("strided ramp is in domain");
+    let two_inner = ValidatedIndexArray::ingest(
+        "perfgate-two-level-inner",
+        (0..INSPECT_LEN).collect::<Vec<usize>>(),
+        INSPECT_LEN,
+        Provenance::Generated { seed: 0x5eed },
+    )
+    .expect("ramp is in domain");
+    out.push(bench("inspect/two-level-65536", || {
+        std::hint::black_box(composed_verdict(
+            std::hint::black_box(&two_outer),
+            std::hint::black_box(&two_inner),
+        ));
     }));
 
     // O(Δ) re-inspection: single-element mutate_range into a 1 Mi-element

@@ -16,7 +16,7 @@
 //!   makes per-iteration segments disjoint.
 
 use crate::classic::{classic_analyze_loop, Access, ArrayDep, ClassicAnalysis};
-use crate::properties::{AlgorithmLevel, ArrayProperty, PropertyDb};
+use crate::properties::{AlgorithmLevel, ArrayProperty, PropertyDb, PropertyKind};
 use std::fmt;
 use subsub_ir::{CondTable, IrStmt, LoopIr, TypeEnv};
 use subsub_rtcheck::CheckExpr;
@@ -105,7 +105,7 @@ pub fn decide_loop(
         }
         match resolve_array_dep(dep, l, props, env) {
             Some(res) => {
-                if let Some(c) = res.runtime_check {
+                for c in res.runtime_checks {
                     // Structural (canonical) equality, so algebraically
                     // equal checks like `-1 + N <= m` and `N - 1 <= m`
                     // collapse to one conjunct.
@@ -113,8 +113,10 @@ pub fn decide_loop(
                         checks.push(c);
                     }
                 }
-                if !used.contains(&res.property) {
-                    used.push(res.property);
+                for p in res.properties {
+                    if !used.contains(&p) {
+                        used.push(p);
+                    }
                 }
             }
             None => {
@@ -149,8 +151,26 @@ pub fn decide_loop(
 }
 
 struct Resolution {
-    property: String,
-    runtime_check: Option<CheckExpr>,
+    /// Display form of every property the discharge relied on (the outer
+    /// *and* inner array for composed two-level indirection).
+    properties: Vec<String>,
+    /// Runtime conjuncts guarding the discharge (containment checks plus
+    /// the validity guards of any conditionally-proven property).
+    runtime_checks: Vec<CheckExpr>,
+}
+
+/// A [`PropertyKind::Guarded`] property is only valid under its predicate;
+/// every use site must re-establish it at runtime.
+fn push_guard(prop: &ArrayProperty, checks: &mut Vec<CheckExpr>) {
+    if let PropertyKind::Guarded { guard } = &prop.kind {
+        push_unique(checks, (**guard).clone());
+    }
+}
+
+fn push_unique(checks: &mut Vec<CheckExpr>, c: CheckExpr) {
+    if !checks.contains(&c) {
+        checks.push(c);
+    }
 }
 
 /// Attempts to discharge all conflicting accesses of one array using a
@@ -181,7 +201,7 @@ fn try_gather_scatter(
     let first = decompose_indirect(&dep.accesses[0])?;
     for a in &dep.accesses[1..] {
         let d = decompose_indirect(a)?;
-        if d.sub_array != first.sub_array || d.offset != first.offset {
+        if d.sub_array != first.sub_array || d.offset != first.offset || d.rho != first.rho {
             return None;
         }
     }
@@ -192,15 +212,16 @@ fn try_gather_scatter(
     if prop.defined_in >= l.id {
         return None; // property established only after this loop
     }
+    let mut checks: Vec<CheckExpr> = Vec::new();
+    let mut used = vec![prop.to_string()];
+    push_guard(prop, &mut checks);
     // The property's monotone dimension must be indexed by the loop
     // variable (same offset across accesses ensures consistency).
-    let mut check = None;
     for a in &dep.accesses {
         let d = decompose_indirect(a)?;
         if prop.dim >= d.rho.len() {
             return None;
         }
-        let k = simple_offset(&d.rho[prop.dim], idx)?;
         // Non-monotone dimensions may hold any legal value (Definition 1),
         // but they must not depend on the outer loop index (two iterations
         // picking the same slice would alias).
@@ -209,11 +230,51 @@ fn try_gather_scatter(
                 return None;
             }
         }
-        check = range_containment_check(k, l, prop, env)?;
+        let rho = &d.rho[prop.dim];
+        if let Some(k) = simple_offset(rho, idx) {
+            if let Some(c) = range_containment_check(k, l, prop, env)? {
+                push_unique(&mut checks, c);
+            }
+        } else {
+            // Multi-level indirection: the monotone dimension is itself a
+            // subscript-array read, `S[T[i + k2]]`. Injective ∘ injective
+            // is injective, so distinct iterations still touch pairwise
+            // distinct elements — provided the composition stays within
+            // the domains both properties cover:
+            //   (a) the loop range [k2 : N-1+k2] lies in T's index range;
+            //   (b) T's value range lies in S's monotone index range.
+            let (inner_name, inner_indices, rest) = split_single_read(rho)?;
+            if !rest.is_zero() {
+                return None;
+            }
+            let [inner_idx] = inner_indices.as_slice() else {
+                return None;
+            };
+            let k2 = simple_offset(inner_idx, idx)?;
+            let inner = props.get(&inner_name)?;
+            if !inner.is_injective() || inner.dim != 0 || inner.defined_in >= l.id {
+                return None;
+            }
+            push_guard(inner, &mut checks);
+            if let Some(c) = range_containment_check(k2, l, inner, env)? {
+                push_unique(&mut checks, c);
+            }
+            let iv = inner.value_range.as_ref()?;
+            if !env.proves_le(&prop.index_range.lo, &iv.lo) {
+                return None;
+            }
+            if let Some(c) = containment_upper(iv.hi.clone(), prop, env)? {
+                push_unique(&mut checks, c);
+            }
+            let shown = inner.to_string();
+            if !used.contains(&shown) {
+                used.push(shown);
+            }
+        }
     }
     Some(Resolution {
-        property: prop.to_string(),
-        runtime_check: check,
+        properties: used,
+        runtime_checks: checks,
     })
 }
 
@@ -228,7 +289,7 @@ fn try_segments(
 ) -> Option<Resolution> {
     let idx = &l.index;
     let inner = collect_inner_loops(&l.body);
-    let mut check = None;
+    let mut checks: Vec<CheckExpr> = Vec::new();
     let mut prop_used = None;
     for a in &dep.accesses {
         if a.subs.len() != 1 {
@@ -259,12 +320,15 @@ fn try_segments(
         }
         // Segments [B[i] : B[i+1]-1] are disjoint under (non-strict)
         // monotonicity. The property must cover subscripts up to N + k.
-        check = segment_containment_check(k, l, prop, env)?;
+        push_guard(prop, &mut checks);
+        if let Some(c) = segment_containment_check(k, l, prop, env)? {
+            push_unique(&mut checks, c);
+        }
         prop_used = Some(prop.to_string());
     }
     Some(Resolution {
-        property: prop_used?,
-        runtime_check: check,
+        properties: vec![prop_used?],
+        runtime_checks: checks,
     })
 }
 
@@ -621,6 +685,141 @@ mod tests {
         assert!(d.is_parallel(), "{d}");
         assert!(!decide(UA, 3, AlgorithmLevel::Base).is_parallel());
         assert!(!decide(UA, 3, AlgorithmLevel::Classic).is_parallel());
+    }
+
+    /// CSR-of-CSR two-level gather: the scatter target is `row_start[act[i]]`
+    /// — a strided-monotone outer array composed with an intermittent inner
+    /// array. Injective ∘ injective is injective, so the use loop
+    /// parallelizes under the new algorithm, with containment of the loop
+    /// range in the inner array's (post-max-bounded) domain as the check.
+    const CSROCSR: &str = r#"
+        void csrocsr(int num_rows, int num_act, int *row_start, int *act,
+                     double *y, double *g) {
+            int i; int m; int p;
+            p = 0;
+            for (i = 0; i < num_rows; i++) {
+                row_start[i] = p;
+                p = p + 2;
+            }
+            m = 0;
+            for (i = 0; i < num_rows; i++) {
+                if (g[i] > 0.0) {
+                    act[m++] = i;
+                }
+            }
+            for (i = 0; i < num_act; i++) {
+                y[row_start[act[i]]] = y[row_start[act[i]]] + g[i];
+            }
+        }
+    "#;
+
+    #[test]
+    fn two_level_gather_parallel_under_new() {
+        let d = decide(CSROCSR, 2, AlgorithmLevel::New);
+        let plan = d.plan().unwrap_or_else(|| panic!("expected parallel: {d}"));
+        let check = plan.runtime_check.as_ref().expect("runtime check");
+        assert_eq!(check.to_string(), "num_act - 1 <= m_max");
+        // Both levels' properties justify the decision.
+        assert_eq!(plan.properties_used.len(), 2, "{:?}", plan.properties_used);
+        assert!(plan
+            .properties_used
+            .iter()
+            .any(|p| p.starts_with("row_start[")));
+        assert!(plan.properties_used.iter().any(|p| p.starts_with("act[")));
+    }
+
+    /// The inner level of the composition is an intermittent property —
+    /// Base lacks LEMMA 1, so the composition is only provable under New.
+    #[test]
+    fn two_level_gather_serial_under_classic_and_base() {
+        assert!(!decide(CSROCSR, 2, AlgorithmLevel::Classic).is_parallel());
+        assert!(!decide(CSROCSR, 2, AlgorithmLevel::Base).is_parallel());
+    }
+
+    /// If the inner array of a composition has no injectivity property,
+    /// the composed access cannot be discharged.
+    #[test]
+    fn two_level_requires_inner_injectivity() {
+        let src = r#"
+            void f(int n, int *row_start, int *act, double *y, double *g) {
+                int i; int p;
+                p = 0;
+                for (i = 0; i < n; i++) {
+                    row_start[i] = p;
+                    p = p + 2;
+                }
+                for (i = 0; i < n; i++) {
+                    y[row_start[act[i]]] = y[row_start[act[i]]] + g[i];
+                }
+            }
+        "#;
+        assert!(!decide(src, 1, AlgorithmLevel::New).is_parallel());
+    }
+
+    /// Strided SRA fill (`p = p + 2`) proves `off` strided-monotone; the
+    /// scatter loop is already parallel under Base (SRA is a base-algorithm
+    /// concept), with no runtime check needed.
+    const SSCATTER: &str = r#"
+        void sscatter(int n, int *off, double *y, double *g) {
+            int i; int p;
+            p = 0;
+            for (i = 0; i < n; i++) {
+                off[i] = p;
+                p = p + 2;
+            }
+            for (i = 0; i < n; i++) {
+                y[off[i]] = y[off[i]] + g[i];
+            }
+        }
+    "#;
+
+    #[test]
+    fn strided_scatter_parallel_under_base_and_new() {
+        for level in [AlgorithmLevel::Base, AlgorithmLevel::New] {
+            let d = decide(SSCATTER, 1, level);
+            let plan = d.plan().unwrap_or_else(|| panic!("level {level}: {d}"));
+            assert!(plan.runtime_check.is_none(), "{:?}", plan.runtime_check);
+            assert!(
+                plan.properties_used.iter().any(|p| p.contains("#SMA+2")),
+                "strided gap bound not recorded: {:?}",
+                plan.properties_used
+            );
+        }
+        assert!(!decide(SSCATTER, 1, AlgorithmLevel::Classic).is_parallel());
+    }
+
+    /// Conditionally-monotone prefix sum: the step `gstep` has unknown
+    /// sign, so the property holds only under the guard `1 <= gstep`,
+    /// which must surface as the segment loop's runtime check.
+    const GPREFIX: &str = r#"
+        void gprefix(int n, int gstep, int *off, double *vals) {
+            int i; int j;
+            off[0] = 0;
+            for (i = 0; i < n; i++) {
+                off[i+1] = off[i] + gstep;
+            }
+            for (i = 0; i < n; i++) {
+                for (j = off[i]; j < off[i+1]; j++) {
+                    vals[j] = vals[j] * 2.0;
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn guarded_prefix_parallel_under_new_with_guard_check() {
+        let d = decide(GPREFIX, 1, AlgorithmLevel::New);
+        let plan = d.plan().unwrap_or_else(|| panic!("expected parallel: {d}"));
+        let check = plan.runtime_check.as_ref().expect("guard check");
+        assert_eq!(check.to_string(), "1 <= gstep");
+    }
+
+    /// Symbolic-step recurrences need the guarded-recurrence concept —
+    /// Base keeps the loop serial.
+    #[test]
+    fn guarded_prefix_serial_under_classic_and_base() {
+        assert!(!decide(GPREFIX, 1, AlgorithmLevel::Classic).is_parallel());
+        assert!(!decide(GPREFIX, 1, AlgorithmLevel::Base).is_parallel());
     }
 
     /// Accesses through two *different* subscript arrays cannot be

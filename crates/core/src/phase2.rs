@@ -22,6 +22,7 @@ use crate::collapse::{CollapsedArrayWrite, CollapsedLoop, CollapsedScalar};
 use crate::properties::{AlgorithmLevel, ArrayProperty, Monotonicity, PropertyKind};
 use crate::value::{ArrayWrite, Guard, Svd, TaggedVal, Val, ValueSet};
 use subsub_ir::{CondTable, LoopIr};
+use subsub_rtcheck::CheckExpr;
 use subsub_symbolic::{Expr, Interval, Range, RangeEnv, Symbol, SymbolKind};
 
 /// A recognized simple scalar recurrence.
@@ -208,7 +209,7 @@ fn is_mono_array(
                 return Some(p);
             }
         }
-        return check_sra(l, array, write, ssr_vars, env);
+        return check_sra(l, array, write, ssr_vars, level, env);
     }
     if level.novel_concepts() {
         return check_multidim(l, array, write, env);
@@ -283,12 +284,16 @@ fn check_intermittent(
 }
 
 /// SRA (base algorithm): `ar[i + c] = ssr_expr` assigned every iteration,
-/// or the array self-recurrence `ar[i + c] = ar[i + c - 1] + k`.
+/// or the array self-recurrence `ar[i + c] = ar[i + c - 1] + k`. A constant
+/// step `k >= 2` refines SMA into the strided variant with a gap bound; a
+/// loop-invariant step of unknown sign yields a *guarded* SMA (NewAlgo
+/// only) whose use sites must re-check `1 <= step` at runtime.
 fn check_sra(
     l: &LoopIr,
     array: &str,
     write: &ArrayWrite,
     ssr_vars: &[SsrInfo],
+    level: AlgorithmLevel,
     env: &RangeEnv,
 ) -> Option<ArrayProperty> {
     let sub = write.subs[0].as_point()?;
@@ -301,18 +306,46 @@ fn check_sra(
     // Case 1: self-recurrence a[s] = a[s-1] + k (Figure 2(b)). The
     // monotone range includes the read anchor `s-1` of the first
     // iteration: a[c-1] <= a[c] holds by the recurrence itself.
-    if let Some(strict) = self_recurrence(array, sub, r, env) {
+    if let Some(step) = self_recurrence(array, sub, r, &l.index, env) {
         let written = subscript_range(sub, l, env)?;
         let idx_range = Range::new(written.lo - Expr::int(1), written.hi);
+        let (monotonicity, kind) = match step {
+            RecStep::Const(gap) if gap >= 2 => {
+                (Monotonicity::StridedMonotonic { gap }, PropertyKind::Sra)
+            }
+            RecStep::Const(gap) => (
+                if gap == 1 {
+                    Monotonicity::StrictlyMonotonic
+                } else {
+                    Monotonicity::Monotonic
+                },
+                PropertyKind::Sra,
+            ),
+            RecStep::NonNeg { strict } => (
+                if strict {
+                    Monotonicity::StrictlyMonotonic
+                } else {
+                    Monotonicity::Monotonic
+                },
+                PropertyKind::Sra,
+            ),
+            RecStep::Unknown(step) => {
+                if !level.novel_concepts() {
+                    return None;
+                }
+                (
+                    Monotonicity::StrictlyMonotonic,
+                    PropertyKind::Guarded {
+                        guard: Box::new(CheckExpr::le(Expr::int(1), step)),
+                    },
+                )
+            }
+        };
         return Some(ArrayProperty {
             array: array.to_string(),
-            monotonicity: if strict {
-                Monotonicity::StrictlyMonotonic
-            } else {
-                Monotonicity::Monotonic
-            },
+            monotonicity,
             dim: 0,
-            kind: PropertyKind::Sra,
+            kind,
             index_range: idx_range,
             value_range: None,
             defined_in: l.id,
@@ -320,10 +353,16 @@ fn check_sra(
     }
 
     // Case 2: ar[i+c] = λ_sc + const with sc an SSR variable, or the loop
-    // index itself plus a constant.
+    // index itself plus a constant. Consecutive elements differ by the
+    // SSR's per-iteration step, so a constant lower bound >= 2 on that
+    // step carries over as the array's gap bound.
     let v_expr = r.as_point()?;
     let (ssr, _k) = match_ssr_expr(v_expr, ssr_vars, &l.index)?;
-    let strict = ssr.strict;
+    let monotonicity = match ssr.k_range.lo.as_int() {
+        Some(gap) if ssr.strict && gap >= 2 => Monotonicity::StridedMonotonic { gap },
+        _ if ssr.strict => Monotonicity::StrictlyMonotonic,
+        _ => Monotonicity::Monotonic,
+    };
     let value_range = aggregate_value_expr(v_expr, l, ssr_vars, env);
     let idx_range = Range::new(
         Expr::int(c),
@@ -331,11 +370,7 @@ fn check_sra(
     );
     Some(ArrayProperty {
         array: array.to_string(),
-        monotonicity: if strict {
-            Monotonicity::StrictlyMonotonic
-        } else {
-            Monotonicity::Monotonic
-        },
+        monotonicity,
         dim: 0,
         kind: PropertyKind::Sra,
         index_range: idx_range,
@@ -447,19 +482,54 @@ fn simple_subscript_offset(sub: &Expr, idx: &Symbol) -> Option<i64> {
     rest.as_int()
 }
 
-/// Detects `value = read(array, [sub - 1]) + k` with invariant PNN `k`;
-/// returns `Some(strict)` on success.
-fn self_recurrence(array: &str, sub: &Expr, val: &Range, env: &RangeEnv) -> Option<bool> {
+/// Classified per-iteration step of an array self-recurrence.
+enum RecStep {
+    /// Constant step `c >= 0` (exact: lo == hi).
+    Const(i64),
+    /// Provably non-negative symbolic step; `strict` when provably positive.
+    NonNeg {
+        /// True when the step is provably positive.
+        strict: bool,
+    },
+    /// Loop-invariant point step of statically unknown sign — monotone
+    /// only under the runtime guard `1 <= step`.
+    Unknown(Expr),
+}
+
+/// Detects `value = read(array, [sub - 1]) + k` with invariant `k` and
+/// classifies the step (see [`RecStep`]).
+fn self_recurrence(
+    array: &str,
+    sub: &Expr,
+    val: &Range,
+    idx: &Symbol,
+    env: &RangeEnv,
+) -> Option<RecStep> {
     let prev = Expr::read(array, vec![sub.clone() - Expr::int(1)]);
     let dlo = val.lo.clone() - prev.clone();
     let dhi = val.hi.clone() - prev;
     if dlo.contains_read() || dhi.contains_read() || dlo.contains_lambda() {
         return None;
     }
-    if !env.sign_of(&dlo).is_nonneg() {
-        return None;
+    if let (Some(cl), Some(ch)) = (dlo.as_int(), dhi.as_int()) {
+        if cl == ch {
+            return (cl >= 0).then_some(RecStep::Const(cl));
+        }
     }
-    Some(env.sign_of(&dlo).is_pos())
+    if env.sign_of(&dlo).is_nonneg() {
+        return Some(RecStep::NonNeg {
+            strict: env.sign_of(&dlo).is_pos(),
+        });
+    }
+    // Statically unknown sign: a loop-invariant point step can still back
+    // a conditionally-monotone property, guarded by `1 <= step` at runtime.
+    if dlo == dhi
+        && !dlo.contains_sym(idx)
+        && !dlo.free_syms().iter().any(|s| s.kind != SymbolKind::Var)
+    {
+        return Some(RecStep::Unknown(dlo));
+    }
+    None
 }
 
 /// Subscript range covered by `i + c` over the whole iteration space.
@@ -884,6 +954,68 @@ mod tests {
             p.index_range,
             Range::new(Expr::int(0), Expr::var("n") - Expr::int(1))
         );
+    }
+
+    /// A constant step >= 2 refines SMA into the strided variant carrying
+    /// the gap bound (non-unit-stride recurrence, arXiv 1911.05839).
+    #[test]
+    fn sra_strided_gap_bound() {
+        let r = analyze_first_loop(
+            "void f(int n, int *a) { int i; int p; p = 0; for (i=0;i<n;i++) { a[i] = p; p = p + 2; } }",
+            AlgorithmLevel::Base,
+        );
+        let p = r
+            .properties
+            .iter()
+            .find(|p| p.array == "a")
+            .expect("property");
+        assert_eq!(p.monotonicity, Monotonicity::StridedMonotonic { gap: 2 });
+        assert_eq!(p.monotonicity.min_gap(), 2);
+        assert!(matches!(p.kind, PropertyKind::Sra));
+    }
+
+    /// The self-recurrence form also carries the gap bound.
+    #[test]
+    fn sra_self_recurrence_strided() {
+        let r = analyze_first_loop(
+            "void f(int n, int *a) { int i; a[0] = 0; for (i=0;i<n;i++) { a[i+1] = a[i] + 3; } }",
+            AlgorithmLevel::Base,
+        );
+        let p = r
+            .properties
+            .iter()
+            .find(|p| p.array == "a")
+            .expect("property");
+        assert_eq!(p.monotonicity, Monotonicity::StridedMonotonic { gap: 3 });
+        assert_eq!(p.index_range, Range::new(Expr::int(0), Expr::var("n")));
+    }
+
+    /// A loop-invariant step of unknown sign is conditionally monotone:
+    /// strict SMA under the runtime guard `1 <= step` (NewAlgo only).
+    #[test]
+    fn sra_guarded_recurrence() {
+        let src = r#"
+            void f(int n, int gstep, int *a) {
+                int i;
+                for (i = 0; i < n; i++) { a[i+1] = a[i] + gstep; }
+            }
+        "#;
+        let r = analyze_first_loop(src, AlgorithmLevel::New);
+        let p = r
+            .properties
+            .iter()
+            .find(|p| p.array == "a")
+            .expect("property");
+        assert!(p.monotonicity.is_strict());
+        let PropertyKind::Guarded { guard } = &p.kind else {
+            panic!("expected guarded kind, got {:?}", p.kind);
+        };
+        assert_eq!(guard.to_string(), "1 <= gstep");
+        assert_eq!(p.index_range, Range::new(Expr::int(0), Expr::var("n")));
+
+        // The base algorithm must not claim the guarded property.
+        let rb = analyze_first_loop(src, AlgorithmLevel::Base);
+        assert!(rb.properties.is_empty());
     }
 
     /// Figure 2(b): the array self-recurrence a[i+1] = a[i] + k.

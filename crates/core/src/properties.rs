@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use subsub_ir::LoopId;
+use subsub_rtcheck::CheckExpr;
 use subsub_symbolic::Range;
 
 /// Which analysis capabilities are enabled — the three configurations the
@@ -57,19 +58,51 @@ pub enum Monotonicity {
     Monotonic,
     /// `a[i] < a[i+1]` (the paper's SMA) — implies injectivity.
     StrictlyMonotonic,
+    /// `a[i] + gap <= a[i+1]` with a constant `gap >= 2` — a non-unit-stride
+    /// recurrence (precursor paper, arXiv 1911.05839). Strictly monotone,
+    /// hence injective, and additionally every pair of written indices is
+    /// at least `gap` apart, which licenses strided partitioning.
+    StridedMonotonic {
+        /// Guaranteed minimum difference between consecutive elements.
+        gap: i64,
+    },
 }
 
 impl Monotonicity {
-    /// True for SMA.
+    /// True for SMA (any variant that implies `a[i] < a[i+1]`).
     pub fn is_strict(self) -> bool {
-        matches!(self, Monotonicity::StrictlyMonotonic)
+        match self {
+            Monotonicity::Monotonic => false,
+            Monotonicity::StrictlyMonotonic => true,
+            Monotonicity::StridedMonotonic { gap } => gap >= 1,
+        }
     }
 
-    /// The paper's `#MA` / `#SMA` suffix.
+    /// The guaranteed minimum gap between consecutive elements (0 for MA,
+    /// 1 for SMA, `gap` for strided).
+    pub fn min_gap(self) -> i64 {
+        match self {
+            Monotonicity::Monotonic => 0,
+            Monotonicity::StrictlyMonotonic => 1,
+            Monotonicity::StridedMonotonic { gap } => gap,
+        }
+    }
+
+    /// The paper's `#MA` / `#SMA` suffix (strided prints as the base SMA
+    /// tag here; [`ArrayProperty`]'s `Display` appends the `+gap` bound).
     pub fn suffix(self) -> &'static str {
         match self {
             Monotonicity::Monotonic => "#MA",
-            Monotonicity::StrictlyMonotonic => "#SMA",
+            Monotonicity::StrictlyMonotonic | Monotonicity::StridedMonotonic { .. } => "#SMA",
+        }
+    }
+}
+
+impl fmt::Display for Monotonicity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Monotonicity::StridedMonotonic { gap } => write!(f, "#SMA+{gap}"),
+            other => write!(f, "{}", other.suffix()),
         }
     }
 }
@@ -87,6 +120,15 @@ pub enum PropertyKind {
     },
     /// Multi-dimensional range monotonicity (LEMMA 2).
     MultiDim,
+    /// Conditionally-monotone recurrence (*Inductive Loop Analysis*,
+    /// arXiv 2511.06052): the recurrence step is a loop-invariant symbol of
+    /// statically unknown sign, so the property only holds under the given
+    /// runtime guard (e.g. `1 <= gstep`). Use sites must conjoin the guard
+    /// into their runtime-check set.
+    Guarded {
+        /// The predicate under which the monotonicity claim is valid.
+        guard: Box<CheckExpr>,
+    },
 }
 
 /// A proven property of one subscript array.
@@ -124,16 +166,16 @@ impl fmt::Display for ArrayProperty {
         write!(
             f,
             "{}[{}:{}]{}",
-            self.array,
-            self.index_range.lo,
-            self.index_range.hi,
-            self.monotonicity.suffix()
+            self.array, self.index_range.lo, self.index_range.hi, self.monotonicity
         )?;
         if self.dim > 0 {
             write!(f, "(dim {})", self.dim)?;
         }
         if let Some(v) = &self.value_range {
             write!(f, " = {v}")?;
+        }
+        if let PropertyKind::Guarded { guard } = &self.kind {
+            write!(f, " if {guard}")?;
         }
         Ok(())
     }
@@ -211,6 +253,40 @@ mod tests {
             p.to_string(),
             "A_rownnz[0:irownnz_max]#SMA = [0:num_rows - 1]"
         );
+    }
+
+    #[test]
+    fn strided_is_strict_with_gap_bound() {
+        let p = ArrayProperty {
+            array: "off".into(),
+            monotonicity: Monotonicity::StridedMonotonic { gap: 2 },
+            dim: 0,
+            kind: PropertyKind::Sra,
+            index_range: Range::new(Expr::int(0), Expr::var("n") - Expr::int(1)),
+            value_range: None,
+            defined_in: LoopId(0),
+        };
+        assert!(p.is_injective());
+        assert_eq!(p.monotonicity.min_gap(), 2);
+        assert_eq!(p.monotonicity.suffix(), "#SMA");
+        assert_eq!(p.to_string(), "off[0:n - 1]#SMA+2");
+    }
+
+    #[test]
+    fn guarded_property_displays_its_guard() {
+        let p = ArrayProperty {
+            array: "off".into(),
+            monotonicity: Monotonicity::StrictlyMonotonic,
+            dim: 0,
+            kind: PropertyKind::Guarded {
+                guard: Box::new(CheckExpr::le(Expr::int(1), Expr::var("gstep"))),
+            },
+            index_range: Range::new(Expr::int(0), Expr::var("n")),
+            value_range: None,
+            defined_in: LoopId(0),
+        };
+        assert!(p.is_injective());
+        assert_eq!(p.to_string(), "off[0:n]#SMA if 1 <= gstep");
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The twelve evaluation benchmarks of the paper (Table 1), each with:
+//! The evaluation benchmarks — the paper's twelve (Table 1) plus four
+//! pattern-language extensions — each with:
 //!
 //! * a **C-subset source** (inline-expanded, as the paper's methodology
 //!   requires) that the `subsub-core` analysis pipeline consumes to make
@@ -24,12 +25,19 @@
 //! | MG | NPB 3.3 | classical |
 //! | IS | NPB 3.3 | none (pattern too complex) |
 //! | Incomplete Cholesky | SparseLib++ | none (input-dependent) |
+//! | CSRoCSR | synthetic (arXiv 1911.05839) | NewAlgo (two-level composed SMA) |
+//! | StridedScatter | synthetic (arXiv 1911.05839) | BaseAlgo (strided SRA, `#SMA+2`) |
+//! | GuardedPrefix | synthetic (arXiv 2511.06052) | NewAlgo (guarded recurrence) |
+//! | BlockHist | synthetic (arXiv 2511.06052) | none at compile time (block-monotone, runtime-licensed) |
 
 pub mod amgmk;
+pub mod blockhist;
 pub mod cg;
 pub mod cholmod;
 pub mod common;
+pub mod csrocsr;
 pub mod fdtd2d;
+pub mod gprefix;
 pub mod gramschmidt;
 pub mod heat3d;
 pub mod icholesky;
@@ -37,6 +45,7 @@ pub mod is;
 pub mod mg;
 pub mod registry;
 pub mod sddmm;
+pub mod sscatter;
 pub mod syrk;
 pub mod ua;
 

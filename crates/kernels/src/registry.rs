@@ -1,8 +1,10 @@
-//! Registry of the twelve evaluation benchmarks (paper Table 1).
+//! Registry of the evaluation benchmarks: the paper's twelve (Table 1)
+//! plus the four pattern-language extensions (two-level indirection,
+//! strided recurrence, guarded recurrence, block-periodic keys).
 
 use crate::common::Kernel;
 
-/// All benchmarks in the order of the paper's Figure 17.
+/// All benchmarks: the paper's Figure-17 order, then the extensions.
 pub fn all_kernels() -> Vec<Box<dyn Kernel>> {
     vec![
         Box::new(crate::amgmk::Amgmk),
@@ -17,6 +19,10 @@ pub fn all_kernels() -> Vec<Box<dyn Kernel>> {
         Box::new(crate::mg::Mg),
         Box::new(crate::is::Is),
         Box::new(crate::icholesky::ICholesky),
+        Box::new(crate::csrocsr::CsrOfCsr),
+        Box::new(crate::sscatter::StridedScatter),
+        Box::new(crate::gprefix::GuardedPrefix),
+        Box::new(crate::blockhist::BlockHist),
     ]
 }
 
@@ -30,14 +36,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn twelve_kernels_registered() {
-        assert_eq!(all_kernels().len(), 12);
+    fn sixteen_kernels_registered() {
+        assert_eq!(all_kernels().len(), 16);
     }
 
     #[test]
     fn lookup_by_name() {
         assert!(kernel_by_name("AMGmk").is_some());
         assert!(kernel_by_name("UA(transf)").is_some());
+        assert!(kernel_by_name("CSRoCSR").is_some());
+        assert!(kernel_by_name("BlockHist").is_some());
         assert!(kernel_by_name("nope").is_none());
     }
 

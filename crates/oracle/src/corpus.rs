@@ -51,7 +51,7 @@
 //! [`Bindings::set_post_max`], matching the parser's treatment of
 //! `X_max` symbols in check sources.
 
-use crate::diff::{check_index_array, check_kernel, check_reinspect, Divergence};
+use crate::diff::{check_composed, check_index_array, check_kernel, check_reinspect, Divergence};
 use crate::gen::{brute_force_monotone, ArrayShape, GeneratedArray, MutationStep};
 use crate::refeval::{compare, ref_eval, PredicateAgreement};
 use crate::srcgen::{check_frontend, FUZZ_BUDGET};
@@ -154,6 +154,19 @@ pub enum CorpusEntry {
         /// The source text (unescaped).
         source: String,
     },
+    /// A two-level pair replayed through [`check_composed`]: the
+    /// composed verdict over `outer[inner[j]]` must never claim a
+    /// monotonicity flavour the materialized composition lacks.
+    Composed {
+        /// Entry id.
+        name: String,
+        /// Exclusive domain bound for the outer array.
+        domain: usize,
+        /// The outer (value-providing) array.
+        outer: Vec<usize>,
+        /// The inner array; validated against `outer.len()`.
+        inner: Vec<usize>,
+    },
 }
 
 impl CorpusEntry {
@@ -164,7 +177,8 @@ impl CorpusEntry {
             | CorpusEntry::Predicate { name, .. }
             | CorpusEntry::Kernel { name, .. }
             | CorpusEntry::Reinspect { name, .. }
-            | CorpusEntry::Source { name, .. } => name,
+            | CorpusEntry::Source { name, .. }
+            | CorpusEntry::Composed { name, .. } => name,
         }
     }
 }
@@ -374,6 +388,26 @@ fn parse_entry(block: &str, file: &Path) -> Result<Option<CorpusEntry>, CorpusEr
             source: unescape_source(&get("source")?)
                 .map_err(|e| malformed(format!("bad source escape: {e}")))?,
         })),
+        "composed" => {
+            let parse_list = |key: &str| -> Result<Vec<usize>, CorpusError> {
+                let mut out = Vec::new();
+                for tok in get(key)?.split_whitespace() {
+                    out.push(
+                        tok.parse::<usize>()
+                            .map_err(|e| malformed(format!("bad {key} value `{tok}`: {e}")))?,
+                    );
+                }
+                Ok(out)
+            };
+            Ok(Some(CorpusEntry::Composed {
+                name: get("name")?,
+                domain: get("domain")?
+                    .parse::<usize>()
+                    .map_err(|e| malformed(format!("bad domain: {e}")))?,
+                outer: parse_list("outer")?,
+                inner: parse_list("inner")?,
+            }))
+        }
         other => Err(malformed(format!("unknown kind `{other}`"))),
     }
 }
@@ -508,6 +542,15 @@ pub fn replay(entry: &CorpusEntry, pool: &ThreadPool) -> Vec<String> {
             .map(|d| format!("[{name}] {d}"))
             .collect(),
         CorpusEntry::Source { name, source } => check_frontend(name, source, &FUZZ_BUDGET)
+            .into_iter()
+            .map(|d| format!("[{name}] {d}"))
+            .collect(),
+        CorpusEntry::Composed {
+            name,
+            domain,
+            outer,
+            inner,
+        } => check_composed(name, outer, *domain, inner)
             .into_iter()
             .map(|d| format!("[{name}] {d}"))
             .collect(),
@@ -661,6 +704,21 @@ mod tests {
                 "{bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn composed_entries_parse_and_replay() {
+        let pool = ThreadPool::new(2);
+        let clean =
+            parse_one("kind: composed\nname: c\ndomain: 10\nouter: 0 2 4 6\ninner: 0 1 2 3\n");
+        assert!(matches!(clean, CorpusEntry::Composed { .. }));
+        assert!(replay(&clean, &pool).is_empty());
+        // An inner entry past the outer's length breaks the chain at
+        // ingestion; the replay reports it instead of indexing OOB.
+        let bad = parse_one("kind: composed\nname: c2\ndomain: 10\nouter: 0 2\ninner: 5\n");
+        let failures = replay(&bad, &pool);
+        assert!(!failures.is_empty());
+        assert!(failures[0].contains("[c2]"), "{failures:?}");
     }
 
     #[test]

@@ -19,15 +19,16 @@
 //! Every violation is a structured [`Divergence`]; an empty result is
 //! the oracle's "no divergence" verdict.
 
-use crate::gen::{brute_force_monotone, GeneratedArray, MutationStep};
+use crate::gen::{brute_force_block_monotone, brute_force_monotone, GeneratedArray, MutationStep};
 use crate::refeval::{compare, ref_eval, PredicateAgreement, RefEvalError};
 use std::fmt;
 use subsub_kernels::common::close;
 use subsub_kernels::Kernel;
 use subsub_omprt::{Schedule, ThreadPool};
 use subsub_rtcheck::{
-    inspect_monotone, inspect_serial, Bindings, BlockSummaries, CheckExpr, CompiledCheck,
-    EvalError, GuardPath, GuardedExecutor, MonotoneVerdict, Provenance, ValidatedIndexArray,
+    composed_verdict, inspect_block_monotone, inspect_monotone, inspect_serial, Bindings,
+    BlockSummaries, CheckExpr, CompiledCheck, EvalError, GuardPath, GuardedExecutor,
+    MonotoneVerdict, Provenance, ValidatedIndexArray, BLOCK_LEN,
 };
 use subsub_sparse::Rng64;
 
@@ -110,6 +111,27 @@ pub enum Divergence {
         /// Which invariant broke, and how.
         detail: String,
     },
+    /// The block-monotone inspector (ground-truth scan or O(blocks)
+    /// summary recombination) disagrees with the definitional per-block
+    /// scan for some block size.
+    BlockVerdictMismatch {
+        /// Shape label (or corpus id) of the offending array.
+        label: String,
+        /// The block size diffed.
+        block: usize,
+        /// What diverged.
+        detail: String,
+    },
+    /// The composed (two-level) verdict claimed a monotonicity flavour
+    /// the materialized composition `outer[inner[j]]` does not have —
+    /// the unsound direction the trust model forbids (conservative
+    /// refusals are permitted).
+    ComposedMismatch {
+        /// Case label (or corpus id).
+        label: String,
+        /// What diverged.
+        detail: String,
+    },
     /// The incremental (block-summary) re-inspection state diverged
     /// from the full-scan reference after a `mutate_range` plan, or the
     /// tamper gate failed to flag a write that bypassed the boundary.
@@ -181,6 +203,14 @@ impl fmt::Display for Divergence {
             Divergence::FrontendMismatch { label, detail } => {
                 write!(f, "frontend mismatch [{label}]: {detail}")
             }
+            Divergence::BlockVerdictMismatch {
+                label,
+                block,
+                detail,
+            } => write!(f, "block verdict mismatch [{label}] b={block}: {detail}"),
+            Divergence::ComposedMismatch { label, detail } => {
+                write!(f, "composed verdict mismatch [{label}]: {detail}")
+            }
             Divergence::ReinspectMismatch {
                 label,
                 step,
@@ -223,6 +253,23 @@ pub fn check_index_array(g: &GeneratedArray, pool: &ThreadPool) -> Vec<Divergenc
             }
         }
     }
+    // Block-monotone inspector against the definitional per-block scan,
+    // for a spread of block sizes including the degenerate b = 0 (whole
+    // array) and the summary block length.
+    for b in [0usize, 1, 3, 8, BLOCK_LEN] {
+        let v = inspect_block_monotone(&g.data, b);
+        let want = brute_force_block_monotone(&g.data, b);
+        if (v.nonstrict, v.strict) != want {
+            out.push(Divergence::BlockVerdictMismatch {
+                label: g.shape.to_string(),
+                block: b,
+                detail: format!(
+                    "inspect_block_monotone = ({}, {}), brute force = {want:?}",
+                    v.nonstrict, v.strict
+                ),
+            });
+        }
+    }
     let ingested = ValidatedIndexArray::ingest(
         "fuzz",
         g.data.clone(),
@@ -241,6 +288,83 @@ pub fn check_index_array(g: &GeneratedArray, pool: &ThreadPool) -> Vec<Divergenc
                 Err(e) => format!("rejected ({e})"),
             },
         });
+    }
+    // For accepted arrays the O(blocks) summary recombination must agree
+    // with the O(n) ground-truth scan at the aligned block size.
+    if let Ok(a) = &ingested {
+        if let Some(v) = a.summaries().block_verdict(BLOCK_LEN) {
+            let truth = inspect_block_monotone(&g.data, BLOCK_LEN);
+            if (v.nonstrict, v.strict) != (truth.nonstrict, truth.strict) {
+                out.push(Divergence::BlockVerdictMismatch {
+                    label: g.shape.to_string(),
+                    block: BLOCK_LEN,
+                    detail: format!(
+                        "summary recombination = ({}, {}), ground truth = ({}, {})",
+                        v.nonstrict, v.strict, truth.nonstrict, truth.strict
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Cross-checks the composed (two-level) verdict against the
+/// materialized composition `outer[inner[j]]`.
+///
+/// Ingests both levels (inner validated against the *outer's length*, so
+/// the chain is in-domain by construction), computes
+/// [`composed_verdict`], and requires the soundness direction: any
+/// monotonicity flavour the composed verdict *claims* must hold on the
+/// brute-force scan of the materialized array. Conservative refusals
+/// (chain provable by materialization but not claimed) are permitted —
+/// the composition rule only multiplies per-level verdicts.
+pub fn check_composed(
+    label: &str,
+    outer: &[usize],
+    outer_domain: usize,
+    inner: &[usize],
+) -> Vec<Divergence> {
+    let mismatch = |detail: String| Divergence::ComposedMismatch {
+        label: label.to_string(),
+        detail,
+    };
+    let outer_arr = match ValidatedIndexArray::ingest(
+        "composed-outer",
+        outer.to_vec(),
+        outer_domain,
+        Provenance::Generated { seed: 0 },
+    ) {
+        Ok(a) => a,
+        Err(e) => return vec![mismatch(format!("outer rejected at ingestion: {e}"))],
+    };
+    let inner_arr = match ValidatedIndexArray::ingest(
+        "composed-inner",
+        inner.to_vec(),
+        outer.len(),
+        Provenance::Generated { seed: 0 },
+    ) {
+        Ok(a) => a,
+        Err(e) => return vec![mismatch(format!("inner rejected at ingestion: {e}"))],
+    };
+    let v = composed_verdict(&outer_arr, &inner_arr);
+    let mut out = Vec::new();
+    if !v.domain_chained {
+        out.push(mismatch(
+            "domain_chained false for an inner validated against outer.len()".to_string(),
+        ));
+    }
+    let materialized: Vec<usize> = inner.iter().map(|&j| outer[j]).collect();
+    let (nonstrict, strict) = brute_force_monotone(&materialized);
+    if v.nonstrict && !nonstrict {
+        out.push(mismatch(format!(
+            "claimed nonstrict, materialized composition is not: {materialized:?}"
+        )));
+    }
+    if v.strict && !strict {
+        out.push(mismatch(format!(
+            "claimed strict, materialized composition is not: {materialized:?}"
+        )));
     }
     out
 }
@@ -498,10 +622,26 @@ pub fn check_kernel(kernel: &dyn Kernel, seed: u64) -> Vec<Divergence> {
             executor.decide_recoverable(name, &bindings, &arrays, Some(&pool))
         };
         if decision.verdict.path == GuardPath::Parallel {
-            out.push(Divergence::KernelWronglyAdmitted {
-                kernel: name.to_string(),
-                seed,
-            });
+            if tampered.index_arrays().is_empty() {
+                // Self-guarded kernel (e.g. the block-monotone
+                // histogram): the guard has nothing to inspect, so the
+                // kernel's own dispatch must detect the broken license
+                // and produce the serial result.
+                tampered.run_outer(&pool, sched);
+                if !close(tampered.checksum(), tampered_golden) {
+                    out.push(Divergence::KernelChecksumMismatch {
+                        kernel: format!("{name} (self-guarded demotion)"),
+                        seed,
+                        parallel: tampered.checksum(),
+                        serial: tampered_golden,
+                    });
+                }
+            } else {
+                out.push(Divergence::KernelWronglyAdmitted {
+                    kernel: name.to_string(),
+                    seed,
+                });
+            }
         } else {
             tampered.run_serial();
             if !close(tampered.checksum(), tampered_golden) {

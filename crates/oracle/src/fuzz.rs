@@ -5,9 +5,12 @@
 //! replays the same cases in the same order, so a CI failure reproduces
 //! locally with nothing but the seed.
 
-use crate::diff::{check_index_array, check_kernel, check_predicate, check_reinspect, Divergence};
+use crate::diff::{
+    check_composed, check_index_array, check_kernel, check_predicate, check_reinspect, Divergence,
+};
 use crate::gen::{
-    brute_force_monotone, gen_array, gen_bindings, gen_check, gen_mutation_plan, ALL_SHAPES,
+    brute_force_monotone, gen_array, gen_bindings, gen_check, gen_inner_index, gen_mutation_plan,
+    ArrayShape, ALL_SHAPES,
 };
 use crate::shrink::shrink_array;
 use crate::srcgen::{check_frontend, gen_source_case, FUZZ_BUDGET};
@@ -58,6 +61,9 @@ pub struct FuzzReport {
     /// Mutate-then-reinspect plans checked (one per accepted non-empty
     /// array, diffing incremental block summaries against full scans).
     pub reinspect_cases: usize,
+    /// Composed (two-level) index-array pairs checked against the
+    /// materialized composition.
+    pub composed_cases: usize,
     /// Predicate pairs checked.
     pub predicate_cases: usize,
     /// Mutated sources checked through the frontend leg.
@@ -79,11 +85,12 @@ impl fmt::Display for FuzzReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "seed {}: {} arrays, {} reinspect plans, {} predicates, {} sources, \
-             {} kernel runs -> {} divergence(s)",
+            "seed {}: {} arrays, {} reinspect plans, {} composed pairs, {} predicates, \
+             {} sources, {} kernel runs -> {} divergence(s)",
             self.seed,
             self.array_cases,
             self.reinspect_cases,
+            self.composed_cases,
             self.predicate_cases,
             self.source_cases,
             self.kernel_cases,
@@ -112,6 +119,7 @@ pub fn run_campaign(cfg: &FuzzConfig, pool: &ThreadPool) -> FuzzReport {
         seed: cfg.seed,
         array_cases: 0,
         reinspect_cases: 0,
+        composed_cases: 0,
         predicate_cases: 0,
         source_cases: 0,
         kernel_cases: 0,
@@ -155,6 +163,27 @@ pub fn run_campaign(cfg: &FuzzConfig, pool: &ThreadPool) -> FuzzReport {
                     &plan,
                 ));
             }
+        }
+    }
+
+    // Leg 1c: composed (two-level) pairs — the outer drawn from the
+    // always-accepted monotone-family shapes, the inner indexing into
+    // it — against the materialized composition's ground truth.
+    for shape in [
+        ArrayShape::StrictRamp,
+        ArrayShape::StridedRamp,
+        ArrayShape::Plateau,
+    ] {
+        for _ in 0..cfg.arrays_per_shape {
+            let outer = gen_array(&mut rng, shape);
+            let inner = gen_inner_index(&mut rng, outer.data.len());
+            report.composed_cases += 1;
+            report.divergences.extend(check_composed(
+                &format!("composed-{shape}"),
+                &outer.data,
+                outer.domain,
+                &inner,
+            ));
         }
     }
 
@@ -219,6 +248,8 @@ mod tests {
         // Every accepted non-empty array gets a reinspect plan: all
         // shapes except empty, near-max and out-of-domain.
         assert_eq!(report.reinspect_cases, 3 * (ALL_SHAPES.len() - 3));
+        // Three outer shapes feed the composed leg.
+        assert_eq!(report.composed_cases, 3 * 3);
     }
 
     #[test]
@@ -235,6 +266,7 @@ mod tests {
         let b = run_campaign(&cfg, &p);
         assert_eq!(a.array_cases, b.array_cases);
         assert_eq!(a.reinspect_cases, b.reinspect_cases);
+        assert_eq!(a.composed_cases, b.composed_cases);
         assert_eq!(a.predicate_cases, b.predicate_cases);
         assert_eq!(a.source_cases, b.source_cases);
         assert_eq!(

@@ -38,10 +38,19 @@ pub enum ArrayShape {
     OutOfDomain,
     /// Independent uniform entries.
     RandomUniform,
+    /// Strictly increasing with a constant gap ≥ 2 (the strided-SRA
+    /// pattern: `#SMA+gap`).
+    StridedRamp,
+    /// Strict ramp restarting every `p` elements: block-monotone for
+    /// block size `p`, globally non-monotone.
+    BlockPeriodic,
+    /// Block-periodic with one within-block duplicate planted, so even
+    /// the block-monotone (strict) verdict must fail.
+    BlockAlmostMonotone,
 }
 
 /// All shapes, in campaign order.
-pub const ALL_SHAPES: [ArrayShape; 10] = [
+pub const ALL_SHAPES: [ArrayShape; 13] = [
     ArrayShape::Empty,
     ArrayShape::Single,
     ArrayShape::Plateau,
@@ -52,6 +61,9 @@ pub const ALL_SHAPES: [ArrayShape; 10] = [
     ArrayShape::NearMax,
     ArrayShape::OutOfDomain,
     ArrayShape::RandomUniform,
+    ArrayShape::StridedRamp,
+    ArrayShape::BlockPeriodic,
+    ArrayShape::BlockAlmostMonotone,
 ];
 
 impl std::fmt::Display for ArrayShape {
@@ -67,6 +79,9 @@ impl std::fmt::Display for ArrayShape {
             ArrayShape::NearMax => "near-max",
             ArrayShape::OutOfDomain => "out-of-domain",
             ArrayShape::RandomUniform => "random-uniform",
+            ArrayShape::StridedRamp => "strided-ramp",
+            ArrayShape::BlockPeriodic => "block-periodic",
+            ArrayShape::BlockAlmostMonotone => "block-almost-monotone",
         };
         write!(f, "{s}")
     }
@@ -169,6 +184,29 @@ pub fn gen_array(rng: &mut Rng64, shape: ArrayShape) -> GeneratedArray {
                 .collect();
             (data, domain, false)
         }
+        ArrayShape::StridedRamp => {
+            let gap = rng.gen_usize(2, 7);
+            let data: Vec<usize> = (0..small_len).map(|i| i * gap).collect();
+            let domain = data.last().map_or(1, |&l| l + 1);
+            (data, domain, false)
+        }
+        ArrayShape::BlockPeriodic => {
+            let p = rng.gen_usize(4, 32);
+            let blocks = rng.gen_usize(2, 5);
+            let data: Vec<usize> = (0..p * blocks).map(|i| i % p).collect();
+            (data, p, false)
+        }
+        ArrayShape::BlockAlmostMonotone => {
+            let p = rng.gen_usize(4, 32);
+            let blocks = rng.gen_usize(2, 5);
+            let mut data: Vec<usize> = (0..p * blocks).map(|i| i % p).collect();
+            // Duplicate a within-block pair (never the block's first
+            // element, so the defect cannot alias a block join).
+            let block = rng.gen_usize(0, blocks - 1);
+            let at = block * p + rng.gen_usize(1, p - 1);
+            data[at] = data[at - 1];
+            (data, p, false)
+        }
     };
     GeneratedArray {
         shape,
@@ -228,6 +266,45 @@ pub fn brute_force_monotone(data: &[usize]) -> (bool, bool) {
     let nonstrict = data.windows(2).all(|w| w[0] <= w[1]);
     let strict = data.windows(2).all(|w| w[0] < w[1]);
     (nonstrict, strict)
+}
+
+/// Definitional block-monotone scan, written independently of
+/// `inspect_block_monotone`: every aligned block of `b` elements must be
+/// monotone on its own; pairs straddling block boundaries are exempt.
+/// `b == 0` degenerates to whole-array monotonicity.
+pub fn brute_force_block_monotone(data: &[usize], b: usize) -> (bool, bool) {
+    if b == 0 {
+        return brute_force_monotone(data);
+    }
+    let nonstrict = data.chunks(b).all(|c| c.windows(2).all(|w| w[0] <= w[1]));
+    let strict = data.chunks(b).all(|c| c.windows(2).all(|w| w[0] < w[1]));
+    (nonstrict, strict)
+}
+
+/// Generates an inner index array for the composed (two-level) leg:
+/// entries index into an outer array of `outer_len` elements, sampled
+/// from monotone ramps, plateaus, and uniform noise so the composed
+/// verdict sees both provable and refutable chains.
+pub fn gen_inner_index(rng: &mut Rng64, outer_len: usize) -> Vec<usize> {
+    if outer_len == 0 {
+        return Vec::new();
+    }
+    let len = rng.gen_usize(1, (2 * outer_len).min(48));
+    match rng.gen_usize(0, 2) {
+        0 => {
+            // Nondecreasing (sometimes strict) walk clamped into domain.
+            let mut v = 0usize;
+            (0..len)
+                .map(|_| {
+                    let cur = v.min(outer_len - 1);
+                    v += rng.gen_usize(0, 2);
+                    cur
+                })
+                .collect()
+        }
+        1 => vec![rng.gen_usize(0, outer_len - 1); len],
+        _ => (0..len).map(|_| rng.gen_usize(0, outer_len - 1)).collect(),
+    }
 }
 
 /// The scalar symbols generated predicates draw from.
@@ -332,6 +409,16 @@ mod tests {
                     ArrayShape::DuplicateAtBoundary => {
                         assert!(g.data.len() >= PAR_THRESHOLD);
                         assert!(nonstrict && !strict);
+                    }
+                    ArrayShape::StridedRamp => {
+                        assert!(strict);
+                        assert!(g.data.windows(2).all(|w| w[1] - w[0] >= 2));
+                    }
+                    ArrayShape::BlockPeriodic | ArrayShape::BlockAlmostMonotone => {
+                        // The ramp restarts at least once: globally
+                        // non-monotone. Block-strictness for the period
+                        // is diffed by the oracle's block-inspector leg.
+                        assert!(!nonstrict);
                     }
                     _ => {}
                 }

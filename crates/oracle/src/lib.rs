@@ -35,11 +35,13 @@ pub mod shrink;
 pub mod srcgen;
 
 pub use corpus::{load_dir, parse_corpus, replay, replay_all, CorpusEntry, CorpusError};
-pub use diff::{check_index_array, check_kernel, check_predicate, check_reinspect, Divergence};
+pub use diff::{
+    check_composed, check_index_array, check_kernel, check_predicate, check_reinspect, Divergence,
+};
 pub use fuzz::{run_campaign, FuzzConfig, FuzzReport};
 pub use gen::{
-    brute_force_monotone, gen_array, gen_bindings, gen_check, gen_mutation_plan, ArrayShape,
-    MutationStep, ALL_SHAPES,
+    brute_force_block_monotone, brute_force_monotone, gen_array, gen_bindings, gen_check,
+    gen_inner_index, gen_mutation_plan, ArrayShape, MutationStep, ALL_SHAPES,
 };
 pub use refeval::{compare, ref_eval, PredicateAgreement, RefEvalError};
 pub use shrink::shrink_array;

@@ -254,6 +254,52 @@ impl BlockSummaries {
             len: self.len,
         }
     }
+
+    /// Derives the *block-monotone* verdict — "monotone within blocks of
+    /// `b` elements", pairs at multiples of `b` exempt — in O(blocks),
+    /// recombining the same maintained summaries as
+    /// [`BlockSummaries::verdict`]. Identical to
+    /// [`crate::inspect::inspect_block_monotone`] on the current
+    /// contents.
+    ///
+    /// Only possible from summaries when `b` is a positive multiple of
+    /// [`BLOCK_LEN`]: then every exempt pair lands exactly on a summary
+    /// join (whose comparison is re-derived from boundary values and can
+    /// be skipped), while block interiors always count. Other block
+    /// sizes return `None` — callers fall back to the O(n) scan.
+    pub fn block_verdict(&self, b: usize) -> Option<MonotoneVerdict> {
+        if b == 0 || !b.is_multiple_of(BLOCK_LEN) {
+            return None;
+        }
+        let mut eq = false;
+        let mut first_violation = None;
+        'walk: for (k, s) in self.blocks.iter().enumerate() {
+            let join = k * BLOCK_LEN;
+            if k > 0 && !join.is_multiple_of(b) {
+                let prev_last = self.blocks[k - 1].last;
+                if prev_last > s.first {
+                    first_violation = Some(join);
+                    break 'walk;
+                }
+                if prev_last == s.first {
+                    eq = true;
+                }
+            }
+            if !s.nonstrict {
+                first_violation = s.first_violation;
+                break 'walk;
+            }
+            if !s.strict {
+                eq = true;
+            }
+        }
+        Some(MonotoneVerdict {
+            nonstrict: first_violation.is_none(),
+            strict: first_violation.is_none() && !eq,
+            first_violation,
+            len: self.len,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -401,6 +447,68 @@ mod tests {
                 BlockSummaries::build_unchecked(&data).checksum()
             );
         }
+    }
+
+    #[test]
+    fn block_verdict_matches_ground_truth_scan() {
+        use crate::inspect::inspect_block_monotone;
+        let b = BLOCK_LEN;
+        // Periodic ramp restarting every b elements: block-monotone
+        // (strict) but globally non-monotone.
+        let n = b * 3 + 100;
+        let periodic: Vec<usize> = (0..n).map(|i| i % b).collect();
+        let v = checked(&periodic).block_verdict(b).unwrap();
+        assert_eq!(v, inspect_block_monotone(&periodic, b));
+        assert!(v.strict, "{v:?}");
+        assert!(!checked(&periodic).verdict().nonstrict);
+        // A within-block decrease is a violation with the right index.
+        let mut broken = periodic.clone();
+        broken[b + 77] = 0;
+        let v = checked(&broken).block_verdict(b).unwrap();
+        assert_eq!(v, inspect_block_monotone(&broken, b));
+        assert_eq!(v.first_violation, Some(b + 77));
+        // A plateau inside a block demotes strict to non-strict.
+        let mut plateau = periodic.clone();
+        plateau[b * 2 + 5] = plateau[b * 2 + 4];
+        let v = checked(&plateau).block_verdict(b).unwrap();
+        assert_eq!(v, inspect_block_monotone(&plateau, b));
+        assert!(v.nonstrict && !v.strict);
+    }
+
+    #[test]
+    fn block_verdict_counts_interior_joins_of_large_blocks() {
+        // b = 2 * BLOCK_LEN: the join at BLOCK_LEN is *interior* to the
+        // logical block and must count; the join at 2 * BLOCK_LEN is a
+        // period boundary and must be exempt.
+        use crate::inspect::inspect_block_monotone;
+        let b = BLOCK_LEN * 2;
+        let n = b * 2;
+        let periodic: Vec<usize> = (0..n).map(|i| i % b).collect();
+        let v = checked(&periodic).block_verdict(b).unwrap();
+        assert_eq!(v, inspect_block_monotone(&periodic, b));
+        assert!(v.strict);
+        // Decrease exactly at an interior summary join (index BLOCK_LEN).
+        let mut broken = periodic.clone();
+        broken[BLOCK_LEN] = 0;
+        let v = checked(&broken).block_verdict(b).unwrap();
+        assert_eq!(v, inspect_block_monotone(&broken, b));
+        assert_eq!(v.first_violation, Some(BLOCK_LEN));
+    }
+
+    #[test]
+    fn block_verdict_rejects_unaligned_sizes_and_degenerates() {
+        use crate::inspect::{inspect_block_monotone, inspect_serial};
+        let data: Vec<usize> = (0..BLOCK_LEN + 9).map(|i| i % 7).collect();
+        let s = checked(&data);
+        assert!(s.block_verdict(0).is_none());
+        assert!(s.block_verdict(7).is_none());
+        assert!(s.block_verdict(BLOCK_LEN + 1).is_none());
+        // The O(n) scan handles unaligned sizes and the b = 0 degenerate.
+        assert!(inspect_block_monotone(&data, 7).strict);
+        assert_eq!(inspect_block_monotone(&data, 0), inspect_serial(&data));
+        // b beyond the length: one block, equals the plain verdict.
+        let ramp: Vec<usize> = (0..100).collect();
+        assert_eq!(inspect_block_monotone(&ramp, 4096), inspect_serial(&ramp));
     }
 
     #[test]

@@ -201,6 +201,44 @@ pub fn inspect_serial(data: &[usize]) -> MonotoneVerdict {
     }
 }
 
+/// Block-monotone inspection: verdict for "monotone *within* blocks of
+/// `b` elements", the periodic/block-monotone pattern of *Inductive Loop
+/// Analysis* (arXiv 2511.06052). Pairs straddling a block boundary
+/// (those at indices that are multiples of `b`) are exempt — a
+/// block-periodic histogram restarts its key ramp at every block, and
+/// within-block strictness is what licenses within-block parallelism
+/// (distinct scatter targets inside each block).
+///
+/// `b == 0` (or `b >= data.len()`) degenerates to a single block —
+/// identical to [`inspect_serial`]. For `b` a multiple of
+/// [`crate::block::BLOCK_LEN`], the same verdict recombines in O(blocks)
+/// from maintained summaries via
+/// [`crate::block::BlockSummaries::block_verdict`]; this function is the
+/// O(n) ground truth the summaries are checked against.
+pub fn inspect_block_monotone(data: &[usize], b: usize) -> MonotoneVerdict {
+    if b == 0 {
+        return inspect_serial(data);
+    }
+    let mut eq = false;
+    let mut first_violation = None;
+    for (k, chunk) in data.chunks(b).enumerate() {
+        let ps = scan_pairs(chunk);
+        if !ps.nonstrict {
+            first_violation = ps.first_violation.map(|i| k * b + i);
+            break;
+        }
+        if !ps.strict {
+            eq = true;
+        }
+    }
+    MonotoneVerdict {
+        nonstrict: first_violation.is_none(),
+        strict: first_violation.is_none() && !eq,
+        first_violation,
+        len: data.len(),
+    }
+}
+
 fn inspect_parallel(data: &[usize], pool: &ThreadPool) -> Result<MonotoneVerdict, RegionError> {
     let n = data.len();
     let threads = pool.threads().max(1);

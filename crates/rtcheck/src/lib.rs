@@ -54,7 +54,9 @@ pub use error::ExecError;
 pub use expr::{parse_check, CheckExpr, CmpOp, ParseError};
 pub use guard::{Decision, GuardPath, GuardStats, GuardVerdict, GuardedExecutor};
 pub use inspect::{
-    inspect_monotone, inspect_serial, scan_pairs, try_inspect_monotone, IndexArrayView,
-    MonotoneReq, MonotoneVerdict, PairScan, PAR_THRESHOLD,
+    inspect_block_monotone, inspect_monotone, inspect_serial, scan_pairs, try_inspect_monotone,
+    IndexArrayView, MonotoneReq, MonotoneVerdict, PairScan, PAR_THRESHOLD,
 };
-pub use validate::{Provenance, ValidatedIndexArray, ValidationError};
+pub use validate::{
+    composed_verdict, ComposedVerdict, Provenance, ValidatedIndexArray, ValidationError,
+};

@@ -404,6 +404,70 @@ impl ValidatedIndexArray {
     }
 }
 
+/// Verdict for a two-level (composed) indirection `i ↦ outer[inner[i]]`
+/// — the `y[ind1[ind2[j]]]` pattern of the precursor paper
+/// (arXiv 1911.05839).
+///
+/// The composition rule: a monotone map of a monotone sequence is
+/// monotone, and an injective map of pairwise-distinct values stays
+/// pairwise distinct — *provided* every inner value lands inside the
+/// range on which the outer array's property holds. The trust boundary
+/// makes that domain premise a static fact: `inner` was ingested with a
+/// domain bound, so `inner.domain() <= outer.len()` proves every
+/// composed lookup is in range without re-reading a single element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComposedVerdict {
+    /// Per-level verdict of the inner (first-applied) array.
+    pub inner: MonotoneVerdict,
+    /// Per-level verdict of the outer array.
+    pub outer: MonotoneVerdict,
+    /// Every validated inner value is a valid subscript into the outer
+    /// array (`inner.domain() <= outer.len()`).
+    pub domain_chained: bool,
+    /// `i ↦ outer[inner[i]]` never decreases.
+    pub nonstrict: bool,
+    /// `i ↦ outer[inner[i]]` strictly increases — hence the composed
+    /// subscripts are pairwise distinct (the license for a parallel
+    /// scatter through the composition).
+    pub strict: bool,
+}
+
+impl ComposedVerdict {
+    /// True when the composition satisfies `req`.
+    pub fn satisfies(&self, req: MonotoneReq) -> bool {
+        match req {
+            MonotoneReq::NonStrict => self.nonstrict,
+            MonotoneReq::Strict => self.strict,
+        }
+    }
+}
+
+/// Validates the two-level composition `outer[inner[·]]` from maintained
+/// block summaries — O(blocks), no element re-read — so the O(Δ)
+/// re-inspection economics of [`ValidatedIndexArray::mutate_range`]
+/// extend to composed subscripts: a ranged edit to either level rescans
+/// only its dirty blocks, and the composed verdict recombines from
+/// summaries.
+///
+/// Like [`ValidatedIndexArray::summary_verdict`], this describes the
+/// *last validated state* of both arrays; paranoid callers pair it with
+/// [`ValidatedIndexArray::verify`] on each level.
+pub fn composed_verdict(
+    outer: &ValidatedIndexArray,
+    inner: &ValidatedIndexArray,
+) -> ComposedVerdict {
+    let iv = inner.summary_verdict();
+    let ov = outer.summary_verdict();
+    let domain_chained = inner.domain() <= outer.len();
+    ComposedVerdict {
+        inner: iv,
+        outer: ov,
+        domain_chained,
+        nonstrict: domain_chained && iv.nonstrict && ov.nonstrict,
+        strict: domain_chained && iv.strict && ov.strict,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -650,6 +714,83 @@ mod tests {
             assert_eq!(a.version(), step + 1);
         }
         assert!(a.verify().is_ok());
+    }
+
+    #[test]
+    fn composed_strict_when_both_levels_strict_and_domains_chain() {
+        // outer maps [0, 8) strictly; inner selects strictly within [0, 8).
+        let outer = ValidatedIndexArray::ingest(
+            "row_start",
+            vec![0, 2, 4, 6, 9, 12, 15, 20],
+            21,
+            untrusted(),
+        )
+        .unwrap();
+        let inner = ValidatedIndexArray::ingest("act", vec![1, 3, 4, 7], 8, untrusted()).unwrap();
+        let c = composed_verdict(&outer, &inner);
+        assert!(c.domain_chained && c.strict && c.nonstrict);
+        assert!(c.satisfies(MonotoneReq::Strict));
+        // Ground truth: materialize the composition and inspect it.
+        let composed: Vec<usize> = inner.data().iter().map(|&i| outer.data()[i]).collect();
+        let truth = crate::inspect::inspect_serial(&composed);
+        assert_eq!((truth.nonstrict, truth.strict), (c.nonstrict, c.strict));
+    }
+
+    #[test]
+    fn composed_refused_when_inner_domain_exceeds_outer_length() {
+        // inner is valid for a domain of 100, but outer only has 4
+        // entries: the composition cannot be vouched for even though
+        // both levels are individually strict.
+        let outer = ValidatedIndexArray::ingest("s", vec![0, 1, 2, 3], 10, untrusted()).unwrap();
+        let inner = ValidatedIndexArray::ingest("t", vec![0, 2, 50], 100, untrusted()).unwrap();
+        let c = composed_verdict(&outer, &inner);
+        assert!(!c.domain_chained);
+        assert!(!c.nonstrict && !c.strict);
+        assert!(
+            c.inner.strict && c.outer.strict,
+            "levels are fine in isolation"
+        );
+    }
+
+    #[test]
+    fn composed_inner_out_of_domain_rejected_at_ingestion() {
+        // An inner entry past the outer's length never reaches the
+        // composition: ingestion against the chained domain rejects it.
+        let err = ValidatedIndexArray::ingest("t", vec![0, 2, 4], 4, untrusted())
+            .expect_err("4 is outside [0, 4)");
+        assert!(matches!(
+            err,
+            ValidationError::OutOfDomain {
+                index: 2,
+                value: 4,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn composed_weakens_with_either_level_and_reinspects_in_o_delta() {
+        let outer =
+            ValidatedIndexArray::ingest("s", (0..64).collect::<Vec<_>>(), 64, untrusted()).unwrap();
+        let mut inner =
+            ValidatedIndexArray::ingest("t", (0..32).collect::<Vec<_>>(), 64, untrusted()).unwrap();
+        assert!(composed_verdict(&outer, &inner).strict);
+        // A plateau in the inner level: composed drops to non-strict.
+        inner.mutate_range(10..11, |w| w[0] = 9).unwrap();
+        let c = composed_verdict(&outer, &inner);
+        assert!(c.nonstrict && !c.strict);
+        // A decrease straddling the mutation window boundary kills
+        // non-strictness too; healing restores strictness — all through
+        // ranged mutations whose rescan cost is O(Δ + blocks).
+        inner.mutate_range(10..12, |w| w[1] = 3).unwrap();
+        assert!(!composed_verdict(&outer, &inner).nonstrict);
+        inner
+            .mutate_range(10..12, |w| {
+                w[0] = 10;
+                w[1] = 11;
+            })
+            .unwrap();
+        assert!(composed_verdict(&outer, &inner).strict);
     }
 
     #[test]

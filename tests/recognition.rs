@@ -1,0 +1,187 @@
+//! Golden phase-2 recognition matrix: for every registry kernel and
+//! every algorithm level, pins the *exact* analysis artifacts — loop
+//! depth parallelized, the emitted runtime-check text, and the property
+//! verdict strings the proof used (`#MA`/`#SMA`/`#SMA+gap`, guard
+//! suffixes, value ranges).
+//!
+//! `tests/decisions.rs` locks the coarse variant choice; this file locks
+//! the evidence. A recognizer regression that still lands on the right
+//! variant by accident (weaker property, spurious extra check, lost
+//! value range) is a diff here.
+
+use subsub::core::{analyze_program, AlgorithmLevel};
+use subsub::kernels::all_kernels;
+
+/// What the analysis must produce for one (kernel, level) cell.
+#[derive(Debug, PartialEq, Eq)]
+enum Expect {
+    /// No parallel nest at all.
+    Serial,
+    /// A parallel nest at `depth` with exactly this check and these
+    /// property verdicts, in emission order.
+    Parallel {
+        depth: usize,
+        check: Option<&'static str>,
+        props: &'static [&'static str],
+    },
+}
+
+use Expect::{Parallel, Serial};
+
+fn expected(name: &str, level: AlgorithmLevel) -> Expect {
+    use AlgorithmLevel::*;
+    // Shorthand: a classically parallel nest carries no subscript
+    // properties and no check.
+    let plain = |depth| Parallel {
+        depth,
+        check: None,
+        props: &[],
+    };
+    match (name, level) {
+        ("AMGmk", Classic | Base) => plain(1),
+        ("AMGmk", New) => Parallel {
+            depth: 0,
+            check: Some("num_rownnz - 1 <= irownnz_max"),
+            props: &["A_rownnz[0:irownnz_max]#SMA = [0:num_rows - 1]"],
+        },
+        ("CHOLMOD-Supernodal", Classic) => plain(1),
+        ("CHOLMOD-Supernodal", Base | New) => Parallel {
+            depth: 0,
+            check: None,
+            props: &["colptr[0:n_super]#SMA+192"],
+        },
+        ("SDDMM", Classic | Base) => plain(1),
+        ("SDDMM", New) => Parallel {
+            depth: 0,
+            check: Some("n_cols - 1 <= holder_max"),
+            props: &["col_ptr[0:holder_max]#MA = [0:nonzeros - 1]"],
+        },
+        ("UA(transf)", Classic | Base) => plain(1),
+        ("UA(transf)", New) => Parallel {
+            depth: 0,
+            check: None,
+            props: &["idel[0:LELT - 1]#SMA = [0:125*LELT - 1]"],
+        },
+        ("CG" | "syrk", _) => plain(0),
+        ("heat-3d" | "fdtd-2d" | "gramschmidt" | "MG", _) => plain(1),
+        ("IS" | "Incomplete-Cholesky", _) => Serial,
+        // Pattern-language extensions.
+        ("CSRoCSR", Classic | Base) => Serial,
+        ("CSRoCSR", New) => Parallel {
+            depth: 0,
+            check: Some("num_act - 1 <= m_max"),
+            props: &[
+                "row_start[0:num_rows - 1]#SMA+2 = [0:2*num_rows - 2]",
+                "act[0:m_max]#SMA = [0:num_rows - 1]",
+            ],
+        },
+        ("StridedScatter", Classic) => Serial,
+        ("StridedScatter", Base | New) => Parallel {
+            depth: 0,
+            check: None,
+            props: &["off[0:n - 1]#SMA+2 = [0:2*n - 2]"],
+        },
+        ("GuardedPrefix", Classic | Base) => plain(1),
+        ("GuardedPrefix", New) => Parallel {
+            depth: 0,
+            check: Some("1 <= gstep"),
+            props: &["off[0:n]#SMA if 1 <= gstep"],
+        },
+        ("BlockHist", _) => Serial,
+        (other, _) => panic!("unexpected kernel {other}"),
+    }
+}
+
+#[test]
+fn golden_recognition_matrix() {
+    let mut failures = Vec::new();
+    for k in all_kernels() {
+        for level in [
+            AlgorithmLevel::Classic,
+            AlgorithmLevel::Base,
+            AlgorithmLevel::New,
+        ] {
+            let report =
+                analyze_program(k.source(), level).unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            let f = report
+                .function(k.func_name())
+                .unwrap_or_else(|| panic!("{}: function missing", k.name()));
+            let got = match f.last_nest_parallel() {
+                None => "SERIAL".to_string(),
+                Some(l) => {
+                    let plan = l
+                        .decision
+                        .plan()
+                        .unwrap_or_else(|| panic!("{}: parallel nest without plan", k.name()));
+                    format!(
+                        "depth={} check={:?} props={:?}",
+                        l.depth,
+                        plan.runtime_check.as_ref().map(|c| c.to_string()),
+                        plan.properties_used
+                    )
+                }
+            };
+            let want = match expected(k.name(), level) {
+                Serial => "SERIAL".to_string(),
+                Parallel {
+                    depth,
+                    check,
+                    props,
+                } => format!(
+                    "depth={depth} check={:?} props={:?}",
+                    check.map(str::to_string),
+                    props.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+                ),
+            };
+            if got != want {
+                failures.push(format!(
+                    "{} @ {level}:\n  want {want}\n  got  {got}",
+                    k.name()
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+/// The strided verdict is not a coincidence of one kernel: CHOLMOD's
+/// 192-wide panels and StridedScatter's gap-2 offsets both land in the
+/// `#SMA+gap` family, whose gap is the panel/stride width.
+#[test]
+fn strided_gaps_track_the_source_stride() {
+    for (name, level, gap) in [
+        ("CHOLMOD-Supernodal", AlgorithmLevel::Base, "+192"),
+        ("StridedScatter", AlgorithmLevel::Base, "+2"),
+        ("CSRoCSR", AlgorithmLevel::New, "+2"),
+    ] {
+        let k = subsub::kernels::kernel_by_name(name).unwrap();
+        let report = analyze_program(k.source(), level).unwrap();
+        let f = report.function(k.func_name()).unwrap();
+        let plan = f.last_nest_parallel().unwrap().decision.plan().unwrap();
+        assert!(
+            plan.properties_used
+                .iter()
+                .any(|p| p.contains(&format!("#SMA{gap}"))),
+            "{name}: {:?}",
+            plan.properties_used
+        );
+    }
+}
+
+/// The guarded property's predicate is carried verbatim into the plan's
+/// runtime check — the guard is the proof obligation, not advice.
+#[test]
+fn guard_predicate_reaches_the_emitted_check() {
+    let k = subsub::kernels::kernel_by_name("GuardedPrefix").unwrap();
+    let report = analyze_program(k.source(), AlgorithmLevel::New).unwrap();
+    let f = report.function(k.func_name()).unwrap();
+    let plan = f.last_nest_parallel().unwrap().decision.plan().unwrap();
+    let check = plan.runtime_check.as_ref().expect("guard check");
+    assert_eq!(check.to_string(), "1 <= gstep");
+    assert!(plan.properties_used[0].ends_with("if 1 <= gstep"));
+    // And it round-trips through its display form like every check.
+    assert_eq!(
+        subsub::rtcheck::parse_check(&check.to_string()).unwrap(),
+        *check
+    );
+}

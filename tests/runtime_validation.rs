@@ -38,10 +38,11 @@ fn every_selected_variant_matches_serial() {
     }
 }
 
-/// The paper's runtime check is part of the emitted pragma for the two
-/// benchmarks whose analysis bound is a post-loop value — and absent where
-/// the bound is compile-time (UA) or no property is needed (regular
-/// benchmarks).
+/// The paper's runtime check is part of the emitted pragma exactly for
+/// the benchmarks whose analysis bound is a post-loop value (AMGmk,
+/// SDDMM, and the two-level CSRoCSR composition) or whose recurrence is
+/// only conditionally monotone (GuardedPrefix's step guard) — and absent
+/// where the bound is compile-time (UA) or no property is needed.
 #[test]
 fn runtime_checks_present_exactly_where_expected() {
     use subsub::core::analyze_program;
@@ -53,7 +54,7 @@ fn runtime_checks_present_exactly_where_expected() {
             .and_then(|l| l.decision.plan())
             .and_then(|p| p.runtime_check.clone());
         match k.name() {
-            "AMGmk" | "SDDMM" => {
+            "AMGmk" | "SDDMM" | "CSRoCSR" | "GuardedPrefix" => {
                 assert!(check.is_some(), "{} should carry a runtime check", k.name())
             }
             _ => assert!(
